@@ -1,0 +1,148 @@
+//===- bench/Common.cpp ---------------------------------------*- C++ -*-===//
+
+#include "Common.h"
+
+#include "frontend/Disasm.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "vm/Hooks.h"
+
+#include <cstdio>
+
+using namespace e9;
+using namespace e9::bench;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+AppResult bench::evalEntry(const SuiteEntry &Entry, App Application,
+                           const EvalOptions &Opts) {
+  AppResult R;
+  R.Name = Entry.Config.Name;
+
+  Workload W = generateWorkload(Entry.Config);
+
+  DisasmResult Dis = linearDisassemble(W.Image);
+  std::vector<uint64_t> Locs = Application == App::Jumps
+                                   ? selectJumps(Dis.Insns)
+                                   : selectHeapWrites(Dis.Insns);
+  R.NLoc = Locs.size();
+
+  RewriteOptions RO;
+  if (Opts.UseLowFat) {
+    RO.Patch.Spec.Kind = core::TrampolineKind::LowFatCheck;
+    RO.Patch.Spec.HookAddr = vm::HookLowFatCheck;
+  } else {
+    RO.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  }
+  RO.Patch.EnableT1 = Opts.EnableT1;
+  RO.Patch.EnableT2 = Opts.EnableT2;
+  RO.Patch.EnableT3 = Opts.EnableT3;
+  RO.Patch.ForceB0 = Opts.ForceB0;
+  RO.Grouping.Enabled = Opts.GroupingEnabled;
+  RO.Grouping.M = Opts.GroupingM;
+  RO.ExtraReserved.push_back(lowfat::heapReservation());
+  if (Entry.SharedObject) {
+    // Dynamic-linker neighbors occupy the 2 GiB below a shared object's
+    // load address (paper §5.1): negative offsets are unusable.
+    RO.ExtraReserved.push_back(
+        Interval{W.TextBase - (1ull << 31), W.TextBase});
+  }
+
+  auto Out = rewrite(W.Image, Locs, RO);
+  if (!Out.isOk()) {
+    R.Error = Out.reason();
+    return R;
+  }
+  R.BinKB = static_cast<double>(Out->OrigFileSize) / 1024.0;
+  R.BasePct = Out->Stats.basePct();
+  R.T1Pct = Out->Stats.pct(core::Tactic::T1);
+  R.T2Pct = Out->Stats.pct(core::Tactic::T2);
+  R.T3Pct = Out->Stats.pct(core::Tactic::T3);
+  R.SuccPct = Out->Stats.succPct();
+  R.SizePct = Out->sizePct();
+  R.PhysBytes = Out->Grouping.PhysBytes;
+  R.Mappings = Out->Grouping.MappingCount;
+
+  if (!Opts.MeasureTime) {
+    R.SemanticsOk = true;
+    return R;
+  }
+
+  RunConfig RC;
+  RC.UseLowFat = Opts.UseLowFat;
+  RunOutcome Ref = runImage(W.Image, RC);
+  RunConfig RCP = RC;
+  RCP.B0Table = Out->B0Table;
+  RunOutcome Got = runImage(Out->Rewritten, RCP);
+  if (!Ref.ok() || !Got.ok()) {
+    R.Error = Ref.ok() ? Got.Result.Error : Ref.Result.Error;
+    return R;
+  }
+  R.SemanticsOk =
+      Ref.Rax == Got.Rax && Ref.DataChecksum == Got.DataChecksum;
+  if (!R.SemanticsOk)
+    R.Error = "observable state diverged";
+  R.TimePct = Ref.Result.Cost == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(Got.Result.Cost) /
+                        static_cast<double>(Ref.Result.Cost);
+  return R;
+}
+
+void bench::printTableHeader(const char *Title, bool WithTime) {
+  std::printf("\n%s\n", Title);
+  std::printf("%-12s %8s %7s %7s %6s %6s %6s %7s", "binary", "KB", "#Loc",
+              "Base%", "T1%", "T2%", "T3%", "Succ%");
+  if (WithTime)
+    std::printf(" %8s", "Time%");
+  std::printf(" %8s %6s\n", "Size%", "ok");
+  std::printf("%.*s\n", WithTime ? 92 : 83,
+              "--------------------------------------------------------"
+              "--------------------------------------------------------");
+}
+
+void bench::printTableRow(const AppResult &R, bool WithTime) {
+  if (!R.Error.empty() && !R.SemanticsOk && R.NLoc == 0) {
+    std::printf("%-12s  ERROR: %s\n", R.Name.c_str(), R.Error.c_str());
+    return;
+  }
+  std::printf("%-12s %8.1f %7zu %7.2f %6.2f %6.2f %6.2f %7.2f",
+              R.Name.c_str(), R.BinKB, R.NLoc, R.BasePct, R.T1Pct, R.T2Pct,
+              R.T3Pct, R.SuccPct);
+  if (WithTime)
+    std::printf(" %8.2f", R.TimePct);
+  std::printf(" %8.2f %6s\n", R.SizePct,
+              R.SemanticsOk ? "yes" : R.Error.c_str());
+}
+
+void bench::printTableTotals(const std::vector<AppResult> &Rows,
+                             bool WithTime) {
+  AppResult T;
+  T.Name = "#Total/Avg%";
+  size_t N = 0;
+  for (const AppResult &R : Rows) {
+    if (!R.Error.empty() && R.NLoc == 0)
+      continue;
+    ++N;
+    T.NLoc += R.NLoc;
+    T.BinKB += R.BinKB;
+    T.BasePct += R.BasePct;
+    T.T1Pct += R.T1Pct;
+    T.T2Pct += R.T2Pct;
+    T.T3Pct += R.T3Pct;
+    T.SuccPct += R.SuccPct;
+    T.TimePct += R.TimePct;
+    T.SizePct += R.SizePct;
+  }
+  if (N == 0)
+    return;
+  T.BasePct /= N;
+  T.T1Pct /= N;
+  T.T2Pct /= N;
+  T.T3Pct /= N;
+  T.SuccPct /= N;
+  T.TimePct /= N;
+  T.SizePct /= N;
+  T.SemanticsOk = true;
+  printTableRow(T, WithTime);
+}

@@ -1,0 +1,73 @@
+//===- bench/Common.h - Shared benchmark harness ---------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the per-table/figure benchmark binaries: evaluate
+/// one suite entry under an instrumentation application (A1 jumps / A2
+/// heap writes), producing the Table 1 column values (#Loc, Base%, T1-T3%,
+/// Succ%, Time%, Size%) plus memory/mapping statistics. Every run also
+/// verifies that the rewritten binary's observable behaviour matches the
+/// original (semantic check built into the harness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_BENCH_COMMON_H
+#define E9_BENCH_COMMON_H
+
+#include "frontend/Rewriter.h"
+#include "workload/Run.h"
+#include "workload/Suite.h"
+
+#include <string>
+
+namespace e9 {
+namespace bench {
+
+/// Which instrumentation application to evaluate.
+enum class App {
+  Jumps,      ///< A1: all jmp/jcc instructions.
+  HeapWrites, ///< A2: all heap-pointer write instructions.
+};
+
+/// Evaluation result for one binary (one half-row of Table 1).
+struct AppResult {
+  std::string Name;
+  double BinKB = 0; ///< Generated binary size (original file, KiB).
+  size_t NLoc = 0;
+  double BasePct = 0, T1Pct = 0, T2Pct = 0, T3Pct = 0, SuccPct = 0;
+  double TimePct = 0; ///< Patched/original executed-cost ratio * 100.
+  double SizePct = 0; ///< Patched/original file size * 100.
+  uint64_t PhysBytes = 0;
+  size_t Mappings = 0;
+  bool SemanticsOk = false;
+  std::string Error;
+};
+
+/// Extra knobs for ablation benches.
+struct EvalOptions {
+  bool EnableT1 = true;
+  bool EnableT2 = true;
+  bool EnableT3 = true;
+  bool ForceB0 = false;
+  bool GroupingEnabled = true;
+  unsigned GroupingM = 1;
+  bool MeasureTime = true;
+  bool UseLowFat = false; ///< LowFat-check instrumentation instead of empty.
+};
+
+/// Generates, rewrites, runs and verifies one suite entry.
+AppResult evalEntry(const workload::SuiteEntry &Entry, App Application,
+                    const EvalOptions &Opts = EvalOptions());
+
+/// Prints the Table 1 style header / row / totals for a set of results.
+void printTableHeader(const char *Title, bool WithTime);
+void printTableRow(const AppResult &R, bool WithTime);
+void printTableTotals(const std::vector<AppResult> &Rows, bool WithTime);
+
+} // namespace bench
+} // namespace e9
+
+#endif // E9_BENCH_COMMON_H

@@ -1,0 +1,41 @@
+//===- bench/bench_b0_signal.cpp - Experiment E9 ---------------*- C++ -*-===//
+//
+// Reproduces the §2.1 baseline comparison: the B0 int3/signal-handler
+// methodology versus the jump-based tactic suite, on one representative
+// workload per application. Paper shape: B0 is orders of magnitude slower
+// (each patched execution pays a kernel round trip); the tactic suite
+// costs only a couple of extra jumps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include <cstdio>
+
+using namespace e9::bench;
+using namespace e9::workload;
+
+int main() {
+  std::printf("E9: B0 signal-handler baseline vs jump tactics\n");
+  std::printf("Paper shape: B0 Time%% orders of magnitude above the "
+              "tactic suite.\n\n");
+  std::printf("%-12s %6s %14s %14s %10s\n", "binary", "app", "tactics%",
+              "B0%", "B0/tactics");
+  std::printf("------------------------------------------------------------\n");
+
+  auto Suite = specSuite();
+  for (size_t Idx : {1u, 6u, 17u}) { // bzip2, milc, hmmer analogs
+    const SuiteEntry &E = Suite[Idx];
+    for (App A : {App::Jumps, App::HeapWrites}) {
+      EvalOptions Fast;
+      AppResult RF = evalEntry(E, A, Fast);
+      EvalOptions Slow;
+      Slow.ForceB0 = true;
+      AppResult RS = evalEntry(E, A, Slow);
+      std::printf("%-12s %6s %14.1f %14.1f %9.1fx\n", E.Config.Name.c_str(),
+                  A == App::Jumps ? "A1" : "A2", RF.TimePct, RS.TimePct,
+                  RF.TimePct > 0 ? RS.TimePct / RF.TimePct : 0.0);
+    }
+  }
+  return 0;
+}

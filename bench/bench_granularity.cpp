@@ -1,0 +1,61 @@
+//===- bench/bench_granularity.cpp - Experiment E8 -------------*- C++ -*-===//
+//
+// Reproduces the §4 granularity trade-off: sweeping the grouping block
+// size M over {1, 2, 4, 16, 64, 256} pages trades mapping count against
+// physical memory. Paper reference: M=1 is most aggressive on memory but
+// can exceed vm.max_map_count=65536 for very large patch sets; M>=64
+// always stays below the limit for a single binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "core/Grouping.h"
+#include "frontend/Disasm.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+
+#include <cstdio>
+
+using namespace e9;
+using namespace e9::bench;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+int main() {
+  std::printf("E8: §4 grouping granularity sweep (Chrome-analog, A1)\n");
+  std::printf("Paper shape: mappings shrink and physical bytes grow as M "
+              "rises;\nvm.max_map_count analog = %zu.\n\n",
+              core::DefaultMaxMapCount);
+
+  // Use the largest binary in the suite so the mapping pressure is real.
+  SuiteEntry Chrome = browserSuite()[0];
+  Workload W = generateWorkload(Chrome.Config);
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  std::printf("binary %s: %zu patch locations\n\n",
+              Chrome.Config.Name.c_str(), Locs.size());
+
+  std::printf("%6s %12s %14s %12s %10s\n", "M", "mappings", "physKiB",
+              "Size%", "<=limit");
+  std::printf("-----------------------------------------------------------\n");
+  for (unsigned M : {1u, 2u, 4u, 16u, 64u, 256u}) {
+    RewriteOptions RO;
+    RO.Patch.Spec.Kind = core::TrampolineKind::Empty;
+    RO.Grouping.M = M;
+    RO.ExtraReserved.push_back(lowfat::heapReservation());
+    auto Out = rewrite(W.Image, Locs, RO);
+    if (!Out.isOk()) {
+      std::printf("%6u  rewrite error: %s\n", M, Out.reason().c_str());
+      continue;
+    }
+    std::printf("%6u %12zu %14.1f %12.2f %10s\n", M,
+                Out->Grouping.MappingCount,
+                static_cast<double>(Out->Grouping.PhysBytes) / 1024.0,
+                Out->sizePct(),
+                Out->Grouping.MappingCount <= core::DefaultMaxMapCount
+                    ? "yes"
+                    : "NO");
+  }
+  return 0;
+}

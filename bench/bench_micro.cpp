@@ -1,0 +1,129 @@
+//===- bench/bench_micro.cpp - google-benchmark micro suite ----*- C++ -*-===//
+//
+// Throughput microbenchmarks for the individual components: decoder,
+// assembler, pun arithmetic, trampoline allocator, the full rewriting
+// pipeline and the VM interpreter. These are not paper artifacts; they
+// exist so regressions in the building blocks are visible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Alloc.h"
+#include "core/Pun.h"
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+#include "x86/Assembler.h"
+#include "x86/Decoder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace e9;
+
+namespace {
+
+workload::WorkloadConfig microConfig() {
+  workload::WorkloadConfig C;
+  C.Name = "micro";
+  C.Seed = 99;
+  C.NumFuncs = 16;
+  C.MainIters = 4;
+  return C;
+}
+
+const workload::Workload &microWorkload() {
+  static workload::Workload W = workload::generateWorkload(microConfig());
+  return W;
+}
+
+void BM_DecoderLinear(benchmark::State &State) {
+  const auto &Text = microWorkload().Image.textSegment()->Bytes;
+  for (auto _ : State) {
+    size_t Off = 0;
+    size_t Count = 0;
+    while (Off < Text.size()) {
+      x86::Insn I;
+      if (x86::decode(Text.data() + Off, Text.size() - Off, Off, I) !=
+          x86::DecodeStatus::Ok)
+        break;
+      Off += I.Length;
+      ++Count;
+    }
+    benchmark::DoNotOptimize(Count);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Text.size()));
+}
+BENCHMARK(BM_DecoderLinear);
+
+void BM_AssemblerEmit(benchmark::State &State) {
+  for (auto _ : State) {
+    x86::Assembler A(0x401000);
+    for (int I = 0; I != 100; ++I) {
+      A.movRegImm32(x86::Reg::RAX, I);
+      A.aluRegReg(x86::OpSize::B64, x86::Alu::Add, x86::Reg::RAX,
+                  x86::Reg::RBX);
+      A.movMemReg(x86::OpSize::B64, x86::Mem::base(x86::Reg::RBX, 8),
+                  x86::Reg::RAX);
+    }
+    benchmark::DoNotOptimize(A.size());
+  }
+}
+BENCHMARK(BM_AssemblerEmit);
+
+void BM_PunTargetRange(benchmark::State &State) {
+  uint8_t Rel32[4] = {0, 0, 0x48, 0x23};
+  uint64_t Addr = 0x401000;
+  for (auto _ : State) {
+    auto R = core::punTargetRange(Addr, 0, Addr + 3, Rel32);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_PunTargetRange);
+
+void BM_AllocatorConstrained(benchmark::State &State) {
+  for (auto _ : State) {
+    core::Allocator A;
+    A.reserve(0, 0x500000);
+    for (uint64_t I = 0; I != 1000; ++I) {
+      auto P = A.allocate(32, Interval{0x1000000 + (I % 16) * 0x10000,
+                                       0x1000000 + (I % 16 + 1) * 0x10000});
+      benchmark::DoNotOptimize(P);
+    }
+  }
+}
+BENCHMARK(BM_AllocatorConstrained);
+
+void BM_RewriteA1(benchmark::State &State) {
+  const workload::Workload &W = microWorkload();
+  auto Dis = frontend::linearDisassemble(W.Image);
+  auto Locs = frontend::selectJumps(Dis.Insns);
+  for (auto _ : State) {
+    frontend::RewriteOptions RO;
+    RO.Patch.Spec.Kind = core::TrampolineKind::Empty;
+    RO.ExtraReserved.push_back(lowfat::heapReservation());
+    auto Out = frontend::rewrite(W.Image, Locs, RO);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Locs.size()));
+}
+BENCHMARK(BM_RewriteA1);
+
+void BM_VmInterpreter(benchmark::State &State) {
+  const workload::Workload &W = microWorkload();
+  uint64_t Insns = 0;
+  for (auto _ : State) {
+    auto R = workload::runImage(W.Image);
+    Insns += R.Result.InsnCount;
+    benchmark::DoNotOptimize(R.Rax);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insns));
+}
+BENCHMARK(BM_VmInterpreter);
+
+} // namespace
+
+BENCHMARK_MAIN();

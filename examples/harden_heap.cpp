@@ -1,0 +1,97 @@
+//===- examples/harden_heap.cpp - §6.3 heap write hardening ----*- C++ -*-===//
+//
+// Binary heap-write hardening with low-fat pointers (paper §6.3): rewrite
+// every heap-pointer write to bounds-check its target against the 16-byte
+// redzones that the LowFat allocator places between objects. The demo
+// program contains a one-slot heap overflow; unhardened it corrupts a
+// neighbouring allocation silently, hardened it aborts at the exact
+// offending store.
+//
+// Run: ./harden_heap
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "support/Format.h"
+#include "vm/Hooks.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+
+#include <cstdio>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+int main() {
+  std::printf("harden_heap: LowFat redzone checks injected into a stripped "
+              "binary\n\n");
+
+  WorkloadConfig C;
+  C.Name = "victim";
+  C.Seed = 2024;
+  C.NumFuncs = 8;
+  C.MainIters = 2;
+  C.HeapBug = true; // plants a one-slot overflow
+  Workload W = generateWorkload(C);
+  std::printf("generated victim binary: %zu bytes of code, planted "
+              "overflow at %s\n",
+              W.Image.textSegment()->Bytes.size(),
+              hex(W.BugSiteAddr).c_str());
+
+  // 1. Unhardened run: completes, silently corrupting the neighbour.
+  RunOutcome Plain = runImage(W.Image);
+  std::printf("\nunhardened run: %s (result %llx)\n",
+              Plain.ok() ? "finished normally - corruption UNDETECTED"
+                         : Plain.Result.Error.c_str(),
+              (unsigned long long)Plain.Rax);
+
+  // 2. Harden: instrument all heap-pointer writes with the redzone check.
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectHeapWrites(D.Insns);
+  RewriteOptions Opts;
+  Opts.Patch.Spec.Kind = core::TrampolineKind::LowFatCheck;
+  Opts.Patch.Spec.HookAddr = vm::HookLowFatCheck;
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  auto Out = rewrite(W.Image, Locs, Opts);
+  if (!Out.isOk()) {
+    std::printf("rewrite failed: %s\n", Out.reason().c_str());
+    return 1;
+  }
+  std::printf("\nhardened %zu heap-write sites "
+              "(Base %.1f%%, T1 %.1f%%, T2 %.1f%%, T3 %.1f%%, "
+              "coverage %.2f%%)\n",
+              Out->Stats.NLoc, Out->Stats.basePct(),
+              Out->Stats.pct(core::Tactic::T1),
+              Out->Stats.pct(core::Tactic::T2),
+              Out->Stats.pct(core::Tactic::T3), Out->Stats.succPct());
+
+  // 3. Hardened run on the LowFat heap: the overflow hits the next slot's
+  //    redzone and aborts the program at the offending write.
+  RunConfig LF;
+  LF.UseLowFat = true;
+  RunOutcome Hardened = runImage(Out->Rewritten, LF);
+  std::printf("\nhardened run: %s\n",
+              Hardened.ok() ? "finished (overflow NOT caught?!)"
+                            : Hardened.Result.Error.c_str());
+
+  // 4. Count-only policy (monitoring instead of aborting).
+  RunConfig Count = LF;
+  Count.AbortOnViolation = false;
+  RunOutcome Counted = runImage(Out->Rewritten, Count);
+  std::printf("count-only policy: finished=%s, %llu redzone violation(s) "
+              "recorded\n",
+              Counted.ok() ? "yes" : "no",
+              (unsigned long long)Counted.LowFatViolations);
+
+  bool Demo = Plain.ok() && !Hardened.ok() &&
+              Hardened.Result.Error.find("redzone") != std::string::npos &&
+              Counted.LowFatViolations >= 1;
+  std::printf("\n%s\n", Demo ? "OK: the overflow is invisible unhardened "
+                               "and caught when hardened."
+                             : "demo did not behave as expected");
+  return Demo ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+//===- examples/jump_census.cpp - A1 per-site jump counting ----*- C++ -*-===//
+//
+// The basic-block-counting analog (paper application A1): give every
+// jmp/jcc instruction its own counter slot, rewrite, run, and print the
+// hottest branches. Uses the per-site trampoline-spec API — each location
+// gets a Counter trampoline pointing at a distinct slot.
+//
+// Run: ./jump_census
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Runtime.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "support/Format.h"
+#include "vm/Loader.h"
+#include "workload/Gen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+int main() {
+  std::printf("jump_census: per-site branch counters via static "
+              "rewriting\n\n");
+
+  WorkloadConfig C;
+  C.Name = "census";
+  C.Seed = 7;
+  C.NumFuncs = 10;
+  C.MainIters = 5;
+  Workload W = generateWorkload(C);
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  std::printf("found %zu jmp/jcc instructions in %zu decoded "
+              "instructions\n",
+              Locs.size(), D.Insns.size());
+
+  // One counter slot per site.
+  uint64_t CounterBase = addCounterSegment(W.Image);
+  std::map<uint64_t, uint64_t> SlotOf;
+  for (size_t I = 0; I != Locs.size(); ++I)
+    SlotOf[Locs[I]] = CounterBase + I * 8;
+
+  RewriteOptions Opts;
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  Opts.SpecFor = [&](uint64_t Addr) {
+    core::TrampolineSpec S;
+    S.Kind = core::TrampolineKind::Counter;
+    S.CounterAddr = SlotOf.at(Addr);
+    return S;
+  };
+  auto Out = rewrite(W.Image, Locs, Opts);
+  if (!Out.isOk()) {
+    std::printf("rewrite failed: %s\n", Out.reason().c_str());
+    return 1;
+  }
+  std::printf("rewrote with coverage %.2f%% "
+              "(Base %.1f%% / T1 %.1f%% / T2 %.1f%% / T3 %.1f%%)\n\n",
+              Out->Stats.succPct(), Out->Stats.basePct(),
+              Out->Stats.pct(core::Tactic::T1),
+              Out->Stats.pct(core::Tactic::T2),
+              Out->Stats.pct(core::Tactic::T3));
+
+  // Run the instrumented binary and harvest the counters.
+  vm::Vm V;
+  lowfat::PlainHeap Heap;
+  lowfat::installPlainHeap(V, Heap);
+  auto L = vm::load(V, Out->Rewritten);
+  if (!L.isOk()) {
+    std::printf("load failed: %s\n", L.reason().c_str());
+    return 1;
+  }
+  auto R = V.run(50'000'000);
+  if (!R.ok()) {
+    std::printf("run failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> Census; // (count, addr)
+  uint64_t Total = 0;
+  for (const auto &[Addr, Slot] : SlotOf) {
+    uint64_t N = 0;
+    (void)V.Mem.read64(Slot, N);
+    Census.emplace_back(N, Addr);
+    Total += N;
+  }
+  std::sort(Census.rbegin(), Census.rend());
+
+  std::printf("executed %llu instructions; %llu branch visits recorded\n\n",
+              (unsigned long long)R.InsnCount, (unsigned long long)Total);
+  std::printf("hottest branches:\n");
+  std::printf("  %-12s %-6s %10s\n", "address", "kind", "visits");
+  for (size_t I = 0; I != Census.size() && I < 10; ++I) {
+    const x86::Insn *Insn = nullptr;
+    for (const x86::Insn &X : D.Insns)
+      if (X.Address == Census[I].second) {
+        Insn = &X;
+        break;
+      }
+    const char *Kind = !Insn ? "?"
+                       : Insn->isJmpRel8() || Insn->isJmpRel32()
+                           ? "jmp"
+                           : "jcc";
+    std::printf("  %-12s %-6s %10llu\n", hex(Census[I].second).c_str(),
+                Kind, (unsigned long long)Census[I].first);
+  }
+
+  bool Ok = Total > 0;
+  std::printf("\n%s\n", Ok ? "OK: census collected from a statically "
+                             "rewritten stripped binary."
+                           : "no branch visits recorded?!");
+  return Ok ? 0 : 1;
+}

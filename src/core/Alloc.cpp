@@ -1,0 +1,62 @@
+//===- core/Alloc.cpp -----------------------------------------*- C++ -*-===//
+
+#include "core/Alloc.h"
+
+#include <cassert>
+
+using namespace e9;
+using namespace e9::core;
+
+namespace {
+constexpr uint64_t PageSize = 4096;
+
+uint64_t alignUp(uint64_t V, uint64_t A) { return (V + A - 1) / A * A; }
+} // namespace
+
+std::optional<uint64_t> Allocator::allocate(uint64_t Size,
+                                            const Interval &Bound) {
+  if (Size == 0 || Bound.empty())
+    return std::nullopt;
+
+  // Pass 1: extend an open bump zone whose cursor starts inside the
+  // bound. This packs trampolines with compatible constraints into the
+  // same virtual pages. Only the start address is constrained by the pun
+  // window; the extent may run past it.
+  if (PackingEnabled) {
+    for (Zone &Z : Zones) {
+      uint64_t At = Z.Cur;
+      if (At < Bound.Lo || At >= Bound.Hi || At + Size > Z.End)
+        continue;
+      if (Used.overlaps(At, At + Size))
+        continue;
+      Z.Cur = At + Size;
+      Used.insert(At, At + Size);
+      Allocs.emplace(At, Size);
+      AllocatedBytes += Size;
+      return At;
+    }
+  }
+
+  // Pass 2: lowest free start inside the bound; open a fresh zone
+  // covering the rest of the page for future packing.
+  std::optional<uint64_t> At = Used.findFreeStart(Bound, Size);
+  if (!At.has_value())
+    return std::nullopt;
+  Used.insert(*At, *At + Size);
+  Allocs.emplace(*At, Size);
+  AllocatedBytes += Size;
+  uint64_t ZoneEnd = alignUp(*At + Size, PageSize);
+  if (ZoneEnd > *At + Size)
+    Zones.push_back(Zone{*At + Size, ZoneEnd});
+  return At;
+}
+
+void Allocator::free(uint64_t Addr, uint64_t Size) {
+  auto It = Allocs.find(Addr);
+  assert(It != Allocs.end() && It->second == Size &&
+         "freeing an unknown allocation");
+  (void)Size;
+  Used.erase(Addr, Addr + It->second);
+  AllocatedBytes -= It->second;
+  Allocs.erase(It);
+}

@@ -1,0 +1,161 @@
+//===- core/Grouping.cpp --------------------------------------*- C++ -*-===//
+
+#include "core/Grouping.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace e9;
+using namespace e9::core;
+
+namespace {
+
+constexpr uint64_t PageSize = 4096;
+
+/// Byte-occupancy of one virtual block.
+struct BlockOcc {
+  uint64_t BaseAddr = 0;
+  std::vector<uint64_t> Mask; ///< 1 bit per byte within the block.
+  std::vector<uint8_t> Bytes; ///< Block-sized content (occupied bytes set).
+
+  bool disjointWith(const BlockOcc &O) const {
+    for (size_t I = 0; I != Mask.size(); ++I)
+      if (Mask[I] & O.Mask[I])
+        return false;
+    return true;
+  }
+
+  void mergeFrom(const BlockOcc &O) {
+    for (size_t I = 0; I != Mask.size(); ++I) {
+      assert((Mask[I] & O.Mask[I]) == 0 && "merging overlapping blocks");
+      Mask[I] |= O.Mask[I];
+    }
+    for (size_t I = 0; I != Bytes.size(); ++I)
+      if (O.Mask[I / 64] & (1ull << (I % 64)))
+        Bytes[I] = O.Bytes[I];
+  }
+};
+
+/// Splits the trampoline chunks into per-block occupancy records
+/// (trampolines spanning a boundary become two mini-trampolines).
+std::map<uint64_t, BlockOcc> collectBlocks(
+    const std::vector<TrampolineChunk> &Chunks, uint64_t BlockSize) {
+  std::map<uint64_t, BlockOcc> Blocks;
+  for (const TrampolineChunk &C : Chunks) {
+    size_t Done = 0;
+    while (Done < C.Bytes.size()) {
+      uint64_t A = C.Addr + Done;
+      uint64_t Base = A / BlockSize * BlockSize;
+      uint64_t Off = A - Base;
+      size_t N = std::min<size_t>(BlockSize - Off, C.Bytes.size() - Done);
+      BlockOcc &B = Blocks[Base];
+      if (B.Mask.empty()) {
+        B.BaseAddr = Base;
+        B.Mask.assign((BlockSize + 63) / 64, 0);
+        B.Bytes.assign(BlockSize, 0);
+      }
+      for (size_t I = 0; I != N; ++I) {
+        uint64_t Bit = Off + I;
+        assert((B.Mask[Bit / 64] & (1ull << (Bit % 64))) == 0 &&
+               "trampolines overlap within a block");
+        B.Mask[Bit / 64] |= 1ull << (Bit % 64);
+        B.Bytes[Off + I] = C.Bytes[Done + I];
+      }
+      Done += N;
+    }
+  }
+  return Blocks;
+}
+
+/// Coalesces mappings adjacent in both virtual space and block offsets.
+size_t coalescedCount(std::vector<elf::Mapping> &Mappings) {
+  std::sort(Mappings.begin(), Mappings.end(),
+            [](const elf::Mapping &A, const elf::Mapping &B) {
+              return A.VAddr < B.VAddr;
+            });
+  std::vector<elf::Mapping> Out;
+  for (const elf::Mapping &M : Mappings) {
+    if (!Out.empty()) {
+      elf::Mapping &P = Out.back();
+      if (P.BlockIndex == M.BlockIndex && P.VAddr + P.Size == M.VAddr &&
+          P.Offset + P.Size == M.Offset && P.Flags == M.Flags) {
+        P.Size += M.Size;
+        continue;
+      }
+    }
+    Out.push_back(M);
+  }
+  Mappings = std::move(Out);
+  return Mappings.size();
+}
+
+} // namespace
+
+GroupingResult core::groupPages(const std::vector<TrampolineChunk> &Chunks,
+                                const GroupingOptions &Opts) {
+  GroupingResult R;
+  uint64_t BlockSize = static_cast<uint64_t>(Opts.M) * PageSize;
+  std::map<uint64_t, BlockOcc> Blocks = collectBlocks(Chunks, BlockSize);
+  R.VirtualBlocks = Blocks.size();
+
+  if (!Opts.Enabled) {
+    // Naive one-to-one backing: all blocks laid out contiguously in one
+    // physical region, in virtual order (file-backed contiguity lets
+    // adjacent mappings coalesce, as a plain mmap of the file would).
+    elf::PhysBlock PB;
+    for (auto &[Base, B] : Blocks) {
+      elf::Mapping M;
+      M.VAddr = Base;
+      M.BlockIndex = 0;
+      M.Flags = elf::PF_R | elf::PF_X;
+      M.Offset = PB.Bytes.size();
+      M.Size = BlockSize;
+      R.Mappings.push_back(M);
+      PB.Bytes.insert(PB.Bytes.end(), B.Bytes.begin(), B.Bytes.end());
+    }
+    R.PhysBytes = PB.Bytes.size();
+    if (!PB.Bytes.empty())
+      R.Blocks.push_back(std::move(PB));
+    R.MappingCount = coalescedCount(R.Mappings);
+    return R;
+  }
+
+  // Greedy first-fit partitioning: place each block into the first group
+  // whose occupancy is disjoint; else open a new group.
+  std::vector<BlockOcc> Groups;
+  std::vector<std::vector<uint64_t>> Members;
+  for (auto &[Base, B] : Blocks) {
+    bool Placed = false;
+    for (size_t G = 0; G != Groups.size(); ++G) {
+      if (!Groups[G].disjointWith(B))
+        continue;
+      Groups[G].mergeFrom(B);
+      Members[G].push_back(Base);
+      Placed = true;
+      break;
+    }
+    if (!Placed) {
+      Groups.push_back(B);
+      Members.push_back({Base});
+    }
+  }
+
+  for (size_t G = 0; G != Groups.size(); ++G) {
+    elf::PhysBlock PB;
+    PB.Bytes = std::move(Groups[G].Bytes);
+    R.Blocks.push_back(std::move(PB));
+    for (uint64_t Base : Members[G]) {
+      elf::Mapping M;
+      M.VAddr = Base;
+      M.BlockIndex = static_cast<uint32_t>(G);
+      M.Flags = elf::PF_R | elf::PF_X;
+      M.Offset = 0;
+      M.Size = BlockSize;
+      R.Mappings.push_back(M);
+    }
+    R.PhysBytes += BlockSize;
+  }
+  R.MappingCount = coalescedCount(R.Mappings);
+  return R;
+}

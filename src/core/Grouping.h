@@ -1,0 +1,53 @@
+//===- core/Grouping.h - Physical page grouping ----------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Physical page grouping (paper §4): trampolines are scattered across
+/// sparsely-used virtual pages; grouping merges blocks of M consecutive
+/// pages whose trampoline occupancy is disjoint (relative to the block
+/// base) into one shared physical block that is mapped at every member's
+/// virtual address. This cuts physical memory and file size by up to
+/// orders of magnitude, at the price of more (non-coalescable) mappings;
+/// M trades mapping count against physical bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_CORE_GROUPING_H
+#define E9_CORE_GROUPING_H
+
+#include "core/Patcher.h"
+#include "elf/Image.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace e9 {
+namespace core {
+
+/// Linux default vm.max_map_count; grouping output is compared against it.
+inline constexpr size_t DefaultMaxMapCount = 65536;
+
+struct GroupingOptions {
+  bool Enabled = true; ///< false = naive one-to-one physical backing.
+  unsigned M = 1;      ///< Block granularity in pages (1 = most aggressive).
+};
+
+struct GroupingResult {
+  std::vector<elf::PhysBlock> Blocks;
+  std::vector<elf::Mapping> Mappings;
+  uint64_t PhysBytes = 0;     ///< Physical bytes emitted (RAM/file cost).
+  size_t VirtualBlocks = 0;   ///< Occupied virtual blocks before merging.
+  size_t MappingCount = 0;    ///< Mappings after coalescing.
+};
+
+/// Partitions the trampoline chunks into shared physical blocks.
+GroupingResult groupPages(const std::vector<TrampolineChunk> &Chunks,
+                          const GroupingOptions &Opts);
+
+} // namespace core
+} // namespace e9
+
+#endif // E9_CORE_GROUPING_H

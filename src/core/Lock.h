@@ -1,0 +1,69 @@
+//===- core/Lock.h - Byte lock state (strategy S1) -------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reverse-order patching strategy (paper §3.4) maintains a Boolean
+/// lock state over instruction bytes: a byte is locked once it has been
+/// (1) modified by a patch, or (2) used as part of a punned jump encoding.
+/// Tactics may only modify unlocked bytes. A separate "modified" set
+/// distinguishes bytes whose *values* changed (eviction candidates must
+/// still be original instructions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_CORE_LOCK_H
+#define E9_CORE_LOCK_H
+
+#include "support/IntervalSet.h"
+
+namespace e9 {
+namespace core {
+
+/// Byte-granular lock + modification tracking.
+class LockState {
+public:
+  bool isLocked(uint64_t Addr) const { return Locked.contains(Addr); }
+  bool anyLocked(uint64_t Lo, uint64_t Hi) const {
+    return Locked.overlaps(Lo, Hi);
+  }
+  void lock(uint64_t Lo, uint64_t Hi) { Locked.insert(Lo, Hi); }
+  void unlock(uint64_t Lo, uint64_t Hi) { Locked.erase(Lo, Hi); }
+
+  /// Locks [Lo, Hi), appending only the *newly* locked subranges to
+  /// \p Added so a transaction rollback never unlocks older locks.
+  void lockRecordNew(uint64_t Lo, uint64_t Hi, std::vector<Interval> &Added) {
+    size_t Mark = Added.size();
+    Locked.missingRanges(Lo, Hi, Added);
+    for (size_t I = Mark; I != Added.size(); ++I)
+      Locked.insert(Added[I]);
+  }
+
+  /// Same for the modified set.
+  void markModifiedRecordNew(uint64_t Lo, uint64_t Hi,
+                             std::vector<Interval> &Added) {
+    size_t Mark = Added.size();
+    Modified.missingRanges(Lo, Hi, Added);
+    for (size_t I = Mark; I != Added.size(); ++I)
+      Modified.insert(Added[I]);
+  }
+
+  bool anyModified(uint64_t Lo, uint64_t Hi) const {
+    return Modified.overlaps(Lo, Hi);
+  }
+  void markModified(uint64_t Lo, uint64_t Hi) { Modified.insert(Lo, Hi); }
+  void unmarkModified(uint64_t Lo, uint64_t Hi) { Modified.erase(Lo, Hi); }
+
+  uint64_t lockedBytes() const { return Locked.totalSize(); }
+
+private:
+  IntervalSet Locked;
+  IntervalSet Modified;
+};
+
+} // namespace core
+} // namespace e9
+
+#endif // E9_CORE_LOCK_H

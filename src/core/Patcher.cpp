@@ -1,0 +1,421 @@
+//===- core/Patcher.cpp ---------------------------------------*- C++ -*-===//
+
+#include "core/Patcher.h"
+
+#include "core/Pun.h"
+#include "support/Format.h"
+#include "vm/Hooks.h" // address-space constants only (header-only)
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace e9;
+using namespace e9::core;
+using namespace e9::x86;
+
+const char *core::tacticName(Tactic T) {
+  static const char *const Names[] = {"B1", "B2", "T1", "T2",
+                                      "T3", "B0", "failed"};
+  return Names[static_cast<size_t>(T)];
+}
+
+void core::reserveDefaultRegions(Allocator &Alloc, const elf::Image &Img) {
+  constexpr uint64_t Page = 4096;
+  // NULL page and low memory (mmap_min_addr analog).
+  Alloc.reserve(0, 0x10000);
+  // Every image segment, page-rounded, plus one guard page on each side.
+  for (const elf::Segment &S : Img.Segments) {
+    uint64_t Lo = S.VAddr / Page * Page;
+    uint64_t Hi = (S.endAddr() + Page - 1) / Page * Page;
+    Alloc.reserve(Lo - Page, Hi + Page);
+  }
+  // VM hook/exit region and the stack area.
+  Alloc.reserve(vm::HookRegionStart, vm::HookRegionEnd);
+  Alloc.reserve(0x7fff00000000ULL, 1ull << 47);
+  // Non-canonical space (also catches negative-offset targets that wrap).
+  Alloc.reserve(1ull << 47, UINT64_MAX);
+}
+
+Patcher::Patcher(elf::Image &Img, std::vector<Insn> Insns, PatchOptions Opts)
+    : Img(Img), Insns(std::move(Insns)), Opts(std::move(Opts)) {
+  std::sort(this->Insns.begin(), this->Insns.end(),
+            [](const Insn &A, const Insn &B) { return A.Address < B.Address; });
+  for (size_t I = 0; I != this->Insns.size(); ++I)
+    InsnIndex.emplace(this->Insns[I].Address, I);
+  Alloc.PackingEnabled = this->Opts.AllocPacking;
+  reserveDefaultRegions(Alloc, Img);
+}
+
+const Insn *Patcher::insnAt(uint64_t Addr) const {
+  auto It = InsnIndex.find(Addr);
+  return It == InsnIndex.end() ? nullptr : &Insns[It->second];
+}
+
+const Insn *Patcher::nextInsn(const Insn &I) const {
+  return insnAt(I.Address + I.Length);
+}
+
+bool Patcher::writeBytes(Txn &T, uint64_t Addr, const uint8_t *Bytes,
+                         size_t N) {
+  std::vector<uint8_t> Old(N);
+  if (!Img.readBytes(Addr, Old.data(), N))
+    return false;
+  if (!Img.writeBytes(Addr, Bytes, N))
+    return false;
+  T.OldBytes.emplace_back(Addr, std::move(Old));
+  Locks.markModifiedRecordNew(Addr, Addr + N, T.ModifiedAdded);
+  return true;
+}
+
+void Patcher::rollback(Txn &T) {
+  for (auto It = T.OldBytes.rbegin(); It != T.OldBytes.rend(); ++It) {
+    [[maybe_unused]] Status S =
+        Img.writeBytes(It->first, It->second.data(), It->second.size());
+    assert(S.isOk() && "rollback write must succeed");
+  }
+  for (const Interval &I : T.LocksAdded)
+    Locks.unlock(I.Lo, I.Hi);
+  for (const Interval &I : T.ModifiedAdded)
+    Locks.unmarkModified(I.Lo, I.Hi);
+  for (auto It = T.AllocsAdded.rbegin(); It != T.AllocsAdded.rend(); ++It)
+    Alloc.free(It->first, It->second);
+  Chunks.resize(T.ChunksMark);
+  T = Txn();
+  T.ChunksMark = Chunks.size();
+}
+
+std::optional<Patcher::JumpInstall>
+Patcher::installJump(Txn &T, uint64_t JumpAddr, uint64_t WritableEnd,
+                     unsigned MinPads, unsigned MaxPads,
+                     const TrampolineSpec &Spec, const Insn &Displaced,
+                     const uint8_t *DisplacedBytes) {
+  unsigned TrampSize = trampolineSize(Spec, Displaced);
+  if (TrampSize == 0)
+    return std::nullopt;
+
+  // Original bytes of the displaced instruction.
+  uint8_t Orig[MaxInsnLength];
+  if (DisplacedBytes)
+    std::memcpy(Orig, DisplacedBytes, Displaced.Length);
+  else if (!Img.readBytes(Displaced.Address, Orig, Displaced.Length))
+    return std::nullopt;
+
+  for (unsigned Pads = MinPads; Pads <= MaxPads; ++Pads) {
+    uint64_t RelField = JumpAddr + Pads + 1;
+    if (RelField > WritableEnd)
+      break; // Opcode no longer inside the writable zone.
+
+    // Current values of the four potential rel32 bytes; positions inside
+    // the writable zone will be overwritten and may read as anything.
+    uint8_t Rel32Bytes[4] = {0, 0, 0, 0};
+    bool Readable = true;
+    for (unsigned B = 0; B != 4; ++B) {
+      uint64_t A = RelField + B;
+      if (A < WritableEnd)
+        continue; // Free byte.
+      if (!Img.readBytes(A, &Rel32Bytes[B], 1)) {
+        Readable = false;
+        break;
+      }
+    }
+    if (!Readable)
+      continue;
+
+    auto Range = punTargetRange(JumpAddr, Pads, WritableEnd, Rel32Bytes);
+    if (!Range.has_value())
+      continue;
+
+    // The bytes we are about to modify must all be unlocked.
+    uint64_t WriteEnd = RelField + Range->FreeBytes;
+    if (Locks.anyLocked(JumpAddr, WriteEnd))
+      break; // The write range only grows with more padding.
+
+    auto Tramp = Alloc.allocate(TrampSize, Range->Targets);
+    if (!Tramp.has_value())
+      continue;
+    T.AllocsAdded.emplace_back(*Tramp, TrampSize);
+
+    auto Bytes = buildTrampoline(Spec, Displaced, Orig, *Tramp);
+    if (!Bytes.isOk()) {
+      Alloc.free(*Tramp, TrampSize);
+      T.AllocsAdded.pop_back();
+      continue;
+    }
+    Chunks.push_back(TrampolineChunk{*Tramp, Bytes.take()});
+
+    // Encode: pads, e9, then the free low rel32 bytes.
+    int32_t Rel = Range->relFor(*Tramp);
+    assert((Range->FreeBytes == 4 ||
+            (static_cast<uint32_t>(Rel) >> (8 * Range->FreeBytes)) ==
+                (Range->Fixed >> (8 * Range->FreeBytes))) &&
+           "pun arithmetic mismatch");
+    uint8_t Enc[MaxInsnLength];
+    unsigned N = 0;
+    for (unsigned P = 0; P != Pads; ++P)
+      Enc[N++] = JumpPadBytes[P % MaxJumpPads];
+    Enc[N++] = 0xe9;
+    for (unsigned B = 0; B != Range->FreeBytes; ++B)
+      Enc[N++] = static_cast<uint8_t>(static_cast<uint32_t>(Rel) >> (8 * B));
+    if (!writeBytes(T, JumpAddr, Enc, N)) {
+      // Undo only this attempt; the txn may hold earlier tactic steps.
+      Chunks.pop_back();
+      Alloc.free(*Tramp, TrampSize);
+      T.AllocsAdded.pop_back();
+      continue;
+    }
+    // Lock the full (padded) jump encoding: modified + punned bytes.
+    Locks.lockRecordNew(JumpAddr, JumpAddr + Pads + 5, T.LocksAdded);
+    return JumpInstall{*Tramp, Pads, Range->FreeBytes};
+  }
+  return std::nullopt;
+}
+
+TrampolineSpec Patcher::victimSpec(const Insn &Victim, bool &IsRescue) const {
+  auto It = FailedSpecs.find(Victim.Address);
+  if (It != FailedSpecs.end()) {
+    IsRescue = true;
+    return It->second;
+  }
+  IsRescue = false;
+  TrampolineSpec S;
+  S.Kind = TrampolineKind::Evictee;
+  return S;
+}
+
+void Patcher::noteRescue(uint64_t VictimAddr, Tactic Via, uint64_t TrampAddr) {
+  FailedSites.erase(VictimAddr);
+  FailedSpecs.erase(VictimAddr);
+  assert(Stats.Count[static_cast<size_t>(Tactic::Failed)] > 0);
+  --Stats.Count[static_cast<size_t>(Tactic::Failed)];
+  ++Stats.Count[static_cast<size_t>(Via)];
+  ++Stats.Rescued;
+  auto It = ResultIndex.find(VictimAddr);
+  if (It != ResultIndex.end()) {
+    Results[It->second].Used = Via;
+    Results[It->second].TrampolineAddr = TrampAddr;
+  }
+}
+
+Tactic Patcher::tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
+                          uint64_t &TrampAddr) {
+  const Insn *I = insnAt(Addr);
+  assert(I && "tryDirect requires a known instruction");
+  unsigned MaxPads =
+      Opts.EnableT1 ? std::min<unsigned>(MaxJumpPads, I->Length - 1) : 0;
+  Txn T;
+  T.ChunksMark = Chunks.size();
+  auto J = installJump(T, Addr, Addr + I->Length, 0, MaxPads, Spec, *I);
+  if (!J.has_value())
+    return Tactic::Failed;
+  TrampAddr = J->TrampAddr;
+  if (J->Pads > 0)
+    return Tactic::T1;
+  return I->Length >= 5 ? Tactic::B1 : Tactic::B2;
+}
+
+bool Patcher::tryT2(uint64_t Addr, const TrampolineSpec &Spec,
+                    uint64_t &TrampAddr) {
+  const Insn *I = insnAt(Addr);
+  const Insn *S = nextInsn(*I);
+  if (!S)
+    return false;
+  // The successor must still be the original instruction.
+  if (Locks.anyModified(S->Address, S->Address + S->Length))
+    return false;
+
+  Txn T;
+  T.ChunksMark = Chunks.size();
+
+  bool Rescue = false;
+  TrampolineSpec VS = victimSpec(*S, Rescue);
+  auto Evict = installJump(T, S->Address, S->Address + S->Length, 0,
+                           std::min<unsigned>(MaxJumpPads, S->Length - 1), VS,
+                           *S);
+  if (!Evict.has_value() && Rescue) {
+    // The pending patch spec may not apply to the victim; fall back to a
+    // plain evictee trampoline.
+    Rescue = false;
+    VS.Kind = TrampolineKind::Evictee;
+    VS.Raw.clear();
+    Evict = installJump(T, S->Address, S->Address + S->Length, 0,
+                        std::min<unsigned>(MaxJumpPads, S->Length - 1), VS,
+                        *S);
+  }
+  if (!Evict.has_value())
+    return false;
+
+  unsigned MaxPads =
+      Opts.EnableT1 ? std::min<unsigned>(MaxJumpPads, I->Length - 1) : 0;
+  auto J = installJump(T, Addr, Addr + I->Length, 0, MaxPads, Spec, *I);
+  if (!J.has_value()) {
+    rollback(T);
+    return false;
+  }
+  ++Stats.Evictions;
+  if (Rescue)
+    noteRescue(S->Address, Tactic::T2, Evict->TrampAddr);
+  TrampAddr = J->TrampAddr;
+  return true;
+}
+
+bool Patcher::tryT3(uint64_t Addr, const TrampolineSpec &Spec,
+                    uint64_t &TrampAddr) {
+  const Insn *I = insnAt(Addr);
+  unsigned L = I->Length;
+
+  // JShort is `eb rel8` at the patch location. For one-byte instructions
+  // the rel8 operand is punned against the successor's first byte, fixing
+  // the one possible JPatch position (paper limitation L2).
+  bool FixedRel = L < 2;
+  uint8_t FixedRel8 = 0;
+  if (FixedRel) {
+    if (!Img.readBytes(Addr + 1, &FixedRel8, 1))
+      return false;
+    if (FixedRel8 > 0x7f)
+      return false; // Negative / backward short jumps are excluded (S1).
+  }
+  if (Locks.anyLocked(Addr, Addr + 2))
+    return false;
+
+  // Walk forward victims within short-jump range.
+  const Insn *V = nextInsn(*I);
+  while (V != nullptr && V->Address <= Addr + 2 + 127) {
+    if (V->Length < 2 ||
+        Locks.anyModified(V->Address, V->Address + V->Length)) {
+      V = nextInsn(*V);
+      continue;
+    }
+    for (unsigned J = 1; J < V->Length; ++J) {
+      uint64_t JPatchPos = V->Address + J;
+      int64_t Rel8 = static_cast<int64_t>(JPatchPos) -
+                     static_cast<int64_t>(Addr + 2);
+      if (Rel8 < 0)
+        continue;
+      if (Rel8 > 127)
+        break;
+      if (FixedRel && Rel8 != FixedRel8)
+        continue;
+
+      Txn T;
+      T.ChunksMark = Chunks.size();
+
+      // Capture the victim's original bytes before JPatch overwrites its
+      // tail: the evictee trampoline must displace the *original* victim.
+      uint8_t VictimBytes[MaxInsnLength];
+      if (!Img.readBytes(V->Address, VictimBytes, V->Length))
+        break;
+
+      // JPatch: punned jump inside the victim, to the patch trampoline.
+      auto JP = installJump(T, JPatchPos, V->Address + V->Length, 0,
+                            std::min<unsigned>(MaxJumpPads,
+                                               V->Length - J - 1),
+                            Spec, *I);
+      if (!JP.has_value()) {
+        rollback(T);
+        continue;
+      }
+
+      // JVictim: replacement jump for the victim, punned against JPatch.
+      bool Rescue = false;
+      TrampolineSpec VS = victimSpec(*V, Rescue);
+      auto JV = installJump(T, V->Address, JPatchPos, 0,
+                            std::min<unsigned>(MaxJumpPads, J - 1), VS, *V,
+                            VictimBytes);
+      if (!JV.has_value() && Rescue) {
+        Rescue = false;
+        VS.Kind = TrampolineKind::Evictee;
+        VS.Raw.clear();
+        JV = installJump(T, V->Address, JPatchPos, 0,
+                         std::min<unsigned>(MaxJumpPads, J - 1), VS, *V,
+                         VictimBytes);
+      }
+      if (!JV.has_value()) {
+        rollback(T);
+        continue;
+      }
+
+      // JShort at the patch location.
+      if (!FixedRel) {
+        uint8_t Enc[2] = {0xeb, static_cast<uint8_t>(Rel8)};
+        if (!writeBytes(T, Addr, Enc, 2)) {
+          rollback(T);
+          continue;
+        }
+      } else {
+        uint8_t Enc = 0xeb;
+        if (!writeBytes(T, Addr, &Enc, 1)) {
+          rollback(T);
+          continue;
+        }
+      }
+      Locks.lockRecordNew(Addr, Addr + 2, T.LocksAdded);
+
+      ++Stats.Evictions;
+      if (Rescue)
+        noteRescue(V->Address, Tactic::T3, JV->TrampAddr);
+      TrampAddr = JP->TrampAddr;
+      return true;
+    }
+    V = nextInsn(*V);
+  }
+  return false;
+}
+
+bool Patcher::tryB0(uint64_t Addr) {
+  const Insn *I = insnAt(Addr);
+  if (Locks.isLocked(Addr))
+    return false;
+  std::vector<uint8_t> Orig(I->Length);
+  if (!Img.readBytes(Addr, Orig.data(), I->Length))
+    return false;
+  uint8_t Int3 = 0xcc;
+  Txn T;
+  T.ChunksMark = Chunks.size();
+  if (!writeBytes(T, Addr, &Int3, 1))
+    return false;
+  Locks.lockRecordNew(Addr, Addr + 1, T.LocksAdded);
+  B0Table.emplace(Addr, std::move(Orig));
+  return true;
+}
+
+Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
+  ++Stats.NLoc;
+  ResultIndex[Addr] = Results.size();
+  Results.push_back(PatchSiteResult{Addr, Tactic::Failed, 0});
+
+  Tactic Used = Tactic::Failed;
+  uint64_t TrampAddr = 0;
+  if (insnAt(Addr) != nullptr && Opts.ForceB0) {
+    if (tryB0(Addr))
+      Used = Tactic::B0;
+  } else if (insnAt(Addr) != nullptr) {
+    Used = tryDirect(Addr, Spec, TrampAddr);
+    if (Used == Tactic::Failed && Opts.EnableT2 &&
+        tryT2(Addr, Spec, TrampAddr))
+      Used = Tactic::T2;
+    if (Used == Tactic::Failed && Opts.EnableT3 &&
+        tryT3(Addr, Spec, TrampAddr))
+      Used = Tactic::T3;
+    if (Used == Tactic::Failed && Opts.B0Fallback && tryB0(Addr))
+      Used = Tactic::B0;
+    if (Used == Tactic::Failed) {
+      FailedSites.insert(Addr);
+      FailedSpecs.emplace(Addr, Spec);
+    }
+  }
+
+  ++Stats.Count[static_cast<size_t>(Used)];
+  Results[ResultIndex[Addr]].Used = Used;
+  Results[ResultIndex[Addr]].TrampolineAddr = TrampAddr;
+  return Used;
+}
+
+void Patcher::patchAll(const std::vector<uint64_t> &PatchLocs) {
+  // Strategy S1: strictly descending address order.
+  std::vector<uint64_t> Sorted(PatchLocs);
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It)
+    patchOne(*It, Opts.Spec);
+}

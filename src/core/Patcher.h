@@ -1,0 +1,203 @@
+//===- core/Patcher.h - Tactics B1/B2/T1/T2/T3 + strategy S1 ---*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The E9Patch rewriting engine (paper §3). For each patch location the
+/// tactics are tried in order:
+///
+///   B1/B2  direct (possibly punned) jump over the instruction,
+///   T1     padded punned jumps (redundant prefixes),
+///   T2     successor eviction, then retry the direct jump,
+///   T3     neighbour eviction: short jump -> JPatch inside an evicted
+///          victim, JVictim replacing the victim,
+///   B0     optional int3 fallback (signal-handler emulation).
+///
+/// Multiple locations are patched in reverse address order with a byte
+/// lock state (strategy S1), so puns only ever depend on bytes that are
+/// already final. Failed sites are remembered: when a later tactic evicts
+/// such a site as its victim, the eviction jump targets the site's *patch*
+/// trampoline, recovering its coverage (the paper's "victim may happen to
+/// be a patch location" case). Note that with the full tactic suite this
+/// rescue is mostly subsumed: our T1 pad search is exhaustive, so a
+/// JPatch/JVictim placement inside a failed victim explores the same pun
+/// windows the victim's own attempts already rejected. The rescue fires
+/// when tactics are restricted (e.g. T1 disabled), which the unit tests
+/// exercise deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_CORE_PATCHER_H
+#define E9_CORE_PATCHER_H
+
+#include "core/Alloc.h"
+#include "core/Lock.h"
+#include "core/Trampoline.h"
+#include "elf/Image.h"
+#include "x86/Insn.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace e9 {
+namespace core {
+
+/// Which methodology ended up patching a location.
+enum class Tactic : uint8_t { B1, B2, T1, T2, T3, B0, Failed };
+const char *tacticName(Tactic T);
+
+/// Rewriting configuration.
+struct PatchOptions {
+  bool EnableT1 = true;
+  bool EnableT2 = true;
+  bool EnableT3 = true;
+  bool B0Fallback = false;
+  /// Use int3 for every site, skipping the jump tactics entirely (the
+  /// paper's B0 signal-handler baseline).
+  bool ForceB0 = false;
+  /// Allocator zone packing (virtual page sharing). Disable only for the
+  /// ablation benchmark.
+  bool AllocPacking = true;
+  TrampolineSpec Spec; ///< Patch trampoline template for every location.
+};
+
+/// Per-binary patching statistics (Table 1 columns).
+struct PatchStats {
+  size_t NLoc = 0;
+  size_t Count[7] = {}; ///< Indexed by Tactic.
+  size_t Evictions = 0; ///< Evictee trampolines created (T2+T3).
+  size_t Rescued = 0;   ///< Failed sites recovered as eviction victims.
+
+  size_t count(Tactic T) const { return Count[static_cast<size_t>(T)]; }
+  size_t succeeded() const {
+    return NLoc - count(Tactic::Failed) - count(Tactic::B0);
+  }
+  double pct(Tactic T) const {
+    return NLoc == 0 ? 0.0 : 100.0 * static_cast<double>(count(T)) /
+                                 static_cast<double>(NLoc);
+  }
+  /// Base% = B1+B2 (the paper's "Base" column).
+  double basePct() const { return pct(Tactic::B1) + pct(Tactic::B2); }
+  double succPct() const {
+    return NLoc == 0 ? 100.0 : 100.0 * static_cast<double>(succeeded()) /
+                                   static_cast<double>(NLoc);
+  }
+};
+
+/// One emitted trampoline (or instrumentation payload) chunk.
+struct TrampolineChunk {
+  uint64_t Addr = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Result for one patch location.
+struct PatchSiteResult {
+  uint64_t Addr = 0;
+  Tactic Used = Tactic::Failed;
+  uint64_t TrampolineAddr = 0;
+};
+
+/// The rewriting engine. Operates on the image in place; trampoline bytes
+/// are collected as chunks for the emission/grouping stage.
+class Patcher {
+public:
+  /// \p Insns must be the decoded instructions of the executable region(s),
+  /// sorted by address (the frontend's linear disassembly).
+  Patcher(elf::Image &Img, std::vector<x86::Insn> Insns, PatchOptions Opts);
+
+  /// Address-space control: reserved regions default to the image's
+  /// segments, the NULL/guard area, the stack/hook regions and
+  /// non-canonical space; reserve more via allocator().
+  Allocator &allocator() { return Alloc; }
+
+  /// Patches every location (any order accepted) using strategy S1.
+  void patchAll(const std::vector<uint64_t> &PatchLocs);
+
+  /// Patches one location with a per-site trampoline spec. Sites must
+  /// still be visited in descending address order overall.
+  Tactic patchOne(uint64_t Addr, const TrampolineSpec &Spec);
+
+  const PatchStats &stats() const { return Stats; }
+  const std::vector<TrampolineChunk> &chunks() const { return Chunks; }
+  /// B0 side table: patch address -> original instruction bytes (consumed
+  /// by the VM trap handler).
+  const std::map<uint64_t, std::vector<uint8_t>> &b0Table() const {
+    return B0Table;
+  }
+  const std::vector<PatchSiteResult> &results() const { return Results; }
+
+private:
+  struct Txn {
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> OldBytes;
+    std::vector<Interval> LocksAdded;
+    std::vector<Interval> ModifiedAdded;
+    std::vector<std::pair<uint64_t, uint64_t>> AllocsAdded;
+    size_t ChunksMark = 0;
+  };
+
+  struct JumpInstall {
+    uint64_t TrampAddr = 0;
+    unsigned Pads = 0;
+    unsigned FreeBytes = 0;
+  };
+
+  const x86::Insn *insnAt(uint64_t Addr) const;
+  const x86::Insn *nextInsn(const x86::Insn &I) const;
+
+  /// Writes bytes into the image, recording the old content in the txn.
+  bool writeBytes(Txn &T, uint64_t Addr, const uint8_t *Bytes, size_t N);
+  void rollback(Txn &T);
+
+  /// Tries pad counts [MinPads, MaxPads]: allocate a trampoline reachable
+  /// by a (padded) punned jump at \p JumpAddr with writable zone ending at
+  /// \p WritableEnd, instantiate \p Spec for \p Displaced there, write the
+  /// jump bytes and lock the encoding. All effects recorded in \p T.
+  /// \p DisplacedBytes overrides the displaced instruction's bytes (needed
+  /// when the image copy has already been partially overwritten, as for a
+  /// T3 victim after JPatch is installed); nullptr reads from the image.
+  std::optional<JumpInstall>
+  installJump(Txn &T, uint64_t JumpAddr, uint64_t WritableEnd,
+              unsigned MinPads, unsigned MaxPads, const TrampolineSpec &Spec,
+              const x86::Insn &Displaced,
+              const uint8_t *DisplacedBytes = nullptr);
+
+  /// Spec used when evicting \p Victim: its own pending patch spec when it
+  /// is a failed patch site (rescue), else a plain evictee trampoline.
+  TrampolineSpec victimSpec(const x86::Insn &Victim, bool &IsRescue) const;
+  void noteRescue(uint64_t VictimAddr, Tactic Via, uint64_t TrampAddr);
+
+  Tactic tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
+                   uint64_t &TrampAddr);
+  bool tryT2(uint64_t Addr, const TrampolineSpec &Spec, uint64_t &TrampAddr);
+  bool tryT3(uint64_t Addr, const TrampolineSpec &Spec, uint64_t &TrampAddr);
+  bool tryB0(uint64_t Addr);
+
+  elf::Image &Img;
+  std::vector<x86::Insn> Insns;
+  std::unordered_map<uint64_t, size_t> InsnIndex;
+  PatchOptions Opts;
+  Allocator Alloc;
+  LockState Locks;
+  std::vector<TrampolineChunk> Chunks;
+  std::map<uint64_t, std::vector<uint8_t>> B0Table;
+  std::set<uint64_t> FailedSites;
+  std::map<uint64_t, TrampolineSpec> FailedSpecs;
+  std::map<uint64_t, size_t> ResultIndex;
+  std::vector<PatchSiteResult> Results;
+  PatchStats Stats;
+};
+
+/// Reserves the default unusable regions for \p Img in \p Alloc: every
+/// segment (with a guard page), low memory, the VM stack and hook regions,
+/// and non-canonical space.
+void reserveDefaultRegions(Allocator &Alloc, const elf::Image &Img);
+
+} // namespace core
+} // namespace e9
+
+#endif // E9_CORE_PATCHER_H

@@ -1,0 +1,58 @@
+//===- core/Pun.cpp -------------------------------------------*- C++ -*-===//
+
+#include "core/Pun.h"
+
+using namespace e9;
+using namespace e9::core;
+
+std::optional<PunRange> core::punTargetRange(uint64_t JumpAddr, unsigned Pads,
+                                             uint64_t WritableEnd,
+                                             const uint8_t Rel32Bytes[4]) {
+  // The opcode byte must be writable, and the whole (padded) encoding must
+  // stay within the 15-byte architectural instruction limit.
+  uint64_t OpcodeAddr = JumpAddr + Pads;
+  if (OpcodeAddr + 1 > WritableEnd)
+    return std::nullopt;
+  if (Pads + 5 > 15)
+    return std::nullopt;
+
+  uint64_t RelField = OpcodeAddr + 1;
+  unsigned Free = 0;
+  if (WritableEnd > RelField) {
+    uint64_t W = WritableEnd - RelField;
+    Free = W > 4 ? 4 : static_cast<unsigned>(W);
+  }
+
+  uint32_t Fixed = 0;
+  for (unsigned I = Free; I != 4; ++I)
+    Fixed |= static_cast<uint32_t>(Rel32Bytes[I]) << (8 * I);
+
+  PunRange R;
+  R.FreeBytes = Free;
+  R.Fixed = Fixed;
+  R.Base = RelField + 4;
+
+  // Target interval: Base + sext32(Fixed) .. + 256^k, clamped to the
+  // canonical user address range [0, 2^47). Arithmetic in __int128 so that
+  // non-PIE low bases underflowing into "negative addresses" clamp away
+  // naturally (this is exactly the paper's invalid-negative-offset case).
+  __int128 Lo = static_cast<__int128>(R.Base) +
+                static_cast<int32_t>(Fixed);
+  __int128 Span = Free >= 4 ? (static_cast<__int128>(1) << 32)
+                            : (static_cast<__int128>(1) << (8 * Free));
+  __int128 Hi = Lo + Span;
+  if (Free == 4) {
+    // Full rel32 freedom: the interval is Base ± 2GiB.
+    Lo = static_cast<__int128>(R.Base) - (static_cast<__int128>(1) << 31);
+    Hi = static_cast<__int128>(R.Base) + (static_cast<__int128>(1) << 31);
+  }
+  const __int128 Canonical = static_cast<__int128>(1) << 47;
+  if (Lo < 0)
+    Lo = 0;
+  if (Hi > Canonical)
+    Hi = Canonical;
+  if (Lo >= Hi)
+    return std::nullopt;
+  R.Targets = Interval{static_cast<uint64_t>(Lo), static_cast<uint64_t>(Hi)};
+  return R;
+}

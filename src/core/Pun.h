@@ -1,0 +1,65 @@
+//===- core/Pun.h - Punned jump target arithmetic --------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction punning (paper §2.1.3/§3) reduces to constrained interval
+/// arithmetic: writing a jump with P pad bytes at address J leaves the low
+/// k rel32 bytes free (those still inside the writable zone) and fixes the
+/// high 4-k bytes to the current values of the overlapping instruction
+/// bytes. Because rel32 is little-endian, the reachable target set is one
+/// contiguous interval of size 256^k starting at J+P+5+sext32(Fixed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_CORE_PUN_H
+#define E9_CORE_PUN_H
+
+#include "support/IntervalSet.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace e9 {
+namespace core {
+
+/// Single-byte values usable as redundant jump padding (tactic T1):
+/// segment-override prefixes, architecturally ignored on a near jump.
+/// Only legacy prefixes are used (no REX) so that standard disassemblers
+/// render the padded jump as a single instruction; repetition of a
+/// prefix is architecturally legal, so the cycle may repeat.
+inline constexpr uint8_t JumpPadBytes[] = {0x26, 0x2e, 0x36, 0x3e, 0x26,
+                                           0x2e, 0x36, 0x3e, 0x26, 0x2e};
+inline constexpr unsigned MaxJumpPads = 10;
+
+/// The reachable-target description of one punned jump attempt.
+struct PunRange {
+  unsigned FreeBytes = 0;  ///< k: number of freely choosable rel32 bytes.
+  uint32_t Fixed = 0;      ///< rel32 bit pattern with the free bytes zeroed.
+  uint64_t Base = 0;       ///< Address the rel32 is relative to (J+P+5).
+  Interval Targets;        ///< Valid target addresses, clamped to canonical.
+
+  /// rel32 value that reaches \p Target (must lie in Targets).
+  int32_t relFor(uint64_t Target) const {
+    return static_cast<int32_t>(static_cast<int64_t>(Target) -
+                                static_cast<int64_t>(Base));
+  }
+};
+
+/// Computes the reachable target interval for a jump written at
+/// \p JumpAddr with \p Pads pad bytes, when only bytes below
+/// \p WritableEnd may be modified. \p Rel32Bytes holds the *current*
+/// values of the four bytes at JumpAddr+Pads+1 .. +5; entries at index
+/// >= k are the fixed pun bytes. Returns nullopt when the jump's opcode
+/// byte itself would fall outside the writable zone or the clamped target
+/// interval is empty.
+std::optional<PunRange> punTargetRange(uint64_t JumpAddr, unsigned Pads,
+                                       uint64_t WritableEnd,
+                                       const uint8_t Rel32Bytes[4]);
+
+} // namespace core
+} // namespace e9
+
+#endif // E9_CORE_PUN_H

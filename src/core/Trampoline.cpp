@@ -1,0 +1,258 @@
+//===- core/Trampoline.cpp ------------------------------------*- C++ -*-===//
+
+#include "core/Trampoline.h"
+
+#include "support/Format.h"
+#include "x86/Assembler.h"
+#include "x86/Reloc.h"
+
+using namespace e9;
+using namespace e9::core;
+using namespace e9::x86;
+
+namespace {
+
+/// Stack displacement used to skip the red zone and any live stack slots
+/// before the instrumentation prologue touches memory.
+constexpr int32_t StackSkip = 0x4000;
+
+/// Encoded sizes of the fixed building blocks.
+constexpr unsigned LeaRspSize = 8;      // 48 8d a4 24 disp32
+constexpr unsigned PushfqSize = 1;
+constexpr unsigned IncAbsSize = 8;      // 48 ff 04 25 disp32
+constexpr unsigned PushRegSize = 1;     // push rax/rdi
+constexpr unsigned MovImm64Size = 10;   // mov r64, imm64
+constexpr unsigned CallRaxSize = 2;     // ff d0
+constexpr unsigned JmpBackSize = 5;     // e9 rel32
+
+void emitStackSkip(Assembler &A, bool Down) {
+  A.leaRegMem(Reg::RSP, Mem::base(Reg::RSP, Down ? -StackSkip : StackSkip));
+}
+
+/// Emits `jmp rel32` to \p Target with an explicit range check (the
+/// assembler asserts; tactics need a recoverable error instead).
+Status emitJumpBack(Assembler &A, uint64_t Target) {
+  int64_t Rel = static_cast<int64_t>(Target) -
+                static_cast<int64_t>(A.currentAddr() + JmpBackSize);
+  if (Rel < INT32_MIN || Rel > INT32_MAX)
+    return Status::error(
+        format("trampoline return to %s out of rel32 range",
+               hex(Target).c_str()));
+  A.jmpAddr(Target);
+  return Status::ok();
+}
+
+/// Emits the flag-safe counter bump used by Counter/Composed kinds.
+void emitCounterInc(Assembler &A, uint64_t CounterAddr) {
+  assert(CounterAddr < (1ull << 31) &&
+         "counter must live in abs32-addressable memory");
+  emitStackSkip(A, /*Down=*/true);
+  A.pushfq();
+  A.incMem(OpSize::B64, Mem::abs(static_cast<int32_t>(CounterAddr)));
+  A.popfq();
+  emitStackSkip(A, /*Down=*/false);
+}
+constexpr unsigned CounterIncSize =
+    LeaRspSize + PushfqSize + IncAbsSize + PushfqSize + LeaRspSize;
+
+/// Emits the register-preserving host-hook call (rdi = site address).
+void emitHookCall(Assembler &A, uint64_t HookAddr, uint64_t SiteAddr) {
+  emitStackSkip(A, /*Down=*/true);
+  A.pushReg(Reg::RAX);
+  A.pushReg(Reg::RDI);
+  A.movRegImm64(Reg::RDI, SiteAddr);
+  A.movRegImm64(Reg::RAX, HookAddr);
+  A.callReg(Reg::RAX); // host hooks preserve flags and registers
+  A.popReg(Reg::RDI);
+  A.popReg(Reg::RAX);
+  emitStackSkip(A, /*Down=*/false);
+}
+constexpr unsigned HookCallSize = LeaRspSize + 2 * PushRegSize +
+                                  2 * MovImm64Size + CallRaxSize +
+                                  2 * PushRegSize + LeaRspSize;
+
+/// True when a Composed op ends the trampoline's control flow.
+bool isTerminalOp(const core::TemplateOp &Op) {
+  using K = core::TemplateOp::Kind;
+  return Op.K == K::JumpBack || Op.K == K::JumpTo;
+}
+
+/// Size of one Composed op (Reloc = relocatedSize of the patched insn).
+unsigned templateOpSize(const core::TemplateOp &Op, unsigned Reloc) {
+  using K = core::TemplateOp::Kind;
+  switch (Op.K) {
+  case K::Raw:
+    return static_cast<unsigned>(Op.Raw.size());
+  case K::Displaced:
+    return Reloc;
+  case K::CounterInc:
+    return CounterIncSize;
+  case K::HookCall:
+    return HookCallSize;
+  case K::JumpBack:
+  case K::JumpTo:
+    return JmpBackSize;
+  }
+  return 0;
+}
+
+} // namespace
+
+unsigned core::trampolineSize(const TrampolineSpec &Spec, const Insn &I) {
+  unsigned Reloc = relocatedSize(I);
+  if (Reloc == 0 && Spec.Kind != TrampolineKind::PatchBytes)
+    return 0; // Cannot displace this instruction.
+
+  switch (Spec.Kind) {
+  case TrampolineKind::Empty:
+  case TrampolineKind::Evictee:
+    return Reloc + JmpBackSize;
+  case TrampolineKind::Counter:
+    return LeaRspSize + PushfqSize + IncAbsSize + PushfqSize + LeaRspSize +
+           Reloc + JmpBackSize;
+  case TrampolineKind::HookCall:
+    return LeaRspSize + 2 * PushRegSize + 2 * MovImm64Size + CallRaxSize +
+           2 * PushRegSize + LeaRspSize + Reloc + JmpBackSize;
+  case TrampolineKind::LowFatCheck: {
+    unsigned Lea = leaOfMemOperandSize(I);
+    if (Lea == 0)
+      return 0; // No checkable memory operand.
+    return LeaRspSize + 2 * PushRegSize + Lea + MovImm64Size + CallRaxSize +
+           2 * PushRegSize + LeaRspSize + Reloc + JmpBackSize;
+  }
+  case TrampolineKind::PatchBytes:
+    return static_cast<unsigned>(Spec.Raw.size()) + JmpBackSize;
+  case TrampolineKind::Composed: {
+    unsigned Total = 0;
+    bool Terminated = false;
+    for (const TemplateOp &Op : Spec.Ops) {
+      if (Op.K == TemplateOp::Kind::Displaced && Reloc == 0)
+        return 0;
+      Total += templateOpSize(Op, Reloc);
+      Terminated = isTerminalOp(Op);
+    }
+    if (!Terminated)
+      Total += JmpBackSize; // implicit jump back
+    return Total;
+  }
+  }
+  return 0;
+}
+
+Result<std::vector<uint8_t>> core::buildTrampoline(const TrampolineSpec &Spec,
+                                                   const Insn &I,
+                                                   const uint8_t *OrigBytes,
+                                                   uint64_t Addr) {
+  using RV = Result<std::vector<uint8_t>>;
+  unsigned ExpectedSize = trampolineSize(Spec, I);
+  if (ExpectedSize == 0)
+    return RV::error("trampoline spec does not apply to this instruction");
+
+  Assembler A(Addr);
+  uint64_t Resume = I.Address + I.Length;
+
+  auto emitDisplaced = [&]() -> Status {
+    ByteBuffer Buf;
+    if (Status S = relocateInsn(I, OrigBytes, A.currentAddr(), Buf); !S)
+      return S;
+    A.raw(Buf.bytes());
+    return Status::ok();
+  };
+
+  switch (Spec.Kind) {
+  case TrampolineKind::Empty:
+  case TrampolineKind::Evictee:
+    if (Status S = emitDisplaced(); !S)
+      return RV(S);
+    if (Status S = emitJumpBack(A, Resume); !S)
+      return RV(S);
+    break;
+
+  case TrampolineKind::Counter:
+    emitCounterInc(A, Spec.CounterAddr);
+    if (Status S = emitDisplaced(); !S)
+      return RV(S);
+    if (Status S = emitJumpBack(A, Resume); !S)
+      return RV(S);
+    break;
+
+  case TrampolineKind::HookCall:
+    emitHookCall(A, Spec.HookAddr, I.Address);
+    if (Status S = emitDisplaced(); !S)
+      return RV(S);
+    if (Status S = emitJumpBack(A, Resume); !S)
+      return RV(S);
+    break;
+
+  case TrampolineKind::LowFatCheck: {
+    emitStackSkip(A, /*Down=*/true);
+    A.pushReg(Reg::RAX);
+    A.pushReg(Reg::RDI);
+    // The operand registers are still live (only rsp moved, and rsp-based
+    // writes are excluded from the A2 selection).
+    ByteBuffer Lea;
+    if (Status S =
+            encodeLeaOfMemOperand(I, Reg::RDI, A.currentAddr(), Lea);
+        !S)
+      return RV(S);
+    A.raw(Lea.bytes());
+    A.movRegImm64(Reg::RAX, Spec.HookAddr);
+    A.callReg(Reg::RAX);
+    A.popReg(Reg::RDI);
+    A.popReg(Reg::RAX);
+    emitStackSkip(A, /*Down=*/false);
+    if (Status S = emitDisplaced(); !S)
+      return RV(S);
+    if (Status S = emitJumpBack(A, Resume); !S)
+      return RV(S);
+    break;
+  }
+
+  case TrampolineKind::PatchBytes: {
+    A.raw(Spec.Raw);
+    uint64_t Target = Spec.JumpBackTarget ? Spec.JumpBackTarget : Resume;
+    if (Status S = emitJumpBack(A, Target); !S)
+      return RV(S);
+    break;
+  }
+
+  case TrampolineKind::Composed: {
+    bool Terminated = false;
+    for (const TemplateOp &Op : Spec.Ops) {
+      switch (Op.K) {
+      case TemplateOp::Kind::Raw:
+        A.raw(Op.Raw);
+        break;
+      case TemplateOp::Kind::Displaced:
+        if (Status S = emitDisplaced(); !S)
+          return RV(S);
+        break;
+      case TemplateOp::Kind::CounterInc:
+        emitCounterInc(A, Op.Addr);
+        break;
+      case TemplateOp::Kind::HookCall:
+        emitHookCall(A, Op.Addr, I.Address);
+        break;
+      case TemplateOp::Kind::JumpBack:
+        if (Status S = emitJumpBack(A, Resume); !S)
+          return RV(S);
+        break;
+      case TemplateOp::Kind::JumpTo:
+        if (Status S = emitJumpBack(A, Op.Addr); !S)
+          return RV(S);
+        break;
+      }
+      Terminated = isTerminalOp(Op);
+    }
+    if (!Terminated)
+      if (Status S = emitJumpBack(A, Resume); !S)
+        return RV(S);
+    break;
+  }
+  }
+
+  std::vector<uint8_t> Bytes = A.take();
+  assert(Bytes.size() == ExpectedSize &&
+         "trampoline size model out of sync with emission");
+  return Bytes;
+}

@@ -1,0 +1,131 @@
+//===- core/Trampoline.h - Trampoline templates ----------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trampoline templates and their instantiation. A patch trampoline
+/// implements the instrumentation payload, executes (a relocated copy of)
+/// the displaced instruction, and jumps back to the next instruction.
+/// Evictee trampolines (tactics T2/T3) only execute the displaced victim
+/// and jump back. Sizes are computed before allocation (they are address-
+/// independent); instantiation can still fail when a relocated operand
+/// leaves rel32/disp32 range, in which case the tactic rolls back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_CORE_TRAMPOLINE_H
+#define E9_CORE_TRAMPOLINE_H
+
+#include "support/Status.h"
+#include "x86/Insn.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace e9 {
+namespace core {
+
+/// What a patch trampoline does before resuming the program.
+enum class TrampolineKind {
+  /// Nothing: displaced instruction + jump back. The paper's "empty
+  /// instrumentation" used for the Table 1 Time% baseline.
+  Empty,
+  /// Flag-safe counter bump: `inc qword [abs32]` bracketed by pushfq/popfq
+  /// and a red-zone skip. Used by the jump-census example (A1).
+  Counter,
+  /// Call a host hook with rdi = patch address (generic instrumentation).
+  HookCall,
+  /// LowFat redzone check (§6.3): lea rdi, [written-to operand]; call the
+  /// check hook; then displaced instruction + jump back.
+  LowFatCheck,
+  /// Evictee trampoline (T2/T3): displaced victim + jump back only.
+  Evictee,
+  /// Binary patching: raw replacement code; the displaced instruction is
+  /// NOT executed; the raw code ends by jumping to JumpBackTarget (emitted
+  /// automatically).
+  PatchBytes,
+  /// Compositional template: an ordered list of TemplateOps (the analog
+  /// of E9Patch's trampoline templates). A trailing JumpBack is appended
+  /// automatically when the last op is not already a control transfer.
+  Composed,
+};
+
+/// One building block of a Composed trampoline.
+struct TemplateOp {
+  enum class Kind {
+    Raw,        ///< Verbatim bytes (position-independent code).
+    Displaced,  ///< The relocated copy of the patched instruction.
+    CounterInc, ///< Flag-safe `inc qword [abs32 Addr]` (red-zone aware).
+    HookCall,   ///< Register-preserving host-hook call (rdi = site addr).
+    JumpBack,   ///< jmp to the instruction after the patch site.
+    JumpTo,     ///< jmp to an absolute address (Addr).
+  };
+  Kind K = Kind::Raw;
+  std::vector<uint8_t> Raw;
+  uint64_t Addr = 0;
+
+  static TemplateOp raw(std::vector<uint8_t> Bytes) {
+    TemplateOp Op;
+    Op.K = Kind::Raw;
+    Op.Raw = std::move(Bytes);
+    return Op;
+  }
+  static TemplateOp displaced() {
+    TemplateOp Op;
+    Op.K = Kind::Displaced;
+    return Op;
+  }
+  static TemplateOp counterInc(uint64_t CounterAddr) {
+    TemplateOp Op;
+    Op.K = Kind::CounterInc;
+    Op.Addr = CounterAddr;
+    return Op;
+  }
+  static TemplateOp hookCall(uint64_t HookAddr) {
+    TemplateOp Op;
+    Op.K = Kind::HookCall;
+    Op.Addr = HookAddr;
+    return Op;
+  }
+  static TemplateOp jumpBack() {
+    TemplateOp Op;
+    Op.K = Kind::JumpBack;
+    return Op;
+  }
+  static TemplateOp jumpTo(uint64_t Target) {
+    TemplateOp Op;
+    Op.K = Kind::JumpTo;
+    Op.Addr = Target;
+    return Op;
+  }
+};
+
+/// A trampoline template, instantiated once per patch location.
+struct TrampolineSpec {
+  TrampolineKind Kind = TrampolineKind::Empty;
+  uint64_t CounterAddr = 0; ///< Counter: abs32 address of a u64 counter.
+  uint64_t HookAddr = 0;    ///< HookCall / LowFatCheck: host hook address.
+  std::vector<uint8_t> Raw; ///< PatchBytes: replacement code.
+  uint64_t JumpBackTarget = 0; ///< PatchBytes: resume address (0 = next insn).
+  std::vector<TemplateOp> Ops; ///< Composed: the op sequence.
+};
+
+/// Exact byte size of the instantiated trampoline for instruction \p I.
+/// Returns 0 when the instruction cannot be displaced (e.g. loop/jcxz) or
+/// the spec does not apply (LowFatCheck without a memory operand).
+unsigned trampolineSize(const TrampolineSpec &Spec, const x86::Insn &I);
+
+/// Instantiates the trampoline at address \p Addr for patch-location
+/// instruction \p I (original bytes \p OrigBytes). The returned bytes have
+/// exactly trampolineSize() length.
+Result<std::vector<uint8_t>> buildTrampoline(const TrampolineSpec &Spec,
+                                             const x86::Insn &I,
+                                             const uint8_t *OrigBytes,
+                                             uint64_t Addr);
+
+} // namespace core
+} // namespace e9
+
+#endif // E9_CORE_TRAMPOLINE_H

@@ -1,0 +1,324 @@
+//===- elf/File.cpp - ELF64 serialization -----------------------*- C++ -*-===//
+//
+// Writes and reads stripped ELF64 executables/shared objects. Rewritten
+// binaries additionally carry an "E9REPRO" PT_NOTE whose descriptor holds
+// the physical trampoline blocks (by file offset) and the virtual mapping
+// table the loader applies at startup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "elf/Image.h"
+
+#include "support/ByteBuffer.h"
+#include "support/Format.h"
+
+#include <cstring>
+#include <fstream>
+
+using namespace e9;
+using namespace e9::elf;
+
+namespace {
+
+constexpr uint16_t ET_EXEC = 2;
+constexpr uint16_t ET_DYN = 3;
+constexpr uint16_t EM_X86_64 = 0x3e;
+constexpr uint32_t PT_LOAD = 1;
+constexpr uint32_t PT_NOTE = 4;
+constexpr uint32_t NoteType = 0x4539; ///< 'E9' — the mapping-table note.
+constexpr uint64_t PageSize = 4096;
+const char NoteName[8] = {'E', '9', 'R', 'E', 'P', 'R', 'O', '\0'};
+
+constexpr uint64_t EhdrSize = 64;
+constexpr uint64_t PhdrSize = 56;
+
+uint64_t alignUp(uint64_t V, uint64_t A) { return (V + A - 1) / A * A; }
+
+/// Advances \p Cur to the next file offset congruent to \p VAddr mod page.
+uint64_t congruentOffset(uint64_t Cur, uint64_t VAddr) {
+  uint64_t Base = alignUp(Cur, PageSize);
+  uint64_t Want = Base + (VAddr % PageSize);
+  if (Want < Cur)
+    Want += PageSize;
+  // Avoid needlessly skipping a whole page when Cur already fits.
+  if (Want >= PageSize && Want - PageSize >= Cur)
+    Want -= PageSize;
+  return Want;
+}
+
+struct Phdr {
+  uint32_t Type;
+  uint32_t Flags;
+  uint64_t Offset;
+  uint64_t VAddr;
+  uint64_t FileSz;
+  uint64_t MemSz;
+};
+
+void pushPhdr(ByteBuffer &B, const Phdr &P) {
+  B.push32(P.Type);
+  B.push32(P.Flags);
+  B.push64(P.Offset);
+  B.push64(P.VAddr);
+  B.push64(P.VAddr); // p_paddr
+  B.push64(P.FileSz);
+  B.push64(P.MemSz);
+  B.push64(PageSize); // p_align
+}
+
+/// Serialized size of the note descriptor (blocks + mappings + B0 table).
+uint64_t noteDescSize(const Image &Img) {
+  uint64_t B0Bytes = 4;
+  for (const auto &[Addr, Bytes] : Img.B0Sites)
+    B0Bytes += 12 + Bytes.size();
+  return 8 + Img.Blocks.size() * 16 + Img.Mappings.size() * 32 + B0Bytes;
+}
+
+/// Total size of the note payload: Nhdr (12) + padded name + padded desc.
+uint64_t noteSize(const Image &Img) {
+  return 12 + sizeof(NoteName) + alignUp(noteDescSize(Img), 4);
+}
+
+} // namespace
+
+std::vector<uint8_t> elf::write(const Image &Img) {
+  bool HasNote =
+      !Img.Blocks.empty() || !Img.Mappings.empty() || !Img.B0Sites.empty();
+  uint64_t PhNum = Img.Segments.size() + (HasNote ? 1 : 0);
+
+  // --- Plan file offsets --------------------------------------------------
+  uint64_t Cur = EhdrSize + PhNum * PhdrSize;
+  std::vector<uint64_t> SegOffsets;
+  for (const Segment &S : Img.Segments) {
+    uint64_t Off = congruentOffset(Cur, S.VAddr);
+    SegOffsets.push_back(Off);
+    Cur = Off + S.fileSize();
+  }
+  uint64_t NoteOff = alignUp(Cur, 4);
+  if (HasNote)
+    Cur = NoteOff + noteSize(Img);
+  std::vector<uint64_t> BlockOffsets;
+  for (const PhysBlock &B : Img.Blocks) {
+    uint64_t Off = alignUp(Cur, 16);
+    BlockOffsets.push_back(Off);
+    Cur = Off + B.Bytes.size();
+  }
+
+  // --- Emit ----------------------------------------------------------------
+  ByteBuffer Out;
+  // e_ident
+  Out.pushBytes({0x7f, 'E', 'L', 'F', 2 /*64-bit*/, 1 /*LE*/, 1 /*ver*/, 0});
+  Out.pushFill(8, 0);
+  Out.push16(Img.Pie ? ET_DYN : ET_EXEC);
+  Out.push16(EM_X86_64);
+  Out.push32(1); // e_version
+  Out.push64(Img.Entry);
+  Out.push64(EhdrSize); // e_phoff
+  Out.push64(0);        // e_shoff (stripped: no sections)
+  Out.push32(0);        // e_flags
+  Out.push16(EhdrSize);
+  Out.push16(PhdrSize);
+  Out.push16(static_cast<uint16_t>(PhNum));
+  Out.push16(64); // e_shentsize
+  Out.push16(0);  // e_shnum
+  Out.push16(0);  // e_shstrndx
+  assert(Out.size() == EhdrSize && "bad Ehdr layout");
+
+  for (size_t I = 0; I != Img.Segments.size(); ++I) {
+    const Segment &S = Img.Segments[I];
+    pushPhdr(Out, Phdr{PT_LOAD, S.Flags, SegOffsets[I], S.VAddr,
+                       S.fileSize(), S.MemSize});
+  }
+  if (HasNote)
+    pushPhdr(Out, Phdr{PT_NOTE, PF_R, NoteOff, 0, noteSize(Img), 0});
+
+  for (size_t I = 0; I != Img.Segments.size(); ++I) {
+    Out.pushFill(SegOffsets[I] - Out.size(), 0);
+    Out.pushBytes(Img.Segments[I].Bytes);
+  }
+
+  if (HasNote) {
+    Out.pushFill(NoteOff - Out.size(), 0);
+    Out.push32(sizeof(NoteName));                           // namesz
+    Out.push32(static_cast<uint32_t>(noteDescSize(Img)));   // descsz
+    Out.push32(NoteType);
+    Out.pushBytes(reinterpret_cast<const uint8_t *>(NoteName),
+                  sizeof(NoteName));
+    Out.push32(static_cast<uint32_t>(Img.Blocks.size()));
+    Out.push32(static_cast<uint32_t>(Img.Mappings.size()));
+    for (size_t I = 0; I != Img.Blocks.size(); ++I) {
+      Out.push64(BlockOffsets[I]);
+      Out.push64(Img.Blocks[I].Bytes.size());
+    }
+    for (const Mapping &M : Img.Mappings) {
+      Out.push64(M.VAddr);
+      Out.push32(M.BlockIndex);
+      Out.push32(M.Flags);
+      Out.push64(M.Offset);
+      Out.push64(M.Size);
+    }
+    Out.push32(static_cast<uint32_t>(Img.B0Sites.size()));
+    for (const auto &[Addr, Bytes] : Img.B0Sites) {
+      Out.push64(Addr);
+      Out.push32(static_cast<uint32_t>(Bytes.size()));
+      Out.pushBytes(Bytes);
+    }
+    Out.alignTo(4);
+  }
+
+  for (size_t I = 0; I != Img.Blocks.size(); ++I) {
+    Out.pushFill(BlockOffsets[I] - Out.size(), 0);
+    Out.pushBytes(Img.Blocks[I].Bytes);
+  }
+  return Out.takeBytes();
+}
+
+namespace {
+
+/// Bounds-checked little-endian reader over the raw file bytes.
+class FileReader {
+public:
+  explicit FileReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool inBounds(uint64_t Off, uint64_t N) const {
+    return Off + N >= Off && Off + N <= Bytes.size();
+  }
+  uint64_t read(uint64_t Off, unsigned N) const {
+    uint64_t V = 0;
+    for (unsigned I = 0; I != N; ++I)
+      V |= static_cast<uint64_t>(Bytes[Off + I]) << (8 * I);
+    return V;
+  }
+
+  const std::vector<uint8_t> &Bytes;
+};
+
+} // namespace
+
+Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
+  FileReader F(Bytes);
+  if (!F.inBounds(0, EhdrSize))
+    return Result<Image>::error("file too small for an ELF header");
+  static const uint8_t Magic[4] = {0x7f, 'E', 'L', 'F'};
+  if (std::memcmp(Bytes.data(), Magic, 4) != 0)
+    return Result<Image>::error("bad ELF magic");
+  if (Bytes[4] != 2 || Bytes[5] != 1)
+    return Result<Image>::error("not a little-endian ELF64 file");
+  uint16_t Type = static_cast<uint16_t>(F.read(16, 2));
+  if (F.read(18, 2) != EM_X86_64)
+    return Result<Image>::error("not an x86_64 binary");
+
+  Image Img;
+  Img.Pie = Type == ET_DYN;
+  Img.Entry = F.read(24, 8);
+  uint64_t PhOff = F.read(32, 8);
+  uint16_t PhEntSize = static_cast<uint16_t>(F.read(54, 2));
+  uint16_t PhNum = static_cast<uint16_t>(F.read(56, 2));
+  if (PhEntSize != PhdrSize)
+    return Result<Image>::error("unexpected program header entry size");
+  if (!F.inBounds(PhOff, static_cast<uint64_t>(PhNum) * PhdrSize))
+    return Result<Image>::error("program headers out of bounds");
+
+  for (uint16_t I = 0; I != PhNum; ++I) {
+    uint64_t P = PhOff + static_cast<uint64_t>(I) * PhdrSize;
+    uint32_t PType = static_cast<uint32_t>(F.read(P, 4));
+    uint32_t PFlags = static_cast<uint32_t>(F.read(P + 4, 4));
+    uint64_t POffset = F.read(P + 8, 8);
+    uint64_t PVAddr = F.read(P + 16, 8);
+    uint64_t PFileSz = F.read(P + 32, 8);
+    uint64_t PMemSz = F.read(P + 40, 8);
+
+    if (PType == PT_LOAD) {
+      if (!F.inBounds(POffset, PFileSz))
+        return Result<Image>::error("segment content out of bounds");
+      Segment S;
+      S.VAddr = PVAddr;
+      S.Flags = PFlags;
+      S.MemSize = PMemSz;
+      S.Bytes.assign(Bytes.begin() + POffset,
+                     Bytes.begin() + POffset + PFileSz);
+      S.Name = (PFlags & PF_X) ? "text" : (PFlags & PF_W) ? "data" : "rodata";
+      Img.Segments.push_back(std::move(S));
+      continue;
+    }
+    if (PType != PT_NOTE)
+      continue;
+    if (!F.inBounds(POffset, PFileSz) || PFileSz < 12 + sizeof(NoteName))
+      continue;
+    if (std::memcmp(Bytes.data() + POffset + 12, NoteName,
+                    sizeof(NoteName)) != 0)
+      continue;
+    uint64_t D = POffset + 12 + sizeof(NoteName);
+    uint32_t NBlocks = static_cast<uint32_t>(F.read(D, 4));
+    uint32_t NMappings = static_cast<uint32_t>(F.read(D + 4, 4));
+    uint64_t Need = 8 + static_cast<uint64_t>(NBlocks) * 16 +
+                    static_cast<uint64_t>(NMappings) * 32;
+    if (!F.inBounds(D, Need))
+      return Result<Image>::error("mapping note truncated");
+    uint64_t Cur = D + 8;
+    for (uint32_t B = 0; B != NBlocks; ++B) {
+      uint64_t BOff = F.read(Cur, 8);
+      uint64_t BSize = F.read(Cur + 8, 8);
+      Cur += 16;
+      if (!F.inBounds(BOff, BSize))
+        return Result<Image>::error("trampoline block out of bounds");
+      PhysBlock PB;
+      PB.Bytes.assign(Bytes.begin() + BOff, Bytes.begin() + BOff + BSize);
+      Img.Blocks.push_back(std::move(PB));
+    }
+    for (uint32_t M = 0; M != NMappings; ++M) {
+      Mapping Map;
+      Map.VAddr = F.read(Cur, 8);
+      Map.BlockIndex = static_cast<uint32_t>(F.read(Cur + 8, 4));
+      Map.Flags = static_cast<uint32_t>(F.read(Cur + 12, 4));
+      Map.Offset = F.read(Cur + 16, 8);
+      Map.Size = F.read(Cur + 24, 8);
+      Cur += 32;
+      if (Map.BlockIndex >= Img.Blocks.size() ||
+          Map.Offset + Map.Size > Img.Blocks[Map.BlockIndex].Bytes.size())
+        return Result<Image>::error("mapping references bytes out of range");
+      Img.Mappings.push_back(Map);
+    }
+    // B0 side table (older writers may omit it).
+    if (F.inBounds(Cur, 4)) {
+      uint32_t NB0 = static_cast<uint32_t>(F.read(Cur, 4));
+      Cur += 4;
+      for (uint32_t B = 0; B != NB0; ++B) {
+        if (!F.inBounds(Cur, 12))
+          return Result<Image>::error("B0 table truncated");
+        uint64_t Addr = F.read(Cur, 8);
+        uint32_t Len = static_cast<uint32_t>(F.read(Cur + 8, 4));
+        Cur += 12;
+        if (Len > 15 || !F.inBounds(Cur, Len))
+          return Result<Image>::error("B0 entry malformed");
+        Img.B0Sites.emplace(
+            Addr, std::vector<uint8_t>(Bytes.begin() + Cur,
+                                       Bytes.begin() + Cur + Len));
+        Cur += Len;
+      }
+    }
+  }
+  return Img;
+}
+
+Status elf::writeFile(const Image &Img, const std::string &Path) {
+  std::vector<uint8_t> Bytes = write(Img);
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return Status::error(format("cannot open %s for writing", Path.c_str()));
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  if (!Out)
+    return Status::error(format("write to %s failed", Path.c_str()));
+  return Status::ok();
+}
+
+Result<Image> elf::readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Result<Image>::error(
+        format("cannot open %s for reading", Path.c_str()));
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  return read(Bytes);
+}

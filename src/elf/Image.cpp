@@ -1,0 +1,65 @@
+//===- elf/Image.cpp ------------------------------------------*- C++ -*-===//
+
+#include "elf/Image.h"
+
+#include "support/Format.h"
+
+#include <cstring>
+
+using namespace e9;
+using namespace e9::elf;
+
+Segment *Image::findSegment(uint64_t Addr) {
+  for (Segment &S : Segments)
+    if (S.containsAddr(Addr))
+      return &S;
+  return nullptr;
+}
+
+const Segment *Image::findSegment(uint64_t Addr) const {
+  return const_cast<Image *>(this)->findSegment(Addr);
+}
+
+const Segment *Image::textSegment() const {
+  return const_cast<Image *>(this)->textSegment();
+}
+
+Segment *Image::textSegment() {
+  for (Segment &S : Segments)
+    if (S.Flags & PF_X)
+      return &S;
+  return nullptr;
+}
+
+Status Image::readBytes(uint64_t Addr, uint8_t *Out, size_t N) const {
+  const Segment *S = findSegment(Addr);
+  if (!S)
+    return Status::error(format("no segment at %s", hex(Addr).c_str()));
+  uint64_t Off = Addr - S->VAddr;
+  if (Off + N > S->fileSize())
+    return Status::error(
+        format("read at %s leaves file-backed content", hex(Addr).c_str()));
+  std::memcpy(Out, S->Bytes.data() + Off, N);
+  return Status::ok();
+}
+
+Status Image::writeBytes(uint64_t Addr, const uint8_t *In, size_t N) {
+  Segment *S = findSegment(Addr);
+  if (!S)
+    return Status::error(format("no segment at %s", hex(Addr).c_str()));
+  uint64_t Off = Addr - S->VAddr;
+  if (Off + N > S->fileSize())
+    return Status::error(
+        format("write at %s leaves file-backed content", hex(Addr).c_str()));
+  std::memcpy(S->Bytes.data() + Off, In, N);
+  return Status::ok();
+}
+
+uint64_t Image::segmentFileBytes() const {
+  uint64_t Total = 0;
+  for (const Segment &S : Segments)
+    Total += S.fileSize();
+  for (const PhysBlock &B : Blocks)
+    Total += B.Bytes.size();
+  return Total;
+}

@@ -1,0 +1,117 @@
+//===- elf/Image.h - In-memory ELF image -----------------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory representation of an executable image: loadable segments,
+/// plus (for rewritten binaries) appended physical trampoline blocks and the
+/// virtual mapping table that the loader applies at startup.
+///
+/// Real E9Patch injects a small loader stub that mmap()s trampoline pages
+/// before jumping to the original entry point. In this reproduction the
+/// rewritten binary carries the same information as an explicit mapping
+/// table (a custom ELF note) that the VM loader interprets; one physical
+/// block may be mapped at many virtual addresses, which is exactly how
+/// physical page grouping shares memory (see DESIGN.md §2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_ELF_IMAGE_H
+#define E9_ELF_IMAGE_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace e9 {
+namespace elf {
+
+/// ELF segment permission flags (PF_*).
+inline constexpr uint32_t PF_X = 1;
+inline constexpr uint32_t PF_W = 2;
+inline constexpr uint32_t PF_R = 4;
+
+/// A loadable segment (PT_LOAD). MemSize >= Bytes.size(); the excess is
+/// zero-filled at load time (.bss style).
+struct Segment {
+  uint64_t VAddr = 0;
+  std::vector<uint8_t> Bytes;
+  uint64_t MemSize = 0;
+  uint32_t Flags = PF_R;
+  std::string Name; ///< Informational only ("text", "data", "bss").
+
+  uint64_t fileSize() const { return Bytes.size(); }
+  uint64_t endAddr() const { return VAddr + MemSize; }
+  bool containsAddr(uint64_t A) const { return A >= VAddr && A < endAddr(); }
+};
+
+/// A physical block of trampoline/instrumentation bytes appended to the
+/// rewritten binary. One block may back many virtual mappings.
+struct PhysBlock {
+  std::vector<uint8_t> Bytes;
+};
+
+/// One loader mapping: [VAddr, VAddr+Size) is backed by
+/// Blocks[BlockIndex][Offset, Offset+Size).
+struct Mapping {
+  uint64_t VAddr = 0;
+  uint32_t BlockIndex = 0;
+  uint32_t Flags = PF_R | PF_X;
+  uint64_t Offset = 0;
+  uint64_t Size = 0;
+};
+
+/// An executable or shared-object image.
+struct Image {
+  uint64_t Entry = 0;
+  bool Pie = false;
+  std::vector<Segment> Segments;
+
+  // Rewritten binaries only:
+  std::vector<PhysBlock> Blocks;
+  std::vector<Mapping> Mappings;
+  /// B0 side table: original instruction bytes per int3-patched site
+  /// (consumed by the trap handler at run time). Serialized in the
+  /// mapping note so a rewritten binary is self-contained.
+  std::map<uint64_t, std::vector<uint8_t>> B0Sites;
+
+  /// Returns the segment containing \p Addr, or nullptr.
+  Segment *findSegment(uint64_t Addr);
+  const Segment *findSegment(uint64_t Addr) const;
+
+  /// Returns the first executable segment (the ".text" analog), or nullptr.
+  const Segment *textSegment() const;
+  Segment *textSegment();
+
+  /// Reads \p N bytes of *file-backed* segment content at \p Addr.
+  /// Fails when the range leaves file-backed content.
+  Status readBytes(uint64_t Addr, uint8_t *Out, size_t N) const;
+
+  /// Overwrites file-backed segment content at \p Addr.
+  Status writeBytes(uint64_t Addr, const uint8_t *In, size_t N);
+
+  /// Total bytes the serialized file would hold, as written by write().
+  /// (Convenience for size accounting; write() reports the exact value.)
+  uint64_t segmentFileBytes() const;
+};
+
+/// Serializes \p Img to ELF64 bytes (stripped: program headers only, plus
+/// the E9REPRO mapping note for rewritten binaries).
+std::vector<uint8_t> write(const Image &Img);
+
+/// Parses ELF64 bytes produced by write() (or a compatible minimal ELF).
+Result<Image> read(const std::vector<uint8_t> &Bytes);
+
+/// File convenience wrappers.
+Status writeFile(const Image &Img, const std::string &Path);
+Result<Image> readFile(const std::string &Path);
+
+} // namespace elf
+} // namespace e9
+
+#endif // E9_ELF_IMAGE_H

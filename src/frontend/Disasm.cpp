@@ -1,0 +1,41 @@
+//===- frontend/Disasm.cpp ------------------------------------*- C++ -*-===//
+
+#include "frontend/Disasm.h"
+
+#include "x86/Decoder.h"
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::x86;
+
+DisasmResult frontend::linearDisassemble(const elf::Image &Img,
+                                         uint64_t Start, uint64_t End) {
+  DisasmResult R;
+  const elf::Segment *Text = Img.textSegment();
+  if (!Text)
+    return R;
+  if (Start == 0 && End == 0) {
+    Start = Text->VAddr;
+    End = Text->VAddr + Text->fileSize();
+  }
+  if (Start < Text->VAddr)
+    Start = Text->VAddr;
+  if (End > Text->VAddr + Text->fileSize())
+    End = Text->VAddr + Text->fileSize();
+
+  const uint8_t *Bytes = Text->Bytes.data() + (Start - Text->VAddr);
+  uint64_t Cursor = Start;
+  while (Cursor < End) {
+    Insn I;
+    DecodeStatus S =
+        decode(Bytes + (Cursor - Start), End - Cursor, Cursor, I);
+    if (S != DecodeStatus::Ok) {
+      ++R.UndecodableBytes;
+      ++Cursor;
+      continue;
+    }
+    R.Insns.push_back(I);
+    Cursor += I.Length;
+  }
+  return R;
+}

@@ -1,0 +1,41 @@
+//===- frontend/Disasm.h - Linear disassembly frontend ---------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// E9Patch deliberately has no built-in disassembler: instruction locations
+/// and sizes are frontend input (paper §2.2). This is the paper's "basic
+/// wrapper frontend": linear disassembly over the executable segment.
+/// Undecodable bytes are skipped one at a time (data islands in .text),
+/// mirroring the ChromeMain workaround discussed in §6.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_FRONTEND_DISASM_H
+#define E9_FRONTEND_DISASM_H
+
+#include "elf/Image.h"
+#include "x86/Insn.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace e9 {
+namespace frontend {
+
+struct DisasmResult {
+  std::vector<x86::Insn> Insns;
+  size_t UndecodableBytes = 0;
+};
+
+/// Linearly disassembles [Start, End) of \p Img. With Start == End == 0,
+/// the whole file-backed content of the first executable segment is used.
+DisasmResult linearDisassemble(const elf::Image &Img, uint64_t Start = 0,
+                               uint64_t End = 0);
+
+} // namespace frontend
+} // namespace e9
+
+#endif // E9_FRONTEND_DISASM_H

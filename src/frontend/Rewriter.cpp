@@ -1,0 +1,51 @@
+//===- frontend/Rewriter.cpp ----------------------------------*- C++ -*-===//
+
+#include "frontend/Rewriter.h"
+
+#include "frontend/Disasm.h"
+
+#include <algorithm>
+
+using namespace e9;
+using namespace e9::frontend;
+
+Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
+                                        const std::vector<uint64_t> &PatchLocs,
+                                        const RewriteOptions &Opts) {
+  if (!In.textSegment())
+    return Result<RewriteOutput>::error("input image has no code segment");
+
+  RewriteOutput Out;
+  Out.OrigFileSize = elf::write(In).size();
+  Out.Rewritten = In;
+  Out.Rewritten.Blocks.clear();
+  Out.Rewritten.Mappings.clear();
+
+  DisasmResult Dis = linearDisassemble(Out.Rewritten);
+
+  core::Patcher P(Out.Rewritten, std::move(Dis.Insns), Opts.Patch);
+  for (const Interval &R : Opts.ExtraReserved)
+    P.allocator().reserve(R.Lo, R.Hi);
+  if (Opts.SpecFor) {
+    // Per-site specs: drive the S1 reverse order here.
+    std::vector<uint64_t> Sorted(PatchLocs);
+    std::sort(Sorted.begin(), Sorted.end());
+    Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+    for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It)
+      P.patchOne(*It, Opts.SpecFor(*It));
+  } else {
+    P.patchAll(PatchLocs);
+  }
+
+  Out.Stats = P.stats();
+  Out.B0Table = P.b0Table();
+  Out.Rewritten.B0Sites = P.b0Table(); // self-contained rewritten binary
+  Out.Sites = P.results();
+
+  Out.Grouping = core::groupPages(P.chunks(), Opts.Grouping);
+  Out.Rewritten.Blocks = std::move(Out.Grouping.Blocks);
+  Out.Rewritten.Mappings = Out.Grouping.Mappings;
+
+  Out.NewFileSize = elf::write(Out.Rewritten).size();
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===- frontend/Rewriter.h - High-level rewriting API ----------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point (the "e9tool" analog): takes an input image and
+/// a set of patch locations, runs the tactic engine in reverse address
+/// order, applies physical page grouping, and produces the rewritten
+/// binary plus all the statistics the paper's tables report.
+///
+/// Typical use:
+/// \code
+///   auto Dis = frontend::linearDisassemble(Img);
+///   frontend::RewriteOptions Opts;
+///   Opts.Patch.Spec.Kind = core::TrampolineKind::Empty;
+///   auto Out = frontend::rewrite(Img, frontend::selectJumps(Dis.Insns),
+///                                Opts);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_FRONTEND_REWRITER_H
+#define E9_FRONTEND_REWRITER_H
+
+#include "core/Grouping.h"
+#include "core/Patcher.h"
+#include "elf/Image.h"
+#include "support/IntervalSet.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace e9 {
+namespace frontend {
+
+struct RewriteOptions {
+  core::PatchOptions Patch;
+  core::GroupingOptions Grouping;
+  /// Extra address ranges trampolines must avoid (e.g. the heap region the
+  /// runtime will hand out at execution time).
+  std::vector<Interval> ExtraReserved;
+  /// Optional per-site trampoline spec (overrides Patch.Spec), e.g. a
+  /// distinct counter slot per location or a one-off binary patch.
+  std::function<core::TrampolineSpec(uint64_t Addr)> SpecFor;
+};
+
+struct RewriteOutput {
+  elf::Image Rewritten;
+  core::PatchStats Stats;
+  core::GroupingResult Grouping;
+  uint64_t OrigFileSize = 0;
+  uint64_t NewFileSize = 0;
+  /// Rewritten-over-original file size in percent (Table 1 "Size%").
+  double sizePct() const {
+    return OrigFileSize == 0 ? 0.0
+                             : 100.0 * static_cast<double>(NewFileSize) /
+                                   static_cast<double>(OrigFileSize);
+  }
+  /// B0 side table for the VM trap handler (original bytes per site).
+  std::map<uint64_t, std::vector<uint8_t>> B0Table;
+  std::vector<core::PatchSiteResult> Sites;
+};
+
+/// Rewrites \p In, patching every location in \p PatchLocs.
+Result<RewriteOutput> rewrite(const elf::Image &In,
+                              const std::vector<uint64_t> &PatchLocs,
+                              const RewriteOptions &Opts);
+
+} // namespace frontend
+} // namespace e9
+
+#endif // E9_FRONTEND_REWRITER_H

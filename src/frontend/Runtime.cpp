@@ -1,0 +1,44 @@
+//===- frontend/Runtime.cpp -----------------------------------*- C++ -*-===//
+
+#include "frontend/Runtime.h"
+
+#include "support/Format.h"
+#include "x86/Decoder.h"
+
+using namespace e9;
+using namespace e9::frontend;
+
+uint64_t frontend::addCounterSegment(elf::Image &Img, uint64_t Addr,
+                                     uint64_t Size) {
+  elf::Segment S;
+  S.VAddr = Addr;
+  S.MemSize = Size;
+  S.Flags = elf::PF_R | elf::PF_W;
+  S.Name = "counters";
+  Img.Segments.push_back(std::move(S));
+  return Addr;
+}
+
+void frontend::installB0Handler(
+    vm::Vm &V, std::map<uint64_t, std::vector<uint8_t>> Table,
+    std::function<void(uint64_t)> Callback) {
+  V.setTrapHandler([Table = std::move(Table), Callback = std::move(Callback)](
+                       vm::Vm &Vm, uint64_t Addr) -> Status {
+    auto It = Table.find(Addr);
+    if (It == Table.end())
+      return Status::error(
+          format("int3 at %s has no B0 side-table entry", hex(Addr).c_str()));
+    if (Callback)
+      Callback(Addr);
+    x86::Insn I;
+    if (x86::decode(It->second.data(), It->second.size(), Addr, I) !=
+        x86::DecodeStatus::Ok)
+      return Status::error("corrupt B0 side-table entry");
+    vm::Vm::ExecKind Kind;
+    if (Status S = Vm.execInsn(I, It->second.data(), Kind); !S)
+      return S;
+    if (Kind != vm::Vm::ExecKind::Ok)
+      return Status::error("B0 site may not halt/abort");
+    return Status::ok();
+  });
+}

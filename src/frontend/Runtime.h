@@ -1,0 +1,49 @@
+//===- frontend/Runtime.h - Run-support for rewritten binaries -*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between rewritten binaries and the VM: the B0 signal-handler
+/// emulation (int3 -> execute the displaced original from the side table)
+/// and the counter-segment convenience used by counting instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_FRONTEND_RUNTIME_H
+#define E9_FRONTEND_RUNTIME_H
+
+#include "elf/Image.h"
+#include "vm/Vm.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace e9 {
+namespace frontend {
+
+/// Default placement of the instrumentation counter segment: low memory,
+/// abs32-addressable from anywhere (required by the Counter trampoline).
+inline constexpr uint64_t CounterSegmentAddr = 0x200000;
+inline constexpr uint64_t CounterSegmentSize = 0x10000;
+
+/// Adds a zero-filled RW data segment for instrumentation counters.
+/// Returns the address of the first counter slot.
+uint64_t addCounterSegment(elf::Image &Img,
+                           uint64_t Addr = CounterSegmentAddr,
+                           uint64_t Size = CounterSegmentSize);
+
+/// Installs the B0 trap handler: on int3 at a patched site, invokes
+/// \p Callback (may be null) and then emulates the displaced original
+/// instruction from \p Table. Sites not in the table fault.
+void installB0Handler(vm::Vm &V,
+                      std::map<uint64_t, std::vector<uint8_t>> Table,
+                      std::function<void(uint64_t)> Callback = nullptr);
+
+} // namespace frontend
+} // namespace e9
+
+#endif // E9_FRONTEND_RUNTIME_H

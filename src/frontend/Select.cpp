@@ -1,0 +1,42 @@
+//===- frontend/Select.cpp ------------------------------------*- C++ -*-===//
+
+#include "frontend/Select.h"
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::x86;
+
+std::vector<uint64_t>
+frontend::selectJumps(const std::vector<Insn> &Insns) {
+  std::vector<uint64_t> Locs;
+  for (const Insn &I : Insns)
+    if (I.isJmpRel8() || I.isJmpRel32() || I.isJccRel8() || I.isJccRel32())
+      Locs.push_back(I.Address);
+  return Locs;
+}
+
+std::vector<uint64_t>
+frontend::selectHeapWrites(const std::vector<Insn> &Insns) {
+  std::vector<uint64_t> Locs;
+  for (const Insn &I : Insns) {
+    if (!I.writesMemOperand())
+      continue;
+    if (I.isRipRelative())
+      continue;
+    Reg Base = I.memBase();
+    if (Base == Reg::RSP || Base == Reg::RIP)
+      continue;
+    if (I.SegPrefix == 0x64 || I.SegPrefix == 0x65)
+      continue;
+    Locs.push_back(I.Address);
+  }
+  return Locs;
+}
+
+std::vector<uint64_t> frontend::selectAll(const std::vector<Insn> &Insns) {
+  std::vector<uint64_t> Locs;
+  Locs.reserve(Insns.size());
+  for (const Insn &I : Insns)
+    Locs.push_back(I.Address);
+  return Locs;
+}

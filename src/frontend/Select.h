@@ -1,0 +1,39 @@
+//===- frontend/Select.h - Patch location selectors ------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two instrumentation applications evaluated in the paper (§6.1):
+/// A1 patches every relative jmp/jcc (the basic-block-counting analog) and
+/// A2 patches every instruction that may write through a heap pointer
+/// (memory writes excluding %rsp- and %rip-based operands).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_FRONTEND_SELECT_H
+#define E9_FRONTEND_SELECT_H
+
+#include "x86/Insn.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace e9 {
+namespace frontend {
+
+/// A1: all relative jmp/jcc instructions (rel8 and rel32 forms).
+std::vector<uint64_t> selectJumps(const std::vector<x86::Insn> &Insns);
+
+/// A2: all instructions that may write to heap pointers — memory-operand
+/// writes excluding %rsp/%rip bases and fs/gs segments (§6.3).
+std::vector<uint64_t> selectHeapWrites(const std::vector<x86::Insn> &Insns);
+
+/// Stress selector: every instruction (paper limitation L3).
+std::vector<uint64_t> selectAll(const std::vector<x86::Insn> &Insns);
+
+} // namespace frontend
+} // namespace e9
+
+#endif // E9_FRONTEND_SELECT_H

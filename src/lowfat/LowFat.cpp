@@ -1,0 +1,165 @@
+//===- lowfat/LowFat.cpp --------------------------------------*- C++ -*-===//
+
+#include "lowfat/LowFat.h"
+
+#include "support/Format.h"
+#include "vm/Hooks.h"
+
+using namespace e9;
+using namespace e9::lowfat;
+using namespace e9::vm;
+
+namespace {
+
+/// Maps (if needed) the pages covering [Ptr, Ptr+Size) as RW guest memory.
+Status ensureMapped(Vm &V, uint64_t Ptr, uint64_t Size) {
+  uint64_t Page = Ptr & ~vm::PageMask;
+  uint64_t End = Ptr + Size;
+  for (; Page < End; Page += vm::PageSize) {
+    if (V.Mem.isMapped(Page))
+      continue;
+    if (Status S = V.Mem.mapZero(Page, vm::PageSize, PermR | PermW); !S)
+      return S;
+  }
+  return Status::ok();
+}
+
+} // namespace
+
+// --- PlainHeap ------------------------------------------------------------------
+
+Result<uint64_t> PlainHeap::alloc(Vm &V, uint64_t Size) {
+  if (Size == 0)
+    Size = 1;
+  uint64_t Ptr = Bump;
+  Bump += (Size + 15) & ~15ull;
+  if (Bump > HeapRegionEnd)
+    return Result<uint64_t>::error("plain heap exhausted");
+  if (Status S = ensureMapped(V, Ptr, Size); !S)
+    return Result<uint64_t>(S);
+  return Ptr;
+}
+
+Status PlainHeap::free(Vm &V, uint64_t Ptr) {
+  // Bump allocator: free is a no-op (memory stays mapped).
+  (void)V;
+  (void)Ptr;
+  return Status::ok();
+}
+
+// --- LowFatHeap -----------------------------------------------------------------
+
+namespace {
+
+/// Smallest class index whose slot fits Size + redzone.
+int classFor(uint64_t Size) {
+  uint64_t Need = Size + RedzoneSize;
+  for (unsigned C = 0; C != NumClasses; ++C)
+    if ((1ull << (MinClassLog + C)) >= Need)
+      return static_cast<int>(C);
+  return -1;
+}
+
+uint64_t classRegionBase(unsigned C) {
+  return HeapRegionStart + C * RegionSize;
+}
+
+} // namespace
+
+Result<uint64_t> LowFatHeap::alloc(Vm &V, uint64_t Size) {
+  int C = classFor(Size);
+  if (C < 0)
+    return Result<uint64_t>::error(
+        format("lowfat: allocation of %llu bytes exceeds largest class",
+               (unsigned long long)Size));
+  uint64_t SlotSize = 1ull << (MinClassLog + C);
+  uint64_t Slot = classRegionBase(static_cast<unsigned>(C)) +
+                  BumpIndex[C] * SlotSize;
+  if (Slot + SlotSize > classRegionBase(C) + RegionSize)
+    return Result<uint64_t>::error("lowfat: size class region exhausted");
+  ++BumpIndex[C];
+  ++Allocations;
+  if (Status S = ensureMapped(V, Slot, SlotSize); !S)
+    return Result<uint64_t>(S);
+  // Object data starts after the redzone.
+  return Slot + RedzoneSize;
+}
+
+Status LowFatHeap::free(Vm &V, uint64_t Ptr) {
+  // Slots are not recycled (quarantine-forever policy keeps stale pointers
+  // detectable by the redzone check and sidesteps reuse hazards).
+  (void)V;
+  (void)Ptr;
+  return Status::ok();
+}
+
+uint64_t LowFatHeap::base(uint64_t Ptr) const {
+  if (!isHeapPtr(Ptr))
+    return Ptr;
+  unsigned C = static_cast<unsigned>((Ptr - HeapRegionStart) / RegionSize);
+  uint64_t SlotSize = 1ull << (MinClassLog + C);
+  uint64_t Off = Ptr - classRegionBase(C);
+  return classRegionBase(C) + Off / SlotSize * SlotSize;
+}
+
+Status LowFatHeap::check(uint64_t Ptr) {
+  if (!isHeapPtr(Ptr))
+    return Status::ok(); // Non-fat pointers are not checked.
+  if (Ptr - base(Ptr) >= RedzoneSize)
+    return Status::ok();
+  ++Violations;
+  if (AbortOnViolation)
+    return Status::error(
+        format("lowfat: redzone violation writing %s (base %s)",
+               hex(Ptr).c_str(), hex(base(Ptr)).c_str()));
+  return Status::ok();
+}
+
+// --- Hook installation -----------------------------------------------------------
+
+void lowfat::installPlainHeap(Vm &V, PlainHeap &Heap) {
+  V.registerHook(HookMalloc, [&Heap](Vm &Vm) -> Status {
+    auto P = Heap.alloc(Vm, Vm.Core.Gpr[7]); // rdi = size
+    if (!P.isOk())
+      return Status::error(P.reason());
+    Vm.Core.Gpr[0] = *P;
+    return Status::ok();
+  });
+  V.registerHook(HookCalloc, [&Heap](Vm &Vm) -> Status {
+    uint64_t Total = Vm.Core.Gpr[7] * Vm.Core.Gpr[6]; // rdi * rsi
+    auto P = Heap.alloc(Vm, Total);
+    if (!P.isOk())
+      return Status::error(P.reason());
+    Vm.Core.Gpr[0] = *P; // pages start zeroed
+    return Status::ok();
+  });
+  V.registerHook(HookFree, [&Heap](Vm &Vm) -> Status {
+    return Heap.free(Vm, Vm.Core.Gpr[7]);
+  });
+}
+
+void lowfat::installLowFatHeap(Vm &V, LowFatHeap &Heap) {
+  V.registerHook(HookMalloc, [&Heap](Vm &Vm) -> Status {
+    auto P = Heap.alloc(Vm, Vm.Core.Gpr[7]);
+    if (!P.isOk())
+      return Status::error(P.reason());
+    Vm.Core.Gpr[0] = *P;
+    return Status::ok();
+  });
+  V.registerHook(HookCalloc, [&Heap](Vm &Vm) -> Status {
+    auto P = Heap.alloc(Vm, Vm.Core.Gpr[7] * Vm.Core.Gpr[6]);
+    if (!P.isOk())
+      return Status::error(P.reason());
+    Vm.Core.Gpr[0] = *P;
+    return Status::ok();
+  });
+  V.registerHook(HookFree, [&Heap](Vm &Vm) -> Status {
+    return Heap.free(Vm, Vm.Core.Gpr[7]);
+  });
+  // The per-write redzone check (rdi = written-to pointer). Cost models
+  // the handful of mask/compare instructions the real inlined check runs.
+  V.registerHook(
+      HookLowFatCheck,
+      [&Heap](Vm &Vm) -> Status { return Heap.check(Vm.Core.Gpr[7]); },
+      /*Cost=*/5);
+}

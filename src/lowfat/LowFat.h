@@ -1,0 +1,109 @@
+//===- lowfat/LowFat.h - Low-fat pointer heap runtime ----------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The liblowfat analog used by the §6.3 heap-write hardening application.
+/// Low-fat pointers encode bounds in the pointer's bit representation:
+/// each power-of-two size class owns a dedicated region, and base(p) is
+/// computable from p alone by rounding down to the slot size of p's
+/// region. malloc returns slotBase + RedzoneSize, so the redzone check
+///   p - base(p) >= RedzoneSize
+/// rejects writes into the first RedzoneSize bytes of any slot — which is
+/// where an overflow from the previous object lands (and where an
+/// underflow from this object lands).
+///
+/// A PlainHeap (bump allocator, no checks) backs the uninstrumented runs.
+/// Both install as VM host hooks for malloc/calloc/free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_LOWFAT_LOWFAT_H
+#define E9_LOWFAT_LOWFAT_H
+
+#include "support/IntervalSet.h"
+#include "support/Status.h"
+#include "vm/Vm.h"
+
+#include <array>
+#include <cstdint>
+
+namespace e9 {
+namespace lowfat {
+
+/// Redzone size in bytes (paper §6.3 uses 16).
+inline constexpr uint64_t RedzoneSize = 16;
+
+/// Heap layout: size classes 2^MinClassLog .. 2^MaxClassLog, one region
+/// per class starting at HeapRegionStart.
+inline constexpr unsigned MinClassLog = 5;  ///< 32-byte slots.
+inline constexpr unsigned MaxClassLog = 20; ///< 1 MiB slots.
+inline constexpr unsigned NumClasses = MaxClassLog - MinClassLog + 1;
+inline constexpr uint64_t RegionSize = 1ull << 34; ///< 16 GiB per class.
+inline constexpr uint64_t HeapRegionStart = 0x100000000000ULL;
+inline constexpr uint64_t HeapRegionEnd =
+    HeapRegionStart + NumClasses * RegionSize;
+
+/// The address range trampolines must avoid when the program will use the
+/// heap runtime (pass as RewriteOptions::ExtraReserved).
+inline Interval heapReservation() {
+  return Interval{HeapRegionStart, HeapRegionEnd};
+}
+
+/// Simple bump allocator without any metadata or checks: the baseline
+/// runtime for uninstrumented and empty-instrumentation runs.
+class PlainHeap {
+public:
+  /// Allocates \p Size bytes of guest memory (mapping pages on demand).
+  Result<uint64_t> alloc(vm::Vm &V, uint64_t Size);
+  Status free(vm::Vm &V, uint64_t Ptr);
+
+  uint64_t allocatedBytes() const { return Bump - HeapRegionStart; }
+
+private:
+  uint64_t Bump = HeapRegionStart;
+};
+
+/// The low-fat size-class heap with redzones.
+class LowFatHeap {
+public:
+  /// When true (default) a redzone violation faults the program (the
+  /// "abort" policy); when false it is only counted.
+  bool AbortOnViolation = true;
+
+  Result<uint64_t> alloc(vm::Vm &V, uint64_t Size);
+  Status free(vm::Vm &V, uint64_t Ptr);
+
+  /// base(p): the low-fat base operation. Non-heap pointers return p
+  /// itself (no check applies to them).
+  uint64_t base(uint64_t Ptr) const;
+  /// True when p points into a low-fat region.
+  bool isHeapPtr(uint64_t Ptr) const {
+    return Ptr >= HeapRegionStart && Ptr < HeapRegionEnd;
+  }
+
+  /// The redzone check called per instrumented write.
+  Status check(uint64_t Ptr);
+
+  uint64_t violations() const { return Violations; }
+  uint64_t allocations() const { return Allocations; }
+
+private:
+  std::array<uint64_t, NumClasses> BumpIndex{}; ///< Next free slot/class.
+  uint64_t Violations = 0;
+  uint64_t Allocations = 0;
+};
+
+/// Installs malloc/calloc/free hooks backed by \p Heap (kept alive by the
+/// caller for the VM's lifetime).
+void installPlainHeap(vm::Vm &V, PlainHeap &Heap);
+
+/// Installs malloc/calloc/free plus the LowFat redzone-check hook.
+void installLowFatHeap(vm::Vm &V, LowFatHeap &Heap);
+
+} // namespace lowfat
+} // namespace e9
+
+#endif // E9_LOWFAT_LOWFAT_H

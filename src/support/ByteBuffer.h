@@ -1,0 +1,110 @@
+//===- support/ByteBuffer.h - Little-endian byte sink ---------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Growable byte buffer with little-endian integer accessors, used by the
+/// assembler, ELF writer and trampoline builder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_BYTEBUFFER_H
+#define E9_SUPPORT_BYTEBUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace e9 {
+
+/// Growable little-endian byte buffer.
+class ByteBuffer {
+public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<uint8_t> Data) : Data(std::move(Data)) {}
+
+  size_t size() const { return Data.size(); }
+  bool empty() const { return Data.empty(); }
+  const std::vector<uint8_t> &bytes() const { return Data; }
+  std::vector<uint8_t> takeBytes() { return std::move(Data); }
+  const uint8_t *data() const { return Data.data(); }
+  uint8_t *data() { return Data.data(); }
+
+  uint8_t operator[](size_t I) const {
+    assert(I < Data.size() && "ByteBuffer index out of range");
+    return Data[I];
+  }
+
+  void push8(uint8_t V) { Data.push_back(V); }
+
+  void push16(uint16_t V) {
+    push8(static_cast<uint8_t>(V));
+    push8(static_cast<uint8_t>(V >> 8));
+  }
+
+  void push32(uint32_t V) {
+    push16(static_cast<uint16_t>(V));
+    push16(static_cast<uint16_t>(V >> 16));
+  }
+
+  void push64(uint64_t V) {
+    push32(static_cast<uint32_t>(V));
+    push32(static_cast<uint32_t>(V >> 32));
+  }
+
+  void pushBytes(std::initializer_list<uint8_t> Bytes) {
+    Data.insert(Data.end(), Bytes.begin(), Bytes.end());
+  }
+
+  void pushBytes(const uint8_t *Bytes, size_t N) {
+    Data.insert(Data.end(), Bytes, Bytes + N);
+  }
+
+  void pushBytes(const std::vector<uint8_t> &Bytes) {
+    Data.insert(Data.end(), Bytes.begin(), Bytes.end());
+  }
+
+  /// Appends \p N copies of \p Fill.
+  void pushFill(size_t N, uint8_t Fill) { Data.insert(Data.end(), N, Fill); }
+
+  /// Pads the buffer with \p Fill until its size is a multiple of \p Align.
+  void alignTo(size_t Align, uint8_t Fill = 0) {
+    assert(Align != 0 && "alignment must be nonzero");
+    while (Data.size() % Align != 0)
+      Data.push_back(Fill);
+  }
+
+  /// Overwrites 4 bytes at \p Offset with \p V (little-endian).
+  void patch32(size_t Offset, uint32_t V) {
+    assert(Offset + 4 <= Data.size() && "patch32 out of range");
+    for (unsigned I = 0; I != 4; ++I)
+      Data[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+
+  /// Overwrites 8 bytes at \p Offset with \p V (little-endian).
+  void patch64(size_t Offset, uint64_t V) {
+    assert(Offset + 8 <= Data.size() && "patch64 out of range");
+    for (unsigned I = 0; I != 8; ++I)
+      Data[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+
+  /// Reads a little-endian integer of \p N bytes (N <= 8) at \p Offset.
+  uint64_t read(size_t Offset, unsigned N) const {
+    assert(N <= 8 && Offset + N <= Data.size() && "read out of range");
+    uint64_t V = 0;
+    for (unsigned I = 0; I != N; ++I)
+      V |= static_cast<uint64_t>(Data[Offset + I]) << (8 * I);
+    return V;
+  }
+
+private:
+  std::vector<uint8_t> Data;
+};
+
+} // namespace e9
+
+#endif // E9_SUPPORT_BYTEBUFFER_H

@@ -1,0 +1,41 @@
+//===- support/Format.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace e9;
+
+std::string e9::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Out.data(), Out.size(), Fmt, Args);
+    Out.resize(static_cast<size_t>(Needed));
+  }
+  va_end(Args);
+  return Out;
+}
+
+std::string e9::hex(uint64_t Value) { return format("0x%llx", (unsigned long long)Value); }
+
+std::string e9::hexBytes(const uint8_t *Bytes, size_t N) {
+  std::string Out;
+  for (size_t I = 0; I != N; ++I) {
+    if (I)
+      Out += ' ';
+    Out += format("%02x", Bytes[I]);
+  }
+  return Out;
+}
+
+std::string e9::hexBytes(const std::vector<uint8_t> &Bytes) {
+  return hexBytes(Bytes.data(), Bytes.size());
+}

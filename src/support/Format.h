@@ -1,0 +1,35 @@
+//===- support/Format.h - Small string formatting helpers ----*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting and hex helpers used by diagnostics
+/// and the table-printing benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_FORMAT_H
+#define E9_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace e9 {
+
+/// Returns a printf-formatted std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats an address as 0x-prefixed lowercase hex.
+std::string hex(uint64_t Value);
+
+/// Formats a byte sequence as space-separated two-digit hex pairs.
+std::string hexBytes(const uint8_t *Bytes, size_t N);
+std::string hexBytes(const std::vector<uint8_t> &Bytes);
+
+} // namespace e9
+
+#endif // E9_SUPPORT_FORMAT_H

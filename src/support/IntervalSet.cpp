@@ -1,0 +1,169 @@
+//===- support/IntervalSet.cpp --------------------------------*- C++ -*-===//
+
+#include "support/IntervalSet.h"
+
+#include <cassert>
+
+using namespace e9;
+
+void IntervalSet::insert(uint64_t Lo, uint64_t Hi) {
+  if (Lo >= Hi)
+    return;
+
+  // Find the first interval whose Lo is > our Lo, then step back to see if
+  // the previous interval touches or overlaps us.
+  auto It = Map.upper_bound(Lo);
+  if (It != Map.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second >= Lo) {
+      // Extend the previous interval instead of inserting a new one.
+      Lo = Prev->first;
+      if (Prev->second > Hi)
+        Hi = Prev->second;
+      It = Map.erase(Prev);
+    }
+  }
+
+  // Absorb all following intervals that overlap or touch [Lo, Hi).
+  while (It != Map.end() && It->first <= Hi) {
+    if (It->second > Hi)
+      Hi = It->second;
+    It = Map.erase(It);
+  }
+
+  Map.emplace(Lo, Hi);
+}
+
+bool IntervalSet::contains(uint64_t Addr) const {
+  auto It = Map.upper_bound(Addr);
+  if (It == Map.begin())
+    return false;
+  --It;
+  return Addr < It->second;
+}
+
+bool IntervalSet::overlaps(uint64_t Lo, uint64_t Hi) const {
+  if (Lo >= Hi)
+    return false;
+  auto It = Map.upper_bound(Lo);
+  if (It != Map.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second > Lo)
+      return true;
+  }
+  return It != Map.end() && It->first < Hi;
+}
+
+void IntervalSet::erase(uint64_t Lo, uint64_t Hi) {
+  if (Lo >= Hi)
+    return;
+
+  // Split the interval containing Lo, if any.
+  auto It = Map.upper_bound(Lo);
+  if (It != Map.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second > Lo) {
+      uint64_t PrevHi = Prev->second;
+      Prev->second = Lo; // Keep [Prev->first, Lo).
+      if (Prev->second == Prev->first)
+        Map.erase(Prev);
+      if (PrevHi > Hi)
+        Map.emplace(Hi, PrevHi); // Keep the tail [Hi, PrevHi).
+    }
+  }
+
+  // Remove or trim all intervals starting inside [Lo, Hi).
+  It = Map.lower_bound(Lo);
+  while (It != Map.end() && It->first < Hi) {
+    if (It->second <= Hi) {
+      It = Map.erase(It);
+      continue;
+    }
+    // Interval extends past Hi: keep the tail.
+    uint64_t TailHi = It->second;
+    Map.erase(It);
+    Map.emplace(Hi, TailHi);
+    break;
+  }
+}
+
+std::optional<uint64_t> IntervalSet::findFreeGap(const Interval &Bound,
+                                                 uint64_t Size) const {
+  if (Size == 0 || Bound.size() < Size)
+    return std::nullopt;
+
+  uint64_t Cursor = Bound.Lo;
+
+  // If an interval covers Cursor, skip to its end first.
+  auto It = Map.upper_bound(Cursor);
+  if (It != Map.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second > Cursor)
+      Cursor = Prev->second;
+  }
+
+  while (true) {
+    if (Cursor > Bound.Hi || Bound.Hi - Cursor < Size)
+      return std::nullopt;
+    if (It == Map.end() || It->first >= Cursor + Size)
+      return Cursor; // The gap [Cursor, Cursor + Size) is free.
+    // Not enough room before the next interval; jump past it.
+    Cursor = It->second;
+    ++It;
+  }
+}
+
+void IntervalSet::missingRanges(uint64_t Lo, uint64_t Hi,
+                                std::vector<Interval> &Out) const {
+  if (Lo >= Hi)
+    return;
+  uint64_t Cursor = Lo;
+  auto It = Map.upper_bound(Lo);
+  if (It != Map.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second > Cursor)
+      Cursor = Prev->second;
+  }
+  while (Cursor < Hi) {
+    if (It == Map.end() || It->first >= Hi) {
+      Out.push_back(Interval{Cursor, Hi});
+      return;
+    }
+    if (It->first > Cursor)
+      Out.push_back(Interval{Cursor, It->first});
+    Cursor = It->second;
+    ++It;
+  }
+}
+
+std::optional<uint64_t> IntervalSet::findFreeStart(const Interval &StartBound,
+                                                   uint64_t Size) const {
+  if (Size == 0 || StartBound.empty())
+    return std::nullopt;
+
+  uint64_t Cursor = StartBound.Lo;
+  auto It = Map.upper_bound(Cursor);
+  if (It != Map.begin()) {
+    auto Prev = std::prev(It);
+    if (Prev->second > Cursor)
+      Cursor = Prev->second;
+  }
+
+  while (Cursor < StartBound.Hi) {
+    uint64_t GapEnd = It == Map.end() ? UINT64_MAX : It->first;
+    if (GapEnd - Cursor >= Size)
+      return Cursor;
+    if (It == Map.end())
+      return std::nullopt;
+    Cursor = It->second;
+    ++It;
+  }
+  return std::nullopt;
+}
+
+uint64_t IntervalSet::totalSize() const {
+  uint64_t Total = 0;
+  for (const auto &[Lo, Hi] : Map)
+    Total += Hi - Lo;
+  return Total;
+}

@@ -1,0 +1,101 @@
+//===- support/IntervalSet.h - Disjoint interval bookkeeping --*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ordered set of disjoint, half-open [Lo, Hi) address intervals with
+/// coalescing insert and free-gap queries. This is the workhorse of the
+/// trampoline address allocator: reserved space is an IntervalSet, and
+/// punning constraints become "find a free gap of size N inside [A, B)".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_INTERVALSET_H
+#define E9_SUPPORT_INTERVALSET_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace e9 {
+
+/// A half-open interval of 64-bit addresses.
+struct Interval {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0; ///< One past the last address; Lo == Hi means empty.
+
+  bool empty() const { return Lo >= Hi; }
+  uint64_t size() const { return empty() ? 0 : Hi - Lo; }
+  bool contains(uint64_t Addr) const { return Addr >= Lo && Addr < Hi; }
+
+  /// Returns the intersection with \p Other (possibly empty).
+  Interval intersect(const Interval &Other) const {
+    Interval R;
+    R.Lo = Lo > Other.Lo ? Lo : Other.Lo;
+    R.Hi = Hi < Other.Hi ? Hi : Other.Hi;
+    if (R.Lo > R.Hi)
+      R.Hi = R.Lo;
+    return R;
+  }
+
+  bool operator==(const Interval &Other) const {
+    return Lo == Other.Lo && Hi == Other.Hi;
+  }
+};
+
+/// Maintains a set of disjoint [Lo, Hi) intervals, coalescing on insert.
+class IntervalSet {
+public:
+  /// Inserts [Lo, Hi), merging with any overlapping or adjacent intervals.
+  void insert(uint64_t Lo, uint64_t Hi);
+  void insert(const Interval &I) { insert(I.Lo, I.Hi); }
+
+  /// Returns true if \p Addr lies inside some interval.
+  bool contains(uint64_t Addr) const;
+
+  /// Returns true if [Lo, Hi) overlaps any interval in the set.
+  bool overlaps(uint64_t Lo, uint64_t Hi) const;
+
+  /// Removes [Lo, Hi) from the set, splitting intervals as needed.
+  void erase(uint64_t Lo, uint64_t Hi);
+
+  /// Appends to \p Out the subranges of [Lo, Hi) NOT covered by the set
+  /// (the complement restricted to the query range).
+  void missingRanges(uint64_t Lo, uint64_t Hi,
+                     std::vector<Interval> &Out) const;
+
+  /// Finds the lowest gap of at least \p Size bytes that lies entirely
+  /// within [Bound.Lo, Bound.Hi) and does not overlap any interval.
+  /// Returns the gap start address, or nullopt when no such gap exists.
+  std::optional<uint64_t> findFreeGap(const Interval &Bound,
+                                      uint64_t Size) const;
+
+  /// Finds the lowest address A with A in [StartBound.Lo, StartBound.Hi)
+  /// such that [A, A+Size) does not overlap any interval. Unlike
+  /// findFreeGap, only the *start* is bounded — the extent may run past
+  /// StartBound.Hi.
+  std::optional<uint64_t> findFreeStart(const Interval &StartBound,
+                                        uint64_t Size) const;
+
+  /// Number of disjoint intervals currently stored.
+  size_t intervalCount() const { return Map.size(); }
+
+  /// Sum of sizes of all stored intervals.
+  uint64_t totalSize() const;
+
+  /// Iteration over (Lo -> Hi) pairs in address order.
+  auto begin() const { return Map.begin(); }
+  auto end() const { return Map.end(); }
+
+  void clear() { Map.clear(); }
+
+private:
+  std::map<uint64_t, uint64_t> Map; ///< Lo -> Hi, disjoint and sorted.
+};
+
+} // namespace e9
+
+#endif // E9_SUPPORT_INTERVALSET_H

@@ -1,0 +1,58 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic splitmix64-based RNG. Used by the workload
+/// generator and the property tests; determinism per seed keeps every
+/// experiment reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_RNG_H
+#define E9_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace e9 {
+
+/// splitmix64 generator: tiny state, good distribution, fully deterministic.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "Rng::below bound must be nonzero");
+    return next() % Bound;
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "Rng::range requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace e9
+
+#endif // E9_SUPPORT_RNG_H

@@ -1,0 +1,12 @@
+//===- support/Status.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void e9::unreachableInternal(const char *Msg, const char *File,
+                             unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

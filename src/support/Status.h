@@ -1,0 +1,107 @@
+//===- support/Status.h - Lightweight error propagation -------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal Status/Result types used for recoverable errors throughout the
+/// library. Exceptions and RTTI are not used; programmatic errors are
+/// handled with assert()/unreachable instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_STATUS_H
+#define E9_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace e9 {
+
+/// Result of a fallible operation with a human-readable reason on failure.
+class Status {
+public:
+  /// Creates a success value.
+  static Status ok() { return Status(); }
+
+  /// Creates a failure value carrying \p Reason.
+  static Status error(std::string Reason) {
+    Status S;
+    S.Failed = true;
+    S.Reason = std::move(Reason);
+    return S;
+  }
+
+  /// Returns true when the operation succeeded.
+  bool isOk() const { return !Failed; }
+
+  explicit operator bool() const { return isOk(); }
+
+  /// Returns the failure reason; empty for success values.
+  const std::string &reason() const { return Reason; }
+
+private:
+  bool Failed = false;
+  std::string Reason;
+};
+
+/// A value-or-error wrapper in the spirit of llvm::Expected, without the
+/// checked-error machinery (errors are plain strings).
+template <typename T> class Result {
+public:
+  Result(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure result from a Status; \p S must be an error.
+  Result(Status S) : Err(std::move(S)) {
+    assert(!Err->isOk() && "Result error constructed from a success Status");
+  }
+
+  static Result<T> error(std::string Reason) {
+    return Result<T>(Status::error(std::move(Reason)));
+  }
+
+  bool isOk() const { return Value.has_value(); }
+  explicit operator bool() const { return isOk(); }
+
+  /// Returns the contained value; only valid when isOk().
+  T &operator*() {
+    assert(isOk() && "dereferencing a failed Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(isOk() && "dereferencing a failed Result");
+    return *Value;
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+  /// Returns the failure reason; only valid when !isOk().
+  const std::string &reason() const {
+    assert(!isOk() && "reading the error of a successful Result");
+    return Err->reason();
+  }
+
+  /// Moves the value out; only valid when isOk().
+  T take() {
+    assert(isOk() && "taking the value of a failed Result");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Status> Err;
+};
+
+/// Marks unreachable program points; aborts with a message when hit.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace e9
+
+#define e9_unreachable(Msg)                                                    \
+  ::e9::unreachableInternal(Msg, __FILE__, __LINE__)
+
+#endif // E9_SUPPORT_STATUS_H

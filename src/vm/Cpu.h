@@ -1,0 +1,100 @@
+//===- vm/Cpu.h - x86_64 CPU state ------------------------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural state interpreted by the VM: 16 GPRs, rip and the status
+/// flags. Flags are stored unpacked and marshalled to/from an RFLAGS image
+/// for pushfq/popfq.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_VM_CPU_H
+#define E9_VM_CPU_H
+
+#include "x86/Register.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace e9 {
+namespace vm {
+
+/// x86_64 register file + status flags.
+struct Cpu {
+  std::array<uint64_t, 16> Gpr{};
+  uint64_t Rip = 0;
+
+  bool CF = false;
+  bool PF = false;
+  bool AF = false;
+  bool ZF = false;
+  bool SF = false;
+  bool OF = false;
+  bool DF = false; ///< Direction flag (string ops).
+
+  uint64_t &reg(x86::Reg R) {
+    assert(R < x86::Reg::RIP && "only GPRs live in the register file");
+    return Gpr[x86::regEncoding(R)];
+  }
+  uint64_t reg(x86::Reg R) const {
+    assert(R < x86::Reg::RIP && "only GPRs live in the register file");
+    return Gpr[x86::regEncoding(R)];
+  }
+  uint64_t &rsp() { return Gpr[4]; }
+
+  /// Packs the flags into an RFLAGS image (reserved bit 1 set, IF set).
+  uint64_t rflags() const {
+    uint64_t F = 0x202; // bit1 reserved, IF
+    F |= CF ? 1ull << 0 : 0;
+    F |= PF ? 1ull << 2 : 0;
+    F |= AF ? 1ull << 4 : 0;
+    F |= ZF ? 1ull << 6 : 0;
+    F |= SF ? 1ull << 7 : 0;
+    F |= DF ? 1ull << 10 : 0;
+    F |= OF ? 1ull << 11 : 0;
+    return F;
+  }
+
+  void setRflags(uint64_t F) {
+    CF = F & (1ull << 0);
+    PF = F & (1ull << 2);
+    AF = F & (1ull << 4);
+    ZF = F & (1ull << 6);
+    SF = F & (1ull << 7);
+    DF = F & (1ull << 10);
+    OF = F & (1ull << 11);
+  }
+
+  /// Evaluates an x86 condition code against the current flags.
+  bool cond(x86::Cond C) const {
+    using x86::Cond;
+    switch (C) {
+    case Cond::O:  return OF;
+    case Cond::NO: return !OF;
+    case Cond::B:  return CF;
+    case Cond::AE: return !CF;
+    case Cond::E:  return ZF;
+    case Cond::NE: return !ZF;
+    case Cond::BE: return CF || ZF;
+    case Cond::A:  return !CF && !ZF;
+    case Cond::S:  return SF;
+    case Cond::NS: return !SF;
+    case Cond::P:  return PF;
+    case Cond::NP: return !PF;
+    case Cond::L:  return SF != OF;
+    case Cond::GE: return SF == OF;
+    case Cond::LE: return ZF || SF != OF;
+    case Cond::G:  return !ZF && SF == OF;
+    }
+    return false;
+  }
+};
+
+} // namespace vm
+} // namespace e9
+
+#endif // E9_VM_CPU_H

@@ -1,0 +1,40 @@
+//===- vm/Hooks.h - Canonical host-hook addresses --------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Well-known addresses for VM host hooks. Guest code reaches the host
+/// runtime (the malloc/free substitute for libc, the LowFat redzone check,
+/// instrumentation callbacks) by calling these addresses; the VM intercepts
+/// rip and runs the host function. The whole region is reserved so the
+/// rewriter never places trampolines there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_VM_HOOKS_H
+#define E9_VM_HOOKS_H
+
+#include <cstdint>
+
+namespace e9 {
+namespace vm {
+
+/// Reserved hook/exit region: [HookRegionStart, HookRegionEnd).
+inline constexpr uint64_t HookRegionStart = 0x7e9e00000000ULL;
+inline constexpr uint64_t HookRegionEnd = 0x7ea000000000ULL;
+
+/// Guest calling convention: System V (args rdi/rsi/rdx, result rax).
+inline constexpr uint64_t HookMalloc = 0x7e9f00000000ULL;
+inline constexpr uint64_t HookFree = 0x7e9f00000100ULL;
+inline constexpr uint64_t HookCalloc = 0x7e9f00000200ULL;
+/// LowFat redzone check: rdi = written-to pointer (§6.3).
+inline constexpr uint64_t HookLowFatCheck = 0x7e9f00000300ULL;
+/// Generic instrumentation callback: rdi = patch location address.
+inline constexpr uint64_t HookInstrument = 0x7e9f00000400ULL;
+
+} // namespace vm
+} // namespace e9
+
+#endif // E9_VM_HOOKS_H

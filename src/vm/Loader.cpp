@@ -1,0 +1,91 @@
+//===- vm/Loader.cpp ------------------------------------------*- C++ -*-===//
+
+#include "vm/Loader.h"
+
+#include "support/Format.h"
+
+#include <cstring>
+#include <map>
+
+using namespace e9;
+using namespace e9::vm;
+
+Result<LoadStats> vm::load(Vm &V, const elf::Image &Img,
+                           const LoadOptions &Opts) {
+  LoadStats Stats;
+
+  for (const elf::Segment &S : Img.Segments) {
+    if (Status St = V.Mem.mapBytes(S.VAddr, S.Bytes, S.MemSize, S.Flags); !St)
+      return Result<LoadStats>::error(
+          format("loading segment %s at %s failed: %s", S.Name.c_str(),
+                 hex(S.VAddr).c_str(), St.reason().c_str()));
+  }
+
+  // Apply the trampoline mapping table with shared physical pages: one
+  // physical page per (block, page-offset), reused across mappings.
+  std::map<std::pair<uint32_t, uint64_t>, PhysPageRef> SharedPages;
+  for (const elf::Mapping &M : Img.Mappings) {
+    if ((M.VAddr & PageMask) != 0 || (M.Offset & PageMask) != 0)
+      return Result<LoadStats>::error(
+          format("mapping at %s is not page aligned", hex(M.VAddr).c_str()));
+    if (M.BlockIndex >= Img.Blocks.size())
+      return Result<LoadStats>::error("mapping references missing block");
+    if (M.VAddr + M.Size < M.VAddr || M.Size > (1ull << 42))
+      return Result<LoadStats>::error("mapping size out of range");
+    const elf::PhysBlock &B = Img.Blocks[M.BlockIndex];
+    uint64_t Pages = (M.Size + PageSize - 1) / PageSize;
+    for (uint64_t P = 0; P != Pages; ++P) {
+      uint64_t Off = M.Offset + P * PageSize;
+      // Coarse-granularity blocks (M > 1) may straddle regions that are
+      // already mapped (segments, guard zones). Pages carrying no
+      // trampoline bytes are simply skipped (MAP_FIXED_NOREPLACE style);
+      // losing *non-zero* bytes would corrupt the program and is an error.
+      if (V.Mem.isMapped(M.VAddr + P * PageSize)) {
+        bool AllZero = true;
+        for (uint64_t I = Off; I < Off + PageSize && I < B.Bytes.size(); ++I)
+          if (B.Bytes[I] != 0) {
+            AllZero = false;
+            break;
+          }
+        if (AllZero)
+          continue;
+        return Result<LoadStats>::error(
+            format("mapping block %u collides with mapped page %s",
+                   M.BlockIndex, hex(M.VAddr + P * PageSize).c_str()));
+      }
+      auto Key = std::make_pair(M.BlockIndex, Off);
+      auto It = SharedPages.find(Key);
+      if (It == SharedPages.end()) {
+        PhysPageRef Page = allocPhysPage();
+        if (Off < B.Bytes.size()) {
+          size_t N = std::min<size_t>(PageSize, B.Bytes.size() - Off);
+          std::memcpy(Page->data(), B.Bytes.data() + Off, N);
+        }
+        It = SharedPages.emplace(Key, std::move(Page)).first;
+      }
+      if (Status St = V.Mem.mapPage(M.VAddr + P * PageSize, It->second,
+                                    static_cast<uint8_t>(M.Flags));
+          !St)
+        return Result<LoadStats>::error(
+            format("mapping block %u at %s failed: %s", M.BlockIndex,
+                   hex(M.VAddr + P * PageSize).c_str(), St.reason().c_str()));
+    }
+    ++Stats.MappingCount;
+  }
+  Stats.SharedPhysPages = SharedPages.size();
+
+  // Stack + exit sentinel (skipped for secondary images).
+  if (Opts.SetupStack) {
+    uint64_t StackBase = Opts.StackTop - Opts.StackSize;
+    if (Status St = V.Mem.mapZero(StackBase, Opts.StackSize, PermR | PermW);
+        !St)
+      return Result<LoadStats>::error(St.reason());
+    V.Core.rsp() = Opts.StackTop - 64;
+    if (Status St = V.push64(ExitAddress); !St)
+      return Result<LoadStats>::error(St.reason());
+    V.Core.Rip = Img.Entry;
+  }
+
+  Stats.TotalPages = V.Mem.mappedPageCount();
+  return Stats;
+}

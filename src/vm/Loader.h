@@ -1,0 +1,51 @@
+//===- vm/Loader.h - Image loader ------------------------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads an elf::Image into a Vm: segments become private pages, and the
+/// rewritten binary's mapping table is applied with *shared* physical
+/// pages — one merged physical block mapped at many virtual addresses,
+/// the loader-side half of physical page grouping. Also sets up the stack
+/// and the exit sentinel return address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_VM_LOADER_H
+#define E9_VM_LOADER_H
+
+#include "elf/Image.h"
+#include "support/Status.h"
+#include "vm/Vm.h"
+
+namespace e9 {
+namespace vm {
+
+/// Load-time placement knobs.
+struct LoadOptions {
+  uint64_t StackTop = 0x7ffffff00000ULL;
+  uint64_t StackSize = 1ull << 20;
+  /// When false, only map the image (no stack/rip setup). Used to load
+  /// additional images — e.g. a rewritten shared object next to an
+  /// untouched main executable (§5.1 mixing patched/non-patched code).
+  bool SetupStack = true;
+};
+
+/// Loader statistics (the RAM-footprint side of page grouping).
+struct LoadStats {
+  size_t MappingCount = 0;       ///< Mappings applied from the table.
+  size_t SharedPhysPages = 0;    ///< Distinct physical pages from blocks.
+  size_t TotalPages = 0;         ///< All mapped pages (segments + stack + blocks).
+};
+
+/// Maps \p Img into \p V, sets rsp (with ExitAddress as the return address
+/// of the entry function) and rip = Img.Entry.
+Result<LoadStats> load(Vm &V, const elf::Image &Img,
+                       const LoadOptions &Opts = LoadOptions());
+
+} // namespace vm
+} // namespace e9
+
+#endif // E9_VM_LOADER_H

@@ -1,0 +1,177 @@
+//===- vm/Memory.cpp ------------------------------------------*- C++ -*-===//
+
+#include "vm/Memory.h"
+
+#include "support/Format.h"
+
+#include <cstring>
+
+using namespace e9;
+using namespace e9::vm;
+
+PhysPageRef e9::vm::allocPhysPage() {
+  auto P = std::make_shared<PhysPage>();
+  P->fill(0);
+  return P;
+}
+
+PhysPageRef e9::vm::zeroPage() {
+  // Function-local static: created on first use, shared VM-wide.
+  static PhysPageRef Zero = allocPhysPage();
+  return Zero;
+}
+
+const Memory::Entry *Memory::lookup(uint64_t Addr) const {
+  auto It = Pages.find(Addr / PageSize);
+  return It == Pages.end() ? nullptr : &It->second;
+}
+
+Status Memory::mapPage(uint64_t VAddr, PhysPageRef Page, uint8_t Perms) {
+  assert((VAddr & PageMask) == 0 && "mapPage requires page alignment");
+  auto [It, Inserted] =
+      Pages.emplace(VAddr / PageSize, Entry{std::move(Page), Perms});
+  (void)It;
+  if (!Inserted)
+    return Status::error(
+        format("page at %s is already mapped", hex(VAddr).c_str()));
+  return Status::ok();
+}
+
+Status Memory::mapZero(uint64_t VAddr, uint64_t Size, uint8_t Perms) {
+  assert((VAddr & PageMask) == 0 && (Size & PageMask) == 0 &&
+         "mapZero requires page alignment");
+  for (uint64_t Off = 0; Off < Size; Off += PageSize)
+    if (Status S = mapPage(VAddr + Off, zeroPage(), Perms); !S)
+      return S;
+  return Status::ok();
+}
+
+Status Memory::mapBytes(uint64_t VAddr, const std::vector<uint8_t> &Bytes,
+                        uint64_t MemSize, uint8_t Perms) {
+  if (MemSize < Bytes.size())
+    return Status::error("MemSize smaller than content");
+  // Reject address wrap-around and absurd sizes (malformed inputs).
+  if (VAddr + MemSize < VAddr || MemSize > (1ull << 42))
+    return Status::error("mapping size out of range");
+  uint64_t Start = VAddr & ~PageMask;
+  uint64_t End = VAddr + MemSize;
+  uint64_t ContentEnd = VAddr + Bytes.size();
+  for (uint64_t Page = Start; Page < End; Page += PageSize) {
+    if (lookup(Page))
+      continue;
+    // Pages entirely past the file content are demand-zero (.bss).
+    bool HasContent = Page < ContentEnd;
+    if (Status S =
+            mapPage(Page, HasContent ? allocPhysPage() : zeroPage(), Perms);
+        !S)
+      return S;
+  }
+  // Copy the content byte-wise through the page table.
+  for (size_t I = 0; I < Bytes.size();) {
+    uint64_t A = VAddr + I;
+    const Entry *E = lookup(A);
+    assert(E && "page must exist after mapping");
+    uint64_t Off = A & PageMask;
+    size_t Chunk = std::min<size_t>(PageSize - Off, Bytes.size() - I);
+    std::memcpy(E->Phys->data() + Off, Bytes.data() + I, Chunk);
+    I += Chunk;
+  }
+  return Status::ok();
+}
+
+bool Memory::isMapped(uint64_t Addr) const { return lookup(Addr) != nullptr; }
+
+bool Memory::isDemandZero(uint64_t Addr) const {
+  const Entry *E = lookup(Addr);
+  return E != nullptr && E->Phys == zeroPage();
+}
+
+uint8_t Memory::perms(uint64_t Addr) const {
+  const Entry *E = lookup(Addr);
+  return E ? E->Perms : 0;
+}
+
+Status Memory::read(uint64_t Addr, uint8_t *Out, size_t N) const {
+  size_t Done = 0;
+  while (Done < N) {
+    uint64_t A = Addr + Done;
+    const Entry *E = lookup(A);
+    if (!E || !(E->Perms & PermR))
+      return Status::error(
+          format("invalid read of %zu bytes at %s", N, hex(Addr).c_str()));
+    uint64_t Off = A & PageMask;
+    size_t Chunk = std::min<size_t>(PageSize - Off, N - Done);
+    std::memcpy(Out + Done, E->Phys->data() + Off, Chunk);
+    Done += Chunk;
+  }
+  return Status::ok();
+}
+
+Status Memory::write(uint64_t Addr, const uint8_t *In, size_t N) {
+  size_t Done = 0;
+  while (Done < N) {
+    uint64_t A = Addr + Done;
+    auto It = Pages.find(A / PageSize);
+    if (It == Pages.end() || !(It->second.Perms & PermW))
+      return Status::error(
+          format("invalid write of %zu bytes at %s", N, hex(Addr).c_str()));
+    // Copy-on-write: never scribble on the shared demand-zero page.
+    if (It->second.Phys == zeroPage())
+      It->second.Phys = allocPhysPage();
+    uint64_t Off = A & PageMask;
+    size_t Chunk = std::min<size_t>(PageSize - Off, N - Done);
+    std::memcpy(It->second.Phys->data() + Off, In, Chunk);
+    In += Chunk;
+    Done += Chunk;
+  }
+  return Status::ok();
+}
+
+size_t Memory::fetch(uint64_t Addr, uint8_t *Out, size_t Max) const {
+  size_t Done = 0;
+  while (Done < Max) {
+    uint64_t A = Addr + Done;
+    const Entry *E = lookup(A);
+    if (!E || !(E->Perms & PermX))
+      break;
+    uint64_t Off = A & PageMask;
+    size_t Chunk = std::min<size_t>(PageSize - Off, Max - Done);
+    std::memcpy(Out + Done, E->Phys->data() + Off, Chunk);
+    Done += Chunk;
+  }
+  return Done;
+}
+
+Status Memory::read64(uint64_t Addr, uint64_t &V) const {
+  return readInt(Addr, 8, V);
+}
+
+Status Memory::write64(uint64_t Addr, uint64_t V) {
+  return writeInt(Addr, 8, V);
+}
+
+Status Memory::readInt(uint64_t Addr, unsigned Size, uint64_t &V) const {
+  uint8_t Buf[8];
+  assert(Size <= 8 && "scalar reads are at most 8 bytes");
+  if (Status S = read(Addr, Buf, Size); !S)
+    return S;
+  V = 0;
+  for (unsigned I = 0; I != Size; ++I)
+    V |= static_cast<uint64_t>(Buf[I]) << (8 * I);
+  return Status::ok();
+}
+
+Status Memory::writeInt(uint64_t Addr, unsigned Size, uint64_t V) {
+  uint8_t Buf[8];
+  assert(Size <= 8 && "scalar writes are at most 8 bytes");
+  for (unsigned I = 0; I != Size; ++I)
+    Buf[I] = static_cast<uint8_t>(V >> (8 * I));
+  return write(Addr, Buf, Size);
+}
+
+size_t Memory::uniquePhysPageCount() const {
+  std::unordered_set<const PhysPage *> Unique;
+  for (const auto &[Idx, E] : Pages)
+    Unique.insert(E.Phys.get());
+  return Unique.size();
+}

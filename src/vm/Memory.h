@@ -1,0 +1,108 @@
+//===- vm/Memory.h - Paged virtual memory ---------------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Page-granular virtual memory for the VM. Physical pages are reference-
+/// counted and may be mapped at multiple virtual addresses — the mechanism
+/// that makes physical page grouping observable: the loader maps one merged
+/// physical block at many virtual block addresses, and uniquePhysPages()
+/// reports the real RAM footprint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_VM_MEMORY_H
+#define E9_VM_MEMORY_H
+
+#include "support/Status.h"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace e9 {
+namespace vm {
+
+/// Page permissions (match ELF PF_* values).
+inline constexpr uint8_t PermX = 1;
+inline constexpr uint8_t PermW = 2;
+inline constexpr uint8_t PermR = 4;
+
+inline constexpr uint64_t PageSize = 4096;
+inline constexpr uint64_t PageMask = PageSize - 1;
+
+/// One 4 KiB physical page.
+using PhysPage = std::array<uint8_t, PageSize>;
+using PhysPageRef = std::shared_ptr<PhysPage>;
+
+/// Allocates a zero-filled physical page.
+PhysPageRef allocPhysPage();
+
+/// The global shared demand-zero page. Zero mappings reference it and are
+/// copied on first write (kernel-style .bss handling), so multi-GiB .bss
+/// segments cost no real memory until touched.
+PhysPageRef zeroPage();
+
+/// Sparse page-table memory with shared physical pages.
+class Memory {
+public:
+  /// Maps one physical page at page-aligned \p VAddr. Fails when the page
+  /// is already mapped.
+  Status mapPage(uint64_t VAddr, PhysPageRef Page, uint8_t Perms);
+
+  /// Maps [VAddr, VAddr+Size) (page-aligned bounds) as fresh zero pages.
+  Status mapZero(uint64_t VAddr, uint64_t Size, uint8_t Perms);
+
+  /// Copies \p Bytes into memory starting at \p VAddr, creating fresh
+  /// pages as needed (non-page-aligned start/size allowed). Pages created
+  /// here get \p Perms; pre-existing pages keep theirs.
+  Status mapBytes(uint64_t VAddr, const std::vector<uint8_t> &Bytes,
+                  uint64_t MemSize, uint8_t Perms);
+
+  bool isMapped(uint64_t Addr) const;
+  /// True when the page containing \p Addr is the shared demand-zero page
+  /// (mapped but never written).
+  bool isDemandZero(uint64_t Addr) const;
+  /// Returns the permissions of the page containing \p Addr (0 if unmapped).
+  uint8_t perms(uint64_t Addr) const;
+
+  /// Reads \p N bytes at \p Addr; requires PermR on every touched page.
+  Status read(uint64_t Addr, uint8_t *Out, size_t N) const;
+  /// Writes \p N bytes at \p Addr; requires PermW on every touched page.
+  Status write(uint64_t Addr, const uint8_t *In, size_t N);
+
+  /// Copies up to \p Max executable bytes starting at \p Addr into \p Out;
+  /// returns the number of bytes copied (0 when the first page is not
+  /// executable or unmapped). Stops early at a non-executable boundary.
+  size_t fetch(uint64_t Addr, uint8_t *Out, size_t Max) const;
+
+  /// Little-endian scalar helpers.
+  Status read64(uint64_t Addr, uint64_t &V) const;
+  Status write64(uint64_t Addr, uint64_t V);
+  Status readInt(uint64_t Addr, unsigned Size, uint64_t &V) const;
+  Status writeInt(uint64_t Addr, unsigned Size, uint64_t V);
+
+  size_t mappedPageCount() const { return Pages.size(); }
+  /// Number of distinct physical pages backing the address space.
+  size_t uniquePhysPageCount() const;
+
+private:
+  struct Entry {
+    PhysPageRef Phys;
+    uint8_t Perms;
+  };
+
+  const Entry *lookup(uint64_t Addr) const;
+
+  std::unordered_map<uint64_t, Entry> Pages; ///< Key: VAddr / PageSize.
+};
+
+} // namespace vm
+} // namespace e9
+
+#endif // E9_VM_MEMORY_H

@@ -1,0 +1,1027 @@
+//===- vm/Vm.cpp - x86_64 interpreter --------------------------*- C++ -*-===//
+
+#include "vm/Vm.h"
+
+#include "support/Format.h"
+#include "x86/Decoder.h"
+
+#include <cstring>
+
+using namespace e9;
+using namespace e9::vm;
+using namespace e9::x86;
+
+namespace {
+
+/// True when the opcode is an 8-bit-operand form.
+bool isByteOp(const Insn &I) {
+  if (I.Map == OpMap::OneByte) {
+    uint8_t Op = I.Opcode;
+    if (Op <= 0x3d)
+      return (Op & 7) == 0 || (Op & 7) == 2 || (Op & 7) == 4;
+    switch (Op) {
+    case 0x80: case 0x84: case 0x86: case 0x88: case 0x8a: case 0xa8:
+    case 0xc0: case 0xc6: case 0xd0: case 0xd2: case 0xf6: case 0xfe:
+      return true;
+    default:
+      return Op >= 0xb0 && Op <= 0xb7;
+    }
+  }
+  if (I.Map == OpMap::Map0F) {
+    uint8_t Op = I.Opcode;
+    return (Op >= 0x90 && Op <= 0x9f) || Op == 0xb6 || Op == 0xbe ||
+           Op == 0xc0;
+  }
+  return false;
+}
+
+/// Effective operand size in bytes.
+unsigned opSize(const Insn &I) {
+  if (isByteOp(I))
+    return 1;
+  if (I.Rex & 0x8)
+    return 8;
+  return I.OpSizeOverride ? 2 : 4;
+}
+
+uint64_t truncTo(uint64_t V, unsigned Size) {
+  if (Size >= 8)
+    return V;
+  return V & ((1ull << (8 * Size)) - 1);
+}
+
+int64_t sextFrom(uint64_t V, unsigned Size) {
+  if (Size >= 8)
+    return static_cast<int64_t>(V);
+  unsigned Shift = 64 - 8 * Size;
+  return static_cast<int64_t>(V << Shift) >> Shift;
+}
+
+bool msb(uint64_t V, unsigned Size) {
+  return (V >> (8 * Size - 1)) & 1;
+}
+
+bool parity8(uint64_t V) {
+  uint8_t B = static_cast<uint8_t>(V);
+  B ^= B >> 4;
+  B ^= B >> 2;
+  B ^= B >> 1;
+  return (B & 1) == 0; // PF set when the low byte has even parity.
+}
+
+/// Reads a register of \p Size bytes. \p HasRex selects the x86_64 8-bit
+/// register file (spl/bpl/sil/dil vs ah/ch/dh/bh for encodings 4-7).
+uint64_t readReg(const Cpu &C, unsigned Enc, unsigned Size, bool HasRex) {
+  if (Size == 1 && !HasRex && Enc >= 4 && Enc < 8)
+    return (C.Gpr[Enc - 4] >> 8) & 0xff; // ah/ch/dh/bh
+  return truncTo(C.Gpr[Enc & 15], Size);
+}
+
+void writeReg(Cpu &C, unsigned Enc, unsigned Size, bool HasRex, uint64_t V) {
+  if (Size == 1 && !HasRex && Enc >= 4 && Enc < 8) {
+    uint64_t &R = C.Gpr[Enc - 4];
+    R = (R & ~0xff00ull) | ((V & 0xff) << 8);
+    return;
+  }
+  uint64_t &R = C.Gpr[Enc & 15];
+  switch (Size) {
+  case 1:
+    R = (R & ~0xffull) | (V & 0xff);
+    break;
+  case 2:
+    R = (R & ~0xffffull) | (V & 0xffff);
+    break;
+  case 4:
+    R = V & 0xffffffffull; // 32-bit writes zero-extend.
+    break;
+  default:
+    R = V;
+    break;
+  }
+}
+
+} // namespace
+
+// --- Vm public helpers -------------------------------------------------------
+
+void Vm::registerHook(uint64_t Addr, HostHook Fn, uint64_t Cost) {
+  Hooks[Addr] = HookEntry{std::move(Fn), Cost};
+}
+
+Status Vm::push64(uint64_t V) {
+  Core.rsp() -= 8;
+  return Mem.write64(Core.rsp(), V);
+}
+
+Status Vm::pop64(uint64_t &V) {
+  if (Status S = Mem.read64(Core.rsp(), V); !S)
+    return S;
+  Core.rsp() += 8;
+  return Status::ok();
+}
+
+// --- Flag helpers (member-free, operate on Cpu) ------------------------------
+
+namespace {
+
+void setFlagsLogic(Cpu &C, uint64_t Res, unsigned Size) {
+  C.CF = false;
+  C.OF = false;
+  C.AF = false;
+  C.ZF = truncTo(Res, Size) == 0;
+  C.SF = msb(Res, Size);
+  C.PF = parity8(Res);
+}
+
+void setFlagsResult(Cpu &C, uint64_t Res, unsigned Size) {
+  C.ZF = truncTo(Res, Size) == 0;
+  C.SF = msb(Res, Size);
+  C.PF = parity8(Res);
+}
+
+uint64_t doAdd(Cpu &C, uint64_t A, uint64_t B, bool CarryIn, unsigned Size) {
+  uint64_t Res = truncTo(A + B + (CarryIn ? 1 : 0), Size);
+  uint64_t TA = truncTo(A, Size), TB = truncTo(B, Size);
+  C.CF = Res < TA || (CarryIn && Res == TA);
+  C.OF = msb((TA ^ Res) & (TB ^ Res), Size);
+  C.AF = ((TA ^ TB ^ Res) & 0x10) != 0;
+  setFlagsResult(C, Res, Size);
+  return Res;
+}
+
+uint64_t doSub(Cpu &C, uint64_t A, uint64_t B, bool BorrowIn, unsigned Size) {
+  uint64_t TA = truncTo(A, Size), TB = truncTo(B, Size);
+  uint64_t Res = truncTo(TA - TB - (BorrowIn ? 1 : 0), Size);
+  C.CF = TA < TB || (BorrowIn && TA == TB);
+  C.OF = msb((TA ^ TB) & (TA ^ Res), Size);
+  C.AF = ((TA ^ TB ^ Res) & 0x10) != 0;
+  setFlagsResult(C, Res, Size);
+  return Res;
+}
+
+/// Executes one of the 8 classic ALU ops; returns the (truncated) result.
+/// For Cmp the caller must not write the result back.
+uint64_t aluExec(Cpu &C, unsigned Op, uint64_t A, uint64_t B, unsigned Size) {
+  switch (Op) {
+  case 0: // add
+    return doAdd(C, A, B, false, Size);
+  case 1: { // or
+    uint64_t R = truncTo(A | B, Size);
+    setFlagsLogic(C, R, Size);
+    return R;
+  }
+  case 2: // adc
+    return doAdd(C, A, B, C.CF, Size);
+  case 3: // sbb
+    return doSub(C, A, B, C.CF, Size);
+  case 4: { // and
+    uint64_t R = truncTo(A & B, Size);
+    setFlagsLogic(C, R, Size);
+    return R;
+  }
+  case 5: // sub
+    return doSub(C, A, B, false, Size);
+  case 6: { // xor
+    uint64_t R = truncTo(A ^ B, Size);
+    setFlagsLogic(C, R, Size);
+    return R;
+  }
+  default: // cmp
+    return doSub(C, A, B, false, Size);
+  }
+}
+
+uint64_t doShift(Cpu &C, unsigned Op, uint64_t A, unsigned Count,
+                 unsigned Size, Status &Err) {
+  Count &= Size == 8 ? 63 : 31;
+  uint64_t TA = truncTo(A, Size);
+  if (Count == 0)
+    return TA; // flags unchanged
+  uint64_t Res;
+  switch (Op) {
+  case 4: // shl
+    Res = truncTo(TA << Count, Size);
+    C.CF = Count <= 8u * Size && ((TA >> (8 * Size - Count)) & 1);
+    C.OF = msb(Res, Size) != C.CF;
+    break;
+  case 5: // shr
+    Res = TA >> Count;
+    C.CF = (TA >> (Count - 1)) & 1;
+    C.OF = msb(TA, Size);
+    break;
+  case 7: // sar
+    Res = truncTo(static_cast<uint64_t>(sextFrom(TA, Size) >>
+                                        static_cast<int64_t>(Count)),
+                  Size);
+    C.CF = (static_cast<uint64_t>(sextFrom(TA, Size)) >> (Count - 1)) & 1;
+    C.OF = false;
+    break;
+  default:
+    Err = Status::error(format("unimplemented shift group op /%u", Op));
+    return 0;
+  }
+  setFlagsResult(C, Res, Size);
+  return Res;
+}
+
+} // namespace
+
+// --- Operand access ------------------------------------------------------------
+
+namespace {
+
+/// Effective address of the instruction's memory operand.
+uint64_t memAddr(const Insn &I, const Cpu &C) {
+  if (I.isRipRelative())
+    return I.ripTarget();
+  uint64_t A = static_cast<uint64_t>(static_cast<int64_t>(I.Disp));
+  Reg Base = I.memBase();
+  if (Base != Reg::None)
+    A += C.Gpr[regEncoding(Base)];
+  Reg Index = I.memIndex();
+  if (Index != Reg::None)
+    A += C.Gpr[regEncoding(Index)] * I.memScale();
+  return A;
+}
+
+} // namespace
+
+// --- The interpreter ---------------------------------------------------------------
+
+Status Vm::execInsn(const Insn &I, const uint8_t *Bytes, ExecKind &Kind) {
+  Kind = ExecKind::Ok;
+  Cpu &C = Core;
+  const unsigned Size = opSize(I);
+  const bool HasRex = I.HasRex;
+  uint64_t Next = I.Address + I.Length;
+
+  if (I.AddrSizeOverride)
+    return Status::error("address-size override is not supported");
+  if (I.SegPrefix == 0x64 || I.SegPrefix == 0x65)
+    return Status::error("fs/gs segment addressing is not supported");
+
+  // r/m operand accessors (valid only when I.HasModRM).
+  auto readRM = [&](unsigned Sz, uint64_t &V) -> Status {
+    if (I.mod() == 3) {
+      V = readReg(C, I.rm(), Sz, HasRex);
+      return Status::ok();
+    }
+    return Mem.readInt(memAddr(I, C), Sz, V);
+  };
+  auto writeRM = [&](unsigned Sz, uint64_t V) -> Status {
+    if (I.mod() == 3) {
+      writeReg(C, I.rm(), Sz, HasRex, V);
+      return Status::ok();
+    }
+    return Mem.writeInt(memAddr(I, C), Sz, V);
+  };
+  auto readRegOp = [&](unsigned Sz) {
+    return readReg(C, I.reg(), Sz, HasRex);
+  };
+  auto writeRegOp = [&](unsigned Sz, uint64_t V) {
+    writeReg(C, I.reg(), Sz, HasRex, V);
+  };
+
+  if (I.Map == OpMap::OneByte) {
+    uint8_t Op = I.Opcode;
+
+    // --- ALU rows 00-3D ----------------------------------------------------
+    if (Op <= 0x3d) {
+      unsigned AluOp = (Op >> 3) & 7;
+      unsigned Form = Op & 7;
+      switch (Form) {
+      case 0:
+      case 1: { // <op> r/m, r
+        uint64_t A, B = readRegOp(Size);
+        if (Status S = readRM(Size, A); !S)
+          return S;
+        uint64_t R = aluExec(C, AluOp, A, B, Size);
+        if (AluOp != 7)
+          if (Status S = writeRM(Size, R); !S)
+            return S;
+        break;
+      }
+      case 2:
+      case 3: { // <op> r, r/m
+        uint64_t B, A = readRegOp(Size);
+        if (Status S = readRM(Size, B); !S)
+          return S;
+        uint64_t R = aluExec(C, AluOp, A, B, Size);
+        if (AluOp != 7)
+          writeRegOp(Size, R);
+        break;
+      }
+      default: { // <op> al/eax, imm
+        uint64_t A = readReg(C, 0, Size, HasRex);
+        uint64_t B = static_cast<uint64_t>(I.Imm);
+        uint64_t R = aluExec(C, AluOp, A, B, Size);
+        if (AluOp != 7)
+          writeReg(C, 0, Size, HasRex, R);
+        break;
+      }
+      }
+      C.Rip = Next;
+      return Status::ok();
+    }
+
+    switch (Op) {
+    case 0x63: { // movsxd r64, r/m32
+      uint64_t V;
+      if (Status S = readRM(4, V); !S)
+        return S;
+      writeRegOp(8, static_cast<uint64_t>(sextFrom(V, 4)));
+      break;
+    }
+    case 0x50: case 0x51: case 0x52: case 0x53:
+    case 0x54: case 0x55: case 0x56: case 0x57: { // push r
+      unsigned Enc = (Op & 7) | ((I.Rex & 1) << 3);
+      if (Status S = push64(C.Gpr[Enc]); !S)
+        return S;
+      break;
+    }
+    case 0x58: case 0x59: case 0x5a: case 0x5b:
+    case 0x5c: case 0x5d: case 0x5e: case 0x5f: { // pop r
+      unsigned Enc = (Op & 7) | ((I.Rex & 1) << 3);
+      uint64_t V;
+      if (Status S = pop64(V); !S)
+        return S;
+      C.Gpr[Enc] = V;
+      break;
+    }
+    case 0x68: // push imm32
+    case 0x6a: // push imm8
+      if (Status S = push64(static_cast<uint64_t>(I.Imm)); !S)
+        return S;
+      break;
+    case 0x69:
+    case 0x6b: { // imul r, r/m, imm
+      uint64_t A;
+      if (Status S = readRM(Size, A); !S)
+        return S;
+      __int128 Full = static_cast<__int128>(sextFrom(A, Size)) *
+                      static_cast<__int128>(I.Imm);
+      uint64_t R = truncTo(static_cast<uint64_t>(Full), Size);
+      C.CF = C.OF = Full != static_cast<__int128>(sextFrom(R, Size));
+      setFlagsResult(C, R, Size);
+      writeRegOp(Size, R);
+      break;
+    }
+    case 0x70: case 0x71: case 0x72: case 0x73: case 0x74: case 0x75:
+    case 0x76: case 0x77: case 0x78: case 0x79: case 0x7a: case 0x7b:
+    case 0x7c: case 0x7d: case 0x7e: case 0x7f: // jcc rel8
+      C.Rip = C.cond(I.cond()) ? I.branchTarget() : Next;
+      return Status::ok();
+    case 0x80:
+    case 0x81:
+    case 0x83: { // grp1 r/m, imm
+      unsigned AluOp = I.regOpcode();
+      uint64_t A;
+      if (Status S = readRM(Size, A); !S)
+        return S;
+      uint64_t R = aluExec(C, AluOp, A, static_cast<uint64_t>(I.Imm), Size);
+      if (AluOp != 7)
+        if (Status S = writeRM(Size, R); !S)
+          return S;
+      break;
+    }
+    case 0x84:
+    case 0x85: { // test r/m, r
+      uint64_t A;
+      if (Status S = readRM(Size, A); !S)
+        return S;
+      setFlagsLogic(C, truncTo(A & readRegOp(Size), Size), Size);
+      break;
+    }
+    case 0x86:
+    case 0x87: { // xchg r/m, r
+      uint64_t A;
+      if (Status S = readRM(Size, A); !S)
+        return S;
+      uint64_t B = readRegOp(Size);
+      if (Status S = writeRM(Size, B); !S)
+        return S;
+      writeRegOp(Size, A);
+      break;
+    }
+    case 0x88:
+    case 0x89: // mov r/m, r
+      if (Status S = writeRM(Size, readRegOp(Size)); !S)
+        return S;
+      break;
+    case 0x8a:
+    case 0x8b: { // mov r, r/m
+      uint64_t V;
+      if (Status S = readRM(Size, V); !S)
+        return S;
+      writeRegOp(Size, V);
+      break;
+    }
+    case 0x8d: // lea
+      if (I.mod() == 3)
+        return Status::error("lea with register operand");
+      writeRegOp(Size, truncTo(memAddr(I, C), Size));
+      break;
+    case 0x8f: { // pop r/m
+      if (I.regOpcode() != 0)
+        return Status::error("unsupported 8F group member");
+      uint64_t V;
+      if (Status S = pop64(V); !S)
+        return S;
+      if (Status S = writeRM(8, V); !S)
+        return S;
+      break;
+    }
+    case 0x90: case 0x91: case 0x92: case 0x93:
+    case 0x94: case 0x95: case 0x96: case 0x97: { // xchg rax, r / nop
+      unsigned Enc = (Op & 7) | ((I.Rex & 1) << 3);
+      if (Enc != 0) {
+        uint64_t T = readReg(C, 0, Size, HasRex);
+        writeReg(C, 0, Size, HasRex, readReg(C, Enc, Size, HasRex));
+        writeReg(C, Enc, Size, HasRex, T);
+      }
+      break;
+    }
+    case 0x98: // cdqe/cwde/cbw
+      if (Size == 8)
+        C.Gpr[0] = static_cast<uint64_t>(sextFrom(C.Gpr[0], 4));
+      else if (Size == 4)
+        writeReg(C, 0, 4, HasRex,
+                 static_cast<uint64_t>(sextFrom(C.Gpr[0], 2)));
+      else
+        writeReg(C, 0, 2, HasRex,
+                 static_cast<uint64_t>(sextFrom(C.Gpr[0], 1)));
+      break;
+    case 0x99: { // cqo/cdq
+      bool Neg = msb(C.Gpr[0], Size);
+      writeReg(C, 2, Size, HasRex, Neg ? ~0ull : 0);
+      break;
+    }
+    case 0x9c: // pushfq
+      if (Status S = push64(C.rflags()); !S)
+        return S;
+      break;
+    case 0x9d: { // popfq
+      uint64_t F;
+      if (Status S = pop64(F); !S)
+        return S;
+      C.setRflags(F);
+      break;
+    }
+    case 0xa8:
+    case 0xa9: // test al/eax, imm
+      setFlagsLogic(C,
+                    truncTo(readReg(C, 0, Size, HasRex) &
+                                static_cast<uint64_t>(I.Imm),
+                            Size),
+                    Size);
+      break;
+    case 0xb0: case 0xb1: case 0xb2: case 0xb3:
+    case 0xb4: case 0xb5: case 0xb6: case 0xb7: { // mov r8, imm8
+      unsigned Enc = (Op & 7) | ((I.Rex & 1) << 3);
+      writeReg(C, Enc, 1, HasRex, static_cast<uint64_t>(I.Imm));
+      break;
+    }
+    case 0xb8: case 0xb9: case 0xba: case 0xbb:
+    case 0xbc: case 0xbd: case 0xbe: case 0xbf: { // mov r, imm
+      unsigned Enc = (Op & 7) | ((I.Rex & 1) << 3);
+      writeReg(C, Enc, Size, HasRex, static_cast<uint64_t>(I.Imm));
+      break;
+    }
+    case 0xc0:
+    case 0xc1:
+    case 0xd0:
+    case 0xd1:
+    case 0xd2:
+    case 0xd3: { // shift groups
+      unsigned Count;
+      if (Op == 0xc0 || Op == 0xc1)
+        Count = static_cast<unsigned>(I.Imm) & 0xff;
+      else if (Op == 0xd0 || Op == 0xd1)
+        Count = 1;
+      else
+        Count = static_cast<unsigned>(C.Gpr[1] & 0xff); // cl
+      uint64_t A;
+      if (Status S = readRM(Size, A); !S)
+        return S;
+      Status Err = Status::ok();
+      uint64_t R = doShift(C, I.regOpcode(), A, Count, Size, Err);
+      if (!Err)
+        return Err;
+      if (Status S = writeRM(Size, R); !S)
+        return S;
+      break;
+    }
+    case 0xc2: { // ret imm16
+      uint64_t Ret;
+      if (Status S = pop64(Ret); !S)
+        return S;
+      C.rsp() += static_cast<uint64_t>(I.Imm) & 0xffff;
+      C.Rip = Ret;
+      return Status::ok();
+    }
+    case 0xc3: { // ret
+      uint64_t Ret;
+      if (Status S = pop64(Ret); !S)
+        return S;
+      C.Rip = Ret;
+      return Status::ok();
+    }
+    case 0xc6:
+    case 0xc7: // mov r/m, imm
+      if (I.regOpcode() != 0)
+        return Status::error("unsupported C6/C7 group member");
+      if (Status S = writeRM(Size, static_cast<uint64_t>(I.Imm)); !S)
+        return S;
+      break;
+    case 0xc9: { // leave
+      C.rsp() = C.Gpr[5]; // rbp
+      uint64_t V;
+      if (Status S = pop64(V); !S)
+        return S;
+      C.Gpr[5] = V;
+      break;
+    }
+    case 0xe0:   // loopne
+    case 0xe1:   // loope
+    case 0xe2:   // loop
+    case 0xe3: { // jrcxz
+      bool Taken;
+      if (Op == 0xe3) {
+        Taken = C.Gpr[1] == 0;
+      } else {
+        --C.Gpr[1]; // rcx, flags untouched
+        Taken = C.Gpr[1] != 0;
+        if (Op == 0xe1)
+          Taken = Taken && C.ZF;
+        else if (Op == 0xe0)
+          Taken = Taken && !C.ZF;
+      }
+      C.Rip = Taken ? I.branchTarget() : Next;
+      return Status::ok();
+    }
+    case 0xe8: // call rel32
+      if (Status S = push64(Next); !S)
+        return S;
+      C.Rip = I.branchTarget();
+      return Status::ok();
+    case 0xe9:
+    case 0xeb: // jmp
+      C.Rip = I.branchTarget();
+      return Status::ok();
+    case 0xf4: // hlt: clean program exit
+      Kind = ExecKind::Halt;
+      C.Rip = Next;
+      return Status::ok();
+    case 0xf5:
+      C.CF = !C.CF;
+      break;
+    case 0xf8:
+      C.CF = false;
+      break;
+    case 0xf9:
+      C.CF = true;
+      break;
+    case 0xfc:
+      C.DF = false;
+      break;
+    case 0xfd:
+      C.DF = true;
+      break;
+    // --- String operations (movs/stos/lods/scas/cmps + rep/repe/repne) --
+    case 0xa4: case 0xa5: case 0xa6: case 0xa7:
+    case 0xaa: case 0xab: case 0xac: case 0xad:
+    case 0xae: case 0xaf: {
+      unsigned Width = (Op & 1) == 0 ? 1u : Size;
+      int64_t Step = C.DF ? -static_cast<int64_t>(Width)
+                          : static_cast<int64_t>(Width);
+      bool IsCmps = Op == 0xa6 || Op == 0xa7;
+      bool IsScas = Op == 0xae || Op == 0xaf;
+      bool CondRep = IsCmps || IsScas;
+      // Hard cap so a garbage rcx cannot hang the interpreter.
+      constexpr uint64_t MaxRepIters = 1ull << 24;
+      uint64_t Iters = 0;
+      while (true) {
+        if (I.RepPrefix != 0 && C.Gpr[1] == 0)
+          break;
+        uint64_t V;
+        switch (Op & ~1u) {
+        case 0xa4: // movs
+          if (Status S = Mem.readInt(C.Gpr[6], Width, V); !S)
+            return S;
+          if (Status S = Mem.writeInt(C.Gpr[7], Width, V); !S)
+            return S;
+          C.Gpr[6] += Step;
+          C.Gpr[7] += Step;
+          break;
+        case 0xa6: { // cmps
+          uint64_t A, B;
+          if (Status S = Mem.readInt(C.Gpr[6], Width, A); !S)
+            return S;
+          if (Status S = Mem.readInt(C.Gpr[7], Width, B); !S)
+            return S;
+          doSub(C, A, B, false, Width);
+          C.Gpr[6] += Step;
+          C.Gpr[7] += Step;
+          break;
+        }
+        case 0xaa: // stos
+          if (Status S =
+                  Mem.writeInt(C.Gpr[7], Width, truncTo(C.Gpr[0], Width));
+              !S)
+            return S;
+          C.Gpr[7] += Step;
+          break;
+        case 0xac: // lods
+          if (Status S = Mem.readInt(C.Gpr[6], Width, V); !S)
+            return S;
+          writeReg(C, 0, Width, HasRex, V);
+          C.Gpr[6] += Step;
+          break;
+        default: { // scas
+          if (Status S = Mem.readInt(C.Gpr[7], Width, V); !S)
+            return S;
+          doSub(C, C.Gpr[0], V, false, Width);
+          C.Gpr[7] += Step;
+          break;
+        }
+        }
+        if (I.RepPrefix == 0)
+          break;
+        --C.Gpr[1]; // rcx
+        if (CondRep) {
+          // repe (f3) continues while ZF; repne (f2) while !ZF.
+          if (I.RepPrefix == 0xf3 && !C.ZF)
+            break;
+          if (I.RepPrefix == 0xf2 && C.ZF)
+            break;
+        }
+        if (++Iters > MaxRepIters)
+          return Status::error("rep iteration limit exceeded");
+      }
+      break;
+    }
+    case 0xf6:
+    case 0xf7: { // grp3
+      unsigned Sub = I.regOpcode();
+      uint64_t A;
+      if (Status S = readRM(Size, A); !S)
+        return S;
+      switch (Sub) {
+      case 0:
+      case 1: // test r/m, imm
+        setFlagsLogic(C, truncTo(A & static_cast<uint64_t>(I.Imm), Size),
+                      Size);
+        break;
+      case 2: // not
+        if (Status S = writeRM(Size, truncTo(~A, Size)); !S)
+          return S;
+        break;
+      case 3: { // neg
+        uint64_t R = doSub(C, 0, A, false, Size);
+        C.CF = truncTo(A, Size) != 0;
+        if (Status S = writeRM(Size, R); !S)
+          return S;
+        break;
+      }
+      case 4: { // mul: rdx:rax = rax * r/m
+        unsigned __int128 Full =
+            static_cast<unsigned __int128>(truncTo(C.Gpr[0], Size)) *
+            static_cast<unsigned __int128>(truncTo(A, Size));
+        uint64_t Lo = truncTo(static_cast<uint64_t>(Full), Size);
+        uint64_t Hi =
+            truncTo(static_cast<uint64_t>(Full >> (8 * Size)), Size);
+        writeReg(C, 0, Size, HasRex, Lo);
+        if (Size > 1)
+          writeReg(C, 2, Size, HasRex, Hi);
+        else
+          writeReg(C, 0, 2, HasRex, static_cast<uint64_t>(Full) & 0xffff);
+        C.CF = C.OF = Hi != 0;
+        break;
+      }
+      case 5: { // imul (one operand)
+        __int128 Full = static_cast<__int128>(sextFrom(C.Gpr[0], Size)) *
+                        static_cast<__int128>(sextFrom(A, Size));
+        uint64_t Lo = truncTo(static_cast<uint64_t>(Full), Size);
+        uint64_t Hi =
+            truncTo(static_cast<uint64_t>(static_cast<unsigned __int128>(
+                        Full) >> (8 * Size)),
+                    Size);
+        if (Size > 1) {
+          writeReg(C, 0, Size, HasRex, Lo);
+          writeReg(C, 2, Size, HasRex, Hi);
+        } else {
+          // 8-bit form: AX = AL * r/m8.
+          writeReg(C, 0, 2, HasRex, static_cast<uint64_t>(Full) & 0xffff);
+        }
+        C.CF = C.OF = Full != static_cast<__int128>(sextFrom(Lo, Size));
+        break;
+      }
+      case 6: { // div: rax = rdx:rax / r/m; rdx = remainder
+        if (Size == 1)
+          return Status::error("8-bit divide is not implemented");
+        uint64_t Divisor = truncTo(A, Size);
+        if (Divisor == 0)
+          return Status::error("divide by zero");
+        unsigned __int128 Dividend =
+            (static_cast<unsigned __int128>(truncTo(C.Gpr[2], Size))
+             << (8 * Size)) |
+            truncTo(C.Gpr[0], Size);
+        unsigned __int128 Q = Dividend / Divisor;
+        uint64_t Rem = static_cast<uint64_t>(Dividend % Divisor);
+        if (Q >> (8 * Size))
+          return Status::error("divide overflow (#DE)");
+        writeReg(C, 0, Size, HasRex, static_cast<uint64_t>(Q));
+        writeReg(C, 2, Size, HasRex, Rem);
+        break;
+      }
+      case 7: { // idiv (signed)
+        if (Size == 1)
+          return Status::error("8-bit divide is not implemented");
+        int64_t Divisor = sextFrom(A, Size);
+        if (Divisor == 0)
+          return Status::error("divide by zero");
+        __int128 Dividend =
+            (static_cast<__int128>(sextFrom(C.Gpr[2], Size))
+             << (8 * Size)) |
+            static_cast<unsigned __int128>(truncTo(C.Gpr[0], Size));
+        __int128 Q = Dividend / Divisor;
+        int64_t Rem = static_cast<int64_t>(Dividend % Divisor);
+        __int128 Lim = static_cast<__int128>(1) << (8 * Size - 1);
+        if (Q >= Lim || Q < -Lim)
+          return Status::error("divide overflow (#DE)");
+        writeReg(C, 0, Size, HasRex, static_cast<uint64_t>(Q));
+        writeReg(C, 2, Size, HasRex, static_cast<uint64_t>(Rem));
+        break;
+      }
+      default:
+        return Status::error("unsupported F6/F7 group member");
+      }
+      break;
+    }
+    case 0xfe:
+    case 0xff: {
+      unsigned Sub = I.regOpcode();
+      if (Op == 0xfe && Sub > 1)
+        return Status::error("unsupported FE group member");
+      switch (Sub) {
+      case 0:
+      case 1: { // inc/dec r/m
+        uint64_t A;
+        if (Status S = readRM(Size, A); !S)
+          return S;
+        bool SavedCF = C.CF; // inc/dec leave CF untouched
+        uint64_t R = Sub == 0 ? doAdd(C, A, 1, false, Size)
+                              : doSub(C, A, 1, false, Size);
+        C.CF = SavedCF;
+        if (Status S = writeRM(Size, R); !S)
+          return S;
+        break;
+      }
+      case 2: { // call r/m64
+        uint64_t T;
+        if (Status S = readRM(8, T); !S)
+          return S;
+        if (Status S = push64(Next); !S)
+          return S;
+        C.Rip = T;
+        return Status::ok();
+      }
+      case 4: { // jmp r/m64
+        uint64_t T;
+        if (Status S = readRM(8, T); !S)
+          return S;
+        C.Rip = T;
+        return Status::ok();
+      }
+      case 6: { // push r/m64
+        uint64_t V;
+        if (Status S = readRM(8, V); !S)
+          return S;
+        if (Status S = push64(V); !S)
+          return S;
+        break;
+      }
+      default:
+        return Status::error("unsupported FF group member");
+      }
+      break;
+    }
+    default:
+      return Status::error(format("unimplemented opcode 0x%02x at %s", Op,
+                                  hex(I.Address).c_str()));
+    }
+    C.Rip = Next;
+    return Status::ok();
+  }
+
+  if (I.Map == OpMap::Map0F) {
+    uint8_t Op = I.Opcode;
+    // jcc rel32
+    if (Op >= 0x80 && Op <= 0x8f) {
+      C.Rip = C.cond(I.cond()) ? I.branchTarget() : Next;
+      return Status::ok();
+    }
+    // cmovcc
+    if (Op >= 0x40 && Op <= 0x4f) {
+      uint64_t V;
+      if (Status S = readRM(Size, V); !S)
+        return S;
+      if (C.cond(I.cond()))
+        writeRegOp(Size, V);
+      else if (Size == 4)
+        writeRegOp(4, readRegOp(4)); // 32-bit cmov still zero-extends
+      C.Rip = Next;
+      return Status::ok();
+    }
+    // setcc
+    if (Op >= 0x90 && Op <= 0x9f) {
+      if (Status S = writeRM(1, C.cond(I.cond()) ? 1 : 0); !S)
+        return S;
+      C.Rip = Next;
+      return Status::ok();
+    }
+    switch (Op) {
+    case 0x0b: // ud2: deliberate abort
+      Kind = ExecKind::Ud2;
+      return Status::ok();
+    case 0x18: case 0x19: case 0x1a: case 0x1b:
+    case 0x1c: case 0x1d: case 0x1e: case 0x1f: // hint nops
+      break;
+    case 0xb0:
+    case 0xb1: { // cmpxchg r/m, r
+      unsigned Sz = Op == 0xb0 ? 1 : Size;
+      uint64_t Dst;
+      if (Status S = readRM(Sz, Dst); !S)
+        return S;
+      uint64_t Acc = readReg(C, 0, Sz, HasRex);
+      doSub(C, Acc, Dst, false, Sz); // sets ZF per the comparison
+      if (C.ZF) {
+        if (Status S = writeRM(Sz, readRegOp(Sz)); !S)
+          return S;
+      } else {
+        writeReg(C, 0, Sz, HasRex, Dst);
+      }
+      break;
+    }
+    case 0xc0:
+    case 0xc1: { // xadd r/m, r
+      unsigned Sz = Op == 0xc0 ? 1 : Size;
+      uint64_t Dst;
+      if (Status S = readRM(Sz, Dst); !S)
+        return S;
+      uint64_t Src = readRegOp(Sz);
+      uint64_t Sum = doAdd(C, Dst, Src, false, Sz);
+      writeRegOp(Sz, Dst);
+      if (Status S = writeRM(Sz, Sum); !S)
+        return S;
+      break;
+    }
+    case 0xaf: { // imul r, r/m
+      uint64_t A;
+      if (Status S = readRM(Size, A); !S)
+        return S;
+      __int128 Full = static_cast<__int128>(sextFrom(readRegOp(Size), Size)) *
+                      static_cast<__int128>(sextFrom(A, Size));
+      uint64_t R = truncTo(static_cast<uint64_t>(Full), Size);
+      C.CF = C.OF = Full != static_cast<__int128>(sextFrom(R, Size));
+      setFlagsResult(C, R, Size);
+      writeRegOp(Size, R);
+      break;
+    }
+    case 0xb6:
+    case 0xb7:
+    case 0xbe:
+    case 0xbf: { // movzx/movsx: byte/word source, full-size destination
+      unsigned SrcSize = (Op == 0xb6 || Op == 0xbe) ? 1 : 2;
+      unsigned DstSize =
+          (I.Rex & 0x8) ? 8 : I.OpSizeOverride ? 2 : 4;
+      uint64_t V;
+      if (Status S = readRM(SrcSize, V); !S)
+        return S;
+      if (Op >= 0xbe)
+        V = static_cast<uint64_t>(sextFrom(V, SrcSize));
+      else
+        V = truncTo(V, SrcSize);
+      writeRegOp(DstSize, truncTo(V, DstSize));
+      break;
+    }
+    case 0xc8: case 0xc9: case 0xca: case 0xcb:
+    case 0xcc: case 0xcd: case 0xce: case 0xcf: { // bswap
+      unsigned Enc = (Op & 7) | ((I.Rex & 1) << 3);
+      uint64_t V = readReg(C, Enc, Size, HasRex);
+      uint64_t R = 0;
+      for (unsigned B = 0; B != Size; ++B)
+        R |= ((V >> (8 * B)) & 0xff) << (8 * (Size - 1 - B));
+      writeReg(C, Enc, Size, HasRex, R);
+      break;
+    }
+    default:
+      return Status::error(format("unimplemented opcode 0x0f 0x%02x at %s",
+                                  Op, hex(I.Address).c_str()));
+    }
+    C.Rip = Next;
+    return Status::ok();
+  }
+
+  return Status::error("VEX/EVEX instructions are not implemented");
+}
+
+RunResult Vm::run(uint64_t MaxInsns) {
+  RunResult R;
+  uint8_t Buf[MaxInsnLength];
+
+  while (R.InsnCount < MaxInsns) {
+    uint64_t Rip = Core.Rip;
+    if (Rip == ExitAddress) {
+      R.Kind = RunResult::Exit::Finished;
+      return R;
+    }
+
+    // Host hooks behave as called functions: run the host code, then ret.
+    if (!Hooks.empty()) {
+      auto HookIt = Hooks.find(Rip);
+      if (HookIt != Hooks.end()) {
+        R.Cost += HookIt->second.Cost;
+        if (Status S = HookIt->second.Fn(*this); !S) {
+          R.Kind = RunResult::Exit::Fault;
+          R.Error = format("hook at %s failed: %s", hex(Rip).c_str(),
+                           S.reason().c_str());
+          return R;
+        }
+        uint64_t Ret;
+        if (Status S = pop64(Ret); !S) {
+          R.Kind = RunResult::Exit::Fault;
+          R.Error = S.reason();
+          return R;
+        }
+        Core.Rip = Ret;
+        continue;
+      }
+    }
+
+    auto Cached = DecodeCache.find(Rip);
+    if (Cached == DecodeCache.end()) {
+      size_t N = Mem.fetch(Rip, Buf, sizeof(Buf));
+      if (N == 0) {
+        R.Kind = RunResult::Exit::Fault;
+        R.Error = format("cannot execute at %s (unmapped or NX)",
+                         hex(Rip).c_str());
+        return R;
+      }
+      Insn Decoded;
+      DecodeStatus DS = decode(Buf, N, Rip, Decoded);
+      if (DS != DecodeStatus::Ok) {
+        R.Kind = RunResult::Exit::Fault;
+        R.Error =
+            format("cannot decode instruction at %s (%s)", hex(Rip).c_str(),
+                   hexBytes(Buf, N < 8 ? N : 8).c_str());
+        return R;
+      }
+      Cached = DecodeCache.emplace(Rip, Decoded).first;
+    }
+    const Insn &I = Cached->second;
+
+    if (I.isInt3()) {
+      if (!OnTrap) {
+        R.Kind = RunResult::Exit::Fault;
+        R.Error = format("unhandled int3 at %s", hex(Rip).c_str());
+        return R;
+      }
+      ++R.InsnCount;
+      R.Cost += Costs.TrapCost;
+      if (Status S = OnTrap(*this, Rip); !S) {
+        R.Kind = RunResult::Exit::Fault;
+        R.Error = format("trap handler failed at %s: %s", hex(Rip).c_str(),
+                         S.reason().c_str());
+        return R;
+      }
+      continue;
+    }
+
+    if (OnStep)
+      OnStep(Rip);
+    ExecKind Kind;
+    Status S = execInsn(I, Buf, Kind);
+    ++R.InsnCount;
+    R.Cost += Costs.InsnCost;
+    if (!S) {
+      size_t N = Mem.fetch(Rip, Buf, I.Length);
+      R.Kind = RunResult::Exit::Fault;
+      R.Error = format("at rip=%s (%s): %s", hex(Rip).c_str(),
+                       hexBytes(Buf, N).c_str(), S.reason().c_str());
+      return R;
+    }
+    if (Kind == ExecKind::Halt) {
+      R.Kind = RunResult::Exit::Finished;
+      return R;
+    }
+    if (Kind == ExecKind::Ud2) {
+      R.Kind = RunResult::Exit::Ud2;
+      R.Error = format("ud2 executed at %s", hex(Rip).c_str());
+      return R;
+    }
+  }
+  R.Kind = RunResult::Exit::InsnLimit;
+  R.Error = "instruction budget exhausted";
+  return R;
+}

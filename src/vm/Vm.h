@@ -1,0 +1,116 @@
+//===- vm/Vm.h - x86_64 interpreter ----------------------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The x86_64 interpreter used to execute original and rewritten binaries.
+/// It decodes and runs the *actual bytes* — including punned/overlapping
+/// jump encodings produced by the rewriter — so semantic preservation is
+/// checked end-to-end, and its instruction/cost counters substitute for the
+/// paper's wall-clock overhead measurements (see DESIGN.md §2.2).
+///
+/// Host hooks model the runtime environment (malloc/free, instrumentation
+/// callbacks, the LowFat redzone check): when rip reaches a registered hook
+/// address the host function runs and the VM emulates the `ret`.
+/// The int3 trap handler models the B0 signal-handler baseline with a
+/// configurable kernel-roundtrip cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_VM_VM_H
+#define E9_VM_VM_H
+
+#include "vm/Cpu.h"
+#include "vm/Memory.h"
+#include "x86/Insn.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+namespace e9 {
+namespace vm {
+
+/// Returning to this (never-mapped) address terminates the run cleanly.
+inline constexpr uint64_t ExitAddress = 0x7e9e00000000ULL;
+
+/// Abstract execution costs. All instructions cost InsnCost; an int3 trap
+/// additionally pays TrapCost (the kernel/signal round trip that makes the
+/// B0 baseline orders of magnitude slower); hooks pay their own cost.
+struct CostModel {
+  uint64_t InsnCost = 1;
+  uint64_t TrapCost = 3000;
+};
+
+/// Outcome of a Vm::run() call.
+struct RunResult {
+  enum class Exit {
+    Finished, ///< Returned to ExitAddress or executed hlt.
+    Fault,    ///< Decode error, memory fault, or a failing hook.
+    Ud2,      ///< Executed ud2 (deliberate abort marker).
+    InsnLimit ///< Instruction budget exhausted.
+  };
+  Exit Kind = Exit::Finished;
+  std::string Error;
+  uint64_t InsnCount = 0;
+  uint64_t Cost = 0;
+
+  bool ok() const { return Kind == Exit::Finished; }
+};
+
+/// The interpreter.
+class Vm {
+public:
+  /// A host hook behaves like a called function: it reads arguments from
+  /// the register file, may touch memory, and its "ret" is emulated by the
+  /// VM. A failing Status faults the program.
+  using HostHook = std::function<Status(Vm &)>;
+
+  /// int3 handler (B0 baseline). Receives the trap address and must leave
+  /// Core.Rip at the next instruction to execute.
+  using TrapHandler = std::function<Status(Vm &, uint64_t TrapAddr)>;
+
+  Memory Mem;
+  Cpu Core;
+  CostModel Costs;
+
+  /// Optional per-instruction observer (tracing/debugging); called with
+  /// rip before each instruction executes. Slows the run when set.
+  std::function<void(uint64_t)> OnStep;
+
+  /// Registers \p Fn at \p Addr with an abstract execution cost.
+  void registerHook(uint64_t Addr, HostHook Fn, uint64_t Cost = 0);
+  void setTrapHandler(TrapHandler Fn) { OnTrap = std::move(Fn); }
+
+  /// Runs from Core.Rip for at most \p MaxInsns instructions.
+  RunResult run(uint64_t MaxInsns);
+
+  /// Executes one decoded instruction (public so the B0 trap handler can
+  /// emulate the displaced original). \p Bytes are the instruction bytes
+  /// (used for verbatim semantics); rip side effects are applied.
+  enum class ExecKind { Ok, Halt, Ud2 };
+  Status execInsn(const x86::Insn &I, const uint8_t *Bytes, ExecKind &Kind);
+
+  /// Stack helpers.
+  Status push64(uint64_t V);
+  Status pop64(uint64_t &V);
+
+private:
+  struct HookEntry {
+    HostHook Fn;
+    uint64_t Cost;
+  };
+  std::unordered_map<uint64_t, HookEntry> Hooks;
+  TrapHandler OnTrap;
+  /// Decoded-instruction cache keyed by rip. Valid because guest code is
+  /// immutable while running (self-modifying code is excluded by the same
+  /// assumption the paper makes for rewriting, §2.2).
+  std::unordered_map<uint64_t, x86::Insn> DecodeCache;
+};
+
+} // namespace vm
+} // namespace e9
+
+#endif // E9_VM_VM_H

@@ -1,0 +1,419 @@
+//===- workload/Gen.cpp ---------------------------------------*- C++ -*-===//
+
+#include "workload/Gen.h"
+
+#include "support/Rng.h"
+#include "vm/Hooks.h"
+#include "x86/Assembler.h"
+
+#include <cassert>
+
+using namespace e9;
+using namespace e9::workload;
+using namespace e9::x86;
+
+namespace {
+
+constexpr uint64_t NonPieTextBase = 0x401000;
+constexpr uint64_t PieTextBase = 0x555555555000ULL;
+constexpr uint64_t DataGap = 0x1000000; ///< Data segment 16 MiB after text.
+
+/// Data-segment layout offsets. The scratch region starts after the
+/// function table (page-aligned), so large function counts never collide
+/// with program data.
+constexpr uint64_t HeapTableOff = 0;
+constexpr uint64_t FuncTableOff = 0x400;
+
+uint64_t scratchOff(const WorkloadConfig &Config) {
+  uint64_t TableEnd = FuncTableOff + Config.NumFuncs * 8;
+  return (TableEnd + 0xfff) / 0x1000 * 0x1000;
+}
+
+/// Registers the menu may freely clobber.
+const Reg WorkRegs[] = {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RSI, Reg::RDI,
+                        Reg::R8,  Reg::R9,  Reg::R10, Reg::R11};
+
+Reg pickReg(Rng &R) { return WorkRegs[R.below(std::size(WorkRegs))]; }
+
+/// Smallest low-fat slot covering Size+redzone (mirrors lowfat layout:
+/// 16-byte redzone, 32-byte minimum class).
+uint64_t slotSizeFor(uint64_t Size) {
+  uint64_t Need = Size + 16;
+  uint64_t Slot = 32;
+  while (Slot < Need)
+    Slot *= 2;
+  return Slot;
+}
+
+class Generator {
+public:
+  explicit Generator(const WorkloadConfig &Config)
+      : Config(Config), R(Config.Seed),
+        TextBase(Config.BaseOverride ? Config.BaseOverride
+                 : Config.Pie       ? PieTextBase
+                                    : NonPieTextBase),
+        A(TextBase) {
+    DataBase = TextBase + DataGap;
+    ScratchOff = scratchOff(Config);
+    assert(Config.NumFuncs >= 2 && "need at least one non-leaf + one leaf");
+    assert(Config.HeapObjects >= 1 && Config.HeapObjects <= 120);
+  }
+
+  Workload generate();
+
+private:
+  unsigned firstLeaf() const {
+    unsigned Leaves = std::max(1u, Config.NumFuncs / 4);
+    return Config.NumFuncs - Leaves;
+  }
+  bool isLeaf(unsigned F) const { return F >= firstLeaf(); }
+
+  Mem scratch(int32_t Off) const { return Mem::base(Reg::RBX, Off); }
+  int32_t randScratchOff() {
+    return static_cast<int32_t>(R.below(Config.DataSize / 8) * 8);
+  }
+
+  void emitMenuInsn();
+  void emitHeapWrite(bool Overflow);
+  void emitShortInsns();
+  void emitBlockBody();
+  void emitFunction(unsigned F);
+  void emitMain();
+
+  WorkloadConfig Config;
+  Rng R;
+  uint64_t TextBase;
+  uint64_t DataBase = 0;
+  uint64_t ScratchOff = 0;
+  Assembler A;
+  std::vector<Assembler::Label> FuncLabels;
+  uint64_t BugSiteAddr = 0;
+};
+
+void Generator::emitHeapWrite(bool Overflow) {
+  // r13 = heap object pointer from the in-data table; then store into it.
+  unsigned K = static_cast<unsigned>(R.below(Config.HeapObjects));
+  A.movRegMem(OpSize::B64, Reg::R13,
+              Mem::base(Reg::R14,
+                        static_cast<int32_t>(HeapTableOff + K * 8)));
+  int32_t Disp;
+  if (Overflow) {
+    // One slot past the object: lands exactly on the next slot's redzone.
+    Disp = static_cast<int32_t>(slotSizeFor(Config.HeapObjSize) - 16);
+    BugSiteAddr = A.currentAddr();
+  } else {
+    Disp = static_cast<int32_t>(R.below(Config.HeapObjSize / 8) * 8);
+  }
+  if (!Overflow && R.chance(30))
+    A.movMemReg(OpSize::B8, Mem::base(Reg::R13, Disp), pickReg(R));
+  else
+    A.movMemReg(OpSize::B64, Mem::base(Reg::R13, Disp), pickReg(R));
+}
+
+void Generator::emitShortInsns() {
+  switch (R.below(4)) {
+  case 0: { // balanced 1-byte push/pop pair
+    Reg Rg = WorkRegs[R.below(5)]; // classic regs encode in one byte
+    A.pushReg(Rg);
+    A.popReg(Rg);
+    break;
+  }
+  case 1:
+    A.nop();
+    break;
+  case 2: { // 1-byte xchg rax, r (rcx/rdx/rsi; reserved regs excluded)
+    static const uint8_t Xchg[] = {0x91, 0x92, 0x96};
+    A.byte(Xchg[R.below(3)]);
+    break;
+  }
+  default: { // 2-byte 32-bit inc
+    Reg Rg = WorkRegs[R.below(5)];
+    A.raw({0xff, static_cast<uint8_t>(0xc0 | regEncoding(Rg))});
+    break;
+  }
+  }
+}
+
+void Generator::emitMenuInsn() {
+  uint64_t P = R.below(100);
+  uint64_t Acc = Config.LoadPct;
+  if (P < Acc) { // load
+    if (R.chance(25))
+      A.movzxRegMem8(pickReg(R), scratch(randScratchOff()));
+    else
+      A.movRegMem(OpSize::B64, pickReg(R), scratch(randScratchOff()));
+    return;
+  }
+  Acc += Config.DataWritePct;
+  if (P < Acc) { // data-segment write (an A2 patch site)
+    switch (R.below(3)) {
+    case 0:
+      A.movMemReg(OpSize::B64, scratch(randScratchOff()), pickReg(R));
+      break;
+    case 1:
+      A.movMemReg(OpSize::B32, scratch(randScratchOff()), pickReg(R));
+      break;
+    default:
+      A.movMemImm(OpSize::B32, scratch(randScratchOff()),
+                  static_cast<int32_t>(R.below(1000)));
+      break;
+    }
+    return;
+  }
+  Acc += Config.HeapWritePct;
+  if (P < Acc) {
+    if (R.chance(12)) {
+      // Atomic read-modify-write into the scratch region (also an A2
+      // patch site; lock-prefixed 0F-map encodings).
+      if (R.chance(50))
+        A.lockPrefix();
+      A.xaddMemReg(OpSize::B64, scratch(randScratchOff()), pickReg(R));
+      return;
+    }
+    emitHeapWrite(/*Overflow=*/false);
+    return;
+  }
+  Acc += Config.ShortInsnPct;
+  if (P < Acc) {
+    emitShortInsns();
+    return;
+  }
+  Acc += Config.IndexedWritePct;
+  if (P < Acc) { // masked-index SIB store
+    Reg Idx = pickReg(R);
+    A.aluRegImm(OpSize::B64, Alu::And, Idx,
+                static_cast<int32_t>((Config.DataSize - 8) & ~7ull));
+    A.movMemReg(OpSize::B64, Mem::baseIndex(Reg::RBX, Idx, 1, 0),
+                pickReg(R));
+    return;
+  }
+  // ALU / misc compute.
+  switch (R.below(6)) {
+  case 0:
+    A.movRegImm32(pickReg(R), static_cast<int32_t>(R.below(100000)));
+    break;
+  case 1:
+    A.aluRegReg(OpSize::B64, static_cast<Alu>(R.below(7)), pickReg(R),
+                pickReg(R));
+    break;
+  case 2:
+    A.aluRegImm(OpSize::B64, static_cast<Alu>(R.below(7)), pickReg(R),
+                static_cast<int32_t>(R.range(-512, 512)));
+    break;
+  case 3:
+    A.imulRegReg(pickReg(R), pickReg(R));
+    break;
+  case 4:
+    A.shiftRegImm(OpSize::B64,
+                  R.chance(50) ? Shift::Shr : Shift::Shl, pickReg(R),
+                  static_cast<uint8_t>(1 + R.below(7)));
+    break;
+  default:
+    A.leaRegMem(pickReg(R),
+                Mem::baseIndex(Reg::RBX, pickReg(R), 1 << R.below(3),
+                               static_cast<int32_t>(R.below(64))));
+    break;
+  }
+}
+
+void Generator::emitBlockBody() {
+  for (unsigned I = 0; I != Config.InsnsPerBlock; ++I)
+    emitMenuInsn();
+  // Occasional tight rel8 backward loop (short-jcc/loop pun fodder).
+  if (R.chance(20)) {
+    A.movRegImm32(Reg::RCX, static_cast<int32_t>(2 + R.below(3)));
+    auto L = A.createLabel();
+    A.bind(L);
+    if (R.chance(40)) {
+      A.nop();
+      A.loopLabel(L); // 2-byte loop: displaced copies need emulation
+    } else {
+      A.decReg(Reg::RCX);
+      A.jccShortLabel(Cond::NE, L);
+    }
+  }
+  // Occasional unsigned divide (rdx zeroed, divisor nonzero).
+  if (R.chance(8)) {
+    A.movRegImm32(Reg::RDX, 0);
+    A.movRegImm32(Reg::RCX, static_cast<int32_t>(1 + R.below(7)));
+    A.divReg(Reg::RCX);
+  }
+  // Occasional memcpy/memset kernel over the scratch region (2-byte
+  // rep-prefixed string instructions: more pun variety).
+  if (R.chance(6)) {
+    A.leaRegMem(Reg::RSI, scratch(randScratchOff() & 0x7f8));
+    A.leaRegMem(Reg::RDI,
+                scratch(0x800 + (randScratchOff() & 0x7f8)));
+    A.movRegImm32(Reg::RCX, static_cast<int32_t>(8 + R.below(56)));
+    if (R.chance(50))
+      A.repMovsb();
+    else
+      A.repStosb();
+  }
+}
+
+void Generator::emitFunction(unsigned F) {
+  A.bind(FuncLabels[F]);
+  A.pushReg(Reg::RBP);
+  A.movRegReg(OpSize::B64, Reg::RBP, Reg::RSP);
+  A.pushReg(Reg::R12);
+  A.pushReg(Reg::R13);
+
+  // Call section (executed once per invocation, keeps execution bounded):
+  // one chain call to the next non-leaf, plus a few leaf calls.
+  if (!isLeaf(F)) {
+    if (F + 1 < Config.NumFuncs)
+      A.callLabel(FuncLabels[F + 1]);
+    for (unsigned C = 0; C != Config.LeafCalls; ++C) {
+      unsigned Leaf =
+          firstLeaf() +
+          static_cast<unsigned>(R.below(Config.NumFuncs - firstLeaf()));
+      if (R.chance(40)) {
+        // Indirect call through the in-data function table.
+        A.movRegMem(OpSize::B64, Reg::RAX,
+                    Mem::base(Reg::R14, static_cast<int32_t>(FuncTableOff +
+                                                             Leaf * 8)));
+        A.callReg(Reg::RAX);
+      } else {
+        A.callLabel(FuncLabels[Leaf]);
+      }
+    }
+  }
+
+  // Inner loop over the blocks.
+  A.movRegImm32(Reg::R12, static_cast<int32_t>(Config.InnerIters));
+  auto Head = A.createLabel();
+  A.bind(Head);
+
+  std::vector<Assembler::Label> BlockLabels;
+  for (unsigned B = 0; B <= Config.BlocksPerFunc; ++B)
+    BlockLabels.push_back(A.createLabel());
+
+  for (unsigned B = 0; B != Config.BlocksPerFunc; ++B) {
+    A.bind(BlockLabels[B]);
+    // Conditional skip over this block's tail half, to a forward label.
+    bool Skip = R.chance(55);
+    if (Skip) {
+      A.aluRegImm(OpSize::B64, Alu::Cmp, pickReg(R),
+                  static_cast<int32_t>(R.below(256)));
+      Cond C = static_cast<Cond>(R.below(16));
+      if (Config.InsnsPerBlock <= 8 && R.chance(50))
+        A.jccShortLabel(C, BlockLabels[B + 1]);
+      else
+        A.jccLabel(C, BlockLabels[B + 1]);
+    }
+    emitBlockBody();
+    if (R.chance(15)) // unconditional hop to the next block
+      A.jmpLabel(BlockLabels[B + 1]);
+  }
+  A.bind(BlockLabels[Config.BlocksPerFunc]);
+
+  A.aluRegImm(OpSize::B64, Alu::Sub, Reg::R12, 1);
+  A.jccLabel(Cond::NE, Head);
+
+  A.popReg(Reg::R13);
+  A.popReg(Reg::R12);
+  A.popReg(Reg::RBP);
+  A.ret();
+}
+
+void Generator::emitMain() {
+  // entry: establish the reserved registers.
+  A.pushReg(Reg::RBP);
+  A.movRegReg(OpSize::B64, Reg::RBP, Reg::RSP);
+  A.movRegImm64(Reg::RBX, DataBase + ScratchOff);
+  A.movRegImm64(Reg::R14, DataBase);
+
+  // Allocate the heap objects.
+  for (unsigned K = 0; K != Config.HeapObjects; ++K) {
+    A.movRegImm32(Reg::RDI, static_cast<int32_t>(Config.HeapObjSize));
+    A.movRegImm64(Reg::RAX, vm::HookMalloc);
+    A.callReg(Reg::RAX);
+    A.movMemReg(OpSize::B64,
+                Mem::base(Reg::R14,
+                          static_cast<int32_t>(HeapTableOff + K * 8)),
+                Reg::RAX);
+  }
+
+  // Main loop.
+  A.movRegImm32(Reg::R15, static_cast<int32_t>(Config.MainIters));
+  auto Head = A.createLabel();
+  A.bind(Head);
+  A.callLabel(FuncLabels[0]);
+  A.callLabel(FuncLabels[firstLeaf()]);
+  A.aluRegImm(OpSize::B64, Alu::Sub, Reg::R15, 1);
+  A.jccLabel(Cond::NE, Head);
+
+  // Optional planted heap overflow (detected by LowFat hardening).
+  if (Config.HeapBug)
+    emitHeapWrite(/*Overflow=*/true);
+
+  // Free everything.
+  for (unsigned K = 0; K != Config.HeapObjects; ++K) {
+    A.movRegMem(OpSize::B64, Reg::RDI,
+                Mem::base(Reg::R14,
+                          static_cast<int32_t>(HeapTableOff + K * 8)));
+    A.movRegImm64(Reg::RAX, vm::HookFree);
+    A.callReg(Reg::RAX);
+  }
+
+  // Return a data-dependent value as the program's observable result.
+  A.movRegMem(OpSize::B64, Reg::RAX, scratch(0));
+  A.popReg(Reg::RBP);
+  A.ret();
+}
+
+Workload Generator::generate() {
+  for (unsigned F = 0; F != Config.NumFuncs; ++F)
+    FuncLabels.push_back(A.createLabel());
+
+  emitMain();
+  for (unsigned F = 0; F != Config.NumFuncs; ++F)
+    emitFunction(F);
+
+  bool Resolved = A.resolveAll();
+  assert(Resolved && "workload generator produced unresolved fixups");
+  (void)Resolved;
+
+  Workload W;
+  W.Config = Config;
+  W.TextBase = TextBase;
+  W.DataBase = DataBase;
+  W.BugSiteAddr = BugSiteAddr;
+  for (unsigned F = 0; F != Config.NumFuncs; ++F)
+    W.FuncAddrs.push_back(A.labelAddr(FuncLabels[F]));
+
+  elf::Image &Img = W.Image;
+  Img.Pie = Config.Pie;
+  Img.Entry = TextBase;
+
+  elf::Segment Text;
+  Text.VAddr = TextBase;
+  Text.Bytes = A.take();
+  Text.MemSize = Text.Bytes.size();
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Text.Name = "text";
+  Img.Segments.push_back(std::move(Text));
+
+  elf::Segment Data;
+  Data.VAddr = DataBase;
+  Data.Bytes.assign(ScratchOff + Config.DataSize, 0);
+  Data.MemSize = Data.Bytes.size() + Config.BssSize;
+  Data.Flags = elf::PF_R | elf::PF_W;
+  Data.Name = "data";
+  // Function table content (indirect-call targets).
+  for (size_t F = 0; F != W.FuncAddrs.size(); ++F)
+    for (unsigned B = 0; B != 8; ++B)
+      Data.Bytes[FuncTableOff + F * 8 + B] =
+          static_cast<uint8_t>(W.FuncAddrs[F] >> (8 * B));
+  Img.Segments.push_back(std::move(Data));
+
+  return W;
+}
+
+} // namespace
+
+Workload workload::generateWorkload(const WorkloadConfig &Config) {
+  Generator G(Config);
+  return G.generate();
+}

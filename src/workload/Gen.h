@@ -1,0 +1,88 @@
+//===- workload/Gen.h - Synthetic binary generator -------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates deterministic, runnable x86_64 ELF images that substitute for
+/// the paper's SPEC2006 / system-binary / browser inputs (DESIGN.md §2.1).
+/// A generated program is a DAG of functions with inner loops, loads and
+/// stores into a data segment, heap traffic through the malloc/free host
+/// hooks, direct and indirect calls through an in-data function table, and
+/// a tunable density of short (hard-to-patch) instructions. Every dynamic
+/// branch target is an instruction boundary, and execution is bounded by
+/// construction.
+///
+/// Knobs map to the paper's phenomena: instruction-length mix drives the
+/// Base%/T1/T2/T3 coverage split, Pie moves the image to a high load
+/// address (doubling valid punned offsets), BssSize reproduces the
+/// gamess/zeusmp address-space pressure (L1), and HeapBug plants an
+/// off-by-N heap overflow for the §6.3 hardening demo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_WORKLOAD_GEN_H
+#define E9_WORKLOAD_GEN_H
+
+#include "elf/Image.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace e9 {
+namespace workload {
+
+struct WorkloadConfig {
+  std::string Name = "workload";
+  uint64_t Seed = 1;
+  bool Pie = false;
+  /// Nonzero: load the text segment at this address instead of the
+  /// default PIE/non-PIE base (e.g. to build a shared-library image that
+  /// coexists with a main executable).
+  uint64_t BaseOverride = 0;
+
+  unsigned NumFuncs = 12;
+  unsigned BlocksPerFunc = 5;
+  unsigned InsnsPerBlock = 8; ///< Menu picks per block (<= 8 keeps short
+                              ///< skip-jumps in rel8 range).
+  unsigned InnerIters = 4;    ///< Per-function loop trip count.
+  unsigned MainIters = 8;     ///< Outer loop trip count in main.
+  unsigned LeafCalls = 2;     ///< Calls to leaf functions per function.
+
+  unsigned HeapObjects = 6;
+  uint64_t HeapObjSize = 48; ///< Logical object size (bytes).
+
+  // Instruction-menu weights (percent, applied in order; rest = ALU).
+  unsigned LoadPct = 14;
+  unsigned DataWritePct = 14;
+  unsigned HeapWritePct = 10;
+  unsigned ShortInsnPct = 14;
+  unsigned IndexedWritePct = 6;
+
+  uint64_t DataSize = 0x4000; ///< Scratch bytes in the data segment.
+  uint64_t BssSize = 0;       ///< Extra zero-fill (L1 pressure knob).
+
+  /// When true, one heap write in the last function overflows its object
+  /// by exactly one slot (lands in the next slot's redzone).
+  bool HeapBug = false;
+};
+
+struct Workload {
+  elf::Image Image;
+  WorkloadConfig Config;
+  uint64_t TextBase = 0;
+  uint64_t DataBase = 0;
+  std::vector<uint64_t> FuncAddrs;
+  /// Address of the injected out-of-bounds store (HeapBug only).
+  uint64_t BugSiteAddr = 0;
+};
+
+/// Generates the workload binary. Deterministic per config.
+Workload generateWorkload(const WorkloadConfig &Config);
+
+} // namespace workload
+} // namespace e9
+
+#endif // E9_WORKLOAD_GEN_H

@@ -1,0 +1,65 @@
+//===- workload/Run.cpp ---------------------------------------*- C++ -*-===//
+
+#include "workload/Run.h"
+
+#include "frontend/Runtime.h"
+#include "lowfat/LowFat.h"
+#include "vm/Loader.h"
+
+using namespace e9;
+using namespace e9::workload;
+
+RunOutcome workload::runImage(const elf::Image &Img, const RunConfig &Config) {
+  RunOutcome Out;
+  vm::Vm V;
+
+  lowfat::PlainHeap Plain;
+  lowfat::LowFatHeap LowFat;
+  if (Config.UseLowFat) {
+    LowFat.AbortOnViolation = Config.AbortOnViolation;
+    lowfat::installLowFatHeap(V, LowFat);
+  } else {
+    lowfat::installPlainHeap(V, Plain);
+  }
+  if (!Config.B0Table.empty())
+    frontend::installB0Handler(V, Config.B0Table, Config.B0Callback);
+  else if (!Img.B0Sites.empty())
+    frontend::installB0Handler(V, Img.B0Sites, Config.B0Callback);
+
+  auto Loaded = vm::load(V, Img);
+  if (!Loaded.isOk()) {
+    Out.Result.Kind = vm::RunResult::Exit::Fault;
+    Out.Result.Error = Loaded.reason();
+    return Out;
+  }
+
+  Out.Result = V.run(Config.MaxInsns);
+  Out.Rax = V.Core.Gpr[0];
+  Out.LowFatViolations = LowFat.violations();
+  Out.MappedPages = V.Mem.mappedPageCount();
+  Out.UniquePhysPages = V.Mem.uniquePhysPageCount();
+
+  // FNV-1a over the writable data segments as seen by the VM. Untouched
+  // demand-zero pages (multi-GiB .bss) are skipped: two behaviourally
+  // identical runs touch the same pages, so the hashes still agree.
+  uint64_t H = 1469598103934665603ULL;
+  for (const elf::Segment &S : Img.Segments) {
+    if (!(S.Flags & elf::PF_W))
+      continue;
+    std::vector<uint8_t> Buf(4096);
+    for (uint64_t Off = 0; Off < S.MemSize; Off += Buf.size()) {
+      size_t N = static_cast<size_t>(
+          std::min<uint64_t>(Buf.size(), S.MemSize - Off));
+      if (V.Mem.isDemandZero(S.VAddr + Off))
+        continue;
+      if (!V.Mem.read(S.VAddr + Off, Buf.data(), N))
+        break;
+      for (size_t I = 0; I != N; ++I) {
+        H ^= Buf[I];
+        H *= 1099511628211ULL;
+      }
+    }
+  }
+  Out.DataChecksum = H;
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- workload/Run.h - Execute (rewritten) workload images ----*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience harness: loads an image into a fresh VM with the chosen
+/// heap runtime (plain or LowFat), optionally installs the B0 trap
+/// handler, runs to completion, and reports the program's observable
+/// state (result register, data-segment checksum) plus cost counters.
+/// Equality of observables between the original and the rewritten binary
+/// is the end-to-end semantic-preservation check used throughout the
+/// tests and benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_WORKLOAD_RUN_H
+#define E9_WORKLOAD_RUN_H
+
+#include "elf/Image.h"
+#include "vm/Vm.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace e9 {
+namespace workload {
+
+struct RunConfig {
+  bool UseLowFat = false;
+  bool AbortOnViolation = true;
+  uint64_t MaxInsns = 100'000'000;
+  /// B0 side table from the rewriter (empty = no trap handler).
+  std::map<uint64_t, std::vector<uint8_t>> B0Table;
+  std::function<void(uint64_t)> B0Callback;
+};
+
+struct RunOutcome {
+  vm::RunResult Result;
+  uint64_t Rax = 0;
+  uint64_t DataChecksum = 0; ///< FNV-1a over the data segment memory.
+  uint64_t LowFatViolations = 0;
+  size_t MappedPages = 0;
+  size_t UniquePhysPages = 0;
+
+  bool ok() const { return Result.ok(); }
+};
+
+/// Runs \p Img to completion in a fresh VM.
+RunOutcome runImage(const elf::Image &Img, const RunConfig &Config = {});
+
+} // namespace workload
+} // namespace e9
+
+#endif // E9_WORKLOAD_RUN_H

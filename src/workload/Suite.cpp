@@ -1,0 +1,172 @@
+//===- workload/Suite.cpp -------------------------------------*- C++ -*-===//
+
+#include "workload/Suite.h"
+
+using namespace e9;
+using namespace e9::workload;
+
+namespace {
+
+/// Builds a config from the row characteristics.
+/// \p SizeClass 0..4: tiny/small/medium/large/huge (function count).
+/// \p ShortBias raises the density of 1-2 byte instructions (harder
+/// punning, more T2/T3). \p LoopHeavy models Fortran-style numeric code
+/// (bigger blocks, fewer call sites).
+WorkloadConfig row(const char *Name, uint64_t Seed, unsigned SizeClass,
+                   unsigned ShortBias, bool LoopHeavy, bool Pie = false,
+                   uint64_t BssSize = 0) {
+  WorkloadConfig C;
+  C.Name = Name;
+  C.Seed = Seed;
+  C.Pie = Pie;
+  static const unsigned Funcs[] = {4, 10, 24, 56, 120};
+  C.NumFuncs = Funcs[SizeClass];
+  C.BlocksPerFunc = LoopHeavy ? 7 : 5;
+  C.InsnsPerBlock = LoopHeavy ? 8 : 6;
+  C.InnerIters = LoopHeavy ? 6 : 3;
+  C.MainIters = SizeClass >= 3 ? 2 : 6;
+  C.ShortInsnPct = 8 + ShortBias;
+  C.HeapWritePct = LoopHeavy ? 6 : 10;
+  C.DataWritePct = LoopHeavy ? 18 : 14;
+  C.LoadPct = 16;
+  C.BssSize = BssSize;
+  C.DataSize = 0x4000;
+  C.HeapObjects = 6;
+  return C;
+}
+
+SuiteEntry entry(WorkloadConfig C, double PaperMB, bool Shared = false) {
+  SuiteEntry E;
+  E.Config = std::move(C);
+  E.SharedObject = Shared;
+  E.PaperSizeMB = PaperMB;
+  return E;
+}
+
+} // namespace
+
+std::vector<SuiteEntry> workload::specSuite() {
+  // Huge .bss for the gamess/zeusmp analogs reproduces limitation L1:
+  // the static allocation eats most of the rel32-reachable space.
+  std::vector<SuiteEntry> S;
+  S.push_back(entry(row("perlbench", 101, 2, 4, false), 1.25));
+  S.push_back(entry(row("bzip2", 102, 1, 6, false), 0.07));
+  S.push_back(entry(row("gcc", 103, 4, 4, false), 3.77));
+  S.push_back(entry(row("bwaves", 104, 0, 2, true), 0.08));
+  S.push_back(
+      entry(row("gamess", 105, 4, 3, true, false, 0x70000000), 12.22));
+  S.push_back(entry(row("mcf", 106, 0, 6, false), 0.02));
+  S.push_back(entry(row("milc", 107, 1, 4, true), 0.14));
+  S.push_back(
+      entry(row("zeusmp", 108, 2, 3, true, false, 0x60000000), 0.52));
+  S.push_back(entry(row("gromacs", 109, 2, 3, true), 1.20));
+  S.push_back(entry(row("cactusADM", 110, 2, 3, true), 0.91));
+  S.push_back(entry(row("leslie3d", 111, 1, 2, true), 0.18));
+  S.push_back(entry(row("namd", 112, 1, 4, false), 0.33));
+  S.push_back(entry(row("gobmk", 113, 3, 5, false), 4.03));
+  S.push_back(entry(row("dealII", 114, 3, 5, false), 4.20));
+  S.push_back(entry(row("soplex", 115, 1, 4, false), 0.49));
+  S.push_back(entry(row("povray", 116, 2, 4, false), 1.19));
+  S.push_back(entry(row("calculix", 117, 2, 3, true), 2.17));
+  S.push_back(entry(row("hmmer", 118, 1, 4, false), 0.33));
+  S.push_back(entry(row("sjeng", 119, 1, 5, false), 0.16));
+  S.push_back(entry(row("GemsFDTD", 120, 1, 2, true), 0.58));
+  S.push_back(entry(row("libquantum", 121, 0, 4, false), 0.05));
+  S.push_back(entry(row("h264ref", 122, 1, 4, false), 0.58));
+  S.push_back(entry(row("tonto", 123, 3, 2, true), 6.21));
+  S.push_back(entry(row("lbm", 124, 0, 2, true), 0.02));
+  S.push_back(entry(row("omnetpp", 125, 1, 5, false), 0.79));
+  S.push_back(entry(row("astar", 126, 0, 5, false), 0.05));
+  S.push_back(entry(row("sphinx3", 127, 1, 4, false), 0.21));
+  S.push_back(entry(row("xalancbmk", 128, 4, 5, false), 5.99));
+  return S;
+}
+
+std::vector<SuiteEntry> workload::systemSuite() {
+  std::vector<SuiteEntry> S;
+  S.push_back(entry(row("inkscape", 201, 3, 4, false, /*Pie=*/true), 15.44));
+  S.push_back(entry(row("gimp", 202, 3, 4, false), 5.75));
+  S.push_back(entry(row("vim", 203, 2, 5, false, /*Pie=*/true), 2.44));
+  S.push_back(entry(row("git", 204, 2, 5, false), 1.87));
+  S.push_back(entry(row("pdflatex", 205, 2, 4, false), 0.91));
+  S.push_back(entry(row("xterm", 206, 1, 4, false), 0.54));
+  S.push_back(entry(row("evince", 207, 1, 4, false, /*Pie=*/true), 0.42));
+  S.push_back(entry(row("make", 208, 1, 5, false), 0.21));
+  S.push_back(
+      entry(row("libc.so", 209, 2, 5, false, /*Pie=*/true), 1.87, true));
+  S.push_back(
+      entry(row("libc++.so", 210, 2, 5, false, /*Pie=*/true), 1.57, true));
+  return S;
+}
+
+std::vector<SuiteEntry> workload::browserSuite() {
+  std::vector<SuiteEntry> S;
+  WorkloadConfig Chrome = row("Chrome", 301, 4, 3, false, /*Pie=*/true);
+  Chrome.NumFuncs = 400; // an order of magnitude beyond the SPEC analogs
+  Chrome.MainIters = 1;
+  S.push_back(entry(Chrome, 152.51));
+  S.push_back(entry(row("FireFox", 302, 1, 4, false, /*Pie=*/true), 0.52));
+  WorkloadConfig Libxul = row("libxul.so", 303, 4, 4, false, /*Pie=*/true);
+  Libxul.NumFuncs = 300;
+  Libxul.MainIters = 1;
+  S.push_back(entry(Libxul, 115.03, /*Shared=*/true));
+  return S;
+}
+
+namespace {
+
+/// DOM kernel flavours: heap-write heavy (Attr/Modify/Style), read/
+/// traverse heavy (Query/Traverse), call heavy (Events). The FireFox
+/// flavour spends relatively more time in compute (its JIT-analog code),
+/// which is what makes its measured A2 overhead lower (§6.2).
+WorkloadConfig domKernel(const char *Name, uint64_t Seed,
+                         unsigned HeapW, unsigned Load, unsigned Calls,
+                         bool FirefoxFlavour) {
+  WorkloadConfig C;
+  C.Name = Name;
+  C.Seed = Seed;
+  C.Pie = true;
+  C.NumFuncs = 14;
+  C.BlocksPerFunc = 5;
+  C.InsnsPerBlock = 7;
+  C.InnerIters = 4;
+  C.MainIters = 5;
+  C.LeafCalls = Calls;
+  C.HeapWritePct = FirefoxFlavour ? HeapW / 2 : HeapW;
+  C.DataWritePct = FirefoxFlavour ? 8 : 12;
+  C.LoadPct = Load;
+  C.ShortInsnPct = 10;
+  C.HeapObjects = 24;
+  C.HeapObjSize = 96;
+  return C;
+}
+
+} // namespace
+
+std::vector<DomKernel> workload::domKernels() {
+  struct Row {
+    const char *Name;
+    unsigned HeapW, Load, Calls;
+  };
+  static const Row Rows[] = {
+      {"Attrib", 22, 12, 1},         {"Attrib.Proto", 20, 12, 2},
+      {"Attrib.jQuery", 24, 10, 2},  {"Modify", 26, 10, 1},
+      {"Modify.Proto", 22, 12, 2},   {"Modify.jQuery", 26, 8, 2},
+      {"Query", 8, 30, 1},           {"Style.Proto", 20, 14, 2},
+      {"Style.jQuery", 22, 12, 2},   {"Events.Proto", 14, 12, 4},
+      {"Events.jQuery", 16, 10, 4},  {"Traverse", 6, 34, 1},
+      {"Traverse.Proto", 8, 30, 2},  {"Traverse.jQuery", 10, 28, 2},
+  };
+  std::vector<DomKernel> Out;
+  uint64_t Seed = 400;
+  for (const Row &R : Rows) {
+    DomKernel K;
+    K.Name = R.Name;
+    K.Chrome = domKernel(R.Name, Seed, R.HeapW, R.Load, R.Calls, false);
+    K.Firefox =
+        domKernel(R.Name, Seed + 50, R.HeapW, R.Load, R.Calls, true);
+    ++Seed;
+    Out.push_back(std::move(K));
+  }
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- workload/Suite.h - Named benchmark suite ----------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The named workload suite mirroring the paper's evaluation inputs
+/// (Table 1 rows and the Figure 4 Dromaeo DOM kernels). Each entry is a
+/// deterministic generator configuration whose *characteristics* (size
+/// class, instruction mix, PIE-ness, .bss pressure) match the paper's
+/// binary, per the substitution rules in DESIGN.md §2.1. Paper binaries
+/// are not byte-identical — tactic percentages are a function of these
+/// characteristics, which is what the reproduction preserves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_WORKLOAD_SUITE_H
+#define E9_WORKLOAD_SUITE_H
+
+#include "workload/Gen.h"
+
+#include <string>
+#include <vector>
+
+namespace e9 {
+namespace workload {
+
+struct SuiteEntry {
+  WorkloadConfig Config;
+  /// Shared objects load high (PIE-style) but their negative-offset range
+  /// is occupied by dynamic-linker neighbors (paper §5.1): the rewriter
+  /// must additionally reserve [base-2GiB, base).
+  bool SharedObject = false;
+  double PaperSizeMB = 0; ///< The original binary's size, for the table.
+};
+
+/// The 28 SPEC2006-analog rows of Table 1 (non-PIE, as in the paper).
+std::vector<SuiteEntry> specSuite();
+
+/// The system-binary rows (inkscape/gimp/vim/... plus libc/libc++).
+std::vector<SuiteEntry> systemSuite();
+
+/// The browser rows: Chrome (PIE executable), FireFox (small PIE
+/// executable) and libxul.so (large shared object).
+std::vector<SuiteEntry> browserSuite();
+
+/// One Dromaeo-analog DOM kernel, in a Chrome-analog and a
+/// FireFox-analog flavour (Figure 4).
+struct DomKernel {
+  std::string Name;
+  WorkloadConfig Chrome;
+  WorkloadConfig Firefox;
+};
+std::vector<DomKernel> domKernels();
+
+} // namespace workload
+} // namespace e9
+
+#endif // E9_WORKLOAD_SUITE_H

@@ -1,0 +1,463 @@
+//===- x86/Assembler.cpp --------------------------------------*- C++ -*-===//
+
+#include "x86/Assembler.h"
+
+#include "support/Status.h"
+
+#include <cassert>
+
+using namespace e9;
+using namespace e9::x86;
+
+// --- Labels ----------------------------------------------------------------
+
+Assembler::Label Assembler::createLabel() {
+  Labels.emplace_back(std::nullopt);
+  return static_cast<Label>(Labels.size() - 1);
+}
+
+void Assembler::bind(Label L) { bindAt(L, currentAddr()); }
+
+void Assembler::bindAt(Label L, uint64_t Addr) {
+  assert(L < Labels.size() && "unknown label");
+  assert(!Labels[L].has_value() && "label bound twice");
+  Labels[L] = Addr;
+}
+
+bool Assembler::resolveAll() {
+  for (const Fixup &F : Fixups) {
+    if (!Labels[F.TargetLabel].has_value())
+      return false;
+    uint64_t Target = *Labels[F.TargetLabel];
+    uint64_t FieldEnd = Base + F.Offset + F.Size;
+    int64_t Rel = static_cast<int64_t>(Target) -
+                  static_cast<int64_t>(FieldEnd);
+    if (F.Size == 1) {
+      if (Rel < -128 || Rel > 127)
+        return false;
+      Buf.data()[F.Offset] = static_cast<uint8_t>(Rel);
+    } else {
+      if (Rel < INT32_MIN || Rel > INT32_MAX)
+        return false;
+      Buf.patch32(F.Offset, static_cast<uint32_t>(Rel));
+    }
+  }
+  Fixups.clear();
+  return true;
+}
+
+// --- Encoding helpers --------------------------------------------------------
+
+void Assembler::emitRex(bool W, bool R, bool X, bool B, bool Force) {
+  if (!W && !R && !X && !B && !Force)
+    return;
+  Buf.push8(static_cast<uint8_t>(0x40 | (W << 3) | (R << 2) | (X << 1) |
+                                 (B << 0)));
+}
+
+void Assembler::emitModRMReg(uint8_t RegField, Reg Rm) {
+  Buf.push8(static_cast<uint8_t>(0xc0 | ((RegField & 7) << 3) |
+                                 (regEncoding(Rm) & 7)));
+}
+
+void Assembler::emitModRMMem(uint8_t RegField, const Mem &M) {
+  assert(M.Scale == 1 || M.Scale == 2 || M.Scale == 4 || M.Scale == 8);
+  uint8_t RegBits = (RegField & 7) << 3;
+
+  if (M.isRipRel()) {
+    Buf.push8(static_cast<uint8_t>(0x00 | RegBits | 5));
+    Buf.push32(static_cast<uint32_t>(M.Disp));
+    return;
+  }
+
+  if (M.Base == Reg::None && M.Index == Reg::None) {
+    // [disp32] absolute: mod=00, rm=100 (SIB), SIB base=101 index=100.
+    Buf.push8(static_cast<uint8_t>(0x00 | RegBits | 4));
+    Buf.push8(0x25);
+    Buf.push32(static_cast<uint32_t>(M.Disp));
+    return;
+  }
+
+  uint8_t ScaleBits = M.Scale == 1 ? 0 : M.Scale == 2 ? 1 : M.Scale == 4 ? 2
+                                                                          : 3;
+  bool NeedSIB = M.Index != Reg::None ||
+                 (M.Base != Reg::None && (regEncoding(M.Base) & 7) == 4);
+
+  if (M.Base == Reg::None) {
+    // Index without base: mod=00 rm=100, SIB base=101, disp32 mandatory.
+    assert(M.Index != Reg::None);
+    assert(M.Index != Reg::RSP && "rsp cannot be an index register");
+    Buf.push8(static_cast<uint8_t>(0x00 | RegBits | 4));
+    Buf.push8(static_cast<uint8_t>((ScaleBits << 6) |
+                                   ((regEncoding(M.Index) & 7) << 3) | 5));
+    Buf.push32(static_cast<uint32_t>(M.Disp));
+    return;
+  }
+
+  // Choose mod by displacement size; base rbp/r13 cannot use mod=00.
+  uint8_t BaseLow = regEncoding(M.Base) & 7;
+  uint8_t Mod;
+  uint8_t DispSize;
+  if (M.Disp == 0 && BaseLow != 5) {
+    Mod = 0;
+    DispSize = 0;
+  } else if (M.Disp >= -128 && M.Disp <= 127) {
+    Mod = 1;
+    DispSize = 1;
+  } else {
+    Mod = 2;
+    DispSize = 4;
+  }
+
+  if (NeedSIB) {
+    uint8_t IndexLow =
+        M.Index == Reg::None ? 4 : (regEncoding(M.Index) & 7);
+    assert(M.Index != Reg::RSP && "rsp cannot be an index register");
+    Buf.push8(static_cast<uint8_t>((Mod << 6) | RegBits | 4));
+    Buf.push8(
+        static_cast<uint8_t>((ScaleBits << 6) | (IndexLow << 3) | BaseLow));
+  } else {
+    Buf.push8(static_cast<uint8_t>((Mod << 6) | RegBits | BaseLow));
+  }
+
+  if (DispSize == 1)
+    Buf.push8(static_cast<uint8_t>(M.Disp));
+  else if (DispSize == 4)
+    Buf.push32(static_cast<uint32_t>(M.Disp));
+}
+
+void Assembler::instrRM(OpSize S, bool TwoByte, uint8_t Opc, uint8_t RegField,
+                        Reg Rm) {
+  if (S == OpSize::B16)
+    Buf.push8(0x66);
+  bool W = S == OpSize::B64;
+  bool R = (RegField & 8) != 0;
+  bool B = regNeedsRexBit(Rm);
+  // 8-bit operands touching encodings 4-7 need REX to select spl/bpl/sil/dil
+  // rather than ah/ch/dh/bh.
+  bool Force = S == OpSize::B8 &&
+               ((RegField >= 4 && RegField <= 7) ||
+                (regEncoding(Rm) >= 4 && regEncoding(Rm) <= 7));
+  emitRex(W, R, false, B, Force);
+  if (TwoByte)
+    Buf.push8(0x0f);
+  Buf.push8(Opc);
+  emitModRMReg(RegField, Rm);
+}
+
+void Assembler::instrRMMem(OpSize S, bool TwoByte, uint8_t Opc,
+                           uint8_t RegField, const Mem &M) {
+  if (S == OpSize::B16)
+    Buf.push8(0x66);
+  bool W = S == OpSize::B64;
+  bool R = (RegField & 8) != 0;
+  bool X = M.Index != Reg::None && regNeedsRexBit(M.Index);
+  bool B = M.Base != Reg::None && M.Base != Reg::RIP &&
+           regNeedsRexBit(M.Base);
+  bool Force = S == OpSize::B8 && RegField >= 4 && RegField <= 7;
+  emitRex(W, R, X, B, Force);
+  if (TwoByte)
+    Buf.push8(0x0f);
+  Buf.push8(Opc);
+  emitModRMMem(RegField, M);
+}
+
+void Assembler::emitRel(uint8_t Size, Label L) {
+  Fixups.push_back(Fixup{Buf.size(), Size, L});
+  if (Size == 1)
+    Buf.push8(0);
+  else
+    Buf.push32(0);
+}
+
+int32_t Assembler::relTo(uint64_t Target, unsigned InsnEndOffset) const {
+  uint64_t End = currentAddr() + InsnEndOffset;
+  int64_t Rel = static_cast<int64_t>(Target) - static_cast<int64_t>(End);
+  assert(Rel >= INT32_MIN && Rel <= INT32_MAX &&
+         "relative branch target out of range");
+  return static_cast<int32_t>(Rel);
+}
+
+// --- Data moves ---------------------------------------------------------------
+
+void Assembler::movRegImm64(Reg Dst, uint64_t Imm) {
+  emitRex(true, false, false, regNeedsRexBit(Dst), false);
+  Buf.push8(static_cast<uint8_t>(0xb8 | (regEncoding(Dst) & 7)));
+  Buf.push64(Imm);
+}
+
+void Assembler::movRegImm32(Reg Dst, int32_t Imm) {
+  emitRex(true, false, false, regNeedsRexBit(Dst), false);
+  Buf.push8(0xc7);
+  emitModRMReg(0, Dst);
+  Buf.push32(static_cast<uint32_t>(Imm));
+}
+
+void Assembler::movRegReg(OpSize S, Reg Dst, Reg Src) {
+  uint8_t Opc = S == OpSize::B8 ? 0x88 : 0x89;
+  instrRM(S, false, Opc, static_cast<uint8_t>(Src), Dst);
+}
+
+void Assembler::movMemReg(OpSize S, const Mem &Dst, Reg Src) {
+  uint8_t Opc = S == OpSize::B8 ? 0x88 : 0x89;
+  instrRMMem(S, false, Opc, static_cast<uint8_t>(Src), Dst);
+}
+
+void Assembler::movRegMem(OpSize S, Reg Dst, const Mem &Src) {
+  uint8_t Opc = S == OpSize::B8 ? 0x8a : 0x8b;
+  instrRMMem(S, false, Opc, static_cast<uint8_t>(Dst), Src);
+}
+
+void Assembler::movMemImm(OpSize S, const Mem &Dst, int32_t Imm) {
+  uint8_t Opc = S == OpSize::B8 ? 0xc6 : 0xc7;
+  instrRMMem(S, false, Opc, 0, Dst);
+  if (S == OpSize::B8)
+    Buf.push8(static_cast<uint8_t>(Imm));
+  else if (S == OpSize::B16)
+    Buf.push16(static_cast<uint16_t>(Imm));
+  else
+    Buf.push32(static_cast<uint32_t>(Imm));
+}
+
+void Assembler::movzxRegMem8(Reg Dst, const Mem &Src) {
+  instrRMMem(OpSize::B64, true, 0xb6, static_cast<uint8_t>(Dst), Src);
+}
+
+void Assembler::leaRegMem(Reg Dst, const Mem &Src) {
+  instrRMMem(OpSize::B64, false, 0x8d, static_cast<uint8_t>(Dst), Src);
+}
+
+// --- ALU -----------------------------------------------------------------------
+
+void Assembler::aluRegReg(OpSize S, Alu Op, Reg Dst, Reg Src) {
+  uint8_t Opc = static_cast<uint8_t>((static_cast<uint8_t>(Op) << 3) |
+                                     (S == OpSize::B8 ? 0x00 : 0x01));
+  instrRM(S, false, Opc, static_cast<uint8_t>(Src), Dst);
+}
+
+void Assembler::aluRegMem(OpSize S, Alu Op, Reg Dst, const Mem &Src) {
+  uint8_t Opc = static_cast<uint8_t>((static_cast<uint8_t>(Op) << 3) |
+                                     (S == OpSize::B8 ? 0x02 : 0x03));
+  instrRMMem(S, false, Opc, static_cast<uint8_t>(Dst), Src);
+}
+
+void Assembler::aluMemReg(OpSize S, Alu Op, const Mem &Dst, Reg Src) {
+  uint8_t Opc = static_cast<uint8_t>((static_cast<uint8_t>(Op) << 3) |
+                                     (S == OpSize::B8 ? 0x00 : 0x01));
+  instrRMMem(S, false, Opc, static_cast<uint8_t>(Src), Dst);
+}
+
+void Assembler::aluRegImm(OpSize S, Alu Op, Reg Dst, int32_t Imm) {
+  if (S == OpSize::B8) {
+    instrRM(S, false, 0x80, static_cast<uint8_t>(Op), Dst);
+    Buf.push8(static_cast<uint8_t>(Imm));
+    return;
+  }
+  if (Imm >= -128 && Imm <= 127) {
+    instrRM(S, false, 0x83, static_cast<uint8_t>(Op), Dst);
+    Buf.push8(static_cast<uint8_t>(Imm));
+    return;
+  }
+  instrRM(S, false, 0x81, static_cast<uint8_t>(Op), Dst);
+  if (S == OpSize::B16)
+    Buf.push16(static_cast<uint16_t>(Imm));
+  else
+    Buf.push32(static_cast<uint32_t>(Imm));
+}
+
+void Assembler::aluMemImm(OpSize S, Alu Op, const Mem &Dst, int32_t Imm) {
+  if (S == OpSize::B8) {
+    instrRMMem(S, false, 0x80, static_cast<uint8_t>(Op), Dst);
+    Buf.push8(static_cast<uint8_t>(Imm));
+    return;
+  }
+  if (Imm >= -128 && Imm <= 127) {
+    instrRMMem(S, false, 0x83, static_cast<uint8_t>(Op), Dst);
+    Buf.push8(static_cast<uint8_t>(Imm));
+    return;
+  }
+  instrRMMem(S, false, 0x81, static_cast<uint8_t>(Op), Dst);
+  if (S == OpSize::B16)
+    Buf.push16(static_cast<uint16_t>(Imm));
+  else
+    Buf.push32(static_cast<uint32_t>(Imm));
+}
+
+void Assembler::testRegReg(OpSize S, Reg A, Reg B) {
+  uint8_t Opc = S == OpSize::B8 ? 0x84 : 0x85;
+  instrRM(S, false, Opc, static_cast<uint8_t>(B), A);
+}
+
+void Assembler::imulRegReg(Reg Dst, Reg Src) {
+  instrRM(OpSize::B64, true, 0xaf, static_cast<uint8_t>(Dst), Src);
+}
+
+void Assembler::shiftRegImm(OpSize S, Shift Op, Reg R, uint8_t Amount) {
+  uint8_t Opc = S == OpSize::B8 ? 0xc0 : 0xc1;
+  instrRM(S, false, Opc, static_cast<uint8_t>(Op), R);
+  Buf.push8(Amount);
+}
+
+void Assembler::incReg(Reg R) {
+  instrRM(OpSize::B64, false, 0xff, 0, R);
+}
+
+void Assembler::decReg(Reg R) {
+  instrRM(OpSize::B64, false, 0xff, 1, R);
+}
+
+void Assembler::incMem(OpSize S, const Mem &M) {
+  uint8_t Opc = S == OpSize::B8 ? 0xfe : 0xff;
+  instrRMMem(S, false, Opc, 0, M);
+}
+
+void Assembler::negReg(Reg R) {
+  instrRM(OpSize::B64, false, 0xf7, 3, R);
+}
+
+void Assembler::xaddMemReg(OpSize S, const Mem &M, Reg R) {
+  instrRMMem(S, true, S == OpSize::B8 ? 0xc0 : 0xc1,
+             static_cast<uint8_t>(R), M);
+}
+
+void Assembler::cmpxchgMemReg(OpSize S, const Mem &M, Reg R) {
+  instrRMMem(S, true, S == OpSize::B8 ? 0xb0 : 0xb1,
+             static_cast<uint8_t>(R), M);
+}
+
+void Assembler::lockPrefix() { Buf.push8(0xf0); }
+
+// --- Stack ----------------------------------------------------------------------
+
+void Assembler::pushReg(Reg R) {
+  emitRex(false, false, false, regNeedsRexBit(R), false);
+  Buf.push8(static_cast<uint8_t>(0x50 | (regEncoding(R) & 7)));
+}
+
+void Assembler::popReg(Reg R) {
+  emitRex(false, false, false, regNeedsRexBit(R), false);
+  Buf.push8(static_cast<uint8_t>(0x58 | (regEncoding(R) & 7)));
+}
+
+void Assembler::pushfq() { Buf.push8(0x9c); }
+void Assembler::popfq() { Buf.push8(0x9d); }
+
+void Assembler::pushImm32(int32_t Imm) {
+  Buf.push8(0x68);
+  Buf.push32(static_cast<uint32_t>(Imm));
+}
+
+// --- Control flow ----------------------------------------------------------------
+
+void Assembler::jmpLabel(Label L) {
+  Buf.push8(0xe9);
+  emitRel(4, L);
+}
+
+void Assembler::jmpShortLabel(Label L) {
+  Buf.push8(0xeb);
+  emitRel(1, L);
+}
+
+void Assembler::jccLabel(Cond C, Label L) {
+  Buf.push8(0x0f);
+  Buf.push8(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(C)));
+  emitRel(4, L);
+}
+
+void Assembler::jccShortLabel(Cond C, Label L) {
+  Buf.push8(static_cast<uint8_t>(0x70 | static_cast<uint8_t>(C)));
+  emitRel(1, L);
+}
+
+void Assembler::callLabel(Label L) {
+  Buf.push8(0xe8);
+  emitRel(4, L);
+}
+
+void Assembler::jmpAddr(uint64_t Target) {
+  int32_t Rel = relTo(Target, 5);
+  Buf.push8(0xe9);
+  Buf.push32(static_cast<uint32_t>(Rel));
+}
+
+void Assembler::jccAddr(Cond C, uint64_t Target) {
+  int32_t Rel = relTo(Target, 6);
+  Buf.push8(0x0f);
+  Buf.push8(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(C)));
+  Buf.push32(static_cast<uint32_t>(Rel));
+}
+
+void Assembler::callAddr(uint64_t Target) {
+  int32_t Rel = relTo(Target, 5);
+  Buf.push8(0xe8);
+  Buf.push32(static_cast<uint32_t>(Rel));
+}
+
+void Assembler::callReg(Reg R) {
+  instrRM(OpSize::B32, false, 0xff, 2, R);
+}
+
+void Assembler::jmpReg(Reg R) {
+  instrRM(OpSize::B32, false, 0xff, 4, R);
+}
+
+void Assembler::loopLabel(Label L) {
+  Buf.push8(0xe2);
+  emitRel(1, L);
+}
+
+void Assembler::jrcxzLabel(Label L) {
+  Buf.push8(0xe3);
+  emitRel(1, L);
+}
+
+void Assembler::cqo() {
+  Buf.push8(0x48);
+  Buf.push8(0x99);
+}
+
+void Assembler::cld() { Buf.push8(0xfc); }
+void Assembler::repMovsb() { Buf.pushBytes({0xf3, 0xa4}); }
+void Assembler::repStosb() { Buf.pushBytes({0xf3, 0xaa}); }
+void Assembler::repMovsq() { Buf.pushBytes({0xf3, 0x48, 0xa5}); }
+void Assembler::repStosq() { Buf.pushBytes({0xf3, 0x48, 0xab}); }
+
+void Assembler::divReg(Reg R) {
+  instrRM(OpSize::B64, false, 0xf7, 6, R);
+}
+
+void Assembler::idivReg(Reg R) {
+  instrRM(OpSize::B64, false, 0xf7, 7, R);
+}
+
+void Assembler::ret() { Buf.push8(0xc3); }
+void Assembler::int3() { Buf.push8(0xcc); }
+void Assembler::nop() { Buf.push8(0x90); }
+
+void Assembler::nops(unsigned N) {
+  for (unsigned I = 0; I != N; ++I)
+    nop();
+}
+
+void Assembler::ud2() {
+  Buf.push8(0x0f);
+  Buf.push8(0x0b);
+}
+
+void Assembler::jmpAnywhere(uint64_t Target) {
+  // push imm32 sign-extends; write the high half explicitly, then ret.
+  uint32_t Lo = static_cast<uint32_t>(Target);
+  uint32_t Hi = static_cast<uint32_t>(Target >> 32);
+  // The sign-extension of Lo fills [rsp+4] with 0x00000000 or 0xffffffff;
+  // overwrite it with the real high half in either case.
+  pushImm32(static_cast<int32_t>(Lo));
+  // mov dword [rsp+4], Hi
+  movMemImm(OpSize::B32, Mem::base(Reg::RSP, 4), static_cast<int32_t>(Hi));
+  ret();
+}
+
+void Assembler::callAbsViaRax(uint64_t Target) {
+  movRegImm64(Reg::RAX, Target);
+  callReg(Reg::RAX);
+}

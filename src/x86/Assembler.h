@@ -1,0 +1,217 @@
+//===- x86/Assembler.h - Small x86_64 encoder ------------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct-emission x86_64 assembler with label/fixup support. Used by the
+/// synthetic workload generator (to build input binaries), the trampoline
+/// builder (to materialize patch/evictee trampolines) and the tests.
+///
+/// Only instructions that the VM interpreter executes are provided; the
+/// encodings are the canonical ones the decoder round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_X86_ASSEMBLER_H
+#define E9_X86_ASSEMBLER_H
+
+#include "support/ByteBuffer.h"
+#include "x86/Register.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace e9 {
+namespace x86 {
+
+/// A memory operand: [Base + Index*Scale + Disp], rip-relative, or abs32.
+struct Mem {
+  Reg Base = Reg::None;
+  Reg Index = Reg::None;
+  uint8_t Scale = 1; ///< 1, 2, 4 or 8.
+  int32_t Disp = 0;
+
+  /// [rip + Disp].
+  static Mem ripRel(int32_t Disp) {
+    Mem M;
+    M.Base = Reg::RIP;
+    M.Disp = Disp;
+    return M;
+  }
+  /// [Base + Disp].
+  static Mem base(Reg Base, int32_t Disp = 0) {
+    Mem M;
+    M.Base = Base;
+    M.Disp = Disp;
+    return M;
+  }
+  /// [Base + Index*Scale + Disp].
+  static Mem baseIndex(Reg Base, Reg Index, uint8_t Scale, int32_t Disp = 0) {
+    Mem M;
+    M.Base = Base;
+    M.Index = Index;
+    M.Scale = Scale;
+    M.Disp = Disp;
+    return M;
+  }
+  /// [Disp32] absolute (no base/index).
+  static Mem abs(int32_t Disp) {
+    Mem M;
+    M.Disp = Disp;
+    return M;
+  }
+
+  bool isRipRel() const { return Base == Reg::RIP; }
+};
+
+/// Operand sizes in bytes.
+enum class OpSize : uint8_t { B8 = 1, B16 = 2, B32 = 4, B64 = 8 };
+
+/// ALU operations encoded in the standard 00-3F opcode rows / group 1.
+enum class Alu : uint8_t {
+  Add = 0,
+  Or = 1,
+  Adc = 2,
+  Sbb = 3,
+  And = 4,
+  Sub = 5,
+  Xor = 6,
+  Cmp = 7,
+};
+
+/// Shift operations encoded in group 2 (C0/C1/D0-D3).
+enum class Shift : uint8_t { Shl = 4, Shr = 5, Sar = 7 };
+
+/// Direct-emission assembler with deferred label fixups.
+class Assembler {
+public:
+  using Label = unsigned;
+
+  explicit Assembler(uint64_t BaseAddr) : Base(BaseAddr) {}
+
+  uint64_t baseAddr() const { return Base; }
+  uint64_t currentAddr() const { return Base + Buf.size(); }
+  size_t size() const { return Buf.size(); }
+  const ByteBuffer &buffer() const { return Buf; }
+  std::vector<uint8_t> take() { return Buf.takeBytes(); }
+
+  // --- Labels -------------------------------------------------------------
+  Label createLabel();
+  void bind(Label L);
+  /// Binds \p L to an arbitrary absolute address (e.g. outside the buffer).
+  void bindAt(Label L, uint64_t Addr);
+  /// Returns the bound address of \p L (asserts when unbound).
+  uint64_t labelAddr(Label L) const {
+    assert(L < Labels.size() && Labels[L].has_value() && "label unbound");
+    return *Labels[L];
+  }
+  /// Resolves all fixups; returns false if a label is unbound or a short
+  /// jump's displacement does not fit.
+  bool resolveAll();
+
+  // --- Raw emission --------------------------------------------------------
+  void byte(uint8_t B) { Buf.push8(B); }
+  void raw(std::initializer_list<uint8_t> Bytes) { Buf.pushBytes(Bytes); }
+  void raw(const std::vector<uint8_t> &Bytes) { Buf.pushBytes(Bytes); }
+
+  // --- Data moves -----------------------------------------------------------
+  void movRegImm64(Reg Dst, uint64_t Imm);        ///< mov r64, imm64
+  void movRegImm32(Reg Dst, int32_t Imm);         ///< mov r64, imm32 (sext)
+  void movRegReg(OpSize S, Reg Dst, Reg Src);
+  void movMemReg(OpSize S, const Mem &Dst, Reg Src);
+  void movRegMem(OpSize S, Reg Dst, const Mem &Src);
+  void movMemImm(OpSize S, const Mem &Dst, int32_t Imm);
+  void movzxRegMem8(Reg Dst, const Mem &Src);     ///< movzx r64, byte [m]
+  void leaRegMem(Reg Dst, const Mem &Src);
+
+  // --- ALU -------------------------------------------------------------------
+  void aluRegReg(OpSize S, Alu Op, Reg Dst, Reg Src);
+  void aluRegMem(OpSize S, Alu Op, Reg Dst, const Mem &Src);
+  void aluMemReg(OpSize S, Alu Op, const Mem &Dst, Reg Src);
+  void aluRegImm(OpSize S, Alu Op, Reg Dst, int32_t Imm);
+  void aluMemImm(OpSize S, Alu Op, const Mem &Dst, int32_t Imm);
+  void testRegReg(OpSize S, Reg A, Reg B);
+  void imulRegReg(Reg Dst, Reg Src);              ///< imul r64, r64
+  void shiftRegImm(OpSize S, Shift Op, Reg R, uint8_t Amount);
+  void incReg(Reg R);
+  void decReg(Reg R);
+  void incMem(OpSize S, const Mem &M);
+  void negReg(Reg R);
+  void xaddMemReg(OpSize S, const Mem &M, Reg R);    ///< 0f c0/c1
+  void cmpxchgMemReg(OpSize S, const Mem &M, Reg R); ///< 0f b0/b1
+  void lockPrefix();                                 ///< f0
+
+  // --- Stack -------------------------------------------------------------------
+  void pushReg(Reg R);
+  void popReg(Reg R);
+  void pushfq();
+  void popfq();
+  void pushImm32(int32_t Imm);
+
+  // --- Control flow ---------------------------------------------------------
+  void jmpLabel(Label L);          ///< e9 rel32
+  void jmpShortLabel(Label L);     ///< eb rel8
+  void jccLabel(Cond C, Label L);  ///< 0f 8x rel32
+  void jccShortLabel(Cond C, Label L); ///< 7x rel8
+  void callLabel(Label L);         ///< e8 rel32
+  void jmpAddr(uint64_t Target);   ///< e9 rel32 to absolute target
+  void jccAddr(Cond C, uint64_t Target);
+  void callAddr(uint64_t Target);
+  void callReg(Reg R);             ///< ff /2
+  void jmpReg(Reg R);              ///< ff /4
+  void loopLabel(Label L);   ///< e2 rel8
+  void jrcxzLabel(Label L);  ///< e3 rel8
+  void ret();
+  void int3();
+  void nop();
+  void nops(unsigned N);
+  void ud2();
+  void cqo();                ///< sign-extend rax into rdx
+  void cld();                ///< clear direction flag
+  void repMovsb();           ///< f3 a4
+  void repStosb();           ///< f3 aa
+  void repMovsq();           ///< f3 48 a5
+  void repStosq();           ///< f3 48 ab
+  void divReg(Reg R);        ///< div r64 (rdx:rax / r)
+  void idivReg(Reg R);       ///< idiv r64
+
+  /// Emits a 14-byte register- and flag-preserving absolute jump:
+  /// push imm32(lo); mov dword [rsp+4], hi; ret. Works for any canonical
+  /// 64-bit target, at the price of one stack slot.
+  void jmpAnywhere(uint64_t Target);
+
+  /// mov rax, imm64(Target); call rax — an 12-byte absolute call used for
+  /// host-hook invocations (clobbers rax).
+  void callAbsViaRax(uint64_t Target);
+
+private:
+  struct Fixup {
+    size_t Offset;    ///< Buffer offset of the displacement field.
+    uint8_t Size;     ///< 1 or 4 bytes.
+    Label TargetLabel;
+  };
+
+  void emitRex(bool W, bool R, bool X, bool B, bool Force);
+  void emitModRMReg(uint8_t RegField, Reg Rm);
+  void emitModRMMem(uint8_t RegField, const Mem &M);
+  /// Emits [prefix] [REX] [escape] opcode modrm for reg-field + rm operand.
+  void instrRM(OpSize S, bool TwoByte, uint8_t Opc, uint8_t RegField,
+               Reg Rm);
+  void instrRMMem(OpSize S, bool TwoByte, uint8_t Opc, uint8_t RegField,
+                  const Mem &M);
+  void emitRel(uint8_t Size, Label L);
+  int32_t relTo(uint64_t Target, unsigned InsnEndOffset) const;
+
+  uint64_t Base;
+  ByteBuffer Buf;
+  std::vector<std::optional<uint64_t>> Labels;
+  std::vector<Fixup> Fixups;
+};
+
+} // namespace x86
+} // namespace e9
+
+#endif // E9_X86_ASSEMBLER_H

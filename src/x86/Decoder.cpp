@@ -1,0 +1,518 @@
+//===- x86/Decoder.cpp ----------------------------------------*- C++ -*-===//
+
+#include "x86/Decoder.h"
+
+#include <array>
+
+using namespace e9;
+using namespace e9::x86;
+
+namespace {
+
+/// Immediate-operand kinds per opcode.
+enum ImmKind : uint8_t {
+  IMM_NONE,      ///< No immediate.
+  IMM_8,         ///< 1-byte immediate.
+  IMM_16,        ///< 2-byte immediate (ret imm16 etc.).
+  IMM_1632,      ///< 2 bytes with 0x66 prefix, else 4.
+  IMM_1632_64,   ///< mov r, imm: 8 bytes with REX.W, else IMM_1632.
+  IMM_MOFFS,     ///< moffs: 8 bytes (4 with 0x67).
+  IMM_16_8,      ///< enter: imm16 + imm8.
+  IMM_GRP3_8,    ///< F6 group: imm8 iff ModRM.reg in {0,1}.
+  IMM_GRP3_1632, ///< F7 group: imm16/32 iff ModRM.reg in {0,1}.
+};
+
+struct OpInfo {
+  bool Valid = false;
+  bool ModRM = false;
+  ImmKind Imm = IMM_NONE;
+};
+
+constexpr OpInfo invalidOp() { return OpInfo{false, false, IMM_NONE}; }
+constexpr OpInfo op(bool ModRM, ImmKind Imm = IMM_NONE) {
+  return OpInfo{true, ModRM, Imm};
+}
+
+/// Builds the primary one-byte opcode map (64-bit mode). Prefix bytes
+/// (26/2E/36/3E/64/65/66/67/F0/F2/F3, REX 40-4F, VEX C4/C5, EVEX 62) and
+/// the 0F escape are handled by the decode loop and marked invalid here.
+consteval std::array<OpInfo, 256> buildOneByteMap() {
+  std::array<OpInfo, 256> M{};
+  for (auto &E : M)
+    E = invalidOp();
+
+  // ALU rows: add/or/adc/sbb/and/sub/xor/cmp.
+  for (unsigned Row = 0x00; Row <= 0x38; Row += 0x08) {
+    M[Row + 0] = op(true);            // <op> r/m8, r8
+    M[Row + 1] = op(true);            // <op> r/m, r
+    M[Row + 2] = op(true);            // <op> r8, r/m8
+    M[Row + 3] = op(true);            // <op> r, r/m
+    M[Row + 4] = op(false, IMM_8);    // <op> al, imm8
+    M[Row + 5] = op(false, IMM_1632); // <op> eax, imm
+  }
+  M[0x63] = op(true); // movsxd
+  for (unsigned I = 0x50; I <= 0x5f; ++I)
+    M[I] = op(false); // push/pop r64
+  M[0x68] = op(false, IMM_1632);
+  M[0x69] = op(true, IMM_1632); // imul r, r/m, imm
+  M[0x6a] = op(false, IMM_8);
+  M[0x6b] = op(true, IMM_8);
+  for (unsigned I = 0x6c; I <= 0x6f; ++I)
+    M[I] = op(false); // ins/outs
+  for (unsigned I = 0x70; I <= 0x7f; ++I)
+    M[I] = op(false, IMM_8); // jcc rel8
+  M[0x80] = op(true, IMM_8);
+  M[0x81] = op(true, IMM_1632);
+  M[0x83] = op(true, IMM_8);
+  for (unsigned I = 0x84; I <= 0x8e; ++I)
+    M[I] = op(true); // test/xchg/mov/lea/mov sreg
+  M[0x8f] = op(true); // pop r/m
+  for (unsigned I = 0x90; I <= 0x99; ++I)
+    M[I] = op(false); // xchg/nop, cbw/cwd family
+  for (unsigned I = 0x9b; I <= 0x9f; ++I)
+    M[I] = op(false); // wait/pushfq/popfq/sahf/lahf
+  for (unsigned I = 0xa0; I <= 0xa3; ++I)
+    M[I] = op(false, IMM_MOFFS);
+  for (unsigned I = 0xa4; I <= 0xa7; ++I)
+    M[I] = op(false); // movs/cmps
+  M[0xa8] = op(false, IMM_8);
+  M[0xa9] = op(false, IMM_1632);
+  for (unsigned I = 0xaa; I <= 0xaf; ++I)
+    M[I] = op(false); // stos/lods/scas
+  for (unsigned I = 0xb0; I <= 0xb7; ++I)
+    M[I] = op(false, IMM_8); // mov r8, imm8
+  for (unsigned I = 0xb8; I <= 0xbf; ++I)
+    M[I] = op(false, IMM_1632_64); // mov r, imm
+  M[0xc0] = op(true, IMM_8);
+  M[0xc1] = op(true, IMM_8);
+  M[0xc2] = op(false, IMM_16); // ret imm16
+  M[0xc3] = op(false);         // ret
+  M[0xc6] = op(true, IMM_8);   // mov r/m8, imm8
+  M[0xc7] = op(true, IMM_1632);
+  M[0xc8] = op(false, IMM_16_8); // enter
+  M[0xc9] = op(false);           // leave
+  M[0xca] = op(false, IMM_16);   // retf imm16
+  M[0xcb] = op(false);           // retf
+  M[0xcc] = op(false);           // int3
+  M[0xcd] = op(false, IMM_8);    // int imm8
+  M[0xcf] = op(false);           // iretq
+  for (unsigned I = 0xd0; I <= 0xd3; ++I)
+    M[I] = op(true); // shift groups
+  M[0xd7] = op(false); // xlat
+  for (unsigned I = 0xd8; I <= 0xdf; ++I)
+    M[I] = op(true); // x87
+  for (unsigned I = 0xe0; I <= 0xe7; ++I)
+    M[I] = op(false, IMM_8); // loop/jcxz, in/out imm8
+  M[0xe8] = op(false, IMM_1632); // call rel32
+  M[0xe9] = op(false, IMM_1632); // jmp rel32
+  M[0xeb] = op(false, IMM_8);    // jmp rel8
+  for (unsigned I = 0xec; I <= 0xef; ++I)
+    M[I] = op(false); // in/out dx
+  M[0xf1] = op(false); // int1
+  M[0xf4] = op(false); // hlt
+  M[0xf5] = op(false); // cmc
+  M[0xf6] = op(true, IMM_GRP3_8);
+  M[0xf7] = op(true, IMM_GRP3_1632);
+  for (unsigned I = 0xf8; I <= 0xfd; ++I)
+    M[I] = op(false); // clc..std
+  M[0xfe] = op(true); // grp4
+  M[0xff] = op(true); // grp5
+  return M;
+}
+
+/// Builds the two-byte (0F xx) opcode map.
+consteval std::array<OpInfo, 256> buildTwoByteMap() {
+  std::array<OpInfo, 256> M{};
+  for (auto &E : M)
+    E = invalidOp();
+
+  M[0x00] = op(true); // grp6
+  M[0x01] = op(true); // grp7
+  M[0x02] = op(true); // lar
+  M[0x03] = op(true); // lsl
+  M[0x05] = op(false); // syscall
+  M[0x06] = op(false); // clts
+  M[0x07] = op(false); // sysret
+  M[0x08] = op(false); // invd
+  M[0x09] = op(false); // wbinvd
+  M[0x0b] = op(false); // ud2
+  M[0x0d] = op(true);  // prefetch
+  M[0x0e] = op(false); // femms
+  for (unsigned I = 0x10; I <= 0x17; ++I)
+    M[I] = op(true); // SSE moves
+  for (unsigned I = 0x18; I <= 0x1f; ++I)
+    M[I] = op(true); // hints / multi-byte nop
+  for (unsigned I = 0x20; I <= 0x23; ++I)
+    M[I] = op(true); // mov cr/dr
+  for (unsigned I = 0x28; I <= 0x2f; ++I)
+    M[I] = op(true); // SSE convert/compare
+  for (unsigned I = 0x30; I <= 0x35; ++I)
+    M[I] = op(false); // wrmsr/rdtsc/rdmsr/rdpmc/sysenter/sysexit
+  M[0x37] = op(false); // getsec
+  for (unsigned I = 0x40; I <= 0x4f; ++I)
+    M[I] = op(true); // cmovcc
+  for (unsigned I = 0x50; I <= 0x6f; ++I)
+    M[I] = op(true); // packed SSE
+  M[0x70] = op(true, IMM_8); // pshufd
+  M[0x71] = op(true, IMM_8); // grp12
+  M[0x72] = op(true, IMM_8); // grp13
+  M[0x73] = op(true, IMM_8); // grp14
+  for (unsigned I = 0x74; I <= 0x76; ++I)
+    M[I] = op(true); // pcmpeq
+  M[0x77] = op(false); // emms
+  M[0x78] = op(true);  // vmread
+  M[0x79] = op(true);  // vmwrite
+  for (unsigned I = 0x7c; I <= 0x7f; ++I)
+    M[I] = op(true);
+  for (unsigned I = 0x80; I <= 0x8f; ++I)
+    M[I] = op(false, IMM_1632); // jcc rel32
+  for (unsigned I = 0x90; I <= 0x9f; ++I)
+    M[I] = op(true); // setcc
+  M[0xa0] = op(false); // push fs
+  M[0xa1] = op(false); // pop fs
+  M[0xa2] = op(false); // cpuid
+  M[0xa3] = op(true);  // bt
+  M[0xa4] = op(true, IMM_8); // shld imm8
+  M[0xa5] = op(true);        // shld cl
+  M[0xa8] = op(false); // push gs
+  M[0xa9] = op(false); // pop gs
+  M[0xaa] = op(false); // rsm
+  M[0xab] = op(true);  // bts
+  M[0xac] = op(true, IMM_8); // shrd imm8
+  M[0xad] = op(true);        // shrd cl
+  M[0xae] = op(true);  // grp15 (fences decode with mod=3)
+  M[0xaf] = op(true);  // imul r, r/m
+  for (unsigned I = 0xb0; I <= 0xb7; ++I)
+    M[I] = op(true); // cmpxchg/lss/btr/lfs/lgs/movzx
+  M[0xb8] = op(true); // popcnt (F3) / jmpe
+  M[0xb9] = op(true); // ud1
+  M[0xba] = op(true, IMM_8); // grp8 bt imm8
+  for (unsigned I = 0xbb; I <= 0xbf; ++I)
+    M[I] = op(true); // btc/bsf/bsr/movsx
+  M[0xc0] = op(true); // xadd r/m8
+  M[0xc1] = op(true); // xadd
+  M[0xc2] = op(true, IMM_8); // cmpps imm8
+  M[0xc3] = op(true);        // movnti
+  M[0xc4] = op(true, IMM_8); // pinsrw
+  M[0xc5] = op(true, IMM_8); // pextrw
+  M[0xc6] = op(true, IMM_8); // shufps
+  M[0xc7] = op(true);        // grp9
+  for (unsigned I = 0xc8; I <= 0xcf; ++I)
+    M[I] = op(false); // bswap
+  for (unsigned I = 0xd0; I <= 0xfe; ++I)
+    M[I] = op(true); // packed SSE
+  M[0xff] = op(true); // ud0
+  return M;
+}
+
+constexpr std::array<OpInfo, 256> OneByteMap = buildOneByteMap();
+constexpr std::array<OpInfo, 256> TwoByteMap = buildTwoByteMap();
+
+/// Returns the OpInfo for the 0F38 map (all ModRM, no immediate).
+constexpr OpInfo map0F38Info() { return op(true); }
+/// Returns the OpInfo for the 0F3A map (all ModRM + imm8).
+constexpr OpInfo map0F3AInfo() { return op(true, IMM_8); }
+
+/// Sign-extends the low \p Bytes bytes of \p V.
+int64_t signExtend(uint64_t V, unsigned Bytes) {
+  if (Bytes >= 8)
+    return static_cast<int64_t>(V);
+  unsigned Shift = 64 - 8 * Bytes;
+  return static_cast<int64_t>(V << Shift) >> Shift;
+}
+
+/// Cursor over the instruction bytes with bounds checking.
+class Cursor {
+public:
+  Cursor(const uint8_t *Bytes, size_t MaxLen)
+      : Bytes(Bytes), MaxLen(MaxLen > MaxInsnLength ? MaxInsnLength : MaxLen) {
+  }
+
+  bool atEnd() const { return Pos >= MaxLen; }
+  size_t pos() const { return Pos; }
+  bool truncatedByCap() const { return MaxLen == MaxInsnLength; }
+
+  /// Peeks the next byte; only valid when !atEnd().
+  uint8_t peek() const { return Bytes[Pos]; }
+
+  /// Consumes and returns the next byte; only valid when !atEnd().
+  uint8_t take() { return Bytes[Pos++]; }
+
+  /// Reads a little-endian integer of \p N bytes, or fails.
+  bool read(unsigned N, uint64_t &Out) {
+    if (Pos + N > MaxLen)
+      return false;
+    Out = 0;
+    for (unsigned I = 0; I != N; ++I)
+      Out |= static_cast<uint64_t>(Bytes[Pos + I]) << (8 * I);
+    Pos += N;
+    return true;
+  }
+
+private:
+  const uint8_t *Bytes;
+  size_t MaxLen;
+  size_t Pos = 0;
+};
+
+/// Decodes ModRM/SIB/displacement into \p I. Returns false when truncated.
+bool decodeModRM(Cursor &C, Insn &I) {
+  if (C.atEnd())
+    return false;
+  I.HasModRM = true;
+  I.ModRM = C.take();
+  uint8_t Mod = I.ModRM >> 6;
+  uint8_t Rm = I.ModRM & 7;
+
+  unsigned DispSize = 0;
+  if (Mod == 1)
+    DispSize = 1;
+  else if (Mod == 2)
+    DispSize = 4;
+
+  if (Mod != 3 && Rm == 4) {
+    if (C.atEnd())
+      return false;
+    I.HasSIB = true;
+    I.SIB = C.take();
+    // SIB base 101b with mod 0: disp32, no base register.
+    if (Mod == 0 && (I.SIB & 7) == 5)
+      DispSize = 4;
+  } else if (Mod == 0 && Rm == 5) {
+    DispSize = 4; // rip-relative.
+  }
+
+  if (DispSize != 0) {
+    I.DispOffset = static_cast<uint8_t>(C.pos());
+    uint64_t Raw;
+    if (!C.read(DispSize, Raw))
+      return false;
+    I.DispSize = static_cast<uint8_t>(DispSize);
+    I.Disp = static_cast<int32_t>(signExtend(Raw, DispSize));
+  }
+  return true;
+}
+
+/// Reads an immediate of \p Size bytes into \p I. Returns false when
+/// truncated.
+bool readImm(Cursor &C, Insn &I, unsigned Size) {
+  if (Size == 0)
+    return true;
+  I.ImmOffset = static_cast<uint8_t>(C.pos());
+  uint64_t Raw;
+  if (!C.read(Size, Raw))
+    return false;
+  I.ImmSize = static_cast<uint8_t>(Size);
+  I.Imm = signExtend(Raw, Size);
+  return true;
+}
+
+/// Resolves an ImmKind to a concrete byte size given the decoded prefixes
+/// and (for group-3 opcodes) the ModRM.reg field.
+unsigned immSize(ImmKind Kind, const Insn &I) {
+  switch (Kind) {
+  case IMM_NONE:
+    return 0;
+  case IMM_8:
+    return 1;
+  case IMM_16:
+    return 2;
+  case IMM_1632:
+    return I.OpSizeOverride ? 2 : 4;
+  case IMM_1632_64:
+    if (I.Rex & 0x8)
+      return 8;
+    return I.OpSizeOverride ? 2 : 4;
+  case IMM_MOFFS:
+    return I.AddrSizeOverride ? 4 : 8;
+  case IMM_16_8:
+    return 3;
+  case IMM_GRP3_8:
+    return I.regOpcode() <= 1 ? 1 : 0;
+  case IMM_GRP3_1632:
+    if (I.regOpcode() > 1)
+      return 0;
+    return I.OpSizeOverride ? 2 : 4;
+  }
+  return 0;
+}
+
+} // namespace
+
+namespace {
+/// Classifies running out of bytes: if the full 15-byte architectural cap
+/// was available and still exhausted, the encoding is invalid (too long);
+/// otherwise the caller's buffer simply ended mid-instruction.
+DecodeStatus truncated(const Cursor &C) {
+  return C.truncatedByCap() ? DecodeStatus::Invalid : DecodeStatus::Truncated;
+}
+} // namespace
+
+DecodeStatus x86::decode(const uint8_t *Bytes, size_t MaxLen,
+                         uint64_t Address, Insn &Out) {
+  Out = Insn();
+  Out.Address = Address;
+  if (MaxLen == 0)
+    return DecodeStatus::Truncated;
+
+  Cursor C(Bytes, MaxLen);
+
+  // --- Prefix loop -------------------------------------------------------
+  bool SawOpcode = false;
+  while (!C.atEnd()) {
+    uint8_t B = C.peek();
+    bool IsPrefix = true;
+    switch (B) {
+    case 0x26: case 0x2e: case 0x36: case 0x3e: case 0x64: case 0x65:
+      Out.SegPrefix = B;
+      break;
+    case 0x66:
+      Out.OpSizeOverride = true;
+      break;
+    case 0x67:
+      Out.AddrSizeOverride = true;
+      break;
+    case 0xf0:
+      Out.LockPrefix = true;
+      break;
+    case 0xf2: case 0xf3:
+      Out.RepPrefix = B;
+      break;
+    default:
+      if (B >= 0x40 && B <= 0x4f) {
+        Out.Rex = B;
+        Out.HasRex = true;
+        C.take();
+        // A REX prefix only takes effect when it immediately precedes the
+        // opcode; any further prefix byte cancels it.
+        if (!C.atEnd()) {
+          uint8_t Next = C.peek();
+          bool NextIsLegacy =
+              Next == 0x26 || Next == 0x2e || Next == 0x36 || Next == 0x3e ||
+              Next == 0x64 || Next == 0x65 || Next == 0x66 || Next == 0x67 ||
+              Next == 0xf0 || Next == 0xf2 || Next == 0xf3 ||
+              (Next >= 0x40 && Next <= 0x4f);
+          if (NextIsLegacy) {
+            Out.Rex = 0;
+            Out.HasRex = false;
+            continue; // Re-enter the loop on the next prefix.
+          }
+        }
+        IsPrefix = false; // REX consumed; opcode must follow.
+        SawOpcode = true;
+      } else {
+        IsPrefix = false;
+        SawOpcode = true;
+      }
+      break;
+    }
+    if (!IsPrefix)
+      break;
+    C.take();
+  }
+  if (!SawOpcode || C.atEnd()) {
+    // Ran off the end while still reading prefixes.
+    return truncated(C);
+  }
+  Out.PrefixLength = static_cast<uint8_t>(C.pos());
+
+  uint8_t Opc = C.take();
+
+  // --- VEX / EVEX prefixes ----------------------------------------------
+  // In 64-bit mode C4/C5 are always VEX and 62 is always EVEX.
+  unsigned VexMap = 0;
+  if (Opc == 0xc4 || Opc == 0xc5 || Opc == 0x62) {
+    Out.HasVex = true;
+    if (Opc == 0xc5) {
+      if (C.atEnd())
+        return truncated(C);
+      C.take(); // R.vvvv.L.pp
+      VexMap = 1;
+    } else {
+      unsigned PayloadBytes = (Opc == 0xc4) ? 2 : 3;
+      uint64_t Payload0;
+      if (!C.read(1, Payload0))
+        return truncated(C);
+      VexMap = Payload0 & (Opc == 0xc4 ? 0x1f : 0x3);
+      if (Opc == 0x62 && VexMap == 0)
+        return DecodeStatus::Invalid;
+      uint64_t Ignored;
+      if (!C.read(PayloadBytes - 1, Ignored))
+        return truncated(C);
+    }
+    if (VexMap < 1 || VexMap > 3)
+      return DecodeStatus::Invalid;
+    if (C.atEnd())
+      return truncated(C);
+    Opc = C.take();
+    Out.Map = static_cast<OpMap>(VexMap);
+    Out.Opcode = Opc;
+    Out.PrefixLength = static_cast<uint8_t>(C.pos() - 1);
+
+    OpInfo Info;
+    switch (Out.Map) {
+    case OpMap::Map0F:
+      Info = TwoByteMap[Opc];
+      break;
+    case OpMap::Map0F38:
+      Info = map0F38Info();
+      break;
+    case OpMap::Map0F3A:
+      Info = map0F3AInfo();
+      break;
+    default:
+      return DecodeStatus::Invalid;
+    }
+    // Under VEX, treat unlisted map-0F slots as generic ModRM encodings
+    // (the AVX extensions fill many of them); immediates follow the table.
+    if (!Info.Valid)
+      Info = op(true);
+    if (Info.ModRM && !decodeModRM(C, Out))
+      return truncated(C);
+    if (!readImm(C, Out, immSize(Info.Imm, Out)))
+      return truncated(C);
+    Out.Length = static_cast<uint8_t>(C.pos());
+    return DecodeStatus::Ok;
+  }
+
+  // --- Escape bytes ------------------------------------------------------
+  OpInfo Info;
+  if (Opc == 0x0f) {
+    if (C.atEnd())
+      return truncated(C);
+    uint8_t Opc2 = C.take();
+    if (Opc2 == 0x38 || Opc2 == 0x3a) {
+      if (C.atEnd())
+        return truncated(C);
+      uint8_t Opc3 = C.take();
+      Out.Map = (Opc2 == 0x38) ? OpMap::Map0F38 : OpMap::Map0F3A;
+      Out.Opcode = Opc3;
+      Info = (Opc2 == 0x38) ? map0F38Info() : map0F3AInfo();
+    } else {
+      Out.Map = OpMap::Map0F;
+      Out.Opcode = Opc2;
+      Info = TwoByteMap[Opc2];
+    }
+  } else {
+    Out.Map = OpMap::OneByte;
+    Out.Opcode = Opc;
+    Info = OneByteMap[Opc];
+  }
+
+  if (!Info.Valid)
+    return DecodeStatus::Invalid;
+  if (Info.ModRM && !decodeModRM(C, Out))
+    return truncated(C);
+  if (!readImm(C, Out, immSize(Info.Imm, Out)))
+    return truncated(C);
+
+  Out.Length = static_cast<uint8_t>(C.pos());
+  return DecodeStatus::Ok;
+}
+
+unsigned x86::decodeLength(const uint8_t *Bytes, size_t MaxLen) {
+  Insn I;
+  if (decode(Bytes, MaxLen, 0, I) != DecodeStatus::Ok)
+    return 0;
+  return I.Length;
+}

@@ -1,0 +1,51 @@
+//===- x86/Decoder.h - x86_64 length decoder ------------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A table-driven x86_64 instruction decoder. E9Patch itself only needs
+/// instruction *locations and sizes* (supplied by a frontend), but the
+/// frontend, the VM interpreter and the displaced-instruction relocator all
+/// need exact field layout, so the decoder records prefix/opcode/ModRM/SIB/
+/// displacement/immediate positions precisely.
+///
+/// Coverage: the full one-byte map, the 0F two-byte map, the 0F38/0F3A
+/// three-byte maps and 2/3-byte VEX prefixes — sufficient for linear
+/// disassembly of compiler-generated code and for every encoding the
+/// rewriter itself can produce (including padded/punned jumps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_X86_DECODER_H
+#define E9_X86_DECODER_H
+
+#include "x86/Insn.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace e9 {
+namespace x86 {
+
+/// Outcome of a decode attempt.
+enum class DecodeStatus {
+  Ok,        ///< Decoded successfully.
+  Invalid,   ///< Byte sequence is not a valid instruction.
+  Truncated, ///< Ran out of bytes before the instruction ended.
+};
+
+/// Decodes one instruction from \p Bytes (at most \p MaxLen bytes
+/// available) assumed to live at virtual address \p Address.
+/// On success fills \p Out completely.
+DecodeStatus decode(const uint8_t *Bytes, size_t MaxLen, uint64_t Address,
+                    Insn &Out);
+
+/// Convenience wrapper: returns the instruction length, or 0 on failure.
+unsigned decodeLength(const uint8_t *Bytes, size_t MaxLen);
+
+} // namespace x86
+} // namespace e9
+
+#endif // E9_X86_DECODER_H

@@ -1,0 +1,99 @@
+//===- x86/Insn.cpp -------------------------------------------*- C++ -*-===//
+
+#include "x86/Insn.h"
+
+using namespace e9;
+using namespace e9::x86;
+
+Reg Insn::memBase() const {
+  assert(hasMemOperand() && "no memory operand");
+  if (isRipRelative())
+    return Reg::RIP;
+  if (!HasSIB)
+    return regFromEncoding(rm());
+  uint8_t Base = ((Rex & 0x1) << 3) | (SIB & 7);
+  // SIB base == 101b with mod == 0 means "no base, disp32 only".
+  if ((SIB & 7) == 5 && mod() == 0)
+    return Reg::None;
+  return regFromEncoding(Base);
+}
+
+Reg Insn::memIndex() const {
+  assert(hasMemOperand() && "no memory operand");
+  if (!HasSIB)
+    return Reg::None;
+  uint8_t Index = ((Rex & 0x2) << 2) | ((SIB >> 3) & 7);
+  // Index == 100b (RSP slot, without REX.X) means "no index".
+  if (Index == 4)
+    return Reg::None;
+  return regFromEncoding(Index);
+}
+
+bool Insn::writesMemOperand() const {
+  if (!hasMemOperand())
+    return false;
+  uint8_t Op = Opcode;
+  if (Map == OpMap::OneByte) {
+    // ALU <op> r/m, r and <op> r/m, imm forms store to r/m. The pattern for
+    // 00..3B is: x0/x1 (r/m, r) write, x2/x3 (r, r/m) read-only, except the
+    // cmp row (38..3D) which never writes.
+    if (Op <= 0x3b && (Op & 7) <= 1)
+      return (Op & 0x38) != 0x38; // cmp writes nothing.
+    switch (Op) {
+    case 0x86: case 0x87:             // xchg
+    case 0x88: case 0x89:             // mov r/m, r
+    case 0x8c:                        // mov r/m, sreg
+    case 0xc6: case 0xc7:             // mov r/m, imm
+    case 0x8f:                        // pop r/m
+    case 0xc0: case 0xc1:             // shift r/m, imm8
+    case 0xd0: case 0xd1: case 0xd2: case 0xd3: // shift r/m, 1/cl
+      return true;
+    case 0x80: case 0x81: case 0x83:  // grp1: write unless /7 (cmp)
+      return regOpcode() != 7;
+    case 0xf6: case 0xf7:             // grp3: not/neg write; test reads
+      return regOpcode() == 2 || regOpcode() == 3;
+    case 0xfe:                        // grp4: inc/dec r/m8
+      return regOpcode() <= 1;
+    case 0xff:                        // grp5: inc/dec write; call/jmp/push read
+      return regOpcode() <= 1;
+    default:
+      return false;
+    }
+  }
+  if (Map == OpMap::Map0F) {
+    switch (Op) {
+    case 0x11: case 0x29:             // movups/movaps store forms
+    case 0x7f:                        // movdqa/movdqu store
+    case 0x2b:                        // movntps
+    case 0xe7:                        // movntdq
+    case 0xd6:                        // movq store
+    case 0xb0: case 0xb1:             // cmpxchg
+    case 0xc0: case 0xc1:             // xadd
+    case 0xc3:                        // movnti
+    case 0xab: case 0xb3: case 0xbb:  // bts/btr/btc
+      return true;
+    case 0xc7:                        // grp9: cmpxchg8b/16b
+      return regOpcode() == 1;
+    default:
+      // setcc r/m8.
+      return Op >= 0x90 && Op <= 0x9f;
+    }
+  }
+  return false;
+}
+
+bool Insn::readsMemOperand() const {
+  if (!hasMemOperand())
+    return false;
+  // lea does not access memory at all.
+  if (Map == OpMap::OneByte && Opcode == 0x8d)
+    return false;
+  // mov r/m, r and mov r/m, imm are write-only; everything else that has a
+  // memory operand reads it (conservative).
+  if (Map == OpMap::OneByte &&
+      (Opcode == 0x88 || Opcode == 0x89 || Opcode == 0xc6 || Opcode == 0xc7))
+    return false;
+  if (Map == OpMap::Map0F && Opcode >= 0x90 && Opcode <= 0x9f)
+    return false; // setcc is write-only.
+  return true;
+}

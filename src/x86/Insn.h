@@ -1,0 +1,162 @@
+//===- x86/Insn.h - Decoded x86_64 instruction ----------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded-instruction record produced by the Decoder and consumed by
+/// the rewriter core, the frontend selectors and the VM interpreter. It
+/// carries exact field offsets so the rewriter can relocate displacements
+/// and immediates of displaced instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_X86_INSN_H
+#define E9_X86_INSN_H
+
+#include "x86/Register.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace e9 {
+namespace x86 {
+
+/// Maximum legal x86 instruction length in bytes.
+inline constexpr unsigned MaxInsnLength = 15;
+
+/// Opcode maps (escape-byte namespaces).
+enum class OpMap : uint8_t {
+  OneByte = 0, ///< Primary one-byte map.
+  Map0F = 1,   ///< Two-byte map (0F xx).
+  Map0F38 = 2, ///< Three-byte map (0F 38 xx).
+  Map0F3A = 3, ///< Three-byte map (0F 3A xx).
+};
+
+/// A fully decoded x86_64 instruction (length-exact; operand semantics are
+/// classified only as far as the rewriter and VM need).
+struct Insn {
+  uint64_t Address = 0; ///< Virtual address of the first byte.
+  uint8_t Length = 0;   ///< Total length in bytes (1..15).
+
+  // --- Prefixes ---------------------------------------------------------
+  uint8_t Rex = 0;          ///< REX byte value, 0 when absent.
+  bool HasRex = false;
+  bool OpSizeOverride = false; ///< 0x66 seen.
+  bool AddrSizeOverride = false; ///< 0x67 seen.
+  uint8_t SegPrefix = 0;    ///< Raw segment prefix byte, 0 when absent.
+  uint8_t RepPrefix = 0;    ///< 0xf2/0xf3 when present, else 0.
+  bool LockPrefix = false;  ///< 0xf0 seen.
+  uint8_t PrefixLength = 0; ///< Total legacy+REX(+VEX) prefix bytes.
+  bool HasVex = false;      ///< Instruction uses a VEX (C4/C5) prefix.
+
+  // --- Opcode -----------------------------------------------------------
+  OpMap Map = OpMap::OneByte;
+  uint8_t Opcode = 0;
+
+  // --- ModRM / SIB / displacement / immediate ---------------------------
+  bool HasModRM = false;
+  uint8_t ModRM = 0;
+  bool HasSIB = false;
+  uint8_t SIB = 0;
+  uint8_t DispSize = 0;   ///< 0, 1 or 4 bytes.
+  int32_t Disp = 0;       ///< Sign-extended displacement.
+  uint8_t DispOffset = 0; ///< Byte offset of the displacement field.
+  uint8_t ImmSize = 0;    ///< 0, 1, 2, 4 or 8 bytes.
+  int64_t Imm = 0;        ///< Sign-extended immediate.
+  uint8_t ImmOffset = 0;  ///< Byte offset of the immediate field.
+
+  // --- ModRM accessors ---------------------------------------------------
+  uint8_t mod() const { return ModRM >> 6; }
+  /// ModRM.reg extended with REX.R.
+  uint8_t reg() const { return ((Rex & 0x4) << 1) | ((ModRM >> 3) & 7); }
+  /// ModRM.rm extended with REX.B (meaningless when HasSIB).
+  uint8_t rm() const { return ((Rex & 0x1) << 3) | (ModRM & 7); }
+  /// ModRM.reg without REX extension (opcode-extension field).
+  uint8_t regOpcode() const { return (ModRM >> 3) & 7; }
+
+  /// True when the instruction has a memory operand (ModRM with mod != 3).
+  bool hasMemOperand() const { return HasModRM && mod() != 3; }
+
+  /// True for rip-relative memory operands (mod == 0, rm == 101b).
+  bool isRipRelative() const {
+    return HasModRM && mod() == 0 && (ModRM & 7) == 5;
+  }
+
+  /// Base register of the memory operand (Reg::RIP for rip-relative,
+  /// Reg::None when absent). Only valid when hasMemOperand().
+  Reg memBase() const;
+
+  /// Index register of the memory operand, Reg::None when absent.
+  Reg memIndex() const;
+
+  /// Scale factor (1/2/4/8) of the memory operand.
+  uint8_t memScale() const {
+    return HasSIB ? static_cast<uint8_t>(1u << (SIB >> 6)) : 1;
+  }
+
+  /// Absolute target address of the memory operand when it is rip-relative.
+  uint64_t ripTarget() const {
+    assert(isRipRelative() && "not a rip-relative operand");
+    return Address + Length + static_cast<int64_t>(Disp);
+  }
+
+  // --- Branch classification ---------------------------------------------
+  bool isJmpRel8() const {
+    return Map == OpMap::OneByte && Opcode == 0xeb;
+  }
+  bool isJmpRel32() const {
+    return Map == OpMap::OneByte && Opcode == 0xe9;
+  }
+  bool isJccRel8() const {
+    return Map == OpMap::OneByte && Opcode >= 0x70 && Opcode <= 0x7f;
+  }
+  bool isJccRel32() const {
+    return Map == OpMap::Map0F && Opcode >= 0x80 && Opcode <= 0x8f;
+  }
+  bool isCallRel32() const {
+    return Map == OpMap::OneByte && Opcode == 0xe8;
+  }
+  bool isLoopOrJcxz() const {
+    return Map == OpMap::OneByte && Opcode >= 0xe0 && Opcode <= 0xe3;
+  }
+  /// True for any rip-relative branch (jmp/jcc/call/loop).
+  bool isRelativeBranch() const {
+    return isJmpRel8() || isJmpRel32() || isJccRel8() || isJccRel32() ||
+           isCallRel32() || isLoopOrJcxz();
+  }
+  bool isIndirectCall() const {
+    return Map == OpMap::OneByte && Opcode == 0xff && HasModRM &&
+           (regOpcode() == 2 || regOpcode() == 3);
+  }
+  bool isIndirectJmp() const {
+    return Map == OpMap::OneByte && Opcode == 0xff && HasModRM &&
+           (regOpcode() == 4 || regOpcode() == 5);
+  }
+  bool isRet() const {
+    return Map == OpMap::OneByte && (Opcode == 0xc3 || Opcode == 0xc2);
+  }
+  bool isInt3() const { return Map == OpMap::OneByte && Opcode == 0xcc; }
+
+  /// Condition code of a jcc/setcc/cmovcc instruction.
+  Cond cond() const { return static_cast<Cond>(Opcode & 0xf); }
+
+  /// Absolute target of a relative branch (jmp/jcc/call/loop).
+  uint64_t branchTarget() const {
+    assert(isRelativeBranch() && "not a relative branch");
+    return Address + Length + Imm;
+  }
+
+  /// True when the instruction writes through its ModRM memory operand.
+  /// (Implicit stack writes via push/call are not included.)
+  bool writesMemOperand() const;
+
+  /// True when the instruction reads its ModRM memory operand.
+  bool readsMemOperand() const;
+};
+
+} // namespace x86
+} // namespace e9
+
+#endif // E9_X86_INSN_H

@@ -1,0 +1,367 @@
+//===- x86/Printer.cpp ----------------------------------------*- C++ -*-===//
+
+#include "x86/Printer.h"
+
+#include "support/Format.h"
+
+using namespace e9;
+using namespace e9::x86;
+
+std::string x86::regNameSized(unsigned Enc, unsigned Size, bool HasRex) {
+  static const char *const R64[] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                    "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                    "r12", "r13", "r14", "r15"};
+  static const char *const R32[] = {"eax",  "ecx",  "edx",  "ebx",
+                                    "esp",  "ebp",  "esi",  "edi",
+                                    "r8d",  "r9d",  "r10d", "r11d",
+                                    "r12d", "r13d", "r14d", "r15d"};
+  static const char *const R16[] = {"ax",   "cx",   "dx",   "bx",
+                                    "sp",   "bp",   "si",   "di",
+                                    "r8w",  "r9w",  "r10w", "r11w",
+                                    "r12w", "r13w", "r14w", "r15w"};
+  static const char *const R8Rex[] = {"al",   "cl",   "dl",   "bl",
+                                      "spl",  "bpl",  "sil",  "dil",
+                                      "r8b",  "r9b",  "r10b", "r11b",
+                                      "r12b", "r13b", "r14b", "r15b"};
+  static const char *const R8Legacy[] = {"al", "cl", "dl", "bl",
+                                         "ah", "ch", "dh", "bh"};
+  Enc &= 15;
+  switch (Size) {
+  case 8:
+    return R64[Enc];
+  case 4:
+    return R32[Enc];
+  case 2:
+    return R16[Enc];
+  default:
+    if (!HasRex && Enc >= 4 && Enc < 8)
+      return R8Legacy[Enc];
+    return R8Rex[Enc];
+  }
+}
+
+namespace {
+
+bool isByteOpcode(const Insn &I) {
+  if (I.Map == OpMap::OneByte) {
+    uint8_t Op = I.Opcode;
+    if (Op <= 0x3d)
+      return (Op & 7) == 0 || (Op & 7) == 2 || (Op & 7) == 4;
+    switch (Op) {
+    case 0x80: case 0x84: case 0x86: case 0x88: case 0x8a: case 0xa8:
+    case 0xc0: case 0xc6: case 0xd0: case 0xd2: case 0xf6: case 0xfe:
+      return true;
+    default:
+      return Op >= 0xb0 && Op <= 0xb7;
+    }
+  }
+  return I.Map == OpMap::Map0F &&
+         ((I.Opcode >= 0x90 && I.Opcode <= 0x9f) || I.Opcode == 0xb6 ||
+          I.Opcode == 0xbe || I.Opcode == 0xc0);
+}
+
+unsigned operandSize(const Insn &I) {
+  if (isByteOpcode(I))
+    return 1;
+  if (I.Rex & 0x8)
+    return 8;
+  return I.OpSizeOverride ? 2 : 4;
+}
+
+std::string memOperand(const Insn &I) {
+  if (I.isRipRelative())
+    return format("0x%llx(%%rip)", (unsigned long long)I.ripTarget());
+  std::string Out;
+  if (I.Disp != 0 || (I.memBase() == Reg::None && I.memIndex() == Reg::None))
+    Out += I.Disp < 0 ? format("-0x%x", -I.Disp) : format("0x%x", I.Disp);
+  Reg Base = I.memBase();
+  Reg Index = I.memIndex();
+  if (Base == Reg::None && Index == Reg::None)
+    return Out;
+  Out += "(";
+  if (Base != Reg::None)
+    Out += "%" + regNameSized(regEncoding(Base), 8, true);
+  if (Index != Reg::None) {
+    Out += ",%" + regNameSized(regEncoding(Index), 8, true);
+    Out += format(",%u", I.memScale());
+  }
+  Out += ")";
+  return Out;
+}
+
+std::string rmOperand(const Insn &I, unsigned Size) {
+  if (I.mod() == 3)
+    return "%" + regNameSized(I.rm(), Size, I.HasRex);
+  return memOperand(I);
+}
+
+std::string regOperand(const Insn &I, unsigned Size) {
+  return "%" + regNameSized(I.reg(), Size, I.HasRex);
+}
+
+std::string immOperand(const Insn &I) {
+  if (I.Imm < 0)
+    return format("$-0x%llx", (unsigned long long)(-I.Imm));
+  return format("$0x%llx", (unsigned long long)I.Imm);
+}
+
+std::string target(const Insn &I) {
+  return format("0x%llx", (unsigned long long)I.branchTarget());
+}
+
+const char *aluName(unsigned Op) {
+  static const char *const Names[] = {"add", "or",  "adc", "sbb",
+                                      "and", "sub", "xor", "cmp"};
+  return Names[Op & 7];
+}
+
+const char *shiftName(unsigned Op) {
+  static const char *const Names[] = {"rol", "ror", "rcl", "rcr",
+                                      "shl", "shr", "sal", "sar"};
+  return Names[Op & 7];
+}
+
+std::string sizeSuffix(unsigned Size) {
+  switch (Size) {
+  case 1:
+    return "b";
+  case 2:
+    return "w";
+  case 4:
+    return "l";
+  default:
+    return "q";
+  }
+}
+
+std::string fallback(const Insn &I, const uint8_t *Bytes) {
+  return format(".byte %s", hexBytes(Bytes, I.Length).c_str());
+}
+
+std::string formatOneByte(const Insn &I, const uint8_t *Bytes) {
+  uint8_t Op = I.Opcode;
+  unsigned Size = operandSize(I);
+  std::string Pfx = I.LockPrefix ? "lock " : "";
+
+  // ALU rows.
+  if (Op <= 0x3d) {
+    std::string Name = Pfx + aluName((Op >> 3) & 7);
+    switch (Op & 7) {
+    case 0:
+    case 1:
+      return Name + " " + regOperand(I, Size) + "," + rmOperand(I, Size);
+    case 2:
+    case 3:
+      return Name + " " + rmOperand(I, Size) + "," + regOperand(I, Size);
+    default:
+      return Name + " " + immOperand(I) + ",%" +
+             regNameSized(0, Size, I.HasRex);
+    }
+  }
+
+  switch (Op) {
+  case 0x63:
+    return "movslq " + rmOperand(I, 4) + "," + regOperand(I, 8);
+  case 0x68:
+  case 0x6a:
+    return "push " + immOperand(I);
+  case 0x69:
+  case 0x6b:
+    return "imul " + immOperand(I) + "," + rmOperand(I, Size) + "," +
+           regOperand(I, Size);
+  case 0x80: case 0x81: case 0x83:
+    return std::string(Pfx) + aluName(I.regOpcode()) +
+           sizeSuffix(Size) + " " + immOperand(I) + "," + rmOperand(I, Size);
+  case 0x84:
+  case 0x85:
+    return "test " + regOperand(I, Size) + "," + rmOperand(I, Size);
+  case 0x86:
+  case 0x87:
+    return "xchg " + regOperand(I, Size) + "," + rmOperand(I, Size);
+  case 0x88:
+  case 0x89:
+    return "mov " + regOperand(I, Size) + "," + rmOperand(I, Size);
+  case 0x8a:
+  case 0x8b:
+    return "mov " + rmOperand(I, Size) + "," + regOperand(I, Size);
+  case 0x8d:
+    return "lea " + memOperand(I) + "," + regOperand(I, Size);
+  case 0x8f:
+    return "pop " + rmOperand(I, 8);
+  case 0x90:
+    if (!(I.Rex & 1))
+      return "nop";
+    [[fallthrough]];
+  case 0x91: case 0x92: case 0x93: case 0x94: case 0x95: case 0x96:
+  case 0x97:
+    return "xchg %" +
+           regNameSized((Op & 7) | ((I.Rex & 1) << 3), Size, I.HasRex) +
+           ",%" + regNameSized(0, Size, I.HasRex);
+  case 0x98:
+    return Size == 8 ? "cltq" : Size == 4 ? "cwtl" : "cbtw";
+  case 0x99:
+    return Size == 8 ? "cqto" : Size == 4 ? "cltd" : "cwtd";
+  case 0x9c:
+    return "pushfq";
+  case 0x9d:
+    return "popfq";
+  case 0xa8:
+  case 0xa9:
+    return "test " + immOperand(I) + ",%" + regNameSized(0, Size, I.HasRex);
+  case 0xc2:
+    return "ret " + immOperand(I);
+  case 0xc3:
+    return "ret";
+  case 0xc6:
+  case 0xc7:
+    return "mov" + sizeSuffix(Size) + " " + immOperand(I) + "," +
+           rmOperand(I, Size);
+  case 0xc9:
+    return "leave";
+  case 0xcc:
+    return "int3";
+  case 0xcd:
+    return "int " + immOperand(I);
+  case 0xc0: case 0xc1:
+    return std::string(shiftName(I.regOpcode())) + sizeSuffix(Size) + " " +
+           immOperand(I) + "," + rmOperand(I, Size);
+  case 0xd0: case 0xd1:
+    return std::string(shiftName(I.regOpcode())) + sizeSuffix(Size) +
+           " $1," + rmOperand(I, Size);
+  case 0xd2: case 0xd3:
+    return std::string(shiftName(I.regOpcode())) + sizeSuffix(Size) +
+           " %cl," + rmOperand(I, Size);
+  case 0xe8:
+    return "callq " + target(I);
+  case 0xe9:
+    return "jmpq " + target(I) +
+           (I.PrefixLength ? " (padded)" : "");
+  case 0xeb:
+    return "jmp " + target(I);
+  case 0xf4:
+    return "hlt";
+  case 0xf5:
+    return "cmc";
+  case 0xf8:
+    return "clc";
+  case 0xf9:
+    return "stc";
+  case 0xf6:
+  case 0xf7:
+    switch (I.regOpcode()) {
+    case 0:
+    case 1:
+      return "test" + sizeSuffix(Size) + " " + immOperand(I) + "," +
+             rmOperand(I, Size);
+    case 2:
+      return "not" + sizeSuffix(Size) + " " + rmOperand(I, Size);
+    case 3:
+      return "neg" + sizeSuffix(Size) + " " + rmOperand(I, Size);
+    case 4:
+      return "mul" + sizeSuffix(Size) + " " + rmOperand(I, Size);
+    case 5:
+      return "imul" + sizeSuffix(Size) + " " + rmOperand(I, Size);
+    case 6:
+      return "div" + sizeSuffix(Size) + " " + rmOperand(I, Size);
+    default:
+      return "idiv" + sizeSuffix(Size) + " " + rmOperand(I, Size);
+    }
+  case 0xfe:
+  case 0xff:
+    switch (I.regOpcode()) {
+    case 0:
+      return Pfx + "inc" + sizeSuffix(Size) + " " + rmOperand(I, Size);
+    case 1:
+      return Pfx + "dec" + sizeSuffix(Size) + " " + rmOperand(I, Size);
+    case 2:
+      return "callq *" + rmOperand(I, 8);
+    case 4:
+      return "jmpq *" + rmOperand(I, 8);
+    case 6:
+      return "push " + rmOperand(I, 8);
+    default:
+      return fallback(I, Bytes);
+    }
+  default:
+    break;
+  }
+
+  // push/pop r64, jcc rel8, mov r, imm.
+  if (Op >= 0x50 && Op <= 0x57)
+    return "push %" + regNameSized((Op & 7) | ((I.Rex & 1) << 3), 8, true);
+  if (Op >= 0x58 && Op <= 0x5f)
+    return "pop %" + regNameSized((Op & 7) | ((I.Rex & 1) << 3), 8, true);
+  if (Op >= 0x70 && Op <= 0x7f)
+    return std::string("j") + condName(I.cond()) + " " + target(I);
+  if (Op >= 0xb0 && Op <= 0xb7)
+    return "mov " + immOperand(I) + ",%" +
+           regNameSized((Op & 7) | ((I.Rex & 1) << 3), 1, I.HasRex);
+  if (Op >= 0xb8 && Op <= 0xbf)
+    return (Size == 8 ? "movabs " : "mov ") + immOperand(I) + ",%" +
+           regNameSized((Op & 7) | ((I.Rex & 1) << 3), Size, I.HasRex);
+  if (Op >= 0xe0 && Op <= 0xe3) {
+    static const char *const Names[] = {"loopne", "loope", "loop", "jrcxz"};
+    return std::string(Names[Op - 0xe0]) + " " + target(I);
+  }
+  return fallback(I, Bytes);
+}
+
+std::string formatTwoByte(const Insn &I, const uint8_t *Bytes) {
+  uint8_t Op = I.Opcode;
+  unsigned Size = operandSize(I);
+  if (Op >= 0x80 && Op <= 0x8f)
+    return std::string("j") + condName(I.cond()) + " " + target(I);
+  if (Op >= 0x90 && Op <= 0x9f)
+    return std::string("set") + condName(I.cond()) + " " + rmOperand(I, 1);
+  if (Op >= 0x40 && Op <= 0x4f)
+    return std::string("cmov") + condName(I.cond()) + " " +
+           rmOperand(I, Size) + "," + regOperand(I, Size);
+  switch (Op) {
+  case 0x05:
+    return "syscall";
+  case 0x0b:
+    return "ud2";
+  case 0x1f:
+    return "nopw " + rmOperand(I, Size);
+  case 0xa2:
+    return "cpuid";
+  case 0xaf:
+    return "imul " + rmOperand(I, Size) + "," + regOperand(I, Size);
+  case 0xb6:
+  case 0xb7:
+  case 0xbe:
+  case 0xbf: { // byte/word source, full-size destination
+    unsigned DstSize = (I.Rex & 0x8) ? 8 : I.OpSizeOverride ? 2 : 4;
+    unsigned SrcSize = (Op == 0xb6 || Op == 0xbe) ? 1 : 2;
+    std::string Name = std::string(Op >= 0xbe ? "movs" : "movz") +
+                       (SrcSize == 1 ? "b" : "w") +
+                       (DstSize == 8 ? "q" : DstSize == 2 ? "w" : "l");
+    return Name + " " + rmOperand(I, SrcSize) + "," +
+           regOperand(I, DstSize);
+  }
+  case 0xb0:
+  case 0xb1:
+    return "cmpxchg " + regOperand(I, Size) + "," + rmOperand(I, Size);
+  case 0xc0:
+  case 0xc1:
+    return "xadd " + regOperand(I, Size) + "," + rmOperand(I, Size);
+  default:
+    if (Op >= 0xc8 && Op <= 0xcf)
+      return "bswap %" +
+             regNameSized((Op & 7) | ((I.Rex & 1) << 3), Size, I.HasRex);
+    return fallback(I, Bytes);
+  }
+}
+
+} // namespace
+
+std::string x86::formatInsn(const Insn &I, const uint8_t *Bytes) {
+  switch (I.Map) {
+  case OpMap::OneByte:
+    return formatOneByte(I, Bytes);
+  case OpMap::Map0F:
+    return formatTwoByte(I, Bytes);
+  default:
+    return fallback(I, Bytes);
+  }
+}

@@ -1,0 +1,36 @@
+//===- x86/Printer.h - AT&T-style instruction formatting -------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats decoded instructions in AT&T syntax (objdump-like), for the
+/// disassembler tool and diagnostics. Coverage follows the decoder's
+/// classification tables; instructions without a known mnemonic fall back
+/// to a ".byte" rendering, never failing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_X86_PRINTER_H
+#define E9_X86_PRINTER_H
+
+#include "x86/Insn.h"
+
+#include <string>
+
+namespace e9 {
+namespace x86 {
+
+/// Formats \p I (whose raw bytes are \p Bytes) as AT&T assembly, e.g.
+/// "mov %rax,(%rbx)" or "jmpq 0x401234".
+std::string formatInsn(const Insn &I, const uint8_t *Bytes);
+
+/// Returns the sized register name for hardware encoding \p Enc
+/// (size 1/2/4/8; \p HasRex selects spl/bpl/sil/dil over ah/ch/dh/bh).
+std::string regNameSized(unsigned Enc, unsigned Size, bool HasRex);
+
+} // namespace x86
+} // namespace e9
+
+#endif // E9_X86_PRINTER_H

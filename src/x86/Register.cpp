@@ -1,0 +1,21 @@
+//===- x86/Register.cpp ---------------------------------------*- C++ -*-===//
+
+#include "x86/Register.h"
+
+using namespace e9;
+using namespace e9::x86;
+
+const char *x86::regName(Reg R) {
+  static const char *const Names[] = {
+      "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15",
+      "rip", "<none>"};
+  return Names[static_cast<uint8_t>(R)];
+}
+
+const char *x86::condName(Cond C) {
+  static const char *const Names[] = {"o",  "no", "b",  "ae", "e",  "ne",
+                                      "be", "a",  "s",  "ns", "p",  "np",
+                                      "l",  "ge", "le", "g"};
+  return Names[static_cast<uint8_t>(C)];
+}

@@ -1,0 +1,88 @@
+//===- x86/Register.h - x86_64 general purpose registers ------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The x86_64 general-purpose register model shared by the decoder,
+/// assembler and VM. The numeric values match hardware encodings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_X86_REGISTER_H
+#define E9_X86_REGISTER_H
+
+#include <cstdint>
+
+namespace e9 {
+namespace x86 {
+
+/// General purpose registers, numbered as the hardware encodes them
+/// (low 3 bits in ModRM/SIB, bit 3 from the REX prefix).
+enum class Reg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+  RIP = 16,   ///< Pseudo register for rip-relative addressing.
+  None = 17,  ///< No register (e.g. absent SIB base/index).
+};
+
+/// Returns the hardware encoding (0-15) of \p R. Not valid for RIP/None.
+inline uint8_t regEncoding(Reg R) {
+  return static_cast<uint8_t>(R) & 0xf;
+}
+
+/// Returns true when \p R requires the REX extension bit (r8-r15).
+inline bool regNeedsRexBit(Reg R) {
+  return R >= Reg::R8 && R <= Reg::R15;
+}
+
+/// Returns a GP register from its 4-bit hardware encoding.
+inline Reg regFromEncoding(uint8_t Enc) {
+  return static_cast<Reg>(Enc & 0xf);
+}
+
+/// Returns the canonical 64-bit name ("rax", "r12", "rip", "<none>").
+const char *regName(Reg R);
+
+/// Condition codes as encoded in the low nibble of Jcc/SETcc/CMOVcc.
+enum class Cond : uint8_t {
+  O = 0x0,   ///< overflow
+  NO = 0x1,  ///< not overflow
+  B = 0x2,   ///< below (CF)
+  AE = 0x3,  ///< above or equal (!CF)
+  E = 0x4,   ///< equal (ZF)
+  NE = 0x5,  ///< not equal (!ZF)
+  BE = 0x6,  ///< below or equal (CF || ZF)
+  A = 0x7,   ///< above (!CF && !ZF)
+  S = 0x8,   ///< sign (SF)
+  NS = 0x9,  ///< not sign (!SF)
+  P = 0xa,   ///< parity (PF)
+  NP = 0xb,  ///< not parity (!PF)
+  L = 0xc,   ///< less (SF != OF)
+  GE = 0xd,  ///< greater or equal (SF == OF)
+  LE = 0xe,  ///< less or equal (ZF || SF != OF)
+  G = 0xf,   ///< greater (!ZF && SF == OF)
+};
+
+/// Returns the mnemonic suffix for a condition ("e", "ne", ...).
+const char *condName(Cond C);
+
+} // namespace x86
+} // namespace e9
+
+#endif // E9_X86_REGISTER_H

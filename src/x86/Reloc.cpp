@@ -1,0 +1,166 @@
+//===- x86/Reloc.cpp ------------------------------------------*- C++ -*-===//
+
+#include "x86/Reloc.h"
+
+#include "support/Format.h"
+#include "x86/Assembler.h"
+
+using namespace e9;
+using namespace e9::x86;
+
+static bool fitsInt32(int64_t V) {
+  return V >= INT32_MIN && V <= INT32_MAX;
+}
+
+unsigned x86::relocatedSize(const Insn &I) {
+  if (I.isLoopOrJcxz()) {
+    // No rel32 forms exist; these are emulated flag-preservingly.
+    switch (I.Opcode) {
+    case 0xe3: // jrcxz: jrcxz taken; jmp over; taken: jmp target
+      return 2 + 2 + 5;
+    case 0xe2: // loop: lea rcx,[rcx-1]; jrcxz skip; jmp target
+      return 4 + 2 + 5;
+    default:   // loope/loopne: + one short jcc on ZF
+      return 4 + 2 + 2 + 5;
+    }
+  }
+  if (I.isJccRel8() || I.isJccRel32())
+    return 6;
+  if (I.isJmpRel8() || I.isJmpRel32() || I.isCallRel32())
+    return 5;
+  return I.Length; // Verbatim copy (possibly with a disp fixup).
+}
+
+/// Emulates a displaced loop/loope/loopne/jrcxz at \p NewAddr: the rcx
+/// decrement uses lea (flags preserved) and the branch is re-encoded as
+/// jrcxz over a rel32 jump.
+static Status relocateLoopFamily(const Insn &I, uint64_t NewAddr,
+                                 ByteBuffer &Out) {
+  uint64_t Target = I.branchTarget();
+  unsigned Size = relocatedSize(I);
+  int64_t Rel = static_cast<int64_t>(Target) -
+                static_cast<int64_t>(NewAddr + Size);
+  if (Rel < INT32_MIN || Rel > INT32_MAX)
+    return Status::error("relocated loop target out of rel32 range");
+
+  if (I.Opcode == 0xe3) {
+    // jrcxz taken(+2); jmp over(+5); taken: jmp target
+    Out.pushBytes({0xe3, 0x02, 0xeb, 0x05, 0xe9});
+    Out.push32(static_cast<uint32_t>(Rel));
+    return Status::ok();
+  }
+
+  Out.pushBytes({0x48, 0x8d, 0x49, 0xff}); // lea rcx, [rcx-1]
+  if (I.Opcode == 0xe2) {
+    Out.pushBytes({0xe3, 0x05, 0xe9}); // jrcxz skip(+5); jmp target
+  } else if (I.Opcode == 0xe1) {
+    // loope: taken iff rcx != 0 && ZF.
+    Out.pushBytes({0xe3, 0x07, 0x75, 0x05, 0xe9}); // jrcxz/jne skip
+  } else {
+    // loopne: taken iff rcx != 0 && !ZF.
+    Out.pushBytes({0xe3, 0x07, 0x74, 0x05, 0xe9}); // jrcxz/je skip
+  }
+  Out.push32(static_cast<uint32_t>(Rel));
+  return Status::ok();
+}
+
+Status x86::relocateInsn(const Insn &I, const uint8_t *Bytes,
+                         uint64_t NewAddr, ByteBuffer &Out) {
+  if (I.isLoopOrJcxz()) {
+    size_t Start = Out.size();
+    Status S = relocateLoopFamily(I, NewAddr, Out);
+    assert((!S.isOk() || Out.size() - Start == relocatedSize(I)) &&
+           "loop emulation size model out of sync");
+    (void)Start;
+    return S;
+  }
+
+  // Relative branches: re-encode to rel32 against the original target.
+  if (I.isRelativeBranch()) {
+    uint64_t Target = I.branchTarget();
+    unsigned NewLen = relocatedSize(I);
+    int64_t Rel = static_cast<int64_t>(Target) -
+                  static_cast<int64_t>(NewAddr + NewLen);
+    if (!fitsInt32(Rel))
+      return Status::error(
+          format("relocated branch target %s out of rel32 range",
+                 hex(Target).c_str()));
+    if (I.isJccRel8() || I.isJccRel32()) {
+      Out.push8(0x0f);
+      Out.push8(static_cast<uint8_t>(0x80 |
+                                     static_cast<uint8_t>(I.cond())));
+    } else if (I.isCallRel32()) {
+      Out.push8(0xe8);
+    } else {
+      Out.push8(0xe9);
+    }
+    Out.push32(static_cast<uint32_t>(Rel));
+    return Status::ok();
+  }
+
+  // Everything else: verbatim copy, fixing up rip-relative displacements.
+  size_t Start = Out.size();
+  Out.pushBytes(Bytes, I.Length);
+  if (I.isRipRelative()) {
+    uint64_t Target = I.ripTarget();
+    int64_t NewDisp = static_cast<int64_t>(Target) -
+                      static_cast<int64_t>(NewAddr + I.Length);
+    if (!fitsInt32(NewDisp))
+      return Status::error(
+          format("relocated rip-relative operand %s out of disp32 range",
+                 hex(Target).c_str()));
+    Out.patch32(Start + I.DispOffset, static_cast<uint32_t>(NewDisp));
+  }
+  return Status::ok();
+}
+
+/// Rebuilds the Mem operand of \p I for re-encoding. Only valid for
+/// non-rip-relative memory operands.
+static Mem memOperandOf(const Insn &I) {
+  Mem M;
+  M.Base = I.memBase();
+  M.Index = I.memIndex();
+  M.Scale = I.memScale();
+  M.Disp = I.Disp;
+  return M;
+}
+
+Status x86::encodeLeaOfMemOperand(const Insn &I, Reg Dst, uint64_t NewAddr,
+                                  ByteBuffer &Out) {
+  if (!I.hasMemOperand())
+    return Status::error("instruction has no memory operand");
+  if (I.AddrSizeOverride)
+    return Status::error("address-size override unsupported");
+  if (I.SegPrefix == 0x64 || I.SegPrefix == 0x65)
+    return Status::error("fs/gs segment-based operand unsupported");
+
+  Assembler A(NewAddr);
+  if (I.isRipRelative()) {
+    // The displacement must be recomputed after we know the lea length.
+    // Length is fixed for a rip-relative lea: REX.W + 8D + ModRM + disp32.
+    constexpr unsigned LeaLen = 7;
+    int64_t NewDisp = static_cast<int64_t>(I.ripTarget()) -
+                      static_cast<int64_t>(NewAddr + LeaLen);
+    if (!fitsInt32(NewDisp))
+      return Status::error("rip-relative lea target out of disp32 range");
+    A.leaRegMem(Dst, Mem::ripRel(static_cast<int32_t>(NewDisp)));
+    assert(A.size() == LeaLen && "unexpected rip-relative lea length");
+  } else {
+    A.leaRegMem(Dst, memOperandOf(I));
+  }
+  Out.pushBytes(A.buffer().bytes());
+  return Status::ok();
+}
+
+unsigned x86::leaOfMemOperandSize(const Insn &I) {
+  if (!I.hasMemOperand() || I.AddrSizeOverride || I.SegPrefix == 0x64 ||
+      I.SegPrefix == 0x65)
+    return 0;
+  // The size does not depend on the execution address: rip-relative leas
+  // always use disp32, and register-based operands reuse I.Disp.
+  if (I.isRipRelative())
+    return 7; // REX.W + 8D + ModRM + disp32.
+  Assembler A(0);
+  A.leaRegMem(Reg::RDI, memOperandOf(I));
+  return static_cast<unsigned>(A.size());
+}

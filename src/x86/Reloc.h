@@ -1,0 +1,59 @@
+//===- x86/Reloc.h - Displaced instruction relocation ----------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// When a patch tactic displaces an instruction into a trampoline, the
+/// displaced copy must behave as if it still executed at its original
+/// address. Position-independent instructions are copied verbatim;
+/// rip-relative operands and relative branches are re-encoded against
+/// the new location. This mirrors E9Patch's trampoline instruction
+/// emulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_X86_RELOC_H
+#define E9_X86_RELOC_H
+
+#include "support/ByteBuffer.h"
+#include "support/Status.h"
+#include "x86/Insn.h"
+
+#include <cstdint>
+
+namespace e9 {
+namespace x86 {
+
+/// Appends a semantically equivalent copy of \p I (whose original bytes are
+/// \p Bytes, length I.Length, at original address I.Address) to \p Out,
+/// assuming the copy will execute at address \p NewAddr.
+///
+/// Handles: verbatim copies, rip-relative displacement fixups, and
+/// re-encoding of rel8/rel32 jmp/jcc/call to rel32 forms. loop/jcxz and
+/// out-of-range rip fixups are rejected with an error (the caller then
+/// fails the tactic for that patch location).
+Status relocateInsn(const Insn &I, const uint8_t *Bytes, uint64_t NewAddr,
+                    ByteBuffer &Out);
+
+/// Returns the exact byte size relocateInsn would emit for \p I, without
+/// validating displacement ranges (size is address-independent).
+unsigned relocatedSize(const Insn &I);
+
+/// Appends "lea <Dst>, [mem operand of I]" to \p Out, reusing I's ModRM/
+/// SIB/displacement. Used by the LowFat redzone-check instrumentation to
+/// materialize the written-to pointer. \p NewAddr is the address the lea
+/// will execute at (needed for rip-relative operands).
+/// Fails for instructions without a memory operand or with an address-size
+/// override.
+Status encodeLeaOfMemOperand(const Insn &I, Reg Dst, uint64_t NewAddr,
+                             ByteBuffer &Out);
+
+/// Returns the exact byte size encodeLeaOfMemOperand would emit.
+unsigned leaOfMemOperandSize(const Insn &I);
+
+} // namespace x86
+} // namespace e9
+
+#endif // E9_X86_RELOC_H

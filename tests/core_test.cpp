@@ -1,0 +1,416 @@
+//===- tests/core_test.cpp - pun/alloc/lock/grouping/trampoline -*- C++ -*-===//
+
+#include "core/Alloc.h"
+#include "core/Grouping.h"
+#include "core/Lock.h"
+#include "core/Pun.h"
+#include "core/Trampoline.h"
+
+#include "x86/Decoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::core;
+using namespace e9::x86;
+
+// --- punTargetRange ---------------------------------------------------------
+
+// The paper's running example (Figure 1): mov %rax,(%rbx), followed by
+// add $32,%rax (48 83 c0 20). B2 puns the last two rel32 bytes against
+// 48 83 -> rel32 = 0x8348XXXX, which is *negative*. At a non-PIE load
+// address the whole window underflows and the pun is invalid (exactly the
+// paper's motivating failure); at a PIE-style high address it is valid.
+TEST(Pun, PaperFigure1BaselineB2) {
+  uint8_t Rel32[4] = {0x00, 0x00, 0x48, 0x83}; // free, free, 48, 83
+
+  const uint64_t Low = 0x400000;
+  EXPECT_FALSE(punTargetRange(Low, 0, Low + 3, Rel32).has_value());
+
+  const uint64_t High = 0x555555555000ULL;
+  auto R = punTargetRange(High, 0, High + 3, Rel32);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->FreeBytes, 2u);
+  EXPECT_EQ(R->Fixed, 0x83480000u);
+  EXPECT_EQ(R->Base, High + 5);
+  EXPECT_EQ(R->Targets.Lo,
+            High + 5 + static_cast<int32_t>(0x83480000u));
+  EXPECT_EQ(R->Targets.size(), 0x10000u);
+}
+
+// Rel32 window entirely below address zero must be rejected.
+TEST(Pun, NegativeWindowRejected) {
+  const uint64_t A = 0x400000;
+  // Fixed bytes 0x8348 with only 2 free bytes: window size 64KiB at
+  // A + 5 + sext(0x83480000) == far below zero.
+  uint8_t Rel32[4] = {0, 0, 0x48, 0x83};
+  auto R = punTargetRange(A, 0, A + 3, Rel32);
+  EXPECT_FALSE(R.has_value());
+}
+
+TEST(Pun, PositiveWindowAccepted) {
+  const uint64_t A = 0x400000;
+  // Fixed bytes 0x4800 -> rel32 = 0x0048XXXX (positive).
+  uint8_t Rel32[4] = {0, 0, 0x48, 0x00};
+  auto R = punTargetRange(A, 0, A + 3, Rel32);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Targets.Lo, A + 5 + 0x00480000u);
+  EXPECT_EQ(R->Targets.size(), 0x10000u);
+  EXPECT_EQ(R->relFor(R->Targets.Lo), 0x00480000);
+}
+
+TEST(Pun, PaddingShiftsFreeBytes) {
+  const uint64_t A = 0x400000;
+  // 3-byte instruction, 1 pad: rel32 field at A+2..A+6, only byte A+2
+  // free; fixed bytes come from A+3.. (indices 1..3).
+  uint8_t Rel32[4] = {0, 0x20, 0x30, 0x10};
+  auto R = punTargetRange(A, 1, A + 3, Rel32);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->FreeBytes, 1u);
+  EXPECT_EQ(R->Fixed, 0x10302000u);
+  EXPECT_EQ(R->Targets.size(), 256u);
+}
+
+TEST(Pun, ExactSingleTarget) {
+  const uint64_t A = 0x400000;
+  // Pads consume the whole 3-byte instruction: zero free bytes, single
+  // target.
+  uint8_t Rel32[4] = {0x11, 0x22, 0x33, 0x44};
+  auto R = punTargetRange(A, 2, A + 3, Rel32);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->FreeBytes, 0u);
+  EXPECT_EQ(R->Targets.size(), 1u);
+  EXPECT_EQ(R->Targets.Lo, A + 2 + 5 + 0x44332211u);
+}
+
+TEST(Pun, FullFreedomForLongInsn) {
+  const uint64_t A = 0x100000000ULL; // high enough that Base-2GiB > 0
+  uint8_t Rel32[4] = {0, 0, 0, 0};
+  auto R = punTargetRange(A, 0, A + 7, Rel32);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->FreeBytes, 4u);
+  EXPECT_EQ(R->Targets.Lo, A + 5 - (1ull << 31));
+  EXPECT_EQ(R->Targets.Hi, A + 5 + (1ull << 31));
+}
+
+TEST(Pun, FullFreedomClampsAtZero) {
+  const uint64_t A = 0x400000; // Base - 2GiB underflows
+  uint8_t Rel32[4] = {0, 0, 0, 0};
+  auto R = punTargetRange(A, 0, A + 5, Rel32);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Targets.Lo, 0u);
+  EXPECT_EQ(R->Targets.Hi, A + 5 + (1ull << 31));
+}
+
+TEST(Pun, OpcodeOutsideWritableZoneRejected) {
+  uint8_t Rel32[4] = {0, 0, 0, 0};
+  // 1-byte instruction with 1 pad: the e9 byte would land on a successor.
+  EXPECT_FALSE(punTargetRange(0x400000, 1, 0x400001, Rel32).has_value());
+  // 0 pads on a 1-byte instruction is fine (rel32 fully punned).
+  uint8_t Rel[4] = {0x10, 0x20, 0x30, 0x00};
+  auto R = punTargetRange(0x400000, 0, 0x400001, Rel);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->FreeBytes, 0u);
+}
+
+// --- Allocator -------------------------------------------------------------
+
+TEST(Alloc, AllocatesInsideBound) {
+  Allocator A;
+  auto P = A.allocate(64, Interval{0x1000000, 0x1010000});
+  ASSERT_TRUE(P.has_value());
+  EXPECT_GE(*P, 0x1000000u);
+  EXPECT_LE(*P + 64, 0x1010000u);
+}
+
+TEST(Alloc, RespectsReservations) {
+  Allocator A;
+  A.reserve(0x1000000, 0x100ff00);
+  auto P = A.allocate(64, Interval{0x1000000, 0x1010000});
+  ASSERT_TRUE(P.has_value());
+  EXPECT_GE(*P, 0x100ff00u);
+  A.reserve(0x100ff00, 0x1010000);
+  EXPECT_FALSE(A.allocate(64, Interval{0x1000000, 0x1010000}).has_value());
+}
+
+TEST(Alloc, PacksIntoOpenZones) {
+  Allocator A;
+  auto P1 = A.allocate(64, Interval{0x1000000, 0x2000000});
+  auto P2 = A.allocate(64, Interval{0x1000000, 0x2000000});
+  ASSERT_TRUE(P1.has_value());
+  ASSERT_TRUE(P2.has_value());
+  // Same page: virtual page sharing.
+  EXPECT_EQ(*P1 / 4096, *P2 / 4096);
+}
+
+TEST(Alloc, FreeAllowsReuse) {
+  Allocator A;
+  Interval B{0x1000000, 0x1000000 + 4096};
+  auto P1 = A.allocate(4096, B);
+  ASSERT_TRUE(P1.has_value());
+  EXPECT_FALSE(A.allocate(4096, B).has_value());
+  A.free(*P1, 4096);
+  auto P2 = A.allocate(4096, B);
+  ASSERT_TRUE(P2.has_value());
+  EXPECT_EQ(*P1, *P2);
+}
+
+TEST(Alloc, TracksAllocations) {
+  Allocator A;
+  A.allocate(100, Interval{0x1000000, 0x2000000});
+  A.allocate(50, Interval{0x1000000, 0x2000000});
+  EXPECT_EQ(A.allocations().size(), 2u);
+  EXPECT_EQ(A.allocatedBytes(), 150u);
+}
+
+// --- LockState ---------------------------------------------------------------
+
+TEST(Lock, BasicLocking) {
+  LockState L;
+  EXPECT_FALSE(L.isLocked(100));
+  L.lock(100, 105);
+  EXPECT_TRUE(L.isLocked(100));
+  EXPECT_TRUE(L.isLocked(104));
+  EXPECT_FALSE(L.isLocked(105));
+  EXPECT_TRUE(L.anyLocked(104, 110));
+  EXPECT_FALSE(L.anyLocked(105, 110));
+}
+
+TEST(Lock, RecordNewOnlyUnlocksNew) {
+  LockState L;
+  L.lock(100, 110);
+  std::vector<Interval> Added;
+  L.lockRecordNew(105, 120, Added);
+  ASSERT_EQ(Added.size(), 1u);
+  EXPECT_EQ(Added[0].Lo, 110u);
+  EXPECT_EQ(Added[0].Hi, 120u);
+  // Rolling back the recorded ranges must keep the original lock.
+  for (const Interval &I : Added)
+    L.unlock(I.Lo, I.Hi);
+  EXPECT_TRUE(L.isLocked(109));
+  EXPECT_FALSE(L.isLocked(110));
+}
+
+TEST(Lock, ModifiedSeparateFromLocked) {
+  LockState L;
+  L.lock(100, 105);
+  EXPECT_FALSE(L.anyModified(100, 105));
+  L.markModified(100, 102);
+  EXPECT_TRUE(L.anyModified(100, 105));
+  EXPECT_FALSE(L.anyModified(102, 105));
+}
+
+// --- Trampoline sizes/builds ---------------------------------------------------
+
+namespace {
+
+Insn decodeAt(std::vector<uint8_t> Bytes, uint64_t Addr) {
+  Insn I;
+  EXPECT_EQ(decode(Bytes.data(), Bytes.size(), Addr, I), DecodeStatus::Ok);
+  return I;
+}
+
+} // namespace
+
+TEST(Trampoline, EmptyKindShape) {
+  std::vector<uint8_t> Mov = {0x48, 0x89, 0x03};
+  Insn I = decodeAt(Mov, 0x401000);
+  TrampolineSpec Spec;
+  Spec.Kind = TrampolineKind::Empty;
+  unsigned Size = trampolineSize(Spec, I);
+  EXPECT_EQ(Size, 3u + 5u);
+  auto B = buildTrampoline(Spec, I, Mov.data(), 0x10000000);
+  ASSERT_TRUE(B.isOk()) << B.reason();
+  EXPECT_EQ(B->size(), Size);
+  // Displaced instruction verbatim, then jmp back to 0x401003.
+  EXPECT_EQ((*B)[0], 0x48);
+  EXPECT_EQ((*B)[3], 0xe9);
+  Insn Jmp = decodeAt({(*B).begin() + 3, (*B).end()}, 0x10000003);
+  EXPECT_EQ(Jmp.branchTarget(), 0x401003u);
+}
+
+TEST(Trampoline, DisplacedJccRetargets) {
+  // je +0x10 at 0x401000 (target 0x401012) displaced to a trampoline.
+  std::vector<uint8_t> Jcc = {0x74, 0x10};
+  Insn I = decodeAt(Jcc, 0x401000);
+  TrampolineSpec Spec;
+  Spec.Kind = TrampolineKind::Empty;
+  auto B = buildTrampoline(Spec, I, Jcc.data(), 0x10000000);
+  ASSERT_TRUE(B.isOk());
+  Insn J = decodeAt({(*B).begin(), (*B).begin() + 6}, 0x10000000);
+  EXPECT_TRUE(J.isJccRel32());
+  EXPECT_EQ(J.branchTarget(), 0x401012u);
+  Insn Back = decodeAt({(*B).begin() + 6, (*B).end()}, 0x10000006);
+  EXPECT_EQ(Back.branchTarget(), 0x401002u);
+}
+
+TEST(Trampoline, CounterKindIsFlagSafe) {
+  std::vector<uint8_t> Mov = {0x48, 0x89, 0x03};
+  Insn I = decodeAt(Mov, 0x401000);
+  TrampolineSpec Spec;
+  Spec.Kind = TrampolineKind::Counter;
+  Spec.CounterAddr = 0x200000;
+  auto B = buildTrampoline(Spec, I, Mov.data(), 0x10000000);
+  ASSERT_TRUE(B.isOk()) << B.reason();
+  // Must contain pushfq (9c) before and popfq (9d) after the inc.
+  auto &Bytes = *B;
+  size_t Pushfq = 0, Popfq = 0;
+  for (size_t K = 0; K != Bytes.size(); ++K) {
+    if (Bytes[K] == 0x9c && Pushfq == 0)
+      Pushfq = K;
+    if (Bytes[K] == 0x9d)
+      Popfq = K;
+  }
+  EXPECT_NE(Pushfq, 0u);
+  EXPECT_GT(Popfq, Pushfq);
+}
+
+TEST(Trampoline, LowFatNeedsMemOperand) {
+  std::vector<uint8_t> AddRR = {0x48, 0x01, 0xd8}; // add rax, rbx
+  Insn I = decodeAt(AddRR, 0x401000);
+  TrampolineSpec Spec;
+  Spec.Kind = TrampolineKind::LowFatCheck;
+  Spec.HookAddr = 0x7e9f00000300ULL;
+  EXPECT_EQ(trampolineSize(Spec, I), 0u);
+
+  std::vector<uint8_t> Store = {0x48, 0x89, 0x03};
+  Insn W = decodeAt(Store, 0x401000);
+  EXPECT_GT(trampolineSize(Spec, W), 0u);
+  auto B = buildTrampoline(Spec, W, Store.data(), 0x10000000);
+  ASSERT_TRUE(B.isOk()) << B.reason();
+  EXPECT_EQ(B->size(), trampolineSize(Spec, W));
+}
+
+TEST(Trampoline, LoopIsEmulatedWhenDisplaced) {
+  std::vector<uint8_t> Loop = {0xe2, 0xfe}; // loop to self
+  Insn I = decodeAt(Loop, 0x401000);
+  TrampolineSpec Spec;
+  Spec.Kind = TrampolineKind::Empty;
+  // lea/jrcxz/jmp emulation (11 bytes) + jump back.
+  EXPECT_EQ(trampolineSize(Spec, I), 11u + 5u);
+  auto B = buildTrampoline(Spec, I, Loop.data(), 0x10000000);
+  ASSERT_TRUE(B.isOk()) << B.reason();
+  EXPECT_EQ((*B)[0], 0x48); // lea rcx,[rcx-1]
+  EXPECT_EQ((*B)[4], 0xe3); // jrcxz
+}
+
+TEST(Trampoline, PatchBytesKind) {
+  std::vector<uint8_t> Mov = {0x48, 0x89, 0x03};
+  Insn I = decodeAt(Mov, 0x401000);
+  TrampolineSpec Spec;
+  Spec.Kind = TrampolineKind::PatchBytes;
+  Spec.Raw = {0x90, 0x90};
+  Spec.JumpBackTarget = 0x401010;
+  auto B = buildTrampoline(Spec, I, Mov.data(), 0x10000000);
+  ASSERT_TRUE(B.isOk());
+  EXPECT_EQ(B->size(), 7u);
+  Insn Jmp = decodeAt({(*B).begin() + 2, (*B).end()}, 0x10000002);
+  EXPECT_EQ(Jmp.branchTarget(), 0x401010u);
+}
+
+// --- Grouping --------------------------------------------------------------------
+
+namespace {
+
+TrampolineChunk chunk(uint64_t Addr, size_t N, uint8_t Fill) {
+  TrampolineChunk C;
+  C.Addr = Addr;
+  C.Bytes.assign(N, Fill);
+  return C;
+}
+
+} // namespace
+
+TEST(Grouping, PaperFigure3Scenario) {
+  // Five trampolines over three pages with disjoint in-page offsets merge
+  // into a single physical page (Figure 3).
+  std::vector<TrampolineChunk> Chunks = {
+      chunk(0x10000000 + 0x100, 32, 0xaa), // page 1, off 0x100
+      chunk(0x10000000 + 0x800, 32, 0xbb), // page 1, off 0x800
+      chunk(0x20000000 + 0x400, 32, 0xcc), // page 2, off 0x400
+      chunk(0x30000000 + 0xc00, 32, 0xdd), // page 3, off 0xc00
+      chunk(0x30000000 + 0xe00, 32, 0xee), // page 3, off 0xe00
+  };
+  GroupingOptions Opts;
+  Opts.Enabled = true;
+  Opts.M = 1;
+  auto R = groupPages(Chunks, Opts);
+  EXPECT_EQ(R.VirtualBlocks, 3u);
+  ASSERT_EQ(R.Blocks.size(), 1u);
+  EXPECT_EQ(R.PhysBytes, 4096u);
+  EXPECT_EQ(R.Mappings.size(), 3u);
+  // The merged page holds all five trampolines at their in-page offsets.
+  EXPECT_EQ(R.Blocks[0].Bytes[0x100], 0xaa);
+  EXPECT_EQ(R.Blocks[0].Bytes[0x800], 0xbb);
+  EXPECT_EQ(R.Blocks[0].Bytes[0x400], 0xcc);
+  EXPECT_EQ(R.Blocks[0].Bytes[0xc00], 0xdd);
+  EXPECT_EQ(R.Blocks[0].Bytes[0xe00], 0xee);
+}
+
+TEST(Grouping, OverlappingOffsetsSplitGroups) {
+  std::vector<TrampolineChunk> Chunks = {
+      chunk(0x10000000 + 0x100, 32, 0xaa),
+      chunk(0x20000000 + 0x100, 32, 0xbb), // same in-page offset: conflict
+  };
+  GroupingOptions Opts;
+  auto R = groupPages(Chunks, Opts);
+  EXPECT_EQ(R.Blocks.size(), 2u);
+  EXPECT_EQ(R.PhysBytes, 2 * 4096u);
+}
+
+TEST(Grouping, DisabledIsOneToOne) {
+  std::vector<TrampolineChunk> Chunks = {
+      chunk(0x10000000 + 0x100, 32, 0xaa),
+      chunk(0x20000000 + 0x800, 32, 0xbb),
+  };
+  GroupingOptions Opts;
+  Opts.Enabled = false;
+  auto R = groupPages(Chunks, Opts);
+  EXPECT_EQ(R.PhysBytes, 2 * 4096u);
+  EXPECT_EQ(R.Mappings.size(), 2u);
+}
+
+TEST(Grouping, NaiveCoalescesAdjacentPages) {
+  // Two trampolines in adjacent virtual pages: naive backing is contiguous
+  // in the file, so the mappings coalesce into one.
+  std::vector<TrampolineChunk> Chunks = {
+      chunk(0x10000000, 32, 0xaa),
+      chunk(0x10001000, 32, 0xbb),
+  };
+  GroupingOptions Opts;
+  Opts.Enabled = false;
+  auto R = groupPages(Chunks, Opts);
+  EXPECT_EQ(R.MappingCount, 1u);
+  EXPECT_EQ(R.Mappings.size(), 1u);
+  EXPECT_EQ(R.Mappings[0].Size, 2 * 4096u);
+}
+
+TEST(Grouping, SpanningTrampolineSplits) {
+  // A trampoline crossing a page boundary becomes two mini-trampolines.
+  std::vector<TrampolineChunk> Chunks = {
+      chunk(0x10000000 + 0xff0, 64, 0xaa),
+  };
+  GroupingOptions Opts;
+  auto R = groupPages(Chunks, Opts);
+  EXPECT_EQ(R.VirtualBlocks, 2u);
+  // Offsets 0xff0..0xfff in one page and 0x000..0x02f in the next are
+  // disjoint, so one merged physical page suffices.
+  EXPECT_EQ(R.Blocks.size(), 1u);
+}
+
+TEST(Grouping, CoarserGranularityFewerMappings) {
+  std::vector<TrampolineChunk> Chunks;
+  for (int I = 0; I != 16; ++I)
+    Chunks.push_back(chunk(0x10000000 + I * 0x1000ull, 16, 0xaa));
+  GroupingOptions M1;
+  M1.M = 1;
+  GroupingOptions M4;
+  M4.M = 4;
+  auto R1 = groupPages(Chunks, M1);
+  auto R4 = groupPages(Chunks, M4);
+  EXPECT_GT(R1.MappingCount, R4.MappingCount);
+  // All 16 pages hold a trampoline at the same in-page offset: no merging
+  // possible at M=1, so phys bytes equal 16 pages either way, but M=4
+  // still cuts the mapping count.
+  EXPECT_EQ(R4.MappingCount, 4u);
+}

@@ -1,0 +1,162 @@
+//===- tests/elf_test.cpp - ELF image/serialization tests -----*- C++ -*-===//
+
+#include "elf/Image.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::elf;
+
+namespace {
+
+Image makeSampleImage() {
+  Image Img;
+  Img.Entry = 0x401000;
+  Img.Pie = false;
+
+  Segment Text;
+  Text.VAddr = 0x401000;
+  Text.Bytes = {0x90, 0x90, 0xc3};
+  Text.MemSize = Text.Bytes.size();
+  Text.Flags = PF_R | PF_X;
+  Text.Name = "text";
+  Img.Segments.push_back(Text);
+
+  Segment Data;
+  Data.VAddr = 0x600000;
+  Data.Bytes = {1, 2, 3, 4};
+  Data.MemSize = 0x2000; // trailing .bss
+  Data.Flags = PF_R | PF_W;
+  Data.Name = "data";
+  Img.Segments.push_back(Data);
+  return Img;
+}
+
+} // namespace
+
+TEST(Image, FindSegment) {
+  Image Img = makeSampleImage();
+  ASSERT_NE(Img.findSegment(0x401001), nullptr);
+  EXPECT_EQ(Img.findSegment(0x401001)->Name, "text");
+  // .bss tail is part of the segment even without file bytes.
+  ASSERT_NE(Img.findSegment(0x601fff), nullptr);
+  EXPECT_EQ(Img.findSegment(0x602000), nullptr);
+  EXPECT_EQ(Img.findSegment(0x100), nullptr);
+}
+
+TEST(Image, TextSegment) {
+  Image Img = makeSampleImage();
+  ASSERT_NE(Img.textSegment(), nullptr);
+  EXPECT_EQ(Img.textSegment()->VAddr, 0x401000u);
+}
+
+TEST(Image, ReadWriteBytes) {
+  Image Img = makeSampleImage();
+  uint8_t B[2];
+  ASSERT_TRUE(Img.readBytes(0x401001, B, 2));
+  EXPECT_EQ(B[0], 0x90);
+  EXPECT_EQ(B[1], 0xc3);
+  uint8_t W = 0xcc;
+  ASSERT_TRUE(Img.writeBytes(0x401000, &W, 1));
+  ASSERT_TRUE(Img.readBytes(0x401000, B, 1));
+  EXPECT_EQ(B[0], 0xcc);
+  // Reads past file-backed content fail (that is .bss).
+  EXPECT_FALSE(Img.readBytes(0x600004, B, 1));
+  EXPECT_FALSE(Img.readBytes(0x700000, B, 1));
+}
+
+TEST(ElfFile, RoundTripBasic) {
+  Image Img = makeSampleImage();
+  std::vector<uint8_t> Bytes = write(Img);
+  auto Back = read(Bytes);
+  ASSERT_TRUE(Back.isOk()) << Back.reason();
+  EXPECT_EQ(Back->Entry, Img.Entry);
+  EXPECT_FALSE(Back->Pie);
+  ASSERT_EQ(Back->Segments.size(), 2u);
+  EXPECT_EQ(Back->Segments[0].VAddr, 0x401000u);
+  EXPECT_EQ(Back->Segments[0].Bytes, Img.Segments[0].Bytes);
+  EXPECT_EQ(Back->Segments[1].MemSize, 0x2000u);
+  EXPECT_EQ(Back->Segments[1].Bytes, Img.Segments[1].Bytes);
+}
+
+TEST(ElfFile, RoundTripPie) {
+  Image Img = makeSampleImage();
+  Img.Pie = true;
+  auto Back = read(write(Img));
+  ASSERT_TRUE(Back.isOk());
+  EXPECT_TRUE(Back->Pie);
+}
+
+TEST(ElfFile, RoundTripMappingNote) {
+  Image Img = makeSampleImage();
+  PhysBlock B1;
+  B1.Bytes.assign(4096, 0xaa);
+  PhysBlock B2;
+  B2.Bytes.assign(8192, 0xbb);
+  Img.Blocks = {B1, B2};
+  Img.Mappings.push_back(Mapping{0x10000000, 0, PF_R | PF_X, 0, 4096});
+  Img.Mappings.push_back(Mapping{0x20000000, 0, PF_R | PF_X, 0, 4096});
+  Img.Mappings.push_back(Mapping{0x30000000, 1, PF_R | PF_X, 0, 8192});
+
+  auto Back = read(write(Img));
+  ASSERT_TRUE(Back.isOk()) << Back.reason();
+  ASSERT_EQ(Back->Blocks.size(), 2u);
+  EXPECT_EQ(Back->Blocks[0].Bytes, B1.Bytes);
+  EXPECT_EQ(Back->Blocks[1].Bytes, B2.Bytes);
+  ASSERT_EQ(Back->Mappings.size(), 3u);
+  EXPECT_EQ(Back->Mappings[1].VAddr, 0x20000000u);
+  EXPECT_EQ(Back->Mappings[2].BlockIndex, 1u);
+  EXPECT_EQ(Back->Mappings[2].Size, 8192u);
+}
+
+TEST(ElfFile, SegmentOffsetsAreCongruent) {
+  Image Img = makeSampleImage();
+  Img.Segments[0].VAddr = 0x401234; // deliberately misaligned vaddr
+  std::vector<uint8_t> Bytes = write(Img);
+  // Parse the first program header to check p_offset ≡ p_vaddr (mod 4096).
+  auto Rd = [&](size_t Off, unsigned N) {
+    uint64_t V = 0;
+    for (unsigned I = 0; I != N; ++I)
+      V |= static_cast<uint64_t>(Bytes[Off + I]) << (8 * I);
+    return V;
+  };
+  uint64_t PhOff = Rd(32, 8);
+  uint64_t POffset = Rd(PhOff + 8, 8);
+  uint64_t PVAddr = Rd(PhOff + 16, 8);
+  EXPECT_EQ(POffset % 4096, PVAddr % 4096);
+}
+
+TEST(ElfFile, RejectsGarbage) {
+  EXPECT_FALSE(read({}).isOk());
+  EXPECT_FALSE(read({1, 2, 3, 4}).isOk());
+  std::vector<uint8_t> Bytes = write(makeSampleImage());
+  Bytes[0] = 0x00; // break the magic
+  EXPECT_FALSE(read(Bytes).isOk());
+}
+
+TEST(ElfFile, RejectsTruncatedSegments) {
+  std::vector<uint8_t> Bytes = write(makeSampleImage());
+  Bytes.resize(200); // headers survive, content gone
+  EXPECT_FALSE(read(Bytes).isOk());
+}
+
+TEST(ElfFile, FileRoundTrip) {
+  Image Img = makeSampleImage();
+  std::string Path = ::testing::TempDir() + "/e9_elf_test.bin";
+  ASSERT_TRUE(writeFile(Img, Path));
+  auto Back = readFile(Path);
+  ASSERT_TRUE(Back.isOk()) << Back.reason();
+  EXPECT_EQ(Back->Entry, Img.Entry);
+  EXPECT_FALSE(readFile(Path + ".missing").isOk());
+}
+
+TEST(ElfFile, ReadableByRealElfParser) {
+  // The output should start with a canonical ELF64 header.
+  std::vector<uint8_t> Bytes = write(makeSampleImage());
+  ASSERT_GE(Bytes.size(), 64u);
+  EXPECT_EQ(Bytes[0], 0x7f);
+  EXPECT_EQ(Bytes[1], 'E');
+  EXPECT_EQ(Bytes[4], 2); // ELFCLASS64
+  EXPECT_EQ(Bytes[5], 1); // little endian
+  EXPECT_EQ(Bytes[18] | (Bytes[19] << 8), 0x3e); // EM_X86_64
+}

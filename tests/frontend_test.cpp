@@ -1,0 +1,283 @@
+//===- tests/frontend_test.cpp - disasm/select/rewriter glue --*- C++ -*-===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Runtime.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "vm/Hooks.h"
+#include "x86/Assembler.h"
+#include "vm/Loader.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::x86;
+
+namespace {
+
+elf::Image imageWithText(std::vector<uint8_t> Code,
+                         uint64_t Base = 0x401000) {
+  elf::Image Img;
+  Img.Entry = Base;
+  elf::Segment Text;
+  Text.VAddr = Base;
+  Text.Bytes = std::move(Code);
+  Text.MemSize = Text.Bytes.size();
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Img.Segments.push_back(std::move(Text));
+  return Img;
+}
+
+} // namespace
+
+TEST(Disasm, WalksCleanCode) {
+  // push rbp; mov rbp,rsp; nop; pop rbp; ret
+  elf::Image Img =
+      imageWithText({0x55, 0x48, 0x89, 0xe5, 0x90, 0x5d, 0xc3});
+  DisasmResult D = linearDisassemble(Img);
+  EXPECT_EQ(D.Insns.size(), 5u);
+  EXPECT_EQ(D.UndecodableBytes, 0u);
+  EXPECT_EQ(D.Insns[0].Address, 0x401000u);
+  EXPECT_EQ(D.Insns[4].Address, 0x401006u);
+}
+
+TEST(Disasm, SkipsDataIslands) {
+  // Valid code, then invalid bytes (0x06 is not a 64-bit opcode), then
+  // valid code again — the ChromeMain .text-with-data case.
+  elf::Image Img = imageWithText({0x90, 0x06, 0x06, 0x06, 0xc3});
+  DisasmResult D = linearDisassemble(Img);
+  EXPECT_EQ(D.UndecodableBytes, 3u);
+  ASSERT_EQ(D.Insns.size(), 2u);
+  EXPECT_TRUE(D.Insns[1].isRet());
+}
+
+TEST(Disasm, RangeRestriction) {
+  elf::Image Img = imageWithText({0x90, 0x90, 0x90, 0x90, 0xc3});
+  DisasmResult D = linearDisassemble(Img, 0x401001, 0x401003);
+  EXPECT_EQ(D.Insns.size(), 2u);
+  EXPECT_EQ(D.Insns[0].Address, 0x401001u);
+}
+
+TEST(Disasm, EmptyWithoutTextSegment) {
+  elf::Image Img;
+  EXPECT_TRUE(linearDisassemble(Img).Insns.empty());
+}
+
+TEST(Select, JumpsPicksAllRelativeBranches) {
+  // jmp rel32; jcc rel8; jcc rel32; jmp rel8; call rel32 (not selected);
+  // indirect jmp (not selected); ret.
+  elf::Image Img = imageWithText({
+      0xe9, 0x00, 0x00, 0x00, 0x00,             // jmp rel32
+      0x74, 0x00,                               // je rel8
+      0x0f, 0x85, 0x00, 0x00, 0x00, 0x00,       // jne rel32
+      0xeb, 0x00,                               // jmp rel8
+      0xe8, 0x00, 0x00, 0x00, 0x00,             // call rel32
+      0xff, 0xe0,                               // jmp *rax
+      0xc3,                                     // ret
+  });
+  DisasmResult D = linearDisassemble(Img);
+  auto Locs = selectJumps(D.Insns);
+  ASSERT_EQ(Locs.size(), 4u);
+  EXPECT_EQ(Locs[0], 0x401000u);
+  EXPECT_EQ(Locs[1], 0x401005u);
+  EXPECT_EQ(Locs[2], 0x401007u);
+  EXPECT_EQ(Locs[3], 0x40100du);
+}
+
+TEST(Select, HeapWritesExcludesRspRipAndReads) {
+  elf::Image Img = imageWithText({
+      0x48, 0x89, 0x03,                         // mov [rbx], rax: selected
+      0x48, 0x89, 0x04, 0x24,                   // mov [rsp], rax: excluded
+      0x48, 0x89, 0x05, 0, 0, 0, 0,             // mov [rip+0], rax: excluded
+      0x48, 0x8b, 0x03,                         // mov rax, [rbx]: read
+      0x64, 0x48, 0x89, 0x03,                   // fs-based: excluded
+      0xc6, 0x41, 0x07, 0x01,                   // mov byte [rcx+7],1: selected
+      0x50,                                     // push rax: stack-implicit
+      0xc3,
+  });
+  DisasmResult D = linearDisassemble(Img);
+  auto Locs = selectHeapWrites(D.Insns);
+  ASSERT_EQ(Locs.size(), 2u);
+  EXPECT_EQ(Locs[0], 0x401000u);
+  EXPECT_EQ(Locs[1], 0x401015u);
+}
+
+TEST(Select, AllSelectsEverything) {
+  elf::Image Img = imageWithText({0x90, 0x90, 0xc3});
+  DisasmResult D = linearDisassemble(Img);
+  EXPECT_EQ(selectAll(D.Insns).size(), 3u);
+}
+
+TEST(Rewriter, RejectsImageWithoutCode) {
+  elf::Image Img;
+  RewriteOptions Opts;
+  EXPECT_FALSE(rewrite(Img, {}, Opts).isOk());
+}
+
+TEST(Rewriter, B0SidesArePersistedInTheElf) {
+  workload::WorkloadConfig C;
+  C.Seed = 31;
+  C.NumFuncs = 6;
+  C.MainIters = 2;
+  workload::Workload W = workload::generateWorkload(C);
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+
+  RewriteOptions Opts;
+  Opts.Patch.ForceB0 = true;
+  auto Out = rewrite(W.Image, Locs, Opts);
+  ASSERT_TRUE(Out.isOk());
+  EXPECT_EQ(Out->Rewritten.B0Sites.size(), Locs.size());
+
+  // Round-trip through the file format, then run with no external table:
+  // the trap handler must come from the image itself.
+  auto Back = elf::read(elf::write(Out->Rewritten));
+  ASSERT_TRUE(Back.isOk()) << Back.reason();
+  ASSERT_EQ(Back->B0Sites.size(), Locs.size());
+
+  workload::RunOutcome Ref = workload::runImage(W.Image);
+  workload::RunOutcome Got = workload::runImage(*Back);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+}
+
+TEST(Rewriter, PerSiteSpecsViaSpecFor) {
+  workload::WorkloadConfig C;
+  C.Seed = 32;
+  C.NumFuncs = 6;
+  C.MainIters = 2;
+  workload::Workload W = workload::generateWorkload(C);
+  uint64_t CounterBase = addCounterSegment(W.Image);
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  ASSERT_GE(Locs.size(), 4u);
+
+  RewriteOptions Opts;
+  Opts.SpecFor = [&](uint64_t Addr) {
+    core::TrampolineSpec S;
+    S.Kind = core::TrampolineKind::Counter;
+    // Slot index = rank of the address in the sorted list.
+    size_t Idx = std::lower_bound(Locs.begin(), Locs.end(), Addr) -
+                 Locs.begin();
+    S.CounterAddr = CounterBase + Idx * 8;
+    return S;
+  };
+  auto Out = rewrite(W.Image, Locs, Opts);
+  ASSERT_TRUE(Out.isOk());
+  EXPECT_EQ(Out->Stats.NLoc, Locs.size());
+
+  workload::RunOutcome Ref = workload::runImage(W.Image);
+  workload::RunOutcome Got = workload::runImage(Out->Rewritten);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+}
+
+TEST(Runtime, CounterSegmentIsReservedByRewriter) {
+  workload::WorkloadConfig C;
+  C.Seed = 33;
+  C.NumFuncs = 4;
+  workload::Workload W = workload::generateWorkload(C);
+  uint64_t CounterAddr = addCounterSegment(W.Image);
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  RewriteOptions Opts;
+  Opts.Patch.Spec.Kind = core::TrampolineKind::Counter;
+  Opts.Patch.Spec.CounterAddr = CounterAddr;
+  auto Out = rewrite(W.Image, Locs, Opts);
+  ASSERT_TRUE(Out.isOk());
+  // No trampoline may land inside the counter segment.
+  for (const elf::Mapping &M : Out->Rewritten.Mappings) {
+    bool Overlaps = M.VAddr < CounterSegmentAddr + CounterSegmentSize &&
+                    CounterSegmentAddr < M.VAddr + M.Size;
+    EXPECT_FALSE(Overlaps);
+  }
+}
+
+// Composed trampoline templates: counter + hook + displaced in one
+// trampoline, verified end to end.
+TEST(Rewriter, ComposedTemplates) {
+  workload::WorkloadConfig C;
+  C.Seed = 34;
+  C.NumFuncs = 6;
+  C.MainIters = 2;
+  workload::Workload W = workload::generateWorkload(C);
+  uint64_t CounterAddr = addCounterSegment(W.Image);
+  workload::RunOutcome Ref = workload::runImage(W.Image);
+  ASSERT_TRUE(Ref.ok());
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+
+  RewriteOptions Opts;
+  Opts.Patch.Spec.Kind = core::TrampolineKind::Composed;
+  Opts.Patch.Spec.Ops = {
+      core::TemplateOp::counterInc(CounterAddr),
+      core::TemplateOp::hookCall(vm::HookLowFatCheck),
+      core::TemplateOp::raw({0x90}), // a stray nop, why not
+      core::TemplateOp::displaced(),
+      // no explicit JumpBack: appended implicitly
+  };
+  auto Out = rewrite(W.Image, Locs, Opts);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  EXPECT_EQ(Out->Stats.count(core::Tactic::Failed), 0u);
+
+  // Run with the LowFat runtime so the hook exists; rdi carries the site
+  // address (not a heap pointer), so the check passes.
+  workload::RunConfig RC;
+  RC.UseLowFat = true;
+  workload::RunOutcome Got = workload::runImage(Out->Rewritten, RC);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+
+  // The counter must have counted every dynamic branch visit.
+  vm::Vm V;
+  lowfat::LowFatHeap Heap;
+  lowfat::installLowFatHeap(V, Heap);
+  auto L = vm::load(V, Out->Rewritten);
+  ASSERT_TRUE(L.isOk());
+  auto R = V.run(50'000'000);
+  ASSERT_EQ(R.Kind, vm::RunResult::Exit::Finished) << R.Error;
+  uint64_t Count = 0;
+  ASSERT_TRUE(V.Mem.read64(CounterAddr, Count).isOk());
+  EXPECT_GT(Count, 100u);
+}
+
+TEST(Rewriter, ComposedJumpToDivertsControl) {
+  // A Composed spec ending in JumpTo implements a "skip the rest of this
+  // basic block" patch: here we jump straight to a ret.
+  elf::Image Img;
+  Img.Entry = 0x401000;
+  x86::Assembler A(0x401000);
+  A.movRegImm32(x86::Reg::RAX, 1);
+  uint64_t Site = A.currentAddr();
+  A.movRegImm32(x86::Reg::RAX, 2); // patched: skipped via JumpTo
+  A.movRegImm32(x86::Reg::RAX, 3); // also skipped
+  uint64_t RetAddr = A.currentAddr();
+  A.ret();
+  ASSERT_TRUE(A.resolveAll());
+  elf::Segment Text;
+  Text.VAddr = 0x401000;
+  Text.Bytes = A.take();
+  Text.MemSize = Text.Bytes.size();
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Img.Segments.push_back(std::move(Text));
+
+  RewriteOptions Opts;
+  Opts.Patch.Spec.Kind = core::TrampolineKind::Composed;
+  Opts.Patch.Spec.Ops = {core::TemplateOp::jumpTo(RetAddr)};
+  auto Out = rewrite(Img, {Site}, Opts);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  ASSERT_NE(Out->Sites[0].Used, core::Tactic::Failed);
+
+  vm::Vm V;
+  auto L = vm::load(V, Out->Rewritten);
+  ASSERT_TRUE(L.isOk()) << L.reason();
+  auto R = V.run(1000);
+  ASSERT_EQ(R.Kind, vm::RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(V.Core.Gpr[0], 1u) << "mov $2/$3 must have been skipped";
+}

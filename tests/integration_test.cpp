@@ -1,0 +1,312 @@
+//===- tests/integration_test.cpp - end-to-end rewriting -------*- C++ -*-===//
+//
+// Generates synthetic binaries, rewrites them through the full pipeline
+// (disassemble -> patch -> group -> emit), executes original and rewritten
+// images in the VM, and requires identical observable behaviour. This is
+// the semantic-preservation property at the heart of the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Runtime.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "vm/Hooks.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+namespace {
+
+WorkloadConfig smallConfig(uint64_t Seed, bool Pie = false) {
+  WorkloadConfig C;
+  C.Name = "itest";
+  C.Seed = Seed;
+  C.Pie = Pie;
+  C.NumFuncs = 8;
+  C.MainIters = 3;
+  return C;
+}
+
+RewriteOptions emptyA(core::TrampolineKind Kind) {
+  RewriteOptions O;
+  O.Patch.Spec.Kind = Kind;
+  O.ExtraReserved.push_back(lowfat::heapReservation());
+  return O;
+}
+
+} // namespace
+
+TEST(Workload, DeterministicPerSeed) {
+  Workload A = generateWorkload(smallConfig(7));
+  Workload B = generateWorkload(smallConfig(7));
+  Workload C = generateWorkload(smallConfig(8));
+  EXPECT_EQ(A.Image.textSegment()->Bytes, B.Image.textSegment()->Bytes);
+  EXPECT_NE(A.Image.textSegment()->Bytes, C.Image.textSegment()->Bytes);
+}
+
+TEST(Workload, RunsToCompletionDeterministically) {
+  Workload W = generateWorkload(smallConfig(42));
+  RunOutcome R1 = runImage(W.Image);
+  RunOutcome R2 = runImage(W.Image);
+  ASSERT_TRUE(R1.ok()) << R1.Result.Error;
+  EXPECT_EQ(R1.Rax, R2.Rax);
+  EXPECT_EQ(R1.DataChecksum, R2.DataChecksum);
+  EXPECT_GT(R1.Result.InsnCount, 1000u);
+}
+
+TEST(Workload, LinearDisassemblyIsClean) {
+  // Generated code contains no data islands: linear disassembly must
+  // decode every byte.
+  Workload W = generateWorkload(smallConfig(42));
+  DisasmResult D = linearDisassemble(W.Image);
+  EXPECT_EQ(D.UndecodableBytes, 0u);
+  EXPECT_GT(D.Insns.size(), 200u);
+}
+
+TEST(Workload, RoundTripsThroughElf) {
+  Workload W = generateWorkload(smallConfig(42));
+  auto Bytes = elf::write(W.Image);
+  auto Back = elf::read(Bytes);
+  ASSERT_TRUE(Back.isOk()) << Back.reason();
+  RunOutcome R1 = runImage(W.Image);
+  RunOutcome R2 = runImage(*Back);
+  EXPECT_EQ(R1.Rax, R2.Rax);
+  EXPECT_EQ(R1.DataChecksum, R2.DataChecksum);
+}
+
+// --- The central property: rewrite preserves behaviour ------------------------
+
+class RewritePreserves : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RewritePreserves, JumpInstrumentationA1) {
+  Workload W = generateWorkload(smallConfig(GetParam()));
+  RunOutcome Ref = runImage(W.Image);
+  ASSERT_TRUE(Ref.ok()) << Ref.Result.Error;
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  ASSERT_GT(Locs.size(), 10u);
+  auto Out = rewrite(W.Image, Locs, emptyA(core::TrampolineKind::Empty));
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  EXPECT_EQ(Out->Stats.NLoc, Locs.size());
+  EXPECT_EQ(Out->Stats.count(core::Tactic::Failed), 0u)
+      << "A1 coverage must be 100% on small binaries";
+
+  RunOutcome Got = runImage(Out->Rewritten);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+  // Patched runs execute strictly more instructions (2+ jumps per visit).
+  EXPECT_GT(Got.Result.Cost, Ref.Result.Cost);
+}
+
+TEST_P(RewritePreserves, HeapWriteInstrumentationA2) {
+  Workload W = generateWorkload(smallConfig(GetParam()));
+  RunOutcome Ref = runImage(W.Image);
+  ASSERT_TRUE(Ref.ok()) << Ref.Result.Error;
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectHeapWrites(D.Insns);
+  ASSERT_GT(Locs.size(), 10u);
+  auto Out = rewrite(W.Image, Locs, emptyA(core::TrampolineKind::Empty));
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+
+  RunOutcome Got = runImage(Out->Rewritten);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+}
+
+TEST_P(RewritePreserves, PieBinaries) {
+  Workload W = generateWorkload(smallConfig(GetParam(), /*Pie=*/true));
+  RunOutcome Ref = runImage(W.Image);
+  ASSERT_TRUE(Ref.ok()) << Ref.Result.Error;
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  auto Out = rewrite(W.Image, Locs, emptyA(core::TrampolineKind::Empty));
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  EXPECT_EQ(Out->Stats.succPct(), 100.0);
+
+  RunOutcome Got = runImage(Out->Rewritten);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+}
+
+TEST_P(RewritePreserves, GroupingOffMatchesGroupingOn) {
+  Workload W = generateWorkload(smallConfig(GetParam()));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+
+  RewriteOptions On = emptyA(core::TrampolineKind::Empty);
+  RewriteOptions Off = On;
+  Off.Grouping.Enabled = false;
+  auto ROn = rewrite(W.Image, Locs, On);
+  auto ROff = rewrite(W.Image, Locs, Off);
+  ASSERT_TRUE(ROn.isOk());
+  ASSERT_TRUE(ROff.isOk());
+
+  RunOutcome GOn = runImage(ROn->Rewritten);
+  RunOutcome GOff = runImage(ROff->Rewritten);
+  ASSERT_TRUE(GOn.ok()) << GOn.Result.Error;
+  ASSERT_TRUE(GOff.ok()) << GOff.Result.Error;
+  EXPECT_EQ(GOn.Rax, GOff.Rax);
+  EXPECT_EQ(GOn.DataChecksum, GOff.DataChecksum);
+
+  // Grouping strictly saves physical bytes and file size here.
+  EXPECT_LE(ROn->Grouping.PhysBytes, ROff->Grouping.PhysBytes);
+  EXPECT_LE(ROn->NewFileSize, ROff->NewFileSize);
+  // And the loaded RAM footprint shrinks accordingly.
+  EXPECT_LE(GOn.UniquePhysPages, GOff.UniquePhysPages);
+  EXPECT_EQ(GOn.MappedPages, GOff.MappedPages);
+}
+
+TEST_P(RewritePreserves, B0BaselinePreservesSemanticsAtHighCost) {
+  Workload W = generateWorkload(smallConfig(GetParam()));
+  RunOutcome Ref = runImage(W.Image);
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  RewriteOptions O = emptyA(core::TrampolineKind::Empty);
+  O.Patch.ForceB0 = true;
+  auto Out = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  EXPECT_EQ(Out->Stats.count(core::Tactic::B0), Locs.size());
+
+  RunConfig RC;
+  RC.B0Table = Out->B0Table;
+  RunOutcome Got = runImage(Out->Rewritten, RC);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+  // Orders of magnitude slower than the original (the point of B1..T3).
+  EXPECT_GT(Got.Result.Cost, Ref.Result.Cost * 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewritePreserves,
+                         ::testing::Values(1, 2, 3, 5, 11, 17));
+
+// --- Tactic ablation: coverage grows monotonically ---------------------------
+
+TEST(Ablation, CoverageMonotone) {
+  Workload W = generateWorkload(smallConfig(3));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+
+  double Prev = -1.0;
+  for (int Level = 0; Level != 4; ++Level) {
+    RewriteOptions O = emptyA(core::TrampolineKind::Empty);
+    O.Patch.EnableT1 = Level >= 1;
+    O.Patch.EnableT2 = Level >= 2;
+    O.Patch.EnableT3 = Level >= 3;
+    auto Out = rewrite(W.Image, Locs, O);
+    ASSERT_TRUE(Out.isOk());
+    EXPECT_GE(Out->Stats.succPct(), Prev);
+    Prev = Out->Stats.succPct();
+
+    // Whatever was patched must not break the program.
+    RunOutcome Got = runImage(Out->Rewritten);
+    EXPECT_TRUE(Got.ok()) << Got.Result.Error;
+  }
+  EXPECT_EQ(Prev, 100.0) << "full tactic suite should reach 100% here";
+}
+
+// --- LowFat hardening (§6.3) -------------------------------------------------
+
+TEST(LowFatHardening, CleanProgramUnaffected) {
+  Workload W = generateWorkload(smallConfig(9));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectHeapWrites(D.Insns);
+
+  RewriteOptions O = emptyA(core::TrampolineKind::LowFatCheck);
+  O.Patch.Spec.HookAddr = vm::HookLowFatCheck;
+  auto Out = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+
+  RunConfig RC;
+  RC.UseLowFat = true;
+  RunOutcome Ref = runImage(W.Image, RC);
+  RunOutcome Got = runImage(Out->Rewritten, RC);
+  ASSERT_TRUE(Ref.ok()) << Ref.Result.Error;
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.LowFatViolations, 0u);
+  EXPECT_GT(Got.Result.Cost, Ref.Result.Cost);
+}
+
+TEST(LowFatHardening, PlantedOverflowDetectedOnlyWhenHardened) {
+  WorkloadConfig C = smallConfig(10);
+  C.HeapBug = true;
+  Workload W = generateWorkload(C);
+  ASSERT_NE(W.BugSiteAddr, 0u);
+
+  // Unhardened with the plain heap: silent corruption, finishes.
+  RunOutcome Plain = runImage(W.Image);
+  ASSERT_TRUE(Plain.ok()) << Plain.Result.Error;
+
+  // Unhardened with the LowFat heap: still no checks, still finishes.
+  RunConfig LF;
+  LF.UseLowFat = true;
+  RunOutcome Unhardened = runImage(W.Image, LF);
+  ASSERT_TRUE(Unhardened.ok()) << Unhardened.Result.Error;
+  EXPECT_EQ(Unhardened.LowFatViolations, 0u);
+
+  // Hardened: the overflow hits the next slot's redzone and aborts.
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectHeapWrites(D.Insns);
+  ASSERT_NE(std::find(Locs.begin(), Locs.end(), W.BugSiteAddr), Locs.end())
+      << "the planted bug site must be an A2 patch location";
+  RewriteOptions O = emptyA(core::TrampolineKind::LowFatCheck);
+  O.Patch.Spec.HookAddr = vm::HookLowFatCheck;
+  auto Out = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+
+  RunOutcome Got = runImage(Out->Rewritten, LF);
+  EXPECT_EQ(Got.Result.Kind, vm::RunResult::Exit::Fault);
+  EXPECT_NE(Got.Result.Error.find("redzone"), std::string::npos)
+      << Got.Result.Error;
+
+  // Count-only policy: completes and reports the violation.
+  RunConfig Count = LF;
+  Count.AbortOnViolation = false;
+  RunOutcome Counted = runImage(Out->Rewritten, Count);
+  ASSERT_TRUE(Counted.ok()) << Counted.Result.Error;
+  EXPECT_GE(Counted.LowFatViolations, 1u);
+}
+
+// --- Mixing patched and unpatched code (§5.1) --------------------------------
+
+TEST(Rewriter, FileSizeAccounting) {
+  Workload W = generateWorkload(smallConfig(4));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  auto Out = rewrite(W.Image, Locs, emptyA(core::TrampolineKind::Empty));
+  ASSERT_TRUE(Out.isOk());
+  EXPECT_GT(Out->NewFileSize, Out->OrigFileSize);
+  EXPECT_GT(Out->sizePct(), 100.0);
+  // The written file re-reads to the same mapping table.
+  auto Back = elf::read(elf::write(Out->Rewritten));
+  ASSERT_TRUE(Back.isOk());
+  EXPECT_EQ(Back->Mappings.size(), Out->Rewritten.Mappings.size());
+  EXPECT_EQ(Back->Blocks.size(), Out->Rewritten.Blocks.size());
+}
+
+TEST(Rewriter, EmptyPatchSetIsIdentityPlusNoBlocks) {
+  Workload W = generateWorkload(smallConfig(5));
+  auto Out = rewrite(W.Image, {}, emptyA(core::TrampolineKind::Empty));
+  ASSERT_TRUE(Out.isOk());
+  EXPECT_EQ(Out->Stats.NLoc, 0u);
+  EXPECT_TRUE(Out->Rewritten.Blocks.empty());
+  RunOutcome Ref = runImage(W.Image);
+  RunOutcome Got = runImage(Out->Rewritten);
+  EXPECT_EQ(Ref.Rax, Got.Rax);
+  EXPECT_EQ(Ref.DataChecksum, Got.DataChecksum);
+}

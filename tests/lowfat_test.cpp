@@ -1,0 +1,214 @@
+//===- tests/lowfat_test.cpp - low-fat heap runtime tests -----*- C++ -*-===//
+
+#include "lowfat/LowFat.h"
+
+#include "vm/Hooks.h"
+#include "x86/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::lowfat;
+using namespace e9::vm;
+
+namespace {
+
+Vm makeVm() { return Vm(); }
+
+} // namespace
+
+TEST(LowFatHeap, AllocationReturnsAfterRedzone) {
+  Vm V = makeVm();
+  LowFatHeap H;
+  auto P = H.alloc(V, 24);
+  ASSERT_TRUE(P.isOk());
+  // Smallest class is 32; object data starts at slot + 16.
+  EXPECT_EQ((*P - HeapRegionStart) % 32, RedzoneSize);
+  EXPECT_TRUE(H.isHeapPtr(*P));
+}
+
+TEST(LowFatHeap, SizeClassSelection) {
+  Vm V = makeVm();
+  LowFatHeap H;
+  // Size + redzone must fit the slot: 16 bytes -> 32-class; 17 -> 64-class
+  // (17+16=33 > 32); 48 -> 64-class.
+  auto P16 = H.alloc(V, 16);
+  auto P17 = H.alloc(V, 17);
+  auto P48 = H.alloc(V, 48);
+  ASSERT_TRUE(P16.isOk());
+  ASSERT_TRUE(P17.isOk());
+  ASSERT_TRUE(P48.isOk());
+  auto ClassOf = [](uint64_t P) {
+    return (P - HeapRegionStart) / RegionSize;
+  };
+  EXPECT_EQ(ClassOf(*P16), 0u); // 32-byte class
+  EXPECT_EQ(ClassOf(*P17), 1u); // 64-byte class
+  EXPECT_EQ(ClassOf(*P48), 1u);
+}
+
+TEST(LowFatHeap, BaseComputableFromPointerAlone) {
+  Vm V = makeVm();
+  LowFatHeap H;
+  auto P = H.alloc(V, 100); // 100+16=116 -> 128-byte slots (class 2)
+  ASSERT_TRUE(P.isOk());
+  uint64_t SlotBase = *P - RedzoneSize;
+  // base() recovers the slot base from any interior pointer.
+  for (uint64_t Off : {0ull, 1ull, 50ull, 99ull})
+    EXPECT_EQ(H.base(*P + Off), SlotBase) << "offset " << Off;
+}
+
+TEST(LowFatHeap, RedzoneBoundaryProbes) {
+  Vm V = makeVm();
+  LowFatHeap H;
+  H.AbortOnViolation = true;
+  auto P = H.alloc(V, 48); // 64-byte slots
+  ASSERT_TRUE(P.isOk());
+  uint64_t SlotBase = *P - RedzoneSize;
+
+  // Writes at the object itself pass.
+  EXPECT_TRUE(H.check(*P).isOk());
+  EXPECT_TRUE(H.check(*P + 47).isOk());
+  // The slot's own redzone (underflow) is rejected.
+  EXPECT_FALSE(H.check(SlotBase).isOk());
+  EXPECT_FALSE(H.check(SlotBase + RedzoneSize - 1).isOk());
+  EXPECT_TRUE(H.check(SlotBase + RedzoneSize).isOk());
+  // One past the slot end is the *next* slot's redzone (overflow case).
+  EXPECT_FALSE(H.check(SlotBase + 64).isOk());
+  EXPECT_FALSE(H.check(SlotBase + 64 + 15).isOk());
+  EXPECT_TRUE(H.check(SlotBase + 64 + 16).isOk());
+  EXPECT_EQ(H.violations(), 4u);
+}
+
+TEST(LowFatHeap, NonHeapPointersPass) {
+  LowFatHeap H;
+  EXPECT_TRUE(H.check(0x401000).isOk());       // text
+  EXPECT_TRUE(H.check(0x7ffffffff000).isOk()); // stack
+  EXPECT_TRUE(H.check(0).isOk());              // null (not a heap write)
+  EXPECT_EQ(H.base(0x401000), 0x401000u);      // identity outside regions
+  EXPECT_EQ(H.violations(), 0u);
+}
+
+TEST(LowFatHeap, CountOnlyPolicy) {
+  Vm V = makeVm();
+  LowFatHeap H;
+  H.AbortOnViolation = false;
+  auto P = H.alloc(V, 16);
+  ASSERT_TRUE(P.isOk());
+  EXPECT_TRUE(H.check(*P - 1).isOk()) << "count-only must not fail";
+  EXPECT_EQ(H.violations(), 1u);
+}
+
+TEST(LowFatHeap, SlotsAreNotRecycled) {
+  Vm V = makeVm();
+  LowFatHeap H;
+  auto P1 = H.alloc(V, 16);
+  ASSERT_TRUE(P1.isOk());
+  ASSERT_TRUE(H.free(V, *P1).isOk());
+  auto P2 = H.alloc(V, 16);
+  ASSERT_TRUE(P2.isOk());
+  EXPECT_NE(*P1, *P2) << "quarantine-forever policy";
+}
+
+TEST(LowFatHeap, OversizeAllocationFails) {
+  Vm V = makeVm();
+  LowFatHeap H;
+  EXPECT_FALSE(H.alloc(V, (1ull << MaxClassLog)).isOk());
+}
+
+TEST(LowFatHeap, MemoryIsMappedAndZeroed) {
+  Vm V = makeVm();
+  LowFatHeap H;
+  auto P = H.alloc(V, 4096 * 2);
+  ASSERT_TRUE(P.isOk());
+  uint64_t Val = 1;
+  ASSERT_TRUE(V.Mem.read64(*P, Val).isOk());
+  EXPECT_EQ(Val, 0u);
+  ASSERT_TRUE(V.Mem.write64(*P + 4096, 42).isOk());
+}
+
+TEST(PlainHeap, BumpBehaviour) {
+  Vm V = makeVm();
+  PlainHeap H;
+  auto P1 = H.alloc(V, 10);
+  auto P2 = H.alloc(V, 10);
+  ASSERT_TRUE(P1.isOk());
+  ASSERT_TRUE(P2.isOk());
+  EXPECT_EQ(*P2 - *P1, 16u); // 16-aligned bump
+  EXPECT_TRUE(H.free(V, *P1).isOk());
+  EXPECT_EQ(H.allocatedBytes(), 32u);
+}
+
+// --- Hooks through the VM -------------------------------------------------
+
+namespace {
+
+/// Guest program: rax = malloc(rdi); write/read through it; free; return
+/// the read-back value.
+std::vector<uint8_t> heapProgram(uint64_t MallocHook, uint64_t FreeHook) {
+  using namespace e9::x86;
+  Assembler A(0x401000);
+  A.movRegImm32(Reg::RDI, 64);
+  A.callAbsViaRax(MallocHook);
+  A.movRegReg(OpSize::B64, Reg::RBX, Reg::RAX);
+  A.movMemImm(OpSize::B32, Mem::base(Reg::RBX, 8), 77);
+  A.movRegReg(OpSize::B64, Reg::RDI, Reg::RBX);
+  A.callAbsViaRax(FreeHook);
+  A.movRegMem(OpSize::B32, Reg::RAX, Mem::base(Reg::RBX, 8));
+  A.ret();
+  EXPECT_TRUE(A.resolveAll());
+  return A.take();
+}
+
+} // namespace
+
+class HeapHooks : public ::testing::TestWithParam<bool> {};
+
+TEST_P(HeapHooks, MallocWriteReadFree) {
+  bool UseLowFat = GetParam();
+  Vm V;
+  PlainHeap Plain;
+  LowFatHeap Fat;
+  if (UseLowFat)
+    installLowFatHeap(V, Fat);
+  else
+    installPlainHeap(V, Plain);
+
+  auto Code = heapProgram(HookMalloc, HookFree);
+  ASSERT_TRUE(V.Mem.mapZero(0x401000, 0x1000, PermR | PermW | PermX).isOk());
+  ASSERT_TRUE(V.Mem.write(0x401000, Code.data(), Code.size()).isOk());
+  ASSERT_TRUE(V.Mem.mapZero(0x7ffe0000, 0x10000, PermR | PermW).isOk());
+  V.Core.rsp() = 0x7ffe0000u + 0x10000 - 64;
+  ASSERT_TRUE(V.push64(ExitAddress).isOk());
+  V.Core.Rip = 0x401000;
+
+  auto R = V.run(10000);
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(V.Core.Gpr[0] & 0xffffffff, 77u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Heaps, HeapHooks, ::testing::Bool());
+
+TEST(HeapHooks, CallocZeroesAndMultiplies) {
+  Vm V;
+  LowFatHeap Fat;
+  installLowFatHeap(V, Fat);
+  using namespace e9::x86;
+  Assembler A(0x401000);
+  A.movRegImm32(Reg::RDI, 8);
+  A.movRegImm32(Reg::RSI, 4);
+  A.callAbsViaRax(HookCalloc);
+  A.movRegMem(OpSize::B64, Reg::RAX, Mem::base(Reg::RAX, 24));
+  A.ret();
+  ASSERT_TRUE(A.resolveAll());
+  auto Code = A.take();
+  ASSERT_TRUE(V.Mem.mapZero(0x401000, 0x1000, PermR | PermW | PermX).isOk());
+  ASSERT_TRUE(V.Mem.write(0x401000, Code.data(), Code.size()).isOk());
+  ASSERT_TRUE(V.Mem.mapZero(0x7ffe0000, 0x10000, PermR | PermW).isOk());
+  V.Core.rsp() = 0x7ffe0000u + 0x10000 - 64;
+  ASSERT_TRUE(V.push64(ExitAddress).isOk());
+  V.Core.Rip = 0x401000;
+  auto R = V.run(10000);
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(V.Core.Gpr[0], 0u);
+  EXPECT_EQ(Fat.allocations(), 1u);
+}

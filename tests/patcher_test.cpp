@@ -1,0 +1,454 @@
+//===- tests/patcher_test.cpp - tactic engine unit tests -------*- C++ -*-===//
+//
+// Crafted-byte scenarios for the tactics, including the paper's Figure 1
+// instruction sequence, plus direct VM execution of the resulting
+// "spaghetti" to verify jump-target preservation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Patcher.h"
+
+#include "frontend/Disasm.h"
+#include "frontend/Runtime.h"
+#include "vm/Loader.h"
+#include "vm/Vm.h"
+#include "x86/Decoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::core;
+using namespace e9::x86;
+
+namespace {
+
+constexpr uint64_t NonPieBase = 0x401000;
+constexpr uint64_t PieBase = 0x555555555000ULL;
+
+elf::Image makeImage(std::vector<uint8_t> Code, uint64_t Base,
+                     bool Pie = false) {
+  elf::Image Img;
+  Img.Entry = Base;
+  Img.Pie = Pie;
+  elf::Segment Text;
+  Text.VAddr = Base;
+  Text.Bytes = std::move(Code);
+  Text.MemSize = Text.Bytes.size();
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Text.Name = "text";
+  Img.Segments.push_back(std::move(Text));
+  elf::Segment Data;
+  Data.VAddr = Base + 0x100000;
+  Data.Bytes.assign(0x1000, 0);
+  Data.MemSize = 0x1000;
+  Data.Flags = elf::PF_R | elf::PF_W;
+  Data.Name = "data";
+  Img.Segments.push_back(std::move(Data));
+  return Img;
+}
+
+/// Runs the patch engine over one location with the Empty spec.
+struct PatchRun {
+  elf::Image Img;
+  std::unique_ptr<Patcher> P;
+  Tactic Used;
+
+  PatchRun(std::vector<uint8_t> Code, uint64_t Base, uint64_t PatchOff,
+           PatchOptions Opts = PatchOptions(), bool Pie = false)
+      : Img(makeImage(std::move(Code), Base, Pie)) {
+    auto Dis = frontend::linearDisassemble(Img);
+    P = std::make_unique<Patcher>(Img, Dis.Insns, Opts);
+    P->patchAll({Base + PatchOff});
+    Used = P->stats().NLoc ? P->results()[0].Used : Tactic::Failed;
+  }
+
+  std::vector<uint8_t> textBytes() const {
+    return Img.textSegment()->Bytes;
+  }
+};
+
+// The paper's Figure 1 byte stream:
+//   mov %rax,(%rbx); add $32,%rax; xor %rax,%rcx; cmpl $77,-4(%rbx)
+std::vector<uint8_t> figure1() {
+  return {0x48, 0x89, 0x03, 0x48, 0x83, 0xc0, 0x20,
+          0x48, 0x31, 0xc1, 0x83, 0x7b, 0xfc, 0x4d, 0xc3};
+}
+
+// A pun-hostile stream (every direct fixed byte has the sign bit set):
+//   mov %rax,(%rbx); xchg rcx,rax x3; cmpl $77,-4(%rbx);
+//   add (%rax),%dh x2; ret
+std::vector<uint8_t> hostileStream() {
+  return {0x48, 0x89, 0x03, 0x91, 0x91, 0x91, 0x83, 0x7b,
+          0xfc, 0x4d, 0x00, 0x30, 0x00, 0x30, 0xc3};
+}
+
+} // namespace
+
+TEST(Patcher, LongInstructionUsesB1) {
+  // mov rcx, imm32 is 7 bytes: plain jump, full rel32 freedom.
+  std::vector<uint8_t> Code = {0x48, 0xc7, 0xc1, 0x11, 0x22,
+                               0x33, 0x00, 0x90, 0xc3};
+  PatchRun R(Code, NonPieBase, 0);
+  EXPECT_EQ(R.Used, Tactic::B1);
+  EXPECT_EQ(R.P->stats().succPct(), 100.0);
+  // The patched bytes start with e9 and only the first 5 bytes changed.
+  auto T = R.textBytes();
+  EXPECT_EQ(T[0], 0xe9);
+  EXPECT_EQ(T[5], 0x33); // bytes past the jump are untouched
+  EXPECT_EQ(T[6], 0x00);
+}
+
+TEST(Patcher, Figure1PieUsesB2) {
+  // At a PIE address the 0x8348XXXX window is valid: plain punning works.
+  PatchRun R(figure1(), PieBase, 0, PatchOptions(), /*Pie=*/true);
+  EXPECT_EQ(R.Used, Tactic::B2);
+  auto T = R.textBytes();
+  EXPECT_EQ(T[0], 0xe9);
+  // Pun bytes: the successor's first two bytes are *unchanged*.
+  EXPECT_EQ(T[3], 0x48);
+  EXPECT_EQ(T[4], 0x83);
+  // Decode the punned jump and verify it targets the trampoline.
+  Insn J;
+  ASSERT_EQ(decode(T.data(), T.size(), PieBase, J), DecodeStatus::Ok);
+  EXPECT_TRUE(J.isJmpRel32());
+  EXPECT_EQ(J.branchTarget(), R.P->results()[0].TrampolineAddr);
+}
+
+TEST(Patcher, Figure1NonPieUsesT1) {
+  // At the low base the B2/T1(a) windows are negative; the two-pad T1(b)
+  // encoding (exact target rel32 = 0x20c08348) is the first valid one.
+  PatchRun R(figure1(), NonPieBase, 0);
+  EXPECT_EQ(R.Used, Tactic::T1);
+  auto T = R.textBytes();
+  // Pads then e9, then the fully-punned rel32 = 48 83 c0 20 (unchanged).
+  EXPECT_EQ(T[2], 0xe9);
+  EXPECT_EQ(T[3], 0x48);
+  EXPECT_EQ(T[4], 0x83);
+  EXPECT_EQ(T[5], 0xc0);
+  EXPECT_EQ(T[6], 0x20);
+  EXPECT_EQ(R.P->results()[0].TrampolineAddr,
+            NonPieBase + 2 + 5 + 0x20c08348u);
+}
+
+// A stream where the direct tactics fail but evicting the successor
+// yields pun-friendly bytes (the eviction jump's free low rel32 byte is
+// small/positive, exactly the paper's T2(b) "pun against e9" case):
+//   mov %rax,(%rbx); mov %ebx,%eax; nop; nop; add (%rax),%dh; ret
+std::vector<uint8_t> t2Stream() {
+  return {0x48, 0x89, 0x03, 0x89, 0xd8, 0x90, 0x90, 0x00, 0x30, 0xc3};
+}
+
+TEST(Patcher, T2StreamUsesT2) {
+  PatchRun R(t2Stream(), NonPieBase, 0);
+  EXPECT_EQ(R.Used, Tactic::T2);
+  EXPECT_EQ(R.P->stats().Evictions, 1u);
+  // The successor mov (at offset 3) was evicted: now a jump opcode, and
+  // the patch jump at offset 0 puns against it.
+  EXPECT_EQ(R.textBytes()[0], 0xe9);
+  EXPECT_EQ(R.textBytes()[3], 0xe9);
+}
+
+TEST(Patcher, HostileStreamEscalatesPastT2) {
+  // Here even successor eviction leaves sign-hostile pun bytes, so the
+  // engine escalates to T3.
+  PatchRun R(hostileStream(), NonPieBase, 0);
+  EXPECT_EQ(R.Used, Tactic::T3);
+  EXPECT_GE(R.P->stats().Evictions, 1u);
+}
+
+TEST(Patcher, HostileStreamUsesT3WhenT2Disabled) {
+  PatchOptions Opts;
+  Opts.EnableT2 = false;
+  PatchRun R(hostileStream(), NonPieBase, 0, Opts);
+  EXPECT_EQ(R.Used, Tactic::T3);
+  auto T = R.textBytes();
+  // JShort at the patch location.
+  EXPECT_EQ(T[0], 0xeb);
+  // The victim (cmpl at offset 6) became JVictim (e9 ...).
+  EXPECT_EQ(T[6], 0xe9);
+}
+
+TEST(Patcher, HostileStreamFailsWithoutEvictions) {
+  PatchOptions Opts;
+  Opts.EnableT2 = false;
+  Opts.EnableT3 = false;
+  PatchRun R(hostileStream(), NonPieBase, 0, Opts);
+  EXPECT_EQ(R.Used, Tactic::Failed);
+  // The instruction is untouched on failure.
+  EXPECT_EQ(R.textBytes()[0], 0x48);
+}
+
+TEST(Patcher, B0FallbackPatchesAnything) {
+  PatchOptions Opts;
+  Opts.EnableT2 = false;
+  Opts.EnableT3 = false;
+  Opts.B0Fallback = true;
+  PatchRun R(hostileStream(), NonPieBase, 0, Opts);
+  EXPECT_EQ(R.Used, Tactic::B0);
+  EXPECT_EQ(R.textBytes()[0], 0xcc);
+  ASSERT_EQ(R.P->b0Table().count(NonPieBase), 1u);
+  EXPECT_EQ(R.P->b0Table().at(NonPieBase)[0], 0x48);
+}
+
+TEST(Patcher, ForceB0SkipsJumpTactics) {
+  PatchOptions Opts;
+  Opts.ForceB0 = true;
+  PatchRun R(figure1(), PieBase, 0, Opts, true);
+  EXPECT_EQ(R.Used, Tactic::B0);
+  EXPECT_TRUE(R.P->chunks().empty());
+}
+
+// --- Semantics of the patched spaghetti, executed in the VM -----------------
+
+namespace {
+
+/// Loads \p Img plus the trampoline chunks (as raw pages) and prepares
+/// registers so the crafted streams can run.
+vm::Vm prepareVm(const elf::Image &Img, const Patcher &P) {
+  vm::Vm V;
+  auto L = vm::load(V, Img);
+  EXPECT_TRUE(L.isOk()) << L.reason();
+  for (const TrampolineChunk &C : P.chunks()) {
+    uint64_t Page = C.Addr & ~vm::PageMask;
+    uint64_t End = C.Addr + C.Bytes.size();
+    for (; Page < End; Page += vm::PageSize) {
+      if (!V.Mem.isMapped(Page)) {
+        EXPECT_TRUE(V.Mem.mapZero(Page, vm::PageSize,
+                                  vm::PermR | vm::PermW | vm::PermX));
+      }
+    }
+    EXPECT_TRUE(V.Mem.write(C.Addr, C.Bytes.data(), C.Bytes.size()));
+  }
+  // Registers used by the crafted streams.
+  V.Core.Gpr[3] = Img.Segments[1].VAddr + 0x100; // rbx -> data
+  V.Core.Gpr[0] = Img.Segments[1].VAddr + 0x200; // rax -> data
+  V.Core.Gpr[1] = Img.Segments[1].VAddr + 0x200; // rcx (xchg partner)
+  V.Core.Gpr[2] = 0x1122;                        // rdx
+  return V;
+}
+
+struct FinalState {
+  uint64_t Rax, Rcx, Rdx;
+  uint64_t Mem0, Mem200;
+  bool Zf, Cf, Sf;
+};
+
+FinalState snapshot(vm::Vm &V, const elf::Image &Img) {
+  FinalState S{};
+  S.Rax = V.Core.Gpr[0];
+  S.Rcx = V.Core.Gpr[1];
+  S.Rdx = V.Core.Gpr[2];
+  EXPECT_TRUE(V.Mem.read64(Img.Segments[1].VAddr + 0x100, S.Mem0));
+  EXPECT_TRUE(V.Mem.read64(Img.Segments[1].VAddr + 0x200, S.Mem200));
+  S.Zf = V.Core.ZF;
+  S.Cf = V.Core.CF;
+  S.Sf = V.Core.SF;
+  return S;
+}
+
+bool operator==(const FinalState &A, const FinalState &B) {
+  return A.Rax == B.Rax && A.Rcx == B.Rcx && A.Rdx == B.Rdx &&
+         A.Mem0 == B.Mem0 && A.Mem200 == B.Mem200 && A.Zf == B.Zf &&
+         A.Cf == B.Cf && A.Sf == B.Sf;
+}
+
+} // namespace
+
+class PatchedExecution : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatchedExecution, HostileStreamSemanticsPreserved) {
+  PatchOptions Opts;
+  switch (GetParam()) {
+  case 0: // T2 path
+    break;
+  case 1: // T3 path
+    Opts.EnableT2 = false;
+    break;
+  default: // B0 path
+    Opts.ForceB0 = true;
+    break;
+  }
+
+  // Reference: run the original.
+  elf::Image Orig = makeImage(hostileStream(), NonPieBase);
+  vm::Vm VO;
+  {
+    auto L = vm::load(VO, Orig);
+    ASSERT_TRUE(L.isOk());
+    VO.Core.Gpr[3] = Orig.Segments[1].VAddr + 0x100;
+    VO.Core.Gpr[0] = Orig.Segments[1].VAddr + 0x200;
+    VO.Core.Gpr[1] = Orig.Segments[1].VAddr + 0x200;
+    VO.Core.Gpr[2] = 0x1122;
+    auto R = VO.run(1000);
+    ASSERT_EQ(R.Kind, vm::RunResult::Exit::Finished) << R.Error;
+  }
+  FinalState Ref = snapshot(VO, Orig);
+
+  // Patched: same stream, patch the first instruction.
+  PatchRun PR(hostileStream(), NonPieBase, 0, Opts);
+  ASSERT_NE(PR.Used, Tactic::Failed);
+  vm::Vm VP = prepareVm(PR.Img, *PR.P);
+  if (GetParam() == 2)
+    frontend::installB0Handler(VP, PR.P->b0Table());
+  auto R = VP.run(1000);
+  ASSERT_EQ(R.Kind, vm::RunResult::Exit::Finished) << R.Error;
+  EXPECT_TRUE(snapshot(VP, PR.Img) == Ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tactics, PatchedExecution,
+                         ::testing::Values(0, 1, 2));
+
+// Jump-target preservation: after T3, jumping straight at the *evicted
+// victim's address* must behave exactly as in the original program.
+TEST(Patcher, T3PreservesVictimJumpTarget) {
+  PatchOptions Opts;
+  Opts.EnableT2 = false;
+
+  auto SetUp = [](vm::Vm &V, const elf::Image &Img) {
+    // Jump directly to the victim (cmpl $77,-4(%rbx) at offset 6), as an
+    // indirect branch in the original program could.
+    V.Core.Rip = NonPieBase + 6;
+    ASSERT_TRUE(V.push64(vm::ExitAddress).isOk());
+    uint64_t Cell = Img.Segments[1].VAddr + 0x100;
+    V.Core.Gpr[3] = Cell + 4;                 // rbx: cmpl operand base
+    ASSERT_TRUE(V.Mem.writeInt(Cell, 4, 77).isOk());
+    V.Core.Gpr[0] = Cell + 0x40;              // rax: add operand
+    V.Core.Gpr[1] = 0;                        // rcx: identical baselines
+    V.Core.Gpr[2] = 0x1122;                   // rdx (dh = 0x11)
+  };
+
+  // Reference: original program entered at the victim address.
+  elf::Image Orig = makeImage(hostileStream(), NonPieBase);
+  vm::Vm VO;
+  {
+    auto L = vm::load(VO, Orig);
+    ASSERT_TRUE(L.isOk());
+  }
+  SetUp(VO, Orig);
+  auto RO = VO.run(1000);
+  ASSERT_EQ(RO.Kind, vm::RunResult::Exit::Finished) << RO.Error;
+  FinalState Ref = snapshot(VO, Orig);
+
+  // Patched program entered at the same (now JVictim) address.
+  PatchRun PR(hostileStream(), NonPieBase, 0, Opts);
+  ASSERT_EQ(PR.Used, Tactic::T3);
+  vm::Vm VP = prepareVm(PR.Img, *PR.P);
+  SetUp(VP, PR.Img);
+  auto RP = VP.run(1000);
+  ASSERT_EQ(RP.Kind, vm::RunResult::Exit::Finished) << RP.Error;
+  EXPECT_TRUE(snapshot(VP, PR.Img) == Ref)
+      << "evicted victim semantics lost";
+}
+
+// Reverse-order multi-site patching on the Figure 1 stream: patch both the
+// mov and the add; the add must be patched first (higher address) and the
+// mov's pun must then read the add's *new* bytes.
+TEST(Patcher, ReverseOrderPatchesBoth) {
+  elf::Image Img = makeImage(figure1(), PieBase, true);
+  auto Dis = frontend::linearDisassemble(Img);
+  PatchOptions Opts;
+  Patcher P(Img, Dis.Insns, Opts);
+  P.patchAll({PieBase + 0, PieBase + 3});
+  EXPECT_EQ(P.stats().NLoc, 2u);
+  EXPECT_EQ(P.stats().succPct(), 100.0);
+  // Both locations decode as (padded) jumps to their trampolines.
+  auto T = Img.textSegment()->Bytes;
+  Insn J1;
+  ASSERT_EQ(decode(T.data(), T.size(), PieBase, J1), DecodeStatus::Ok);
+  EXPECT_TRUE(J1.isJmpRel32());
+  Insn J2;
+  ASSERT_EQ(decode(T.data() + 3, T.size() - 3, PieBase + 3, J2),
+            DecodeStatus::Ok);
+  EXPECT_TRUE(J2.isJmpRel32());
+}
+
+TEST(Patcher, StatsPercentagesSum) {
+  elf::Image Img = makeImage(figure1(), PieBase, true);
+  auto Dis = frontend::linearDisassemble(Img);
+  Patcher P(Img, Dis.Insns, PatchOptions());
+  P.patchAll({PieBase + 0, PieBase + 3, PieBase + 7});
+  const PatchStats &S = P.stats();
+  double Total = S.pct(Tactic::B1) + S.pct(Tactic::B2) + S.pct(Tactic::T1) +
+                 S.pct(Tactic::T2) + S.pct(Tactic::T3) + S.pct(Tactic::B0) +
+                 S.pct(Tactic::Failed);
+  EXPECT_NEAR(Total, 100.0, 1e-9);
+}
+
+TEST(Patcher, PatchingUnknownAddressFails) {
+  elf::Image Img = makeImage(figure1(), PieBase, true);
+  auto Dis = frontend::linearDisassemble(Img);
+  Patcher P(Img, Dis.Insns, PatchOptions());
+  P.patchAll({PieBase + 1}); // mid-instruction: not a known location
+  EXPECT_EQ(P.stats().count(Tactic::Failed), 1u);
+}
+
+// The rescue case (paper §3.3): the T3 victim is itself a failed patch
+// location; JVictim then targets the victim's *patch* trampoline,
+// recovering its coverage. With exhaustive T1 padding the rescue is
+// subsumed by the victim's own attempts, so this scenario restricts the
+// tactic set (T1/T2 off) — the victim's lone B2 window (top pun byte
+// 0x99, negative) fails while the later site's JPatch/JVictim windows
+// (top bytes 0x50/0x58, positive) succeed.
+TEST(Patcher, T3RescuesFailedVictim) {
+  // off 0: mov %rax,(%rbx)       <- site A (patched second, lower addr)
+  // off 3: xchg x3 (pun-hostile 0x91)
+  // off 6: and $0xf,%rax         <- site V (patched first, fails)
+  // off 10: cdq; push %rax; pop %rax; ret
+  std::vector<uint8_t> Code = {0x48, 0x89, 0x03, 0x91, 0x91, 0x91, 0x48,
+                               0x83, 0xe0, 0x0f, 0x99, 0x50, 0x58, 0xc3};
+  PatchOptions Opts;
+  Opts.EnableT1 = false;
+  Opts.EnableT2 = false;
+
+  elf::Image Img = makeImage(Code, NonPieBase);
+  auto Dis = frontend::linearDisassemble(Img);
+  Patcher P(Img, Dis.Insns, Opts);
+  P.patchAll({NonPieBase + 0, NonPieBase + 6});
+
+  const PatchStats &S = P.stats();
+  EXPECT_EQ(S.NLoc, 2u);
+  EXPECT_EQ(S.Rescued, 1u) << "the failed victim must be rescued";
+  EXPECT_EQ(S.count(Tactic::Failed), 0u);
+  EXPECT_EQ(S.count(Tactic::T3), 2u) << "both sites credited to T3";
+
+  // Both sites report a trampoline now.
+  for (const PatchSiteResult &R : P.results()) {
+    EXPECT_EQ(R.Used, Tactic::T3);
+    EXPECT_NE(R.TrampolineAddr, 0u);
+  }
+
+  // Execute original vs patched from the entry; behaviour must match.
+  elf::Image Orig = makeImage(Code, NonPieBase);
+  vm::Vm VO;
+  {
+    auto L = vm::load(VO, Orig);
+    ASSERT_TRUE(L.isOk());
+  }
+  VO.Core.Gpr[3] = Orig.Segments[1].VAddr + 0x100;
+  VO.Core.Gpr[0] = Orig.Segments[1].VAddr + 0x200;
+  VO.Core.Gpr[1] = 0;
+  VO.Core.Gpr[2] = 0x1122;
+  auto RO = VO.run(1000);
+  ASSERT_EQ(RO.Kind, vm::RunResult::Exit::Finished) << RO.Error;
+  FinalState Ref = snapshot(VO, Orig);
+
+  vm::Vm VP = prepareVm(Img, P);
+  VP.Core.Gpr[3] = Img.Segments[1].VAddr + 0x100;
+  VP.Core.Gpr[0] = Img.Segments[1].VAddr + 0x200;
+  VP.Core.Gpr[1] = 0;
+  VP.Core.Gpr[2] = 0x1122;
+  auto RP = VP.run(1000);
+  ASSERT_EQ(RP.Kind, vm::RunResult::Exit::Finished) << RP.Error;
+  EXPECT_TRUE(snapshot(VP, Img) == Ref);
+
+  // Jump-target preservation for the rescued victim: entering at V runs
+  // its (now trampoline-implemented) patch semantics.
+  vm::Vm VV = prepareVm(Img, P);
+  VV.Core.Rip = NonPieBase + 6;
+  ASSERT_TRUE(VV.push64(vm::ExitAddress).isOk());
+  VV.Core.Gpr[0] = 0x12345;
+  auto RV = VV.run(1000);
+  ASSERT_EQ(RV.Kind, vm::RunResult::Exit::Finished) << RV.Error;
+  EXPECT_EQ(VV.Core.Gpr[0], 0x12345u & 0xf)
+      << "rescued victim's and-$0xf semantics lost";
+}

@@ -1,0 +1,120 @@
+//===- tests/printer_test.cpp - AT&T formatting tests ---------*- C++ -*-===//
+
+#include "x86/Printer.h"
+
+#include "x86/Decoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::x86;
+
+namespace {
+
+std::string fmt(std::vector<uint8_t> Bytes, uint64_t Addr = 0x401000) {
+  Insn I;
+  EXPECT_EQ(decode(Bytes.data(), Bytes.size(), Addr, I), DecodeStatus::Ok);
+  return formatInsn(I, Bytes.data());
+}
+
+} // namespace
+
+TEST(Printer, RegisterNames) {
+  EXPECT_EQ(regNameSized(0, 8, true), "rax");
+  EXPECT_EQ(regNameSized(0, 4, true), "eax");
+  EXPECT_EQ(regNameSized(0, 2, true), "ax");
+  EXPECT_EQ(regNameSized(0, 1, true), "al");
+  EXPECT_EQ(regNameSized(4, 1, true), "spl");
+  EXPECT_EQ(regNameSized(4, 1, false), "ah");
+  EXPECT_EQ(regNameSized(12, 8, true), "r12");
+  EXPECT_EQ(regNameSized(15, 1, true), "r15b");
+  EXPECT_EQ(regNameSized(9, 4, true), "r9d");
+}
+
+TEST(Printer, BasicMoves) {
+  EXPECT_EQ(fmt({0x48, 0x89, 0x03}), "mov %rax,(%rbx)");
+  EXPECT_EQ(fmt({0x48, 0x8b, 0x43, 0x08}), "mov 0x8(%rbx),%rax");
+  EXPECT_EQ(fmt({0x89, 0xd8}), "mov %ebx,%eax");
+  EXPECT_EQ(fmt({0x48, 0xb8, 1, 0, 0, 0, 0, 0, 0, 0}),
+            "movabs $0x1,%rax");
+  EXPECT_EQ(fmt({0xb8, 0x2a, 0, 0, 0}), "mov $0x2a,%eax");
+  EXPECT_EQ(fmt({0xc6, 0x41, 0x07, 0x01}), "movb $0x1,0x7(%rcx)");
+}
+
+TEST(Printer, Arithmetic) {
+  EXPECT_EQ(fmt({0x48, 0x01, 0xd8}), "add %rbx,%rax");
+  EXPECT_EQ(fmt({0x48, 0x83, 0xc0, 0x20}), "addq $0x20,%rax");
+  EXPECT_EQ(fmt({0x48, 0x29, 0xc8}), "sub %rcx,%rax");
+  EXPECT_EQ(fmt({0x83, 0x7b, 0xfc, 0x4d}), "cmpl $0x4d,-0x4(%rbx)");
+  EXPECT_EQ(fmt({0x48, 0x31, 0xc1}), "xor %rax,%rcx");
+  EXPECT_EQ(fmt({0x48, 0xf7, 0xd8}), "negq %rax");
+  EXPECT_EQ(fmt({0x48, 0x0f, 0xaf, 0xc3}), "imul %rbx,%rax");
+  EXPECT_EQ(fmt({0x48, 0xc1, 0xe0, 0x04}), "shlq $0x4,%rax");
+}
+
+TEST(Printer, StackAndFlags) {
+  EXPECT_EQ(fmt({0x55}), "push %rbp");
+  EXPECT_EQ(fmt({0x41, 0x54}), "push %r12");
+  EXPECT_EQ(fmt({0x5d}), "pop %rbp");
+  EXPECT_EQ(fmt({0x9c}), "pushfq");
+  EXPECT_EQ(fmt({0x9d}), "popfq");
+  EXPECT_EQ(fmt({0xc9}), "leave");
+}
+
+TEST(Printer, ControlFlow) {
+  EXPECT_EQ(fmt({0xe9, 0x0b, 0, 0, 0}), "jmpq 0x401010");
+  EXPECT_EQ(fmt({0xeb, 0x0e}), "jmp 0x401010");
+  EXPECT_EQ(fmt({0x74, 0x0e}), "je 0x401010");
+  EXPECT_EQ(fmt({0x0f, 0x85, 0x0a, 0, 0, 0}), "jne 0x401010");
+  EXPECT_EQ(fmt({0xe8, 0x0b, 0, 0, 0}), "callq 0x401010");
+  EXPECT_EQ(fmt({0xff, 0xd0}), "callq *%rax");
+  EXPECT_EQ(fmt({0xff, 0x25, 0, 0, 0, 0}), "jmpq *0x401006(%rip)");
+  EXPECT_EQ(fmt({0xc3}), "ret");
+  EXPECT_EQ(fmt({0xcc}), "int3");
+}
+
+TEST(Printer, PaddedPunnedJumpIsMarked) {
+  // The T1 encoding: redundant prefixes ahead of e9.
+  std::string S = fmt({0x48, 0x26, 0xe9, 0x00, 0x00, 0x00, 0x00});
+  EXPECT_NE(S.find("jmpq"), std::string::npos);
+  EXPECT_NE(S.find("(padded)"), std::string::npos);
+}
+
+TEST(Printer, MemoryOperandForms) {
+  EXPECT_EQ(fmt({0x48, 0x8d, 0x04, 0x8b}), "lea (%rbx,%rcx,4),%rax");
+  EXPECT_EQ(fmt({0x48, 0x8b, 0x04, 0x25, 0, 0x10, 0x60, 0}),
+            "mov 0x601000,%rax");
+  EXPECT_EQ(fmt({0x48, 0x8b, 0x05, 0x10, 0, 0, 0}),
+            "mov 0x401017(%rip),%rax");
+  EXPECT_EQ(fmt({0x43, 0x89, 0x0c, 0x06}), "mov %ecx,(%r14,%r8,1)");
+}
+
+TEST(Printer, ExtendedAndByteOps) {
+  EXPECT_EQ(fmt({0x0f, 0xb6, 0x06}), "movzbl (%rsi),%eax");
+  EXPECT_EQ(fmt({0x0f, 0x94, 0xc1}), "sete %cl");
+  EXPECT_EQ(fmt({0x48, 0x0f, 0x44, 0xc3}), "cmove %rbx,%rax");
+  EXPECT_EQ(fmt({0x40, 0x88, 0xf7}), "mov %sil,%dil");
+  EXPECT_EQ(fmt({0x88, 0xf7}), "mov %dh,%bh");
+  EXPECT_EQ(fmt({0xf0, 0x48, 0xff, 0x03}), "lock incq (%rbx)");
+}
+
+TEST(Printer, Group5AndMisc) {
+  EXPECT_EQ(fmt({0x48, 0xff, 0xc0}), "incq %rax");
+  EXPECT_EQ(fmt({0xff, 0xc9}), "decl %ecx");
+  EXPECT_EQ(fmt({0xff, 0x30}), "push (%rax)");
+  EXPECT_EQ(fmt({0x90}), "nop");
+  EXPECT_EQ(fmt({0x91}), "xchg %ecx,%eax");
+  EXPECT_EQ(fmt({0x0f, 0x0b}), "ud2");
+  EXPECT_EQ(fmt({0xf4}), "hlt");
+}
+
+TEST(Printer, UnknownFallsBackToBytes) {
+  std::string S = fmt({0x0f, 0xae, 0xe8}); // lfence
+  EXPECT_NE(S.find(".byte"), std::string::npos);
+  EXPECT_NE(S.find("0f ae e8"), std::string::npos);
+}
+
+TEST(Printer, NegativeImmediates) {
+  EXPECT_EQ(fmt({0x48, 0x83, 0xc0, 0xff}), "addq $-0x1,%rax");
+  EXPECT_EQ(fmt({0x48, 0x8b, 0x43, 0xf8}), "mov -0x8(%rbx),%rax");
+}

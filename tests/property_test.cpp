@@ -1,0 +1,304 @@
+//===- tests/property_test.cpp - randomized invariants --------*- C++ -*-===//
+//
+// Property-based tests of the whole pipeline: random patch subsets, dense
+// patching (limitation L3), determinism, structural invariants of the
+// rewritten image, mixed patched/unpatched images, and ELF reader
+// robustness against mutated inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Runtime.h"
+#include "frontend/Select.h"
+#include "vm/Hooks.h"
+#include "x86/Assembler.h"
+#include "lowfat/LowFat.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "vm/Loader.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+#include "x86/Decoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+namespace {
+
+WorkloadConfig cfg(uint64_t Seed, bool Pie = false) {
+  WorkloadConfig C;
+  C.Name = "prop";
+  C.Seed = Seed;
+  C.Pie = Pie;
+  C.NumFuncs = 8;
+  C.MainIters = 2;
+  return C;
+}
+
+RewriteOptions baseOpts() {
+  RewriteOptions O;
+  O.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  O.ExtraReserved.push_back(lowfat::heapReservation());
+  return O;
+}
+
+} // namespace
+
+// Random subsets of all instructions, patched with the Empty spec: every
+// successfully patched program must behave identically to the original.
+class RandomSubsetPatch : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSubsetPatch, SemanticsPreserved) {
+  Workload W = generateWorkload(cfg(GetParam()));
+  RunOutcome Ref = runImage(W.Image);
+  ASSERT_TRUE(Ref.ok()) << Ref.Result.Error;
+
+  DisasmResult D = linearDisassemble(W.Image);
+  Rng R(GetParam() * 7919 + 13);
+  std::vector<uint64_t> Locs;
+  for (const x86::Insn &I : D.Insns)
+    if (R.chance(25))
+      Locs.push_back(I.Address);
+  ASSERT_GT(Locs.size(), 20u);
+
+  auto Out = rewrite(W.Image, Locs, baseOpts());
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  RunOutcome Got = runImage(Out->Rewritten);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSubsetPatch,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+// Dense patching (limitation L3): patch *every* instruction. Tactic
+// interference caps coverage below 100%, but whatever got patched must
+// not change behaviour, and the engine must not corrupt anything.
+class DensePatch : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DensePatch, EverythingAtOnce) {
+  Workload W = generateWorkload(cfg(GetParam()));
+  RunOutcome Ref = runImage(W.Image);
+  ASSERT_TRUE(Ref.ok()) << Ref.Result.Error;
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectAll(D.Insns);
+  RewriteOptions O = baseOpts();
+  O.Patch.B0Fallback = true; // B0 fills the jump-tactic gaps
+  auto Out = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+
+  // L3 in action: jump tactics alone cannot cover everything.
+  size_t JumpPatched = Out->Stats.succeeded();
+  EXPECT_LT(JumpPatched, Locs.size());
+  // But with the B0 fallback the total reaches 100%.
+  EXPECT_EQ(Out->Stats.count(core::Tactic::Failed), 0u);
+
+  RunOutcome Got = runImage(Out->Rewritten);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensePatch, ::testing::Values(31, 32, 33));
+
+// Rewriting is deterministic: byte-identical output for identical input.
+TEST(Determinism, RewriteTwiceIsIdentical) {
+  Workload W = generateWorkload(cfg(41));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  auto A = rewrite(W.Image, Locs, baseOpts());
+  auto B = rewrite(W.Image, Locs, baseOpts());
+  ASSERT_TRUE(A.isOk());
+  ASSERT_TRUE(B.isOk());
+  EXPECT_EQ(elf::write(A->Rewritten), elf::write(B->Rewritten));
+}
+
+// Structural invariants of the rewritten image.
+TEST(Invariants, RewrittenImageIsWellFormed) {
+  Workload W = generateWorkload(cfg(42));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  auto Out = rewrite(W.Image, Locs, baseOpts());
+  ASSERT_TRUE(Out.isOk());
+
+  const elf::Image &Img = Out->Rewritten;
+  IntervalSet Mapped;
+  for (const elf::Segment &S : Img.Segments) {
+    EXPECT_FALSE(Mapped.overlaps(S.VAddr, S.endAddr()));
+    Mapped.insert(S.VAddr, S.endAddr());
+  }
+  for (const elf::Mapping &M : Img.Mappings) {
+    // Mappings never collide with segments or each other.
+    EXPECT_FALSE(Mapped.overlaps(M.VAddr, M.VAddr + M.Size))
+        << hex(M.VAddr);
+    Mapped.insert(M.VAddr, M.VAddr + M.Size);
+    EXPECT_LT(M.BlockIndex, Img.Blocks.size());
+    EXPECT_LE(M.Offset + M.Size, Img.Blocks[M.BlockIndex].Bytes.size());
+  }
+
+  // Every successfully patched site decodes as a jump over the original
+  // instruction footprint.
+  const elf::Segment *Text = Img.textSegment();
+  for (const core::PatchSiteResult &S : Out->Sites) {
+    if (S.Used == core::Tactic::Failed || S.Used == core::Tactic::B0)
+      continue;
+    const uint8_t *P = Text->Bytes.data() + (S.Addr - Text->VAddr);
+    x86::Insn I;
+    ASSERT_EQ(x86::decode(P, Text->Bytes.size() - (S.Addr - Text->VAddr),
+                          S.Addr, I),
+              x86::DecodeStatus::Ok);
+    EXPECT_TRUE(I.isJmpRel32() || I.isJmpRel8()) << hex(S.Addr);
+    if (S.Used != core::Tactic::T3) {
+      // Direct tactics: the jump targets the site's trampoline.
+      EXPECT_EQ(I.branchTarget(), S.TrampolineAddr) << hex(S.Addr);
+    }
+  }
+}
+
+// §5.1 mixing patched and non-patched code: an *unpatched* main
+// executable calls into a *rewritten* shared library through a function
+// pointer (the callback problem that breaks relocating rewriters).
+TEST(MixedImages, UnpatchedMainCallsPatchedLibrary) {
+  WorkloadConfig LibCfg = cfg(51);
+  LibCfg.BaseOverride = 0x7f1234561000ULL; // high "shared library" base
+  Workload Lib = generateWorkload(LibCfg);
+
+  // Rewrite only the library (A1, empty instrumentation).
+  DisasmResult D = linearDisassemble(Lib.Image);
+  auto Locs = selectJumps(D.Insns);
+  RewriteOptions O = baseOpts();
+  // The dynamic-linker neighbourhood below the base is unavailable.
+  O.ExtraReserved.push_back(
+      Interval{LibCfg.BaseOverride - (1ull << 31), LibCfg.BaseOverride});
+  auto Out = rewrite(Lib.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  ASSERT_EQ(Out->Stats.succPct(), 100.0);
+
+  // Unpatched main: call the library entry point via a register (a raw
+  // code pointer into patched code), then hlt.
+  x86::Assembler A(0x401000);
+  A.callAbsViaRax(Lib.Image.Entry);
+  A.raw({0xf4}); // hlt = clean exit
+  ASSERT_TRUE(A.resolveAll());
+  elf::Image Main;
+  Main.Entry = 0x401000;
+  elf::Segment Text;
+  Text.VAddr = 0x401000;
+  Text.Bytes = A.take();
+  Text.MemSize = Text.Bytes.size();
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Main.Segments.push_back(std::move(Text));
+
+  auto RunMixed = [&](const elf::Image &LibImage) -> uint64_t {
+    vm::Vm V;
+    lowfat::PlainHeap Heap;
+    lowfat::installPlainHeap(V, Heap);
+    auto L1 = vm::load(V, Main);
+    EXPECT_TRUE(L1.isOk()) << L1.reason();
+    vm::LoadOptions Secondary;
+    Secondary.SetupStack = false;
+    auto L2 = vm::load(V, LibImage, Secondary);
+    EXPECT_TRUE(L2.isOk()) << L2.reason();
+    auto R = V.run(10'000'000);
+    EXPECT_EQ(R.Kind, vm::RunResult::Exit::Finished) << R.Error;
+    return V.Core.Gpr[0];
+  };
+
+  uint64_t Ref = RunMixed(Lib.Image);
+  uint64_t Got = RunMixed(Out->Rewritten);
+  EXPECT_EQ(Ref, Got);
+}
+
+// ELF reader robustness: random mutations must never crash; they either
+// parse into some image or fail gracefully.
+class ElfFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ElfFuzz, MutatedFilesDontCrash) {
+  Workload W = generateWorkload(cfg(61));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Out = rewrite(W.Image, selectJumps(D.Insns), baseOpts());
+  ASSERT_TRUE(Out.isOk());
+  std::vector<uint8_t> Good = elf::write(Out->Rewritten);
+
+  Rng R(GetParam());
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::vector<uint8_t> Bytes = Good;
+    switch (R.below(3)) {
+    case 0: // flip random bytes
+      for (int K = 0; K != 8; ++K)
+        Bytes[R.below(Bytes.size())] = static_cast<uint8_t>(R.next());
+      break;
+    case 1: // truncate
+      Bytes.resize(R.below(Bytes.size()));
+      break;
+    default: // corrupt the header region specifically
+      for (int K = 0; K != 4; ++K)
+        Bytes[R.below(std::min<size_t>(Bytes.size(), 120))] =
+            static_cast<uint8_t>(R.next());
+      break;
+    }
+    auto Parsed = elf::read(Bytes); // must not crash/UB
+    if (Parsed.isOk()) {
+      // If it parsed, loading may still fail, but must not crash either.
+      vm::Vm V;
+      (void)vm::load(V, *Parsed);
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElfFuzz, ::testing::Values(71, 72, 73));
+
+// Rewriting a rewritten binary's *original* is stable across trampoline
+// kinds: all instrumentation kinds preserve behaviour on the same input.
+class AllTrampolineKinds
+    : public ::testing::TestWithParam<core::TrampolineKind> {};
+
+TEST_P(AllTrampolineKinds, PreserveBehaviour) {
+  Workload W = generateWorkload(cfg(81));
+  uint64_t CounterAddr = 0;
+  if (GetParam() == core::TrampolineKind::Counter)
+    CounterAddr = addCounterSegment(W.Image);
+  RunOutcome Ref = runImage(W.Image);
+  ASSERT_TRUE(Ref.ok()) << Ref.Result.Error;
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = GetParam() == core::TrampolineKind::LowFatCheck
+                  ? selectHeapWrites(D.Insns)
+                  : selectJumps(D.Insns);
+  RewriteOptions O = baseOpts();
+  O.Patch.Spec.Kind = GetParam();
+  O.Patch.Spec.CounterAddr = CounterAddr;
+  O.Patch.Spec.HookAddr = vm::HookLowFatCheck;
+  auto Out = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+
+  RunConfig RC;
+  // LowFatCheck needs its own heap; HookCall reuses the check hook as a
+  // generic callback, so it also needs the LowFat runtime registered.
+  RC.UseLowFat = GetParam() == core::TrampolineKind::LowFatCheck ||
+                 GetParam() == core::TrampolineKind::HookCall;
+  RunConfig RefRC = RC;
+  RunOutcome Ref2 = runImage(W.Image, RefRC);
+  RunOutcome Got = runImage(Out->Rewritten, RC);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref2.Rax);
+  // Counter instrumentation writes into its own (writable, checksummed)
+  // segment by design; program-visible memory is covered by Rax plus the
+  // other kinds' checksum equality.
+  if (GetParam() != core::TrampolineKind::Counter) {
+    EXPECT_EQ(Got.DataChecksum, Ref2.DataChecksum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllTrampolineKinds,
+                         ::testing::Values(core::TrampolineKind::Empty,
+                                           core::TrampolineKind::Counter,
+                                           core::TrampolineKind::HookCall,
+                                           core::TrampolineKind::LowFatCheck));

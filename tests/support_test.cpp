@@ -1,0 +1,258 @@
+//===- tests/support_test.cpp - support library unit tests ----*- C++ -*-===//
+
+#include "support/ByteBuffer.h"
+#include "support/Format.h"
+#include "support/IntervalSet.h"
+#include "support/Rng.h"
+#include "support/Status.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace e9;
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(Status, OkAndError) {
+  Status Ok = Status::ok();
+  EXPECT_TRUE(Ok.isOk());
+  EXPECT_TRUE(static_cast<bool>(Ok));
+  Status Err = Status::error("boom");
+  EXPECT_FALSE(Err.isOk());
+  EXPECT_EQ(Err.reason(), "boom");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> V(42);
+  ASSERT_TRUE(V.isOk());
+  EXPECT_EQ(*V, 42);
+  Result<int> E = Result<int>::error("nope");
+  ASSERT_FALSE(E.isOk());
+  EXPECT_EQ(E.reason(), "nope");
+}
+
+// --- ByteBuffer -----------------------------------------------------------------
+
+TEST(ByteBuffer, LittleEndianPush) {
+  ByteBuffer B;
+  B.push32(0x11223344);
+  ASSERT_EQ(B.size(), 4u);
+  EXPECT_EQ(B[0], 0x44);
+  EXPECT_EQ(B[1], 0x33);
+  EXPECT_EQ(B[2], 0x22);
+  EXPECT_EQ(B[3], 0x11);
+}
+
+TEST(ByteBuffer, Push64RoundTrip) {
+  ByteBuffer B;
+  B.push64(0xdeadbeefcafef00dULL);
+  EXPECT_EQ(B.read(0, 8), 0xdeadbeefcafef00dULL);
+}
+
+TEST(ByteBuffer, Patch32) {
+  ByteBuffer B;
+  B.push64(0);
+  B.patch32(2, 0xaabbccdd);
+  EXPECT_EQ(B.read(2, 4), 0xaabbccddu);
+  EXPECT_EQ(B[0], 0u);
+  EXPECT_EQ(B[6], 0u);
+}
+
+TEST(ByteBuffer, AlignTo) {
+  ByteBuffer B;
+  B.push8(1);
+  B.alignTo(8, 0xcc);
+  EXPECT_EQ(B.size(), 8u);
+  EXPECT_EQ(B[7], 0xcc);
+  B.alignTo(8);
+  EXPECT_EQ(B.size(), 8u);
+}
+
+// --- IntervalSet ------------------------------------------------------------------
+
+TEST(IntervalSet, InsertCoalesces) {
+  IntervalSet S;
+  S.insert(10, 20);
+  S.insert(20, 30); // adjacent: must merge
+  EXPECT_EQ(S.intervalCount(), 1u);
+  EXPECT_EQ(S.totalSize(), 20u);
+  S.insert(5, 12); // overlapping: must merge
+  EXPECT_EQ(S.intervalCount(), 1u);
+  EXPECT_EQ(S.totalSize(), 25u);
+}
+
+TEST(IntervalSet, InsertBridgesGaps) {
+  IntervalSet S;
+  S.insert(0, 10);
+  S.insert(20, 30);
+  S.insert(40, 50);
+  EXPECT_EQ(S.intervalCount(), 3u);
+  S.insert(5, 45);
+  EXPECT_EQ(S.intervalCount(), 1u);
+  EXPECT_EQ(S.totalSize(), 50u);
+}
+
+TEST(IntervalSet, ContainsAndOverlaps) {
+  IntervalSet S;
+  S.insert(100, 200);
+  EXPECT_TRUE(S.contains(100));
+  EXPECT_TRUE(S.contains(199));
+  EXPECT_FALSE(S.contains(200));
+  EXPECT_FALSE(S.contains(99));
+  EXPECT_TRUE(S.overlaps(150, 160));
+  EXPECT_TRUE(S.overlaps(50, 101));
+  EXPECT_TRUE(S.overlaps(199, 300));
+  EXPECT_FALSE(S.overlaps(200, 300));
+  EXPECT_FALSE(S.overlaps(0, 100));
+}
+
+TEST(IntervalSet, EraseSplits) {
+  IntervalSet S;
+  S.insert(0, 100);
+  S.erase(40, 60);
+  EXPECT_EQ(S.intervalCount(), 2u);
+  EXPECT_TRUE(S.contains(39));
+  EXPECT_FALSE(S.contains(40));
+  EXPECT_FALSE(S.contains(59));
+  EXPECT_TRUE(S.contains(60));
+  EXPECT_EQ(S.totalSize(), 80u);
+}
+
+TEST(IntervalSet, EraseAcrossMultiple) {
+  IntervalSet S;
+  S.insert(0, 10);
+  S.insert(20, 30);
+  S.insert(40, 50);
+  S.erase(5, 45);
+  EXPECT_EQ(S.totalSize(), 10u);
+  EXPECT_TRUE(S.contains(4));
+  EXPECT_FALSE(S.contains(5));
+  EXPECT_FALSE(S.contains(25));
+  EXPECT_FALSE(S.contains(44));
+  EXPECT_TRUE(S.contains(45));
+}
+
+TEST(IntervalSet, EraseExact) {
+  IntervalSet S;
+  S.insert(10, 20);
+  S.erase(10, 20);
+  EXPECT_EQ(S.intervalCount(), 0u);
+}
+
+TEST(IntervalSet, FindFreeGapBasic) {
+  IntervalSet S;
+  auto Gap = S.findFreeGap(Interval{100, 200}, 10);
+  ASSERT_TRUE(Gap.has_value());
+  EXPECT_EQ(*Gap, 100u);
+}
+
+TEST(IntervalSet, FindFreeGapSkipsUsed) {
+  IntervalSet S;
+  S.insert(100, 150);
+  auto Gap = S.findFreeGap(Interval{100, 200}, 10);
+  ASSERT_TRUE(Gap.has_value());
+  EXPECT_EQ(*Gap, 150u);
+}
+
+TEST(IntervalSet, FindFreeGapBetween) {
+  IntervalSet S;
+  S.insert(0, 100);
+  S.insert(120, 200);
+  auto Gap = S.findFreeGap(Interval{0, 200}, 20);
+  ASSERT_TRUE(Gap.has_value());
+  EXPECT_EQ(*Gap, 100u);
+  EXPECT_FALSE(S.findFreeGap(Interval{0, 200}, 21).has_value());
+}
+
+TEST(IntervalSet, FindFreeGapRespectsBound) {
+  IntervalSet S;
+  S.insert(100, 190);
+  EXPECT_FALSE(S.findFreeGap(Interval{100, 200}, 11).has_value());
+  auto Gap = S.findFreeGap(Interval{100, 201}, 11);
+  ASSERT_TRUE(Gap.has_value());
+  EXPECT_EQ(*Gap, 190u);
+}
+
+TEST(IntervalSet, FindFreeGapCursorInsideInterval) {
+  IntervalSet S;
+  S.insert(0, 150);
+  auto Gap = S.findFreeGap(Interval{100, 300}, 50);
+  ASSERT_TRUE(Gap.has_value());
+  EXPECT_EQ(*Gap, 150u);
+}
+
+TEST(IntervalSet, FindFreeGapZeroSize) {
+  IntervalSet S;
+  EXPECT_FALSE(S.findFreeGap(Interval{0, 100}, 0).has_value());
+}
+
+// Property: after random inserts and erases, contains() agrees with a
+// reference std::set of addresses.
+TEST(IntervalSet, RandomizedAgainstReference) {
+  Rng R(1234);
+  IntervalSet S;
+  std::set<uint32_t> Ref;
+  constexpr uint32_t Universe = 2000;
+  for (int Op = 0; Op != 300; ++Op) {
+    uint32_t Lo = static_cast<uint32_t>(R.below(Universe));
+    uint32_t Hi = Lo + static_cast<uint32_t>(R.below(50));
+    if (R.chance(70)) {
+      S.insert(Lo, Hi);
+      for (uint32_t A = Lo; A < Hi; ++A)
+        Ref.insert(A);
+    } else {
+      S.erase(Lo, Hi);
+      for (uint32_t A = Lo; A < Hi; ++A)
+        Ref.erase(A);
+    }
+  }
+  for (uint32_t A = 0; A != Universe + 60; ++A)
+    ASSERT_EQ(S.contains(A), Ref.count(A) != 0) << "address " << A;
+  EXPECT_EQ(S.totalSize(), Ref.size());
+}
+
+// Property: findFreeGap never returns a gap overlapping the set and always
+// respects the bound.
+TEST(IntervalSet, RandomizedFreeGapInvariants) {
+  Rng R(99);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    IntervalSet S;
+    for (int I = 0; I != 20; ++I) {
+      uint64_t Lo = R.below(10000);
+      S.insert(Lo, Lo + R.below(200) + 1);
+    }
+    Interval Bound{R.below(5000), 5000 + R.below(5000)};
+    uint64_t Size = R.below(300) + 1;
+    auto Gap = S.findFreeGap(Bound, Size);
+    if (!Gap.has_value())
+      continue;
+    EXPECT_GE(*Gap, Bound.Lo);
+    EXPECT_LE(*Gap + Size, Bound.Hi);
+    EXPECT_FALSE(S.overlaps(*Gap, *Gap + Size));
+  }
+}
+
+// --- Rng / Format -------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng A(7), B(7), C(8);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng R(42);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.range(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Format, Basic) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(hex(0xdeadULL), "0xdead");
+  std::vector<uint8_t> Bytes = {0xe9, 0x00, 0xff};
+  EXPECT_EQ(hexBytes(Bytes), "e9 00 ff");
+}

@@ -1,0 +1,118 @@
+//===- tests/tool_test.cpp - e9tool CLI end-to-end ------------*- C++ -*-===//
+//
+// Drives the e9tool binary through its full gen -> info -> disasm ->
+// rewrite -> run pipeline on real files, exactly as a user would.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef E9TOOL_PATH
+#define E9TOOL_PATH "e9tool"
+#endif
+
+std::string tmpPath(const char *Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+/// Runs e9tool with \p Args, capturing stdout; returns the exit code.
+int runTool(const std::string &Args, std::string &Output) {
+  std::string OutFile = tmpPath("e9tool_out.txt");
+  std::string Cmd =
+      std::string(E9TOOL_PATH) + " " + Args + " > " + OutFile + " 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  std::ifstream In(OutFile);
+  Output.assign(std::istreambuf_iterator<char>(In),
+                std::istreambuf_iterator<char>());
+  return Rc;
+}
+
+} // namespace
+
+TEST(Tool, FullPipeline) {
+  std::string Bin = tmpPath("tool_demo.elf");
+  std::string Patched = tmpPath("tool_demo.patched");
+  std::string Out;
+
+  ASSERT_EQ(runTool("gen " + Bin + " --seed=9 --funcs=8", Out), 0) << Out;
+  EXPECT_NE(Out.find("wrote"), std::string::npos);
+
+  ASSERT_EQ(runTool("info " + Bin, Out), 0) << Out;
+  EXPECT_NE(Out.find("segment text"), std::string::npos);
+
+  ASSERT_EQ(runTool("disasm " + Bin + " --limit=5", Out), 0) << Out;
+  EXPECT_NE(Out.find("push %rbp"), std::string::npos);
+
+  ASSERT_EQ(runTool("rewrite " + Bin + " " + Patched + " --select=jumps",
+                    Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("100.00% success"), std::string::npos) << Out;
+
+  ASSERT_EQ(runTool("info " + Patched, Out), 0) << Out;
+  EXPECT_NE(Out.find("rewritten:"), std::string::npos);
+
+  std::string RunOrig, RunPatched;
+  ASSERT_EQ(runTool("run " + Bin, RunOrig), 0) << RunOrig;
+  ASSERT_EQ(runTool("run " + Patched, RunPatched), 0) << RunPatched;
+  // Same observable result line ("result rax = ...").
+  auto ResultLine = [](const std::string &S) {
+    size_t P = S.find("result rax = ");
+    size_t E = S.find(',', P);
+    return S.substr(P, E - P);
+  };
+  EXPECT_EQ(ResultLine(RunOrig), ResultLine(RunPatched));
+}
+
+TEST(Tool, ForceB0RoundTrip) {
+  std::string Bin = tmpPath("tool_b0.elf");
+  std::string Patched = tmpPath("tool_b0.patched");
+  std::string Out;
+  ASSERT_EQ(runTool("gen " + Bin + " --seed=10 --funcs=6", Out), 0);
+  ASSERT_EQ(runTool("rewrite " + Bin + " " + Patched +
+                        " --select=heapwrites --force-b0",
+                    Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("B0"), std::string::npos);
+  // The B0 side table travels inside the file; run must succeed.
+  ASSERT_EQ(runTool("run " + Patched, Out), 0) << Out;
+  EXPECT_NE(Out.find("finished"), std::string::npos);
+}
+
+TEST(Tool, LowFatHardeningCatchesBug) {
+  std::string Bin = tmpPath("tool_bug.elf");
+  std::string Patched = tmpPath("tool_bug.patched");
+  std::string Out;
+  ASSERT_EQ(runTool("gen " + Bin + " --seed=11 --funcs=6 --bug", Out), 0);
+  // Unhardened: finishes despite the overflow.
+  ASSERT_EQ(runTool("run " + Bin, Out), 0) << Out;
+  // Hardened + lowfat heap: the overflow faults.
+  ASSERT_EQ(runTool("rewrite " + Bin + " " + Patched +
+                        " --select=heapwrites --tramp=lowfat",
+                    Out),
+            0)
+      << Out;
+  EXPECT_NE(runTool("run " + Patched + " --lowfat", Out), 0);
+  EXPECT_NE(Out.find("redzone"), std::string::npos) << Out;
+}
+
+TEST(Tool, BadInputsFailGracefully) {
+  std::string Out;
+  EXPECT_NE(runTool("info /nonexistent.elf", Out), 0);
+  EXPECT_NE(runTool("frobnicate", Out), 0);
+  EXPECT_NE(runTool("rewrite", Out), 0);
+  std::string NotElf = tmpPath("notelf.bin");
+  {
+    std::ofstream F(NotElf);
+    F << "hello";
+  }
+  EXPECT_NE(runTool("disasm " + NotElf, Out), 0);
+}

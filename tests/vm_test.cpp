@@ -1,0 +1,581 @@
+//===- tests/vm_test.cpp - VM memory/interpreter/loader tests -*- C++ -*-===//
+
+#include "vm/Loader.h"
+#include "vm/Memory.h"
+#include "vm/Vm.h"
+
+#include "x86/Assembler.h"
+#include "x86/Decoder.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::vm;
+using namespace e9::x86;
+
+namespace {
+
+constexpr uint64_t CodeBase = 0x401000;
+constexpr uint64_t DataBase = 0x601000;
+
+/// Builds a Vm with RWX-mapped code at CodeBase, RW data at DataBase and a
+/// small stack; points rip at the code and pushes the exit sentinel.
+struct TestVm {
+  Vm V;
+
+  explicit TestVm(const std::vector<uint8_t> &Code) {
+    // RWX so tests can poke extra code bytes after construction.
+    EXPECT_TRUE(
+        V.Mem.mapZero(CodeBase & ~PageMask, 0x4000, PermR | PermW | PermX));
+    EXPECT_TRUE(V.Mem.write(CodeBase, Code.data(), Code.size()));
+    EXPECT_TRUE(V.Mem.mapZero(DataBase, 0x2000, PermR | PermW));
+    EXPECT_TRUE(V.Mem.mapZero(0x7fff0000, 0x10000, PermR | PermW));
+    V.Core.rsp() = 0x7fff0000u + 0x10000 - 64;
+    EXPECT_TRUE(V.push64(ExitAddress));
+    V.Core.Rip = CodeBase;
+  }
+
+  RunResult run(uint64_t MaxInsns = 100000) { return V.run(MaxInsns); }
+};
+
+std::vector<uint8_t> assemble(void (*F)(Assembler &)) {
+  Assembler A(CodeBase);
+  F(A);
+  EXPECT_TRUE(A.resolveAll());
+  return A.take();
+}
+
+} // namespace
+
+// --- Memory ---------------------------------------------------------------
+
+TEST(Memory, MapAndRw) {
+  Memory M;
+  ASSERT_TRUE(M.mapZero(0x1000, 0x2000, PermR | PermW));
+  ASSERT_TRUE(M.write64(0x1ff8, 0xdeadbeef));
+  uint64_t V = 0;
+  ASSERT_TRUE(M.read64(0x1ff8, V));
+  EXPECT_EQ(V, 0xdeadbeefu);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory M;
+  ASSERT_TRUE(M.mapZero(0x1000, 0x2000, PermR | PermW));
+  ASSERT_TRUE(M.write64(0x1ffc, 0x1122334455667788ULL)); // spans two pages
+  uint64_t V = 0;
+  ASSERT_TRUE(M.read64(0x1ffc, V));
+  EXPECT_EQ(V, 0x1122334455667788ULL);
+}
+
+TEST(Memory, PermissionEnforcement) {
+  Memory M;
+  ASSERT_TRUE(M.mapZero(0x1000, 0x1000, PermR));
+  uint64_t V;
+  EXPECT_TRUE(M.read64(0x1000, V));
+  EXPECT_FALSE(M.write64(0x1000, 1));
+  uint8_t Buf[4];
+  EXPECT_EQ(M.fetch(0x1000, Buf, 4), 0u); // no PermX
+}
+
+TEST(Memory, UnmappedFails) {
+  Memory M;
+  uint64_t V;
+  EXPECT_FALSE(M.read64(0x5000, V));
+  EXPECT_FALSE(M.write64(0x5000, 1));
+  EXPECT_FALSE(M.isMapped(0x5000));
+}
+
+TEST(Memory, DoubleMapFails) {
+  Memory M;
+  ASSERT_TRUE(M.mapZero(0x1000, 0x1000, PermR));
+  EXPECT_FALSE(M.mapZero(0x1000, 0x1000, PermR));
+}
+
+TEST(Memory, SharedPhysPages) {
+  Memory M;
+  PhysPageRef P = allocPhysPage();
+  (*P)[0] = 0x42;
+  ASSERT_TRUE(M.mapPage(0x10000, P, PermR));
+  ASSERT_TRUE(M.mapPage(0x20000, P, PermR));
+  ASSERT_TRUE(M.mapPage(0x30000, allocPhysPage(), PermR));
+  EXPECT_EQ(M.mappedPageCount(), 3u);
+  EXPECT_EQ(M.uniquePhysPageCount(), 2u);
+  uint8_t B = 0;
+  ASSERT_TRUE(M.read(0x20000, &B, 1));
+  EXPECT_EQ(B, 0x42);
+}
+
+TEST(Memory, FetchStopsAtBoundary) {
+  Memory M;
+  ASSERT_TRUE(M.mapZero(0x1000, 0x1000, PermR | PermX));
+  uint8_t Buf[15];
+  EXPECT_EQ(M.fetch(0x1ffa, Buf, 15), 6u); // next page unmapped
+}
+
+// --- Interpreter: arithmetic, flags, control flow -----------------------------
+
+TEST(Vm, MovAndAdd) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RAX, 40);
+    A.movRegImm64(Reg::RBX, 2);
+    A.aluRegReg(OpSize::B64, Alu::Add, Reg::RAX, Reg::RBX);
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 42u);
+  EXPECT_EQ(R.InsnCount, 4u);
+}
+
+TEST(Vm, LoopSumsOneToTen) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm32(Reg::RAX, 0);
+    A.movRegImm32(Reg::RCX, 10);
+    auto Loop = A.createLabel();
+    A.bind(Loop);
+    A.aluRegReg(OpSize::B64, Alu::Add, Reg::RAX, Reg::RCX);
+    A.aluRegImm(OpSize::B64, Alu::Sub, Reg::RCX, 1);
+    A.jccLabel(Cond::NE, Loop);
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 55u);
+}
+
+TEST(Vm, MemoryLoadStore) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RBX, DataBase);
+    A.movRegImm32(Reg::RAX, 0x1234);
+    A.movMemReg(OpSize::B64, Mem::base(Reg::RBX, 16), Reg::RAX);
+    A.movRegMem(OpSize::B64, Reg::RCX, Mem::base(Reg::RBX, 16));
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[1], 0x1234u);
+}
+
+TEST(Vm, ByteAndWordOps) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RBX, DataBase);
+    A.movMemImm(OpSize::B8, Mem::base(Reg::RBX), -1);
+    A.movzxRegMem8(Reg::RAX, Mem::base(Reg::RBX));
+    A.movMemImm(OpSize::B16, Mem::base(Reg::RBX, 2), 0x1234);
+    A.movRegMem(OpSize::B16, Reg::RCX, Mem::base(Reg::RBX, 2));
+    A.ret();
+  }));
+  T.V.Core.Gpr[1] = 0xffffffffffffffffULL;
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 0xffu);
+  // 16-bit loads merge into the low word only.
+  EXPECT_EQ(T.V.Core.Gpr[1], 0xffffffffffff1234ULL);
+}
+
+TEST(Vm, ThirtyTwoBitWritesZeroExtend) {
+  TestVm T(assemble([](Assembler &A) {
+    A.aluRegReg(OpSize::B32, Alu::Xor, Reg::RAX, Reg::RAX);
+    A.ret();
+  }));
+  T.V.Core.Gpr[0] = 0xffffffffffffffffULL;
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 0u);
+}
+
+TEST(Vm, CallAndRet) {
+  TestVm T(assemble([](Assembler &A) {
+    auto Fn = A.createLabel();
+    A.callLabel(Fn);
+    A.aluRegImm(OpSize::B64, Alu::Add, Reg::RAX, 1);
+    A.ret();
+    A.bind(Fn);
+    A.movRegImm32(Reg::RAX, 10);
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 11u);
+}
+
+TEST(Vm, PushPopAndStack) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RAX, 7);
+    A.pushReg(Reg::RAX);
+    A.movRegImm64(Reg::RAX, 0);
+    A.popReg(Reg::RBX);
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[3], 7u);
+}
+
+TEST(Vm, PushfqPopfqRoundTrip) {
+  TestVm T(assemble([](Assembler &A) {
+    // Set ZF via xor, save flags, clobber them, restore, then branch on ZF.
+    A.aluRegReg(OpSize::B64, Alu::Xor, Reg::RAX, Reg::RAX); // ZF=1
+    A.pushfq();
+    A.aluRegImm(OpSize::B64, Alu::Add, Reg::RAX, 1); // ZF=0
+    A.popfq();
+    auto L = A.createLabel();
+    A.movRegImm32(Reg::RBX, 0);
+    A.jccLabel(Cond::E, L); // must be taken: ZF restored to 1
+    A.movRegImm32(Reg::RBX, 99);
+    A.bind(L);
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[3], 0u);
+}
+
+TEST(Vm, FlagConditions) {
+  // cmp 3, 5 -> B (unsigned below) and L (signed less) both taken.
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm32(Reg::RAX, 3);
+    A.aluRegImm(OpSize::B64, Alu::Cmp, Reg::RAX, 5);
+    A.movRegImm32(Reg::RBX, 0);
+    auto L1 = A.createLabel();
+    A.jccLabel(Cond::B, L1);
+    A.movRegImm32(Reg::RBX, 1);
+    A.bind(L1);
+    auto L2 = A.createLabel();
+    A.movRegImm32(Reg::RCX, 0);
+    A.jccLabel(Cond::L, L2);
+    A.movRegImm32(Reg::RCX, 1);
+    A.bind(L2);
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[3], 0u);
+  EXPECT_EQ(T.V.Core.Gpr[1], 0u);
+}
+
+TEST(Vm, SignedOverflowCondition) {
+  // INT64_MAX + 1 sets OF.
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RAX, 0x7fffffffffffffffULL);
+    A.aluRegImm(OpSize::B64, Alu::Add, Reg::RAX, 1);
+    A.movRegImm32(Reg::RBX, 0);
+    auto L = A.createLabel();
+    A.jccLabel(Cond::O, L);
+    A.movRegImm32(Reg::RBX, 1);
+    A.bind(L);
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[3], 0u);
+}
+
+TEST(Vm, ShiftAndImul) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm32(Reg::RAX, 3);
+    A.shiftRegImm(OpSize::B64, Shift::Shl, Reg::RAX, 4); // 48
+    A.movRegImm32(Reg::RBX, 5);
+    A.imulRegReg(Reg::RAX, Reg::RBX); // 240
+    A.shiftRegImm(OpSize::B64, Shift::Shr, Reg::RAX, 2); // 60
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 60u);
+}
+
+TEST(Vm, IncDecPreserveCF) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm32(Reg::RAX, 0);
+    A.aluRegImm(OpSize::B64, Alu::Sub, Reg::RAX, 1); // CF=1
+    A.incReg(Reg::RBX);                              // must keep CF
+    auto L = A.createLabel();
+    A.movRegImm32(Reg::RCX, 0);
+    A.jccLabel(Cond::B, L);
+    A.movRegImm32(Reg::RCX, 1);
+    A.bind(L);
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[1], 0u) << "CF lost across inc";
+}
+
+TEST(Vm, IndirectCallAndJmp) {
+  TestVm T(assemble([](Assembler &A) {
+    auto Fn = A.createLabel();
+    auto End = A.createLabel();
+    A.movRegImm64(Reg::R11, CodeBase + 64);
+    A.callReg(Reg::R11);
+    A.jmpLabel(End);
+    A.bind(Fn);
+    A.ret();
+    A.bind(End);
+    A.ret();
+  }));
+  // Place the callee at CodeBase + 64: mov rax, 5; ret.
+  Assembler Callee(CodeBase + 64);
+  Callee.movRegImm32(Reg::RAX, 5);
+  Callee.ret();
+  auto CB = Callee.take();
+  ASSERT_TRUE(T.V.Mem.write(CodeBase + 64, CB.data(), CB.size()));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 5u);
+}
+
+// Punned jumps: redundant prefixes ahead of e9 are executed correctly.
+TEST(Vm, PaddedJumpExecutes) {
+  // 48 26 e9 <rel32=2>: padded jmp skipping the next 2 bytes (ud2).
+  TestVm T({0x48, 0x26, 0xe9, 0x02, 0x00, 0x00, 0x00, 0x0f, 0x0b, 0xb8,
+            0x2a, 0x00, 0x00, 0x00, 0xc3});
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 42u);
+}
+
+// Overlapping instructions: jump lands inside another instruction's bytes
+// and the interpreter decodes from the new offset (the punning substrate).
+TEST(Vm, OverlappingDecodeFromMidInstruction) {
+  // 0x401000: eb 03          jmp 0x401005
+  // 0x401002: b8 05 b8 2a... the pun: jumping to 0x401005 decodes "b8 2a.."
+  TestVm T({0xeb, 0x03, 0xb8, 0x05, 0x00, 0xb8, 0x2a, 0x00, 0x00, 0x00,
+            0xc3});
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 42u);
+}
+
+TEST(Vm, Ud2Aborts) {
+  TestVm T(assemble([](Assembler &A) { A.ud2(); }));
+  auto R = T.run();
+  EXPECT_EQ(R.Kind, RunResult::Exit::Ud2);
+}
+
+TEST(Vm, FaultOnUnmappedExec) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RAX, 0x12345000);
+    A.jmpReg(Reg::RAX);
+  }));
+  auto R = T.run();
+  EXPECT_EQ(R.Kind, RunResult::Exit::Fault);
+}
+
+TEST(Vm, FaultOnUnmappedWrite) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RBX, 0x66660000);
+    A.movMemReg(OpSize::B64, Mem::base(Reg::RBX), Reg::RAX);
+    A.ret();
+  }));
+  auto R = T.run();
+  EXPECT_EQ(R.Kind, RunResult::Exit::Fault);
+}
+
+TEST(Vm, InsnLimit) {
+  // Infinite loop: jmp self.
+  TestVm T({0xeb, 0xfe});
+  auto R = T.run(1000);
+  EXPECT_EQ(R.Kind, RunResult::Exit::InsnLimit);
+  EXPECT_EQ(R.InsnCount, 1000u);
+}
+
+// --- Host hooks ------------------------------------------------------------------
+
+TEST(Vm, HostHookActsAsFunction) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RDI, 21);
+    A.callAbsViaRax(0x7e9f00000000ULL);
+    A.ret();
+  }));
+  T.V.registerHook(0x7e9f00000000ULL, [](Vm &V) {
+    V.Core.Gpr[0] = V.Core.Gpr[7] * 2; // rax = rdi * 2
+    return Status::ok();
+  });
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 42u);
+}
+
+TEST(Vm, FailingHookFaults) {
+  TestVm T(assemble([](Assembler &A) {
+    A.callAbsViaRax(0x7e9f00000000ULL);
+    A.ret();
+  }));
+  T.V.registerHook(0x7e9f00000000ULL,
+                   [](Vm &) { return Status::error("redzone violated"); });
+  auto R = T.run();
+  EXPECT_EQ(R.Kind, RunResult::Exit::Fault);
+  EXPECT_NE(R.Error.find("redzone violated"), std::string::npos);
+}
+
+TEST(Vm, HookCostAccounted) {
+  TestVm T(assemble([](Assembler &A) {
+    A.callAbsViaRax(0x7e9f00000000ULL);
+    A.ret();
+  }));
+  T.V.registerHook(
+      0x7e9f00000000ULL, [](Vm &) { return Status::ok(); }, 500);
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  // mov/call/ret + exit-ret = 4 instructions, +500 hook cost.
+  EXPECT_EQ(R.Cost, R.InsnCount + 500);
+}
+
+// --- int3 trap handling (B0 baseline) ------------------------------------------
+
+TEST(Vm, TrapHandlerEmulatesDisplacedInsn) {
+  // Program: int3 (patched "mov rax, 42"), ret.
+  TestVm T({0xcc, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0xc3});
+  // Side table: original bytes at 0x401000 were mov eax, 42 (5 bytes),
+  // padded with nops to 7.
+  std::vector<uint8_t> Orig = {0xb8, 0x2a, 0x00, 0x00, 0x00};
+  int Hits = 0;
+  T.V.setTrapHandler([&](Vm &V, uint64_t Addr) -> Status {
+    EXPECT_EQ(Addr, CodeBase);
+    ++Hits;
+    Insn I;
+    if (decode(Orig.data(), Orig.size(), Addr, I) != DecodeStatus::Ok)
+      return Status::error("bad side-table bytes");
+    Vm::ExecKind K;
+    if (Status S = V.execInsn(I, Orig.data(), K); !S)
+      return S;
+    // Skip the remaining nop padding to the next real instruction.
+    V.Core.Rip = Addr + 7;
+    return Status::ok();
+  });
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(Hits, 1);
+  EXPECT_EQ(T.V.Core.Gpr[0], 42u);
+  EXPECT_GE(R.Cost, T.V.Costs.TrapCost);
+}
+
+TEST(Vm, UnhandledInt3Faults) {
+  TestVm T({0xcc});
+  auto R = T.run();
+  EXPECT_EQ(R.Kind, RunResult::Exit::Fault);
+}
+
+// --- Loader ----------------------------------------------------------------------
+
+TEST(Loader, LoadsSegmentsAndRuns) {
+  elf::Image Img;
+  Img.Entry = 0x401000;
+  Assembler A(0x401000);
+  A.movRegImm64(Reg::RBX, 0x601000);
+  A.movMemImm(OpSize::B32, Mem::base(Reg::RBX), 7);
+  A.movRegMem(OpSize::B32, Reg::RAX, Mem::base(Reg::RBX));
+  A.ret();
+  elf::Segment Text;
+  Text.VAddr = 0x401000;
+  Text.Bytes = A.take();
+  Text.MemSize = Text.Bytes.size();
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Img.Segments.push_back(Text);
+  elf::Segment Bss;
+  Bss.VAddr = 0x601000;
+  Bss.MemSize = 0x1000; // no file bytes: pure .bss
+  Bss.Flags = elf::PF_R | elf::PF_W;
+  Img.Segments.push_back(Bss);
+
+  Vm V;
+  auto Stats = vm::load(V, Img);
+  ASSERT_TRUE(Stats.isOk()) << Stats.reason();
+  auto R = V.run(1000);
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(V.Core.Gpr[0], 7u);
+}
+
+TEST(Loader, SharedMappingsShareRam) {
+  elf::Image Img;
+  Img.Entry = 0x401000;
+  elf::Segment Text;
+  Text.VAddr = 0x401000;
+  Text.Bytes = {0xc3};
+  Text.MemSize = 1;
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Img.Segments.push_back(Text);
+
+  elf::PhysBlock B;
+  B.Bytes.assign(4096, 0x90);
+  B.Bytes[100] = 0xc3;
+  Img.Blocks.push_back(B);
+  // The same physical block mapped at three virtual pages.
+  for (uint64_t VA : {0x10000000ull, 0x20000000ull, 0x30000000ull})
+    Img.Mappings.push_back(
+        elf::Mapping{VA, 0, elf::PF_R | elf::PF_X, 0, 4096});
+
+  Vm V;
+  auto Stats = vm::load(V, Img);
+  ASSERT_TRUE(Stats.isOk()) << Stats.reason();
+  EXPECT_EQ(Stats->MappingCount, 3u);
+  EXPECT_EQ(Stats->SharedPhysPages, 1u);
+  uint8_t Byte = 0;
+  ASSERT_TRUE(V.Mem.read(0x20000064, &Byte, 1));
+  EXPECT_EQ(Byte, 0xc3);
+  // Executing inside a shared mapping works.
+  V.Core.Rip = 0x10000060;
+  auto R = V.run(100);
+  EXPECT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+}
+
+TEST(Loader, NonZeroMappingOverSegmentFails) {
+  elf::Image Img;
+  Img.Entry = 0x401000;
+  elf::Segment Text;
+  Text.VAddr = 0x401000;
+  Text.Bytes = {0xc3};
+  Text.MemSize = 1;
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Img.Segments.push_back(Text);
+  elf::PhysBlock B;
+  B.Bytes.assign(4096, 0x90); // real content colliding with the segment
+  Img.Blocks.push_back(B);
+  Img.Mappings.push_back(
+      elf::Mapping{0x401000, 0, elf::PF_R | elf::PF_X, 0, 4096});
+  Vm V;
+  EXPECT_FALSE(vm::load(V, Img).isOk());
+}
+
+TEST(Loader, ZeroMappingOverSegmentIsSkipped) {
+  // Coarse (M > 1) blocks may cover already-mapped pages with zero bytes;
+  // those pages are skipped rather than faulting the load.
+  elf::Image Img;
+  Img.Entry = 0x401000;
+  elf::Segment Text;
+  Text.VAddr = 0x401000;
+  Text.Bytes = {0xc3};
+  Text.MemSize = 1;
+  Text.Flags = elf::PF_R | elf::PF_X;
+  Img.Segments.push_back(Text);
+  elf::PhysBlock B;
+  B.Bytes.assign(2 * 4096, 0);
+  B.Bytes[4096] = 0xc3; // content only in the second page
+  Img.Blocks.push_back(B);
+  Img.Mappings.push_back(
+      elf::Mapping{0x401000, 0, elf::PF_R | elf::PF_X, 0, 2 * 4096});
+  Vm V;
+  auto Stats = vm::load(V, Img);
+  ASSERT_TRUE(Stats.isOk()) << Stats.reason();
+  uint8_t Byte = 0;
+  ASSERT_TRUE(V.Mem.read(0x402000, &Byte, 1));
+  EXPECT_EQ(Byte, 0xc3);
+}
+
+TEST(Vm, CmovAndSetcc) {
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm32(Reg::RAX, 1);
+    A.movRegImm32(Reg::RBX, 7);
+    A.aluRegImm(OpSize::B64, Alu::Cmp, Reg::RAX, 1); // ZF=1
+    // cmove rax, rbx  (0f 44 c3 with REX.W)
+    A.raw({0x48, 0x0f, 0x44, 0xc3});
+    // sete cl (0f 94 c1)
+    A.raw({0x0f, 0x94, 0xc1});
+    A.ret();
+  }));
+  auto R = T.run();
+  ASSERT_EQ(R.Kind, RunResult::Exit::Finished) << R.Error;
+  EXPECT_EQ(T.V.Core.Gpr[0], 7u);
+  EXPECT_EQ(T.V.Core.Gpr[1] & 0xff, 1u);
+}

@@ -1,0 +1,180 @@
+//===- tests/workload_test.cpp - generator and suite tests ----*- C++ -*-===//
+
+#include "workload/Gen.h"
+#include "workload/Run.h"
+#include "workload/Suite.h"
+
+#include "frontend/Disasm.h"
+#include "frontend/Select.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace e9;
+using namespace e9::workload;
+
+TEST(Generator, FunctionAddressesAreInstructionStarts) {
+  WorkloadConfig C;
+  C.Seed = 5;
+  C.NumFuncs = 10;
+  Workload W = generateWorkload(C);
+  auto D = frontend::linearDisassemble(W.Image);
+  ASSERT_EQ(W.FuncAddrs.size(), C.NumFuncs);
+  for (uint64_t F : W.FuncAddrs) {
+    bool Found = std::any_of(D.Insns.begin(), D.Insns.end(),
+                             [&](const x86::Insn &I) {
+                               return I.Address == F;
+                             });
+    EXPECT_TRUE(Found) << "function entry not on an instruction boundary";
+  }
+}
+
+TEST(Generator, FunctionTableMatchesFuncAddrs) {
+  WorkloadConfig C;
+  C.Seed = 6;
+  C.NumFuncs = 9;
+  Workload W = generateWorkload(C);
+  // Function table lives at DataBase + 0x400, 8 bytes per entry.
+  const elf::Segment *Data = W.Image.findSegment(W.DataBase);
+  ASSERT_NE(Data, nullptr);
+  for (size_t F = 0; F != W.FuncAddrs.size(); ++F) {
+    uint64_t V = 0;
+    for (unsigned B = 0; B != 8; ++B)
+      V |= static_cast<uint64_t>(Data->Bytes[0x400 + F * 8 + B]) << (8 * B);
+    EXPECT_EQ(V, W.FuncAddrs[F]);
+  }
+}
+
+TEST(Generator, LargeFunctionCountsDoNotCollideWithScratch) {
+  // Regression: 400 functions used to overflow the table into the
+  // scratch region, corrupting indirect-call targets at run time.
+  WorkloadConfig C;
+  C.Seed = 7;
+  C.NumFuncs = 400;
+  C.MainIters = 1;
+  Workload W = generateWorkload(C);
+  RunOutcome R = runImage(W.Image);
+  EXPECT_TRUE(R.ok()) << R.Result.Error;
+}
+
+TEST(Generator, BaseOverridePlacesImage) {
+  WorkloadConfig C;
+  C.Seed = 8;
+  C.BaseOverride = 0x7f0000001000ULL;
+  Workload W = generateWorkload(C);
+  EXPECT_EQ(W.TextBase, C.BaseOverride);
+  EXPECT_EQ(W.Image.Entry, C.BaseOverride);
+  RunOutcome R = runImage(W.Image);
+  EXPECT_TRUE(R.ok()) << R.Result.Error;
+}
+
+TEST(Generator, HeapBugSiteIsAHeapWrite) {
+  WorkloadConfig C;
+  C.Seed = 9;
+  C.HeapBug = true;
+  Workload W = generateWorkload(C);
+  ASSERT_NE(W.BugSiteAddr, 0u);
+  auto D = frontend::linearDisassemble(W.Image);
+  auto Locs = frontend::selectHeapWrites(D.Insns);
+  EXPECT_NE(std::find(Locs.begin(), Locs.end(), W.BugSiteAddr), Locs.end());
+}
+
+TEST(Generator, PieMovesLoadAddress) {
+  WorkloadConfig C;
+  C.Seed = 10;
+  C.Pie = true;
+  Workload W = generateWorkload(C);
+  EXPECT_GT(W.TextBase, 0x500000000000ULL);
+  EXPECT_TRUE(W.Image.Pie);
+  RunOutcome R = runImage(W.Image);
+  EXPECT_TRUE(R.ok()) << R.Result.Error;
+}
+
+TEST(Generator, BssPressureOnlyAffectsMemSize) {
+  WorkloadConfig C;
+  C.Seed = 11;
+  C.BssSize = 0x40000000; // 1 GiB of .bss
+  Workload W = generateWorkload(C);
+  const elf::Segment *Data = W.Image.findSegment(W.DataBase);
+  ASSERT_NE(Data, nullptr);
+  EXPECT_GE(Data->MemSize, C.BssSize);
+  EXPECT_LT(Data->fileSize(), 0x100000u); // file stays small
+  RunOutcome R = runImage(W.Image);
+  EXPECT_TRUE(R.ok()) << R.Result.Error;
+}
+
+TEST(Suite, SpecRowsAreWellFormedAndDistinct) {
+  auto S = specSuite();
+  ASSERT_EQ(S.size(), 28u); // the paper's SPEC2006 table rows
+  std::set<std::string> Names;
+  std::set<uint64_t> Seeds;
+  for (const SuiteEntry &E : S) {
+    Names.insert(E.Config.Name);
+    Seeds.insert(E.Config.Seed);
+    EXPECT_FALSE(E.Config.Pie) << "SPEC rows are non-PIE in the paper";
+  }
+  EXPECT_EQ(Names.size(), S.size());
+  EXPECT_EQ(Seeds.size(), S.size());
+}
+
+TEST(Suite, BssPressureRowsExist) {
+  auto S = specSuite();
+  bool FoundGamess = false, FoundZeusmp = false;
+  for (const SuiteEntry &E : S) {
+    if (E.Config.Name == "gamess") {
+      FoundGamess = true;
+      EXPECT_GT(E.Config.BssSize, 0x40000000u);
+    }
+    if (E.Config.Name == "zeusmp") {
+      FoundZeusmp = true;
+      EXPECT_GT(E.Config.BssSize, 0x40000000u);
+    }
+  }
+  EXPECT_TRUE(FoundGamess);
+  EXPECT_TRUE(FoundZeusmp);
+}
+
+TEST(Suite, BrowserRowsAreLargeAndPie) {
+  auto B = browserSuite();
+  ASSERT_EQ(B.size(), 3u);
+  EXPECT_TRUE(B[0].Config.Pie);  // Chrome
+  EXPECT_GT(B[0].Config.NumFuncs, 100u);
+  EXPECT_TRUE(B[2].SharedObject); // libxul.so
+}
+
+TEST(Suite, DomKernelsMatchFigure4) {
+  auto K = domKernels();
+  ASSERT_EQ(K.size(), 14u);
+  EXPECT_EQ(K[0].Name, "Attrib");
+  EXPECT_EQ(K[13].Name, "Traverse.jQuery");
+  for (const DomKernel &D : K) {
+    // FireFox flavour shifts weight from heap writes to compute.
+    EXPECT_LE(D.Firefox.HeapWritePct, D.Chrome.HeapWritePct);
+    RunOutcome R = runImage(generateWorkload(D.Chrome).Image);
+    EXPECT_TRUE(R.ok()) << D.Name << ": " << R.Result.Error;
+  }
+}
+
+TEST(Run, InsnLimitSurfaceAsFailure) {
+  WorkloadConfig C;
+  C.Seed = 12;
+  Workload W = generateWorkload(C);
+  RunConfig RC;
+  RC.MaxInsns = 10;
+  RunOutcome R = runImage(W.Image, RC);
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Run, ChecksumSeesDataWrites) {
+  WorkloadConfig A;
+  A.Seed = 13;
+  WorkloadConfig B;
+  B.Seed = 14;
+  RunOutcome RA = runImage(generateWorkload(A).Image);
+  RunOutcome RB = runImage(generateWorkload(B).Image);
+  ASSERT_TRUE(RA.ok());
+  ASSERT_TRUE(RB.ok());
+  EXPECT_NE(RA.DataChecksum, RB.DataChecksum)
+      << "different programs should leave different memory";
+}

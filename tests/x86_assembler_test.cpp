@@ -1,0 +1,419 @@
+//===- tests/x86_assembler_test.cpp - assembler + reloc tests -*- C++ -*-===//
+
+#include "x86/Assembler.h"
+#include "x86/Decoder.h"
+#include "x86/Reloc.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::x86;
+
+namespace {
+
+std::vector<uint8_t> asmOne(void (*F)(Assembler &), uint64_t Base = 0x1000) {
+  Assembler A(Base);
+  F(A);
+  EXPECT_TRUE(A.resolveAll());
+  return A.take();
+}
+
+/// Decodes the single instruction in \p Bytes, asserting success.
+Insn decOne(const std::vector<uint8_t> &Bytes, uint64_t Addr = 0x1000) {
+  Insn I;
+  EXPECT_EQ(decode(Bytes.data(), Bytes.size(), Addr, I), DecodeStatus::Ok);
+  EXPECT_EQ(I.Length, Bytes.size());
+  return I;
+}
+
+} // namespace
+
+TEST(Assembler, MovRegImm64) {
+  auto B = asmOne([](Assembler &A) {
+    A.movRegImm64(Reg::RAX, 0x1122334455667788ULL);
+  });
+  EXPECT_EQ(B, (std::vector<uint8_t>{0x48, 0xb8, 0x88, 0x77, 0x66, 0x55,
+                                     0x44, 0x33, 0x22, 0x11}));
+}
+
+TEST(Assembler, MovStoreViaRbx) {
+  auto B = asmOne([](Assembler &A) {
+    A.movMemReg(OpSize::B64, Mem::base(Reg::RBX), Reg::RAX);
+  });
+  EXPECT_EQ(B, (std::vector<uint8_t>{0x48, 0x89, 0x03}));
+}
+
+TEST(Assembler, AddImm8Form) {
+  auto B = asmOne([](Assembler &A) {
+    A.aluRegImm(OpSize::B64, Alu::Add, Reg::RAX, 0x20);
+  });
+  EXPECT_EQ(B, (std::vector<uint8_t>{0x48, 0x83, 0xc0, 0x20}));
+}
+
+TEST(Assembler, RspBaseForcesSib) {
+  auto B = asmOne([](Assembler &A) {
+    A.movRegMem(OpSize::B64, Reg::RAX, Mem::base(Reg::RSP, 8));
+  });
+  Insn I = decOne(B);
+  EXPECT_EQ(I.memBase(), Reg::RSP);
+  EXPECT_EQ(I.Disp, 8);
+}
+
+TEST(Assembler, RbpBaseUsesDisp8Zero) {
+  auto B = asmOne([](Assembler &A) {
+    A.movRegMem(OpSize::B64, Reg::RAX, Mem::base(Reg::RBP));
+  });
+  Insn I = decOne(B);
+  EXPECT_EQ(I.memBase(), Reg::RBP);
+  EXPECT_EQ(I.DispSize, 1);
+}
+
+TEST(Assembler, R13BaseUsesDisp8Zero) {
+  auto B = asmOne([](Assembler &A) {
+    A.movRegMem(OpSize::B64, Reg::RAX, Mem::base(Reg::R13));
+  });
+  Insn I = decOne(B);
+  EXPECT_EQ(I.memBase(), Reg::R13);
+  EXPECT_EQ(I.DispSize, 1);
+}
+
+TEST(Assembler, BaseIndexScale) {
+  auto B = asmOne([](Assembler &A) {
+    A.movRegMem(OpSize::B32, Reg::RDX, Mem::baseIndex(Reg::RBX, Reg::RCX, 4, 8));
+  });
+  Insn I = decOne(B);
+  EXPECT_EQ(I.memBase(), Reg::RBX);
+  EXPECT_EQ(I.memIndex(), Reg::RCX);
+  EXPECT_EQ(I.memScale(), 4);
+  EXPECT_EQ(I.Disp, 8);
+}
+
+TEST(Assembler, RipRelativeLea) {
+  auto B = asmOne([](Assembler &A) {
+    A.leaRegMem(Reg::RSI, Mem::ripRel(0x100));
+  });
+  Insn I = decOne(B, 0x4000);
+  EXPECT_TRUE(I.isRipRelative());
+  EXPECT_EQ(I.ripTarget(), 0x4000u + B.size() + 0x100);
+}
+
+TEST(Assembler, AbsoluteAddressing) {
+  auto B = asmOne([](Assembler &A) {
+    A.incMem(OpSize::B64, Mem::abs(0x200000));
+  });
+  Insn I = decOne(B);
+  EXPECT_EQ(I.memBase(), Reg::None);
+  EXPECT_EQ(I.Disp, 0x200000);
+  EXPECT_TRUE(I.writesMemOperand());
+}
+
+TEST(Assembler, JmpLabelForward) {
+  Assembler A(0x1000);
+  auto L = A.createLabel();
+  A.jmpLabel(L);
+  A.nops(3);
+  A.bind(L);
+  A.ret();
+  ASSERT_TRUE(A.resolveAll());
+  auto B = A.take();
+  Insn I;
+  ASSERT_EQ(decode(B.data(), B.size(), 0x1000, I), DecodeStatus::Ok);
+  EXPECT_TRUE(I.isJmpRel32());
+  EXPECT_EQ(I.branchTarget(), 0x1000u + 8);
+}
+
+TEST(Assembler, JccShortBackward) {
+  Assembler A(0x1000);
+  auto L = A.createLabel();
+  A.bind(L);
+  A.nop();
+  A.jccShortLabel(Cond::NE, L);
+  ASSERT_TRUE(A.resolveAll());
+  auto B = A.take();
+  Insn I;
+  ASSERT_EQ(decode(B.data() + 1, B.size() - 1, 0x1001, I), DecodeStatus::Ok);
+  EXPECT_TRUE(I.isJccRel8());
+  EXPECT_EQ(I.branchTarget(), 0x1000u);
+}
+
+TEST(Assembler, ShortJumpOutOfRangeFails) {
+  Assembler A(0x1000);
+  auto L = A.createLabel();
+  A.jmpShortLabel(L);
+  A.nops(200);
+  A.bind(L);
+  EXPECT_FALSE(A.resolveAll());
+}
+
+TEST(Assembler, UnboundLabelFails) {
+  Assembler A(0x1000);
+  auto L = A.createLabel();
+  A.jmpLabel(L);
+  EXPECT_FALSE(A.resolveAll());
+}
+
+TEST(Assembler, JmpAddrEncoding) {
+  Assembler A(0x400000);
+  A.jmpAddr(0x400000 + 5 + 0x20); // rel32 = 0x20
+  auto B = A.take();
+  EXPECT_EQ(B, (std::vector<uint8_t>{0xe9, 0x20, 0x00, 0x00, 0x00}));
+}
+
+TEST(Assembler, CallRegAndJmpReg) {
+  auto C = asmOne([](Assembler &A) { A.callReg(Reg::R11); });
+  Insn I = decOne(C);
+  EXPECT_TRUE(I.isIndirectCall());
+  auto J = asmOne([](Assembler &A) { A.jmpReg(Reg::RAX); });
+  Insn K = decOne(J);
+  EXPECT_TRUE(K.isIndirectJmp());
+}
+
+TEST(Assembler, JmpAnywhereShape) {
+  Assembler A(0x1000);
+  A.jmpAnywhere(0x123456789abcULL);
+  auto B = A.take();
+  EXPECT_EQ(B.size(), 14u);
+  EXPECT_EQ(B[0], 0x68); // push imm32
+  EXPECT_EQ(B.back(), 0xc3);
+}
+
+TEST(Assembler, ByteOpsForceRexForNewLowRegs) {
+  // mov sil, dil must carry a REX prefix (else it would be dh, bh).
+  auto B = asmOne([](Assembler &A) {
+    A.movRegReg(OpSize::B8, Reg::RSI, Reg::RDI);
+  });
+  EXPECT_EQ(B[0], 0x40);
+  Insn I = decOne(B);
+  EXPECT_TRUE(I.HasRex);
+}
+
+// --- Relocation of displaced instructions ----------------------------------
+
+TEST(Reloc, VerbatimCopy) {
+  std::vector<uint8_t> Bytes = {0x48, 0x89, 0x03}; // mov [rbx], rax
+  Insn I = decOne(Bytes, 0x1000);
+  ByteBuffer Out;
+  ASSERT_TRUE(relocateInsn(I, Bytes.data(), 0x99999000, Out));
+  EXPECT_EQ(Out.bytes(), Bytes);
+  EXPECT_EQ(relocatedSize(I), 3u);
+}
+
+TEST(Reloc, RipRelativeFixup) {
+  // mov rax, [rip + 0x10] at 0x1000; target = 0x1017.
+  std::vector<uint8_t> Bytes = {0x48, 0x8b, 0x05, 0x10, 0x00, 0x00, 0x00};
+  Insn I = decOne(Bytes, 0x1000);
+  ByteBuffer Out;
+  ASSERT_TRUE(relocateInsn(I, Bytes.data(), 0x2000, Out));
+  Insn J;
+  ASSERT_EQ(decode(Out.data(), Out.size(), 0x2000, J), DecodeStatus::Ok);
+  EXPECT_EQ(J.ripTarget(), 0x1017u);
+}
+
+TEST(Reloc, JccRel8Widens) {
+  std::vector<uint8_t> Bytes = {0x74, 0x10}; // je +0x10 at 0x1000 -> 0x1012
+  Insn I = decOne(Bytes, 0x1000);
+  EXPECT_EQ(relocatedSize(I), 6u);
+  ByteBuffer Out;
+  ASSERT_TRUE(relocateInsn(I, Bytes.data(), 0x5000, Out));
+  Insn J;
+  ASSERT_EQ(decode(Out.data(), Out.size(), 0x5000, J), DecodeStatus::Ok);
+  EXPECT_TRUE(J.isJccRel32());
+  EXPECT_EQ(J.cond(), Cond::E);
+  EXPECT_EQ(J.branchTarget(), 0x1012u);
+}
+
+TEST(Reloc, CallKeepsTarget) {
+  std::vector<uint8_t> Bytes = {0xe8, 0x00, 0x01, 0x00, 0x00};
+  Insn I = decOne(Bytes, 0x1000);
+  ByteBuffer Out;
+  ASSERT_TRUE(relocateInsn(I, Bytes.data(), 0x8000, Out));
+  Insn J;
+  ASSERT_EQ(decode(Out.data(), Out.size(), 0x8000, J), DecodeStatus::Ok);
+  EXPECT_TRUE(J.isCallRel32());
+  EXPECT_EQ(J.branchTarget(), I.branchTarget());
+}
+
+TEST(Reloc, OutOfRangeRipFails) {
+  std::vector<uint8_t> Bytes = {0x48, 0x8b, 0x05, 0x10, 0x00, 0x00, 0x00};
+  Insn I = decOne(Bytes, 0x1000);
+  ByteBuffer Out;
+  EXPECT_FALSE(relocateInsn(I, Bytes.data(), 0x7000000000ULL, Out));
+}
+
+TEST(Reloc, LoopFamilyEmulated) {
+  // loop (relative to 0x1000, target 0x1000) relocated to 0x2000.
+  std::vector<uint8_t> Loop = {0xe2, 0xfe};
+  Insn I = decOne(Loop, 0x1000);
+  EXPECT_EQ(relocatedSize(I), 11u);
+  ByteBuffer Out;
+  ASSERT_TRUE(relocateInsn(I, Loop.data(), 0x2000, Out));
+  EXPECT_EQ(Out.size(), 11u);
+  // Trailing jmp rel32 targets the original loop target.
+  Insn J;
+  ASSERT_EQ(decode(Out.data() + 6, Out.size() - 6, 0x2006, J),
+            DecodeStatus::Ok);
+  EXPECT_TRUE(J.isJmpRel32());
+  EXPECT_EQ(J.branchTarget(), 0x1000u);
+
+  // jrcxz gets the taken/over/target triple.
+  std::vector<uint8_t> Jrcxz = {0xe3, 0x10};
+  Insn K = decOne(Jrcxz, 0x1000);
+  EXPECT_EQ(relocatedSize(K), 9u);
+  ByteBuffer Out2;
+  ASSERT_TRUE(relocateInsn(K, Jrcxz.data(), 0x3000, Out2));
+  Insn T;
+  ASSERT_EQ(decode(Out2.data() + 4, Out2.size() - 4, 0x3004, T),
+            DecodeStatus::Ok);
+  EXPECT_EQ(T.branchTarget(), 0x1012u);
+
+  // loope/loopne carry the extra ZF test.
+  std::vector<uint8_t> Loope = {0xe1, 0x00};
+  Insn L = decOne(Loope, 0x1000);
+  EXPECT_EQ(relocatedSize(L), 13u);
+  ByteBuffer Out3;
+  ASSERT_TRUE(relocateInsn(L, Loope.data(), 0x4000, Out3));
+  EXPECT_EQ(Out3[6], 0x75); // jne skip
+}
+
+TEST(Reloc, LeaOfMemOperand) {
+  // cmpl $77, -4(%rbx): lea rdi, [rbx-4]
+  std::vector<uint8_t> Bytes = {0x83, 0x7b, 0xfc, 0x4d};
+  Insn I = decOne(Bytes, 0x1000);
+  ByteBuffer Out;
+  ASSERT_TRUE(encodeLeaOfMemOperand(I, Reg::RDI, 0x2000, Out));
+  Insn J;
+  ASSERT_EQ(decode(Out.data(), Out.size(), 0x2000, J), DecodeStatus::Ok);
+  EXPECT_EQ(J.Opcode, 0x8d);
+  EXPECT_EQ(J.memBase(), Reg::RBX);
+  EXPECT_EQ(J.Disp, -4);
+  EXPECT_EQ(J.reg(), static_cast<uint8_t>(Reg::RDI));
+  EXPECT_EQ(leaOfMemOperandSize(I), Out.size());
+}
+
+TEST(Reloc, LeaOfRipOperandRetargets) {
+  std::vector<uint8_t> Bytes = {0x48, 0x89, 0x05, 0x00, 0x02, 0x00, 0x00};
+  Insn I = decOne(Bytes, 0x1000); // mov [rip+0x200], rax -> 0x1207
+  ByteBuffer Out;
+  ASSERT_TRUE(encodeLeaOfMemOperand(I, Reg::RDI, 0x9000, Out));
+  Insn J;
+  ASSERT_EQ(decode(Out.data(), Out.size(), 0x9000, J), DecodeStatus::Ok);
+  EXPECT_EQ(J.ripTarget(), 0x1207u);
+  EXPECT_EQ(leaOfMemOperandSize(I), 7u);
+}
+
+TEST(Reloc, LeaOfRegisterOperandFails) {
+  std::vector<uint8_t> Bytes = {0x48, 0x01, 0xd8}; // add rax, rbx
+  Insn I = decOne(Bytes, 0x1000);
+  ByteBuffer Out;
+  EXPECT_FALSE(encodeLeaOfMemOperand(I, Reg::RDI, 0x2000, Out));
+}
+
+// --- Round-trip property: everything the assembler emits, the decoder
+// decodes back with identical length and operand structure. -----------------
+
+namespace {
+
+const Reg AllRegs[] = {Reg::RAX, Reg::RCX, Reg::RDX, Reg::RBX,
+                       Reg::RSP, Reg::RBP, Reg::RSI, Reg::RDI,
+                       Reg::R8,  Reg::R9,  Reg::R10, Reg::R11,
+                       Reg::R12, Reg::R13, Reg::R14, Reg::R15};
+
+Mem randomMem(Rng &R) {
+  Mem M;
+  switch (R.below(4)) {
+  case 0:
+    M = Mem::base(AllRegs[R.below(16)],
+                  static_cast<int32_t>(R.range(-0x2000, 0x2000)));
+    break;
+  case 1: {
+    Reg Index;
+    do
+      Index = AllRegs[R.below(16)];
+    while (Index == Reg::RSP);
+    M = Mem::baseIndex(AllRegs[R.below(16)], Index,
+                       static_cast<uint8_t>(1u << R.below(4)),
+                       static_cast<int32_t>(R.range(-128, 127)));
+    break;
+  }
+  case 2:
+    M = Mem::ripRel(static_cast<int32_t>(R.range(-0x10000, 0x10000)));
+    break;
+  default:
+    M = Mem::abs(static_cast<int32_t>(R.below(0x400000)));
+    break;
+  }
+  return M;
+}
+
+} // namespace
+
+class AssemblerRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AssemblerRoundTrip, RandomInstructionsDecode) {
+  Rng R(GetParam());
+  const OpSize Sizes[] = {OpSize::B8, OpSize::B16, OpSize::B32, OpSize::B64};
+  for (int Iter = 0; Iter != 400; ++Iter) {
+    Assembler A(0x400000);
+    OpSize S = Sizes[R.below(4)];
+    Reg Ra = AllRegs[R.below(16)];
+    Reg Rb = AllRegs[R.below(16)];
+    Alu Op = static_cast<Alu>(R.below(8));
+    bool ExpectMem = false;
+    bool ExpectWrite = false;
+    switch (R.below(10)) {
+    case 0:
+      A.movRegReg(S, Ra, Rb);
+      break;
+    case 1:
+      A.movMemReg(S, randomMem(R), Rb);
+      ExpectMem = ExpectWrite = true;
+      break;
+    case 2:
+      A.movRegMem(S, Ra, randomMem(R));
+      ExpectMem = true;
+      break;
+    case 3:
+      A.aluRegReg(S, Op, Ra, Rb);
+      break;
+    case 4:
+      A.aluMemReg(S, Op, randomMem(R), Rb);
+      ExpectMem = true;
+      ExpectWrite = Op != Alu::Cmp;
+      break;
+    case 5:
+      A.aluRegImm(S, Op, Ra, static_cast<int32_t>(R.range(-40000, 40000)));
+      break;
+    case 6:
+      A.leaRegMem(Ra, randomMem(R));
+      ExpectMem = true;
+      break;
+    case 7:
+      A.movMemImm(S, randomMem(R),
+                  static_cast<int32_t>(R.range(-100, 100)));
+      ExpectMem = ExpectWrite = true;
+      break;
+    case 8:
+      A.testRegReg(S, Ra, Rb);
+      break;
+    default:
+      A.shiftRegImm(S, static_cast<Shift>(R.chance(50) ? 4 : 5), Ra,
+                    static_cast<uint8_t>(R.below(32)));
+      break;
+    }
+    auto Bytes = A.take();
+    Insn I;
+    ASSERT_EQ(decode(Bytes.data(), Bytes.size(), 0x400000, I),
+              DecodeStatus::Ok)
+        << "bytes failed to decode on iter " << Iter;
+    ASSERT_EQ(I.Length, Bytes.size()) << "length mismatch on iter " << Iter;
+    EXPECT_EQ(I.hasMemOperand(), ExpectMem);
+    if (ExpectMem) {
+      EXPECT_EQ(I.writesMemOperand(), ExpectWrite);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 1337, 0xe9));

@@ -1,0 +1,391 @@
+//===- tests/x86_decoder_test.cpp - decoder unit tests --------*- C++ -*-===//
+
+#include "x86/Decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace e9;
+using namespace e9::x86;
+
+namespace {
+
+/// Decodes \p Bytes at \p Addr, asserting success.
+Insn dec(std::vector<uint8_t> Bytes, uint64_t Addr = 0x1000) {
+  Insn I;
+  DecodeStatus S = decode(Bytes.data(), Bytes.size(), Addr, I);
+  EXPECT_EQ(S, DecodeStatus::Ok);
+  return I;
+}
+
+DecodeStatus status(std::vector<uint8_t> Bytes) {
+  Insn I;
+  return decode(Bytes.data(), Bytes.size(), 0x1000, I);
+}
+
+} // namespace
+
+TEST(Decoder, Nop) {
+  Insn I = dec({0x90});
+  EXPECT_EQ(I.Length, 1);
+  EXPECT_FALSE(I.HasModRM);
+}
+
+TEST(Decoder, MovStore) {
+  // mov [rbx], rax
+  Insn I = dec({0x48, 0x89, 0x03});
+  EXPECT_EQ(I.Length, 3);
+  EXPECT_TRUE(I.HasRex);
+  EXPECT_TRUE(I.hasMemOperand());
+  EXPECT_EQ(I.memBase(), Reg::RBX);
+  EXPECT_EQ(I.memIndex(), Reg::None);
+  EXPECT_TRUE(I.writesMemOperand());
+  EXPECT_FALSE(I.readsMemOperand());
+}
+
+TEST(Decoder, AddImm8) {
+  // add rax, 0x20
+  Insn I = dec({0x48, 0x83, 0xc0, 0x20});
+  EXPECT_EQ(I.Length, 4);
+  EXPECT_EQ(I.ImmSize, 1);
+  EXPECT_EQ(I.Imm, 0x20);
+  EXPECT_EQ(I.mod(), 3u);
+  EXPECT_FALSE(I.hasMemOperand());
+}
+
+TEST(Decoder, JmpRel32) {
+  Insn I = dec({0xe9, 0x44, 0x33, 0x22, 0x11}, 0x400000);
+  EXPECT_EQ(I.Length, 5);
+  EXPECT_TRUE(I.isJmpRel32());
+  EXPECT_TRUE(I.isRelativeBranch());
+  EXPECT_EQ(I.Imm, 0x11223344);
+  EXPECT_EQ(I.branchTarget(), 0x400000u + 5 + 0x11223344);
+}
+
+TEST(Decoder, JmpRel8Negative) {
+  Insn I = dec({0xeb, 0xfe}, 0x2000);
+  EXPECT_EQ(I.Length, 2);
+  EXPECT_TRUE(I.isJmpRel8());
+  EXPECT_EQ(I.Imm, -2);
+  EXPECT_EQ(I.branchTarget(), 0x2000u); // self-loop
+}
+
+TEST(Decoder, JccRel8AndRel32) {
+  Insn Short = dec({0x74, 0x05}, 0x3000);
+  EXPECT_TRUE(Short.isJccRel8());
+  EXPECT_EQ(Short.cond(), Cond::E);
+  EXPECT_EQ(Short.branchTarget(), 0x3007u);
+
+  Insn Long = dec({0x0f, 0x85, 0x00, 0x01, 0x00, 0x00}, 0x3000);
+  EXPECT_EQ(Long.Length, 6);
+  EXPECT_TRUE(Long.isJccRel32());
+  EXPECT_EQ(Long.cond(), Cond::NE);
+  EXPECT_EQ(Long.branchTarget(), 0x3000u + 6 + 0x100);
+}
+
+TEST(Decoder, CallRel32) {
+  Insn I = dec({0xe8, 0xfb, 0xff, 0xff, 0xff}, 0x5000);
+  EXPECT_TRUE(I.isCallRel32());
+  EXPECT_EQ(I.branchTarget(), 0x5000u); // call to self start
+}
+
+TEST(Decoder, RipRelativeLoad) {
+  // mov rax, [rip + 0x10]
+  Insn I = dec({0x48, 0x8b, 0x05, 0x10, 0x00, 0x00, 0x00}, 0x7000);
+  EXPECT_EQ(I.Length, 7);
+  EXPECT_TRUE(I.isRipRelative());
+  EXPECT_EQ(I.memBase(), Reg::RIP);
+  EXPECT_EQ(I.ripTarget(), 0x7000u + 7 + 0x10);
+  EXPECT_EQ(I.DispOffset, 3);
+  EXPECT_EQ(I.DispSize, 4);
+}
+
+TEST(Decoder, SibWithDisp32) {
+  // mov rax, [rsp + 0xa0]
+  Insn I = dec({0x48, 0x8b, 0x84, 0x24, 0xa0, 0x00, 0x00, 0x00});
+  EXPECT_EQ(I.Length, 8);
+  EXPECT_TRUE(I.HasSIB);
+  EXPECT_EQ(I.memBase(), Reg::RSP);
+  EXPECT_EQ(I.memIndex(), Reg::None);
+  EXPECT_EQ(I.Disp, 0xa0);
+}
+
+TEST(Decoder, SibBaseIndexScale) {
+  // mov eax, [rbx + rcx*4 + 8]
+  Insn I = dec({0x8b, 0x44, 0x8b, 0x08});
+  EXPECT_EQ(I.Length, 4);
+  EXPECT_EQ(I.memBase(), Reg::RBX);
+  EXPECT_EQ(I.memIndex(), Reg::RCX);
+  EXPECT_EQ(I.memScale(), 4);
+  EXPECT_EQ(I.Disp, 8);
+}
+
+TEST(Decoder, ExtendedRegisters) {
+  // mov [r15], eax
+  Insn I = dec({0x41, 0x89, 0x07});
+  EXPECT_EQ(I.memBase(), Reg::R15);
+  EXPECT_TRUE(I.writesMemOperand());
+  // mov [r12], r13 (r12 base forces SIB)
+  Insn J = dec({0x4d, 0x89, 0x2c, 0x24});
+  EXPECT_EQ(J.Length, 4);
+  EXPECT_EQ(J.memBase(), Reg::R12);
+  EXPECT_EQ(J.reg(), 13u);
+}
+
+TEST(Decoder, MovImmToMemWord) {
+  // mov word [rax], 0x1234 (66 prefix shrinks the immediate)
+  Insn I = dec({0x66, 0xc7, 0x00, 0x34, 0x12});
+  EXPECT_EQ(I.Length, 5);
+  EXPECT_TRUE(I.OpSizeOverride);
+  EXPECT_EQ(I.ImmSize, 2);
+  EXPECT_EQ(I.Imm, 0x1234);
+  EXPECT_TRUE(I.writesMemOperand());
+}
+
+TEST(Decoder, MovAbs64) {
+  Insn I = dec({0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(I.Length, 10);
+  EXPECT_EQ(I.ImmSize, 8);
+  EXPECT_EQ(static_cast<uint64_t>(I.Imm), 0x0807060504030201ULL);
+}
+
+TEST(Decoder, MovImm32) {
+  Insn I = dec({0xb8, 0x44, 0x33, 0x22, 0x11});
+  EXPECT_EQ(I.Length, 5);
+  EXPECT_EQ(I.ImmSize, 4);
+}
+
+TEST(Decoder, Group3TestHasImm) {
+  // test eax, 0x11223344 (reg field 0 carries an immediate)
+  Insn I = dec({0xf7, 0xc0, 0x44, 0x33, 0x22, 0x11});
+  EXPECT_EQ(I.Length, 6);
+  EXPECT_EQ(I.ImmSize, 4);
+}
+
+TEST(Decoder, Group3NegHasNoImm) {
+  // neg eax (reg field 3 carries no immediate)
+  Insn I = dec({0xf7, 0xd8});
+  EXPECT_EQ(I.Length, 2);
+  EXPECT_EQ(I.ImmSize, 0);
+}
+
+TEST(Decoder, Group3TestByteMem) {
+  // test byte [rbx], 1
+  Insn I = dec({0xf6, 0x03, 0x01});
+  EXPECT_EQ(I.Length, 3);
+  EXPECT_EQ(I.ImmSize, 1);
+  EXPECT_FALSE(I.writesMemOperand());
+  EXPECT_TRUE(I.readsMemOperand());
+}
+
+TEST(Decoder, IndirectCallThroughRip) {
+  Insn I = dec({0xff, 0x15, 0x6f, 0x2a, 0x2a, 0x00});
+  EXPECT_EQ(I.Length, 6);
+  EXPECT_TRUE(I.isIndirectCall());
+  EXPECT_FALSE(I.writesMemOperand());
+}
+
+TEST(Decoder, IndirectCallReg) {
+  Insn I = dec({0x41, 0xff, 0xd3}); // call r11
+  EXPECT_EQ(I.Length, 3);
+  EXPECT_TRUE(I.isIndirectCall());
+}
+
+TEST(Decoder, IndirectJmpMem) {
+  Insn I = dec({0xff, 0x24, 0xc5, 0x00, 0x10, 0x40, 0x00});
+  EXPECT_EQ(I.Length, 7);
+  EXPECT_TRUE(I.isIndirectJmp());
+}
+
+TEST(Decoder, PushPop) {
+  EXPECT_EQ(dec({0x55}).Length, 1);      // push rbp
+  EXPECT_EQ(dec({0x41, 0x54}).Length, 2); // push r12
+  Insn I = dec({0x8f, 0x00});             // pop [rax]
+  EXPECT_TRUE(I.writesMemOperand());
+}
+
+TEST(Decoder, MovzxByte) {
+  Insn I = dec({0x0f, 0xb6, 0x06});
+  EXPECT_EQ(I.Length, 3);
+  EXPECT_EQ(I.Map, OpMap::Map0F);
+}
+
+TEST(Decoder, RetAndInt3) {
+  EXPECT_TRUE(dec({0xc3}).isRet());
+  EXPECT_TRUE(dec({0xcc}).isInt3());
+  Insn RetImm = dec({0xc2, 0x10, 0x00});
+  EXPECT_TRUE(RetImm.isRet());
+  EXPECT_EQ(RetImm.Length, 3);
+}
+
+TEST(Decoder, Enter) {
+  Insn I = dec({0xc8, 0x10, 0x00, 0x01});
+  EXPECT_EQ(I.Length, 4);
+}
+
+TEST(Decoder, Moffs) {
+  // mov rax, [moffs64]
+  Insn I = dec({0x48, 0xa1, 1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(I.Length, 10);
+}
+
+// A REX prefix not immediately preceding the opcode is ignored but still
+// consumes a byte — this is exactly the padded-jump (T1) encoding trick.
+TEST(Decoder, RexThenSegmentThenJmp) {
+  Insn I = dec({0x48, 0x26, 0xe9, 0x48, 0x83, 0xc0, 0x20});
+  EXPECT_EQ(I.Length, 7);
+  EXPECT_TRUE(I.isJmpRel32());
+  EXPECT_FALSE(I.HasRex) << "REX must be cancelled by the later prefix";
+  EXPECT_EQ(I.SegPrefix, 0x26);
+  EXPECT_EQ(I.Imm, 0x20c08348);
+}
+
+TEST(Decoder, RexImmediatelyBeforeJmp) {
+  Insn I = dec({0x48, 0xe9, 0x00, 0x00, 0x00, 0x00});
+  EXPECT_EQ(I.Length, 6);
+  EXPECT_TRUE(I.isJmpRel32());
+  EXPECT_TRUE(I.HasRex);
+  EXPECT_EQ(I.PrefixLength, 1);
+}
+
+TEST(Decoder, MultiPrefixPaddedJmp) {
+  Insn I = dec({0x2e, 0x3e, 0x48, 0xe9, 0x11, 0x22, 0x33, 0x44});
+  EXPECT_EQ(I.Length, 8);
+  EXPECT_TRUE(I.isJmpRel32());
+  EXPECT_EQ(I.SegPrefix, 0x3e);
+  EXPECT_EQ(I.PrefixLength, 3);
+}
+
+TEST(Decoder, LockCmpxchg) {
+  Insn I = dec({0xf0, 0x48, 0x0f, 0xb1, 0x0e});
+  EXPECT_EQ(I.Length, 5);
+  EXPECT_TRUE(I.LockPrefix);
+  EXPECT_TRUE(I.writesMemOperand());
+}
+
+TEST(Decoder, SseStoreAndLoad) {
+  Insn Load = dec({0x0f, 0x10, 0x07}); // movups xmm0, [rdi]
+  EXPECT_EQ(Load.Length, 3);
+  EXPECT_FALSE(Load.writesMemOperand());
+  Insn Store = dec({0x66, 0x0f, 0x7f, 0x07}); // movdqa [rdi], xmm0
+  EXPECT_EQ(Store.Length, 4);
+  EXPECT_TRUE(Store.writesMemOperand());
+}
+
+TEST(Decoder, SseWithRepPrefix) {
+  // movss xmm0, [rbx + rcx*4]
+  Insn I = dec({0xf3, 0x0f, 0x10, 0x04, 0x8b});
+  EXPECT_EQ(I.Length, 5);
+  EXPECT_EQ(I.RepPrefix, 0xf3);
+}
+
+TEST(Decoder, PshufdHasImm8) {
+  Insn I = dec({0x66, 0x0f, 0x70, 0xc1, 0x1b});
+  EXPECT_EQ(I.Length, 5);
+  EXPECT_EQ(I.ImmSize, 1);
+}
+
+TEST(Decoder, ThreeByteMaps) {
+  // pshufb xmm0, xmm1 (0F38)
+  Insn A = dec({0x66, 0x0f, 0x38, 0x00, 0xc1});
+  EXPECT_EQ(A.Length, 5);
+  EXPECT_EQ(A.Map, OpMap::Map0F38);
+  // palignr xmm0, xmm1, 8 (0F3A carries imm8)
+  Insn B = dec({0x66, 0x0f, 0x3a, 0x0f, 0xc1, 0x08});
+  EXPECT_EQ(B.Length, 6);
+  EXPECT_EQ(B.Map, OpMap::Map0F3A);
+  EXPECT_EQ(B.ImmSize, 1);
+}
+
+TEST(Decoder, Vex2Byte) {
+  // vmovups xmm0, [rcx]
+  Insn I = dec({0xc5, 0xf8, 0x10, 0x01});
+  EXPECT_EQ(I.Length, 4);
+  EXPECT_TRUE(I.HasVex);
+  EXPECT_EQ(I.Map, OpMap::Map0F);
+}
+
+TEST(Decoder, Vex3Byte) {
+  // vpshufb xmm0, xmm0, xmm1
+  Insn A = dec({0xc4, 0xe2, 0x79, 0x00, 0xc1});
+  EXPECT_EQ(A.Length, 5);
+  EXPECT_EQ(A.Map, OpMap::Map0F38);
+  // vpalignr xmm0, xmm0, xmm1, 8 (map3 imm8)
+  Insn B = dec({0xc4, 0xe3, 0x79, 0x0f, 0xc1, 0x08});
+  EXPECT_EQ(B.Length, 6);
+  EXPECT_EQ(B.ImmSize, 1);
+}
+
+TEST(Decoder, Evex) {
+  // vmovups zmm0, [rcx]
+  Insn I = dec({0x62, 0xf1, 0x7c, 0x48, 0x10, 0x01});
+  EXPECT_EQ(I.Length, 6);
+  EXPECT_TRUE(I.HasVex);
+}
+
+TEST(Decoder, MultiByteNop) {
+  // nopw cs:[rax+rax*1+0x0] — the classic 10-byte alignment nop.
+  Insn I = dec({0x66, 0x2e, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00});
+  EXPECT_EQ(I.Length, 10);
+}
+
+TEST(Decoder, InvalidOpcodes) {
+  EXPECT_EQ(status({0x06}), DecodeStatus::Invalid);
+  EXPECT_EQ(status({0x0e}), DecodeStatus::Invalid);
+  EXPECT_EQ(status({0x9a}), DecodeStatus::Invalid);
+  EXPECT_EQ(status({0xea}), DecodeStatus::Invalid);
+  EXPECT_EQ(status({0x0f, 0x04}), DecodeStatus::Invalid);
+}
+
+TEST(Decoder, Truncated) {
+  EXPECT_EQ(status({}), DecodeStatus::Truncated);
+  EXPECT_EQ(status({0x48}), DecodeStatus::Truncated);
+  EXPECT_EQ(status({0xe9, 0x00, 0x00}), DecodeStatus::Truncated);
+  EXPECT_EQ(status({0x48, 0x8b}), DecodeStatus::Truncated);
+  EXPECT_EQ(status({0x0f}), DecodeStatus::Truncated);
+}
+
+TEST(Decoder, TooLongIsInvalid) {
+  // Twelve segment prefixes + jmp rel32 = 17 bytes > 15.
+  std::vector<uint8_t> Bytes(12, 0x26);
+  Bytes.insert(Bytes.end(), {0xe9, 0, 0, 0, 0});
+  Insn I;
+  EXPECT_EQ(decode(Bytes.data(), Bytes.size(), 0, I), DecodeStatus::Invalid);
+}
+
+TEST(Decoder, ExactlyFifteenBytesIsOk) {
+  // Ten segment prefixes + jmp rel32 = 15 bytes.
+  std::vector<uint8_t> Bytes(10, 0x26);
+  Bytes.insert(Bytes.end(), {0xe9, 0x78, 0x56, 0x34, 0x12});
+  Insn I;
+  ASSERT_EQ(decode(Bytes.data(), Bytes.size(), 0, I), DecodeStatus::Ok);
+  EXPECT_EQ(I.Length, 15);
+  EXPECT_TRUE(I.isJmpRel32());
+  EXPECT_EQ(I.Imm, 0x12345678);
+}
+
+TEST(Decoder, DecodeLengthHelper) {
+  uint8_t Nop = 0x90;
+  EXPECT_EQ(decodeLength(&Nop, 1), 1u);
+  uint8_t Bad = 0x06;
+  EXPECT_EQ(decodeLength(&Bad, 1), 0u);
+}
+
+TEST(Decoder, AbsoluteSibNoBase) {
+  // mov eax, [0x601000] via SIB base=101 mod=00
+  Insn I = dec({0x8b, 0x04, 0x25, 0x00, 0x10, 0x60, 0x00});
+  EXPECT_EQ(I.Length, 7);
+  EXPECT_EQ(I.memBase(), Reg::None);
+  EXPECT_EQ(I.memIndex(), Reg::None);
+  EXPECT_EQ(I.Disp, 0x601000);
+}
+
+TEST(Decoder, BasePointerNeedsDisp) {
+  // mov rax, [rbp+0] must encode as mod=01 disp8=0
+  Insn I = dec({0x48, 0x8b, 0x45, 0x00});
+  EXPECT_EQ(I.Length, 4);
+  EXPECT_EQ(I.memBase(), Reg::RBP);
+  EXPECT_EQ(I.Disp, 0);
+  EXPECT_EQ(I.DispSize, 1);
+}

@@ -1,0 +1,282 @@
+//===- tools/e9tool.cpp - command-line front end ----------------*- C++ -*-===//
+//
+// The e9tool analog: generate, inspect, disassemble, rewrite and run
+// binaries from the command line.
+//
+//   e9tool gen <out.elf> [--seed=N] [--funcs=N] [--pie] [--bug]
+//   e9tool info <elf>
+//   e9tool disasm <elf> [--limit=N]
+//   e9tool rewrite <in> <out> [--select=jumps|heapwrites|all]
+//          [--tramp=empty|lowfat] [--no-t1] [--no-t2] [--no-t3]
+//          [--b0-fallback] [--force-b0] [--no-grouping] [--granularity=M]
+//   e9tool run <elf> [--lowfat] [--max-insns=N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "support/Format.h"
+#include "vm/Hooks.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+#include "x86/Printer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace e9;
+
+namespace {
+
+/// Tiny argv helper: --key=value and boolean --key flags.
+struct Args {
+  std::vector<std::string> Positional;
+  std::vector<std::pair<std::string, std::string>> Flags;
+
+  Args(int Argc, char **Argv, int Start) {
+    for (int I = Start; I < Argc; ++I) {
+      std::string A = Argv[I];
+      if (A.rfind("--", 0) == 0) {
+        size_t Eq = A.find('=');
+        if (Eq == std::string::npos)
+          Flags.emplace_back(A.substr(2), "");
+        else
+          Flags.emplace_back(A.substr(2, Eq - 2), A.substr(Eq + 1));
+      } else {
+        Positional.push_back(A);
+      }
+    }
+  }
+
+  bool has(const char *Key) const {
+    for (const auto &[K, V] : Flags)
+      if (K == Key)
+        return true;
+    return false;
+  }
+  std::string get(const char *Key, const char *Default = "") const {
+    for (const auto &[K, V] : Flags)
+      if (K == Key)
+        return V;
+    return Default;
+  }
+  uint64_t getInt(const char *Key, uint64_t Default) const {
+    std::string V = get(Key);
+    return V.empty() ? Default : std::strtoull(V.c_str(), nullptr, 0);
+  }
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: e9tool <command> ...\n"
+      "  gen <out.elf> [--seed=N] [--funcs=N] [--pie] [--bug]\n"
+      "  info <elf>\n"
+      "  disasm <elf> [--limit=N]\n"
+      "  rewrite <in> <out> [--select=jumps|heapwrites|all]\n"
+      "          [--tramp=empty|lowfat] [--no-t1] [--no-t2] [--no-t3]\n"
+      "          [--b0-fallback] [--force-b0] [--no-grouping]\n"
+      "          [--granularity=M]\n"
+      "  run <elf> [--lowfat] [--max-insns=N]\n");
+  return 2;
+}
+
+Result<elf::Image> loadInput(const std::string &Path) {
+  return elf::readFile(Path);
+}
+
+int cmdGen(const Args &A) {
+  if (A.Positional.empty())
+    return usage();
+  workload::WorkloadConfig C;
+  C.Name = A.get("name", "generated");
+  C.Seed = A.getInt("seed", 1);
+  C.NumFuncs = static_cast<unsigned>(A.getInt("funcs", 12));
+  C.Pie = A.has("pie");
+  C.HeapBug = A.has("bug");
+  C.MainIters = static_cast<unsigned>(A.getInt("iters", 5));
+  workload::Workload W = workload::generateWorkload(C);
+  if (Status S = elf::writeFile(W.Image, A.Positional[0]); !S) {
+    std::fprintf(stderr, "error: %s\n", S.reason().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu code bytes, entry %s%s\n",
+              A.Positional[0].c_str(), W.Image.textSegment()->Bytes.size(),
+              hex(W.Image.Entry).c_str(),
+              C.HeapBug ? " (heap overflow planted)" : "");
+  return 0;
+}
+
+int cmdInfo(const Args &A) {
+  if (A.Positional.empty())
+    return usage();
+  auto Img = loadInput(A.Positional[0]);
+  if (!Img.isOk()) {
+    std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
+    return 1;
+  }
+  std::printf("%s: %s, entry %s\n", A.Positional[0].c_str(),
+              Img->Pie ? "PIE/shared" : "executable",
+              hex(Img->Entry).c_str());
+  for (const elf::Segment &S : Img->Segments)
+    std::printf("  segment %-8s vaddr %s, file %llu, mem %llu, %c%c%c\n",
+                S.Name.c_str(), hex(S.VAddr).c_str(),
+                (unsigned long long)S.fileSize(),
+                (unsigned long long)S.MemSize,
+                (S.Flags & elf::PF_R) ? 'r' : '-',
+                (S.Flags & elf::PF_W) ? 'w' : '-',
+                (S.Flags & elf::PF_X) ? 'x' : '-');
+  if (!Img->Blocks.empty()) {
+    uint64_t Phys = 0;
+    for (const elf::PhysBlock &B : Img->Blocks)
+      Phys += B.Bytes.size();
+    std::printf("  rewritten: %zu phys blocks (%llu bytes), %zu mappings, "
+                "%zu B0 sites\n",
+                Img->Blocks.size(), (unsigned long long)Phys,
+                Img->Mappings.size(), Img->B0Sites.size());
+  }
+  return 0;
+}
+
+int cmdDisasm(const Args &A) {
+  if (A.Positional.empty())
+    return usage();
+  auto Img = loadInput(A.Positional[0]);
+  if (!Img.isOk()) {
+    std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
+    return 1;
+  }
+  frontend::DisasmResult D = frontend::linearDisassemble(*Img);
+  uint64_t Limit = A.getInt("limit", D.Insns.size());
+  const elf::Segment *Text = Img->textSegment();
+  for (size_t I = 0; I != D.Insns.size() && I < Limit; ++I) {
+    const x86::Insn &In = D.Insns[I];
+    const uint8_t *Bytes = Text->Bytes.data() + (In.Address - Text->VAddr);
+    std::printf("%12llx:  %-30s %s\n", (unsigned long long)In.Address,
+                hexBytes(Bytes, In.Length).c_str(),
+                x86::formatInsn(In, Bytes).c_str());
+  }
+  if (D.UndecodableBytes)
+    std::printf("(%zu undecodable bytes skipped)\n", D.UndecodableBytes);
+  return 0;
+}
+
+int cmdRewrite(const Args &A) {
+  if (A.Positional.size() < 2)
+    return usage();
+  auto Img = loadInput(A.Positional[0]);
+  if (!Img.isOk()) {
+    std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
+    return 1;
+  }
+
+  frontend::DisasmResult D = frontend::linearDisassemble(*Img);
+  std::string Select = A.get("select", "jumps");
+  std::vector<uint64_t> Locs;
+  if (Select == "jumps")
+    Locs = frontend::selectJumps(D.Insns);
+  else if (Select == "heapwrites")
+    Locs = frontend::selectHeapWrites(D.Insns);
+  else if (Select == "all")
+    Locs = frontend::selectAll(D.Insns);
+  else {
+    std::fprintf(stderr, "error: unknown --select=%s\n", Select.c_str());
+    return 2;
+  }
+
+  frontend::RewriteOptions Opts;
+  std::string Tramp = A.get("tramp", "empty");
+  if (Tramp == "lowfat") {
+    Opts.Patch.Spec.Kind = core::TrampolineKind::LowFatCheck;
+    Opts.Patch.Spec.HookAddr = vm::HookLowFatCheck;
+  } else if (Tramp == "empty") {
+    Opts.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  } else {
+    std::fprintf(stderr, "error: unknown --tramp=%s\n", Tramp.c_str());
+    return 2;
+  }
+  Opts.Patch.EnableT1 = !A.has("no-t1");
+  Opts.Patch.EnableT2 = !A.has("no-t2");
+  Opts.Patch.EnableT3 = !A.has("no-t3");
+  Opts.Patch.B0Fallback = A.has("b0-fallback");
+  Opts.Patch.ForceB0 = A.has("force-b0");
+  Opts.Grouping.Enabled = !A.has("no-grouping");
+  Opts.Grouping.M = static_cast<unsigned>(A.getInt("granularity", 1));
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+
+  auto Out = frontend::rewrite(*Img, Locs, Opts);
+  if (!Out.isOk()) {
+    std::fprintf(stderr, "error: %s\n", Out.reason().c_str());
+    return 1;
+  }
+  if (Status S = elf::writeFile(Out->Rewritten, A.Positional[1]); !S) {
+    std::fprintf(stderr, "error: %s\n", S.reason().c_str());
+    return 1;
+  }
+  const core::PatchStats &St = Out->Stats;
+  std::printf("%s -> %s\n", A.Positional[0].c_str(),
+              A.Positional[1].c_str());
+  std::printf("  locations %zu: B1 %zu, B2 %zu, T1 %zu, T2 %zu, T3 %zu, "
+              "B0 %zu, failed %zu (%.2f%% success)\n",
+              St.NLoc, St.count(core::Tactic::B1),
+              St.count(core::Tactic::B2), St.count(core::Tactic::T1),
+              St.count(core::Tactic::T2), St.count(core::Tactic::T3),
+              St.count(core::Tactic::B0), St.count(core::Tactic::Failed),
+              St.succPct());
+  std::printf("  file %llu -> %llu bytes (%.2f%%), %zu mappings, "
+              "%llu phys bytes\n",
+              (unsigned long long)Out->OrigFileSize,
+              (unsigned long long)Out->NewFileSize, Out->sizePct(),
+              Out->Grouping.MappingCount,
+              (unsigned long long)Out->Grouping.PhysBytes);
+  return 0;
+}
+
+int cmdRun(const Args &A) {
+  if (A.Positional.empty())
+    return usage();
+  auto Img = loadInput(A.Positional[0]);
+  if (!Img.isOk()) {
+    std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
+    return 1;
+  }
+  workload::RunConfig RC;
+  RC.UseLowFat = A.has("lowfat");
+  RC.MaxInsns = A.getInt("max-insns", 100'000'000);
+  workload::RunOutcome R = workload::runImage(*Img, RC);
+  std::printf("%s: %s\n", A.Positional[0].c_str(),
+              R.ok() ? "finished" : R.Result.Error.c_str());
+  std::printf("  result rax = 0x%llx, %llu instructions, cost %llu\n",
+              (unsigned long long)R.Rax,
+              (unsigned long long)R.Result.InsnCount,
+              (unsigned long long)R.Result.Cost);
+  if (RC.UseLowFat)
+    std::printf("  lowfat violations: %llu\n",
+                (unsigned long long)R.LowFatViolations);
+  return R.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  Args A(Argc, Argv, 2);
+  if (Cmd == "gen")
+    return cmdGen(A);
+  if (Cmd == "info")
+    return cmdInfo(A);
+  if (Cmd == "disasm")
+    return cmdDisasm(A);
+  if (Cmd == "rewrite")
+    return cmdRewrite(A);
+  if (Cmd == "run")
+    return cmdRun(A);
+  return usage();
+}
