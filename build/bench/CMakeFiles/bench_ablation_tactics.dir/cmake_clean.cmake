@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tactics.dir/bench_ablation_tactics.cpp.o"
+  "CMakeFiles/bench_ablation_tactics.dir/bench_ablation_tactics.cpp.o.d"
+  "bench_ablation_tactics"
+  "bench_ablation_tactics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tactics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b0_signal.dir/bench_b0_signal.cpp.o"
+  "CMakeFiles/bench_b0_signal.dir/bench_b0_signal.cpp.o.d"
+  "bench_b0_signal"
+  "bench_b0_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b0_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

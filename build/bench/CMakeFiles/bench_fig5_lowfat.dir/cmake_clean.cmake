@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lowfat.dir/bench_fig5_lowfat.cpp.o"
+  "CMakeFiles/bench_fig5_lowfat.dir/bench_fig5_lowfat.cpp.o.d"
+  "bench_fig5_lowfat"
+  "bench_fig5_lowfat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lowfat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pie_vs_nonpie.dir/bench_pie_vs_nonpie.cpp.o"
+  "CMakeFiles/bench_pie_vs_nonpie.dir/bench_pie_vs_nonpie.cpp.o.d"
+  "bench_pie_vs_nonpie"
+  "bench_pie_vs_nonpie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pie_vs_nonpie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pie_vs_nonpie.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_heapwrites.dir/bench_table1_heapwrites.cpp.o"
+  "CMakeFiles/bench_table1_heapwrites.dir/bench_table1_heapwrites.cpp.o.d"
+  "bench_table1_heapwrites"
+  "bench_table1_heapwrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_heapwrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

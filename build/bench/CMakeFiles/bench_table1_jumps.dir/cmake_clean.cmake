@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_jumps.dir/bench_table1_jumps.cpp.o"
+  "CMakeFiles/bench_table1_jumps.dir/bench_table1_jumps.cpp.o.d"
+  "bench_table1_jumps"
+  "bench_table1_jumps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_jumps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

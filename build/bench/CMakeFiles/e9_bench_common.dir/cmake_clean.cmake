@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_bench_common.dir/Common.cpp.o"
+  "CMakeFiles/e9_bench_common.dir/Common.cpp.o.d"
+  "libe9_bench_common.a"
+  "libe9_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

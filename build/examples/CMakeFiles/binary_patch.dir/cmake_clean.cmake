@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_patch.dir/binary_patch.cpp.o"
+  "CMakeFiles/binary_patch.dir/binary_patch.cpp.o.d"
+  "binary_patch"
+  "binary_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

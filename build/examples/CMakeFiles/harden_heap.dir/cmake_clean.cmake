@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_heap.dir/harden_heap.cpp.o"
+  "CMakeFiles/harden_heap.dir/harden_heap.cpp.o.d"
+  "harden_heap"
+  "harden_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jump_census.dir/jump_census.cpp.o"
+  "CMakeFiles/jump_census.dir/jump_census.cpp.o.d"
+  "jump_census"
+  "jump_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jump_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Alloc.cpp" "src/core/CMakeFiles/e9_core.dir/Alloc.cpp.o" "gcc" "src/core/CMakeFiles/e9_core.dir/Alloc.cpp.o.d"
+  "/root/repo/src/core/Grouping.cpp" "src/core/CMakeFiles/e9_core.dir/Grouping.cpp.o" "gcc" "src/core/CMakeFiles/e9_core.dir/Grouping.cpp.o.d"
+  "/root/repo/src/core/Patcher.cpp" "src/core/CMakeFiles/e9_core.dir/Patcher.cpp.o" "gcc" "src/core/CMakeFiles/e9_core.dir/Patcher.cpp.o.d"
+  "/root/repo/src/core/Pun.cpp" "src/core/CMakeFiles/e9_core.dir/Pun.cpp.o" "gcc" "src/core/CMakeFiles/e9_core.dir/Pun.cpp.o.d"
+  "/root/repo/src/core/Trampoline.cpp" "src/core/CMakeFiles/e9_core.dir/Trampoline.cpp.o" "gcc" "src/core/CMakeFiles/e9_core.dir/Trampoline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elf/CMakeFiles/e9_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/e9_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/e9_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_core.dir/Alloc.cpp.o"
+  "CMakeFiles/e9_core.dir/Alloc.cpp.o.d"
+  "CMakeFiles/e9_core.dir/Grouping.cpp.o"
+  "CMakeFiles/e9_core.dir/Grouping.cpp.o.d"
+  "CMakeFiles/e9_core.dir/Patcher.cpp.o"
+  "CMakeFiles/e9_core.dir/Patcher.cpp.o.d"
+  "CMakeFiles/e9_core.dir/Pun.cpp.o"
+  "CMakeFiles/e9_core.dir/Pun.cpp.o.d"
+  "CMakeFiles/e9_core.dir/Trampoline.cpp.o"
+  "CMakeFiles/e9_core.dir/Trampoline.cpp.o.d"
+  "libe9_core.a"
+  "libe9_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

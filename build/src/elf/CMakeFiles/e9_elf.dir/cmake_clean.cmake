@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_elf.dir/File.cpp.o"
+  "CMakeFiles/e9_elf.dir/File.cpp.o.d"
+  "CMakeFiles/e9_elf.dir/Image.cpp.o"
+  "CMakeFiles/e9_elf.dir/Image.cpp.o.d"
+  "libe9_elf.a"
+  "libe9_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

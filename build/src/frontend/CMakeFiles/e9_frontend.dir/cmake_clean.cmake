@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_frontend.dir/Disasm.cpp.o"
+  "CMakeFiles/e9_frontend.dir/Disasm.cpp.o.d"
+  "CMakeFiles/e9_frontend.dir/Rewriter.cpp.o"
+  "CMakeFiles/e9_frontend.dir/Rewriter.cpp.o.d"
+  "CMakeFiles/e9_frontend.dir/Runtime.cpp.o"
+  "CMakeFiles/e9_frontend.dir/Runtime.cpp.o.d"
+  "CMakeFiles/e9_frontend.dir/Select.cpp.o"
+  "CMakeFiles/e9_frontend.dir/Select.cpp.o.d"
+  "libe9_frontend.a"
+  "libe9_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_lowfat.dir/LowFat.cpp.o"
+  "CMakeFiles/e9_lowfat.dir/LowFat.cpp.o.d"
+  "libe9_lowfat.a"
+  "libe9_lowfat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_lowfat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_support.dir/Format.cpp.o"
+  "CMakeFiles/e9_support.dir/Format.cpp.o.d"
+  "CMakeFiles/e9_support.dir/IntervalSet.cpp.o"
+  "CMakeFiles/e9_support.dir/IntervalSet.cpp.o.d"
+  "CMakeFiles/e9_support.dir/Status.cpp.o"
+  "CMakeFiles/e9_support.dir/Status.cpp.o.d"
+  "libe9_support.a"
+  "libe9_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

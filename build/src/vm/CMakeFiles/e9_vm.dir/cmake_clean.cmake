@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_vm.dir/Loader.cpp.o"
+  "CMakeFiles/e9_vm.dir/Loader.cpp.o.d"
+  "CMakeFiles/e9_vm.dir/Memory.cpp.o"
+  "CMakeFiles/e9_vm.dir/Memory.cpp.o.d"
+  "CMakeFiles/e9_vm.dir/Vm.cpp.o"
+  "CMakeFiles/e9_vm.dir/Vm.cpp.o.d"
+  "libe9_vm.a"
+  "libe9_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_workload.dir/Gen.cpp.o"
+  "CMakeFiles/e9_workload.dir/Gen.cpp.o.d"
+  "CMakeFiles/e9_workload.dir/Run.cpp.o"
+  "CMakeFiles/e9_workload.dir/Run.cpp.o.d"
+  "CMakeFiles/e9_workload.dir/Suite.cpp.o"
+  "CMakeFiles/e9_workload.dir/Suite.cpp.o.d"
+  "libe9_workload.a"
+  "libe9_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/Assembler.cpp" "src/x86/CMakeFiles/e9_x86.dir/Assembler.cpp.o" "gcc" "src/x86/CMakeFiles/e9_x86.dir/Assembler.cpp.o.d"
+  "/root/repo/src/x86/Decoder.cpp" "src/x86/CMakeFiles/e9_x86.dir/Decoder.cpp.o" "gcc" "src/x86/CMakeFiles/e9_x86.dir/Decoder.cpp.o.d"
+  "/root/repo/src/x86/Insn.cpp" "src/x86/CMakeFiles/e9_x86.dir/Insn.cpp.o" "gcc" "src/x86/CMakeFiles/e9_x86.dir/Insn.cpp.o.d"
+  "/root/repo/src/x86/Printer.cpp" "src/x86/CMakeFiles/e9_x86.dir/Printer.cpp.o" "gcc" "src/x86/CMakeFiles/e9_x86.dir/Printer.cpp.o.d"
+  "/root/repo/src/x86/Register.cpp" "src/x86/CMakeFiles/e9_x86.dir/Register.cpp.o" "gcc" "src/x86/CMakeFiles/e9_x86.dir/Register.cpp.o.d"
+  "/root/repo/src/x86/Reloc.cpp" "src/x86/CMakeFiles/e9_x86.dir/Reloc.cpp.o" "gcc" "src/x86/CMakeFiles/e9_x86.dir/Reloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/e9_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_x86.dir/Assembler.cpp.o"
+  "CMakeFiles/e9_x86.dir/Assembler.cpp.o.d"
+  "CMakeFiles/e9_x86.dir/Decoder.cpp.o"
+  "CMakeFiles/e9_x86.dir/Decoder.cpp.o.d"
+  "CMakeFiles/e9_x86.dir/Insn.cpp.o"
+  "CMakeFiles/e9_x86.dir/Insn.cpp.o.d"
+  "CMakeFiles/e9_x86.dir/Printer.cpp.o"
+  "CMakeFiles/e9_x86.dir/Printer.cpp.o.d"
+  "CMakeFiles/e9_x86.dir/Register.cpp.o"
+  "CMakeFiles/e9_x86.dir/Register.cpp.o.d"
+  "CMakeFiles/e9_x86.dir/Reloc.cpp.o"
+  "CMakeFiles/e9_x86.dir/Reloc.cpp.o.d"
+  "libe9_x86.a"
+  "libe9_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

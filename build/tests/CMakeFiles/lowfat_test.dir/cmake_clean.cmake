@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowfat_test.dir/lowfat_test.cpp.o"
+  "CMakeFiles/lowfat_test.dir/lowfat_test.cpp.o.d"
+  "lowfat_test"
+  "lowfat_test.pdb"
+  "lowfat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowfat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

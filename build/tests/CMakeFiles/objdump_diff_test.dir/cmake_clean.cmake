@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objdump_diff_test.dir/objdump_diff_test.cpp.o"
+  "CMakeFiles/objdump_diff_test.dir/objdump_diff_test.cpp.o.d"
+  "objdump_diff_test"
+  "objdump_diff_test.pdb"
+  "objdump_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objdump_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patcher_test.dir/patcher_test.cpp.o"
+  "CMakeFiles/patcher_test.dir/patcher_test.cpp.o.d"
+  "patcher_test"
+  "patcher_test.pdb"
+  "patcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9tool.dir/e9tool.cpp.o"
+  "CMakeFiles/e9tool.dir/e9tool.cpp.o.d"
+  "e9tool"
+  "e9tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
