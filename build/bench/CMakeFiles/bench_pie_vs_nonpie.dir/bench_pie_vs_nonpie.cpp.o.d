@@ -144,7 +144,8 @@ bench/CMakeFiles/bench_pie_vs_nonpie.dir/bench_pie_vs_nonpie.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/verify/Verifier.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -9,6 +9,7 @@ subdirs("x86")
 subdirs("elf")
 subdirs("vm")
 subdirs("core")
-subdirs("frontend")
 subdirs("lowfat")
+subdirs("verify")
+subdirs("frontend")
 subdirs("workload")

@@ -143,14 +143,16 @@ src/frontend/CMakeFiles/e9_frontend.dir/Rewriter.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/verify/Verifier.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/frontend/Disasm.h /usr/include/c++/12/algorithm \
+ /root/repo/src/frontend/Disasm.h /root/repo/src/support/FaultInjector.h \
+ /root/repo/src/support/Format.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \

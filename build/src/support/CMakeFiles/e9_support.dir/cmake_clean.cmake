@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/e9_support.dir/FaultInjector.cpp.o"
+  "CMakeFiles/e9_support.dir/FaultInjector.cpp.o.d"
   "CMakeFiles/e9_support.dir/Format.cpp.o"
   "CMakeFiles/e9_support.dir/Format.cpp.o.d"
   "CMakeFiles/e9_support.dir/IntervalSet.cpp.o"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_verify.dir/Verifier.cpp.o"
+  "CMakeFiles/e9_verify.dir/Verifier.cpp.o.d"
+  "libe9_verify.a"
+  "libe9_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -220,5 +220,5 @@ src/vm/CMakeFiles/e9_vm.dir/Loader.cpp.o: /root/repo/src/vm/Loader.cpp \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/support/Format.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/support/FaultInjector.h /root/repo/src/support/Format.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -19,4 +19,6 @@ include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/vm_semantics_test[1]_include.cmake")
 include("/root/repo/build/tests/workload_test[1]_include.cmake")
 include("/root/repo/build/tests/objdump_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
 include("/root/repo/build/tests/tool_test[1]_include.cmake")

@@ -146,7 +146,8 @@ tools/CMakeFiles/e9tool.dir/e9tool.cpp.o: /root/repo/tools/e9tool.cpp \
  /usr/include/c++/12/bits/stl_multiset.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/verify/Verifier.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -226,7 +227,8 @@ tools/CMakeFiles/e9tool.dir/e9tool.cpp.o: /root/repo/tools/e9tool.cpp \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/support/Format.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/support/FaultInjector.h /root/repo/src/support/Format.h \
  /root/repo/src/vm/Hooks.h /root/repo/src/workload/Gen.h \
  /root/repo/src/workload/Run.h /root/repo/src/x86/Printer.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -2,6 +2,8 @@
 
 #include "core/Alloc.h"
 
+#include "support/FaultInjector.h"
+
 #include <cassert>
 
 using namespace e9;
@@ -17,6 +19,8 @@ std::optional<uint64_t> Allocator::allocate(uint64_t Size,
                                             const Interval &Bound) {
   if (Size == 0 || Bound.empty())
     return std::nullopt;
+  if (E9_FAULT_POINT("core.alloc.allocate"))
+    return std::nullopt; // Simulated address-space exhaustion.
 
   // Pass 1: extend an open bump zone whose cursor starts inside the
   // bound. This packs trampolines with compatible constraints into the

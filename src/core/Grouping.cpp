@@ -2,6 +2,9 @@
 
 #include "core/Grouping.h"
 
+#include "support/FaultInjector.h"
+#include "support/Format.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -38,10 +41,11 @@ struct BlockOcc {
 };
 
 /// Splits the trampoline chunks into per-block occupancy records
-/// (trampolines spanning a boundary become two mini-trampolines).
-std::map<uint64_t, BlockOcc> collectBlocks(
-    const std::vector<TrampolineChunk> &Chunks, uint64_t BlockSize) {
-  std::map<uint64_t, BlockOcc> Blocks;
+/// (trampolines spanning a boundary become two mini-trampolines). Fails
+/// when two chunks claim the same byte: that is corrupted input, and
+/// proceeding would emit a block whose content depends on chunk order.
+Status collectBlocks(const std::vector<TrampolineChunk> &Chunks,
+                     uint64_t BlockSize, std::map<uint64_t, BlockOcc> &Blocks) {
   for (const TrampolineChunk &C : Chunks) {
     size_t Done = 0;
     while (Done < C.Bytes.size()) {
@@ -57,15 +61,18 @@ std::map<uint64_t, BlockOcc> collectBlocks(
       }
       for (size_t I = 0; I != N; ++I) {
         uint64_t Bit = Off + I;
-        assert((B.Mask[Bit / 64] & (1ull << (Bit % 64))) == 0 &&
-               "trampolines overlap within a block");
+        if ((B.Mask[Bit / 64] & (1ull << (Bit % 64))) != 0)
+          return Status::error(
+              format("trampoline chunks overlap at %s: refusing to merge "
+                     "conflicting occupancy",
+                     hex(A + I).c_str()));
         B.Mask[Bit / 64] |= 1ull << (Bit % 64);
         B.Bytes[Off + I] = C.Bytes[Done + I];
       }
       Done += N;
     }
   }
-  return Blocks;
+  return Status::ok();
 }
 
 /// Coalesces mappings adjacent in both virtual space and block offsets.
@@ -92,11 +99,17 @@ size_t coalescedCount(std::vector<elf::Mapping> &Mappings) {
 
 } // namespace
 
-GroupingResult core::groupPages(const std::vector<TrampolineChunk> &Chunks,
-                                const GroupingOptions &Opts) {
+Result<GroupingResult>
+core::groupPages(const std::vector<TrampolineChunk> &Chunks,
+                 const GroupingOptions &Opts) {
+  if (E9_FAULT_POINT("core.group.merge"))
+    return Result<GroupingResult>::error(
+        "injected fault: core.group.merge (grouping merge failure)");
   GroupingResult R;
   uint64_t BlockSize = static_cast<uint64_t>(Opts.M) * PageSize;
-  std::map<uint64_t, BlockOcc> Blocks = collectBlocks(Chunks, BlockSize);
+  std::map<uint64_t, BlockOcc> Blocks;
+  if (Status S = collectBlocks(Chunks, BlockSize, Blocks); !S)
+    return Result<GroupingResult>(std::move(S));
   R.VirtualBlocks = Blocks.size();
 
   if (!Opts.Enabled) {

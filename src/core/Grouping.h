@@ -43,9 +43,12 @@ struct GroupingResult {
   size_t MappingCount = 0;    ///< Mappings after coalescing.
 };
 
-/// Partitions the trampoline chunks into shared physical blocks.
-GroupingResult groupPages(const std::vector<TrampolineChunk> &Chunks,
-                          const GroupingOptions &Opts);
+/// Partitions the trampoline chunks into shared physical blocks. Fails
+/// (instead of asserting) when two trampoline chunks claim the same byte
+/// — emitting a binary from conflicting occupancy would silently corrupt
+/// it, so the error must surface to the caller.
+Result<GroupingResult> groupPages(const std::vector<TrampolineChunk> &Chunks,
+                                  const GroupingOptions &Opts);
 
 } // namespace core
 } // namespace e9

@@ -58,6 +58,10 @@ public:
 
   uint64_t lockedBytes() const { return Locked.totalSize(); }
 
+  /// The full modified set (exported so the verifier can distinguish
+  /// intentionally rewritten bytes from stray writes).
+  const IntervalSet &modified() const { return Modified; }
+
 private:
   IntervalSet Locked;
   IntervalSet Modified;

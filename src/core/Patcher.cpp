@@ -20,6 +20,13 @@ const char *core::tacticName(Tactic T) {
   return Names[static_cast<size_t>(T)];
 }
 
+const char *core::failureReasonName(FailureReason R) {
+  static const char *const Names[] = {
+      "none",           "no-instruction", "spec-inapplicable", "locked-bytes",
+      "no-pun-target",  "alloc-failed",   "build-failed"};
+  return Names[static_cast<size_t>(R)];
+}
+
 void core::reserveDefaultRegions(Allocator &Alloc, const elf::Image &Img) {
   constexpr uint64_t Page = 4096;
   // NULL page and low memory (mmap_min_addr analog).
@@ -81,8 +88,17 @@ void Patcher::rollback(Txn &T) {
   for (auto It = T.AllocsAdded.rbegin(); It != T.AllocsAdded.rend(); ++It)
     Alloc.free(It->first, It->second);
   Chunks.resize(T.ChunksMark);
+  Jumps.resize(T.RecordsMark);
   T = Txn();
   T.ChunksMark = Chunks.size();
+  T.RecordsMark = Jumps.size();
+}
+
+std::vector<Interval> Patcher::modifiedRanges() const {
+  std::vector<Interval> Out;
+  for (const auto &[Lo, Hi] : Locks.modified())
+    Out.push_back(Interval{Lo, Hi});
+  return Out;
 }
 
 std::optional<Patcher::JumpInstall>
@@ -91,8 +107,10 @@ Patcher::installJump(Txn &T, uint64_t JumpAddr, uint64_t WritableEnd,
                      const TrampolineSpec &Spec, const Insn &Displaced,
                      const uint8_t *DisplacedBytes) {
   unsigned TrampSize = trampolineSize(Spec, Displaced);
-  if (TrampSize == 0)
+  if (TrampSize == 0) {
+    noteFailure(FailureReason::SpecInapplicable);
     return std::nullopt;
+  }
 
   // Original bytes of the displaced instruction.
   uint8_t Orig[MaxInsnLength];
@@ -123,21 +141,28 @@ Patcher::installJump(Txn &T, uint64_t JumpAddr, uint64_t WritableEnd,
       continue;
 
     auto Range = punTargetRange(JumpAddr, Pads, WritableEnd, Rel32Bytes);
-    if (!Range.has_value())
+    if (!Range.has_value()) {
+      noteFailure(FailureReason::NoPunTarget);
       continue;
+    }
 
     // The bytes we are about to modify must all be unlocked.
     uint64_t WriteEnd = RelField + Range->FreeBytes;
-    if (Locks.anyLocked(JumpAddr, WriteEnd))
+    if (Locks.anyLocked(JumpAddr, WriteEnd)) {
+      noteFailure(FailureReason::LockedBytes);
       break; // The write range only grows with more padding.
+    }
 
     auto Tramp = Alloc.allocate(TrampSize, Range->Targets);
-    if (!Tramp.has_value())
+    if (!Tramp.has_value()) {
+      noteFailure(FailureReason::AllocFailed);
       continue;
+    }
     T.AllocsAdded.emplace_back(*Tramp, TrampSize);
 
     auto Bytes = buildTrampoline(Spec, Displaced, Orig, *Tramp);
     if (!Bytes.isOk()) {
+      noteFailure(FailureReason::BuildFailed);
       Alloc.free(*Tramp, TrampSize);
       T.AllocsAdded.pop_back();
       continue;
@@ -166,6 +191,9 @@ Patcher::installJump(Txn &T, uint64_t JumpAddr, uint64_t WritableEnd,
     }
     // Lock the full (padded) jump encoding: modified + punned bytes.
     Locks.lockRecordNew(JumpAddr, JumpAddr + Pads + 5, T.LocksAdded);
+    Jumps.push_back(JumpRecord{JumpAddr, static_cast<uint8_t>(Pads + 5),
+                               static_cast<uint8_t>(N), *Tramp,
+                               JumpKind::JmpRel32});
     return JumpInstall{*Tramp, Pads, Range->FreeBytes};
   }
   return std::nullopt;
@@ -205,6 +233,7 @@ Tactic Patcher::tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
       Opts.EnableT1 ? std::min<unsigned>(MaxJumpPads, I->Length - 1) : 0;
   Txn T;
   T.ChunksMark = Chunks.size();
+  T.RecordsMark = Jumps.size();
   auto J = installJump(T, Addr, Addr + I->Length, 0, MaxPads, Spec, *I);
   if (!J.has_value())
     return Tactic::Failed;
@@ -226,6 +255,7 @@ bool Patcher::tryT2(uint64_t Addr, const TrampolineSpec &Spec,
 
   Txn T;
   T.ChunksMark = Chunks.size();
+  T.RecordsMark = Jumps.size();
 
   bool Rescue = false;
   TrampolineSpec VS = victimSpec(*S, Rescue);
@@ -299,6 +329,7 @@ bool Patcher::tryT3(uint64_t Addr, const TrampolineSpec &Spec,
 
       Txn T;
       T.ChunksMark = Chunks.size();
+      T.RecordsMark = Jumps.size();
 
       // Capture the victim's original bytes before JPatch overwrites its
       // tail: the evictee trampoline must displace the *original* victim.
@@ -350,6 +381,9 @@ bool Patcher::tryT3(uint64_t Addr, const TrampolineSpec &Spec,
         }
       }
       Locks.lockRecordNew(Addr, Addr + 2, T.LocksAdded);
+      Jumps.push_back(JumpRecord{Addr, 2, static_cast<uint8_t>(FixedRel ? 1 : 2),
+                                 Addr + 2 + static_cast<uint64_t>(Rel8),
+                                 JumpKind::JmpRel8});
 
       ++Stats.Evictions;
       if (Rescue)
@@ -364,17 +398,21 @@ bool Patcher::tryT3(uint64_t Addr, const TrampolineSpec &Spec,
 
 bool Patcher::tryB0(uint64_t Addr) {
   const Insn *I = insnAt(Addr);
-  if (Locks.isLocked(Addr))
+  if (Locks.isLocked(Addr)) {
+    noteFailure(FailureReason::LockedBytes);
     return false;
+  }
   std::vector<uint8_t> Orig(I->Length);
   if (!Img.readBytes(Addr, Orig.data(), I->Length))
     return false;
   uint8_t Int3 = 0xcc;
   Txn T;
   T.ChunksMark = Chunks.size();
+  T.RecordsMark = Jumps.size();
   if (!writeBytes(T, Addr, &Int3, 1))
     return false;
   Locks.lockRecordNew(Addr, Addr + 1, T.LocksAdded);
+  Jumps.push_back(JumpRecord{Addr, 1, 1, 0, JumpKind::Int3});
   B0Table.emplace(Addr, std::move(Orig));
   return true;
 }
@@ -383,13 +421,16 @@ Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
   ++Stats.NLoc;
   ResultIndex[Addr] = Results.size();
   Results.push_back(PatchSiteResult{Addr, Tactic::Failed, 0});
+  SiteReason = FailureReason::None;
 
   Tactic Used = Tactic::Failed;
   uint64_t TrampAddr = 0;
-  if (insnAt(Addr) != nullptr && Opts.ForceB0) {
+  if (insnAt(Addr) == nullptr) {
+    noteFailure(FailureReason::NoInstruction);
+  } else if (Opts.ForceB0) {
     if (tryB0(Addr))
       Used = Tactic::B0;
-  } else if (insnAt(Addr) != nullptr) {
+  } else {
     Used = tryDirect(Addr, Spec, TrampAddr);
     if (Used == Tactic::Failed && Opts.EnableT2 &&
         tryT2(Addr, Spec, TrampAddr))
@@ -406,8 +447,13 @@ Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
   }
 
   ++Stats.Count[static_cast<size_t>(Used)];
-  Results[ResultIndex[Addr]].Used = Used;
-  Results[ResultIndex[Addr]].TrampolineAddr = TrampAddr;
+  PatchSiteResult &R = Results[ResultIndex[Addr]];
+  R.Used = Used;
+  R.TrampolineAddr = TrampAddr;
+  if (Used == Tactic::Failed) {
+    R.Reason = SiteReason;
+    ++Stats.ReasonCount[static_cast<size_t>(SiteReason)];
+  }
   return Used;
 }
 

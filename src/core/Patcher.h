@@ -51,6 +51,19 @@ namespace core {
 enum class Tactic : uint8_t { B1, B2, T1, T2, T3, B0, Failed };
 const char *tacticName(Tactic T);
 
+/// Why the tactic chain failed at a site, ranked by how deep the most
+/// successful attempt got (later values = further along the pipeline).
+enum class FailureReason : uint8_t {
+  None,             ///< Site patched successfully.
+  NoInstruction,    ///< No decoded instruction at the address.
+  SpecInapplicable, ///< Trampoline spec cannot displace the instruction.
+  LockedBytes,      ///< Required bytes already locked by earlier patches.
+  NoPunTarget,      ///< No reachable punned-target interval exists.
+  AllocFailed,      ///< No trampoline space inside any target interval.
+  BuildFailed,      ///< Trampoline body failed to materialize (rel32 range).
+};
+const char *failureReasonName(FailureReason R);
+
 /// Rewriting configuration.
 struct PatchOptions {
   bool EnableT1 = true;
@@ -72,6 +85,11 @@ struct PatchStats {
   size_t Count[7] = {}; ///< Indexed by Tactic.
   size_t Evictions = 0; ///< Evictee trampolines created (T2+T3).
   size_t Rescued = 0;   ///< Failed sites recovered as eviction victims.
+  size_t ReasonCount[7] = {}; ///< Indexed by FailureReason (failed sites).
+
+  size_t reasonCount(FailureReason R) const {
+    return ReasonCount[static_cast<size_t>(R)];
+  }
 
   size_t count(Tactic T) const { return Count[static_cast<size_t>(T)]; }
   size_t succeeded() const {
@@ -95,11 +113,30 @@ struct TrampolineChunk {
   std::vector<uint8_t> Bytes;
 };
 
+/// The encoding class of one write the patcher made into the text.
+enum class JumpKind : uint8_t {
+  JmpRel32, ///< (Padded, possibly punned) e9 rel32.
+  JmpRel8,  ///< eb rel8 (the T3 JShort).
+  Int3,     ///< cc (B0 fallback).
+};
+
+/// Ground truth for one jump/int3 the patcher installed: everything the
+/// post-rewrite verifier needs to independently re-check the site.
+struct JumpRecord {
+  uint64_t Addr = 0;      ///< First byte of the encoding.
+  uint8_t EncLen = 0;     ///< Decoded length incl. pads and punned tail.
+  uint8_t WrittenLen = 0; ///< Bytes actually written (pads + opcode + free
+                          ///< rel bytes; the punned tail is pre-existing).
+  uint64_t Target = 0;    ///< Branch target; 0 for Int3.
+  JumpKind Kind = JumpKind::JmpRel32;
+};
+
 /// Result for one patch location.
 struct PatchSiteResult {
   uint64_t Addr = 0;
   Tactic Used = Tactic::Failed;
   uint64_t TrampolineAddr = 0;
+  FailureReason Reason = FailureReason::None; ///< Set when Used == Failed.
 };
 
 /// The rewriting engine. Operates on the image in place; trampoline bytes
@@ -124,6 +161,12 @@ public:
 
   const PatchStats &stats() const { return Stats; }
   const std::vector<TrampolineChunk> &chunks() const { return Chunks; }
+  /// Every jump/int3 encoding written into the text, in install order
+  /// (the verifier's ground truth for patched-site checks).
+  const std::vector<JumpRecord> &jumps() const { return Jumps; }
+  /// The byte ranges of the image the patcher modified; everything
+  /// outside them must be byte-identical to the original.
+  std::vector<Interval> modifiedRanges() const;
   /// B0 side table: patch address -> original instruction bytes (consumed
   /// by the VM trap handler).
   const std::map<uint64_t, std::vector<uint8_t>> &b0Table() const {
@@ -138,6 +181,7 @@ private:
     std::vector<Interval> ModifiedAdded;
     std::vector<std::pair<uint64_t, uint64_t>> AllocsAdded;
     size_t ChunksMark = 0;
+    size_t RecordsMark = 0;
   };
 
   struct JumpInstall {
@@ -171,6 +215,13 @@ private:
   TrampolineSpec victimSpec(const x86::Insn &Victim, bool &IsRescue) const;
   void noteRescue(uint64_t VictimAddr, Tactic Via, uint64_t TrampAddr);
 
+  /// Records the deepest failure reason seen while patching the current
+  /// site (reasons are ordered by pipeline progress).
+  void noteFailure(FailureReason R) {
+    if (R > SiteReason)
+      SiteReason = R;
+  }
+
   Tactic tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
                    uint64_t &TrampAddr);
   bool tryT2(uint64_t Addr, const TrampolineSpec &Spec, uint64_t &TrampAddr);
@@ -184,6 +235,8 @@ private:
   Allocator Alloc;
   LockState Locks;
   std::vector<TrampolineChunk> Chunks;
+  std::vector<JumpRecord> Jumps;
+  FailureReason SiteReason = FailureReason::None; ///< For the current site.
   std::map<uint64_t, std::vector<uint8_t>> B0Table;
   std::set<uint64_t> FailedSites;
   std::map<uint64_t, TrampolineSpec> FailedSpecs;

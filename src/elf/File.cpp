@@ -10,6 +10,7 @@
 #include "elf/Image.h"
 
 #include "support/ByteBuffer.h"
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 
 #include <cstring>
@@ -197,14 +198,22 @@ public:
 
 Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
   FileReader F(Bytes);
+  if (E9_FAULT_POINT("elf.read.ehdr"))
+    return Result<Image>::error(
+        "injected fault: elf.read.ehdr (header read failed)");
   if (!F.inBounds(0, EhdrSize))
-    return Result<Image>::error("file too small for an ELF header");
+    return Result<Image>::error(
+        format("file too small for an ELF header (%zu bytes, need %llu)",
+               Bytes.size(), static_cast<unsigned long long>(EhdrSize)));
   static const uint8_t Magic[4] = {0x7f, 'E', 'L', 'F'};
   if (std::memcmp(Bytes.data(), Magic, 4) != 0)
     return Result<Image>::error("bad ELF magic");
   if (Bytes[4] != 2 || Bytes[5] != 1)
     return Result<Image>::error("not a little-endian ELF64 file");
   uint16_t Type = static_cast<uint16_t>(F.read(16, 2));
+  if (Type != ET_EXEC && Type != ET_DYN)
+    return Result<Image>::error(
+        format("unsupported ELF type %u (want ET_EXEC or ET_DYN)", Type));
   if (F.read(18, 2) != EM_X86_64)
     return Result<Image>::error("not an x86_64 binary");
 
@@ -215,12 +224,21 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
   uint16_t PhEntSize = static_cast<uint16_t>(F.read(54, 2));
   uint16_t PhNum = static_cast<uint16_t>(F.read(56, 2));
   if (PhEntSize != PhdrSize)
-    return Result<Image>::error("unexpected program header entry size");
+    return Result<Image>::error(
+        format("unexpected program header entry size %u (want %llu)",
+               PhEntSize, static_cast<unsigned long long>(PhdrSize)));
   if (!F.inBounds(PhOff, static_cast<uint64_t>(PhNum) * PhdrSize))
-    return Result<Image>::error("program headers out of bounds");
+    return Result<Image>::error(
+        format("program headers out of bounds (phoff %s, %u entries, file "
+               "%zu bytes)",
+               hex(PhOff).c_str(), PhNum, Bytes.size()));
 
   for (uint16_t I = 0; I != PhNum; ++I) {
     uint64_t P = PhOff + static_cast<uint64_t>(I) * PhdrSize;
+    if (E9_FAULT_POINT("elf.read.phdr"))
+      return Result<Image>::error(format(
+          "injected fault: elf.read.phdr (program header %u read failed)",
+          I));
     uint32_t PType = static_cast<uint32_t>(F.read(P, 4));
     uint32_t PFlags = static_cast<uint32_t>(F.read(P + 4, 4));
     uint64_t POffset = F.read(P + 8, 8);
@@ -230,7 +248,25 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
 
     if (PType == PT_LOAD) {
       if (!F.inBounds(POffset, PFileSz))
-        return Result<Image>::error("segment content out of bounds");
+        return Result<Image>::error(
+            format("segment %u content out of bounds (offset %s + %s bytes, "
+                   "file %zu bytes)",
+                   I, hex(POffset).c_str(), hex(PFileSz).c_str(),
+                   Bytes.size()));
+      if (PMemSz < PFileSz)
+        return Result<Image>::error(
+            format("segment %u memory size %s smaller than its file size %s",
+                   I, hex(PMemSz).c_str(), hex(PFileSz).c_str()));
+      if (PVAddr + PMemSz < PVAddr)
+        return Result<Image>::error(
+            format("segment %u wraps the address space (vaddr %s, memsz %s)",
+                   I, hex(PVAddr).c_str(), hex(PMemSz).c_str()));
+      for (const Segment &Prev : Img.Segments)
+        if (PVAddr < Prev.endAddr() && Prev.VAddr < PVAddr + PMemSz)
+          return Result<Image>::error(
+              format("segment %u [%s, %s) overlaps the segment at %s", I,
+                     hex(PVAddr).c_str(), hex(PVAddr + PMemSz).c_str(),
+                     hex(Prev.VAddr).c_str()));
       Segment S;
       S.VAddr = PVAddr;
       S.Flags = PFlags;
@@ -248,20 +284,29 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
     if (std::memcmp(Bytes.data() + POffset + 12, NoteName,
                     sizeof(NoteName)) != 0)
       continue;
+    if (E9_FAULT_POINT("elf.read.note"))
+      return Result<Image>::error(
+          "injected fault: elf.read.note (mapping note read failed)");
     uint64_t D = POffset + 12 + sizeof(NoteName);
     uint32_t NBlocks = static_cast<uint32_t>(F.read(D, 4));
     uint32_t NMappings = static_cast<uint32_t>(F.read(D + 4, 4));
     uint64_t Need = 8 + static_cast<uint64_t>(NBlocks) * 16 +
                     static_cast<uint64_t>(NMappings) * 32;
     if (!F.inBounds(D, Need))
-      return Result<Image>::error("mapping note truncated");
+      return Result<Image>::error(
+          format("mapping note truncated at offset %s (%u blocks + %u "
+                 "mappings need %s bytes)",
+                 hex(D).c_str(), NBlocks, NMappings, hex(Need).c_str()));
     uint64_t Cur = D + 8;
     for (uint32_t B = 0; B != NBlocks; ++B) {
       uint64_t BOff = F.read(Cur, 8);
       uint64_t BSize = F.read(Cur + 8, 8);
       Cur += 16;
       if (!F.inBounds(BOff, BSize))
-        return Result<Image>::error("trampoline block out of bounds");
+        return Result<Image>::error(
+            format("trampoline block %u out of bounds (offset %s + %s "
+                   "bytes, file %zu bytes)",
+                   B, hex(BOff).c_str(), hex(BSize).c_str(), Bytes.size()));
       PhysBlock PB;
       PB.Bytes.assign(Bytes.begin() + BOff, Bytes.begin() + BOff + BSize);
       Img.Blocks.push_back(std::move(PB));
@@ -274,9 +319,21 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
       Map.Offset = F.read(Cur + 16, 8);
       Map.Size = F.read(Cur + 24, 8);
       Cur += 32;
-      if (Map.BlockIndex >= Img.Blocks.size() ||
+      if (Map.BlockIndex >= Img.Blocks.size())
+        return Result<Image>::error(
+            format("mapping %u references missing block %u (%zu blocks)", M,
+                   Map.BlockIndex, Img.Blocks.size()));
+      if (Map.Offset + Map.Size < Map.Offset ||
           Map.Offset + Map.Size > Img.Blocks[Map.BlockIndex].Bytes.size())
-        return Result<Image>::error("mapping references bytes out of range");
+        return Result<Image>::error(
+            format("mapping %u references bytes out of range (offset %s + "
+                   "%s in a %zu-byte block)",
+                   M, hex(Map.Offset).c_str(), hex(Map.Size).c_str(),
+                   Img.Blocks[Map.BlockIndex].Bytes.size()));
+      if ((Map.VAddr % PageSize) != 0 || (Map.Offset % PageSize) != 0)
+        return Result<Image>::error(
+            format("mapping %u not page aligned (vaddr %s, offset %s)", M,
+                   hex(Map.VAddr).c_str(), hex(Map.Offset).c_str()));
       Img.Mappings.push_back(Map);
     }
     // B0 side table (older writers may omit it).
@@ -285,12 +342,16 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
       Cur += 4;
       for (uint32_t B = 0; B != NB0; ++B) {
         if (!F.inBounds(Cur, 12))
-          return Result<Image>::error("B0 table truncated");
+          return Result<Image>::error(
+              format("B0 table truncated at offset %s (entry %u of %u)",
+                     hex(Cur).c_str(), B, NB0));
         uint64_t Addr = F.read(Cur, 8);
         uint32_t Len = static_cast<uint32_t>(F.read(Cur + 8, 4));
         Cur += 12;
         if (Len > 15 || !F.inBounds(Cur, Len))
-          return Result<Image>::error("B0 entry malformed");
+          return Result<Image>::error(
+              format("B0 entry for %s malformed (length %u at offset %s)",
+                     hex(Addr).c_str(), Len, hex(Cur).c_str()));
         Img.B0Sites.emplace(
             Addr, std::vector<uint8_t>(Bytes.begin() + Cur,
                                        Bytes.begin() + Cur + Len));
@@ -302,6 +363,9 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
 }
 
 Status elf::writeFile(const Image &Img, const std::string &Path) {
+  if (E9_FAULT_POINT("elf.write.file"))
+    return Status::error(format(
+        "injected fault: elf.write.file (writing %s failed)", Path.c_str()));
   std::vector<uint8_t> Bytes = write(Img);
   std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
   if (!Out)

@@ -3,11 +3,48 @@
 #include "frontend/Rewriter.h"
 
 #include "frontend/Disasm.h"
+#include "support/FaultInjector.h"
+#include "support/Format.h"
 
 #include <algorithm>
 
 using namespace e9;
 using namespace e9::frontend;
+
+namespace {
+
+/// Simulated silent-corruption faults, enabled only under fault injection.
+/// Each one damages the output the way a patcher/grouping bug would; the
+/// verifier (and only the verifier) must catch them — this is how the
+/// fault-injection tests prove StrictMode fails closed rather than
+/// emitting a wrong binary.
+void injectOutputCorruption(RewriteOutput &Out) {
+  if (!FaultInjectionArmed)
+    return;
+  if (E9_FAULT_POINT("core.patch.corrupt-site") && !Out.Jumps.empty()) {
+    const core::JumpRecord &J = Out.Jumps.front();
+    uint8_t B = 0;
+    if (Out.Rewritten.readBytes(J.Addr, &B, 1)) {
+      B ^= 0x20;
+      (void)Out.Rewritten.writeBytes(J.Addr, &B, 1);
+    }
+  }
+  if (E9_FAULT_POINT("core.group.corrupt-block")) {
+    for (elf::PhysBlock &B : Out.Rewritten.Blocks) {
+      auto It = std::find_if(B.Bytes.begin(), B.Bytes.end(),
+                             [](uint8_t V) { return V != 0; });
+      if (It != B.Bytes.end()) {
+        *It ^= 0xff;
+        break;
+      }
+    }
+  }
+  if (E9_FAULT_POINT("core.group.corrupt-mapping") &&
+      !Out.Rewritten.Mappings.empty())
+    Out.Rewritten.Mappings.front().VAddr += 0x1000;
+}
+
+} // namespace
 
 Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
                                         const std::vector<uint64_t> &PatchLocs,
@@ -22,6 +59,9 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   Out.Rewritten.Mappings.clear();
 
   DisasmResult Dis = linearDisassemble(Out.Rewritten);
+  if (E9_FAULT_POINT("frontend.disasm.decode"))
+    return Result<RewriteOutput>::error(
+        "injected fault: frontend.disasm.decode (disassembly failed)");
 
   core::Patcher P(Out.Rewritten, std::move(Dis.Insns), Opts.Patch);
   for (const Interval &R : Opts.ExtraReserved)
@@ -41,11 +81,57 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   Out.B0Table = P.b0Table();
   Out.Rewritten.B0Sites = P.b0Table(); // self-contained rewritten binary
   Out.Sites = P.results();
+  Out.Chunks = P.chunks();
+  Out.Jumps = P.jumps();
+  Out.ModifiedRanges = P.modifiedRanges();
 
-  Out.Grouping = core::groupPages(P.chunks(), Opts.Grouping);
+  // Error budget: refuse to hand back a binary with more unpatched sites
+  // than the caller tolerates. The message names the first few failures
+  // with their reasons so the caller can see *why*, not just "failed".
+  size_t NFailed = Out.Stats.count(core::Tactic::Failed);
+  if (NFailed > Opts.MaxFailedSites) {
+    std::string Msg =
+        format("rewrite exceeded the failed-site budget: %zu sites failed "
+               "(budget %zu)",
+               NFailed, Opts.MaxFailedSites);
+    size_t Listed = 0;
+    for (const core::PatchSiteResult &S : Out.Sites) {
+      if (S.Used != core::Tactic::Failed)
+        continue;
+      if (Listed == 8) {
+        Msg += format("; ... and %zu more", NFailed - Listed);
+        break;
+      }
+      Msg += format("%s %s (%s)", Listed ? "," : ":", hex(S.Addr).c_str(),
+                    core::failureReasonName(S.Reason));
+      ++Listed;
+    }
+    return Result<RewriteOutput>::error(Msg);
+  }
+
+  auto Grouped = core::groupPages(P.chunks(), Opts.Grouping);
+  if (!Grouped)
+    return Result<RewriteOutput>::error(
+        format("grouping failed: %s", Grouped.reason().c_str()));
+  Out.Grouping = Grouped.take();
   Out.Rewritten.Blocks = std::move(Out.Grouping.Blocks);
   Out.Rewritten.Mappings = Out.Grouping.Mappings;
 
+  injectOutputCorruption(Out);
+
   Out.NewFileSize = elf::write(Out.Rewritten).size();
+
+  if (Opts.Strict || Opts.Verify) {
+    verify::VerifyInput VIn;
+    VIn.Original = &In;
+    VIn.Rewritten = &Out.Rewritten;
+    VIn.Sites = &Out.Sites;
+    VIn.Jumps = &Out.Jumps;
+    VIn.Chunks = &Out.Chunks;
+    VIn.ModifiedRanges = &Out.ModifiedRanges;
+    Out.Verify = verify::verifyRewrite(VIn, Opts.VerifyOpts);
+    if (Opts.Strict && !Out.Verify.ok())
+      return Result<RewriteOutput>::error(Out.Verify.summary());
+  }
   return Out;
 }

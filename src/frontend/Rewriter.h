@@ -28,7 +28,9 @@
 #include "core/Patcher.h"
 #include "elf/Image.h"
 #include "support/IntervalSet.h"
+#include "verify/Verifier.h"
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>
@@ -45,6 +47,19 @@ struct RewriteOptions {
   /// Optional per-site trampoline spec (overrides Patch.Spec), e.g. a
   /// distinct counter slot per location or a one-off binary patch.
   std::function<core::TrampolineSpec(uint64_t Addr)> SpecFor;
+
+  /// Fail closed: run the post-rewrite verifier and turn any verification
+  /// failure into a rewrite error (the report rides in RewriteOutput when
+  /// the call still succeeds, and in the error text when it does not).
+  bool Strict = false;
+  /// Run the verifier and attach its report without failing the rewrite
+  /// (advisory mode; implied by Strict).
+  bool Verify = false;
+  verify::VerifyOptions VerifyOpts;
+  /// Error budget: when more patch locations than this end up Failed, the
+  /// whole rewrite fails with a structured report instead of returning a
+  /// partially-patched binary. SIZE_MAX = unlimited (report-only).
+  size_t MaxFailedSites = SIZE_MAX;
 };
 
 struct RewriteOutput {
@@ -62,6 +77,14 @@ struct RewriteOutput {
   /// B0 side table for the VM trap handler (original bytes per site).
   std::map<uint64_t, std::vector<uint8_t>> B0Table;
   std::vector<core::PatchSiteResult> Sites;
+
+  // Patch artifacts, retained so callers (and the verifier) can re-check
+  // the rewrite without trusting the patcher.
+  std::vector<core::TrampolineChunk> Chunks;
+  std::vector<core::JumpRecord> Jumps;
+  std::vector<Interval> ModifiedRanges;
+  /// Verifier report (empty/ok unless Strict or Verify was set).
+  verify::VerifyReport Verify;
 };
 
 /// Rewrites \p In, patching every location in \p PatchLocs.

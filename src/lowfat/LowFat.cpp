@@ -35,8 +35,7 @@ Result<uint64_t> PlainHeap::alloc(Vm &V, uint64_t Size) {
   Bump += (Size + 15) & ~15ull;
   if (Bump > HeapRegionEnd)
     return Result<uint64_t>::error("plain heap exhausted");
-  if (Status S = ensureMapped(V, Ptr, Size); !S)
-    return Result<uint64_t>(S);
+  E9_TRY_STATUS(ensureMapped(V, Ptr, Size));
   return Ptr;
 }
 
@@ -79,8 +78,7 @@ Result<uint64_t> LowFatHeap::alloc(Vm &V, uint64_t Size) {
     return Result<uint64_t>::error("lowfat: size class region exhausted");
   ++BumpIndex[C];
   ++Allocations;
-  if (Status S = ensureMapped(V, Slot, SlotSize); !S)
-    return Result<uint64_t>(S);
+  E9_TRY_STATUS(ensureMapped(V, Slot, SlotSize));
   // Object data starts after the redzone.
   return Slot + RedzoneSize;
 }
@@ -119,18 +117,14 @@ Status LowFatHeap::check(uint64_t Ptr) {
 
 void lowfat::installPlainHeap(Vm &V, PlainHeap &Heap) {
   V.registerHook(HookMalloc, [&Heap](Vm &Vm) -> Status {
-    auto P = Heap.alloc(Vm, Vm.Core.Gpr[7]); // rdi = size
-    if (!P.isOk())
-      return Status::error(P.reason());
-    Vm.Core.Gpr[0] = *P;
+    E9_TRY(P, Heap.alloc(Vm, Vm.Core.Gpr[7])); // rdi = size
+    Vm.Core.Gpr[0] = P;
     return Status::ok();
   });
   V.registerHook(HookCalloc, [&Heap](Vm &Vm) -> Status {
     uint64_t Total = Vm.Core.Gpr[7] * Vm.Core.Gpr[6]; // rdi * rsi
-    auto P = Heap.alloc(Vm, Total);
-    if (!P.isOk())
-      return Status::error(P.reason());
-    Vm.Core.Gpr[0] = *P; // pages start zeroed
+    E9_TRY(P, Heap.alloc(Vm, Total));
+    Vm.Core.Gpr[0] = P; // pages start zeroed
     return Status::ok();
   });
   V.registerHook(HookFree, [&Heap](Vm &Vm) -> Status {
@@ -140,17 +134,13 @@ void lowfat::installPlainHeap(Vm &V, PlainHeap &Heap) {
 
 void lowfat::installLowFatHeap(Vm &V, LowFatHeap &Heap) {
   V.registerHook(HookMalloc, [&Heap](Vm &Vm) -> Status {
-    auto P = Heap.alloc(Vm, Vm.Core.Gpr[7]);
-    if (!P.isOk())
-      return Status::error(P.reason());
-    Vm.Core.Gpr[0] = *P;
+    E9_TRY(P, Heap.alloc(Vm, Vm.Core.Gpr[7]));
+    Vm.Core.Gpr[0] = P;
     return Status::ok();
   });
   V.registerHook(HookCalloc, [&Heap](Vm &Vm) -> Status {
-    auto P = Heap.alloc(Vm, Vm.Core.Gpr[7] * Vm.Core.Gpr[6]);
-    if (!P.isOk())
-      return Status::error(P.reason());
-    Vm.Core.Gpr[0] = *P;
+    E9_TRY(P, Heap.alloc(Vm, Vm.Core.Gpr[7] * Vm.Core.Gpr[6]));
+    Vm.Core.Gpr[0] = P;
     return Status::ok();
   });
   V.registerHook(HookFree, [&Heap](Vm &Vm) -> Status {

@@ -1,0 +1,117 @@
+//===- support/FaultInjector.cpp ------------------------------*- C++ -*-===//
+
+#include "support/FaultInjector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace e9;
+
+bool e9::FaultInjectionArmed = false;
+
+namespace {
+
+/// The site registry. Every E9_FAULT_POINT in the tree must name one of
+/// these; the fault-injection sweep test iterates the list.
+const char *const SiteRegistry[] = {
+    "elf.read.ehdr",           // elf::read: ELF header parse
+    "elf.read.phdr",           // elf::read: program header parse
+    "elf.read.note",           // elf::read: E9REPRO mapping-note parse
+    "elf.write.file",          // elf::writeFile: simulated I/O error
+    "frontend.disasm.decode",  // frontend::rewrite: disassembly failure
+    "core.alloc.allocate",     // core::Allocator: address-space exhaustion
+    "core.group.merge",        // core::groupPages: grouping merge failure
+    "core.group.corrupt-block",   // silent corruption: trampoline block byte
+    "core.group.corrupt-mapping", // silent corruption: mapping-table entry
+    "core.patch.corrupt-site",    // silent corruption: patched-site byte
+    "vm.load.mapping",         // vm::load: mapping application failure
+};
+
+uint64_t mix64(uint64_t X) {
+  // splitmix64 finalizer.
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t hashName(const char *S) {
+  uint64_t H = 1469598103934665603ULL;
+  for (; *S; ++S) {
+    H ^= static_cast<uint8_t>(*S);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+} // namespace
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector I;
+  return I;
+}
+
+const std::vector<std::string> &FaultInjector::sites() {
+  static const std::vector<std::string> Sites(std::begin(SiteRegistry),
+                                              std::end(SiteRegistry));
+  return Sites;
+}
+
+bool FaultInjector::isKnownSite(const std::string &Site) {
+  const auto &S = sites();
+  return std::find(S.begin(), S.end(), Site) != S.end();
+}
+
+void FaultInjector::arm(const std::string &Site, uint64_t Skip) {
+  assert(isKnownSite(Site) && "arming an unregistered fault site");
+  disarm();
+  ArmedSite = Site;
+  SkipHits = Skip;
+  FaultInjectionArmed = true;
+}
+
+void FaultInjector::armRandom(uint64_t S, unsigned P) {
+  disarm();
+  Random = true;
+  Seed = S;
+  Percent = std::min(P, 100u);
+  FaultInjectionArmed = true;
+}
+
+void FaultInjector::disarm() {
+  ArmedSite.clear();
+  SkipHits = 0;
+  Random = false;
+  Seed = 0;
+  Percent = 0;
+  Hits = 0;
+  Fired = 0;
+  PerSiteHits.clear();
+  FaultInjectionArmed = false;
+}
+
+bool FaultInjector::shouldFail(const char *Site) {
+  assert(isKnownSite(Site) && "hit on an unregistered fault site");
+  if (Random) {
+    ++Hits;
+    auto It = std::find_if(PerSiteHits.begin(), PerSiteHits.end(),
+                           [&](const auto &P) { return P.first == Site; });
+    if (It == PerSiteHits.end())
+      It = PerSiteHits.emplace(PerSiteHits.end(), Site, 0);
+    uint64_t Ordinal = It->second++;
+    uint64_t H = mix64(Seed ^ hashName(Site) ^ mix64(Ordinal));
+    if (H % 100 < Percent) {
+      ++Fired;
+      return true;
+    }
+    return false;
+  }
+  if (ArmedSite != Site)
+    return false;
+  uint64_t Ordinal = Hits++;
+  if (Ordinal < SkipHits)
+    return false;
+  ++Fired;
+  return true;
+}

@@ -1,0 +1,89 @@
+//===- support/FaultInjector.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seeded fault injector for exercising the pipeline's
+/// error paths. Fallible stages consult named sites via the cheap
+/// E9_FAULT_POINT(name) hook; tests arm one site (or a seeded random
+/// subset of hits) and assert the failure surfaces as a clean Status
+/// error end-to-end — no crash, no assert, no corrupted output.
+///
+/// The fast path is a single global bool test, so production code pays
+/// nothing while the injector is disarmed. Site names are registered
+/// statically in FaultInjector.cpp; shouldFail() rejects unknown names so
+/// a typo in a hook cannot silently create an untestable site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_FAULTINJECTOR_H
+#define E9_SUPPORT_FAULTINJECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace e9 {
+
+/// True only while some site is armed (fast-path guard; modified solely by
+/// FaultInjector::arm/armRandom/disarm).
+extern bool FaultInjectionArmed;
+
+/// Process-wide injector (the pipeline is single-threaded; tests arm,
+/// run one pipeline, then disarm).
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Every site name the pipeline consults, in registration order. Tests
+  /// sweep this list so a newly added hook is exercised automatically.
+  static const std::vector<std::string> &sites();
+  static bool isKnownSite(const std::string &Site);
+
+  /// Arms \p Site: every hit of it with ordinal >= \p SkipHits fails
+  /// (sticky — retries keep failing, as a real broken dependency would).
+  void arm(const std::string &Site, uint64_t SkipHits = 0);
+
+  /// Chaos mode: each hit of *any* site fails with probability
+  /// \p Percent / 100, decided by a deterministic hash of (\p Seed, site
+  /// name, per-site hit ordinal) — the same seed replays the same faults.
+  void armRandom(uint64_t Seed, unsigned Percent);
+
+  /// Disarms everything and clears the hit/fire counters.
+  void disarm();
+
+  /// True when at least one hit has been failed since the last arm.
+  bool fired() const { return Fired != 0; }
+  uint64_t fireCount() const { return Fired; }
+  /// Total hits of the armed site (arm) or of all sites (armRandom).
+  uint64_t hitCount() const { return Hits; }
+
+  /// Slow path behind E9_FAULT_POINT; returns true when the hit must fail.
+  bool shouldFail(const char *Site);
+
+private:
+  FaultInjector() = default;
+
+  std::string ArmedSite; ///< Empty in chaos mode.
+  uint64_t SkipHits = 0;
+  bool Random = false;
+  uint64_t Seed = 0;
+  unsigned Percent = 0;
+  uint64_t Hits = 0;
+  uint64_t Fired = 0;
+  std::vector<std::pair<std::string, uint64_t>> PerSiteHits;
+};
+
+/// The hook the pipeline calls. Returns true when the caller must fail
+/// this operation (with a normal Status error naming the site).
+inline bool faultPoint(const char *Site) {
+  return FaultInjectionArmed && FaultInjector::instance().shouldFail(Site);
+}
+
+} // namespace e9
+
+#define E9_FAULT_POINT(Site) (::e9::faultPoint(Site))
+
+#endif // E9_SUPPORT_FAULTINJECTOR_H

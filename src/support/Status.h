@@ -78,16 +78,34 @@ public:
   T *operator->() { return &operator*(); }
   const T *operator->() const { return &operator*(); }
 
-  /// Returns the failure reason; only valid when !isOk().
+  /// Returns the failure reason; empty for success values (mirrors
+  /// Status::reason(), so error paths can forward it unconditionally).
   const std::string &reason() const {
-    assert(!isOk() && "reading the error of a successful Result");
+    if (isOk()) {
+      static const std::string Empty;
+      return Empty;
+    }
     return Err->reason();
   }
 
-  /// Moves the value out; only valid when isOk().
+  /// Returns the whole state as a Status (ok or the stored error).
+  Status status() const { return isOk() ? Status::ok() : *Err; }
+
+  /// Moves the error out; only valid when !isOk().
+  Status takeError() {
+    assert(!isOk() && "taking the error of a successful Result");
+    return std::move(*Err);
+  }
+
+  /// Moves the value out. The Result becomes an observable consumed
+  /// state: isOk() is false afterwards and reason() says so, instead of
+  /// the silent moved-from limbo that hid double-take bugs.
   T take() {
     assert(isOk() && "taking the value of a failed Result");
-    return std::move(*Value);
+    T V = std::move(*Value);
+    Value.reset();
+    Err = Status::error("value already taken from Result");
+    return V;
   }
 
 private:
@@ -103,5 +121,25 @@ private:
 
 #define e9_unreachable(Msg)                                                    \
   ::e9::unreachableInternal(Msg, __FILE__, __LINE__)
+
+/// Evaluates \p Expr (a Result<T> expression), propagates a failure as a
+/// Status error (which converts implicitly to any Result<U>), and binds
+/// the taken value to \p Var otherwise:
+///
+/// \code
+///   E9_TRY(Img, elf::readFile(Path));   // Img is the parsed elf::Image
+/// \endcode
+#define E9_TRY(Var, Expr)                                                      \
+  auto Var##_e9try = (Expr);                                                   \
+  if (!Var##_e9try)                                                            \
+    return ::e9::Status::error(Var##_e9try.reason());                          \
+  auto Var = Var##_e9try.take()
+
+/// Same for a Status expression: propagates failure, no value to bind.
+#define E9_TRY_STATUS(Expr)                                                    \
+  do {                                                                         \
+    if (::e9::Status E9TryStatus_ = (Expr); !E9TryStatus_)                     \
+      return E9TryStatus_;                                                     \
+  } while (false)
 
 #endif // E9_SUPPORT_STATUS_H

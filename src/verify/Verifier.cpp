@@ -1,0 +1,697 @@
+//===- verify/Verifier.cpp ------------------------------------*- C++ -*-===//
+
+#include "verify/Verifier.h"
+
+#include "lowfat/LowFat.h"
+#include "support/Format.h"
+#include "vm/Loader.h"
+#include "vm/Vm.h"
+#include "x86/Decoder.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace e9;
+using namespace e9::verify;
+
+const char *verify::failureKindName(FailureKind K) {
+  static const char *const Names[] = {
+      "bad-input",          "segment-shape",     "unpatched-byte-changed",
+      "unaccounted-write",  "site-bad-decode",   "site-bad-target",
+      "site-missing-record", "mapping-invalid",  "mapping-conflict",
+      "trampoline-bytes-wrong", "stray-block-byte", "b0-table-mismatch",
+      "differential-divergence"};
+  return Names[static_cast<size_t>(K)];
+}
+
+std::string VerifyReport::summary(size_t MaxListed) const {
+  if (ok())
+    return format("verification OK: %zu jumps, %zu sites, %llu bytes, "
+                  "%zu mappings, %llu trampoline bytes, %zu runs checked",
+                  JumpsChecked, SitesChecked,
+                  static_cast<unsigned long long>(BytesCompared),
+                  MappingsChecked,
+                  static_cast<unsigned long long>(ChunkBytesChecked),
+                  WorkloadsRun);
+  std::string S = format("verification FAILED with %zu failure(s)%s:",
+                         Failures.size(), Truncated ? " (truncated)" : "");
+  for (size_t I = 0; I != Failures.size() && I != MaxListed; ++I) {
+    const VerifyFailure &F = Failures[I];
+    S += format("\n  [%s] %s: %s", failureKindName(F.Kind),
+                hex(F.Addr).c_str(), F.Message.c_str());
+  }
+  if (Failures.size() > MaxListed)
+    S += format("\n  ... and %zu more", Failures.size() - MaxListed);
+  return S;
+}
+
+namespace {
+
+constexpr uint64_t PageSize = 4096;
+
+uint64_t alignUp(uint64_t V, uint64_t A) { return (V + A - 1) / A * A; }
+
+/// Architectural outcome of one VM execution.
+struct ExecState {
+  vm::RunResult R;
+  std::array<uint64_t, 16> Gpr{};
+  uint64_t Checksum = 0;
+  uint64_t Violations = 0;
+};
+
+/// Local B0 trap handler (mirrors frontend::installB0Handler; duplicated
+/// so the verifier stays below the frontend in the layering).
+void installB0(vm::Vm &V,
+               const std::map<uint64_t, std::vector<uint8_t>> &Table) {
+  V.setTrapHandler([&Table](vm::Vm &Vm, uint64_t Addr) -> Status {
+    auto It = Table.find(Addr);
+    if (It == Table.end())
+      return Status::error(
+          format("int3 at %s has no B0 side-table entry", hex(Addr).c_str()));
+    x86::Insn I;
+    if (x86::decode(It->second.data(), It->second.size(), Addr, I) !=
+        x86::DecodeStatus::Ok)
+      return Status::error("corrupt B0 side-table entry");
+    vm::Vm::ExecKind Kind;
+    if (Status S = Vm.execInsn(I, It->second.data(), Kind); !S)
+      return S;
+    if (Kind != vm::Vm::ExecKind::Ok)
+      return Status::error("B0 site may not halt/abort");
+    return Status::ok();
+  });
+}
+
+/// FNV-1a over the writable data segments as seen by the VM, skipping
+/// untouched demand-zero pages and instrumentation-owned segments (the
+/// counter segment is written only by the rewritten run by design).
+uint64_t dataChecksum(vm::Vm &V, const elf::Image &Img) {
+  uint64_t H = 1469598103934665603ULL;
+  for (const elf::Segment &S : Img.Segments) {
+    if (!(S.Flags & elf::PF_W) || S.Name == "counters")
+      continue;
+    std::vector<uint8_t> Buf(PageSize);
+    for (uint64_t Off = 0; Off < S.MemSize; Off += Buf.size()) {
+      size_t N = static_cast<size_t>(
+          std::min<uint64_t>(Buf.size(), S.MemSize - Off));
+      if (V.Mem.isDemandZero(S.VAddr + Off))
+        continue;
+      if (!V.Mem.read(S.VAddr + Off, Buf.data(), N))
+        break;
+      for (size_t I = 0; I != N; ++I) {
+        H ^= Buf[I];
+        H *= 1099511628211ULL;
+      }
+    }
+  }
+  return H;
+}
+
+ExecState execImage(const elf::Image &Img, const VerifyOptions &Opts,
+                    const std::unordered_set<uint64_t> *Filter,
+                    std::vector<uint64_t> *Trace) {
+  ExecState Out;
+  vm::Vm V;
+  lowfat::PlainHeap Plain;
+  lowfat::LowFatHeap LowFat;
+  if (Opts.UseLowFatHeap) {
+    // Count violations instead of aborting so both runs complete and the
+    // counters themselves can be compared.
+    LowFat.AbortOnViolation = false;
+    lowfat::installLowFatHeap(V, LowFat);
+  } else {
+    lowfat::installPlainHeap(V, Plain);
+  }
+  if (!Img.B0Sites.empty())
+    installB0(V, Img.B0Sites);
+  if (Trace)
+    V.OnStep = [&](uint64_t Rip) {
+      if (Trace->size() < Opts.MaxTraceSteps &&
+          (!Filter || Filter->count(Rip)))
+        Trace->push_back(Rip);
+    };
+
+  auto Loaded = vm::load(V, Img);
+  if (!Loaded.isOk()) {
+    Out.R.Kind = vm::RunResult::Exit::Fault;
+    Out.R.Error = Loaded.reason();
+    return Out;
+  }
+  Out.R = V.run(Opts.MaxInsns);
+  Out.Gpr = V.Core.Gpr;
+  Out.Violations = LowFat.violations();
+  Out.Checksum = dataChecksum(V, Img);
+  return Out;
+}
+
+class Checker {
+public:
+  Checker(const VerifyInput &In, const VerifyOptions &Opts)
+      : In(In), Opts(Opts) {}
+
+  VerifyReport run() {
+    if (!In.Original || !In.Rewritten) {
+      fail(FailureKind::BadInput, 0,
+           "verifier needs both the original and the rewritten image");
+      return std::move(Report);
+    }
+    checkShape();
+    if (Opts.CheckText && !Report.Truncated) {
+      checkBytes();
+      checkSites();
+      checkB0();
+    }
+    if (Opts.CheckMappings && !Report.Truncated)
+      checkMappings();
+    if (Opts.Differential && !Report.Truncated)
+      checkDifferential();
+    return std::move(Report);
+  }
+
+private:
+  const VerifyInput &In;
+  const VerifyOptions &Opts;
+  VerifyReport Report;
+
+  bool fail(FailureKind K, uint64_t Addr, std::string Msg) {
+    if (Report.Failures.size() >= Opts.MaxFailures) {
+      Report.Truncated = true;
+      return false;
+    }
+    Report.Failures.push_back(VerifyFailure{K, Addr, std::move(Msg)});
+    return true;
+  }
+
+  // --- 0. Image shape ---------------------------------------------------
+
+  void checkShape() {
+    const elf::Image &O = *In.Original, &R = *In.Rewritten;
+    if (O.Entry != R.Entry)
+      fail(FailureKind::SegmentShape, R.Entry,
+           format("entry point changed from %s", hex(O.Entry).c_str()));
+    if (O.Pie != R.Pie)
+      fail(FailureKind::SegmentShape, 0, "PIE-ness changed");
+    if (O.Segments.size() != R.Segments.size()) {
+      fail(FailureKind::SegmentShape, 0,
+           format("segment count changed: %zu -> %zu", O.Segments.size(),
+                  R.Segments.size()));
+      return;
+    }
+    for (size_t I = 0; I != O.Segments.size(); ++I) {
+      const elf::Segment &A = O.Segments[I], &B = R.Segments[I];
+      if (A.VAddr != B.VAddr || A.MemSize != B.MemSize ||
+          A.Flags != B.Flags || A.Bytes.size() != B.Bytes.size())
+        fail(FailureKind::SegmentShape, B.VAddr,
+             format("segment %zu layout changed (vaddr/size/flags)", I));
+    }
+  }
+
+  // --- 1+2. Byte-exactness outside the recorded writes ------------------
+
+  void checkBytes() {
+    const elf::Image &O = *In.Original, &R = *In.Rewritten;
+
+    IntervalSet Modified;
+    if (In.ModifiedRanges)
+      for (const Interval &I : *In.ModifiedRanges)
+        Modified.insert(I);
+
+    IntervalSet Written;
+    if (In.Jumps)
+      for (const core::JumpRecord &J : *In.Jumps)
+        Written.insert(J.Addr, J.Addr + J.WrittenLen);
+
+    // Every differing byte must be inside the recorded modified ranges.
+    size_t N = std::min(O.Segments.size(), R.Segments.size());
+    for (size_t S = 0; S != N; ++S) {
+      const std::vector<uint8_t> &A = O.Segments[S].Bytes;
+      const std::vector<uint8_t> &B = R.Segments[S].Bytes;
+      uint64_t Base = O.Segments[S].VAddr;
+      size_t Len = std::min(A.size(), B.size());
+      Report.BytesCompared += Len;
+      for (size_t I = 0; I != Len; ++I) {
+        if (A[I] == B[I])
+          continue;
+        uint64_t Addr = Base + I;
+        if (In.ModifiedRanges && Modified.contains(Addr))
+          continue;
+        if (!fail(FailureKind::UnpatchedByteChanged, Addr,
+                  format("byte changed %02x -> %02x outside any recorded "
+                         "patch write",
+                         A[I], B[I])))
+          return;
+      }
+    }
+
+    // Every recorded modified range must be backed by a jump record (a
+    // modification nobody wrote a jump for is a stray write).
+    if (In.ModifiedRanges && In.Jumps) {
+      for (const Interval &M : *In.ModifiedRanges) {
+        std::vector<Interval> Missing;
+        Written.missingRanges(M.Lo, M.Hi, Missing);
+        for (const Interval &G : Missing)
+          if (!fail(FailureKind::UnaccountedWrite, G.Lo,
+                    format("modified range [%s, %s) has no jump record",
+                           hex(G.Lo).c_str(), hex(G.Hi).c_str())))
+            return;
+      }
+    }
+  }
+
+  // --- Site/jump re-decode ----------------------------------------------
+
+  /// True when \p Addr resolves into executable memory of the rewritten
+  /// image: an executable segment or an executable trampoline mapping.
+  bool resolvesExecutable(uint64_t Addr) const {
+    for (const elf::Segment &S : In.Rewritten->Segments)
+      if ((S.Flags & elf::PF_X) && S.containsAddr(Addr))
+        return true;
+    for (const elf::Mapping &M : In.Rewritten->Mappings)
+      if ((M.Flags & elf::PF_X) && Addr >= M.VAddr &&
+          Addr - M.VAddr < M.Size)
+        return true;
+    return false;
+  }
+
+  void checkSites() {
+    if (!In.Jumps)
+      return;
+    const elf::Image &R = *In.Rewritten;
+
+    std::unordered_set<uint64_t> ChunkStarts;
+    if (In.Chunks)
+      for (const core::TrampolineChunk &C : *In.Chunks)
+        ChunkStarts.insert(C.Addr);
+
+    std::unordered_map<uint64_t, const core::JumpRecord *> At;
+    for (const core::JumpRecord &J : *In.Jumps)
+      At[J.Addr] = &J;
+
+    for (const core::JumpRecord &J : *In.Jumps) {
+      ++Report.JumpsChecked;
+      const elf::Segment *S = R.findSegment(J.Addr);
+      uint8_t Buf[x86::MaxInsnLength] = {};
+      uint64_t Avail = 0;
+      if (S && J.Addr >= S->VAddr && J.Addr - S->VAddr < S->Bytes.size())
+        Avail = std::min<uint64_t>(x86::MaxInsnLength,
+                                   S->VAddr + S->Bytes.size() - J.Addr);
+      if (Avail == 0 || !R.readBytes(J.Addr, Buf, Avail)) {
+        if (!fail(FailureKind::SiteBadDecode, J.Addr,
+                  "patched site is not inside file-backed segment content"))
+          return;
+        continue;
+      }
+
+      x86::Insn I;
+      if (x86::decode(Buf, Avail, J.Addr, I) != x86::DecodeStatus::Ok) {
+        if (!fail(FailureKind::SiteBadDecode, J.Addr,
+                  format("patched site does not decode (bytes: %s)",
+                         hexBytes(Buf, std::min<uint64_t>(Avail, 8)).c_str())))
+          return;
+        continue;
+      }
+      bool KindOk = (J.Kind == core::JumpKind::JmpRel32 && I.isJmpRel32()) ||
+                    (J.Kind == core::JumpKind::JmpRel8 && I.isJmpRel8()) ||
+                    (J.Kind == core::JumpKind::Int3 && I.isInt3());
+      if (!KindOk || I.Length != J.EncLen) {
+        if (!fail(FailureKind::SiteBadDecode, J.Addr,
+                  format("patched site decodes to the wrong encoding "
+                         "(got opcode %02x len %u, want kind %u len %u)",
+                         I.Opcode, I.Length, static_cast<unsigned>(J.Kind),
+                         J.EncLen)))
+          return;
+        continue;
+      }
+      if (J.Kind == core::JumpKind::Int3)
+        continue;
+      uint64_t Target = I.branchTarget();
+      if (Target != J.Target) {
+        if (!fail(FailureKind::SiteBadTarget, J.Addr,
+                  format("jump goes to %s instead of %s",
+                         hex(Target).c_str(), hex(J.Target).c_str())))
+          return;
+        continue;
+      }
+      if (J.Kind == core::JumpKind::JmpRel32) {
+        if (In.Chunks && !ChunkStarts.count(Target)) {
+          if (!fail(FailureKind::SiteBadTarget, J.Addr,
+                    format("jump target %s is not a trampoline entry",
+                           hex(Target).c_str())))
+            return;
+          continue;
+        }
+        if (!resolvesExecutable(Target) &&
+            !fail(FailureKind::SiteBadTarget, J.Addr,
+                  format("jump target %s resolves to no executable memory",
+                         hex(Target).c_str())))
+          return;
+      }
+    }
+
+    // Cross-check each successfully patched site against the records.
+    if (!In.Sites)
+      return;
+    for (const core::PatchSiteResult &Site : *In.Sites) {
+      if (Site.Used == core::Tactic::Failed)
+        continue;
+      ++Report.SitesChecked;
+      auto It = At.find(Site.Addr);
+      if (It == At.end()) {
+        if (!fail(FailureKind::SiteMissingRecord, Site.Addr,
+                  format("site patched via %s has no jump record",
+                         core::tacticName(Site.Used))))
+          return;
+        continue;
+      }
+      const core::JumpRecord &J = *It->second;
+      bool Ok = false;
+      switch (Site.Used) {
+      case core::Tactic::B0:
+        Ok = J.Kind == core::JumpKind::Int3 &&
+             In.Rewritten->B0Sites.count(Site.Addr) != 0;
+        break;
+      case core::Tactic::T3: {
+        // Normal T3: JShort -> JPatch -> trampoline. A site rescued as a
+        // T3 victim instead carries the JVictim rel32 directly.
+        if (J.Kind == core::JumpKind::JmpRel8) {
+          auto JP = At.find(J.Target);
+          Ok = JP != At.end() &&
+               JP->second->Kind == core::JumpKind::JmpRel32 &&
+               JP->second->Target == Site.TrampolineAddr;
+        } else {
+          Ok = J.Kind == core::JumpKind::JmpRel32 &&
+               J.Target == Site.TrampolineAddr;
+        }
+        break;
+      }
+      default:
+        Ok = J.Kind == core::JumpKind::JmpRel32 &&
+             J.Target == Site.TrampolineAddr;
+        break;
+      }
+      if (!Ok &&
+          !fail(FailureKind::SiteBadTarget, Site.Addr,
+                format("site patched via %s does not reach its trampoline "
+                       "%s through the recorded encoding",
+                       core::tacticName(Site.Used),
+                       hex(Site.TrampolineAddr).c_str())))
+        return;
+    }
+  }
+
+  // --- B0 side table ----------------------------------------------------
+
+  void checkB0() {
+    const elf::Image &O = *In.Original, &R = *In.Rewritten;
+    std::unordered_set<uint64_t> Int3Addrs;
+    if (In.Jumps)
+      for (const core::JumpRecord &J : *In.Jumps)
+        if (J.Kind == core::JumpKind::Int3)
+          Int3Addrs.insert(J.Addr);
+
+    for (const auto &[Addr, Bytes] : R.B0Sites) {
+      if (In.Jumps && !Int3Addrs.count(Addr)) {
+        if (!fail(FailureKind::B0TableMismatch, Addr,
+                  "B0 table entry for a site that carries no int3"))
+          return;
+        continue;
+      }
+      if (Bytes.empty() || Bytes.size() > x86::MaxInsnLength) {
+        if (!fail(FailureKind::B0TableMismatch, Addr,
+                  "B0 table entry has an impossible length"))
+          return;
+        continue;
+      }
+      std::vector<uint8_t> Orig(Bytes.size());
+      if (!O.readBytes(Addr, Orig.data(), Orig.size()) || Orig != Bytes) {
+        if (!fail(FailureKind::B0TableMismatch, Addr,
+                  "B0 table entry differs from the original instruction "
+                  "bytes"))
+          return;
+        continue;
+      }
+      x86::Insn I;
+      if (x86::decode(Bytes.data(), Bytes.size(), Addr, I) !=
+              x86::DecodeStatus::Ok ||
+          I.Length != Bytes.size()) {
+        if (!fail(FailureKind::B0TableMismatch, Addr,
+                  "B0 table entry does not decode to one instruction"))
+          return;
+      }
+    }
+    if (In.Jumps)
+      for (uint64_t Addr : Int3Addrs)
+        if (!R.B0Sites.count(Addr) &&
+            !fail(FailureKind::B0TableMismatch, Addr,
+                  "int3 site missing from the B0 side table"))
+          return;
+  }
+
+  // --- 3. Mapping-table / grouping consistency --------------------------
+
+  void checkMappings() {
+    const elf::Image &R = *In.Rewritten;
+
+    // Page-granular segment occupancy, for collision checks.
+    IntervalSet SegPages;
+    for (const elf::Segment &S : R.Segments)
+      SegPages.insert(S.VAddr / PageSize * PageSize,
+                      alignUp(S.endAddr(), PageSize));
+
+    std::vector<const elf::Mapping *> Sorted;
+    for (const elf::Mapping &M : R.Mappings)
+      Sorted.push_back(&M);
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const elf::Mapping *A, const elf::Mapping *B) {
+                return A->VAddr < B->VAddr;
+              });
+
+    const elf::Mapping *Prev = nullptr;
+    for (const elf::Mapping *MP : Sorted) {
+      const elf::Mapping &M = *MP;
+      ++Report.MappingsChecked;
+      if ((M.VAddr % PageSize) != 0 || (M.Offset % PageSize) != 0) {
+        if (!fail(FailureKind::MappingInvalid, M.VAddr,
+                  "mapping is not page aligned"))
+          return;
+        continue;
+      }
+      if (M.Size == 0 || M.VAddr + M.Size < M.VAddr) {
+        if (!fail(FailureKind::MappingInvalid, M.VAddr,
+                  "mapping size is empty or wraps the address space"))
+          return;
+        continue;
+      }
+      if (M.BlockIndex >= R.Blocks.size()) {
+        if (!fail(FailureKind::MappingInvalid, M.VAddr,
+                  format("mapping references missing block %u",
+                         M.BlockIndex)))
+          return;
+        continue;
+      }
+      const elf::PhysBlock &B = R.Blocks[M.BlockIndex];
+      if (M.Offset + M.Size < M.Offset ||
+          M.Offset + M.Size > B.Bytes.size()) {
+        if (!fail(FailureKind::MappingInvalid, M.VAddr,
+                  format("mapping [off %s + size %s] exceeds block %u "
+                         "(%zu bytes)",
+                         hex(M.Offset).c_str(), hex(M.Size).c_str(),
+                         M.BlockIndex, B.Bytes.size())))
+          return;
+        continue;
+      }
+      if (!(M.Flags & elf::PF_X) || (M.Flags & elf::PF_W)) {
+        if (!fail(FailureKind::MappingInvalid, M.VAddr,
+                  "trampoline mapping must be executable and non-writable"))
+          return;
+        continue;
+      }
+      if (Prev && Prev->VAddr + Prev->Size > M.VAddr) {
+        if (!fail(FailureKind::MappingConflict, M.VAddr,
+                  format("mapping overlaps the one at %s",
+                         hex(Prev->VAddr).c_str())))
+          return;
+        continue;
+      }
+      Prev = MP;
+
+      // A mapped page colliding with a segment page may carry only zero
+      // block bytes (the loader skips it; nonzero bytes would be lost).
+      for (uint64_t P = M.VAddr; P < M.VAddr + M.Size; P += PageSize) {
+        if (!SegPages.overlaps(P, P + PageSize))
+          continue;
+        uint64_t Off = M.Offset + (P - M.VAddr);
+        bool AllZero = true;
+        for (uint64_t I = Off; I < Off + PageSize && I < B.Bytes.size(); ++I)
+          if (B.Bytes[I] != 0) {
+            AllZero = false;
+            break;
+          }
+        if (!AllZero &&
+            !fail(FailureKind::MappingConflict, P,
+                  format("mapping page at %s carries trampoline bytes but "
+                         "collides with a segment",
+                         hex(P).c_str())))
+          return;
+      }
+    }
+
+    checkChunkBytes();
+  }
+
+  /// Every trampoline chunk byte must survive the virtual->physical
+  /// resolution, and every nonzero block byte must be claimed by a chunk.
+  void checkChunkBytes() {
+    if (!In.Chunks)
+      return;
+    const elf::Image &R = *In.Rewritten;
+
+    std::vector<std::vector<bool>> Claimed(R.Blocks.size());
+    for (size_t I = 0; I != R.Blocks.size(); ++I)
+      Claimed[I].assign(R.Blocks[I].Bytes.size(), false);
+
+    for (const core::TrampolineChunk &C : *In.Chunks) {
+      for (size_t I = 0; I != C.Bytes.size(); ++I) {
+        uint64_t A = C.Addr + I;
+        ++Report.ChunkBytesChecked;
+        const elf::Mapping *Found = nullptr;
+        for (const elf::Mapping &M : R.Mappings)
+          if (A >= M.VAddr && A - M.VAddr < M.Size &&
+              M.BlockIndex < R.Blocks.size()) {
+            Found = &M;
+            break;
+          }
+        if (!Found) {
+          if (!fail(FailureKind::TrampolineBytesWrong, A,
+                    "trampoline byte is covered by no mapping"))
+            return;
+          continue;
+        }
+        uint64_t Off = Found->Offset + (A - Found->VAddr);
+        const std::vector<uint8_t> &BB = R.Blocks[Found->BlockIndex].Bytes;
+        if (Off >= BB.size() || BB[Off] != C.Bytes[I]) {
+          if (!fail(FailureKind::TrampolineBytesWrong, A,
+                    format("trampoline byte resolves to %02x, want %02x",
+                           Off < BB.size() ? BB[Off] : 0u, C.Bytes[I])))
+            return;
+          continue;
+        }
+        Claimed[Found->BlockIndex][Off] = true;
+      }
+    }
+
+    for (size_t B = 0; B != R.Blocks.size(); ++B)
+      for (size_t I = 0; I != R.Blocks[B].Bytes.size(); ++I)
+        if (R.Blocks[B].Bytes[I] != 0 && !Claimed[B][I] &&
+            !fail(FailureKind::StrayBlockByte, I,
+                  format("block %zu byte %zu is %02x but no trampoline "
+                         "claims it",
+                         B, I, R.Blocks[B].Bytes[I])))
+          return;
+  }
+
+  // --- 4. Differential execution ----------------------------------------
+
+  /// Instruction starts of the original text whose bytes the patcher
+  /// never touched: they execute at the same rip in both images, so the
+  /// filtered traces must be identical.
+  std::unordered_set<uint64_t> stableRips() const {
+    std::unordered_set<uint64_t> Out;
+    IntervalSet Modified;
+    if (In.ModifiedRanges)
+      for (const Interval &I : *In.ModifiedRanges)
+        Modified.insert(I);
+    const elf::Segment *Text = In.Original->textSegment();
+    if (!Text)
+      return Out;
+    uint64_t A = Text->VAddr, End = Text->VAddr + Text->Bytes.size();
+    while (A < End) {
+      x86::Insn I;
+      if (x86::decode(Text->Bytes.data() + (A - Text->VAddr),
+                      static_cast<size_t>(End - A), A,
+                      I) != x86::DecodeStatus::Ok) {
+        ++A;
+        continue;
+      }
+      if (!Modified.overlaps(A, A + I.Length))
+        Out.insert(A);
+      A += I.Length;
+    }
+    return Out;
+  }
+
+  void checkDifferential() {
+    ExecState O = execImage(*In.Original, Opts, nullptr, nullptr);
+    ExecState R = execImage(*In.Rewritten, Opts, nullptr, nullptr);
+    Report.WorkloadsRun += 2;
+
+    std::vector<std::string> Diffs;
+    if (O.R.Kind != R.R.Kind)
+      Diffs.push_back(format("exit kind %d vs %d (original: \"%s\", "
+                             "rewritten: \"%s\")",
+                             static_cast<int>(O.R.Kind),
+                             static_cast<int>(R.R.Kind), O.R.Error.c_str(),
+                             R.R.Error.c_str()));
+    if (O.R.Kind == vm::RunResult::Exit::Finished &&
+        R.R.Kind == vm::RunResult::Exit::Finished) {
+      for (unsigned G = 0; G != 16; ++G)
+        if (O.Gpr[G] != R.Gpr[G])
+          Diffs.push_back(format("gpr%u %s vs %s", G, hex(O.Gpr[G]).c_str(),
+                                 hex(R.Gpr[G]).c_str()));
+      if (O.Checksum != R.Checksum)
+        Diffs.push_back(format("data checksum %s vs %s",
+                               hex(O.Checksum).c_str(),
+                               hex(R.Checksum).c_str()));
+      if (O.Violations != R.Violations)
+        Diffs.push_back(format("lowfat violations %llu vs %llu",
+                               static_cast<unsigned long long>(O.Violations),
+                               static_cast<unsigned long long>(R.Violations)));
+    }
+    if (Diffs.empty())
+      return;
+
+    std::string Msg = "original and rewritten diverge:";
+    for (const std::string &D : Diffs)
+      Msg += " " + D + ";";
+
+    if (Opts.DiffTraces)
+      Msg += "\n    " + diffTraces();
+    fail(FailureKind::DifferentialDivergence, In.Original->Entry,
+         std::move(Msg));
+  }
+
+  /// Re-runs both images collecting rips restricted to unmodified
+  /// instruction starts and describes the first divergent step.
+  std::string diffTraces() {
+    std::unordered_set<uint64_t> Stable = stableRips();
+    std::vector<uint64_t> TO, TR;
+    execImage(*In.Original, Opts, &Stable, &TO);
+    execImage(*In.Rewritten, Opts, &Stable, &TR);
+    Report.WorkloadsRun += 2;
+
+    size_t N = std::min(TO.size(), TR.size());
+    size_t D = 0;
+    while (D != N && TO[D] == TR[D])
+      ++D;
+    if (D == N && TO.size() == TR.size())
+      return format("stable-rip traces agree for all %zu steps (divergence "
+                    "is outside the unmodified text)",
+                    N);
+    std::string S =
+        format("stable-rip traces diverge at step %zu of %zu/%zu:", D,
+               TO.size(), TR.size());
+    for (size_t I = D >= 3 ? D - 3 : 0; I != std::min(N, D + 1); ++I)
+      S += format(" [%zu] %s|%s", I, hex(I < TO.size() ? TO[I] : 0).c_str(),
+                  hex(I < TR.size() ? TR[I] : 0).c_str());
+    return S;
+  }
+};
+
+} // namespace
+
+VerifyReport verify::verifyRewrite(const VerifyInput &In,
+                                   const VerifyOptions &Opts) {
+  return Checker(In, Opts).run();
+}

@@ -1,0 +1,130 @@
+//===- verify/Verifier.h - Post-rewrite verification -----------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-rewrite verifier: an independent re-check of the rewriter's
+/// output against the paper's preservation argument (§3). The rewriter is
+/// *not* trusted — given the original image, the patch artifacts and the
+/// rewritten image, the verifier re-disassembles and re-resolves
+/// everything from scratch:
+///
+///   1. Every patched site decodes to the intended (padded/punned) jump,
+///      short jump or int3, and its branch target resolves through the
+///      mapping table into executable trampoline memory.
+///   2. Every byte outside the recorded patch writes is unchanged, and
+///      every recorded modified range is accounted for by a jump record
+///      (no stray writes in either direction).
+///   3. The grouping mapping table is consistent: mappings are well
+///      formed, non-overlapping, collide with no segment content, every
+///      trampoline byte survives the virtual->physical resolution, and no
+///      physical block carries bytes nobody claims.
+///   4. Optionally, differential execution: original and rewritten run
+///      under the VM and must produce identical architectural results;
+///      on divergence, traces restricted to unmodified instruction
+///      addresses are diffed to locate the first divergent step.
+///
+/// StrictMode rewriting (frontend::RewriteOptions::Strict) runs these
+/// checks and fails closed: a rewrite that cannot be proven byte-exact is
+/// an error, never a silently-wrong binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_VERIFY_VERIFIER_H
+#define E9_VERIFY_VERIFIER_H
+
+#include "core/Patcher.h"
+#include "elf/Image.h"
+#include "support/IntervalSet.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace e9 {
+namespace verify {
+
+/// What kind of invariant a failure violates.
+enum class FailureKind : uint8_t {
+  BadInput,               ///< Verifier input itself is unusable.
+  SegmentShape,           ///< Segment layout/entry/type differs.
+  UnpatchedByteChanged,   ///< A byte outside the patch writes changed.
+  UnaccountedWrite,       ///< Modified range with no jump record backing.
+  SiteBadDecode,          ///< Patched site does not decode as recorded.
+  SiteBadTarget,          ///< Jump target wrong or unresolvable.
+  SiteMissingRecord,      ///< Patched site has no jump record at all.
+  MappingInvalid,         ///< Malformed mapping-table entry.
+  MappingConflict,        ///< Mapping collides with memory someone owns.
+  TrampolineBytesWrong,   ///< Trampoline byte lost/garbled by grouping.
+  StrayBlockByte,         ///< Unclaimed nonzero byte in a physical block.
+  B0TableMismatch,        ///< B0 side table disagrees with the original.
+  DifferentialDivergence, ///< Original and rewritten behave differently.
+};
+const char *failureKindName(FailureKind K);
+
+/// One verification failure, anchored at an address where applicable.
+struct VerifyFailure {
+  FailureKind Kind = FailureKind::BadInput;
+  uint64_t Addr = 0;
+  std::string Message;
+};
+
+struct VerifyOptions {
+  bool CheckText = true;     ///< Checks 1 + 2 (site decode, byte diff).
+  bool CheckMappings = true; ///< Check 3 (grouping consistency).
+  bool Differential = false; ///< Check 4 (costs two VM executions).
+  /// On differential divergence, re-run both images with tracing and
+  /// report the first diverging step (two more executions).
+  bool DiffTraces = true;
+  /// Run the differential check under the LowFat heap instead of the
+  /// plain bump heap (for instrumented-hardening pipelines).
+  bool UseLowFatHeap = false;
+  uint64_t MaxInsns = 100'000'000;
+  /// Stop collecting after this many failures (the report notes
+  /// truncation). One corrupt block can otherwise fail every byte.
+  size_t MaxFailures = 32;
+  /// Cap on per-run trace entries retained for diffing.
+  size_t MaxTraceSteps = 1u << 20;
+};
+
+/// Everything the verifier gets to see. Original and Rewritten are
+/// required; the patch artifacts enable the corresponding checks (without
+/// Jumps/ModifiedRanges the byte-diff check cannot attribute changes and
+/// reports every difference).
+struct VerifyInput {
+  const elf::Image *Original = nullptr;
+  const elf::Image *Rewritten = nullptr;
+  const std::vector<core::PatchSiteResult> *Sites = nullptr;
+  const std::vector<core::JumpRecord> *Jumps = nullptr;
+  const std::vector<core::TrampolineChunk> *Chunks = nullptr;
+  const std::vector<Interval> *ModifiedRanges = nullptr;
+};
+
+/// The structured fail-closed report.
+struct VerifyReport {
+  std::vector<VerifyFailure> Failures;
+  bool Truncated = false; ///< MaxFailures reached; more exist.
+
+  // Coverage counters (what the verifier actually looked at).
+  size_t JumpsChecked = 0;
+  size_t SitesChecked = 0;
+  uint64_t BytesCompared = 0;
+  size_t MappingsChecked = 0;
+  uint64_t ChunkBytesChecked = 0;
+  size_t WorkloadsRun = 0;
+
+  bool ok() const { return Failures.empty(); }
+  /// One-line outcome plus up to \p MaxListed failure lines.
+  std::string summary(size_t MaxListed = 8) const;
+};
+
+/// Runs every enabled check; never mutates either image.
+VerifyReport verifyRewrite(const VerifyInput &In, const VerifyOptions &Opts);
+
+} // namespace verify
+} // namespace e9
+
+#endif // E9_VERIFY_VERIFIER_H

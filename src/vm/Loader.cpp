@@ -2,6 +2,7 @@
 
 #include "vm/Loader.h"
 
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 
 #include <cstring>
@@ -25,6 +26,11 @@ Result<LoadStats> vm::load(Vm &V, const elf::Image &Img,
   // physical page per (block, page-offset), reused across mappings.
   std::map<std::pair<uint32_t, uint64_t>, PhysPageRef> SharedPages;
   for (const elf::Mapping &M : Img.Mappings) {
+    if (E9_FAULT_POINT("vm.load.mapping"))
+      return Result<LoadStats>::error(format(
+          "injected fault: vm.load.mapping (applying the mapping at %s "
+          "failed)",
+          hex(M.VAddr).c_str()));
     if ((M.VAddr & PageMask) != 0 || (M.Offset & PageMask) != 0)
       return Result<LoadStats>::error(
           format("mapping at %s is not page aligned", hex(M.VAddr).c_str()));

@@ -334,7 +334,9 @@ TEST(Grouping, PaperFigure3Scenario) {
   GroupingOptions Opts;
   Opts.Enabled = true;
   Opts.M = 1;
-  auto R = groupPages(Chunks, Opts);
+  auto RG = groupPages(Chunks, Opts);
+  ASSERT_TRUE(RG.isOk()) << RG.reason();
+  GroupingResult R = RG.take();
   EXPECT_EQ(R.VirtualBlocks, 3u);
   ASSERT_EQ(R.Blocks.size(), 1u);
   EXPECT_EQ(R.PhysBytes, 4096u);
@@ -353,7 +355,9 @@ TEST(Grouping, OverlappingOffsetsSplitGroups) {
       chunk(0x20000000 + 0x100, 32, 0xbb), // same in-page offset: conflict
   };
   GroupingOptions Opts;
-  auto R = groupPages(Chunks, Opts);
+  auto RG = groupPages(Chunks, Opts);
+  ASSERT_TRUE(RG.isOk()) << RG.reason();
+  GroupingResult R = RG.take();
   EXPECT_EQ(R.Blocks.size(), 2u);
   EXPECT_EQ(R.PhysBytes, 2 * 4096u);
 }
@@ -365,7 +369,9 @@ TEST(Grouping, DisabledIsOneToOne) {
   };
   GroupingOptions Opts;
   Opts.Enabled = false;
-  auto R = groupPages(Chunks, Opts);
+  auto RG = groupPages(Chunks, Opts);
+  ASSERT_TRUE(RG.isOk()) << RG.reason();
+  GroupingResult R = RG.take();
   EXPECT_EQ(R.PhysBytes, 2 * 4096u);
   EXPECT_EQ(R.Mappings.size(), 2u);
 }
@@ -379,7 +385,9 @@ TEST(Grouping, NaiveCoalescesAdjacentPages) {
   };
   GroupingOptions Opts;
   Opts.Enabled = false;
-  auto R = groupPages(Chunks, Opts);
+  auto RG = groupPages(Chunks, Opts);
+  ASSERT_TRUE(RG.isOk()) << RG.reason();
+  GroupingResult R = RG.take();
   EXPECT_EQ(R.MappingCount, 1u);
   EXPECT_EQ(R.Mappings.size(), 1u);
   EXPECT_EQ(R.Mappings[0].Size, 2 * 4096u);
@@ -391,7 +399,9 @@ TEST(Grouping, SpanningTrampolineSplits) {
       chunk(0x10000000 + 0xff0, 64, 0xaa),
   };
   GroupingOptions Opts;
-  auto R = groupPages(Chunks, Opts);
+  auto RG = groupPages(Chunks, Opts);
+  ASSERT_TRUE(RG.isOk()) << RG.reason();
+  GroupingResult R = RG.take();
   EXPECT_EQ(R.VirtualBlocks, 2u);
   // Offsets 0xff0..0xfff in one page and 0x000..0x02f in the next are
   // disjoint, so one merged physical page suffices.
@@ -406,11 +416,68 @@ TEST(Grouping, CoarserGranularityFewerMappings) {
   M1.M = 1;
   GroupingOptions M4;
   M4.M = 4;
-  auto R1 = groupPages(Chunks, M1);
-  auto R4 = groupPages(Chunks, M4);
+  auto RG1 = groupPages(Chunks, M1);
+  auto RG4 = groupPages(Chunks, M4);
+  ASSERT_TRUE(RG1.isOk() && RG4.isOk());
+  GroupingResult R1 = RG1.take(), R4 = RG4.take();
   EXPECT_GT(R1.MappingCount, R4.MappingCount);
   // All 16 pages hold a trampoline at the same in-page offset: no merging
   // possible at M=1, so phys bytes equal 16 pages either way, but M=4
   // still cuts the mapping count.
   EXPECT_EQ(R4.MappingCount, 4u);
+}
+
+// --- Error paths: every failure is a clean, attributable error --------------
+
+TEST(ErrorPath, TrampolineRel32OutOfRangeIsAnError) {
+  // A trampoline placed >2GiB from its resume address cannot encode the
+  // jump back; the builder must fail with a rel32-range error, not emit a
+  // truncated displacement.
+  std::vector<uint8_t> Mov = {0x48, 0x89, 0x03};
+  Insn I = decodeAt(Mov, 0x401000);
+  TrampolineSpec Spec;
+  Spec.Kind = TrampolineKind::PatchBytes;
+  Spec.Raw = {0x90};
+  Spec.JumpBackTarget = 0x401010;
+  auto Far = buildTrampoline(Spec, I, Mov.data(), 0x7e0000000000ULL);
+  ASSERT_FALSE(Far.isOk());
+  EXPECT_NE(Far.reason().find("rel32"), std::string::npos) << Far.reason();
+  // The same build close by succeeds.
+  EXPECT_TRUE(buildTrampoline(Spec, I, Mov.data(), 0x10000000).isOk());
+}
+
+TEST(ErrorPath, AllocatorExhaustionReturnsEmpty) {
+  Allocator A;
+  // Reserve the entire bound: no space can exist.
+  A.reserve(0x10000000, 0x20000000);
+  EXPECT_FALSE(
+      A.allocate(64, Interval{0x10000000, 0x20000000}).has_value());
+  // Zero-size and empty-bound requests are refused, not asserted on.
+  EXPECT_FALSE(A.allocate(0, Interval{0x10000000, 0x20000000}).has_value());
+  EXPECT_FALSE(A.allocate(64, Interval{0x20000000, 0x10000000}).has_value());
+  // A valid request right after still works (no corrupted state).
+  EXPECT_TRUE(A.allocate(64, Interval{0x30000000, 0x40000000}).has_value());
+}
+
+TEST(ErrorPath, GroupingRefusesOverlappingChunks) {
+  // Two chunks claiming the same byte is corrupted input: emitting a
+  // block whose content depends on chunk order would silently corrupt
+  // the binary, so groupPages must fail closed.
+  std::vector<TrampolineChunk> Overlapping = {
+      chunk(0x10000000, 32, 0xaa),
+      chunk(0x10000010, 32, 0xbb), // overlaps the first by 16 bytes
+  };
+  GroupingOptions Opts;
+  auto R = groupPages(Overlapping, Opts);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_NE(R.reason().find("overlap"), std::string::npos) << R.reason();
+  EXPECT_NE(R.reason().find("0x"), std::string::npos)
+      << "error should name the conflicting address: " << R.reason();
+
+  // Adjacent (non-overlapping) chunks still group fine.
+  std::vector<TrampolineChunk> Adjacent = {
+      chunk(0x10000000, 32, 0xaa),
+      chunk(0x10000020, 32, 0xbb),
+  };
+  EXPECT_TRUE(groupPages(Adjacent, Opts).isOk());
 }

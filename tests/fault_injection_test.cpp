@@ -1,0 +1,252 @@
+//===- tests/fault_injection_test.cpp - fault-injection harness -*- C++ -*-===//
+//
+// Drives the full pipeline (read -> rewrite (strict) -> write -> read ->
+// load -> run) with each registered fault site armed in turn, and asserts
+// that every injected fault surfaces as a clean Status error — no crash,
+// no assert, and never a silently-wrong output binary. The corruption
+// sites prove the last part: they damage the output the way a bug would,
+// and only the strict-mode verifier stands between them and a bad binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "support/FaultInjector.h"
+#include "support/Format.h"
+#include "vm/Loader.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+namespace {
+
+/// RAII disarm so one failing test cannot poison the next.
+struct Disarmed {
+  ~Disarmed() { FaultInjector::instance().disarm(); }
+};
+
+elf::Image testImage() {
+  WorkloadConfig C;
+  C.Name = "ftest";
+  C.Seed = 3;
+  C.NumFuncs = 8;
+  C.MainIters = 3;
+  return generateWorkload(C).Image;
+}
+
+/// The full pipeline under test. Every stage that can fail reports a
+/// Status; the first failure wins. A fault injected anywhere must come
+/// back through this single seam.
+Status runPipeline(const elf::Image &Input) {
+  // Stage 1: serialize + re-read (hits elf.read.*).
+  auto Img = elf::read(elf::write(Input));
+  if (!Img.isOk())
+    return Status::error(Img.reason());
+
+  // Stage 2: strict rewrite with a zero failed-site budget (hits
+  // frontend.disasm.decode, core.alloc.allocate, core.group.merge, and
+  // the corrupt-* sites, which only the verifier can catch).
+  DisasmResult D = linearDisassemble(*Img);
+  auto Locs = selectJumps(D.Insns);
+  RewriteOptions O;
+  O.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  O.ExtraReserved.push_back(lowfat::heapReservation());
+  O.Strict = true;
+  O.MaxFailedSites = 0;
+  auto Out = rewrite(*Img, Locs, O);
+  if (!Out.isOk())
+    return Status::error(Out.reason());
+
+  // Stage 3: write the result to disk (hits elf.write.file).
+  std::string Path =
+      format("%s/e9_fault_test_%d.elf", ::testing::TempDir().c_str(),
+             static_cast<int>(::getpid()));
+  if (Status S = elf::writeFile(Out->Rewritten, Path); !S)
+    return S;
+  auto Back = elf::readFile(Path);
+  std::remove(Path.c_str());
+  if (!Back.isOk())
+    return Status::error(Back.reason());
+
+  // Stage 4: load + run (hits vm.load.mapping).
+  RunOutcome R = runImage(*Back);
+  if (!R.ok())
+    return Status::error(R.Result.Error);
+  return Status::ok();
+}
+
+} // namespace
+
+TEST(FaultInjection, DisarmedPipelineIsClean) {
+  Disarmed D;
+  FaultInjector::instance().disarm();
+  Status S = runPipeline(testImage());
+  EXPECT_TRUE(S.isOk()) << S.reason();
+  EXPECT_FALSE(FaultInjectionArmed);
+}
+
+/// Arm every registered site in turn; the pipeline must fail cleanly and
+/// the injector must confirm the site actually fired (a site that never
+/// fires is dead registry weight or an unreached hook — both bugs).
+class FaultSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FaultSweep, EverySiteFailsCleanly) {
+  Disarmed D;
+  const std::string &Site = FaultInjector::sites()[GetParam()];
+  elf::Image Input = testImage();
+
+  FaultInjector::instance().arm(Site);
+  Status S = runPipeline(Input);
+  EXPECT_FALSE(S.isOk()) << "pipeline succeeded with " << Site << " armed";
+  EXPECT_TRUE(FaultInjector::instance().fired())
+      << Site << " was armed but the pipeline never consulted it";
+
+  // Sticky semantics: a retry with the site still armed fails again.
+  Status Retry = runPipeline(Input);
+  EXPECT_FALSE(Retry.isOk());
+
+  // And disarming fully restores the pipeline.
+  FaultInjector::instance().disarm();
+  Status Clean = runPipeline(Input);
+  EXPECT_TRUE(Clean.isOk()) << Clean.reason();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSites, FaultSweep,
+    ::testing::Range<size_t>(0, FaultInjector::sites().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = FaultInjector::sites()[Info.param];
+      for (char &C : Name)
+        if (C == '.' || C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(FaultInjection, CorruptionSitesAreCaughtOnlyByTheVerifier) {
+  // The three corruption sites damage the output rather than failing a
+  // stage: without strict mode the pipeline would hand back a wrong
+  // binary. Prove the verifier is the safety net by checking the error
+  // text comes from it.
+  Disarmed D;
+  elf::Image Input = testImage();
+  DisasmResult Dis = linearDisassemble(Input);
+  auto Locs = selectJumps(Dis.Insns);
+  RewriteOptions O;
+  O.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  O.ExtraReserved.push_back(lowfat::heapReservation());
+  O.Strict = true;
+
+  for (const char *Site : {"core.patch.corrupt-site",
+                           "core.group.corrupt-block",
+                           "core.group.corrupt-mapping"}) {
+    FaultInjector::instance().arm(Site);
+    auto Out = rewrite(Input, Locs, O);
+    ASSERT_FALSE(Out.isOk())
+        << Site << ": strict rewrite accepted a corrupted output";
+    EXPECT_NE(Out.reason().find("verification FAILED"), std::string::npos)
+        << Site << ": expected a verifier report, got: " << Out.reason();
+    FaultInjector::instance().disarm();
+
+    // The same corruption without strict mode slips through the rewrite —
+    // the verifier is genuinely the only line of defence.
+    FaultInjector::instance().arm(Site);
+    RewriteOptions Lax = O;
+    Lax.Strict = false;
+    auto LaxOut = rewrite(Input, Locs, Lax);
+    EXPECT_TRUE(LaxOut.isOk()) << LaxOut.reason();
+    FaultInjector::instance().disarm();
+  }
+}
+
+TEST(FaultInjection, SkipHitsDelaysTheFault) {
+  Disarmed D;
+  elf::Image Input = testImage();
+  // core.alloc.allocate is hit once per trampoline allocation; skipping
+  // the first 10'000 hits means this pipeline never reaches the fault.
+  FaultInjector::instance().arm("core.alloc.allocate", 10'000);
+  Status S = runPipeline(Input);
+  EXPECT_TRUE(S.isOk()) << S.reason();
+  EXPECT_FALSE(FaultInjector::instance().fired());
+  EXPECT_GT(FaultInjector::instance().hitCount(), 0u);
+
+  // Skipping a handful still fails (later allocations hit the fault).
+  FaultInjector::instance().arm("core.alloc.allocate", 3);
+  Status S2 = runPipeline(Input);
+  EXPECT_FALSE(S2.isOk());
+  EXPECT_TRUE(FaultInjector::instance().fired());
+}
+
+TEST(FaultInjection, AllocExhaustionDegradesToB0WhenEnabled) {
+  // Graceful degradation: with the B0 fallback enabled, total allocation
+  // failure still yields 100% coverage (every site degraded to int3) and
+  // a behaviourally identical binary.
+  Disarmed D;
+  elf::Image Input = testImage();
+  RunOutcome Ref = runImage(Input);
+  ASSERT_TRUE(Ref.ok());
+
+  DisasmResult Dis = linearDisassemble(Input);
+  auto Locs = selectJumps(Dis.Insns);
+  RewriteOptions O;
+  O.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  O.Patch.B0Fallback = true;
+  O.ExtraReserved.push_back(lowfat::heapReservation());
+  O.MaxFailedSites = 0;
+
+  FaultInjector::instance().arm("core.alloc.allocate");
+  auto Out = rewrite(Input, Locs, O);
+  FaultInjector::instance().disarm();
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  EXPECT_EQ(Out->Stats.count(core::Tactic::B0), Locs.size());
+  EXPECT_EQ(Out->Stats.count(core::Tactic::Failed), 0u);
+  // Every degraded site records why the jump tactics could not work.
+  EXPECT_EQ(Out->Stats.reasonCount(core::FailureReason::AllocFailed), 0u)
+      << "B0 sites are not failures and must not be counted as such";
+
+  RunConfig RC;
+  RC.B0Table = Out->B0Table;
+  RunOutcome Got = runImage(Out->Rewritten, RC);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+}
+
+TEST(FaultInjection, ChaosModeIsDeterministicAndCrashFree) {
+  // Seeded random faults across all sites: any outcome is acceptable as
+  // long as it is a clean Status and the same seed replays it exactly.
+  Disarmed D;
+  elf::Image Input = testImage();
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    FaultInjector::instance().armRandom(Seed, 30);
+    Status A = runPipeline(Input);
+    uint64_t FiredA = FaultInjector::instance().fireCount();
+
+    FaultInjector::instance().armRandom(Seed, 30);
+    Status B = runPipeline(Input);
+    uint64_t FiredB = FaultInjector::instance().fireCount();
+
+    EXPECT_EQ(A.isOk(), B.isOk()) << "seed " << Seed;
+    if (!A.isOk()) {
+      EXPECT_EQ(A.reason(), B.reason()) << "seed " << Seed;
+    }
+    EXPECT_EQ(FiredA, FiredB) << "seed " << Seed;
+    FaultInjector::instance().disarm();
+  }
+}
+
+TEST(FaultInjection, HundredPercentChaosAlwaysFails) {
+  Disarmed D;
+  FaultInjector::instance().armRandom(42, 100);
+  Status S = runPipeline(testImage());
+  EXPECT_FALSE(S.isOk());
+  EXPECT_TRUE(FaultInjector::instance().fired());
+}

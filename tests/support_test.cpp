@@ -256,3 +256,77 @@ TEST(Format, Basic) {
   std::vector<uint8_t> Bytes = {0xe9, 0x00, 0xff};
   EXPECT_EQ(hexBytes(Bytes), "e9 00 ff");
 }
+
+// --- Result ergonomics --------------------------------------------------------------
+
+namespace {
+
+Result<int> parsePositive(int V) {
+  if (V <= 0)
+    return Result<int>::error(format("not positive: %d", V));
+  return V;
+}
+
+// E9_TRY propagates a failed Result as a Status error, which converts to
+// any Result<U> — double the value on success.
+Result<std::string> describeDouble(int V) {
+  E9_TRY(N, parsePositive(V));
+  return format("doubled: %d", N * 2);
+}
+
+Status checkAll(std::initializer_list<int> Vs) {
+  for (int V : Vs)
+    E9_TRY_STATUS(parsePositive(V).status());
+  return Status::ok();
+}
+
+} // namespace
+
+TEST(ResultT, TakeLeavesObservableConsumedState) {
+  Result<std::string> R("hello");
+  ASSERT_TRUE(R.isOk());
+  std::string V = R.take();
+  EXPECT_EQ(V, "hello");
+  // No silent moved-from limbo: the Result now reports itself consumed.
+  EXPECT_FALSE(R.isOk());
+  EXPECT_NE(R.reason().find("already taken"), std::string::npos);
+  EXPECT_FALSE(R.status().isOk());
+}
+
+TEST(ResultT, TakeErrorMovesTheFailureOut) {
+  Result<int> R = Result<int>::error("disk on fire");
+  ASSERT_FALSE(R.isOk());
+  Status S = R.takeError();
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.reason(), "disk on fire");
+}
+
+TEST(ResultT, StatusMirrorsBothStates) {
+  EXPECT_TRUE(parsePositive(3).status().isOk());
+  Status Bad = parsePositive(-1).status();
+  EXPECT_FALSE(Bad.isOk());
+  EXPECT_EQ(Bad.reason(), "not positive: -1");
+  // reason() on a success value is the empty string, safe to forward.
+  EXPECT_EQ(parsePositive(3).reason(), "");
+}
+
+TEST(ResultT, TryMacroBindsOnSuccess) {
+  auto R = describeDouble(21);
+  ASSERT_TRUE(R.isOk()) << R.reason();
+  EXPECT_EQ(*R, "doubled: 42");
+}
+
+TEST(ResultT, TryMacroPropagatesFailureAcrossValueTypes) {
+  // parsePositive fails with Result<int>; describeDouble returns
+  // Result<std::string> — the error must cross the type boundary intact.
+  auto R = describeDouble(-7);
+  ASSERT_FALSE(R.isOk());
+  EXPECT_EQ(R.reason(), "not positive: -7");
+}
+
+TEST(ResultT, TryStatusMacroShortCircuits) {
+  EXPECT_TRUE(checkAll({1, 2, 3}).isOk());
+  Status S = checkAll({1, -2, 3});
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.reason(), "not positive: -2");
+}

@@ -1,0 +1,403 @@
+//===- tests/verifier_test.cpp - post-rewrite verifier ---------*- C++ -*-===//
+//
+// The verifier's own acceptance test: a clean rewrite verifies OK (with
+// and without differential execution), and a sweep of seeded single-byte
+// and single-field mutations over patched sites, trampoline blocks and
+// mapping entries is caught with zero escapes — the fail-closed property.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "support/Format.h"
+#include "verify/Verifier.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+
+#include <gtest/gtest.h>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::verify;
+using namespace e9::workload;
+
+namespace {
+
+WorkloadConfig smallConfig(uint64_t Seed) {
+  WorkloadConfig C;
+  C.Name = "vtest";
+  C.Seed = Seed;
+  C.NumFuncs = 8;
+  C.MainIters = 3;
+  return C;
+}
+
+RewriteOptions baseOptions() {
+  RewriteOptions O;
+  O.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  O.ExtraReserved.push_back(lowfat::heapReservation());
+  return O;
+}
+
+/// One workload rewritten once, shared by the whole mutation sweep.
+struct Artifacts {
+  elf::Image Original;
+  RewriteOutput Out;
+};
+
+const Artifacts &artifacts() {
+  static const Artifacts A = [] {
+    Artifacts R;
+    Workload W = generateWorkload(smallConfig(3));
+    R.Original = W.Image;
+    DisasmResult D = linearDisassemble(W.Image);
+    auto Locs = selectJumps(D.Insns);
+    auto Out = rewrite(W.Image, Locs, baseOptions());
+    EXPECT_TRUE(Out.isOk()) << Out.reason();
+    R.Out = Out.take();
+    EXPECT_FALSE(R.Out.Jumps.empty());
+    EXPECT_FALSE(R.Out.Chunks.empty());
+    EXPECT_FALSE(R.Out.Rewritten.Mappings.empty());
+    return R;
+  }();
+  return A;
+}
+
+VerifyReport verifyImage(const elf::Image &Rewritten,
+                         const VerifyOptions &Opts = VerifyOptions()) {
+  const Artifacts &A = artifacts();
+  VerifyInput In;
+  In.Original = &A.Original;
+  In.Rewritten = &Rewritten;
+  In.Sites = &A.Out.Sites;
+  In.Jumps = &A.Out.Jumps;
+  In.Chunks = &A.Out.Chunks;
+  In.ModifiedRanges = &A.Out.ModifiedRanges;
+  return verifyRewrite(In, Opts);
+}
+
+/// Resolves a virtual trampoline address to (block, offset) through the
+/// image's mapping table — the test's own tiny resolver, so mutations can
+/// target the physical byte backing a given chunk byte.
+bool resolve(const elf::Image &Img, uint64_t Addr, size_t &Block,
+             uint64_t &Off) {
+  for (const elf::Mapping &M : Img.Mappings)
+    if (Addr >= M.VAddr && Addr - M.VAddr < M.Size) {
+      Block = M.BlockIndex;
+      Off = M.Offset + (Addr - M.VAddr);
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+TEST(Verifier, CleanRewriteVerifiesOk) {
+  const Artifacts &A = artifacts();
+  VerifyReport R = verifyImage(A.Out.Rewritten);
+  EXPECT_TRUE(R.ok()) << R.summary();
+  EXPECT_GT(R.JumpsChecked, 10u);
+  EXPECT_GT(R.SitesChecked, 10u);
+  EXPECT_GT(R.BytesCompared, 1000u);
+  EXPECT_GT(R.MappingsChecked, 0u);
+  EXPECT_GT(R.ChunkBytesChecked, 100u);
+}
+
+TEST(Verifier, CleanRewriteSurvivesDifferentialExecution) {
+  const Artifacts &A = artifacts();
+  VerifyOptions O;
+  O.Differential = true;
+  VerifyReport R = verifyImage(A.Out.Rewritten, O);
+  EXPECT_TRUE(R.ok()) << R.summary();
+  EXPECT_EQ(R.WorkloadsRun, 2u);
+}
+
+TEST(Verifier, MissingInputFailsClosed) {
+  VerifyInput In; // no images at all
+  VerifyReport R = verifyRewrite(In, VerifyOptions());
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Failures[0].Kind, FailureKind::BadInput);
+}
+
+TEST(Verifier, DifferentialCatchesBehaviouralCorruption) {
+  // Clobber the first trampoline's entry bytes with int3 (no B0 table, so
+  // executing them faults), but disable the static checks: only the
+  // differential execution can notice — and it must.
+  const Artifacts &A = artifacts();
+  elf::Image Bad = A.Out.Rewritten;
+  ASSERT_FALSE(Bad.Blocks.empty());
+  size_t Block = 0;
+  uint64_t Off = 0;
+  ASSERT_TRUE(resolve(Bad, A.Out.Chunks.front().Addr, Block, Off));
+  for (uint64_t I = Off; I < Off + 16 && I < Bad.Blocks[Block].Bytes.size();
+       ++I)
+    Bad.Blocks[Block].Bytes[I] = 0xcc;
+
+  VerifyOptions O;
+  O.CheckText = false;
+  O.CheckMappings = false;
+  O.Differential = true;
+  VerifyReport R = verifyImage(Bad, O);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Failures[0].Kind, FailureKind::DifferentialDivergence);
+  // The trace diff ran (two extra executions) and localized something.
+  EXPECT_EQ(R.WorkloadsRun, 4u);
+  EXPECT_NE(R.Failures[0].Message.find("diverge"), std::string::npos);
+}
+
+// --- The mutation sweep: >= 120 seeded mutations, zero escapes -------------
+//
+// Each index deterministically picks one mutation of the rewritten
+// artifact: a patched-site byte flip, a trampoline-block byte flip, a
+// mapping-table field mutation, or an unpatched-text byte flip. Every
+// single one must be caught.
+
+class MutationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationSweep, EveryMutationIsCaught) {
+  const Artifacts &A = artifacts();
+  const int Idx = GetParam();
+  elf::Image Bad = A.Out.Rewritten;
+  std::string What;
+
+  switch (Idx % 4) {
+  case 0: {
+    // Flip one byte of a patched site's encoding (pads, opcode, rel bytes
+    // or punned tail). XOR 0x01 never maps a pad prefix onto another
+    // valid prefix, so the mutation is always semantically visible.
+    const auto &Jumps = A.Out.Jumps;
+    const core::JumpRecord &J = Jumps[(Idx / 4) % Jumps.size()];
+    uint64_t Addr = J.Addr + (Idx / 4 / Jumps.size()) % J.EncLen;
+    uint8_t B = 0;
+    ASSERT_TRUE(Bad.readBytes(Addr, &B, 1).isOk());
+    B ^= 0x01;
+    ASSERT_TRUE(Bad.writeBytes(Addr, &B, 1).isOk());
+    What = format("site byte flip at %s", hex(Addr).c_str());
+    break;
+  }
+  case 1: {
+    // Flip the physical block byte backing one trampoline byte.
+    const auto &Chunks = A.Out.Chunks;
+    const core::TrampolineChunk &C = Chunks[(Idx / 4) % Chunks.size()];
+    uint64_t Addr = C.Addr + (Idx / 4 / Chunks.size()) % C.Bytes.size();
+    size_t Block = 0;
+    uint64_t Off = 0;
+    ASSERT_TRUE(resolve(Bad, Addr, Block, Off));
+    ASSERT_LT(Off, Bad.Blocks[Block].Bytes.size());
+    Bad.Blocks[Block].Bytes[Off] ^= 0x01;
+    What = format("block byte flip backing %s", hex(Addr).c_str());
+    break;
+  }
+  case 2: {
+    // Mutate one field of one mapping-table entry.
+    auto &Mappings = Bad.Mappings;
+    ASSERT_FALSE(Mappings.empty());
+    elf::Mapping &M = Mappings[(Idx / 4) % Mappings.size()];
+    switch ((Idx / 4 / Mappings.size()) % 5) {
+    case 0:
+      M.VAddr += 0x1000;
+      What = "mapping vaddr shifted one page";
+      break;
+    case 1:
+      M.BlockIndex = static_cast<uint32_t>(Bad.Blocks.size());
+      What = "mapping block index out of range";
+      break;
+    case 2:
+      M.Flags &= ~elf::PF_X;
+      What = "mapping made non-executable";
+      break;
+    case 3:
+      M.Flags |= elf::PF_W;
+      What = "mapping made writable";
+      break;
+    default:
+      M.Offset += 0x1000;
+      What = "mapping offset shifted one page";
+      break;
+    }
+    break;
+  }
+  default: {
+    // Flip a text byte the patcher never touched.
+    IntervalSet Modified;
+    for (const Interval &I : A.Out.ModifiedRanges)
+      Modified.insert(I);
+    elf::Segment *Text = Bad.textSegment();
+    ASSERT_NE(Text, nullptr);
+    uint64_t Addr = 0;
+    uint64_t Step = 7 + (Idx / 4);
+    for (uint64_t I = 0; I != Text->Bytes.size(); ++I) {
+      uint64_t Cand = Text->VAddr + (I * Step) % Text->Bytes.size();
+      if (!Modified.contains(Cand)) {
+        Addr = Cand;
+        break;
+      }
+    }
+    ASSERT_NE(Addr, 0u);
+    Text->Bytes[Addr - Text->VAddr] ^= 0x01;
+    What = format("unpatched text byte flip at %s", hex(Addr).c_str());
+    break;
+  }
+  }
+
+  VerifyReport R = verifyImage(Bad);
+  EXPECT_FALSE(R.ok()) << "mutation escaped the verifier: " << What;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, MutationSweep, ::testing::Range(0, 120));
+
+TEST(Verifier, B0TableMutationsAreCaught) {
+  // A force-B0 rewrite: every side-table entry mutated in turn (byte flip,
+  // truncation, spurious entry) must be caught.
+  Workload W = generateWorkload(smallConfig(5));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  RewriteOptions O = baseOptions();
+  O.Patch.ForceB0 = true;
+  auto Out = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  ASSERT_FALSE(Out->Rewritten.B0Sites.empty());
+
+  VerifyInput In;
+  In.Original = &W.Image;
+  In.Rewritten = &Out->Rewritten;
+  In.Sites = &Out->Sites;
+  In.Jumps = &Out->Jumps;
+  In.Chunks = &Out->Chunks;
+  In.ModifiedRanges = &Out->ModifiedRanges;
+  ASSERT_TRUE(verifyRewrite(In, VerifyOptions()).ok());
+
+  size_t Mutations = 0;
+  for (const auto &[Addr, Bytes] : Out->Rewritten.B0Sites) {
+    elf::Image Bad = Out->Rewritten;
+    Bad.B0Sites[Addr][0] ^= 0x01; // no longer the original bytes
+    In.Rewritten = &Bad;
+    EXPECT_FALSE(verifyRewrite(In, VerifyOptions()).ok())
+        << "flipped B0 entry at " << hex(Addr) << " escaped";
+    ++Mutations;
+    if (Mutations == 10)
+      break;
+  }
+  EXPECT_GE(Mutations, 1u);
+
+  elf::Image Bad = Out->Rewritten;
+  Bad.B0Sites[0x1234] = {0x90}; // entry with no int3 site
+  In.Rewritten = &Bad;
+  EXPECT_FALSE(verifyRewrite(In, VerifyOptions()).ok());
+
+  elf::Image Bad2 = Out->Rewritten;
+  Bad2.B0Sites.erase(Bad2.B0Sites.begin()->first); // int3 with no entry
+  In.Rewritten = &Bad2;
+  EXPECT_FALSE(verifyRewrite(In, VerifyOptions()).ok());
+}
+
+TEST(Verifier, ReportTruncatesAtMaxFailures) {
+  const Artifacts &A = artifacts();
+  elf::Image Bad = A.Out.Rewritten;
+  // Zero out a whole block: many chunk bytes go wrong at once.
+  ASSERT_FALSE(Bad.Blocks.empty());
+  std::fill(Bad.Blocks[0].Bytes.begin(), Bad.Blocks[0].Bytes.end(), 0);
+  VerifyOptions O;
+  O.MaxFailures = 5;
+  VerifyReport R = verifyImage(Bad, O);
+  ASSERT_FALSE(R.ok());
+  EXPECT_LE(R.Failures.size(), 5u);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_NE(R.summary().find("truncated"), std::string::npos);
+}
+
+// --- StrictMode end-to-end --------------------------------------------------
+
+class StrictSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrictSeeds, StrictRewriteVerifiesAndRunsIdentically) {
+  Workload W = generateWorkload(smallConfig(GetParam()));
+  RunOutcome Ref = runImage(W.Image);
+  ASSERT_TRUE(Ref.ok()) << Ref.Result.Error;
+
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  RewriteOptions O = baseOptions();
+  O.Strict = true;
+  O.VerifyOpts.Differential = true;
+  auto Out = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  EXPECT_TRUE(Out->Verify.ok()) << Out->Verify.summary();
+  EXPECT_GE(Out->Verify.WorkloadsRun, 2u);
+
+  RunOutcome Got = runImage(Out->Rewritten);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrictSeeds,
+                         ::testing::Values(1, 2, 3, 5, 11, 17));
+
+TEST(StrictMode, FailedSiteBudgetFailsClosed) {
+  // With every tactic disabled and no B0 fallback some sites must fail;
+  // a zero budget then refuses to emit the partially-patched binary, and
+  // the error names addresses and reasons.
+  Workload W = generateWorkload(smallConfig(3));
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  RewriteOptions O = baseOptions();
+  O.Patch.EnableT1 = O.Patch.EnableT2 = O.Patch.EnableT3 = false;
+
+  auto Unbudgeted = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Unbudgeted.isOk());
+  size_t NFailed = Unbudgeted->Stats.count(core::Tactic::Failed);
+  ASSERT_GT(NFailed, 0u) << "expected some failures with tactics disabled";
+  // Every failed site carries a structured reason, and the stats bucket
+  // counts agree.
+  size_t Reasons = 0;
+  for (const core::PatchSiteResult &S : Unbudgeted->Sites)
+    if (S.Used == core::Tactic::Failed) {
+      EXPECT_NE(S.Reason, core::FailureReason::None)
+          << "failed site without a reason at " << hex(S.Addr);
+      ++Reasons;
+    }
+  EXPECT_EQ(Reasons, NFailed);
+  size_t Sum = 0;
+  for (size_t I = 1; I != 7; ++I)
+    Sum += Unbudgeted->Stats.ReasonCount[I];
+  EXPECT_EQ(Sum, NFailed);
+
+  O.MaxFailedSites = 0;
+  auto Budgeted = rewrite(W.Image, Locs, O);
+  ASSERT_FALSE(Budgeted.isOk());
+  EXPECT_NE(Budgeted.reason().find("failed-site budget"), std::string::npos);
+  EXPECT_NE(Budgeted.reason().find("0x"), std::string::npos);
+
+  // A budget at exactly the failure count passes.
+  O.MaxFailedSites = NFailed;
+  EXPECT_TRUE(rewrite(W.Image, Locs, O).isOk());
+}
+
+TEST(StrictMode, B0FallbackGuaranteesFullCoverage) {
+  // Graceful degradation: with the B0 fallback enabled no site can fail,
+  // so even a zero failed-site budget passes — and the result still runs
+  // identically.
+  Workload W = generateWorkload(smallConfig(3));
+  RunOutcome Ref = runImage(W.Image);
+  DisasmResult D = linearDisassemble(W.Image);
+  auto Locs = selectJumps(D.Insns);
+  RewriteOptions O = baseOptions();
+  O.Patch.EnableT1 = O.Patch.EnableT2 = O.Patch.EnableT3 = false;
+  O.Patch.B0Fallback = true;
+  O.MaxFailedSites = 0;
+  O.Strict = true;
+  auto Out = rewrite(W.Image, Locs, O);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  EXPECT_EQ(Out->Stats.count(core::Tactic::Failed), 0u);
+  EXPECT_GT(Out->Stats.count(core::Tactic::B0), 0u);
+
+  RunConfig RC;
+  RC.B0Table = Out->B0Table;
+  RunOutcome Got = runImage(Out->Rewritten, RC);
+  ASSERT_TRUE(Got.ok()) << Got.Result.Error;
+  EXPECT_EQ(Got.Rax, Ref.Rax);
+  EXPECT_EQ(Got.DataChecksum, Ref.DataChecksum);
+}

@@ -1,0 +1,38 @@
+#!/bin/sh
+# tools/check.sh - the full robustness gate.
+#
+# Runs the regular test suite, then rebuilds everything under
+# ASan + UBSan (-DE9_SANITIZE=ON) and re-runs the verifier mutation
+# sweep, the fault-injection sweep, and the corrupt-ELF corpus in the
+# sanitized build. Any sanitizer report aborts the run
+# (-fno-sanitize-recover=all), so a clean exit means: no silent
+# memory errors anywhere on the error paths either.
+#
+# Usage: tools/check.sh [jobs]
+set -eu
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== [1/4] configure + build (default flags) =="
+cmake -S "$ROOT" -B "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$ROOT/build" -j "$JOBS"
+
+echo "== [2/4] full test suite =="
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
+  || ctest --test-dir "$ROOT/build" --output-on-failure --rerun-failed
+
+echo "== [3/4] configure + build (ASan + UBSan) =="
+cmake -S "$ROOT" -B "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DE9_SANITIZE=ON >/dev/null
+cmake --build "$ROOT/build-asan" -j "$JOBS" --target \
+  verifier_test fault_injection_test elf_test core_test support_test
+
+echo "== [4/4] robustness sweeps under ASan + UBSan =="
+"$ROOT/build-asan/tests/support_test"
+"$ROOT/build-asan/tests/core_test"
+"$ROOT/build-asan/tests/elf_test" --gtest_filter='CorruptElf.*'
+"$ROOT/build-asan/tests/verifier_test"
+"$ROOT/build-asan/tests/fault_injection_test"
+
+echo "check.sh: all gates passed"

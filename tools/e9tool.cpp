@@ -9,6 +9,8 @@
 //   e9tool rewrite <in> <out> [--select=jumps|heapwrites|all]
 //          [--tramp=empty|lowfat] [--no-t1] [--no-t2] [--no-t3]
 //          [--b0-fallback] [--force-b0] [--no-grouping] [--granularity=M]
+//          [--strict] [--verify] [--differential] [--max-failed=N]
+//          [--fault-inject=SITE]
 //   e9tool run <elf> [--lowfat] [--max-insns=N]
 //
 //===----------------------------------------------------------------------===//
@@ -17,6 +19,7 @@
 #include "frontend/Rewriter.h"
 #include "frontend/Select.h"
 #include "lowfat/LowFat.h"
+#include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "vm/Hooks.h"
 #include "workload/Gen.h"
@@ -81,7 +84,8 @@ int usage() {
       "  rewrite <in> <out> [--select=jumps|heapwrites|all]\n"
       "          [--tramp=empty|lowfat] [--no-t1] [--no-t2] [--no-t3]\n"
       "          [--b0-fallback] [--force-b0] [--no-grouping]\n"
-      "          [--granularity=M]\n"
+      "          [--granularity=M] [--strict] [--verify]\n"
+      "          [--differential] [--max-failed=N] [--fault-inject=SITE]\n"
       "  run <elf> [--lowfat] [--max-insns=N]\n");
   return 2;
 }
@@ -208,6 +212,23 @@ int cmdRewrite(const Args &A) {
   Opts.Grouping.Enabled = !A.has("no-grouping");
   Opts.Grouping.M = static_cast<unsigned>(A.getInt("granularity", 1));
   Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  Opts.Strict = A.has("strict");
+  Opts.Verify = A.has("verify");
+  Opts.VerifyOpts.Differential = A.has("differential");
+  Opts.VerifyOpts.UseLowFatHeap = Tramp == "lowfat";
+  Opts.MaxFailedSites = A.getInt("max-failed", SIZE_MAX);
+
+  std::string FaultSite = A.get("fault-inject");
+  if (!FaultSite.empty()) {
+    if (!FaultInjector::isKnownSite(FaultSite)) {
+      std::fprintf(stderr, "error: unknown fault site %s; known sites:\n",
+                   FaultSite.c_str());
+      for (const std::string &S : FaultInjector::sites())
+        std::fprintf(stderr, "  %s\n", S.c_str());
+      return 2;
+    }
+    FaultInjector::instance().arm(FaultSite);
+  }
 
   auto Out = frontend::rewrite(*Img, Locs, Opts);
   if (!Out.isOk()) {
@@ -234,6 +255,8 @@ int cmdRewrite(const Args &A) {
               (unsigned long long)Out->NewFileSize, Out->sizePct(),
               Out->Grouping.MappingCount,
               (unsigned long long)Out->Grouping.PhysBytes);
+  if (Opts.Strict || Opts.Verify)
+    std::printf("  %s\n", Out->Verify.summary().c_str());
   return 0;
 }
 
