@@ -1,0 +1,110 @@
+//===- bench/bench_parallel.cpp - sharded patcher thread scaling -*- C++ -*-===//
+//
+// Sweeps the sharded rewriting pipeline over thread counts on the largest
+// scalability workload and reports per-phase times and throughput. The
+// pipeline guarantees byte-identical output for every Jobs value; this
+// harness re-checks that guarantee on every run (a mismatch is a hard
+// failure), so the speedup numbers are never bought with divergence.
+//
+// Appends machine-readable records to BENCH_parallel.json. Note: on a
+// single-core container the thread sweep exercises correctness, not
+// speedup — interpret sites/sec against the recorded "hw_threads".
+//
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace e9;
+using namespace e9::bench;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+int main() {
+  unsigned HwThreads = ThreadPool::hardwareThreads();
+  std::printf("Thread scaling: sharded patcher, %u hardware thread(s)\n\n",
+              HwThreads);
+
+  WorkloadConfig C;
+  C.Name = "parallel";
+  C.Seed = 4100;
+  C.Pie = true;
+  C.NumFuncs = 3200;
+  C.MainIters = 1;
+  Workload W = generateWorkload(C);
+
+  DisasmResult D = linearDisassemble(W.Image);
+  std::vector<uint64_t> Locs = selectJumps(D.Insns);
+  std::printf("workload: %zu code KiB, %zu sites\n\n",
+              W.Image.textSegment()->Bytes.size() / 1024, Locs.size());
+  std::printf("%6s %8s %10s %10s %10s %12s %8s\n", "jobs", "shards", "ms",
+              "patchMs", "mergeMs", "sites/s", "speedup");
+  std::printf("--------------------------------------------------------------"
+              "-------\n");
+
+  FILE *Json = std::fopen("BENCH_parallel.json", "w");
+  if (Json)
+    std::fprintf(Json, "[\n");
+
+  std::vector<uint8_t> Reference;
+  double BaseMs = 0;
+  bool First = true;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    RewriteOptions RO;
+    RO.Patch.Spec.Kind = core::TrampolineKind::Empty;
+    RO.ExtraReserved.push_back(lowfat::heapReservation());
+    RO.Jobs = Jobs;
+
+    auto T0 = std::chrono::steady_clock::now();
+    auto Out = rewrite(W.Image, Locs, RO);
+    auto T1 = std::chrono::steady_clock::now();
+    if (!Out.isOk()) {
+      std::printf("jobs=%u rewrite error: %s\n", Jobs, Out.reason().c_str());
+      return 1;
+    }
+    std::vector<uint8_t> Bytes = elf::write(Out->Rewritten);
+    if (Jobs == 1) {
+      Reference = std::move(Bytes);
+    } else if (Bytes != Reference) {
+      std::printf("FATAL: jobs=%u output differs from jobs=1\n", Jobs);
+      return 1;
+    }
+
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (Jobs == 1)
+      BaseMs = Ms;
+    double SitesPerSec = Locs.empty() ? 0 : 1000.0 * Locs.size() / Ms;
+    std::printf("%6u %8zu %10.1f %10.1f %10.1f %12.0f %7.2fx\n", Jobs,
+                Out->ShardCount, Ms, Out->Timings.PatchMs,
+                Out->Timings.MergeMs, SitesPerSec, BaseMs / Ms);
+    if (Json) {
+      std::fprintf(
+          Json,
+          "%s  {\"bench\": \"parallel\", \"jobs\": %u, \"hw_threads\": %u,\n"
+          "   \"sites\": %zu, \"shards\": %zu, \"shards_redone\": %zu,\n"
+          "   \"total_ms\": %.2f, \"patch_ms\": %.2f, \"merge_ms\": %.2f,\n"
+          "   \"sites_per_sec\": %.0f, \"speedup_vs_1\": %.3f,\n"
+          "   \"byte_identical\": true}",
+          First ? "" : ",\n", Jobs, HwThreads, Locs.size(), Out->ShardCount,
+          Out->ShardsRedone, Ms, Out->Timings.PatchMs, Out->Timings.MergeMs,
+          SitesPerSec, BaseMs / Ms);
+      First = false;
+    }
+  }
+  if (Json) {
+    std::fprintf(Json, "\n]\n");
+    std::fclose(Json);
+    std::printf("\nwrote BENCH_parallel.json\n");
+  }
+  return 0;
+}

@@ -8,6 +8,10 @@
 // stays ~100% and throughput stays flat as the binary grows (no global
 // analysis anywhere in the pipeline).
 //
+// Besides the human-readable table, the run appends one record per config
+// to BENCH_scale.json (machine-readable: sites/sec plus per-phase times)
+// so CI can track throughput regressions.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
@@ -33,6 +37,11 @@ int main() {
   std::printf("------------------------------------------------------------"
               "---------\n");
 
+  FILE *Json = std::fopen("BENCH_scale.json", "w");
+  if (Json)
+    std::fprintf(Json, "[\n");
+  bool First = true;
+
   for (unsigned Funcs : {50u, 200u, 800u, 3200u}) {
     WorkloadConfig C;
     C.Name = "scale";
@@ -56,11 +65,31 @@ int main() {
     }
     double Ms =
         std::chrono::duration<double, std::milli>(T1 - T0).count();
+    double SitesPerSec = Locs.empty() ? 0 : 1000.0 * Locs.size() / Ms;
     std::printf("%8u %10.1f %9zu %9.2f %10.1f %12.0f %10.2f\n", Funcs,
                 W.Image.textSegment()->Bytes.size() / 1024.0, Locs.size(),
-                Out->Stats.succPct(), Ms,
-                Locs.empty() ? 0 : 1000.0 * Locs.size() / Ms,
-                Out->sizePct());
+                Out->Stats.succPct(), Ms, SitesPerSec, Out->sizePct());
+    if (Json) {
+      const PhaseTimings &T = Out->Timings;
+      std::fprintf(
+          Json,
+          "%s  {\"bench\": \"scale\", \"funcs\": %u, \"code_bytes\": %zu,\n"
+          "   \"sites\": %zu, \"succ_pct\": %.2f, \"total_ms\": %.2f,\n"
+          "   \"sites_per_sec\": %.0f, \"jobs\": %u, \"shards\": %zu,\n"
+          "   \"phases_ms\": {\"disasm\": %.2f, \"patch\": %.2f, "
+          "\"merge\": %.2f, \"group\": %.2f, \"write\": %.2f, "
+          "\"verify\": %.2f}}",
+          First ? "" : ",\n", Funcs, W.Image.textSegment()->Bytes.size(),
+          Locs.size(), Out->Stats.succPct(), Ms, SitesPerSec, Out->JobsUsed,
+          Out->ShardCount, T.DisasmMs, T.PatchMs, T.MergeMs, T.GroupMs,
+          T.WriteMs, T.VerifyMs);
+      First = false;
+    }
+  }
+  if (Json) {
+    std::fprintf(Json, "\n]\n");
+    std::fclose(Json);
+    std::printf("\nwrote BENCH_scale.json\n");
   }
   return 0;
 }

@@ -141,9 +141,6 @@ src/core/CMakeFiles/e9_core.dir/Grouping.cpp.o: \
  /root/repo/src/x86/Register.h /root/repo/src/elf/Image.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/support/FaultInjector.h /root/repo/src/support/Format.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/frontend/Rewriter.cpp" "src/frontend/CMakeFiles/e9_frontend.dir/Rewriter.cpp.o" "gcc" "src/frontend/CMakeFiles/e9_frontend.dir/Rewriter.cpp.o.d"
   "/root/repo/src/frontend/Runtime.cpp" "src/frontend/CMakeFiles/e9_frontend.dir/Runtime.cpp.o" "gcc" "src/frontend/CMakeFiles/e9_frontend.dir/Runtime.cpp.o.d"
   "/root/repo/src/frontend/Select.cpp" "src/frontend/CMakeFiles/e9_frontend.dir/Select.cpp.o" "gcc" "src/frontend/CMakeFiles/e9_frontend.dir/Select.cpp.o.d"
+  "/root/repo/src/frontend/Shard.cpp" "src/frontend/CMakeFiles/e9_frontend.dir/Shard.cpp.o" "gcc" "src/frontend/CMakeFiles/e9_frontend.dir/Shard.cpp.o.d"
   )
 
 # Targets to which this target links.

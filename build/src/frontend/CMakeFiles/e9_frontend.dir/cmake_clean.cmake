@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/e9_frontend.dir/Runtime.cpp.o.d"
   "CMakeFiles/e9_frontend.dir/Select.cpp.o"
   "CMakeFiles/e9_frontend.dir/Select.cpp.o.d"
+  "CMakeFiles/e9_frontend.dir/Shard.cpp.o"
+  "CMakeFiles/e9_frontend.dir/Shard.cpp.o.d"
   "libe9_frontend.a"
   "libe9_frontend.pdb"
 )

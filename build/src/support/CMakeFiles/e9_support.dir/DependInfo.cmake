@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/Format.cpp" "src/support/CMakeFiles/e9_support.dir/Format.cpp.o" "gcc" "src/support/CMakeFiles/e9_support.dir/Format.cpp.o.d"
   "/root/repo/src/support/IntervalSet.cpp" "src/support/CMakeFiles/e9_support.dir/IntervalSet.cpp.o" "gcc" "src/support/CMakeFiles/e9_support.dir/IntervalSet.cpp.o.d"
   "/root/repo/src/support/Status.cpp" "src/support/CMakeFiles/e9_support.dir/Status.cpp.o" "gcc" "src/support/CMakeFiles/e9_support.dir/Status.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "src/support/CMakeFiles/e9_support.dir/ThreadPool.cpp.o" "gcc" "src/support/CMakeFiles/e9_support.dir/ThreadPool.cpp.o.d"
   )
 
 # Targets to which this target links.

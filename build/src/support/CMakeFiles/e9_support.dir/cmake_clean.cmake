@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/e9_support.dir/IntervalSet.cpp.o.d"
   "CMakeFiles/e9_support.dir/Status.cpp.o"
   "CMakeFiles/e9_support.dir/Status.cpp.o.d"
+  "CMakeFiles/e9_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/e9_support.dir/ThreadPool.cpp.o.d"
   "libe9_support.a"
   "libe9_support.pdb"
 )

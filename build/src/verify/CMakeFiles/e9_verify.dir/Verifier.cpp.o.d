@@ -140,10 +140,7 @@ src/verify/CMakeFiles/e9_verify.dir/Verifier.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/x86/Insn.h \
  /root/repo/src/x86/Register.h /root/repo/src/elf/Image.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/lowfat/LowFat.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/lowfat/LowFat.h \
  /root/repo/src/vm/Vm.h /root/repo/src/vm/Cpu.h /usr/include/c++/12/array \
  /root/repo/src/vm/Memory.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -216,6 +213,9 @@ src/verify/CMakeFiles/e9_verify.dir/Verifier.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \

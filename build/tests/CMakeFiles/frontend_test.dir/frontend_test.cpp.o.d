@@ -143,20 +143,19 @@ tests/CMakeFiles/frontend_test.dir/frontend_test.cpp.o: \
  /root/repo/src/core/Alloc.h /root/repo/src/support/IntervalSet.h \
  /root/repo/src/core/Lock.h /root/repo/src/core/Trampoline.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/frontend/Shard.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/verify/Verifier.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/frontend/Runtime.h /root/repo/src/vm/Vm.h \
- /root/repo/src/vm/Cpu.h /root/repo/src/vm/Memory.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/verify/Verifier.h /root/repo/src/frontend/Runtime.h \
+ /root/repo/src/vm/Vm.h /root/repo/src/vm/Cpu.h \
+ /root/repo/src/vm/Memory.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

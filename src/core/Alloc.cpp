@@ -25,15 +25,26 @@ std::optional<uint64_t> Allocator::allocate(uint64_t Size,
   // Pass 1: extend an open bump zone whose cursor starts inside the
   // bound. This packs trampolines with compatible constraints into the
   // same virtual pages. Only the start address is constrained by the pun
-  // window; the extent may run past it.
+  // window; the extent may run past it. Zones are ordered by cursor, so
+  // the first in-bound candidate is one lower_bound away; zones too small
+  // for this request are retired as the scan passes them (their tail
+  // stays free in `Used`, where pass 2 can still pack it).
   if (PackingEnabled) {
-    for (Zone &Z : Zones) {
-      uint64_t At = Z.Cur;
-      if (At < Bound.Lo || At >= Bound.Hi || At + Size > Z.End)
+    auto It = Zones.lower_bound(Bound.Lo);
+    while (It != Zones.end() && It->first < Bound.Hi) {
+      uint64_t At = It->first;
+      uint64_t End = It->second;
+      if (End - At < Size) {
+        It = Zones.erase(It); // Retire: can never serve this request.
         continue;
-      if (Used.overlaps(At, At + Size))
+      }
+      if (Used.overlaps(At, At + Size)) {
+        ++It; // A foreign allocation landed inside the zone; keep it.
         continue;
-      Z.Cur = At + Size;
+      }
+      Zones.erase(It);
+      if (At + Size < End)
+        Zones.emplace(At + Size, End);
       Used.insert(At, At + Size);
       Allocs.emplace(At, Size);
       AllocatedBytes += Size;
@@ -41,17 +52,25 @@ std::optional<uint64_t> Allocator::allocate(uint64_t Size,
     }
   }
 
-  // Pass 2: lowest free start inside the bound; open a fresh zone
-  // covering the rest of the page for future packing.
-  std::optional<uint64_t> At = Used.findFreeStart(Bound, Size);
+  // Pass 2: lowest free start inside the bound — preferring the window
+  // above SearchBase when it applies — and open a fresh zone covering the
+  // rest of the page for future packing.
+  std::optional<uint64_t> At;
+  if (SearchBase > Bound.Lo && SearchBase < Bound.Hi)
+    At = Used.findFreeStart(Interval{SearchBase, Bound.Hi}, Size);
+  if (!At.has_value())
+    At = Used.findFreeStart(Bound, Size);
   if (!At.has_value())
     return std::nullopt;
   Used.insert(*At, *At + Size);
   Allocs.emplace(*At, Size);
   AllocatedBytes += Size;
   uint64_t ZoneEnd = alignUp(*At + Size, PageSize);
-  if (ZoneEnd > *At + Size)
-    Zones.push_back(Zone{*At + Size, ZoneEnd});
+  if (ZoneEnd > *At + Size) {
+    auto [It, Inserted] = Zones.emplace(*At + Size, ZoneEnd);
+    if (!Inserted && It->second < ZoneEnd)
+      It->second = ZoneEnd; // Keep the larger of two coinciding tails.
+  }
   return At;
 }
 

@@ -12,6 +12,13 @@
 /// bump zone that intersects the request interval, and only then opens a
 /// fresh zone at the lowest free gap.
 ///
+/// Open zones are indexed by cursor address so the in-bound candidates are
+/// found by one ordered lookup instead of a linear scan over every zone
+/// ever opened (which made a full rewrite O(sites^2)). Zones too small for
+/// the request they are scanned under are retired on the spot: their free
+/// tail stays visible to the fresh-zone pass through the interval set, so
+/// page packing is preserved while the index only ever shrinks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef E9_CORE_ALLOC_H
@@ -35,6 +42,14 @@ public:
   /// page utilization collapses (LiteInst reports ~2.8%); kept for the
   /// ablation benchmark.
   bool PackingEnabled = true;
+
+  /// Preferred lowest address for opening fresh zones. When it lies inside
+  /// the request bound, the fresh-zone pass searches [SearchBase, Bound.Hi)
+  /// first and only falls back to the full bound when that window is
+  /// exhausted. The sharded patcher points each shard at a private window
+  /// so concurrent shards rarely claim the same pages. 0 = no preference.
+  uint64_t SearchBase = 0;
+
   /// Marks [Lo, Hi) as unusable for trampolines.
   void reserve(uint64_t Lo, uint64_t Hi) { Used.insert(Lo, Hi); }
 
@@ -46,20 +61,18 @@ public:
   void free(uint64_t Addr, uint64_t Size);
 
   /// All live allocations, address-ordered (addr -> size). Input to
-  /// physical page grouping.
+  /// physical page grouping and to the cross-shard conflict check.
   const std::map<uint64_t, uint64_t> &allocations() const { return Allocs; }
 
   uint64_t allocatedBytes() const { return AllocatedBytes; }
 
-private:
-  struct Zone {
-    uint64_t Cur;
-    uint64_t End;
-  };
+  /// Open (not yet retired) bump zones; exposed for tests.
+  size_t openZoneCount() const { return Zones.size(); }
 
+private:
   IntervalSet Used; ///< Reserved regions plus live allocations.
   std::map<uint64_t, uint64_t> Allocs;
-  std::vector<Zone> Zones;
+  std::map<uint64_t, uint64_t> Zones; ///< Open bump zones: cursor -> end.
   uint64_t AllocatedBytes = 0;
 };
 

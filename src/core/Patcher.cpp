@@ -48,37 +48,48 @@ Patcher::Patcher(elf::Image &Img, std::vector<Insn> Insns, PatchOptions Opts)
     : Img(Img), Insns(std::move(Insns)), Opts(std::move(Opts)) {
   std::sort(this->Insns.begin(), this->Insns.end(),
             [](const Insn &A, const Insn &B) { return A.Address < B.Address; });
-  for (size_t I = 0; I != this->Insns.size(); ++I)
-    InsnIndex.emplace(this->Insns[I].Address, I);
   Alloc.PackingEnabled = this->Opts.AllocPacking;
   reserveDefaultRegions(Alloc, Img);
 }
 
 const Insn *Patcher::insnAt(uint64_t Addr) const {
-  auto It = InsnIndex.find(Addr);
-  return It == InsnIndex.end() ? nullptr : &Insns[It->second];
+  auto It = std::lower_bound(
+      Insns.begin(), Insns.end(), Addr,
+      [](const Insn &I, uint64_t A) { return I.Address < A; });
+  return It != Insns.end() && It->Address == Addr ? &*It : nullptr;
 }
 
 const Insn *Patcher::nextInsn(const Insn &I) const {
+  // Callers always pass references into Insns, so the successor (if it
+  // starts exactly at the end of I — linear disassembly may have gaps) is
+  // the next element.
+  if (&I >= Insns.data() && &I < Insns.data() + Insns.size()) {
+    const Insn *N = &I + 1;
+    if (N == Insns.data() + Insns.size() || N->Address != I.Address + I.Length)
+      return nullptr;
+    return N;
+  }
   return insnAt(I.Address + I.Length);
 }
 
 bool Patcher::writeBytes(Txn &T, uint64_t Addr, const uint8_t *Bytes,
                          size_t N) {
-  std::vector<uint8_t> Old(N);
-  if (!Img.readBytes(Addr, Old.data(), N))
+  assert(N <= MaxInsnLength && "patch writes are at most one instruction");
+  UndoWrite U;
+  U.Addr = Addr;
+  U.Len = static_cast<uint8_t>(N);
+  if (!Img.readBytes(Addr, U.Bytes, N))
     return false;
   if (!Img.writeBytes(Addr, Bytes, N))
     return false;
-  T.OldBytes.emplace_back(Addr, std::move(Old));
+  T.OldBytes.push_back(U);
   Locks.markModifiedRecordNew(Addr, Addr + N, T.ModifiedAdded);
   return true;
 }
 
 void Patcher::rollback(Txn &T) {
   for (auto It = T.OldBytes.rbegin(); It != T.OldBytes.rend(); ++It) {
-    [[maybe_unused]] Status S =
-        Img.writeBytes(It->first, It->second.data(), It->second.size());
+    [[maybe_unused]] Status S = Img.writeBytes(It->Addr, It->Bytes, It->Len);
     assert(S.isOk() && "rollback write must succeed");
   }
   for (const Interval &I : T.LocksAdded)

@@ -41,7 +41,6 @@
 #include <cstdint>
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 namespace e9 {
@@ -175,8 +174,17 @@ public:
   const std::vector<PatchSiteResult> &results() const { return Results; }
 
 private:
+  /// Undo record for one text write. Every patch write is at most one
+  /// instruction long, so the old content fits an inline buffer — no heap
+  /// allocation on the hottest path.
+  struct UndoWrite {
+    uint64_t Addr = 0;
+    uint8_t Len = 0;
+    uint8_t Bytes[x86::MaxInsnLength] = {};
+  };
+
   struct Txn {
-    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> OldBytes;
+    std::vector<UndoWrite> OldBytes;
     std::vector<Interval> LocksAdded;
     std::vector<Interval> ModifiedAdded;
     std::vector<std::pair<uint64_t, uint64_t>> AllocsAdded;
@@ -229,8 +237,7 @@ private:
   bool tryB0(uint64_t Addr);
 
   elf::Image &Img;
-  std::vector<x86::Insn> Insns;
-  std::unordered_map<uint64_t, size_t> InsnIndex;
+  std::vector<x86::Insn> Insns; ///< Sorted by address; insnAt bisects it.
   PatchOptions Opts;
   Allocator Alloc;
   LockState Locks;

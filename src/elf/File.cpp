@@ -80,30 +80,53 @@ uint64_t noteSize(const Image &Img) {
   return 12 + sizeof(NoteName) + alignUp(noteDescSize(Img), 4);
 }
 
-} // namespace
-
-std::vector<uint8_t> elf::write(const Image &Img) {
-  bool HasNote =
-      !Img.Blocks.empty() || !Img.Mappings.empty() || !Img.B0Sites.empty();
-  uint64_t PhNum = Img.Segments.size() + (HasNote ? 1 : 0);
-
-  // --- Plan file offsets --------------------------------------------------
-  uint64_t Cur = EhdrSize + PhNum * PhdrSize;
+/// Every file offset write() will emit at, planned without serializing.
+struct Layout {
+  bool HasNote = false;
+  uint64_t PhNum = 0;
   std::vector<uint64_t> SegOffsets;
+  uint64_t NoteOff = 0;
+  std::vector<uint64_t> BlockOffsets;
+  uint64_t FileSize = 0;
+};
+
+Layout planLayout(const Image &Img) {
+  Layout L;
+  L.HasNote =
+      !Img.Blocks.empty() || !Img.Mappings.empty() || !Img.B0Sites.empty();
+  L.PhNum = Img.Segments.size() + (L.HasNote ? 1 : 0);
+
+  uint64_t Cur = EhdrSize + L.PhNum * PhdrSize;
   for (const Segment &S : Img.Segments) {
     uint64_t Off = congruentOffset(Cur, S.VAddr);
-    SegOffsets.push_back(Off);
+    L.SegOffsets.push_back(Off);
     Cur = Off + S.fileSize();
   }
-  uint64_t NoteOff = alignUp(Cur, 4);
-  if (HasNote)
-    Cur = NoteOff + noteSize(Img);
-  std::vector<uint64_t> BlockOffsets;
+  L.NoteOff = alignUp(Cur, 4);
+  if (L.HasNote)
+    Cur = L.NoteOff + noteSize(Img);
   for (const PhysBlock &B : Img.Blocks) {
     uint64_t Off = alignUp(Cur, 16);
-    BlockOffsets.push_back(Off);
+    L.BlockOffsets.push_back(Off);
     Cur = Off + B.Bytes.size();
   }
+  L.FileSize = Cur;
+  return L;
+}
+
+} // namespace
+
+uint64_t elf::writtenSize(const Image &Img) {
+  return planLayout(Img).FileSize;
+}
+
+std::vector<uint8_t> elf::write(const Image &Img) {
+  Layout L = planLayout(Img);
+  bool HasNote = L.HasNote;
+  uint64_t PhNum = L.PhNum;
+  const std::vector<uint64_t> &SegOffsets = L.SegOffsets;
+  uint64_t NoteOff = L.NoteOff;
+  const std::vector<uint64_t> &BlockOffsets = L.BlockOffsets;
 
   // --- Emit ----------------------------------------------------------------
   ByteBuffer Out;
@@ -171,6 +194,7 @@ std::vector<uint8_t> elf::write(const Image &Img) {
     Out.pushFill(BlockOffsets[I] - Out.size(), 0);
     Out.pushBytes(Img.Blocks[I].Bytes);
   }
+  assert(Out.size() == L.FileSize && "planLayout disagrees with emission");
   return Out.takeBytes();
 }
 

@@ -104,6 +104,11 @@ struct Image {
 /// the E9REPRO mapping note for rewritten binaries).
 std::vector<uint8_t> write(const Image &Img);
 
+/// Exact byte count write(\p Img) would produce, without serializing.
+/// Plans the same layout (segment congruence padding, note, block
+/// alignment) but allocates nothing — size accounting for large images.
+uint64_t writtenSize(const Image &Img);
+
 /// Parses ELF64 bytes produced by write() (or a compatible minimal ELF).
 Result<Image> read(const std::vector<uint8_t> &Bytes);
 

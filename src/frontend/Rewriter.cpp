@@ -3,8 +3,10 @@
 #include "frontend/Rewriter.h"
 
 #include "frontend/Disasm.h"
+#include "frontend/Shard.h"
 #include "support/FaultInjector.h"
 #include "support/Format.h"
+#include "support/Timing.h"
 
 #include <algorithm>
 
@@ -52,8 +54,10 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   if (!In.textSegment())
     return Result<RewriteOutput>::error("input image has no code segment");
 
+  Stopwatch Total;
+  Stopwatch Phase;
   RewriteOutput Out;
-  Out.OrigFileSize = elf::write(In).size();
+  Out.OrigFileSize = elf::writtenSize(In);
   Out.Rewritten = In;
   Out.Rewritten.Blocks.clear();
   Out.Rewritten.Mappings.clear();
@@ -62,28 +66,25 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   if (E9_FAULT_POINT("frontend.disasm.decode"))
     return Result<RewriteOutput>::error(
         "injected fault: frontend.disasm.decode (disassembly failed)");
+  Out.Timings.DisasmMs = Phase.lapMs();
 
-  core::Patcher P(Out.Rewritten, std::move(Dis.Insns), Opts.Patch);
-  for (const Interval &R : Opts.ExtraReserved)
-    P.allocator().reserve(R.Lo, R.Hi);
-  if (Opts.SpecFor) {
-    // Per-site specs: drive the S1 reverse order here.
-    std::vector<uint64_t> Sorted(PatchLocs);
-    std::sort(Sorted.begin(), Sorted.end());
-    Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
-    for (auto It = Sorted.rbegin(); It != Sorted.rend(); ++It)
-      P.patchOne(*It, Opts.SpecFor(*It));
-  } else {
-    P.patchAll(PatchLocs);
-  }
+  ShardedPatchOutput P = patchSharded(
+      In, Out.Rewritten, std::move(Dis.Insns), PatchLocs, Opts.Patch,
+      Opts.SpecFor, Opts.ExtraReserved, Opts.Sharding, Opts.Jobs);
+  Phase.lapMs();
+  Out.Timings.PatchMs = P.PatchMs;
+  Out.Timings.MergeMs = P.MergeMs;
+  Out.ShardCount = P.ShardCount;
+  Out.ShardsRedone = P.ShardsRedone;
+  Out.JobsUsed = P.JobsUsed;
 
-  Out.Stats = P.stats();
-  Out.B0Table = P.b0Table();
-  Out.Rewritten.B0Sites = P.b0Table(); // self-contained rewritten binary
-  Out.Sites = P.results();
-  Out.Chunks = P.chunks();
-  Out.Jumps = P.jumps();
-  Out.ModifiedRanges = P.modifiedRanges();
+  Out.Stats = P.Stats;
+  Out.B0Table = P.B0Table;
+  Out.Rewritten.B0Sites = P.B0Table; // self-contained rewritten binary
+  Out.Sites = std::move(P.Sites);
+  Out.Chunks = std::move(P.Chunks);
+  Out.Jumps = std::move(P.Jumps);
+  Out.ModifiedRanges = std::move(P.ModifiedRanges);
 
   // Error budget: refuse to hand back a binary with more unpatched sites
   // than the caller tolerates. The message names the first few failures
@@ -109,17 +110,20 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
     return Result<RewriteOutput>::error(Msg);
   }
 
-  auto Grouped = core::groupPages(P.chunks(), Opts.Grouping);
+  Phase.lapMs();
+  auto Grouped = core::groupPages(Out.Chunks, Opts.Grouping);
   if (!Grouped)
     return Result<RewriteOutput>::error(
         format("grouping failed: %s", Grouped.reason().c_str()));
   Out.Grouping = Grouped.take();
   Out.Rewritten.Blocks = std::move(Out.Grouping.Blocks);
   Out.Rewritten.Mappings = Out.Grouping.Mappings;
+  Out.Timings.GroupMs = Phase.lapMs();
 
   injectOutputCorruption(Out);
 
-  Out.NewFileSize = elf::write(Out.Rewritten).size();
+  Out.NewFileSize = elf::writtenSize(Out.Rewritten);
+  Out.Timings.WriteMs = Phase.lapMs();
 
   if (Opts.Strict || Opts.Verify) {
     verify::VerifyInput VIn;
@@ -130,8 +134,10 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
     VIn.Chunks = &Out.Chunks;
     VIn.ModifiedRanges = &Out.ModifiedRanges;
     Out.Verify = verify::verifyRewrite(VIn, Opts.VerifyOpts);
+    Out.Timings.VerifyMs = Phase.lapMs();
     if (Opts.Strict && !Out.Verify.ok())
       return Result<RewriteOutput>::error(Out.Verify.summary());
   }
+  Out.Timings.TotalMs = Total.elapsedMs();
   return Out;
 }

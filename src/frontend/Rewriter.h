@@ -27,6 +27,7 @@
 #include "core/Grouping.h"
 #include "core/Patcher.h"
 #include "elf/Image.h"
+#include "frontend/Shard.h"
 #include "support/IntervalSet.h"
 #include "verify/Verifier.h"
 
@@ -45,8 +46,16 @@ struct RewriteOptions {
   /// runtime will hand out at execution time).
   std::vector<Interval> ExtraReserved;
   /// Optional per-site trampoline spec (overrides Patch.Spec), e.g. a
-  /// distinct counter slot per location or a one-off binary patch.
+  /// distinct counter slot per location or a one-off binary patch. May be
+  /// called concurrently from worker threads when Jobs > 1, so it must be
+  /// reentrant (a pure function of the address).
   std::function<core::TrampolineSpec(uint64_t Addr)> SpecFor;
+
+  /// Worker threads for the sharded patcher; 0 = all hardware threads.
+  /// The output bytes are identical for every value (see Shard.h).
+  unsigned Jobs = 1;
+  /// Shard decomposition policy (site partitioning + address windows).
+  ShardPolicy Sharding;
 
   /// Fail closed: run the post-rewrite verifier and turn any verification
   /// failure into a rewrite error (the report rides in RewriteOutput when
@@ -62,12 +71,29 @@ struct RewriteOptions {
   size_t MaxFailedSites = SIZE_MAX;
 };
 
+/// Wall-clock time attribution across the rewriting pipeline. WriteMs
+/// covers output size planning only — the file write itself happens in
+/// the caller (e.g. e9tool).
+struct PhaseTimings {
+  double DisasmMs = 0;
+  double PatchMs = 0;
+  double MergeMs = 0;
+  double GroupMs = 0;
+  double WriteMs = 0;
+  double VerifyMs = 0;
+  double TotalMs = 0;
+};
+
 struct RewriteOutput {
   elf::Image Rewritten;
   core::PatchStats Stats;
   core::GroupingResult Grouping;
   uint64_t OrigFileSize = 0;
   uint64_t NewFileSize = 0;
+  PhaseTimings Timings;
+  size_t ShardCount = 0;
+  size_t ShardsRedone = 0;
+  unsigned JobsUsed = 1;
   /// Rewritten-over-original file size in percent (Table 1 "Size%").
   double sizePct() const {
     return OrigFileSize == 0 ? 0.0

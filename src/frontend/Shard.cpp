@@ -1,0 +1,215 @@
+//===- frontend/Shard.cpp -------------------------------------*- C++ -*-===//
+
+#include "frontend/Shard.h"
+
+#include "support/FaultInjector.h"
+#include "support/ThreadPool.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace e9;
+using namespace e9::frontend;
+
+std::vector<Shard> frontend::planShards(const std::vector<uint64_t> &SitesAsc,
+                                        const ShardPolicy &Policy) {
+  std::vector<Shard> Plan;
+  size_t N = SitesAsc.size();
+  if (N == 0)
+    return Plan;
+  size_t MaxShards = Policy.MaxShards ? Policy.MaxShards : 1;
+  size_t Target = std::max<size_t>(
+      std::max<size_t>(Policy.MinSitesPerShard, 1),
+      (N + MaxShards - 1) / MaxShards);
+
+  Shard Cur;
+  Cur.FirstSite = 0;
+  Cur.NumSites = 1;
+  Cur.LoAddr = Cur.HiAddr = SitesAsc[0];
+  for (size_t I = 1; I != N; ++I) {
+    assert(SitesAsc[I] > SitesAsc[I - 1] && "sites must be sorted unique");
+    if (Cur.NumSites >= Target &&
+        SitesAsc[I] - SitesAsc[I - 1] >= ShardGuardDistance) {
+      Plan.push_back(Cur);
+      Cur.FirstSite = I;
+      Cur.NumSites = 0;
+      Cur.LoAddr = SitesAsc[I];
+    }
+    ++Cur.NumSites;
+    Cur.HiAddr = SitesAsc[I];
+  }
+  Plan.push_back(Cur);
+  return Plan;
+}
+
+namespace {
+
+/// Everything one shard's Patcher produced, copied out so the Patcher (and
+/// its image reference) can be destroyed before the merge runs.
+struct ShardResult {
+  core::PatchStats Stats;
+  std::vector<core::TrampolineChunk> Chunks;
+  std::vector<core::JumpRecord> Jumps;
+  std::vector<core::PatchSiteResult> Sites;
+  std::vector<Interval> Modified;
+  std::map<uint64_t, std::vector<uint8_t>> B0;
+  std::map<uint64_t, uint64_t> Allocs;
+};
+
+void addStats(core::PatchStats &Acc, const core::PatchStats &S) {
+  Acc.NLoc += S.NLoc;
+  for (size_t I = 0; I != 7; ++I) {
+    Acc.Count[I] += S.Count[I];
+    Acc.ReasonCount[I] += S.ReasonCount[I];
+  }
+  Acc.Evictions += S.Evictions;
+  Acc.Rescued += S.Rescued;
+}
+
+} // namespace
+
+ShardedPatchOutput frontend::patchSharded(
+    const elf::Image &Original, elf::Image &Img, std::vector<x86::Insn> Insns,
+    const std::vector<uint64_t> &PatchLocs, const core::PatchOptions &PatchOpts,
+    const std::function<core::TrampolineSpec(uint64_t)> &SpecFor,
+    const std::vector<Interval> &ExtraReserved, const ShardPolicy &Policy,
+    unsigned Jobs) {
+  ShardedPatchOutput Out;
+
+  std::vector<uint64_t> Sites(PatchLocs);
+  std::sort(Sites.begin(), Sites.end());
+  Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
+
+  std::sort(Insns.begin(), Insns.end(),
+            [](const x86::Insn &A, const x86::Insn &B) {
+              return A.Address < B.Address;
+            });
+
+  std::vector<Shard> Plan = planShards(Sites, Policy);
+  Out.ShardCount = Plan.size();
+  Out.JobsUsed = Jobs == 0 ? ThreadPool::hardwareThreads() : Jobs;
+  // The fault injector keeps global hit ordinals and is not thread-safe:
+  // chaos-mode determinism (and TSan cleanliness) require a single thread
+  // whenever it is armed. Output bytes are Jobs-independent either way.
+  if (FaultInjectionArmed)
+    Out.JobsUsed = 1;
+  if (Plan.empty())
+    return Out;
+
+  const elf::Segment *Text = Img.textSegment();
+  uint64_t TextBase = Text ? Text->VAddr : 0;
+  auto windowFor = [&](size_t K) -> uint64_t {
+    if (K == 0)
+      return 0; // Shard 0 allocates lowest-first, like the sequential path.
+    return TextBase + Policy.WindowOffset + (K - 1) * Policy.WindowStride;
+  };
+
+  // Runs shard K against the shared image. Shards touch pairwise-disjoint
+  // byte ranges (see Shard.h), so concurrent calls are race-free. When
+  // \p ReservedAllocs is non-null (the redo pass), those address ranges
+  // are additionally withheld from the shard's allocator.
+  auto runShard =
+      [&](size_t K,
+          const std::vector<std::pair<uint64_t, uint64_t>> *ReservedAllocs,
+          std::vector<x86::Insn> ShardInsns) -> ShardResult {
+    const Shard &S = Plan[K];
+    core::Patcher P(Img, std::move(ShardInsns), PatchOpts);
+    P.allocator().SearchBase = windowFor(K);
+    for (const Interval &R : ExtraReserved)
+      P.allocator().reserve(R.Lo, R.Hi);
+    if (ReservedAllocs)
+      for (const auto &[A, Sz] : *ReservedAllocs)
+        P.allocator().reserve(A, A + Sz);
+    // Strategy S1 within the shard: descending address order.
+    for (size_t I = S.NumSites; I-- > 0;) {
+      uint64_t Addr = Sites[S.FirstSite + I];
+      P.patchOne(Addr, SpecFor ? SpecFor(Addr) : PatchOpts.Spec);
+    }
+    ShardResult R;
+    R.Stats = P.stats();
+    R.Chunks = P.chunks();
+    R.Jumps = P.jumps();
+    R.Sites = P.results();
+    R.Modified = P.modifiedRanges();
+    R.B0 = P.b0Table();
+    R.Allocs = P.allocator().allocations();
+    return R;
+  };
+
+  auto sliceFor = [&](const Shard &S) {
+    auto Lo = std::lower_bound(Insns.begin(), Insns.end(), S.LoAddr,
+                               [](const x86::Insn &I, uint64_t A) {
+                                 return I.Address < A;
+                               });
+    auto Hi = std::lower_bound(Insns.begin(), Insns.end(),
+                               S.HiAddr + ShardGuardDistance,
+                               [](const x86::Insn &I, uint64_t A) {
+                                 return I.Address < A;
+                               });
+    return std::vector<x86::Insn>(Lo, Hi);
+  };
+
+  // --- Parallel shard execution -------------------------------------------
+  Stopwatch PatchClock;
+  std::vector<ShardResult> Results(Plan.size());
+  if (Plan.size() == 1) {
+    Results[0] = runShard(0, nullptr, std::move(Insns));
+  } else {
+    parallelFor(Plan.size(), Out.JobsUsed, [&](size_t K) {
+      Results[K] = runShard(K, nullptr, sliceFor(Plan[K]));
+    });
+  }
+  Out.PatchMs = PatchClock.elapsedMs();
+
+  // --- Deterministic merge + conflict redo --------------------------------
+  // Descending address order, mirroring S1's global install order. A shard
+  // whose trampoline allocations overlap anything already merged is rolled
+  // back and re-run with the merged space reserved; everything here is a
+  // pure function of the shard results, never of the thread count.
+  Stopwatch MergeClock;
+  IntervalSet MergedUsed;
+  std::vector<std::pair<uint64_t, uint64_t>> MergedAllocs;
+  for (size_t K = Plan.size(); K-- > 0;) {
+    ShardResult &R = Results[K];
+    bool Clash = false;
+    for (const auto &[A, Sz] : R.Allocs)
+      if (MergedUsed.overlaps(A, A + Sz)) {
+        Clash = true;
+        break;
+      }
+    if (Clash) {
+      ++Out.ShardsRedone;
+      // Restore the shard's text bytes from the pristine input, then
+      // re-run it sequentially with every merged allocation withheld.
+      for (const Interval &M : R.Modified) {
+        std::vector<uint8_t> Buf(M.size());
+        [[maybe_unused]] Status RS =
+            Original.readBytes(M.Lo, Buf.data(), Buf.size());
+        assert(RS.isOk() && "modified range must exist in the original");
+        [[maybe_unused]] Status WS =
+            Img.writeBytes(M.Lo, Buf.data(), Buf.size());
+        assert(WS.isOk() && "restore write must succeed");
+      }
+      R = runShard(K, &MergedAllocs, sliceFor(Plan[K]));
+    }
+    addStats(Out.Stats, R.Stats);
+    Out.Chunks.insert(Out.Chunks.end(),
+                      std::make_move_iterator(R.Chunks.begin()),
+                      std::make_move_iterator(R.Chunks.end()));
+    Out.Jumps.insert(Out.Jumps.end(), R.Jumps.begin(), R.Jumps.end());
+    Out.Sites.insert(Out.Sites.end(), R.Sites.begin(), R.Sites.end());
+    Out.ModifiedRanges.insert(Out.ModifiedRanges.end(), R.Modified.begin(),
+                              R.Modified.end());
+    for (auto &[Addr, Bytes] : R.B0)
+      Out.B0Table.emplace(Addr, std::move(Bytes));
+    for (const auto &[A, Sz] : R.Allocs) {
+      MergedUsed.insert(A, A + Sz);
+      MergedAllocs.emplace_back(A, Sz);
+    }
+  }
+  std::sort(Out.ModifiedRanges.begin(), Out.ModifiedRanges.end(),
+            [](const Interval &A, const Interval &B) { return A.Lo < B.Lo; });
+  Out.MergeMs = MergeClock.elapsedMs();
+  return Out;
+}

@@ -1,0 +1,138 @@
+//===- frontend/Shard.h - Sharded parallel patching ------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partitions a rewrite's patch sites into independent shards and runs one
+/// core::Patcher per shard, optionally on a thread pool. Correctness rests
+/// on two facts:
+///
+/// **Shard independence (text bytes).** Measured from a patch site at
+/// address A whose instruction has length L <= 15, every tactic only ever
+/// touches bytes at or after A, and no further than:
+///
+///   - B1/B2/T1: the (padded, punned) jump encoding ends inside the
+///     displaced instruction's own bytes, i.e. before A + 15.
+///   - T2: additionally rewrites the *successor* instruction, which starts
+///     before A + 15 and therefore ends before A + 30.
+///   - T3: installs a short jump `eb rel8` at A reaching at most
+///     A + 2 + 127 forward, and rewrites a victim instruction starting
+///     there, ending before A + 2 + 127 + 15 = A + 144.
+///   - Pun feasibility checks *read* up to 4 bytes past a candidate jump
+///     encoding, i.e. below A + 148.
+///
+/// So a site at A touches (reads or writes) only [A, A + 148). Splitting
+/// the sorted site list only at gaps >= ShardGuardDistance (160, with
+/// margin) makes shard text ranges pairwise disjoint: concurrent shards
+/// never race on image bytes, and the result cannot depend on scheduling.
+///
+/// **Deterministic merge (trampoline space).** Each shard allocates
+/// trampolines from a private optimistic allocator biased to a per-shard
+/// address window, so concurrent shards rarely claim the same space, but
+/// nothing *prevents* two shards from picking overlapping addresses (pun
+/// constraints can force narrow windows). The merge pass walks shards in
+/// descending address order — mirroring strategy S1's global install order
+/// — and checks each shard's allocations against everything merged so far;
+/// a shard that clashes is rolled back (its text bytes restored from the
+/// original image) and re-run with the merged allocations reserved. The
+/// clash test and the redo are pure functions of the shard plan, never of
+/// the thread count, so the output is byte-identical for any Jobs value;
+/// the plan itself depends only on the sites and the policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_FRONTEND_SHARD_H
+#define E9_FRONTEND_SHARD_H
+
+#include "core/Patcher.h"
+#include "elf/Image.h"
+#include "support/IntervalSet.h"
+#include "x86/Insn.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace e9 {
+namespace frontend {
+
+/// Minimum address gap between consecutive sites at which the site list
+/// may be cut into shards. Any tactic touches at most [A, A + 148) (see
+/// file comment); 160 adds margin and keeps the constant round.
+inline constexpr uint64_t ShardGuardDistance = 160;
+
+/// Shard decomposition policy. The decomposition is a pure function of
+/// (sites, policy) — Jobs never affects it — so any thread count produces
+/// the same shards and, by construction, the same output bytes.
+struct ShardPolicy {
+  /// Sites per shard to aim for; cuts only happen once a shard holds at
+  /// least max(this, N/MaxShards) sites. The default keeps typical unit
+  /// test workloads in a single shard.
+  size_t MinSitesPerShard = 512;
+  /// Upper bound on the number of shards (bounds merge bookkeeping).
+  size_t MaxShards = 32;
+  /// Shard k > 0 biases fresh trampoline zones to the window starting at
+  /// text base + WindowOffset + (k - 1) * WindowStride; shard 0 is
+  /// unbiased (allocates lowest-first like the sequential patcher). Set
+  /// WindowStride to 0 in tests to force cross-shard clashes and exercise
+  /// the redo path.
+  uint64_t WindowOffset = 1ull << 27;
+  uint64_t WindowStride = 1ull << 24;
+};
+
+/// One shard: a contiguous run of the ascending-sorted site list.
+struct Shard {
+  size_t FirstSite = 0; ///< Index into the sorted site list.
+  size_t NumSites = 0;
+  uint64_t LoAddr = 0; ///< First site address.
+  uint64_t HiAddr = 0; ///< Last site address.
+};
+
+/// Cuts \p SitesAsc (sorted ascending, unique) into shards: a new shard
+/// starts when the previous holds >= max(MinSitesPerShard, N/MaxShards)
+/// sites and the gap to the next site is >= ShardGuardDistance.
+std::vector<Shard> planShards(const std::vector<uint64_t> &SitesAsc,
+                              const ShardPolicy &Policy);
+
+/// Everything the sharded patch run produced, merged in deterministic
+/// (descending-address) shard order. Field meanings match the Patcher
+/// getters; stats are summed, chunk/jump/site lists are concatenated in
+/// global descending site order (the order a single sequential patcher
+/// would have produced).
+struct ShardedPatchOutput {
+  core::PatchStats Stats;
+  std::vector<core::TrampolineChunk> Chunks;
+  std::vector<core::JumpRecord> Jumps;
+  std::vector<core::PatchSiteResult> Sites;
+  std::vector<Interval> ModifiedRanges; ///< Sorted ascending.
+  std::map<uint64_t, std::vector<uint8_t>> B0Table;
+
+  size_t ShardCount = 0;
+  size_t ShardsRedone = 0; ///< Shards re-run by the conflict-redo pass.
+  unsigned JobsUsed = 1;
+  double PatchMs = 0;      ///< Parallel shard execution wall time.
+  double MergeMs = 0;      ///< Conflict check + redo + merge wall time.
+};
+
+/// Patches \p PatchLocs into \p Img (the working copy) with one Patcher
+/// per shard on up to \p Jobs threads (0 = all hardware threads; forced to
+/// 1 while fault injection is armed, since the injector is neither
+/// thread-safe nor ordinal-stable under concurrency). \p Original must be
+/// the pristine input image — the redo pass restores clashing shards from
+/// it. \p SpecFor (optional) overrides PatchOpts.Spec per site.
+ShardedPatchOutput
+patchSharded(const elf::Image &Original, elf::Image &Img,
+             std::vector<x86::Insn> Insns,
+             const std::vector<uint64_t> &PatchLocs,
+             const core::PatchOptions &PatchOpts,
+             const std::function<core::TrampolineSpec(uint64_t)> &SpecFor,
+             const std::vector<Interval> &ExtraReserved,
+             const ShardPolicy &Policy, unsigned Jobs);
+
+} // namespace frontend
+} // namespace e9
+
+#endif // E9_FRONTEND_SHARD_H

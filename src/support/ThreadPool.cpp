@@ -1,0 +1,80 @@
+//===- support/ThreadPool.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace e9;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  Threads = std::max(1u, Threads);
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stopping = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Queue.push(std::move(Task));
+    ++Pending;
+  }
+  HasWork.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(Mu);
+  Idle.wait(L, [this] { return Pending == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      HasWork.wait(L, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (--Pending == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+void e9::parallelFor(size_t N, unsigned Jobs,
+                     const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  unsigned Threads =
+      static_cast<unsigned>(std::min<size_t>(N, std::max(1u, Jobs)));
+  if (Threads <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  ThreadPool Pool(Threads);
+  for (size_t I = 0; I != N; ++I)
+    Pool.submit([&Fn, I] { Fn(I); });
+  Pool.wait();
+}

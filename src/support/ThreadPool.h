@@ -1,0 +1,69 @@
+//===- support/ThreadPool.h - Small fixed-size worker pool -----*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal worker pool for the sharded rewriting pipeline. Tasks must not
+/// throw: an escaping exception terminates the process (the pipeline
+/// reports failures through Status values, never exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_THREADPOOL_H
+#define E9_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace e9 {
+
+/// Fixed-size pool: submit() enqueues a task, wait() blocks until every
+/// submitted task has finished. Destruction joins all workers.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  void submit(std::function<void()> Task);
+
+  /// Blocks until the queue is drained and no task is running.
+  void wait();
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Best-effort hardware concurrency, always >= 1.
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable HasWork; ///< Workers sleep here.
+  std::condition_variable Idle;    ///< wait() sleeps here.
+  std::queue<std::function<void()>> Queue;
+  size_t Pending = 0; ///< Queued plus currently-running tasks.
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+/// Runs Fn(I) for every I in [0, N) on up to \p Jobs workers. With
+/// Jobs <= 1 (or N <= 1) everything runs inline on the calling thread in
+/// index order; otherwise completion order is unspecified, so Fn must only
+/// touch per-index state.
+void parallelFor(size_t N, unsigned Jobs,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace e9
+
+#endif // E9_SUPPORT_THREADPOOL_H

@@ -1,0 +1,45 @@
+//===- support/Timing.h - Wall-clock phase timers --------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stopwatch for per-phase time attribution in the rewriting pipeline
+/// and the benchmarks (disassemble / patch / group / write / verify).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_TIMING_H
+#define E9_SUPPORT_TIMING_H
+
+#include <chrono>
+
+namespace e9 {
+
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Milliseconds since construction or the previous lap; restarts.
+  double lapMs() {
+    Clock::time_point Now = Clock::now();
+    double Ms = std::chrono::duration<double, std::milli>(Now - Start).count();
+    Start = Now;
+    return Ms;
+  }
+
+  /// Milliseconds since construction or the previous lap; keeps running.
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace e9
+
+#endif // E9_SUPPORT_TIMING_H

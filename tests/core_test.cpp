@@ -163,6 +163,38 @@ TEST(Alloc, TracksAllocations) {
   EXPECT_EQ(A.allocatedBytes(), 150u);
 }
 
+TEST(Alloc, SearchBaseBiasesFreshZones) {
+  Allocator A;
+  A.SearchBase = 0x1800000;
+  auto P = A.allocate(64, Interval{0x1000000, 0x2000000});
+  ASSERT_TRUE(P.has_value());
+  EXPECT_GE(*P, 0x1800000u); // Window preferred over the bound's low end.
+  // When the window is exhausted/reserved, fall back to the full bound.
+  A.reserve(0x1800000, 0x2000000);
+  auto Q = A.allocate(64, Interval{0x1000000, 0x2000000});
+  ASSERT_TRUE(Q.has_value());
+  EXPECT_LT(*Q, 0x1800000u);
+}
+
+TEST(Alloc, RetiresExhaustedZones) {
+  // A zone too small for the request under scan is dropped from the zone
+  // index, but its bytes stay allocatable through the fresh-zone pass, so
+  // page packing is preserved while the index only shrinks.
+  Allocator A;
+  auto P1 = A.allocate(4096 - 64, Interval{0x1000000, 0x2000000});
+  ASSERT_TRUE(P1.has_value());
+  EXPECT_EQ(A.openZoneCount(), 1u); // 64-byte tail zone remains open.
+  auto P2 = A.allocate(128, Interval{0x1000000, 0x2000000});
+  ASSERT_TRUE(P2.has_value());
+  // The 64-byte zone was retired (too small for 128), but the fresh-zone
+  // pass still starts the allocation in the tail: only the start address
+  // is bound, the extent may run onto the next page.
+  EXPECT_EQ(*P2, *P1 + 4096 - 64);
+  auto P3 = A.allocate(64, Interval{0x1000000, 0x2000000});
+  ASSERT_TRUE(P3.has_value());
+  EXPECT_EQ(*P3, *P2 + 128); // Packed into the zone P2 opened.
+}
+
 // --- LockState ---------------------------------------------------------------
 
 TEST(Lock, BasicLocking) {

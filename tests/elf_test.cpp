@@ -297,6 +297,18 @@ TEST(CorruptElf, MappingNoteCorruptionsAreRejected) {
   }
 }
 
+TEST(ElfFile, WrittenSizeMatchesWrite) {
+  // writtenSize() must plan exactly the layout write() emits, for plain
+  // images, noted (rewritten) images, and empty-ish edge cases.
+  EXPECT_EQ(writtenSize(makeSampleImage()), write(makeSampleImage()).size());
+  EXPECT_EQ(writtenSize(makeNotedImage()), write(makeNotedImage()).size());
+  Image Empty;
+  EXPECT_EQ(writtenSize(Empty), write(Empty).size());
+  Image Noted = makeNotedImage();
+  Noted.B0Sites.emplace(0x400100, std::vector<uint8_t>{0x90, 0x90, 0x90});
+  EXPECT_EQ(writtenSize(Noted), write(Noted).size());
+}
+
 TEST(CorruptElf, SeededBitFlipsNeverCrash) {
   // 500 seeded single-bit flips anywhere in the file: read() must either
   // produce a valid image (which re-serializes) or a clean error.

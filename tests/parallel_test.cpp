@@ -1,0 +1,249 @@
+//===- tests/parallel_test.cpp - sharded parallel rewriting ----*- C++ -*-===//
+//
+// The hard requirement of the sharded pipeline: the emitted binary is
+// byte-identical for every thread count. These tests pin that property
+// (including through forced cross-shard allocation clashes), check the
+// shard plan invariants, and stress sites packed around the guard
+// distance with the strict verifier and VM semantics on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "frontend/Shard.h"
+#include "lowfat/LowFat.h"
+#include "support/ThreadPool.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+namespace {
+
+Workload mediumWorkload(uint64_t Seed, bool Pie = false) {
+  WorkloadConfig C;
+  C.Name = "ptest";
+  C.Seed = Seed;
+  C.Pie = Pie;
+  C.NumFuncs = 48;
+  C.MainIters = 3;
+  return generateWorkload(C);
+}
+
+RewriteOptions baseOptions() {
+  RewriteOptions O;
+  O.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  O.ExtraReserved.push_back(lowfat::heapReservation());
+  return O;
+}
+
+void expectSameStats(const core::PatchStats &A, const core::PatchStats &B) {
+  EXPECT_EQ(A.NLoc, B.NLoc);
+  for (size_t I = 0; I != 7; ++I) {
+    EXPECT_EQ(A.Count[I], B.Count[I]) << "tactic " << I;
+    EXPECT_EQ(A.ReasonCount[I], B.ReasonCount[I]) << "reason " << I;
+  }
+  EXPECT_EQ(A.Evictions, B.Evictions);
+  EXPECT_EQ(A.Rescued, B.Rescued);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Shard plan invariants
+//===----------------------------------------------------------------------===//
+
+TEST(ShardPlan, CoversAllSitesContiguously) {
+  std::vector<uint64_t> Sites;
+  for (uint64_t I = 0; I != 100; ++I)
+    Sites.push_back(0x401000 + I * 200); // Every gap is cut-eligible.
+  ShardPolicy P;
+  P.MinSitesPerShard = 10;
+  P.MaxShards = 32;
+  std::vector<Shard> Plan = planShards(Sites, P);
+  ASSERT_FALSE(Plan.empty());
+  size_t Next = 0;
+  for (const Shard &S : Plan) {
+    EXPECT_EQ(S.FirstSite, Next);
+    EXPECT_GE(S.NumSites, 1u);
+    EXPECT_EQ(S.LoAddr, Sites[S.FirstSite]);
+    EXPECT_EQ(S.HiAddr, Sites[S.FirstSite + S.NumSites - 1]);
+    Next = S.FirstSite + S.NumSites;
+  }
+  EXPECT_EQ(Next, Sites.size());
+  EXPECT_EQ(Plan.size(), 10u); // 100 sites / target 10.
+}
+
+TEST(ShardPlan, CutsOnlyAtGuardDistance) {
+  // Sites 0..9 packed tighter than the guard, then a wide gap, then more.
+  std::vector<uint64_t> Sites;
+  for (uint64_t I = 0; I != 10; ++I)
+    Sites.push_back(0x401000 + I * (ShardGuardDistance - 1));
+  for (uint64_t I = 0; I != 10; ++I)
+    Sites.push_back(0x500000 + I * (ShardGuardDistance - 1));
+  ShardPolicy P;
+  P.MinSitesPerShard = 1;
+  std::vector<Shard> Plan = planShards(Sites, P);
+  ASSERT_EQ(Plan.size(), 2u); // Only the one wide gap is cut-eligible.
+  EXPECT_EQ(Plan[0].NumSites, 10u);
+  EXPECT_EQ(Plan[1].NumSites, 10u);
+  for (size_t K = 1; K != Plan.size(); ++K)
+    EXPECT_GE(Plan[K].LoAddr - Plan[K - 1].HiAddr, ShardGuardDistance);
+}
+
+TEST(ShardPlan, MaxShardsBoundsTheDecomposition) {
+  std::vector<uint64_t> Sites;
+  for (uint64_t I = 0; I != 1000; ++I)
+    Sites.push_back(0x401000 + I * 4096);
+  ShardPolicy P;
+  P.MinSitesPerShard = 1;
+  P.MaxShards = 4;
+  std::vector<Shard> Plan = planShards(Sites, P);
+  EXPECT_LE(Plan.size(), 4u);
+  EXPECT_GE(Plan.size(), 2u);
+}
+
+TEST(ShardPlan, EmptyAndSingleton) {
+  ShardPolicy P;
+  EXPECT_TRUE(planShards({}, P).empty());
+  std::vector<Shard> One = planShards({0x401000}, P);
+  ASSERT_EQ(One.size(), 1u);
+  EXPECT_EQ(One[0].NumSites, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identical output across thread counts
+//===----------------------------------------------------------------------===//
+
+TEST(Parallel, ByteIdenticalAcrossJobs) {
+  for (bool Pie : {false, true}) {
+    Workload W = mediumWorkload(1234, Pie);
+    DisasmResult D = linearDisassemble(W.Image);
+    std::vector<uint64_t> Locs = selectJumps(D.Insns);
+    ASSERT_GT(Locs.size(), 50u);
+
+    RewriteOptions Opts = baseOptions();
+    Opts.Sharding.MinSitesPerShard = 8; // Force a multi-shard plan.
+    Opts.Strict = true;
+
+    std::vector<uint8_t> Reference;
+    core::PatchStats RefStats;
+    size_t RefShards = 0, RefRedone = 0;
+    for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+      Opts.Jobs = Jobs;
+      auto Out = rewrite(W.Image, Locs, Opts);
+      ASSERT_TRUE(Out.isOk()) << "jobs=" << Jobs << ": " << Out.reason();
+      EXPECT_EQ(Out->JobsUsed, Jobs);
+      std::vector<uint8_t> Bytes = elf::write(Out->Rewritten);
+      if (Jobs == 1) {
+        EXPECT_GT(Out->ShardCount, 1u);
+        Reference = std::move(Bytes);
+        RefStats = Out->Stats;
+        RefShards = Out->ShardCount;
+        RefRedone = Out->ShardsRedone;
+        continue;
+      }
+      EXPECT_EQ(Bytes, Reference) << "jobs=" << Jobs << " pie=" << Pie;
+      expectSameStats(Out->Stats, RefStats);
+      EXPECT_EQ(Out->ShardCount, RefShards);
+      EXPECT_EQ(Out->ShardsRedone, RefRedone);
+    }
+  }
+}
+
+TEST(Parallel, ForcedWindowCollisionsStayDeterministic) {
+  // WindowStride = 0 points every shard k > 0 at the *same* allocation
+  // window, manufacturing cross-shard clashes so the redo pass runs. The
+  // output must still be byte-identical for every thread count and pass
+  // the strict verifier.
+  Workload W = mediumWorkload(77);
+  DisasmResult D = linearDisassemble(W.Image);
+  std::vector<uint64_t> Locs = selectJumps(D.Insns);
+
+  RewriteOptions Opts = baseOptions();
+  Opts.Sharding.MinSitesPerShard = 4;
+  Opts.Sharding.WindowStride = 0;
+  Opts.Strict = true;
+
+  std::vector<uint8_t> Reference;
+  size_t RefRedone = 0;
+  for (unsigned Jobs : {1u, 4u}) {
+    Opts.Jobs = Jobs;
+    auto Out = rewrite(W.Image, Locs, Opts);
+    ASSERT_TRUE(Out.isOk()) << Out.reason();
+    std::vector<uint8_t> Bytes = elf::write(Out->Rewritten);
+    if (Jobs == 1) {
+      EXPECT_GT(Out->ShardCount, 2u);
+      EXPECT_GE(Out->ShardsRedone, 1u) << "stride 0 should force a clash";
+      Reference = std::move(Bytes);
+      RefRedone = Out->ShardsRedone;
+      continue;
+    }
+    EXPECT_EQ(Bytes, Reference);
+    EXPECT_EQ(Out->ShardsRedone, RefRedone);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shard-boundary stress: semantics preserved at maximum shard count
+//===----------------------------------------------------------------------===//
+
+TEST(Parallel, ShardBoundaryStressPreservesSemantics) {
+  // MinSitesPerShard = 1 cuts at every guard-eligible gap, packing shard
+  // boundaries as close to the guard distance as the workload allows.
+  Workload W = mediumWorkload(4321);
+  DisasmResult D = linearDisassemble(W.Image);
+  std::vector<uint64_t> Locs = selectJumps(D.Insns);
+
+  RewriteOptions Opts = baseOptions();
+  Opts.Sharding.MinSitesPerShard = 1;
+  Opts.Jobs = 4;
+  Opts.Strict = true;
+  auto Out = rewrite(W.Image, Locs, Opts);
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  EXPECT_GT(Out->ShardCount, 4u);
+
+  RunOutcome Orig = runImage(W.Image);
+  RunOutcome Re = runImage(Out->Rewritten);
+  ASSERT_TRUE(Orig.ok()) << Orig.Result.Error;
+  ASSERT_TRUE(Re.ok()) << Re.Result.Error;
+  EXPECT_EQ(Orig.Rax, Re.Rax);
+  EXPECT_EQ(Orig.DataChecksum, Re.DataChecksum);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread pool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> Hits(1000);
+  parallelFor(Hits.size(), 8,
+              [&](size_t I) { Hits[I].fetch_add(1, std::memory_order_relaxed); });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << I;
+}
+
+TEST(ThreadPoolTest, InlineWhenSingleJob) {
+  // Jobs <= 1 must run inline in index order (no pool spun up).
+  std::vector<size_t> Order;
+  parallelFor(10, 1, [&](size_t I) { Order.push_back(I); });
+  ASSERT_EQ(Order.size(), 10u);
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ThreadPoolTest, WaitDrainsAllSubmissions) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}

@@ -2,11 +2,13 @@
 # tools/check.sh - the full robustness gate.
 #
 # Runs the regular test suite, then rebuilds everything under
-# ASan + UBSan (-DE9_SANITIZE=ON) and re-runs the verifier mutation
+# ASan + UBSan (-DE9_SANITIZE=address) and re-runs the verifier mutation
 # sweep, the fault-injection sweep, and the corrupt-ELF corpus in the
-# sanitized build. Any sanitizer report aborts the run
-# (-fno-sanitize-recover=all), so a clean exit means: no silent
-# memory errors anywhere on the error paths either.
+# sanitized build, then rebuilds under TSan (-DE9_SANITIZE=thread) and
+# runs the sharded-patcher tests across thread counts. Any sanitizer
+# report aborts the run (-fno-sanitize-recover=all), so a clean exit
+# means: no silent memory errors on the error paths, and no data races
+# in the parallel pipeline.
 #
 # Usage: tools/check.sh [jobs]
 set -eu
@@ -14,25 +16,33 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== [1/4] configure + build (default flags) =="
+echo "== [1/6] configure + build (default flags) =="
 cmake -S "$ROOT" -B "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 
-echo "== [2/4] full test suite =="
+echo "== [2/6] full test suite =="
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   || ctest --test-dir "$ROOT/build" --output-on-failure --rerun-failed
 
-echo "== [3/4] configure + build (ASan + UBSan) =="
+echo "== [3/6] configure + build (ASan + UBSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DE9_SANITIZE=ON >/dev/null
+  -DE9_SANITIZE=address >/dev/null
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target \
   verifier_test fault_injection_test elf_test core_test support_test
 
-echo "== [4/4] robustness sweeps under ASan + UBSan =="
+echo "== [4/6] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/support_test"
 "$ROOT/build-asan/tests/core_test"
 "$ROOT/build-asan/tests/elf_test" --gtest_filter='CorruptElf.*'
 "$ROOT/build-asan/tests/verifier_test"
 "$ROOT/build-asan/tests/fault_injection_test"
+
+echo "== [5/6] configure + build (TSan) =="
+cmake -S "$ROOT" -B "$ROOT/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DE9_SANITIZE=thread >/dev/null
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test
+
+echo "== [6/6] sharded patcher under TSan =="
+"$ROOT/build-tsan/tests/parallel_test"
 
 echo "check.sh: all gates passed"

@@ -10,7 +10,7 @@
 //          [--tramp=empty|lowfat] [--no-t1] [--no-t2] [--no-t3]
 //          [--b0-fallback] [--force-b0] [--no-grouping] [--granularity=M]
 //          [--strict] [--verify] [--differential] [--max-failed=N]
-//          [--fault-inject=SITE]
+//          [--fault-inject=SITE] [--jobs=N] [--timings]
 //   e9tool run <elf> [--lowfat] [--max-insns=N]
 //
 //===----------------------------------------------------------------------===//
@@ -86,6 +86,7 @@ int usage() {
       "          [--b0-fallback] [--force-b0] [--no-grouping]\n"
       "          [--granularity=M] [--strict] [--verify]\n"
       "          [--differential] [--max-failed=N] [--fault-inject=SITE]\n"
+      "          [--jobs=N (0 = all hardware threads)] [--timings]\n"
       "  run <elf> [--lowfat] [--max-insns=N]\n");
   return 2;
 }
@@ -217,6 +218,7 @@ int cmdRewrite(const Args &A) {
   Opts.VerifyOpts.Differential = A.has("differential");
   Opts.VerifyOpts.UseLowFatHeap = Tramp == "lowfat";
   Opts.MaxFailedSites = A.getInt("max-failed", SIZE_MAX);
+  Opts.Jobs = static_cast<unsigned>(A.getInt("jobs", 1));
 
   std::string FaultSite = A.get("fault-inject");
   if (!FaultSite.empty()) {
@@ -257,6 +259,15 @@ int cmdRewrite(const Args &A) {
               (unsigned long long)Out->Grouping.PhysBytes);
   if (Opts.Strict || Opts.Verify)
     std::printf("  %s\n", Out->Verify.summary().c_str());
+  if (A.has("timings") || Opts.Jobs != 1) {
+    const frontend::PhaseTimings &T = Out->Timings;
+    std::printf("  shards %zu (%zu redone), %u job(s)\n", Out->ShardCount,
+                Out->ShardsRedone, Out->JobsUsed);
+    std::printf("  phases: disasm %.2fms, patch %.2fms, merge %.2fms, "
+                "group %.2fms, write %.2fms, verify %.2fms, total %.2fms\n",
+                T.DisasmMs, T.PatchMs, T.MergeMs, T.GroupMs, T.WriteMs,
+                T.VerifyMs, T.TotalMs);
+  }
   return 0;
 }
 
