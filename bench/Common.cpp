@@ -62,6 +62,7 @@ AppResult bench::evalEntry(const SuiteEntry &Entry, App Application,
   R.SizePct = Out->sizePct();
   R.PhysBytes = Out->Grouping.PhysBytes;
   R.Mappings = Out->Grouping.MappingCount;
+  R.Metrics = Out->Metrics;
 
   if (!Opts.MeasureTime) {
     R.SemanticsOk = true;

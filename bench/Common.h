@@ -18,6 +18,7 @@
 #define E9_BENCH_COMMON_H
 
 #include "frontend/Rewriter.h"
+#include "obs/Metrics.h"
 #include "workload/Run.h"
 #include "workload/Suite.h"
 
@@ -44,6 +45,10 @@ struct AppResult {
   size_t Mappings = 0;
   bool SemanticsOk = false;
   std::string Error;
+  /// Full pipeline metrics for this entry (tactic counts, trampoline
+  /// bytes, alloc retries, grouping merge ratio, ...); `toJson()` embeds
+  /// straight into a BENCH_*.json record.
+  obs::MetricsSnapshot Metrics;
 };
 
 /// Extra knobs for ablation benches.

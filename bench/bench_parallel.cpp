@@ -63,7 +63,7 @@ int main() {
     RewriteOptions RO;
     RO.Patch.Spec.Kind = core::TrampolineKind::Empty;
     RO.ExtraReserved.push_back(lowfat::heapReservation());
-    RO.Jobs = Jobs;
+    RO.withJobs(Jobs);
 
     auto T0 = std::chrono::steady_clock::now();
     auto Out = rewrite(W.Image, Locs, RO);
@@ -85,8 +85,8 @@ int main() {
       BaseMs = Ms;
     double SitesPerSec = Locs.empty() ? 0 : 1000.0 * Locs.size() / Ms;
     std::printf("%6u %8zu %10.1f %10.1f %10.1f %12.0f %7.2fx\n", Jobs,
-                Out->ShardCount, Ms, Out->Timings.PatchMs,
-                Out->Timings.MergeMs, SitesPerSec, BaseMs / Ms);
+                Out->ShardCount, Ms, Out->Profile.ms("patch"),
+                Out->Profile.ms("merge"), SitesPerSec, BaseMs / Ms);
     if (Json) {
       std::fprintf(
           Json,
@@ -94,10 +94,11 @@ int main() {
           "   \"sites\": %zu, \"shards\": %zu, \"shards_redone\": %zu,\n"
           "   \"total_ms\": %.2f, \"patch_ms\": %.2f, \"merge_ms\": %.2f,\n"
           "   \"sites_per_sec\": %.0f, \"speedup_vs_1\": %.3f,\n"
-          "   \"byte_identical\": true}",
+          "   \"byte_identical\": true, \"metrics\": %s}",
           First ? "" : ",\n", Jobs, HwThreads, Locs.size(), Out->ShardCount,
-          Out->ShardsRedone, Ms, Out->Timings.PatchMs, Out->Timings.MergeMs,
-          SitesPerSec, BaseMs / Ms);
+          Out->ShardsRedone, Ms, Out->Profile.ms("patch"),
+          Out->Profile.ms("merge"), SitesPerSec, BaseMs / Ms,
+          Out->Metrics.toJson().c_str());
       First = false;
     }
   }

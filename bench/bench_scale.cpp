@@ -70,7 +70,7 @@ int main() {
                 W.Image.textSegment()->Bytes.size() / 1024.0, Locs.size(),
                 Out->Stats.succPct(), Ms, SitesPerSec, Out->sizePct());
     if (Json) {
-      const PhaseTimings &T = Out->Timings;
+      const obs::PhaseProfile &P = Out->Profile;
       std::fprintf(
           Json,
           "%s  {\"bench\": \"scale\", \"funcs\": %u, \"code_bytes\": %zu,\n"
@@ -78,11 +78,12 @@ int main() {
           "   \"sites_per_sec\": %.0f, \"jobs\": %u, \"shards\": %zu,\n"
           "   \"phases_ms\": {\"disasm\": %.2f, \"patch\": %.2f, "
           "\"merge\": %.2f, \"group\": %.2f, \"write\": %.2f, "
-          "\"verify\": %.2f}}",
+          "\"verify\": %.2f}, \"metrics\": %s}",
           First ? "" : ",\n", Funcs, W.Image.textSegment()->Bytes.size(),
           Locs.size(), Out->Stats.succPct(), Ms, SitesPerSec, Out->JobsUsed,
-          Out->ShardCount, T.DisasmMs, T.PatchMs, T.MergeMs, T.GroupMs,
-          T.WriteMs, T.VerifyMs);
+          Out->ShardCount, P.ms("disasm"), P.ms("patch"), P.ms("merge"),
+          P.ms("group"), P.ms("write"), P.ms("verify"),
+          Out->Metrics.toJson().c_str());
       First = false;
     }
   }

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/lowfat/CMakeFiles/e9_lowfat.dir/DependInfo.cmake"
   "/root/repo/build/src/verify/CMakeFiles/e9_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/e9_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/e9_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/vm/CMakeFiles/e9_vm.dir/DependInfo.cmake"
   "/root/repo/build/src/elf/CMakeFiles/e9_elf.dir/DependInfo.cmake"
   "/root/repo/build/src/x86/CMakeFiles/e9_x86.dir/DependInfo.cmake"

@@ -138,7 +138,8 @@ src/core/CMakeFiles/e9_core.dir/Patcher.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/x86/Insn.h \
  /root/repo/src/x86/Register.h /root/repo/src/elf/Image.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/obs/Trace.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/Pun.h \
  /root/repo/src/support/Format.h /root/repo/src/vm/Hooks.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \

@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/x86/CMakeFiles/e9_x86.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/e9_support.dir/DependInfo.cmake"
   "/root/repo/build/src/lowfat/CMakeFiles/e9_lowfat.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/e9_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

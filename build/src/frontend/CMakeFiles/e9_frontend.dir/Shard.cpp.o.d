@@ -139,7 +139,8 @@ src/frontend/CMakeFiles/e9_frontend.dir/Shard.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/x86/Insn.h \
  /root/repo/src/x86/Register.h /root/repo/src/elf/Image.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/obs/Trace.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

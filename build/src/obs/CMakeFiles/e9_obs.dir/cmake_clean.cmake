@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_obs.dir/JsonWriter.cpp.o"
+  "CMakeFiles/e9_obs.dir/JsonWriter.cpp.o.d"
+  "CMakeFiles/e9_obs.dir/Metrics.cpp.o"
+  "CMakeFiles/e9_obs.dir/Metrics.cpp.o.d"
+  "CMakeFiles/e9_obs.dir/Trace.cpp.o"
+  "CMakeFiles/e9_obs.dir/Trace.cpp.o.d"
+  "libe9_obs.a"
+  "libe9_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

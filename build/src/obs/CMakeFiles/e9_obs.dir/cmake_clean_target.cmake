@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libe9_obs.a"
+)

@@ -139,7 +139,8 @@ src/verify/CMakeFiles/e9_verify.dir/Verifier.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/x86/Insn.h \
  /root/repo/src/x86/Register.h /root/repo/src/elf/Image.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/obs/Trace.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/lowfat/LowFat.h \
  /root/repo/src/vm/Vm.h /root/repo/src/vm/Cpu.h /usr/include/c++/12/array \
  /root/repo/src/vm/Memory.h /usr/include/c++/12/memory \

@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/support/CMakeFiles/e9_support.dir/DependInfo.cmake"
   "/root/repo/build/src/verify/CMakeFiles/e9_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/e9_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/e9_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -139,7 +139,8 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/x86/Insn.h \
  /root/repo/src/x86/Register.h /root/repo/src/elf/Image.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/obs/Trace.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/Pun.h \
  /root/repo/src/x86/Decoder.h /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \

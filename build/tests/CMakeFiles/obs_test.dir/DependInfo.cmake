@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obs/CMakeFiles/e9_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/e9_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/e9_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowfat/CMakeFiles/e9_lowfat.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/e9_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/e9_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/e9_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/e9_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/e9_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/e9_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

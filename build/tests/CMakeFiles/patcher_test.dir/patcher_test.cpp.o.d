@@ -138,7 +138,8 @@ tests/CMakeFiles/patcher_test.dir/patcher_test.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/x86/Insn.h \
  /root/repo/src/x86/Register.h /root/repo/src/elf/Image.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/obs/Trace.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/frontend/Disasm.h \
  /root/repo/src/frontend/Runtime.h /root/repo/src/vm/Vm.h \
  /root/repo/src/vm/Cpu.h /usr/include/c++/12/array \

@@ -22,4 +22,5 @@ include("/root/repo/build/tests/objdump_diff_test[1]_include.cmake")
 include("/root/repo/build/tests/verifier_test[1]_include.cmake")
 include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
 include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/tool_test[1]_include.cmake")

@@ -48,6 +48,7 @@ std::optional<uint64_t> Allocator::allocate(uint64_t Size,
       Used.insert(At, At + Size);
       Allocs.emplace(At, Size);
       AllocatedBytes += Size;
+      ++ZoneExtends;
       return At;
     }
   }
@@ -60,11 +61,14 @@ std::optional<uint64_t> Allocator::allocate(uint64_t Size,
     At = Used.findFreeStart(Interval{SearchBase, Bound.Hi}, Size);
   if (!At.has_value())
     At = Used.findFreeStart(Bound, Size);
-  if (!At.has_value())
+  if (!At.has_value()) {
+    ++FailedProbes;
     return std::nullopt;
+  }
   Used.insert(*At, *At + Size);
   Allocs.emplace(*At, Size);
   AllocatedBytes += Size;
+  ++ZoneOpens;
   uint64_t ZoneEnd = alignUp(*At + Size, PageSize);
   if (ZoneEnd > *At + Size) {
     auto [It, Inserted] = Zones.emplace(*At + Size, ZoneEnd);

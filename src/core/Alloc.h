@@ -69,11 +69,21 @@ public:
   /// Open (not yet retired) bump zones; exposed for tests.
   size_t openZoneCount() const { return Zones.size(); }
 
+  /// Observability counters (plain — each Allocator is single-threaded):
+  /// allocations served by extending an open zone (pass 1), by opening a
+  /// fresh zone (pass 2), and requests that found no space at all.
+  uint64_t zoneExtends() const { return ZoneExtends; }
+  uint64_t zoneOpens() const { return ZoneOpens; }
+  uint64_t failedProbes() const { return FailedProbes; }
+
 private:
   IntervalSet Used; ///< Reserved regions plus live allocations.
   std::map<uint64_t, uint64_t> Allocs;
   std::map<uint64_t, uint64_t> Zones; ///< Open bump zones: cursor -> end.
   uint64_t AllocatedBytes = 0;
+  uint64_t ZoneExtends = 0;
+  uint64_t ZoneOpens = 0;
+  uint64_t FailedProbes = 0;
 };
 
 } // namespace core

@@ -130,6 +130,7 @@ core::groupPages(const std::vector<TrampolineChunk> &Chunks,
     R.PhysBytes = PB.Bytes.size();
     if (!PB.Bytes.empty())
       R.Blocks.push_back(std::move(PB));
+    R.RawMappings = R.Mappings.size();
     R.MappingCount = coalescedCount(R.Mappings);
     return R;
   }
@@ -169,6 +170,7 @@ core::groupPages(const std::vector<TrampolineChunk> &Chunks,
     }
     R.PhysBytes += BlockSize;
   }
+  R.RawMappings = R.Mappings.size();
   R.MappingCount = coalescedCount(R.Mappings);
   return R;
 }

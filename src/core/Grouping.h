@@ -41,6 +41,8 @@ struct GroupingResult {
   uint64_t PhysBytes = 0;     ///< Physical bytes emitted (RAM/file cost).
   size_t VirtualBlocks = 0;   ///< Occupied virtual blocks before merging.
   size_t MappingCount = 0;    ///< Mappings after coalescing.
+  size_t RawMappings = 0;     ///< Mappings before coalescing (merge-ratio
+                              ///< metric: RawMappings / MappingCount).
 };
 
 /// Partitions the trampoline chunks into shared physical blocks. Fails

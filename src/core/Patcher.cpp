@@ -167,6 +167,7 @@ Patcher::installJump(Txn &T, uint64_t JumpAddr, uint64_t WritableEnd,
     auto Tramp = Alloc.allocate(TrampSize, Range->Targets);
     if (!Tramp.has_value()) {
       noteFailure(FailureReason::AllocFailed);
+      ++Stats.AllocRetries;
       continue;
     }
     T.AllocsAdded.emplace_back(*Tramp, TrampSize);
@@ -223,6 +224,7 @@ TrampolineSpec Patcher::victimSpec(const Insn &Victim, bool &IsRescue) const {
 }
 
 void Patcher::noteRescue(uint64_t VictimAddr, Tactic Via, uint64_t TrampAddr) {
+  Trace.rescue(VictimAddr, tacticName(Via), TrampAddr);
   FailedSites.erase(VictimAddr);
   FailedSpecs.erase(VictimAddr);
   assert(Stats.Count[static_cast<size_t>(Tactic::Failed)] > 0);
@@ -234,6 +236,19 @@ void Patcher::noteRescue(uint64_t VictimAddr, Tactic Via, uint64_t TrampAddr) {
     Results[It->second].Used = Via;
     Results[It->second].TrampolineAddr = TrampAddr;
   }
+}
+
+void Patcher::traceAttemptFailed(uint64_t Addr, const char *TacticStr) {
+  if (!Trace.enabled())
+    return;
+  obs::AttemptEvent E;
+  E.Site = Addr;
+  E.Tactic = TacticStr;
+  E.Ok = false;
+  E.Reason = SiteReason == FailureReason::None
+                 ? nullptr
+                 : failureReasonName(SiteReason);
+  Trace.attempt(E);
 }
 
 Tactic Patcher::tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
@@ -249,9 +264,20 @@ Tactic Patcher::tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
   if (!J.has_value())
     return Tactic::Failed;
   TrampAddr = J->TrampAddr;
-  if (J->Pads > 0)
-    return Tactic::T1;
-  return I->Length >= 5 ? Tactic::B1 : Tactic::B2;
+  Tactic Used = J->Pads > 0          ? Tactic::T1
+                : I->Length >= 5     ? Tactic::B1
+                                     : Tactic::B2;
+  if (Trace.enabled()) {
+    obs::AttemptEvent E;
+    E.Site = Addr;
+    E.Tactic = tacticName(Used);
+    E.Ok = true;
+    E.Tramp = J->TrampAddr;
+    E.Pads = static_cast<int>(J->Pads);
+    E.PunBytes = static_cast<int>(4 - J->FreeBytes);
+    Trace.attempt(E);
+  }
+  return Used;
 }
 
 bool Patcher::tryT2(uint64_t Addr, const TrampolineSpec &Spec,
@@ -294,6 +320,17 @@ bool Patcher::tryT2(uint64_t Addr, const TrampolineSpec &Spec,
     return false;
   }
   ++Stats.Evictions;
+  if (Trace.enabled()) {
+    obs::AttemptEvent E;
+    E.Site = Addr;
+    E.Tactic = tacticName(Tactic::T2);
+    E.Ok = true;
+    E.Tramp = J->TrampAddr;
+    E.Victim = S->Address;
+    E.HasVictim = true;
+    E.Rescue = Rescue;
+    Trace.attempt(E);
+  }
   if (Rescue)
     noteRescue(S->Address, Tactic::T2, Evict->TrampAddr);
   TrampAddr = J->TrampAddr;
@@ -397,6 +434,17 @@ bool Patcher::tryT3(uint64_t Addr, const TrampolineSpec &Spec,
                                  JumpKind::JmpRel8});
 
       ++Stats.Evictions;
+      if (Trace.enabled()) {
+        obs::AttemptEvent E;
+        E.Site = Addr;
+        E.Tactic = tacticName(Tactic::T3);
+        E.Ok = true;
+        E.Tramp = JP->TrampAddr;
+        E.Victim = V->Address;
+        E.HasVictim = true;
+        E.Rescue = Rescue;
+        Trace.attempt(E);
+      }
       if (Rescue)
         noteRescue(V->Address, Tactic::T3, JV->TrampAddr);
       TrampAddr = JP->TrampAddr;
@@ -441,20 +489,41 @@ Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
   } else if (Opts.ForceB0) {
     if (tryB0(Addr))
       Used = Tactic::B0;
+    else
+      traceAttemptFailed(Addr, tacticName(Tactic::B0));
   } else {
     Used = tryDirect(Addr, Spec, TrampAddr);
-    if (Used == Tactic::Failed && Opts.EnableT2 &&
-        tryT2(Addr, Spec, TrampAddr))
-      Used = Tactic::T2;
-    if (Used == Tactic::Failed && Opts.EnableT3 &&
-        tryT3(Addr, Spec, TrampAddr))
-      Used = Tactic::T3;
-    if (Used == Tactic::Failed && Opts.B0Fallback && tryB0(Addr))
-      Used = Tactic::B0;
+    if (Used == Tactic::Failed)
+      traceAttemptFailed(Addr, "direct");
+    if (Used == Tactic::Failed && Opts.EnableT2) {
+      if (tryT2(Addr, Spec, TrampAddr))
+        Used = Tactic::T2;
+      else
+        traceAttemptFailed(Addr, tacticName(Tactic::T2));
+    }
+    if (Used == Tactic::Failed && Opts.EnableT3) {
+      if (tryT3(Addr, Spec, TrampAddr))
+        Used = Tactic::T3;
+      else
+        traceAttemptFailed(Addr, tacticName(Tactic::T3));
+    }
+    if (Used == Tactic::Failed && Opts.B0Fallback) {
+      if (tryB0(Addr))
+        Used = Tactic::B0;
+      else
+        traceAttemptFailed(Addr, tacticName(Tactic::B0));
+    }
     if (Used == Tactic::Failed) {
       FailedSites.insert(Addr);
       FailedSpecs.emplace(Addr, Spec);
     }
+  }
+  if (Used == Tactic::B0 && Trace.enabled()) {
+    obs::AttemptEvent E;
+    E.Site = Addr;
+    E.Tactic = tacticName(Tactic::B0);
+    E.Ok = true;
+    Trace.attempt(E);
   }
 
   ++Stats.Count[static_cast<size_t>(Used)];
@@ -465,6 +534,9 @@ Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
     R.Reason = SiteReason;
     ++Stats.ReasonCount[static_cast<size_t>(SiteReason)];
   }
+  Trace.site(Addr, tacticName(Used), TrampAddr,
+             Used == Tactic::Failed ? failureReasonName(SiteReason)
+                                    : nullptr);
   return Used;
 }
 

@@ -36,6 +36,7 @@
 #include "core/Lock.h"
 #include "core/Trampoline.h"
 #include "elf/Image.h"
+#include "obs/Trace.h"
 #include "x86/Insn.h"
 
 #include <cstdint>
@@ -84,6 +85,8 @@ struct PatchStats {
   size_t Count[7] = {}; ///< Indexed by Tactic.
   size_t Evictions = 0; ///< Evictee trampolines created (T2+T3).
   size_t Rescued = 0;   ///< Failed sites recovered as eviction victims.
+  size_t AllocRetries = 0; ///< Trampoline allocation probes that came back
+                           ///< empty (another pun interval was tried next).
   size_t ReasonCount[7] = {}; ///< Indexed by FailureReason (failed sites).
 
   size_t reasonCount(FailureReason R) const {
@@ -150,6 +153,11 @@ public:
   /// segments, the NULL/guard area, the stack/hook regions and
   /// non-canonical space; reserve more via allocator().
   Allocator &allocator() { return Alloc; }
+
+  /// Attaches a trace sink; every tactic attempt, site result and rescue
+  /// is emitted to it. A default-constructed (null) tracer disables
+  /// emission entirely. The tracer never influences patching decisions.
+  void setTracer(obs::Tracer T) { Trace = T; }
 
   /// Patches every location (any order accepted) using strategy S1.
   void patchAll(const std::vector<uint64_t> &PatchLocs);
@@ -230,6 +238,10 @@ private:
       SiteReason = R;
   }
 
+  /// Emits a failed-attempt trace event carrying the deepest failure
+  /// reason recorded so far for the current site.
+  void traceAttemptFailed(uint64_t Addr, const char *TacticStr);
+
   Tactic tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
                    uint64_t &TrampAddr);
   bool tryT2(uint64_t Addr, const TrampolineSpec &Spec, uint64_t &TrampAddr);
@@ -250,6 +262,7 @@ private:
   std::map<uint64_t, size_t> ResultIndex;
   std::vector<PatchSiteResult> Results;
   PatchStats Stats;
+  obs::Tracer Trace;
 };
 
 /// Reserves the default unusable regions for \p Img in \p Alloc: every

@@ -48,6 +48,42 @@ void injectOutputCorruption(RewriteOutput &Out) {
 
 } // namespace
 
+namespace {
+
+/// Freezes the pipeline's deterministic counters/histograms into \p Reg.
+/// Runs post-merge on the merged results, so every value is a pure
+/// function of (input, options) — never of Jobs or scheduling.
+void populateMetrics(obs::MetricsRegistry &Reg, const RewriteOutput &Out,
+                     const ShardedPatchOutput &P, uint64_t TrampBytes) {
+  const core::PatchStats &S = Out.Stats;
+  Reg.counter("sites.total").add(S.NLoc);
+  Reg.counter("sites.failed").add(S.count(core::Tactic::Failed));
+  static constexpr const char *TacticKeys[6] = {
+      "tactic.b1", "tactic.b2", "tactic.t1",
+      "tactic.t2", "tactic.t3", "tactic.b0"};
+  for (size_t I = 0; I != 6; ++I)
+    Reg.counter(TacticKeys[I]).add(S.Count[I]);
+  Reg.counter("patch.evictions").add(S.Evictions);
+  Reg.counter("patch.rescued").add(S.Rescued);
+  Reg.counter("patch.alloc_retries").add(S.AllocRetries);
+  Reg.counter("alloc.zone_extends").add(P.ZoneExtends);
+  Reg.counter("alloc.zone_opens").add(P.ZoneOpens);
+  Reg.counter("alloc.failed_probes").add(P.AllocFailedProbes);
+  Reg.counter("shard.count").add(Out.ShardCount);
+  Reg.counter("shard.redone").add(Out.ShardsRedone);
+  Reg.counter("tramp.chunks").add(Out.Chunks.size());
+  Reg.counter("tramp.bytes").add(TrampBytes);
+  obs::Histogram &H = Reg.histogram("tramp.chunk_bytes");
+  for (const core::TrampolineChunk &C : Out.Chunks)
+    H.observe(C.Bytes.size());
+  Reg.counter("group.virtual_blocks").add(Out.Grouping.VirtualBlocks);
+  Reg.counter("group.phys_bytes").add(Out.Grouping.PhysBytes);
+  Reg.counter("group.mappings_raw").add(Out.Grouping.RawMappings);
+  Reg.counter("group.mappings_coalesced").add(Out.Grouping.MappingCount);
+}
+
+} // namespace
+
 Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
                                         const std::vector<uint64_t> &PatchLocs,
                                         const RewriteOptions &Opts) {
@@ -57,23 +93,36 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   Stopwatch Total;
   Stopwatch Phase;
   RewriteOutput Out;
+  obs::TraceBuffer TraceBuf;
+  obs::Tracer Trace(Opts.Trace.Enabled ? &TraceBuf : nullptr);
+  obs::MetricsRegistry Metrics;
   Out.OrigFileSize = elf::writtenSize(In);
   Out.Rewritten = In;
   Out.Rewritten.Blocks.clear();
   Out.Rewritten.Mappings.clear();
 
+  if (Trace.enabled()) {
+    std::vector<uint64_t> Unique(PatchLocs);
+    std::sort(Unique.begin(), Unique.end());
+    Unique.erase(std::unique(Unique.begin(), Unique.end()), Unique.end());
+    Trace.meta(Unique.size());
+  }
+
   DisasmResult Dis = linearDisassemble(Out.Rewritten);
   if (E9_FAULT_POINT("frontend.disasm.decode"))
     return Result<RewriteOutput>::error(
         "injected fault: frontend.disasm.decode (disassembly failed)");
-  Out.Timings.DisasmMs = Phase.lapMs();
+  Out.Profile.add("disasm", Phase.lapMs());
 
-  ShardedPatchOutput P = patchSharded(
-      In, Out.Rewritten, std::move(Dis.Insns), PatchLocs, Opts.Patch,
-      Opts.SpecFor, Opts.ExtraReserved, Opts.Sharding, Opts.Jobs);
+  ShardedPatchOutput P =
+      patchSharded(In, Out.Rewritten, std::move(Dis.Insns), PatchLocs,
+                   Opts.Patch, Opts.SpecFor, Opts.ExtraReserved,
+                   Opts.Parallel.Sharding, Opts.Parallel.Jobs, Trace);
   Phase.lapMs();
-  Out.Timings.PatchMs = P.PatchMs;
-  Out.Timings.MergeMs = P.MergeMs;
+  Out.Profile.add("patch", P.PatchMs);
+  Out.Profile.add("merge", P.MergeMs);
+  Out.Profile.Spans.insert(Out.Profile.Spans.end(), P.ShardSpans.begin(),
+                           P.ShardSpans.end());
   Out.ShardCount = P.ShardCount;
   Out.ShardsRedone = P.ShardsRedone;
   Out.JobsUsed = P.JobsUsed;
@@ -90,11 +139,11 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   // than the caller tolerates. The message names the first few failures
   // with their reasons so the caller can see *why*, not just "failed".
   size_t NFailed = Out.Stats.count(core::Tactic::Failed);
-  if (NFailed > Opts.MaxFailedSites) {
+  if (NFailed > Opts.Verify.MaxFailedSites) {
     std::string Msg =
         format("rewrite exceeded the failed-site budget: %zu sites failed "
                "(budget %zu)",
-               NFailed, Opts.MaxFailedSites);
+               NFailed, Opts.Verify.MaxFailedSites);
     size_t Listed = 0;
     for (const core::PatchSiteResult &S : Out.Sites) {
       if (S.Used != core::Tactic::Failed)
@@ -118,14 +167,16 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   Out.Grouping = Grouped.take();
   Out.Rewritten.Blocks = std::move(Out.Grouping.Blocks);
   Out.Rewritten.Mappings = Out.Grouping.Mappings;
-  Out.Timings.GroupMs = Phase.lapMs();
+  Out.Profile.add("group", Phase.lapMs());
+  Trace.group(Out.Grouping.VirtualBlocks, Out.Rewritten.Blocks.size(),
+              Out.Grouping.PhysBytes, Out.Grouping.MappingCount);
 
   injectOutputCorruption(Out);
 
   Out.NewFileSize = elf::writtenSize(Out.Rewritten);
-  Out.Timings.WriteMs = Phase.lapMs();
+  Out.Profile.add("write", Phase.lapMs());
 
-  if (Opts.Strict || Opts.Verify) {
+  if (Opts.Verify.Strict || Opts.Verify.Enabled) {
     verify::VerifyInput VIn;
     VIn.Original = &In;
     VIn.Rewritten = &Out.Rewritten;
@@ -133,11 +184,29 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
     VIn.Jumps = &Out.Jumps;
     VIn.Chunks = &Out.Chunks;
     VIn.ModifiedRanges = &Out.ModifiedRanges;
-    Out.Verify = verify::verifyRewrite(VIn, Opts.VerifyOpts);
-    Out.Timings.VerifyMs = Phase.lapMs();
-    if (Opts.Strict && !Out.Verify.ok())
+    VIn.Trace = Trace.buffer();
+    Out.Verify = verify::verifyRewrite(VIn, Opts.Verify.Opts);
+    Out.Profile.add("verify", Phase.lapMs());
+    Metrics.counter("verify.failures").add(Out.Verify.Failures.size());
+    if (Opts.Verify.Strict && !Out.Verify.ok())
       return Result<RewriteOutput>::error(Out.Verify.summary());
   }
-  Out.Timings.TotalMs = Total.elapsedMs();
+  Out.Profile.TotalMs = Total.elapsedMs();
+
+  uint64_t TrampBytes = 0;
+  for (const core::TrampolineChunk &C : Out.Chunks)
+    TrampBytes += C.Bytes.size();
+  populateMetrics(Metrics, Out, P, TrampBytes);
+  Out.Metrics = Metrics.snapshot();
+
+  // Span events are the one wall-clock (hence nondeterministic) part of
+  // the schema; emitted only on explicit opt-in, after all deterministic
+  // events so the trace prefix stays comparable across runs.
+  if (Opts.Trace.Timings)
+    for (const obs::SpanRecord &S : Out.Profile.Spans)
+      Trace.span(S.Name.c_str(), S.Shard, S.Ms);
+  Trace.summary(Out.Stats.NLoc, Out.Stats.Count, Out.Stats.Evictions,
+                Out.Stats.Rescued, TrampBytes, Out.Stats.succPct());
+  Out.Trace = TraceBuf.take();
   return Out;
 }

@@ -28,16 +28,56 @@
 #include "core/Patcher.h"
 #include "elf/Image.h"
 #include "frontend/Shard.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/IntervalSet.h"
 #include "verify/Verifier.h"
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
 namespace e9 {
 namespace frontend {
+
+/// How the sharded patcher parallelizes one rewrite.
+struct ParallelPolicy {
+  /// Worker threads for the sharded patcher; 0 = all hardware threads.
+  /// The output bytes are identical for every value (see Shard.h).
+  unsigned Jobs = 1;
+  /// Shard decomposition policy (site partitioning + address windows).
+  ShardPolicy Sharding;
+};
+
+/// Post-rewrite verification policy and the failed-site error budget.
+struct VerifyPolicy {
+  /// Fail closed: run the post-rewrite verifier and turn any verification
+  /// failure into a rewrite error (the report rides in RewriteOutput when
+  /// the call still succeeds, and in the error text when it does not).
+  bool Strict = false;
+  /// Run the verifier and attach its report without failing the rewrite
+  /// (advisory mode; implied by Strict).
+  bool Enabled = false;
+  verify::VerifyOptions Opts;
+  /// Error budget: when more patch locations than this end up Failed, the
+  /// whole rewrite fails with a structured report instead of returning a
+  /// partially-patched binary. SIZE_MAX = unlimited (report-only).
+  size_t MaxFailedSites = SIZE_MAX;
+};
+
+/// Observability policy. Tracing never influences any rewriting decision:
+/// output bytes are identical with it on or off, and the trace itself is
+/// byte-identical for any ParallelPolicy::Jobs value (see Shard.h).
+struct TracePolicy {
+  /// Collect the JSONL event trace into RewriteOutput::Trace.
+  bool Enabled = false;
+  /// Also emit "span" wall-clock events. Off by default because span
+  /// durations are the one nondeterministic event field; everything else
+  /// in a trace is a pure function of (input, options).
+  bool Timings = false;
+};
 
 struct RewriteOptions {
   core::PatchOptions Patch;
@@ -51,37 +91,44 @@ struct RewriteOptions {
   /// reentrant (a pure function of the address).
   std::function<core::TrampolineSpec(uint64_t Addr)> SpecFor;
 
-  /// Worker threads for the sharded patcher; 0 = all hardware threads.
-  /// The output bytes are identical for every value (see Shard.h).
-  unsigned Jobs = 1;
-  /// Shard decomposition policy (site partitioning + address windows).
-  ShardPolicy Sharding;
+  ParallelPolicy Parallel;
+  VerifyPolicy Verify;
+  TracePolicy Trace;
 
-  /// Fail closed: run the post-rewrite verifier and turn any verification
-  /// failure into a rewrite error (the report rides in RewriteOutput when
-  /// the call still succeeds, and in the error text when it does not).
-  bool Strict = false;
-  /// Run the verifier and attach its report without failing the rewrite
-  /// (advisory mode; implied by Strict).
-  bool Verify = false;
-  verify::VerifyOptions VerifyOpts;
-  /// Error budget: when more patch locations than this end up Failed, the
-  /// whole rewrite fails with a structured report instead of returning a
-  /// partially-patched binary. SIZE_MAX = unlimited (report-only).
-  size_t MaxFailedSites = SIZE_MAX;
-};
-
-/// Wall-clock time attribution across the rewriting pipeline. WriteMs
-/// covers output size planning only — the file write itself happens in
-/// the caller (e.g. e9tool).
-struct PhaseTimings {
-  double DisasmMs = 0;
-  double PatchMs = 0;
-  double MergeMs = 0;
-  double GroupMs = 0;
-  double WriteMs = 0;
-  double VerifyMs = 0;
-  double TotalMs = 0;
+  // Fluent setters for the common knobs, so call sites read as one
+  // declaration: `RewriteOptions().withJobs(4).withStrict()`.
+  RewriteOptions &withJobs(unsigned Jobs) {
+    Parallel.Jobs = Jobs;
+    return *this;
+  }
+  RewriteOptions &withSharding(const ShardPolicy &P) {
+    Parallel.Sharding = P;
+    return *this;
+  }
+  RewriteOptions &withStrict(bool On = true) {
+    Verify.Strict = On;
+    return *this;
+  }
+  RewriteOptions &withVerify(bool On = true) {
+    Verify.Enabled = On;
+    return *this;
+  }
+  RewriteOptions &withVerifyOpts(const verify::VerifyOptions &O) {
+    Verify.Opts = O;
+    return *this;
+  }
+  RewriteOptions &withMaxFailedSites(size_t N) {
+    Verify.MaxFailedSites = N;
+    return *this;
+  }
+  RewriteOptions &withTrace(bool On = true) {
+    Trace.Enabled = On;
+    return *this;
+  }
+  RewriteOptions &withTraceTimings(bool On = true) {
+    Trace.Timings = On;
+    return *this;
+  }
 };
 
 struct RewriteOutput {
@@ -90,7 +137,13 @@ struct RewriteOutput {
   core::GroupingResult Grouping;
   uint64_t OrigFileSize = 0;
   uint64_t NewFileSize = 0;
-  PhaseTimings Timings;
+  /// Wall-clock phase spans (disasm/patch/merge/group/write/verify, plus
+  /// one "patch" span per shard). Always populated.
+  obs::PhaseProfile Profile;
+  /// JSONL trace lines (empty unless TracePolicy::Enabled).
+  std::vector<std::string> Trace;
+  /// Frozen pipeline metrics (counters + histograms). Always populated.
+  obs::MetricsSnapshot Metrics;
   size_t ShardCount = 0;
   size_t ShardsRedone = 0;
   unsigned JobsUsed = 1;

@@ -55,6 +55,11 @@ struct ShardResult {
   std::vector<Interval> Modified;
   std::map<uint64_t, std::vector<uint8_t>> B0;
   std::map<uint64_t, uint64_t> Allocs;
+  obs::TraceBuffer Trace; ///< This shard's events (empty when disabled).
+  uint64_t ZoneExtends = 0;
+  uint64_t ZoneOpens = 0;
+  uint64_t FailedProbes = 0;
+  double PatchMs = 0;
 };
 
 void addStats(core::PatchStats &Acc, const core::PatchStats &S) {
@@ -65,6 +70,7 @@ void addStats(core::PatchStats &Acc, const core::PatchStats &S) {
   }
   Acc.Evictions += S.Evictions;
   Acc.Rescued += S.Rescued;
+  Acc.AllocRetries += S.AllocRetries;
 }
 
 } // namespace
@@ -74,7 +80,7 @@ ShardedPatchOutput frontend::patchSharded(
     const std::vector<uint64_t> &PatchLocs, const core::PatchOptions &PatchOpts,
     const std::function<core::TrampolineSpec(uint64_t)> &SpecFor,
     const std::vector<Interval> &ExtraReserved, const ShardPolicy &Policy,
-    unsigned Jobs) {
+    unsigned Jobs, obs::Tracer Trace) {
   ShardedPatchOutput Out;
 
   std::vector<uint64_t> Sites(PatchLocs);
@@ -114,10 +120,14 @@ ShardedPatchOutput frontend::patchSharded(
           const std::vector<std::pair<uint64_t, uint64_t>> *ReservedAllocs,
           std::vector<x86::Insn> ShardInsns) -> ShardResult {
     const Shard &S = Plan[K];
+    ShardResult R;
+    Stopwatch ShardClock;
     core::Patcher P(Img, std::move(ShardInsns), PatchOpts);
+    if (Trace.enabled())
+      P.setTracer(obs::Tracer(&R.Trace)); // Private buffer: no locks.
     P.allocator().SearchBase = windowFor(K);
-    for (const Interval &R : ExtraReserved)
-      P.allocator().reserve(R.Lo, R.Hi);
+    for (const Interval &Res : ExtraReserved)
+      P.allocator().reserve(Res.Lo, Res.Hi);
     if (ReservedAllocs)
       for (const auto &[A, Sz] : *ReservedAllocs)
         P.allocator().reserve(A, A + Sz);
@@ -126,7 +136,6 @@ ShardedPatchOutput frontend::patchSharded(
       uint64_t Addr = Sites[S.FirstSite + I];
       P.patchOne(Addr, SpecFor ? SpecFor(Addr) : PatchOpts.Spec);
     }
-    ShardResult R;
     R.Stats = P.stats();
     R.Chunks = P.chunks();
     R.Jumps = P.jumps();
@@ -134,6 +143,10 @@ ShardedPatchOutput frontend::patchSharded(
     R.Modified = P.modifiedRanges();
     R.B0 = P.b0Table();
     R.Allocs = P.allocator().allocations();
+    R.ZoneExtends = P.allocator().zoneExtends();
+    R.ZoneOpens = P.allocator().zoneOpens();
+    R.FailedProbes = P.allocator().failedProbes();
+    R.PatchMs = ShardClock.elapsedMs();
     return R;
   };
 
@@ -182,6 +195,8 @@ ShardedPatchOutput frontend::patchSharded(
       ++Out.ShardsRedone;
       // Restore the shard's text bytes from the pristine input, then
       // re-run it sequentially with every merged allocation withheld.
+      // The first run's result — trace events included — is discarded
+      // wholesale, so the spliced trace stays deterministic.
       for (const Interval &M : R.Modified) {
         std::vector<uint8_t> Buf(M.size());
         [[maybe_unused]] Status RS =
@@ -193,6 +208,15 @@ ShardedPatchOutput frontend::patchSharded(
       }
       R = runShard(K, &MergedAllocs, sliceFor(Plan[K]));
     }
+    Trace.shard(K, Plan[K].NumSites, Plan[K].LoAddr, Plan[K].HiAddr,
+                windowFor(K), Clash);
+    if (Trace.enabled())
+      Trace.buffer()->splice(std::move(R.Trace));
+    Out.ShardSpans.push_back(
+        obs::SpanRecord{"patch", static_cast<int>(K), R.PatchMs});
+    Out.ZoneExtends += R.ZoneExtends;
+    Out.ZoneOpens += R.ZoneOpens;
+    Out.AllocFailedProbes += R.FailedProbes;
     addStats(Out.Stats, R.Stats);
     Out.Chunks.insert(Out.Chunks.end(),
                       std::make_move_iterator(R.Chunks.begin()),

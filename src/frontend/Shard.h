@@ -48,6 +48,7 @@
 
 #include "core/Patcher.h"
 #include "elf/Image.h"
+#include "obs/Trace.h"
 #include "support/IntervalSet.h"
 #include "x86/Insn.h"
 
@@ -115,6 +116,14 @@ struct ShardedPatchOutput {
   unsigned JobsUsed = 1;
   double PatchMs = 0;      ///< Parallel shard execution wall time.
   double MergeMs = 0;      ///< Conflict check + redo + merge wall time.
+
+  /// Per-shard "patch" spans (merge order); redone shards report the redo
+  /// run's duration. Feeds RewriteOutput's phase profile.
+  std::vector<obs::SpanRecord> ShardSpans;
+  /// Allocator counters summed across shards (post-redo values).
+  uint64_t ZoneExtends = 0;
+  uint64_t ZoneOpens = 0;
+  uint64_t AllocFailedProbes = 0;
 };
 
 /// Patches \p PatchLocs into \p Img (the working copy) with one Patcher
@@ -123,6 +132,13 @@ struct ShardedPatchOutput {
 /// thread-safe nor ordinal-stable under concurrency). \p Original must be
 /// the pristine input image — the redo pass restores clashing shards from
 /// it. \p SpecFor (optional) overrides PatchOpts.Spec per site.
+///
+/// When \p Trace is live, every shard patches into a private TraceBuffer
+/// (no locks — shards never share a buffer) and the merge pass emits one
+/// "shard" event per shard and splices the shard's events in, in the same
+/// descending-address order as the result merge; a redone shard's
+/// first-run events are discarded with its first-run result. The trace is
+/// therefore byte-identical for any Jobs value.
 ShardedPatchOutput
 patchSharded(const elf::Image &Original, elf::Image &Img,
              std::vector<x86::Insn> Insns,
@@ -130,7 +146,8 @@ patchSharded(const elf::Image &Original, elf::Image &Img,
              const core::PatchOptions &PatchOpts,
              const std::function<core::TrampolineSpec(uint64_t)> &SpecFor,
              const std::vector<Interval> &ExtraReserved,
-             const ShardPolicy &Policy, unsigned Jobs);
+             const ShardPolicy &Policy, unsigned Jobs,
+             obs::Tracer Trace = {});
 
 } // namespace frontend
 } // namespace e9

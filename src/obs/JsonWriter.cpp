@@ -1,0 +1,253 @@
+//===- obs/JsonWriter.cpp -------------------------------------*- C++ -*-===//
+
+#include "obs/JsonWriter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace e9;
+using namespace e9::obs;
+
+std::string obs::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::key(const char *K) {
+  if (Out.size() > 1)
+    Out.push_back(',');
+  Out.push_back('"');
+  Out += K;
+  Out += "\":";
+}
+
+JsonWriter &JsonWriter::field(const char *Key, std::string_view V) {
+  key(Key);
+  Out.push_back('"');
+  Out += jsonEscape(V);
+  Out.push_back('"');
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const char *Key, uint64_t V) {
+  key(Key);
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(V));
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const char *Key, int64_t V) {
+  key(Key);
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const char *Key, bool V) {
+  key(Key);
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::fixed(const char *Key, double V, int Precision) {
+  key(Key);
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::hex(const char *Key, uint64_t Addr) {
+  key(Key);
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "\"0x%llx\"",
+                static_cast<unsigned long long>(Addr));
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::raw(const char *Key, std::string_view Json) {
+  key(Key);
+  Out += Json;
+  return *this;
+}
+
+namespace {
+
+/// Cursor over a line being parsed.
+struct Parser {
+  std::string_view S;
+  size_t I = 0;
+
+  void skipWs() {
+    while (I < S.size() && (S[I] == ' ' || S[I] == '\t'))
+      ++I;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (I < S.size() && S[I] == C) {
+      ++I;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view Lit) {
+    if (S.substr(I, Lit.size()) != Lit)
+      return false;
+    I += Lit.size();
+    return true;
+  }
+
+  /// Parses a JSON string (opening quote already consumed).
+  bool string(std::string &Out) {
+    Out.clear();
+    while (I < S.size()) {
+      char C = S[I++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (I == S.size())
+        return false;
+      char E = S[I++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (I + 4 > S.size())
+          return false;
+        char Hex[5] = {S[I], S[I + 1], S[I + 2], S[I + 3], 0};
+        char *End = nullptr;
+        unsigned long V = std::strtoul(Hex, &End, 16);
+        if (End != Hex + 4)
+          return false;
+        I += 4;
+        // Trace strings are ASCII; non-ASCII escapes round to '?'.
+        Out.push_back(V < 0x80 ? static_cast<char>(V) : '?');
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool value(JsonValue &V) {
+    skipWs();
+    if (I == S.size())
+      return false;
+    char C = S[I];
+    if (C == '"') {
+      ++I;
+      V.K = JsonValue::Kind::String;
+      return string(V.Str);
+    }
+    if (C == 't') {
+      V.K = JsonValue::Kind::Bool;
+      V.B = true;
+      return literal("true");
+    }
+    if (C == 'f') {
+      V.K = JsonValue::Kind::Bool;
+      V.B = false;
+      return literal("false");
+    }
+    if (C == 'n') {
+      V.K = JsonValue::Kind::Null;
+      return literal("null");
+    }
+    if (C == '-' || (C >= '0' && C <= '9')) {
+      size_t Start = I;
+      while (I < S.size() && (S[I] == '-' || S[I] == '+' || S[I] == '.' ||
+                              S[I] == 'e' || S[I] == 'E' ||
+                              (S[I] >= '0' && S[I] <= '9')))
+        ++I;
+      std::string Num(S.substr(Start, I - Start));
+      char *End = nullptr;
+      V.K = JsonValue::Kind::Number;
+      V.Num = std::strtod(Num.c_str(), &End);
+      return End == Num.c_str() + Num.size() && !Num.empty();
+    }
+    return false; // '{' or '[' here = nested value = schema violation.
+  }
+};
+
+} // namespace
+
+std::optional<std::map<std::string, JsonValue>>
+obs::parseFlatObject(std::string_view Line) {
+  Parser P{Line};
+  if (!P.eat('{'))
+    return std::nullopt;
+  std::map<std::string, JsonValue> Out;
+  P.skipWs();
+  if (P.eat('}')) {
+    P.skipWs();
+    return P.I == Line.size() ? std::optional(std::move(Out)) : std::nullopt;
+  }
+  for (;;) {
+    if (!P.eat('"'))
+      return std::nullopt;
+    std::string Key;
+    if (!P.string(Key) || !P.eat(':'))
+      return std::nullopt;
+    JsonValue V;
+    if (!P.value(V))
+      return std::nullopt;
+    Out[std::move(Key)] = std::move(V);
+    if (P.eat(','))
+      continue;
+    if (!P.eat('}'))
+      return std::nullopt;
+    break;
+  }
+  P.skipWs();
+  if (P.I != Line.size())
+    return std::nullopt;
+  return Out;
+}

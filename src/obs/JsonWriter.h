@@ -1,0 +1,93 @@
+//===- obs/JsonWriter.h - Minimal JSON emit + flat-object parse -*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic single-line JSON rendering for the trace/metrics layer,
+/// plus the inverse: a parser for *flat* JSON objects (scalar fields only),
+/// which is all the JSONL trace schema allows. Field order is the emission
+/// order, numbers render without locale influence, and doubles use a fixed
+/// "%.2f"/"%.3f" format — two runs that emit the same values produce the
+/// same bytes, which is what the trace determinism guarantee rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_OBS_JSONWRITER_H
+#define E9_OBS_JSONWRITER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace e9 {
+namespace obs {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes,
+/// backslash, control characters).
+std::string jsonEscape(std::string_view S);
+
+/// Builds one flat JSON object as a single line. Keys must be emitted in
+/// the order the schema defines; the writer never reorders.
+class JsonWriter {
+public:
+  JsonWriter() : Out("{") {}
+
+  JsonWriter &field(const char *Key, std::string_view V);
+  JsonWriter &field(const char *Key, const char *V) {
+    return field(Key, std::string_view(V));
+  }
+  JsonWriter &field(const char *Key, uint64_t V);
+  JsonWriter &field(const char *Key, int64_t V);
+  JsonWriter &field(const char *Key, int V) {
+    return field(Key, static_cast<int64_t>(V));
+  }
+  JsonWriter &field(const char *Key, unsigned V) {
+    return field(Key, static_cast<uint64_t>(V));
+  }
+  JsonWriter &field(const char *Key, bool V);
+  /// Fixed-precision double ("%.*f"); used for milliseconds/percentages.
+  JsonWriter &fixed(const char *Key, double V, int Precision = 2);
+  /// Address field rendered as a "0x..." hex string.
+  JsonWriter &hex(const char *Key, uint64_t Addr);
+  /// Pre-rendered JSON (nested object/array) — caller guarantees validity.
+  JsonWriter &raw(const char *Key, std::string_view Json);
+
+  /// Closes the object and returns the line (writer is spent afterwards).
+  std::string take() {
+    Out.push_back('}');
+    return std::move(Out);
+  }
+
+private:
+  void key(const char *K);
+  std::string Out;
+};
+
+/// One scalar value out of a parsed flat object.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  uint64_t asU64() const { return static_cast<uint64_t>(Num); }
+};
+
+/// Parses one JSONL line that must be a flat object of scalar fields (the
+/// trace schema). Nested objects/arrays are rejected — a schema violation,
+/// not a supported input. Returns nullopt on any malformed input.
+std::optional<std::map<std::string, JsonValue>>
+parseFlatObject(std::string_view Line);
+
+} // namespace obs
+} // namespace e9
+
+#endif // E9_OBS_JSONWRITER_H

@@ -1,0 +1,103 @@
+//===- obs/Metrics.cpp ----------------------------------------*- C++ -*-===//
+
+#include "obs/Metrics.h"
+
+#include "obs/JsonWriter.h"
+
+#include <bit>
+
+using namespace e9;
+using namespace e9::obs;
+
+void Histogram::observe(uint64_t V) {
+  Buckets[std::bit_width(V)].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Total.fetch_add(V, std::memory_order_relaxed);
+  uint64_t Cur = Lo.load(std::memory_order_relaxed);
+  while (V < Cur &&
+         !Lo.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+  }
+  Cur = Hi.load(std::memory_order_relaxed);
+  while (V > Cur &&
+         !Hi.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view Name) const {
+  auto It = Counters.find(std::string(Name));
+  return It == Counters.end() ? 0 : It->second;
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, V] : Counters) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(Name) + "\":" + std::to_string(V);
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(Name) + "\":";
+    JsonWriter W;
+    W.field("count", H.Count)
+        .field("sum", H.Sum)
+        .field("min", H.Min)
+        .field("max", H.Max);
+    std::string Buckets = "[";
+    for (size_t I = 0; I != H.Buckets.size(); ++I) {
+      if (I)
+        Buckets += ",";
+      Buckets += std::to_string(H.Buckets[I]);
+    }
+    Buckets += "]";
+    W.raw("buckets", Buckets);
+    Out += W.take();
+  }
+  Out += "}}";
+  return Out;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.try_emplace(std::string(Name)).first;
+  return It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.try_emplace(std::string(Name)).first;
+  return It->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> G(Mu);
+  MetricsSnapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters.emplace(Name, C.value());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramStats St;
+    St.Count = H.count();
+    St.Sum = H.sum();
+    St.Min = St.Count == 0 ? 0 : H.min();
+    St.Max = H.max();
+    size_t Last = 0;
+    for (size_t I = 0; I != Histogram::NumBuckets; ++I)
+      if (H.bucket(I) != 0)
+        Last = I + 1;
+    St.Buckets.reserve(Last);
+    for (size_t I = 0; I != Last; ++I)
+      St.Buckets.push_back(H.bucket(I));
+    S.Histograms.emplace(Name, std::move(St));
+  }
+  return S;
+}

@@ -1,0 +1,112 @@
+//===- obs/Metrics.h - Named counters and histograms -----------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small metrics registry for the rewriting pipeline: named monotonic
+/// counters and power-of-two-bucketed histograms. Increments are lock-free
+/// (relaxed atomics — metrics never order anything); registration of a new
+/// name takes a mutex but handles stay valid forever (node-based map), so
+/// the pattern is "look the handle up once, increment from any thread".
+///
+/// A snapshot freezes every value into plain data with deterministic
+/// (name-sorted) iteration order; `RewriteOutput::Metrics` carries one and
+/// the benches embed its JSON into their BENCH_*.json records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_OBS_METRICS_H
+#define E9_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace e9 {
+namespace obs {
+
+/// Monotonic counter; relaxed atomic increments.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Histogram over uint64 values with power-of-two buckets: bucket i counts
+/// values V with bit_width(V) == i, i.e. bucket 0 holds zeros, bucket i
+/// holds [2^(i-1), 2^i). Wide enough for byte sizes and counts alike.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65; // bit_width of a uint64 is 0..64.
+
+  void observe(uint64_t V);
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Total.load(std::memory_order_relaxed); }
+  uint64_t min() const { return Lo.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Hi.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> Total{0};
+  std::atomic<uint64_t> Lo{UINT64_MAX};
+  std::atomic<uint64_t> Hi{0};
+};
+
+/// Frozen histogram values (trailing empty buckets trimmed).
+struct HistogramStats {
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = 0; ///< 0 when Count == 0.
+  uint64_t Max = 0;
+  std::vector<uint64_t> Buckets;
+
+  double mean() const {
+    return Count == 0 ? 0.0
+                      : static_cast<double>(Sum) / static_cast<double>(Count);
+  }
+};
+
+/// Plain-data snapshot of a registry; name-sorted, so JSON output is
+/// deterministic whenever the underlying values are.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, HistogramStats> Histograms;
+
+  /// Counter value by name; 0 when absent.
+  uint64_t counter(std::string_view Name) const;
+  bool empty() const { return Counters.empty() && Histograms.empty(); }
+  /// Renders the snapshot as one JSON object (counters + histograms).
+  std::string toJson() const;
+};
+
+/// Thread-safe name -> metric registry.
+class MetricsRegistry {
+public:
+  Counter &counter(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+  MetricsSnapshot snapshot() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, Histogram, std::less<>> Histograms;
+};
+
+} // namespace obs
+} // namespace e9
+
+#endif // E9_OBS_METRICS_H

@@ -1,0 +1,127 @@
+//===- obs/Trace.cpp ------------------------------------------*- C++ -*-===//
+
+#include "obs/Trace.h"
+
+#include "obs/JsonWriter.h"
+
+using namespace e9;
+using namespace e9::obs;
+
+double PhaseProfile::ms(std::string_view Name) const {
+  double Total = 0;
+  for (const SpanRecord &S : Spans)
+    if (S.Shard < 0 && S.Name == Name)
+      Total += S.Ms;
+  return Total;
+}
+
+void TraceBuffer::splice(TraceBuffer &&Other) {
+  if (Lines.empty()) {
+    Lines = std::move(Other.Lines);
+    return;
+  }
+  Lines.insert(Lines.end(), std::make_move_iterator(Other.Lines.begin()),
+               std::make_move_iterator(Other.Lines.end()));
+  Other.Lines.clear();
+}
+
+void Tracer::metaImpl(size_t Sites) {
+  JsonWriter W;
+  W.field("ev", "meta").field("version", 1).field("sites", uint64_t(Sites));
+  Buf->emit(W.take());
+}
+
+void Tracer::attemptImpl(const AttemptEvent &E) {
+  JsonWriter W;
+  W.field("ev", "attempt").hex("site", E.Site).field("tactic", E.Tactic)
+      .field("ok", E.Ok);
+  if (!E.Ok && E.Reason)
+    W.field("reason", E.Reason);
+  if (E.Ok && E.Tramp != 0)
+    W.hex("tramp", E.Tramp);
+  if (E.Pads >= 0)
+    W.field("pads", E.Pads);
+  if (E.PunBytes >= 0)
+    W.field("pun_bytes", E.PunBytes);
+  if (E.HasVictim)
+    W.hex("victim", E.Victim);
+  if (E.Rescue)
+    W.field("rescue", true);
+  Buf->emit(W.take());
+}
+
+void Tracer::siteImpl(uint64_t Addr, const char *Tactic, uint64_t Tramp,
+                      const char *Reason) {
+  JsonWriter W;
+  W.field("ev", "site").hex("addr", Addr).field("tactic", Tactic);
+  if (Tramp != 0)
+    W.hex("tramp", Tramp);
+  if (Reason)
+    W.field("reason", Reason);
+  Buf->emit(W.take());
+}
+
+void Tracer::rescueImpl(uint64_t Victim, const char *Via, uint64_t Tramp) {
+  JsonWriter W;
+  W.field("ev", "rescue").hex("victim", Victim).field("via", Via).hex("tramp",
+                                                                      Tramp);
+  Buf->emit(W.take());
+}
+
+void Tracer::shardImpl(size_t Id, size_t Sites, uint64_t Lo, uint64_t Hi,
+                       uint64_t Window, bool Redo) {
+  JsonWriter W;
+  W.field("ev", "shard")
+      .field("id", uint64_t(Id))
+      .field("sites", uint64_t(Sites))
+      .hex("lo", Lo)
+      .hex("hi", Hi)
+      .hex("window", Window)
+      .field("redo", Redo);
+  Buf->emit(W.take());
+}
+
+void Tracer::groupImpl(size_t VirtualBlocks, size_t PhysBlocks,
+                       uint64_t PhysBytes, size_t Mappings) {
+  JsonWriter W;
+  W.field("ev", "group")
+      .field("virtual_blocks", uint64_t(VirtualBlocks))
+      .field("phys_blocks", uint64_t(PhysBlocks))
+      .field("phys_bytes", PhysBytes)
+      .field("mappings", uint64_t(Mappings));
+  Buf->emit(W.take());
+}
+
+void Tracer::verifyFindingImpl(const char *Kind, uint64_t Addr,
+                               const std::string &Msg) {
+  JsonWriter W;
+  W.field("ev", "verify").field("kind", Kind).hex("addr", Addr).field("msg",
+                                                                      Msg);
+  Buf->emit(W.take());
+}
+
+void Tracer::spanImpl(const char *Name, int Shard, double Ms) {
+  JsonWriter W;
+  W.field("ev", "span").field("name", Name);
+  if (Shard >= 0)
+    W.field("shard", Shard);
+  W.fixed("ms", Ms, 3);
+  Buf->emit(W.take());
+}
+
+void Tracer::summaryImpl(size_t Sites, const size_t TacticCounts[7],
+                         size_t Evictions, size_t Rescued, uint64_t TrampBytes,
+                         double SuccPct) {
+  // Keys mirror core::Tactic order: B1, B2, T1, T2, T3, B0, Failed.
+  static const char *const Keys[7] = {"b1", "b2", "t1", "t2",
+                                      "t3", "b0", "failed"};
+  JsonWriter W;
+  W.field("ev", "summary").field("sites", uint64_t(Sites));
+  for (int I = 0; I != 7; ++I)
+    W.field(Keys[I], uint64_t(TacticCounts[I]));
+  W.field("evictions", uint64_t(Evictions))
+      .field("rescued", uint64_t(Rescued))
+      .field("tramp_bytes", TrampBytes)
+      .fixed("succ_pct", SuccPct, 2);
+  Buf->emit(W.take());
+}

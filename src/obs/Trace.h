@@ -1,0 +1,194 @@
+//===- obs/Trace.h - Structured tactic/shard/verify tracing ----*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability event layer. The pipeline emits one JSONL event per
+/// tactic attempt, per final site result, per shard, per grouping pass,
+/// per verifier finding and one trailing summary; a trace answers "which
+/// tactic patched each site, and why did the others fail" — the per-site
+/// diagnosability the paper's Tables 1-3 are built from.
+///
+/// **Zero cost when disabled.** Instrumented code holds a `Tracer`, a
+/// one-pointer value type. Every emit method is an inline null check that
+/// falls through to an out-of-line renderer only when a buffer is
+/// attached; with tracing off the entire subsystem costs one predictable
+/// branch per event site and allocates nothing. Tracing never feeds back
+/// into any rewriting decision, so output bytes are identical either way.
+///
+/// **Deterministic flush.** Events are buffered per shard (each shard's
+/// Patcher runs single-threaded over its own `TraceBuffer` — no locks, no
+/// interleaving) and merged in the same descending-address shard order as
+/// the result merge in Shard.cpp. The redo pass discards a clashing
+/// shard's first-run buffer along with its result. Every event field is a
+/// pure function of (input binary, options), so a trace is byte-identical
+/// for any `--jobs` value. The one exception is span durations: "span"
+/// events carry wall-clock milliseconds and are only emitted when
+/// `TracePolicy::Timings` opts in.
+///
+/// Event schema (all addresses are "0x..." hex strings; DESIGN.md §10
+/// documents the full field tables; `e9tool stats` validates them):
+///
+///   meta     version, sites
+///   attempt  site, tactic, ok [, reason, tramp, pads, pun_bytes,
+///            victim, rescue]
+///   site     addr, tactic [, tramp, reason]
+///   rescue   victim, via, tramp
+///   shard    id, sites, lo, hi, window, redo
+///   group    virtual_blocks, phys_blocks, phys_bytes, mappings
+///   verify   kind, addr, msg
+///   span     name, shard, ms            (only with Timings)
+///   summary  sites, b1..b0, failed, evictions, rescued, tramp_bytes,
+///            succ_pct
+///
+//======---------------------------------------------------------------===//
+
+#ifndef E9_OBS_TRACE_H
+#define E9_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace e9 {
+namespace obs {
+
+/// One completed phase span: a named wall-clock interval, optionally
+/// attributed to a shard (Shard >= 0 nests under the "patch" phase).
+struct SpanRecord {
+  std::string Name;
+  int Shard = -1; ///< -1 = pipeline-level.
+  double Ms = 0;
+};
+
+/// Wall-clock attribution for a whole rewrite: the scoped-span replacement
+/// for the old hand-threaded PhaseTimings struct. Spans appear in
+/// completion order; per-shard patch spans ride alongside the
+/// pipeline-level ones.
+struct PhaseProfile {
+  std::vector<SpanRecord> Spans;
+  double TotalMs = 0;
+
+  void add(std::string Name, double Ms, int Shard = -1) {
+    Spans.push_back(SpanRecord{std::move(Name), Shard, Ms});
+  }
+  /// Sum of the *pipeline-level* spans with this name. Per-shard spans
+  /// (Shard >= 0) are excluded — the pipeline-level "patch" span already
+  /// covers the parallel shard execution wall time, so including them
+  /// would double-count.
+  double ms(std::string_view Name) const;
+};
+
+/// An append-only buffer of rendered JSONL event lines. Single-writer by
+/// construction: each shard owns one, the pipeline owns one, and merging
+/// happens on the merge thread only.
+class TraceBuffer {
+public:
+  void emit(std::string Line) { Lines.push_back(std::move(Line)); }
+  /// Appends \p Other's lines (deterministic merge step).
+  void splice(TraceBuffer &&Other);
+  const std::vector<std::string> &lines() const { return Lines; }
+  std::vector<std::string> take() { return std::move(Lines); }
+  bool empty() const { return Lines.empty(); }
+
+private:
+  std::vector<std::string> Lines;
+};
+
+/// Everything one tactic attempt can report. Optional fields keep their
+/// sentinel (-1 / 0-with-flag) to be omitted from the event.
+struct AttemptEvent {
+  uint64_t Site = 0;
+  const char *Tactic = "";      ///< "direct", "B1", "B2", "T1"-"T3", "B0".
+  bool Ok = false;
+  const char *Reason = nullptr; ///< Deepest failure reason when !Ok.
+  uint64_t Tramp = 0;           ///< Trampoline address when Ok.
+  int Pads = -1;                ///< Jump pad count (direct tactics).
+  int PunBytes = -1;            ///< rel32 bytes reused from pre-existing text.
+  uint64_t Victim = 0;          ///< Evicted victim address (T2/T3).
+  bool HasVictim = false;
+  bool Rescue = false;          ///< Victim was a failed site, now rescued.
+};
+
+/// The pipeline's view of a TraceBuffer: a nullable handle whose emit
+/// methods compile to a null check when tracing is disabled. Copy freely —
+/// it is one pointer.
+class Tracer {
+public:
+  Tracer() = default;
+  explicit Tracer(TraceBuffer *Buf) : Buf(Buf) {}
+
+  bool enabled() const { return Buf != nullptr; }
+  TraceBuffer *buffer() const { return Buf; }
+
+  void meta(size_t Sites) {
+    if (Buf)
+      metaImpl(Sites);
+  }
+  void attempt(const AttemptEvent &E) {
+    if (Buf)
+      attemptImpl(E);
+  }
+  void site(uint64_t Addr, const char *Tactic, uint64_t Tramp,
+            const char *Reason) {
+    if (Buf)
+      siteImpl(Addr, Tactic, Tramp, Reason);
+  }
+  void rescue(uint64_t Victim, const char *Via, uint64_t Tramp) {
+    if (Buf)
+      rescueImpl(Victim, Via, Tramp);
+  }
+  void shard(size_t Id, size_t Sites, uint64_t Lo, uint64_t Hi,
+             uint64_t Window, bool Redo) {
+    if (Buf)
+      shardImpl(Id, Sites, Lo, Hi, Window, Redo);
+  }
+  void group(size_t VirtualBlocks, size_t PhysBlocks, uint64_t PhysBytes,
+             size_t Mappings) {
+    if (Buf)
+      groupImpl(VirtualBlocks, PhysBlocks, PhysBytes, Mappings);
+  }
+  void verifyFinding(const char *Kind, uint64_t Addr,
+                     const std::string &Msg) {
+    if (Buf)
+      verifyFindingImpl(Kind, Addr, Msg);
+  }
+  void span(const char *Name, int Shard, double Ms) {
+    if (Buf)
+      spanImpl(Name, Shard, Ms);
+  }
+  /// Trailing summary; \p TacticCounts indexed like core::Tactic (7 wide).
+  void summary(size_t Sites, const size_t TacticCounts[7], size_t Evictions,
+               size_t Rescued, uint64_t TrampBytes, double SuccPct) {
+    if (Buf)
+      summaryImpl(Sites, TacticCounts, Evictions, Rescued, TrampBytes,
+                  SuccPct);
+  }
+
+private:
+  void metaImpl(size_t Sites);
+  void attemptImpl(const AttemptEvent &E);
+  void siteImpl(uint64_t Addr, const char *Tactic, uint64_t Tramp,
+                const char *Reason);
+  void rescueImpl(uint64_t Victim, const char *Via, uint64_t Tramp);
+  void shardImpl(size_t Id, size_t Sites, uint64_t Lo, uint64_t Hi,
+                 uint64_t Window, bool Redo);
+  void groupImpl(size_t VirtualBlocks, size_t PhysBlocks, uint64_t PhysBytes,
+                 size_t Mappings);
+  void verifyFindingImpl(const char *Kind, uint64_t Addr,
+                         const std::string &Msg);
+  void spanImpl(const char *Name, int Shard, double Ms);
+  void summaryImpl(size_t Sites, const size_t TacticCounts[7],
+                   size_t Evictions, size_t Rescued, uint64_t TrampBytes,
+                   double SuccPct);
+
+  TraceBuffer *Buf = nullptr;
+};
+
+} // namespace obs
+} // namespace e9
+
+#endif // E9_OBS_TRACE_H

@@ -180,6 +180,7 @@ private:
       Report.Truncated = true;
       return false;
     }
+    obs::Tracer(In.Trace).verifyFinding(failureKindName(K), Addr, Msg);
     Report.Failures.push_back(VerifyFailure{K, Addr, std::move(Msg)});
     return true;
   }

@@ -101,6 +101,9 @@ struct VerifyInput {
   const std::vector<core::JumpRecord> *Jumps = nullptr;
   const std::vector<core::TrampolineChunk> *Chunks = nullptr;
   const std::vector<Interval> *ModifiedRanges = nullptr;
+  /// Optional trace sink: every recorded failure is also emitted as a
+  /// "verify" event. Checks themselves are unaffected.
+  obs::TraceBuffer *Trace = nullptr;
 };
 
 /// The structured fail-closed report.

@@ -60,8 +60,8 @@ Status runPipeline(const elf::Image &Input) {
   RewriteOptions O;
   O.Patch.Spec.Kind = core::TrampolineKind::Empty;
   O.ExtraReserved.push_back(lowfat::heapReservation());
-  O.Strict = true;
-  O.MaxFailedSites = 0;
+  O.Verify.Strict = true;
+  O.Verify.MaxFailedSites = 0;
   auto Out = rewrite(*Img, Locs, O);
   if (!Out.isOk())
     return Status::error(Out.reason());
@@ -143,7 +143,7 @@ TEST(FaultInjection, CorruptionSitesAreCaughtOnlyByTheVerifier) {
   RewriteOptions O;
   O.Patch.Spec.Kind = core::TrampolineKind::Empty;
   O.ExtraReserved.push_back(lowfat::heapReservation());
-  O.Strict = true;
+  O.Verify.Strict = true;
 
   for (const char *Site : {"core.patch.corrupt-site",
                            "core.group.corrupt-block",
@@ -160,7 +160,7 @@ TEST(FaultInjection, CorruptionSitesAreCaughtOnlyByTheVerifier) {
     // the verifier is genuinely the only line of defence.
     FaultInjector::instance().arm(Site);
     RewriteOptions Lax = O;
-    Lax.Strict = false;
+    Lax.Verify.Strict = false;
     auto LaxOut = rewrite(Input, Locs, Lax);
     EXPECT_TRUE(LaxOut.isOk()) << LaxOut.reason();
     FaultInjector::instance().disarm();
@@ -200,7 +200,7 @@ TEST(FaultInjection, AllocExhaustionDegradesToB0WhenEnabled) {
   O.Patch.Spec.Kind = core::TrampolineKind::Empty;
   O.Patch.B0Fallback = true;
   O.ExtraReserved.push_back(lowfat::heapReservation());
-  O.MaxFailedSites = 0;
+  O.Verify.MaxFailedSites = 0;
 
   FaultInjector::instance().arm("core.alloc.allocate");
   auto Out = rewrite(Input, Locs, O);

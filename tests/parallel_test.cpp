@@ -52,6 +52,7 @@ void expectSameStats(const core::PatchStats &A, const core::PatchStats &B) {
   }
   EXPECT_EQ(A.Evictions, B.Evictions);
   EXPECT_EQ(A.Rescued, B.Rescued);
+  EXPECT_EQ(A.AllocRetries, B.AllocRetries);
 }
 
 } // namespace
@@ -129,28 +130,34 @@ TEST(Parallel, ByteIdenticalAcrossJobs) {
     std::vector<uint64_t> Locs = selectJumps(D.Insns);
     ASSERT_GT(Locs.size(), 50u);
 
-    RewriteOptions Opts = baseOptions();
-    Opts.Sharding.MinSitesPerShard = 8; // Force a multi-shard plan.
-    Opts.Strict = true;
+    // Tracing rides along on every run: the trace must be byte-identical
+    // across thread counts too (and the per-shard buffers give TSan a
+    // workout under -DE9_SANITIZE=thread).
+    RewriteOptions Opts = baseOptions().withStrict().withTrace();
+    Opts.Parallel.Sharding.MinSitesPerShard = 8; // Force a multi-shard plan.
 
     std::vector<uint8_t> Reference;
+    std::vector<std::string> RefTrace;
     core::PatchStats RefStats;
     size_t RefShards = 0, RefRedone = 0;
     for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
-      Opts.Jobs = Jobs;
+      Opts.Parallel.Jobs = Jobs;
       auto Out = rewrite(W.Image, Locs, Opts);
       ASSERT_TRUE(Out.isOk()) << "jobs=" << Jobs << ": " << Out.reason();
       EXPECT_EQ(Out->JobsUsed, Jobs);
+      EXPECT_FALSE(Out->Trace.empty());
       std::vector<uint8_t> Bytes = elf::write(Out->Rewritten);
       if (Jobs == 1) {
         EXPECT_GT(Out->ShardCount, 1u);
         Reference = std::move(Bytes);
+        RefTrace = std::move(Out->Trace);
         RefStats = Out->Stats;
         RefShards = Out->ShardCount;
         RefRedone = Out->ShardsRedone;
         continue;
       }
       EXPECT_EQ(Bytes, Reference) << "jobs=" << Jobs << " pie=" << Pie;
+      EXPECT_EQ(Out->Trace, RefTrace) << "jobs=" << Jobs << " pie=" << Pie;
       expectSameStats(Out->Stats, RefStats);
       EXPECT_EQ(Out->ShardCount, RefShards);
       EXPECT_EQ(Out->ShardsRedone, RefRedone);
@@ -168,14 +175,14 @@ TEST(Parallel, ForcedWindowCollisionsStayDeterministic) {
   std::vector<uint64_t> Locs = selectJumps(D.Insns);
 
   RewriteOptions Opts = baseOptions();
-  Opts.Sharding.MinSitesPerShard = 4;
-  Opts.Sharding.WindowStride = 0;
-  Opts.Strict = true;
+  Opts.Parallel.Sharding.MinSitesPerShard = 4;
+  Opts.Parallel.Sharding.WindowStride = 0;
+  Opts.Verify.Strict = true;
 
   std::vector<uint8_t> Reference;
   size_t RefRedone = 0;
   for (unsigned Jobs : {1u, 4u}) {
-    Opts.Jobs = Jobs;
+    Opts.Parallel.Jobs = Jobs;
     auto Out = rewrite(W.Image, Locs, Opts);
     ASSERT_TRUE(Out.isOk()) << Out.reason();
     std::vector<uint8_t> Bytes = elf::write(Out->Rewritten);
@@ -203,9 +210,9 @@ TEST(Parallel, ShardBoundaryStressPreservesSemantics) {
   std::vector<uint64_t> Locs = selectJumps(D.Insns);
 
   RewriteOptions Opts = baseOptions();
-  Opts.Sharding.MinSitesPerShard = 1;
-  Opts.Jobs = 4;
-  Opts.Strict = true;
+  Opts.Parallel.Sharding.MinSitesPerShard = 1;
+  Opts.Parallel.Jobs = 4;
+  Opts.Verify.Strict = true;
   auto Out = rewrite(W.Image, Locs, Opts);
   ASSERT_TRUE(Out.isOk()) << Out.reason();
   EXPECT_GT(Out->ShardCount, 4u);

@@ -116,3 +116,70 @@ TEST(Tool, BadInputsFailGracefully) {
   }
   EXPECT_NE(runTool("disasm " + NotElf, Out), 0);
 }
+
+TEST(Tool, RejectsUnknownAndMalformedOptions) {
+  std::string Bin = tmpPath("tool_opt.elf");
+  std::string Out;
+  ASSERT_EQ(runTool("gen " + Bin + " --seed=12 --funcs=4", Out), 0);
+
+  // Unknown options are hard errors, not silent no-ops.
+  EXPECT_NE(runTool("rewrite " + Bin + " /dev/null --sterict", Out), 0);
+  EXPECT_NE(Out.find("unknown option"), std::string::npos) << Out;
+
+  // Integer options reject non-numeric values instead of coercing to 0.
+  EXPECT_NE(runTool("rewrite " + Bin + " /dev/null --jobs=many", Out), 0);
+  EXPECT_NE(Out.find("expects an integer"), std::string::npos) << Out;
+
+  // Boolean flags reject stray values.
+  EXPECT_NE(runTool("rewrite " + Bin + " /dev/null --strict=1", Out), 0);
+  EXPECT_NE(Out.find("takes no value"), std::string::npos) << Out;
+}
+
+TEST(Tool, TraceAndStatsFlow) {
+  std::string Bin = tmpPath("tool_trace.elf");
+  std::string P1 = tmpPath("tool_trace1.patched");
+  std::string P4 = tmpPath("tool_trace4.patched");
+  std::string Plain = tmpPath("tool_trace_plain.patched");
+  std::string T1 = tmpPath("tool_trace1.jsonl");
+  std::string T4 = tmpPath("tool_trace4.jsonl");
+  std::string Metrics = tmpPath("tool_trace.metrics.json");
+  std::string Out;
+
+  ASSERT_EQ(runTool("gen " + Bin + " --seed=13 --funcs=24", Out), 0);
+  ASSERT_EQ(runTool("rewrite " + Bin + " " + P1 +
+                        " --strict --jobs=1 --trace=" + T1,
+                    Out),
+            0)
+      << Out;
+  ASSERT_EQ(runTool("rewrite " + Bin + " " + P4 + " --strict --jobs=4" +
+                        " --trace=" + T4 + " --metrics=" + Metrics,
+                    Out),
+            0)
+      << Out;
+  ASSERT_EQ(runTool("rewrite " + Bin + " " + Plain + " --strict", Out), 0);
+
+  auto Slurp = [](const std::string &Path) {
+    std::ifstream In(Path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>());
+  };
+  // Trace byte-identical across --jobs; binary untouched by tracing.
+  EXPECT_EQ(Slurp(T1), Slurp(T4));
+  EXPECT_EQ(Slurp(P1), Slurp(P4));
+  EXPECT_EQ(Slurp(P1), Slurp(Plain));
+  EXPECT_NE(Slurp(Metrics).find("tactic.b1"), std::string::npos);
+
+  // stats validates the schema and prints the per-tactic table.
+  ASSERT_EQ(runTool("stats " + T4, Out), 0) << Out;
+  EXPECT_NE(Out.find("tactic"), std::string::npos);
+  EXPECT_NE(Out.find("B1"), std::string::npos);
+
+  // A corrupted trace is a validation error.
+  std::string Bad = tmpPath("tool_trace_bad.jsonl");
+  {
+    std::ofstream F(Bad, std::ios::binary);
+    F << Slurp(T4) << "{\"ev\":\"wormhole\"}\n";
+  }
+  EXPECT_NE(runTool("stats " + Bad, Out), 0);
+  EXPECT_NE(Out.find("schema violation"), std::string::npos) << Out;
+}

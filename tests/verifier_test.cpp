@@ -320,8 +320,8 @@ TEST_P(StrictSeeds, StrictRewriteVerifiesAndRunsIdentically) {
   DisasmResult D = linearDisassemble(W.Image);
   auto Locs = selectJumps(D.Insns);
   RewriteOptions O = baseOptions();
-  O.Strict = true;
-  O.VerifyOpts.Differential = true;
+  O.Verify.Strict = true;
+  O.Verify.Opts.Differential = true;
   auto Out = rewrite(W.Image, Locs, O);
   ASSERT_TRUE(Out.isOk()) << Out.reason();
   EXPECT_TRUE(Out->Verify.ok()) << Out->Verify.summary();
@@ -365,14 +365,14 @@ TEST(StrictMode, FailedSiteBudgetFailsClosed) {
     Sum += Unbudgeted->Stats.ReasonCount[I];
   EXPECT_EQ(Sum, NFailed);
 
-  O.MaxFailedSites = 0;
+  O.Verify.MaxFailedSites = 0;
   auto Budgeted = rewrite(W.Image, Locs, O);
   ASSERT_FALSE(Budgeted.isOk());
   EXPECT_NE(Budgeted.reason().find("failed-site budget"), std::string::npos);
   EXPECT_NE(Budgeted.reason().find("0x"), std::string::npos);
 
   // A budget at exactly the failure count passes.
-  O.MaxFailedSites = NFailed;
+  O.Verify.MaxFailedSites = NFailed;
   EXPECT_TRUE(rewrite(W.Image, Locs, O).isOk());
 }
 
@@ -387,8 +387,8 @@ TEST(StrictMode, B0FallbackGuaranteesFullCoverage) {
   RewriteOptions O = baseOptions();
   O.Patch.EnableT1 = O.Patch.EnableT2 = O.Patch.EnableT3 = false;
   O.Patch.B0Fallback = true;
-  O.MaxFailedSites = 0;
-  O.Strict = true;
+  O.Verify.MaxFailedSites = 0;
+  O.Verify.Strict = true;
   auto Out = rewrite(W.Image, Locs, O);
   ASSERT_TRUE(Out.isOk()) << Out.reason();
   EXPECT_EQ(Out->Stats.count(core::Tactic::Failed), 0u);

@@ -5,10 +5,14 @@
 # ASan + UBSan (-DE9_SANITIZE=address) and re-runs the verifier mutation
 # sweep, the fault-injection sweep, and the corrupt-ELF corpus in the
 # sanitized build, then rebuilds under TSan (-DE9_SANITIZE=thread) and
-# runs the sharded-patcher tests across thread counts. Any sanitizer
-# report aborts the run (-fno-sanitize-recover=all), so a clean exit
-# means: no silent memory errors on the error paths, and no data races
-# in the parallel pipeline.
+# runs the sharded-patcher tests across thread counts, and finally runs
+# the trace-determinism gate: a real gen -> rewrite sweep checking that
+# --trace output is byte-identical across --jobs values, that tracing
+# never changes the rewritten binary, and that `e9tool stats` accepts
+# the emitted schema. Any sanitizer report aborts the run
+# (-fno-sanitize-recover=all), so a clean exit means: no silent memory
+# errors on the error paths, no data races in the parallel pipeline,
+# and no nondeterminism in the observability layer.
 #
 # Usage: tools/check.sh [jobs]
 set -eu
@@ -16,33 +20,50 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== [1/6] configure + build (default flags) =="
+echo "== [1/7] configure + build (default flags) =="
 cmake -S "$ROOT" -B "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 
-echo "== [2/6] full test suite =="
+echo "== [2/7] full test suite =="
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   || ctest --test-dir "$ROOT/build" --output-on-failure --rerun-failed
 
-echo "== [3/6] configure + build (ASan + UBSan) =="
+echo "== [3/7] configure + build (ASan + UBSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=address >/dev/null
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target \
-  verifier_test fault_injection_test elf_test core_test support_test
+  verifier_test fault_injection_test elf_test core_test support_test \
+  obs_test
 
-echo "== [4/6] robustness sweeps under ASan + UBSan =="
+echo "== [4/7] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/support_test"
 "$ROOT/build-asan/tests/core_test"
+"$ROOT/build-asan/tests/obs_test"
 "$ROOT/build-asan/tests/elf_test" --gtest_filter='CorruptElf.*'
 "$ROOT/build-asan/tests/verifier_test"
 "$ROOT/build-asan/tests/fault_injection_test"
 
-echo "== [5/6] configure + build (TSan) =="
+echo "== [5/7] configure + build (TSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test
 
-echo "== [6/6] sharded patcher under TSan =="
+echo "== [6/7] sharded patcher under TSan =="
 "$ROOT/build-tsan/tests/parallel_test"
+
+echo "== [7/7] trace determinism + schema gate (e9tool end-to-end) =="
+E9="$ROOT/build/tools/e9tool"
+TDIR="$(mktemp -d)"
+trap 'rm -rf "$TDIR"' EXIT
+"$E9" gen "$TDIR/w.elf" --seed=2026 --funcs=96 >/dev/null
+"$E9" rewrite "$TDIR/w.elf" "$TDIR/out4.elf" --strict --jobs=4 \
+  --trace="$TDIR/t4.jsonl" --metrics="$TDIR/m.json" >/dev/null
+"$E9" rewrite "$TDIR/w.elf" "$TDIR/out1.elf" --strict --jobs=1 \
+  --trace="$TDIR/t1.jsonl" >/dev/null
+"$E9" rewrite "$TDIR/w.elf" "$TDIR/plain.elf" --strict >/dev/null
+cmp "$TDIR/t1.jsonl" "$TDIR/t4.jsonl"   # trace identical across --jobs
+cmp "$TDIR/out1.elf" "$TDIR/out4.elf"   # binary identical across --jobs
+cmp "$TDIR/out1.elf" "$TDIR/plain.elf"  # tracing never perturbs output
+"$E9" stats "$TDIR/t4.jsonl" >/dev/null # schema-valid, summary coherent
 
 echo "check.sh: all gates passed"

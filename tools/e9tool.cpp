@@ -1,17 +1,19 @@
 //===- tools/e9tool.cpp - command-line front end ----------------*- C++ -*-===//
 //
-// The e9tool analog: generate, inspect, disassemble, rewrite and run
-// binaries from the command line.
+// The e9tool analog: generate, inspect, disassemble, rewrite, run and
+// analyze binaries from the command line. Every subcommand is described
+// by a declarative option table (name, kind, help); parsing, validation
+// and the usage text all derive from the same table, so an option cannot
+// exist without being documented and an unknown or malformed option is a
+// hard error rather than a silent no-op.
 //
 //   e9tool gen <out.elf> [--seed=N] [--funcs=N] [--pie] [--bug]
 //   e9tool info <elf>
 //   e9tool disasm <elf> [--limit=N]
-//   e9tool rewrite <in> <out> [--select=jumps|heapwrites|all]
-//          [--tramp=empty|lowfat] [--no-t1] [--no-t2] [--no-t3]
-//          [--b0-fallback] [--force-b0] [--no-grouping] [--granularity=M]
-//          [--strict] [--verify] [--differential] [--max-failed=N]
-//          [--fault-inject=SITE] [--jobs=N] [--timings]
+//   e9tool rewrite <in> <out> [--select=...] [--strict] [--jobs=N]
+//          [--trace=FILE] [--metrics=FILE] [--trace-timings] ...
 //   e9tool run <elf> [--lowfat] [--max-insns=N]
+//   e9tool stats <trace.jsonl>
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +21,7 @@
 #include "frontend/Rewriter.h"
 #include "frontend/Select.h"
 #include "lowfat/LowFat.h"
+#include "obs/JsonWriter.h"
 #include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "vm/Hooks.h"
@@ -26,9 +29,14 @@
 #include "workload/Run.h"
 #include "x86/Printer.h"
 
+#include <cassert>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,68 +44,217 @@ using namespace e9;
 
 namespace {
 
-/// Tiny argv helper: --key=value and boolean --key flags.
-struct Args {
-  std::vector<std::string> Positional;
-  std::vector<std::pair<std::string, std::string>> Flags;
+//===----------------------------------------------------------------------===//
+// Declarative option tables
+//===----------------------------------------------------------------------===//
 
-  Args(int Argc, char **Argv, int Start) {
-    for (int I = Start; I < Argc; ++I) {
-      std::string A = Argv[I];
-      if (A.rfind("--", 0) == 0) {
-        size_t Eq = A.find('=');
-        if (Eq == std::string::npos)
-          Flags.emplace_back(A.substr(2), "");
-        else
-          Flags.emplace_back(A.substr(2, Eq - 2), A.substr(Eq + 1));
-      } else {
-        Positional.push_back(A);
-      }
-    }
-  }
-
-  bool has(const char *Key) const {
-    for (const auto &[K, V] : Flags)
-      if (K == Key)
-        return true;
-    return false;
-  }
-  std::string get(const char *Key, const char *Default = "") const {
-    for (const auto &[K, V] : Flags)
-      if (K == Key)
-        return V;
-    return Default;
-  }
-  uint64_t getInt(const char *Key, uint64_t Default) const {
-    std::string V = get(Key);
-    return V.empty() ? Default : std::strtoull(V.c_str(), nullptr, 0);
-  }
+enum class OptKind {
+  Flag, ///< Boolean --name; a value is an error.
+  Str,  ///< --name=value, free-form string.
+  Int,  ///< --name=N, validated as a full integer (0x ok).
 };
 
+struct OptSpec {
+  const char *Name;
+  OptKind Kind;
+  const char *ValueName; ///< Shown in usage for Str/Int options.
+  const char *Help;
+};
+
+struct CommandSpec {
+  const char *Name;
+  const char *Operands; ///< e.g. "<in> <out>".
+  size_t MinOperands;
+  const char *Help;
+  const OptSpec *Opts;
+  size_t NumOpts;
+};
+
+constexpr OptSpec GenOpts[] = {
+    {"name", OptKind::Str, "NAME", "workload name stamped into the binary"},
+    {"seed", OptKind::Int, "N", "workload generator seed (default 1)"},
+    {"funcs", OptKind::Int, "N", "number of functions (default 12)"},
+    {"iters", OptKind::Int, "N", "main loop iterations (default 5)"},
+    {"pie", OptKind::Flag, nullptr, "emit a position-independent binary"},
+    {"bug", OptKind::Flag, nullptr, "plant a heap overflow"},
+};
+
+constexpr OptSpec DisasmOpts[] = {
+    {"limit", OptKind::Int, "N", "print at most N instructions"},
+};
+
+constexpr OptSpec RewriteOpts[] = {
+    {"select", OptKind::Str, "jumps|heapwrites|all",
+     "patch site selector (default jumps)"},
+    {"tramp", OptKind::Str, "empty|lowfat",
+     "trampoline payload (default empty)"},
+    {"no-t1", OptKind::Flag, nullptr, "disable tactic T1 (padded puns)"},
+    {"no-t2", OptKind::Flag, nullptr, "disable tactic T2 (successor evict)"},
+    {"no-t3", OptKind::Flag, nullptr, "disable tactic T3 (neighbour evict)"},
+    {"b0-fallback", OptKind::Flag, nullptr, "int3 fallback for failed sites"},
+    {"force-b0", OptKind::Flag, nullptr, "int3 at every site (B0 baseline)"},
+    {"no-grouping", OptKind::Flag, nullptr, "disable physical page grouping"},
+    {"granularity", OptKind::Int, "M", "grouping block size in pages"},
+    {"strict", OptKind::Flag, nullptr, "fail closed on any verifier finding"},
+    {"verify", OptKind::Flag, nullptr, "run the verifier (advisory)"},
+    {"differential", OptKind::Flag, nullptr,
+     "differential execution check (with --strict/--verify)"},
+    {"max-failed", OptKind::Int, "N", "failed-site error budget"},
+    {"fault-inject", OptKind::Str, "SITE", "arm one fault-injection site"},
+    {"jobs", OptKind::Int, "N",
+     "patcher worker threads (0 = all hardware threads)"},
+    {"timings", OptKind::Flag, nullptr, "print per-phase wall times"},
+    {"trace", OptKind::Str, "FILE", "write the JSONL tactic trace to FILE"},
+    {"metrics", OptKind::Str, "FILE", "write the metrics snapshot to FILE"},
+    {"trace-timings", OptKind::Flag, nullptr,
+     "include wall-clock span events in the trace (nondeterministic)"},
+};
+
+constexpr OptSpec RunOpts[] = {
+    {"lowfat", OptKind::Flag, nullptr, "enable the lowfat heap checker"},
+    {"max-insns", OptKind::Int, "N", "instruction budget"},
+};
+
+constexpr CommandSpec Commands[] = {
+    {"gen", "<out.elf>", 1, "generate a synthetic test binary", GenOpts,
+     std::size(GenOpts)},
+    {"info", "<elf>", 1, "print image segments and rewrite artifacts",
+     nullptr, 0},
+    {"disasm", "<elf>", 1, "linear disassembly listing", DisasmOpts,
+     std::size(DisasmOpts)},
+    {"rewrite", "<in> <out>", 2, "rewrite a binary", RewriteOpts,
+     std::size(RewriteOpts)},
+    {"run", "<elf>", 1, "execute under the VM", RunOpts, std::size(RunOpts)},
+    {"stats", "<trace.jsonl>", 1,
+     "validate a trace and print a Table-1-style summary", nullptr, 0},
+};
+
+void printCommandUsage(FILE *To, const CommandSpec &C) {
+  std::fprintf(To, "usage: e9tool %s %s\n", C.Name, C.Operands);
+  for (size_t I = 0; I != C.NumOpts; ++I) {
+    const OptSpec &O = C.Opts[I];
+    std::string Left = std::string("--") + O.Name;
+    if (O.Kind != OptKind::Flag)
+      Left += std::string("=") + O.ValueName;
+    std::fprintf(To, "  %-28s %s\n", Left.c_str(), O.Help);
+  }
+}
+
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: e9tool <command> ...\n"
-      "  gen <out.elf> [--seed=N] [--funcs=N] [--pie] [--bug]\n"
-      "  info <elf>\n"
-      "  disasm <elf> [--limit=N]\n"
-      "  rewrite <in> <out> [--select=jumps|heapwrites|all]\n"
-      "          [--tramp=empty|lowfat] [--no-t1] [--no-t2] [--no-t3]\n"
-      "          [--b0-fallback] [--force-b0] [--no-grouping]\n"
-      "          [--granularity=M] [--strict] [--verify]\n"
-      "          [--differential] [--max-failed=N] [--fault-inject=SITE]\n"
-      "          [--jobs=N (0 = all hardware threads)] [--timings]\n"
-      "  run <elf> [--lowfat] [--max-insns=N]\n");
+  std::fprintf(stderr, "usage: e9tool <command> ...\n");
+  for (const CommandSpec &C : Commands)
+    std::fprintf(stderr, "  %-10s %-18s %s\n", C.Name, C.Operands, C.Help);
+  std::fprintf(stderr, "run `e9tool <command>` with no operands for that "
+                       "command's options\n");
   return 2;
 }
+
+/// Parsed, table-validated arguments for one subcommand. Unknown options,
+/// missing/extra values and non-numeric integers are all parse errors —
+/// the two historical silent failure modes (ignored unknown flags,
+/// `strtoull` coercing garbage to 0) are gone by construction.
+class Args {
+public:
+  Args(const CommandSpec &Cmd, int Argc, char **Argv, int Start) : Cmd(Cmd) {
+    for (int I = Start; I < Argc; ++I) {
+      std::string A = Argv[I];
+      if (A.rfind("--", 0) != 0) {
+        Positional.push_back(std::move(A));
+        continue;
+      }
+      size_t Eq = A.find('=');
+      std::string Name =
+          Eq == std::string::npos ? A.substr(2) : A.substr(2, Eq - 2);
+      const OptSpec *O = find(Name);
+      if (!O) {
+        fail("unknown option --" + Name);
+        return;
+      }
+      if (O->Kind == OptKind::Flag) {
+        if (Eq != std::string::npos) {
+          fail("option --" + Name + " takes no value");
+          return;
+        }
+        Values[Name] = "";
+        continue;
+      }
+      if (Eq == std::string::npos) {
+        fail("option --" + Name + " requires =" +
+             std::string(O->ValueName));
+        return;
+      }
+      std::string V = A.substr(Eq + 1);
+      if (O->Kind == OptKind::Int && !isInteger(V)) {
+        fail("option --" + Name + " expects an integer, got \"" + V + "\"");
+        return;
+      }
+      Values[Name] = std::move(V);
+    }
+    if (Positional.size() < Cmd.MinOperands)
+      fail(std::string("missing operand(s): expected ") + Cmd.Operands);
+  }
+
+  bool ok() const { return Ok; }
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  bool has(const char *Key) const {
+    assertKnown(Key);
+    return Values.count(Key) != 0;
+  }
+  std::string get(const char *Key, const char *Default = "") const {
+    assertKnown(Key);
+    auto It = Values.find(Key);
+    return It == Values.end() ? Default : It->second;
+  }
+  uint64_t getInt(const char *Key, uint64_t Default) const {
+    auto It = Values.find(Key);
+    if (It == Values.end())
+      return Default;
+    return std::strtoull(It->second.c_str(), nullptr, 0); // Pre-validated.
+  }
+
+private:
+  const OptSpec *find(const std::string &Name) const {
+    for (size_t I = 0; I != Cmd.NumOpts; ++I)
+      if (Name == Cmd.Opts[I].Name)
+        return &Cmd.Opts[I];
+    return nullptr;
+  }
+  /// Catches table/code drift: a typo'd key in a has()/get() call is a
+  /// programming error, not a user error.
+  void assertKnown(const char *Key) const {
+    (void)Key;
+    assert(find(Key) != nullptr && "option not in this command's table");
+  }
+  static bool isInteger(const std::string &V) {
+    if (V.empty())
+      return false;
+    errno = 0;
+    char *End = nullptr;
+    (void)std::strtoull(V.c_str(), &End, 0);
+    return errno == 0 && End == V.c_str() + V.size();
+  }
+  void fail(std::string Msg) {
+    Ok = false;
+    std::fprintf(stderr, "error: %s\n", Msg.c_str());
+    printCommandUsage(stderr, Cmd);
+  }
+
+  const CommandSpec &Cmd;
+  std::vector<std::string> Positional;
+  std::map<std::string, std::string> Values;
+  bool Ok = true;
+};
 
 Result<elf::Image> loadInput(const std::string &Path) {
   return elf::readFile(Path);
 }
 
+//===----------------------------------------------------------------------===//
+// Subcommands
+//===----------------------------------------------------------------------===//
+
 int cmdGen(const Args &A) {
-  if (A.Positional.empty())
-    return usage();
   workload::WorkloadConfig C;
   C.Name = A.get("name", "generated");
   C.Seed = A.getInt("seed", 1);
@@ -106,26 +263,24 @@ int cmdGen(const Args &A) {
   C.HeapBug = A.has("bug");
   C.MainIters = static_cast<unsigned>(A.getInt("iters", 5));
   workload::Workload W = workload::generateWorkload(C);
-  if (Status S = elf::writeFile(W.Image, A.Positional[0]); !S) {
+  if (Status S = elf::writeFile(W.Image, A.positional()[0]); !S) {
     std::fprintf(stderr, "error: %s\n", S.reason().c_str());
     return 1;
   }
   std::printf("wrote %s: %zu code bytes, entry %s%s\n",
-              A.Positional[0].c_str(), W.Image.textSegment()->Bytes.size(),
+              A.positional()[0].c_str(), W.Image.textSegment()->Bytes.size(),
               hex(W.Image.Entry).c_str(),
               C.HeapBug ? " (heap overflow planted)" : "");
   return 0;
 }
 
 int cmdInfo(const Args &A) {
-  if (A.Positional.empty())
-    return usage();
-  auto Img = loadInput(A.Positional[0]);
+  auto Img = loadInput(A.positional()[0]);
   if (!Img.isOk()) {
     std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
     return 1;
   }
-  std::printf("%s: %s, entry %s\n", A.Positional[0].c_str(),
+  std::printf("%s: %s, entry %s\n", A.positional()[0].c_str(),
               Img->Pie ? "PIE/shared" : "executable",
               hex(Img->Entry).c_str());
   for (const elf::Segment &S : Img->Segments)
@@ -149,9 +304,7 @@ int cmdInfo(const Args &A) {
 }
 
 int cmdDisasm(const Args &A) {
-  if (A.Positional.empty())
-    return usage();
-  auto Img = loadInput(A.Positional[0]);
+  auto Img = loadInput(A.positional()[0]);
   if (!Img.isOk()) {
     std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
     return 1;
@@ -171,10 +324,26 @@ int cmdDisasm(const Args &A) {
   return 0;
 }
 
+/// Writes \p Lines to \p Path ("-" = stdout), one per line.
+bool writeLines(const std::string &Path,
+                const std::vector<std::string> &Lines) {
+  if (Path == "-") {
+    for (const std::string &L : Lines)
+      std::printf("%s\n", L.c_str());
+    return true;
+  }
+  std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  for (const std::string &L : Lines)
+    F << L << '\n';
+  return static_cast<bool>(F);
+}
+
 int cmdRewrite(const Args &A) {
-  if (A.Positional.size() < 2)
-    return usage();
-  auto Img = loadInput(A.Positional[0]);
+  auto Img = loadInput(A.positional()[0]);
   if (!Img.isOk()) {
     std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
     return 1;
@@ -213,12 +382,21 @@ int cmdRewrite(const Args &A) {
   Opts.Grouping.Enabled = !A.has("no-grouping");
   Opts.Grouping.M = static_cast<unsigned>(A.getInt("granularity", 1));
   Opts.ExtraReserved.push_back(lowfat::heapReservation());
-  Opts.Strict = A.has("strict");
-  Opts.Verify = A.has("verify");
-  Opts.VerifyOpts.Differential = A.has("differential");
-  Opts.VerifyOpts.UseLowFatHeap = Tramp == "lowfat";
-  Opts.MaxFailedSites = A.getInt("max-failed", SIZE_MAX);
-  Opts.Jobs = static_cast<unsigned>(A.getInt("jobs", 1));
+  Opts.withStrict(A.has("strict"))
+      .withVerify(A.has("verify"))
+      .withMaxFailedSites(A.getInt("max-failed", SIZE_MAX))
+      .withJobs(static_cast<unsigned>(A.getInt("jobs", 1)));
+  Opts.Verify.Opts.Differential = A.has("differential");
+  Opts.Verify.Opts.UseLowFatHeap = Tramp == "lowfat";
+
+  std::string TracePath = A.get("trace");
+  std::string MetricsPath = A.get("metrics");
+  Opts.withTrace(!TracePath.empty())
+      .withTraceTimings(A.has("trace-timings"));
+  if (Opts.Trace.Timings && TracePath.empty()) {
+    std::fprintf(stderr, "error: --trace-timings requires --trace=FILE\n");
+    return 2;
+  }
 
   std::string FaultSite = A.get("fault-inject");
   if (!FaultSite.empty()) {
@@ -237,13 +415,19 @@ int cmdRewrite(const Args &A) {
     std::fprintf(stderr, "error: %s\n", Out.reason().c_str());
     return 1;
   }
-  if (Status S = elf::writeFile(Out->Rewritten, A.Positional[1]); !S) {
+  if (Status S = elf::writeFile(Out->Rewritten, A.positional()[1]); !S) {
     std::fprintf(stderr, "error: %s\n", S.reason().c_str());
     return 1;
   }
+  if (!TracePath.empty() && !writeLines(TracePath, Out->Trace))
+    return 1;
+  if (!MetricsPath.empty() &&
+      !writeLines(MetricsPath, {Out->Metrics.toJson()}))
+    return 1;
+
   const core::PatchStats &St = Out->Stats;
-  std::printf("%s -> %s\n", A.Positional[0].c_str(),
-              A.Positional[1].c_str());
+  std::printf("%s -> %s\n", A.positional()[0].c_str(),
+              A.positional()[1].c_str());
   std::printf("  locations %zu: B1 %zu, B2 %zu, T1 %zu, T2 %zu, T3 %zu, "
               "B0 %zu, failed %zu (%.2f%% success)\n",
               St.NLoc, St.count(core::Tactic::B1),
@@ -257,24 +441,22 @@ int cmdRewrite(const Args &A) {
               (unsigned long long)Out->NewFileSize, Out->sizePct(),
               Out->Grouping.MappingCount,
               (unsigned long long)Out->Grouping.PhysBytes);
-  if (Opts.Strict || Opts.Verify)
+  if (Opts.Verify.Strict || Opts.Verify.Enabled)
     std::printf("  %s\n", Out->Verify.summary().c_str());
-  if (A.has("timings") || Opts.Jobs != 1) {
-    const frontend::PhaseTimings &T = Out->Timings;
+  if (A.has("timings") || Opts.Parallel.Jobs != 1) {
+    const obs::PhaseProfile &P = Out->Profile;
     std::printf("  shards %zu (%zu redone), %u job(s)\n", Out->ShardCount,
                 Out->ShardsRedone, Out->JobsUsed);
     std::printf("  phases: disasm %.2fms, patch %.2fms, merge %.2fms, "
                 "group %.2fms, write %.2fms, verify %.2fms, total %.2fms\n",
-                T.DisasmMs, T.PatchMs, T.MergeMs, T.GroupMs, T.WriteMs,
-                T.VerifyMs, T.TotalMs);
+                P.ms("disasm"), P.ms("patch"), P.ms("merge"), P.ms("group"),
+                P.ms("write"), P.ms("verify"), P.TotalMs);
   }
   return 0;
 }
 
 int cmdRun(const Args &A) {
-  if (A.Positional.empty())
-    return usage();
-  auto Img = loadInput(A.Positional[0]);
+  auto Img = loadInput(A.positional()[0]);
   if (!Img.isOk()) {
     std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
     return 1;
@@ -283,7 +465,7 @@ int cmdRun(const Args &A) {
   RC.UseLowFat = A.has("lowfat");
   RC.MaxInsns = A.getInt("max-insns", 100'000'000);
   workload::RunOutcome R = workload::runImage(*Img, RC);
-  std::printf("%s: %s\n", A.Positional[0].c_str(),
+  std::printf("%s: %s\n", A.positional()[0].c_str(),
               R.ok() ? "finished" : R.Result.Error.c_str());
   std::printf("  result rax = 0x%llx, %llu instructions, cost %llu\n",
               (unsigned long long)R.Rax,
@@ -295,22 +477,316 @@ int cmdRun(const Args &A) {
   return R.ok() ? 0 : 1;
 }
 
+//===----------------------------------------------------------------------===//
+// stats: trace validation + Table-1-style aggregation
+//===----------------------------------------------------------------------===//
+
+/// Field requirement kinds for the trace schema.
+enum class FieldKind { Num, Str, Bool, Hex };
+
+struct FieldSpec {
+  const char *Name;
+  FieldKind Kind;
+  bool Required;
+};
+
+struct EventSpec {
+  const char *Ev;
+  const FieldSpec *Fields;
+  size_t NumFields;
+};
+
+constexpr FieldSpec MetaFields[] = {
+    {"version", FieldKind::Num, true}, {"sites", FieldKind::Num, true}};
+constexpr FieldSpec AttemptFields[] = {
+    {"site", FieldKind::Hex, true},    {"tactic", FieldKind::Str, true},
+    {"ok", FieldKind::Bool, true},     {"reason", FieldKind::Str, false},
+    {"tramp", FieldKind::Hex, false},  {"pads", FieldKind::Num, false},
+    {"pun_bytes", FieldKind::Num, false}, {"victim", FieldKind::Hex, false},
+    {"rescue", FieldKind::Bool, false}};
+constexpr FieldSpec SiteFields[] = {
+    {"addr", FieldKind::Hex, true},
+    {"tactic", FieldKind::Str, true},
+    {"tramp", FieldKind::Hex, false},
+    {"reason", FieldKind::Str, false}};
+constexpr FieldSpec RescueFields[] = {{"victim", FieldKind::Hex, true},
+                                      {"via", FieldKind::Str, true},
+                                      {"tramp", FieldKind::Hex, true}};
+constexpr FieldSpec ShardFields[] = {
+    {"id", FieldKind::Num, true},     {"sites", FieldKind::Num, true},
+    {"lo", FieldKind::Hex, true},     {"hi", FieldKind::Hex, true},
+    {"window", FieldKind::Hex, true}, {"redo", FieldKind::Bool, true}};
+constexpr FieldSpec GroupFields[] = {
+    {"virtual_blocks", FieldKind::Num, true},
+    {"phys_blocks", FieldKind::Num, true},
+    {"phys_bytes", FieldKind::Num, true},
+    {"mappings", FieldKind::Num, true}};
+constexpr FieldSpec VerifyFields[] = {{"kind", FieldKind::Str, true},
+                                      {"addr", FieldKind::Hex, true},
+                                      {"msg", FieldKind::Str, true}};
+constexpr FieldSpec SpanFields[] = {{"name", FieldKind::Str, true},
+                                    {"shard", FieldKind::Num, false},
+                                    {"ms", FieldKind::Num, true}};
+constexpr FieldSpec SummaryFields[] = {
+    {"sites", FieldKind::Num, true},      {"b1", FieldKind::Num, true},
+    {"b2", FieldKind::Num, true},         {"t1", FieldKind::Num, true},
+    {"t2", FieldKind::Num, true},         {"t3", FieldKind::Num, true},
+    {"b0", FieldKind::Num, true},         {"failed", FieldKind::Num, true},
+    {"evictions", FieldKind::Num, true},  {"rescued", FieldKind::Num, true},
+    {"tramp_bytes", FieldKind::Num, true},
+    {"succ_pct", FieldKind::Num, true}};
+
+constexpr EventSpec Events[] = {
+    {"meta", MetaFields, std::size(MetaFields)},
+    {"attempt", AttemptFields, std::size(AttemptFields)},
+    {"site", SiteFields, std::size(SiteFields)},
+    {"rescue", RescueFields, std::size(RescueFields)},
+    {"shard", ShardFields, std::size(ShardFields)},
+    {"group", GroupFields, std::size(GroupFields)},
+    {"verify", VerifyFields, std::size(VerifyFields)},
+    {"span", SpanFields, std::size(SpanFields)},
+    {"summary", SummaryFields, std::size(SummaryFields)},
+};
+
+bool isHexString(const obs::JsonValue &V) {
+  if (!V.isString() || V.Str.size() < 3 || V.Str.rfind("0x", 0) != 0)
+    return false;
+  for (size_t I = 2; I != V.Str.size(); ++I)
+    if (!std::isxdigit(static_cast<unsigned char>(V.Str[I])))
+      return false;
+  return true;
+}
+
+/// Validates one parsed event object against the schema table; returns an
+/// empty string on success, else the violation.
+std::string validateEvent(const std::map<std::string, obs::JsonValue> &Obj) {
+  auto EvIt = Obj.find("ev");
+  if (EvIt == Obj.end() || !EvIt->second.isString())
+    return "missing/non-string \"ev\" field";
+  const EventSpec *Spec = nullptr;
+  for (const EventSpec &E : Events)
+    if (EvIt->second.Str == E.Ev) {
+      Spec = &E;
+      break;
+    }
+  if (!Spec)
+    return "unknown event type \"" + EvIt->second.Str + "\"";
+  for (size_t I = 0; I != Spec->NumFields; ++I) {
+    const FieldSpec &F = Spec->Fields[I];
+    auto It = Obj.find(F.Name);
+    if (It == Obj.end()) {
+      if (F.Required)
+        return std::string(Spec->Ev) + ": missing field \"" + F.Name + "\"";
+      continue;
+    }
+    const obs::JsonValue &V = It->second;
+    bool TypeOk = false;
+    switch (F.Kind) {
+    case FieldKind::Num:
+      TypeOk = V.isNumber();
+      break;
+    case FieldKind::Str:
+      TypeOk = V.isString();
+      break;
+    case FieldKind::Bool:
+      TypeOk = V.isBool();
+      break;
+    case FieldKind::Hex:
+      TypeOk = isHexString(V);
+      break;
+    }
+    if (!TypeOk)
+      return std::string(Spec->Ev) + ": field \"" + F.Name +
+             "\" has the wrong type";
+  }
+  for (const auto &[K, V] : Obj) {
+    if (K == "ev")
+      continue;
+    bool Known = false;
+    for (size_t I = 0; I != Spec->NumFields; ++I)
+      if (K == Spec->Fields[I].Name)
+        Known = true;
+    if (!Known)
+      return std::string(Spec->Ev) + ": unknown field \"" + K + "\"";
+  }
+  return "";
+}
+
+int cmdStats(const Args &A) {
+  std::ifstream F(A.positional()[0], std::ios::binary);
+  if (!F) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 A.positional()[0].c_str());
+    return 1;
+  }
+
+  // Final tactic per site, assembled from "site" events with "rescue"
+  // events applied on top (a rescued victim's failure is superseded by the
+  // eviction jump that reused its pending patch trampoline).
+  std::map<std::string, uint64_t> SiteTactic; // tactic name -> count
+  std::map<std::string, uint64_t> FailReasons;
+  std::map<std::string, uint64_t> AttemptsOk, AttemptsFailed;
+  uint64_t Lines = 0, Sites = 0, MetaSites = 0, Shards = 0, Redone = 0;
+  uint64_t Rescues = 0, VerifyFindings = 0;
+  bool SawSummary = false, SawMeta = false;
+
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(F, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    auto Obj = obs::parseFlatObject(Line);
+    if (!Obj.has_value()) {
+      std::fprintf(stderr, "error: %s:%zu: malformed JSONL line\n",
+                   A.positional()[0].c_str(), LineNo);
+      return 1;
+    }
+    std::string Violation = validateEvent(*Obj);
+    if (!Violation.empty()) {
+      std::fprintf(stderr, "error: %s:%zu: schema violation: %s\n",
+                   A.positional()[0].c_str(), LineNo, Violation.c_str());
+      return 1;
+    }
+    ++Lines;
+    const std::string &Ev = (*Obj)["ev"].Str;
+    if (Ev == "meta") {
+      SawMeta = true;
+      MetaSites = (*Obj)["sites"].asU64();
+    } else if (Ev == "attempt") {
+      auto &Bucket = (*Obj)["ok"].B ? AttemptsOk : AttemptsFailed;
+      ++Bucket[(*Obj)["tactic"].Str];
+    } else if (Ev == "site") {
+      ++Sites;
+      ++SiteTactic[(*Obj)["tactic"].Str];
+      auto It = Obj->find("reason");
+      if (It != Obj->end())
+        ++FailReasons[It->second.Str];
+    } else if (Ev == "rescue") {
+      ++Rescues;
+      // The victim's own "site" event said "failed"; the rescue flips it.
+      if (SiteTactic["failed"] == 0) {
+        std::fprintf(stderr,
+                     "error: %s:%zu: rescue event without a failed site\n",
+                     A.positional()[0].c_str(), LineNo);
+        return 1;
+      }
+      --SiteTactic["failed"];
+      ++SiteTactic[(*Obj)["via"].Str];
+    } else if (Ev == "shard") {
+      ++Shards;
+      if ((*Obj)["redo"].B)
+        ++Redone;
+    } else if (Ev == "verify") {
+      ++VerifyFindings;
+    } else if (Ev == "summary") {
+      SawSummary = true;
+      // Cross-check: the summary's per-tactic counts must agree with the
+      // site events before it (with rescues applied on top).
+      static const struct {
+        const char *SummaryKey;
+        const char *SiteTacticName;
+      } Keys[] = {{"b1", "B1"}, {"b2", "B2"}, {"t1", "T1"},     {"t2", "T2"},
+                  {"t3", "T3"}, {"b0", "B0"}, {"failed", "failed"}};
+      for (const auto &K : Keys) {
+        uint64_t Expect = (*Obj)[K.SummaryKey].asU64();
+        auto It = SiteTactic.find(K.SiteTacticName);
+        uint64_t Got = It == SiteTactic.end() ? 0 : It->second;
+        if (Expect != Got) {
+          std::fprintf(stderr,
+                       "error: summary reports %s=%llu but the site/rescue "
+                       "events add up to %llu\n",
+                       K.SummaryKey, (unsigned long long)Expect,
+                       (unsigned long long)Got);
+          return 1;
+        }
+      }
+      if ((*Obj)["sites"].asU64() != Sites) {
+        std::fprintf(stderr,
+                     "error: summary reports %llu sites but the trace "
+                     "carries %llu site events\n",
+                     (unsigned long long)(*Obj)["sites"].asU64(),
+                     (unsigned long long)Sites);
+        return 1;
+      }
+    }
+  }
+
+  if (!SawMeta || MetaSites != Sites) {
+    std::fprintf(stderr,
+                 "error: meta/site mismatch: meta says %llu, trace carries "
+                 "%llu site events\n",
+                 (unsigned long long)MetaSites, (unsigned long long)Sites);
+    return 1;
+  }
+
+  auto Pct = [&](uint64_t N) {
+    return Sites == 0 ? 0.0 : 100.0 * static_cast<double>(N) / Sites;
+  };
+  auto Count = [&](const char *K) -> uint64_t {
+    auto It = SiteTactic.find(K);
+    return It == SiteTactic.end() ? 0 : It->second;
+  };
+
+  std::printf("%s: %llu events, %llu sites, %llu shards (%llu redone)\n",
+              A.positional()[0].c_str(), (unsigned long long)Lines,
+              (unsigned long long)Sites, (unsigned long long)Shards,
+              (unsigned long long)Redone);
+  std::printf("%8s %10s %8s\n", "tactic", "sites", "%");
+  for (const char *T : {"B1", "B2", "T1", "T2", "T3", "B0", "failed"})
+    std::printf("%8s %10llu %7.2f%%\n", T, (unsigned long long)Count(T),
+                Pct(Count(T)));
+  uint64_t Succeeded = Sites - Count("failed") - Count("B0");
+  std::printf("%8s %10llu %7.2f%%  (base %.2f%%, rescued %llu)\n", "ok",
+              (unsigned long long)Succeeded, Pct(Succeeded),
+              Pct(Count("B1") + Count("B2")), (unsigned long long)Rescues);
+  if (!AttemptsFailed.empty() || !AttemptsOk.empty()) {
+    std::printf("attempts:");
+    for (const auto &[T, N] : AttemptsOk)
+      std::printf(" %s ok=%llu", T.c_str(), (unsigned long long)N);
+    for (const auto &[T, N] : AttemptsFailed)
+      std::printf(" %s fail=%llu", T.c_str(), (unsigned long long)N);
+    std::printf("\n");
+  }
+  if (!FailReasons.empty()) {
+    std::printf("failure reasons:");
+    for (const auto &[R, N] : FailReasons)
+      std::printf(" %s=%llu", R.c_str(), (unsigned long long)N);
+    std::printf("\n");
+  }
+  if (VerifyFindings)
+    std::printf("verifier findings: %llu\n",
+                (unsigned long long)VerifyFindings);
+  if (!SawSummary)
+    std::printf("(no trailing summary event)\n");
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc < 2)
     return usage();
   std::string Cmd = Argv[1];
-  Args A(Argc, Argv, 2);
-  if (Cmd == "gen")
-    return cmdGen(A);
-  if (Cmd == "info")
-    return cmdInfo(A);
-  if (Cmd == "disasm")
-    return cmdDisasm(A);
-  if (Cmd == "rewrite")
-    return cmdRewrite(A);
-  if (Cmd == "run")
-    return cmdRun(A);
+  for (const CommandSpec &C : Commands) {
+    if (Cmd != C.Name)
+      continue;
+    Args A(C, Argc, Argv, 2);
+    if (!A.ok())
+      return 2;
+    if (Cmd == "gen")
+      return cmdGen(A);
+    if (Cmd == "info")
+      return cmdInfo(A);
+    if (Cmd == "disasm")
+      return cmdDisasm(A);
+    if (Cmd == "rewrite")
+      return cmdRewrite(A);
+    if (Cmd == "run")
+      return cmdRun(A);
+    if (Cmd == "stats")
+      return cmdStats(A);
+  }
+  std::fprintf(stderr, "error: unknown command \"%s\"\n", Cmd.c_str());
   return usage();
 }
