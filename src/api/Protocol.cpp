@@ -1,0 +1,140 @@
+//===- api/Protocol.cpp ---------------------------------------*- C++ -*-===//
+
+#include "api/Protocol.h"
+
+#include "support/Format.h"
+
+using namespace e9;
+using namespace e9::api;
+
+namespace {
+
+/// Field value kinds the schema can require. U64 accepts both the
+/// integral-number and "0x..." hex-string renderings (jsonToU64).
+enum class FieldKind { Str, U64 };
+
+struct FieldSpec {
+  const char *Name;
+  FieldKind Kind;
+  bool Required;
+};
+
+struct MessageSpec {
+  const char *TypeName;
+  MsgType Type;
+  const FieldSpec *Fields;
+  size_t NumFields;
+};
+
+constexpr FieldSpec BinaryFields[] = {
+    {"path", FieldKind::Str, true},
+};
+constexpr FieldSpec TemplateFields[] = {
+    {"name", FieldKind::Str, true},
+    {"body", FieldKind::Str, true},
+};
+constexpr FieldSpec PatchFields[] = {
+    {"template", FieldKind::Str, true},
+    // Exactly one of addr/select is required; enforced below, the table
+    // cannot express either-or.
+    {"addr", FieldKind::U64, false},
+    {"select", FieldKind::Str, false},
+    {"arg", FieldKind::U64, false},
+};
+constexpr FieldSpec OptionFields[] = {
+    {"name", FieldKind::Str, true},
+    {"value", FieldKind::Str, true},
+};
+constexpr FieldSpec EmitFields[] = {
+    {"path", FieldKind::Str, true},
+};
+
+constexpr MessageSpec Specs[] = {
+    {"binary", MsgType::Binary, BinaryFields, std::size(BinaryFields)},
+    {"template", MsgType::Template, TemplateFields,
+     std::size(TemplateFields)},
+    {"patch", MsgType::Patch, PatchFields, std::size(PatchFields)},
+    {"option", MsgType::Option, OptionFields, std::size(OptionFields)},
+    {"emit", MsgType::Emit, EmitFields, std::size(EmitFields)},
+};
+
+} // namespace
+
+const char *api::msgTypeName(MsgType T) {
+  for (const MessageSpec &S : Specs)
+    if (S.Type == T)
+      return S.TypeName;
+  return "?";
+}
+
+Result<Message> api::parseMessage(std::string_view Line) {
+  using RM = Result<Message>;
+  auto Obj = obs::parseFlatObject(Line);
+  if (!Obj.has_value())
+    return RM::error("malformed JSONL request (not a flat JSON object)");
+
+  auto TypeIt = Obj->find("type");
+  if (TypeIt == Obj->end() || !TypeIt->second.isString())
+    return RM::error("request is missing the string \"type\" field");
+
+  const MessageSpec *Spec = nullptr;
+  for (const MessageSpec &S : Specs)
+    if (TypeIt->second.Str == S.TypeName) {
+      Spec = &S;
+      break;
+    }
+  if (!Spec)
+    return RM::error(format("unknown message type \"%s\"",
+                            TypeIt->second.Str.c_str()));
+
+  for (size_t I = 0; I != Spec->NumFields; ++I) {
+    const FieldSpec &F = Spec->Fields[I];
+    auto It = Obj->find(F.Name);
+    if (It == Obj->end()) {
+      if (F.Required)
+        return RM::error(format("%s: missing required field \"%s\"",
+                                Spec->TypeName, F.Name));
+      continue;
+    }
+    bool TypeOk = false;
+    switch (F.Kind) {
+    case FieldKind::Str:
+      TypeOk = It->second.isString();
+      break;
+    case FieldKind::U64:
+      TypeOk = obs::jsonToU64(It->second).has_value();
+      break;
+    }
+    if (!TypeOk)
+      return RM::error(
+          format("%s: field \"%s\" must be %s", Spec->TypeName, F.Name,
+                 F.Kind == FieldKind::Str
+                     ? "a string"
+                     : "an unsigned integer or a \"0x...\" hex string"));
+  }
+  for (const auto &[K, V] : *Obj) {
+    if (K == "type")
+      continue;
+    bool Known = false;
+    for (size_t I = 0; I != Spec->NumFields; ++I)
+      if (K == Spec->Fields[I].Name)
+        Known = true;
+    if (!Known)
+      return RM::error(
+          format("%s: unknown field \"%s\"", Spec->TypeName, K.c_str()));
+  }
+
+  if (Spec->Type == MsgType::Patch) {
+    bool HasAddr = Obj->count("addr") != 0;
+    bool HasSelect = Obj->count("select") != 0;
+    if (HasAddr == HasSelect)
+      return RM::error(
+          "patch: exactly one of \"addr\" and \"select\" is required");
+  }
+
+  Message M;
+  M.Type = Spec->Type;
+  M.Fields = std::move(*Obj);
+  M.Fields.erase("type");
+  return M;
+}

@@ -1,0 +1,77 @@
+//===- api/Protocol.h - JSONL patch-request protocol ------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The patch-request protocol that decouples instrumentation frontends
+/// from the rewriting backend (the analog of E9Patch's e9tool->e9patch
+/// JSONL stream). A script is a stream of single-line flat JSON objects,
+/// one message per line; a `type` field selects the schema:
+///
+///   {"type":"binary","path":"in.elf"}             begin a job
+///   {"type":"template","name":"N","body":"..."}   define a template
+///   {"type":"patch","template":"N",
+///    "select":"jumps" | "addr":"0x...",
+///    "arg":"0x..."}                               request one patch set
+///   {"type":"option","name":"jobs","value":"4"}   set a rewrite option
+///   {"type":"emit","path":"out.elf"}              rewrite + write output
+///
+/// Parsing reuses the obs/JsonWriter flat-object parser; validation is
+/// table-driven (per-message required/optional fields with kinds, same
+/// fail-closed style as `e9tool stats`): unknown message types, unknown
+/// fields, missing required fields and wrongly-typed values are all hard
+/// errors — a request that cannot be proven well-formed is never acted on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_API_PROTOCOL_H
+#define E9_API_PROTOCOL_H
+
+#include "obs/JsonWriter.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace e9 {
+namespace api {
+
+/// The five request message types.
+enum class MsgType { Binary, Template, Patch, Option, Emit };
+const char *msgTypeName(MsgType T);
+
+/// One schema-validated request message. Field accessors assume the
+/// schema already passed, so they only see fields of the declared kind.
+struct Message {
+  MsgType Type = MsgType::Binary;
+  std::map<std::string, obs::JsonValue> Fields;
+
+  bool has(const char *Key) const { return Fields.count(Key) != 0; }
+  /// The string value of \p Key ("" when absent).
+  std::string str(const char *Key) const {
+    auto It = Fields.find(Key);
+    return It == Fields.end() ? std::string() : It->second.Str;
+  }
+  /// The u64 value of \p Key (validated by the schema; nullopt if absent).
+  std::optional<uint64_t> u64(const char *Key) const {
+    auto It = Fields.find(Key);
+    if (It == Fields.end())
+      return std::nullopt;
+    return obs::jsonToU64(It->second);
+  }
+};
+
+/// Parses and schema-validates one request line. Fail closed: any
+/// malformed JSON, unknown type/field, missing required field or
+/// wrongly-typed value is an error naming the violation.
+Result<Message> parseMessage(std::string_view Line);
+
+} // namespace api
+} // namespace e9
+
+#endif // E9_API_PROTOCOL_H

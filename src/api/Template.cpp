@@ -1,0 +1,368 @@
+//===- api/Template.cpp ---------------------------------------*- C++ -*-===//
+
+#include "api/Template.h"
+
+#include "support/Format.h"
+#include "x86/Assembler.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace e9;
+using namespace e9::api;
+using Program = core::TemplateProgram;
+using Op = core::TemplateProgram::Op;
+
+namespace {
+
+bool isWs(char C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\r';
+}
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && isWs(S.front()))
+    S.remove_prefix(1);
+  while (!S.empty() && isWs(S.back()))
+    S.remove_suffix(1);
+  return S;
+}
+
+/// Splits \p S on \p Sep, trimming each piece (empty pieces preserved so
+/// "1,,2" is caught as an error by the piece parser).
+std::vector<std::string_view> split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Out;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Out.push_back(trim(S.substr(Start, I - Start)));
+      Start = I + 1;
+    }
+  }
+  return Out;
+}
+
+bool parseInt(std::string_view S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  std::string Copy(S);
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Copy.c_str(), &End, 0);
+  return errno == 0 && End == Copy.c_str() + Copy.size();
+}
+
+/// Parses an operand: integer literal, `$site` or `$arg`.
+bool parseOperand(std::string_view S, Op::Bind &B, uint64_t &Imm) {
+  S = trim(S);
+  if (S == "$site") {
+    B = Op::Bind::Site;
+    return true;
+  }
+  if (S == "$arg") {
+    B = Op::Bind::Arg;
+    return true;
+  }
+  if (!parseInt(S, Imm))
+    return false;
+  B = Op::Bind::Imm;
+  return true;
+}
+
+std::optional<x86::Reg> parseReg(std::string_view S) {
+  for (unsigned E = 0; E != 16; ++E) {
+    x86::Reg R = x86::regFromEncoding(static_cast<uint8_t>(E));
+    if (S == x86::regName(R))
+      return R;
+  }
+  return std::nullopt;
+}
+
+/// The compiler proper: one instance per compileTemplate call.
+struct Compiler {
+  const std::string &Name;
+  std::string_view Body;
+  size_t I = 0;
+  Program Prog;
+  std::string Err;
+
+  Compiler(const std::string &Name, std::string_view Body)
+      : Name(Name), Body(Body) {
+    Prog.Name = Name;
+  }
+
+  bool fail(std::string Msg) {
+    Err = format("template \"%s\": %s", Name.c_str(), Msg.c_str());
+    return false;
+  }
+
+  void skipWs() {
+    while (I < Body.size() && isWs(Body[I]))
+      ++I;
+  }
+
+  /// Emits position-independent bytes, merging into a preceding Raw op so
+  /// adjacent fixed items cost one op.
+  void emitRaw(const std::vector<uint8_t> &Bytes) {
+    if (!Prog.Ops.empty() && Prog.Ops.back().K == Op::Kind::Raw) {
+      Prog.Ops.back().Raw.insert(Prog.Ops.back().Raw.end(), Bytes.begin(),
+                                 Bytes.end());
+      return;
+    }
+    Op O;
+    O.K = Op::Kind::Raw;
+    O.Raw = Bytes;
+    Prog.Ops.push_back(std::move(O));
+  }
+
+  void emitOp(Op::Kind K, Op::Bind B, uint64_t Imm,
+              x86::Reg R = x86::Reg::RAX) {
+    Op O;
+    O.K = K;
+    O.B = B;
+    O.Imm = Imm;
+    O.R = R;
+    Prog.Ops.push_back(std::move(O));
+  }
+
+  /// Parses one `$name` or `$name(args)` item. On entry I points at '$'.
+  bool item() {
+    size_t Start = ++I; // past '$'
+    while (I < Body.size() &&
+           std::isalpha(static_cast<unsigned char>(Body[I])))
+      ++I;
+    std::string_view Macro = Body.substr(Start, I - Start);
+    std::string_view Args;
+    bool HasArgs = I < Body.size() && Body[I] == '(';
+    if (HasArgs) {
+      size_t Close = Body.find(')', I);
+      if (Close == std::string_view::npos)
+        return fail(format("$%.*s: missing closing ')'",
+                           static_cast<int>(Macro.size()), Macro.data()));
+      Args = Body.substr(I + 1, Close - I - 1);
+      I = Close + 1;
+    }
+
+    auto needArgs = [&](bool Want) {
+      if (Want == HasArgs)
+        return true;
+      return fail(format("$%.*s %s an argument list",
+                         static_cast<int>(Macro.size()), Macro.data(),
+                         Want ? "requires" : "does not take"));
+    };
+    auto operandOf = [&](Op::Bind &B, uint64_t &Imm) {
+      if (parseOperand(Args, B, Imm))
+        return true;
+      return fail(format("$%.*s: malformed operand \"%.*s\" (want an "
+                         "integer, $site or $arg)",
+                         static_cast<int>(Macro.size()), Macro.data(),
+                         static_cast<int>(Args.size()), Args.data()));
+    };
+
+    if (Macro == "instruction") {
+      if (!needArgs(false))
+        return false;
+      emitOp(Op::Kind::Displaced, Op::Bind::Imm, 0);
+      return true;
+    }
+    if (Macro == "continue") {
+      if (!needArgs(false))
+        return false;
+      emitOp(Op::Kind::JumpBack, Op::Bind::Imm, 0);
+      return true;
+    }
+    if (Macro == "bytes") {
+      if (!needArgs(true))
+        return false;
+      std::vector<uint8_t> Bytes;
+      for (std::string_view Piece : split(Args, ',')) {
+        uint64_t V = 0;
+        if (!parseInt(Piece, V) || V > 0xff)
+          return fail(format("$bytes: \"%.*s\" is not a byte value",
+                             static_cast<int>(Piece.size()), Piece.data()));
+        Bytes.push_back(static_cast<uint8_t>(V));
+      }
+      emitRaw(Bytes);
+      return true;
+    }
+    if (Macro == "hex") {
+      if (!needArgs(true))
+        return false;
+      std::vector<uint8_t> Bytes;
+      unsigned Nibble = 0, Pending = 0;
+      for (char C : Args) {
+        if (isWs(C))
+          continue;
+        if (!std::isxdigit(static_cast<unsigned char>(C)))
+          return fail(format("$hex: '%c' is not a hex digit", C));
+        unsigned D = C <= '9'   ? static_cast<unsigned>(C - '0')
+                     : C <= 'F' ? static_cast<unsigned>(C - 'A' + 10)
+                                : static_cast<unsigned>(C - 'a' + 10);
+        Pending = (Pending << 4) | D;
+        if (++Nibble % 2 == 0)
+          Bytes.push_back(static_cast<uint8_t>(Pending)), Pending = 0;
+      }
+      if (Nibble == 0)
+        return fail("$hex: empty byte string");
+      if (Nibble % 2 != 0)
+        return fail("$hex: odd nibble count (bytes are two digits each)");
+      emitRaw(Bytes);
+      return true;
+    }
+    if (Macro == "counter" || Macro == "hook" || Macro == "jump") {
+      if (!needArgs(true))
+        return false;
+      Op::Bind B = Op::Bind::Imm;
+      uint64_t Imm = 0;
+      if (!operandOf(B, Imm))
+        return false;
+      if (Macro == "counter") {
+        if (B == Op::Bind::Imm && Imm >= (1ull << 31))
+          return fail(format("$counter: %s is not abs32-addressable",
+                             hex(Imm).c_str()));
+        emitOp(Op::Kind::CounterInc, B, Imm);
+      } else if (Macro == "hook") {
+        emitOp(Op::Kind::HookCall, B, Imm);
+      } else {
+        emitOp(Op::Kind::JumpTo, B, Imm);
+      }
+      return true;
+    }
+    if (Macro == "asm") {
+      if (!needArgs(true))
+        return false;
+      return asmBlock(Args);
+    }
+    return fail(format("unknown macro $%.*s",
+                       static_cast<int>(Macro.size()), Macro.data()));
+  }
+
+  /// Assembles a `;`-separated instruction list. Fixed encodings become
+  /// Raw bytes (via x86::Assembler, so they stay canonical); operands
+  /// naming $site/$arg stay symbolic ops.
+  bool asmBlock(std::string_view Text) {
+    for (std::string_view Line : split(Text, ';')) {
+      if (Line.empty())
+        return fail("$asm: empty instruction");
+      size_t Sp = Line.find_first_of(" \t");
+      std::string_view Mn = Line.substr(0, Sp);
+      std::string_view Rest =
+          Sp == std::string_view::npos ? "" : trim(Line.substr(Sp));
+
+      // The base address is irrelevant: only position-independent
+      // encodings are emitted here.
+      x86::Assembler A(0);
+      if (Mn == "nop" || Mn == "int3" || Mn == "ud2" || Mn == "pushfq" ||
+          Mn == "popfq") {
+        if (!Rest.empty())
+          return fail(format("$asm: %.*s takes no operand",
+                             static_cast<int>(Mn.size()), Mn.data()));
+        if (Mn == "nop")
+          A.nop();
+        else if (Mn == "int3")
+          A.int3();
+        else if (Mn == "ud2")
+          A.ud2();
+        else if (Mn == "pushfq")
+          A.pushfq();
+        else
+          A.popfq();
+        emitRaw(A.take());
+        continue;
+      }
+      if (Mn == "push" || Mn == "pop") {
+        auto R = parseReg(Rest);
+        if (!R)
+          return fail(format("$asm: bad register \"%.*s\"",
+                             static_cast<int>(Rest.size()), Rest.data()));
+        if (Mn == "push")
+          A.pushReg(*R);
+        else
+          A.popReg(*R);
+        emitRaw(A.take());
+        continue;
+      }
+      if (Mn == "jmp") {
+        Op::Bind B = Op::Bind::Imm;
+        uint64_t Imm = 0;
+        if (!parseOperand(Rest, B, Imm))
+          return fail(format("$asm: jmp wants an integer, $site or $arg, "
+                             "got \"%.*s\"",
+                             static_cast<int>(Rest.size()), Rest.data()));
+        emitOp(Op::Kind::JumpTo, B, Imm);
+        continue;
+      }
+      if (Mn == "mov") {
+        auto Pieces = split(Rest, ',');
+        if (Pieces.size() != 2)
+          return fail("$asm: mov wants \"mov REG, OPERAND\"");
+        auto R = parseReg(Pieces[0]);
+        if (!R)
+          return fail(format("$asm: bad register \"%.*s\"",
+                             static_cast<int>(Pieces[0].size()),
+                             Pieces[0].data()));
+        Op::Bind B = Op::Bind::Imm;
+        uint64_t Imm = 0;
+        if (!parseOperand(Pieces[1], B, Imm))
+          return fail(format("$asm: bad mov operand \"%.*s\"",
+                             static_cast<int>(Pieces[1].size()),
+                             Pieces[1].data()));
+        if (B == Op::Bind::Imm) {
+          A.movRegImm64(*R, Imm); // fixed: pre-encode
+          emitRaw(A.take());
+        } else {
+          emitOp(Op::Kind::MovRegImm, B, 0, *R);
+        }
+        continue;
+      }
+      return fail(format("$asm: unknown mnemonic \"%.*s\"",
+                         static_cast<int>(Mn.size()), Mn.data()));
+    }
+    return true;
+  }
+
+  bool run() {
+    skipWs();
+    if (I == Body.size())
+      return fail("empty template body");
+    while (I < Body.size()) {
+      if (Body[I] != '$')
+        return fail(format("expected a $macro at \"%s\"",
+                           std::string(Body.substr(I, 12)).c_str()));
+      if (!item())
+        return false;
+      if (I < Body.size() && !isWs(Body[I]))
+        return fail(format("expected whitespace after a macro at \"%s\"",
+                           std::string(Body.substr(I, 12)).c_str()));
+      skipWs();
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+Result<Program> api::compileTemplate(const std::string &Name,
+                                     std::string_view Body) {
+  if (Name.empty())
+    return Result<Program>::error("template name must not be empty");
+  Compiler C(Name, Body);
+  if (!C.run())
+    return Result<Program>::error(C.Err);
+  return std::move(C.Prog);
+}
+
+Status TemplateCache::define(const std::string &Name,
+                             std::string_view Body) {
+  if (Map.count(Name))
+    return Status::error(
+        format("duplicate template name \"%s\" (templates are immutable "
+               "once defined)",
+               Name.c_str()));
+  auto Prog = compileTemplate(Name, Body);
+  if (!Prog.isOk())
+    return Status::error(Prog.reason());
+  Map.emplace(Name,
+              std::make_shared<const core::TemplateProgram>(std::move(*Prog)));
+  return Status::ok();
+}

@@ -1,0 +1,78 @@
+//===- api/Template.h - Trampoline template compiler -----------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the textual trampoline-template grammar carried by protocol
+/// "template" messages into core::TemplateProgram. A template body is a
+/// whitespace-separated sequence of macros:
+///
+///   $instruction          relocated copy of the patched instruction
+///   $continue             jmp back to the instruction after the patch
+///   $bytes(B,B,...)       verbatim bytes (decimal or 0x literals)
+///   $hex(HH HH ...)       verbatim bytes as hex nibble pairs
+///   $counter(OP)          flag-safe `inc qword [abs32 OP]` (red-zone safe)
+///   $hook(OP)             register-preserving host-hook call to OP
+///   $jump(OP)             jmp to the absolute address OP
+///   $asm(INSN; INSN; ...) tiny textual assembler (x86/Assembler subset):
+///                         nop / int3 / ud2 / pushfq / popfq /
+///                         push R / pop R / mov R, OP / jmp OP
+///
+/// where OP is an integer literal, `$site` (the patch address) or `$arg`
+/// (the per-patch-request argument), bound at instantiation time. A
+/// template is compiled once, cached by name, and instantiated per site
+/// as TrampolineKind::Template; when the last item is not a control
+/// transfer an implicit $continue is appended. Every malformed body is a
+/// compile-time error (fail closed), never a silently-wrong trampoline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_API_TEMPLATE_H
+#define E9_API_TEMPLATE_H
+
+#include "core/Trampoline.h"
+#include "support/Status.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace e9 {
+namespace api {
+
+/// Compiles \p Body (the macro grammar above) into a template program
+/// named \p Name. Returns a descriptive error for any malformed input.
+Result<core::TemplateProgram> compileTemplate(const std::string &Name,
+                                              std::string_view Body);
+
+/// The compile-once template cache: protocol "template" messages define
+/// entries, "patch" messages look them up by name. Redefinition is a
+/// protocol error (fail closed) — a frontend that silently replaced a
+/// template mid-stream would make earlier patch requests mean something
+/// else after the fact.
+class TemplateCache {
+public:
+  /// Compiles and stores \p Body under \p Name. Fails on compile errors
+  /// and on duplicate names.
+  Status define(const std::string &Name, std::string_view Body);
+
+  /// Returns the compiled program, or nullptr when undefined.
+  std::shared_ptr<const core::TemplateProgram>
+  find(const std::string &Name) const {
+    auto It = Map.find(Name);
+    return It == Map.end() ? nullptr : It->second;
+  }
+
+  size_t size() const { return Map.size(); }
+
+private:
+  std::map<std::string, std::shared_ptr<const core::TemplateProgram>> Map;
+};
+
+} // namespace api
+} // namespace e9
+
+#endif // E9_API_TEMPLATE_H

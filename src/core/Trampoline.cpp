@@ -96,6 +96,48 @@ unsigned templateOpSize(const core::TemplateOp &Op, unsigned Reloc) {
   return 0;
 }
 
+/// True when a TemplateProgram op ends the trampoline's control flow.
+bool isTerminalOp(const core::TemplateProgram::Op &Op) {
+  using K = core::TemplateProgram::Op::Kind;
+  return Op.K == K::JumpBack || Op.K == K::JumpTo;
+}
+
+/// Size of one TemplateProgram op (Reloc = relocatedSize of the patched
+/// insn). Address-independent, like everything trampolineSize adds up.
+unsigned programOpSize(const core::TemplateProgram::Op &Op, unsigned Reloc) {
+  using K = core::TemplateProgram::Op::Kind;
+  switch (Op.K) {
+  case K::Raw:
+    return static_cast<unsigned>(Op.Raw.size());
+  case K::Displaced:
+    return Reloc;
+  case K::CounterInc:
+    return CounterIncSize;
+  case K::HookCall:
+    return HookCallSize;
+  case K::MovRegImm:
+    return MovImm64Size;
+  case K::JumpBack:
+  case K::JumpTo:
+    return JmpBackSize;
+  }
+  return 0;
+}
+
+/// Resolves a template op's operand for the site being instantiated.
+uint64_t bindOperand(const core::TemplateProgram::Op &Op,
+                     const core::TrampolineSpec &Spec, const Insn &I) {
+  switch (Op.B) {
+  case core::TemplateProgram::Op::Bind::Imm:
+    return Op.Imm;
+  case core::TemplateProgram::Op::Bind::Site:
+    return I.Address;
+  case core::TemplateProgram::Op::Bind::Arg:
+    return Spec.TemplateArg;
+  }
+  return 0;
+}
+
 } // namespace
 
 unsigned core::trampolineSize(const TrampolineSpec &Spec, const Insn &I) {
@@ -133,6 +175,21 @@ unsigned core::trampolineSize(const TrampolineSpec &Spec, const Insn &I) {
     }
     if (!Terminated)
       Total += JmpBackSize; // implicit jump back
+    return Total;
+  }
+  case TrampolineKind::Template: {
+    if (!Spec.Program)
+      return 0; // No compiled program attached.
+    unsigned Total = 0;
+    bool Terminated = false;
+    for (const TemplateProgram::Op &Op : Spec.Program->Ops) {
+      if (Op.K == TemplateProgram::Op::Kind::Displaced && Reloc == 0)
+        return 0;
+      Total += programOpSize(Op, Reloc);
+      Terminated = isTerminalOp(Op);
+    }
+    if (!Terminated)
+      Total += JmpBackSize; // implicit $continue
     return Total;
   }
   }
@@ -239,6 +296,51 @@ Result<std::vector<uint8_t>> core::buildTrampoline(const TrampolineSpec &Spec,
         break;
       case TemplateOp::Kind::JumpTo:
         if (Status S = emitJumpBack(A, Op.Addr); !S)
+          return RV(S);
+        break;
+      }
+      Terminated = isTerminalOp(Op);
+    }
+    if (!Terminated)
+      if (Status S = emitJumpBack(A, Resume); !S)
+        return RV(S);
+    break;
+  }
+
+  case TrampolineKind::Template: {
+    // Program contents come from external patch requests, so every
+    // operand check must be a recoverable error (tactic rollback), never
+    // an assert.
+    bool Terminated = false;
+    for (const TemplateProgram::Op &Op : Spec.Program->Ops) {
+      uint64_t V = bindOperand(Op, Spec, I);
+      switch (Op.K) {
+      case TemplateProgram::Op::Kind::Raw:
+        A.raw(Op.Raw);
+        break;
+      case TemplateProgram::Op::Kind::Displaced:
+        if (Status S = emitDisplaced(); !S)
+          return RV(S);
+        break;
+      case TemplateProgram::Op::Kind::CounterInc:
+        if (V >= (1ull << 31))
+          return RV::error(format(
+              "template %s: counter operand %s is not abs32-addressable",
+              Spec.Program->Name.c_str(), hex(V).c_str()));
+        emitCounterInc(A, V);
+        break;
+      case TemplateProgram::Op::Kind::HookCall:
+        emitHookCall(A, V, I.Address);
+        break;
+      case TemplateProgram::Op::Kind::MovRegImm:
+        A.movRegImm64(Op.R, V);
+        break;
+      case TemplateProgram::Op::Kind::JumpBack:
+        if (Status S = emitJumpBack(A, Resume); !S)
+          return RV(S);
+        break;
+      case TemplateProgram::Op::Kind::JumpTo:
+        if (Status S = emitJumpBack(A, V); !S)
           return RV(S);
         break;
       }

@@ -22,6 +22,8 @@
 #include "x86/Insn.h"
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace e9 {
@@ -50,6 +52,46 @@ enum class TrampolineKind {
   /// of E9Patch's trampoline templates). A trailing JumpBack is appended
   /// automatically when the last op is not already a control transfer.
   Composed,
+  /// A compiled, named template (protocol frontends): a TemplateProgram
+  /// compiled once from the src/api macro grammar and instantiated per
+  /// site with bound operands ($site = patch address, $arg = per-patch
+  /// argument). Same size-precompute / rel32-rollback contract as the
+  /// built-in kinds.
+  Template,
+};
+
+/// A compiled trampoline template, shared by every site that instantiates
+/// it. Produced by the src/api template compiler (from the textual macro
+/// grammar) but consumed here so the core stays frontend-agnostic.
+/// Operands that depend on the patch site stay symbolic until
+/// buildTrampoline binds them; everything else is pre-encoded, so a
+/// program's instantiated size is a pure function of the displaced
+/// instruction (the size-precompute contract).
+struct TemplateProgram {
+  struct Op {
+    enum class Kind {
+      Raw,        ///< Pre-encoded position-independent bytes.
+      Displaced,  ///< Relocated copy of the patched instruction.
+      CounterInc, ///< Flag-safe `inc qword [abs32 operand]`.
+      HookCall,   ///< Register-preserving host-hook call (operand = hook).
+      MovRegImm,  ///< mov r64, imm64 with a bindable operand.
+      JumpBack,   ///< jmp to the instruction after the patch site.
+      JumpTo,     ///< jmp to the absolute address named by the operand.
+    };
+    /// Where the operand value comes from at instantiation time.
+    enum class Bind : uint8_t {
+      Imm,  ///< The literal Imm field (compile-time constant).
+      Site, ///< The patch address.
+      Arg,  ///< TrampolineSpec::TemplateArg (per-patch request argument).
+    };
+    Kind K = Kind::Raw;
+    Bind B = Bind::Imm;
+    std::vector<uint8_t> Raw; ///< Kind::Raw payload.
+    uint64_t Imm = 0;         ///< Bind::Imm operand value.
+    x86::Reg R = x86::Reg::RAX; ///< Kind::MovRegImm destination.
+  };
+  std::string Name;
+  std::vector<Op> Ops;
 };
 
 /// One building block of a Composed trampoline.
@@ -110,6 +152,10 @@ struct TrampolineSpec {
   std::vector<uint8_t> Raw; ///< PatchBytes: replacement code.
   uint64_t JumpBackTarget = 0; ///< PatchBytes: resume address (0 = next insn).
   std::vector<TemplateOp> Ops; ///< Composed: the op sequence.
+  /// Template: the compiled program (shared across sites; never mutated
+  /// after compilation, so concurrent instantiation is safe).
+  std::shared_ptr<const TemplateProgram> Program;
+  uint64_t TemplateArg = 0; ///< Template: the $arg operand for this site.
 };
 
 /// Exact byte size of the instantiated trampoline for instruction \p I.

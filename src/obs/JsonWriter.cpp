@@ -251,3 +251,34 @@ obs::parseFlatObject(std::string_view Line) {
     return std::nullopt;
   return Out;
 }
+
+std::optional<uint64_t> obs::jsonToU64(const JsonValue &V) {
+  if (V.isNumber()) {
+    // Doubles are exact integers only below 2^53; larger values must use
+    // the hex-string form or they would round silently.
+    if (V.Num < 0 || V.Num != static_cast<double>(V.asU64()) ||
+        V.Num >= 9007199254740992.0 /* 2^53 */)
+      return std::nullopt;
+    return V.asU64();
+  }
+  if (V.isString() && V.Str.size() > 2 && V.Str.rfind("0x", 0) == 0) {
+    uint64_t Out = 0;
+    for (size_t I = 2; I != V.Str.size(); ++I) {
+      char C = V.Str[I];
+      unsigned Digit;
+      if (C >= '0' && C <= '9')
+        Digit = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        Digit = 10 + (C - 'a');
+      else if (C >= 'A' && C <= 'F')
+        Digit = 10 + (C - 'A');
+      else
+        return std::nullopt;
+      if (Out >> 60)
+        return std::nullopt; // would overflow 64 bits
+      Out = (Out << 4) | Digit;
+    }
+    return Out;
+  }
+  return std::nullopt;
+}

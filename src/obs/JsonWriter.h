@@ -87,6 +87,13 @@ struct JsonValue {
 std::optional<std::map<std::string, JsonValue>>
 parseFlatObject(std::string_view Line);
 
+/// Reads \p V as an unsigned 64-bit integer: either a non-negative
+/// integral JSON number (exact below 2^53, the double mantissa) or a
+/// "0x..." hex string (full 64-bit range — the form address fields use).
+/// Returns nullopt for anything else; callers treat that as a schema
+/// violation, fail-closed.
+std::optional<uint64_t> jsonToU64(const JsonValue &V);
+
 } // namespace obs
 } // namespace e9
 

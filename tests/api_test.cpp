@@ -1,0 +1,563 @@
+//===- tests/api_test.cpp - patch-request protocol + templates -*- C++ -*-===//
+//
+// The src/api subsystem end to end: the template compiler (grammar,
+// fail-closed compile errors, byte-equivalence with the built-in
+// trampoline kinds), the protocol schema validation, the malformed-
+// request corpus (the protocol analog of the corrupt-ELF corpus), and
+// the batch driver's determinism guarantee: `apply` output is
+// byte-identical to the equivalent direct rewrite for every jobs value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Driver.h"
+#include "api/Protocol.h"
+#include "api/Template.h"
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Runtime.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "support/Format.h"
+#include "vm/Loader.h"
+#include "vm/Vm.h"
+#include "workload/Gen.h"
+#include "x86/Decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace e9;
+using Program = core::TemplateProgram;
+using OpKind = core::TemplateProgram::Op::Kind;
+
+namespace {
+
+std::string tmpPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+std::vector<uint8_t> fileBytes(const std::string &Path) {
+  std::ifstream F(Path, std::ios::binary);
+  EXPECT_TRUE(F) << "cannot read " << Path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(F),
+                              std::istreambuf_iterator<char>());
+}
+
+/// Runs a script through the driver, returning the result + responses.
+struct ScriptRun {
+  api::DriverResult R;
+  std::string Responses;
+
+  explicit ScriptRun(const std::string &Script, unsigned JobsOverride = 0) {
+    std::istringstream In(Script);
+    std::ostringstream Out;
+    api::DriverOptions Opts;
+    Opts.JobsOverride = JobsOverride;
+    R = api::runScript(In, Out, Opts);
+    Responses = Out.str();
+  }
+};
+
+/// Generates a deterministic workload and writes it to a temp file.
+std::string genWorkloadFile(const char *Name, uint64_t Seed,
+                            unsigned Funcs) {
+  workload::WorkloadConfig C;
+  C.Name = Name;
+  C.Seed = Seed;
+  C.NumFuncs = Funcs;
+  workload::Workload W = workload::generateWorkload(C);
+  std::string Path = tmpPath(Name);
+  EXPECT_TRUE(elf::writeFile(W.Image, Path).isOk());
+  return Path;
+}
+
+/// A decoded single instruction to instantiate trampolines against.
+struct OneInsn {
+  std::vector<uint8_t> Bytes;
+  x86::Insn I;
+
+  explicit OneInsn(std::vector<uint8_t> B, uint64_t Addr = 0x401000)
+      : Bytes(std::move(B)) {
+    EXPECT_EQ(x86::decode(Bytes.data(), Bytes.size(), Addr, I),
+              x86::DecodeStatus::Ok);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Template compiler
+//===----------------------------------------------------------------------===//
+
+TEST(TemplateCompiler, CompilesCoreMacros) {
+  auto P = api::compileTemplate("t", "$instruction $continue");
+  ASSERT_TRUE(P.isOk()) << P.reason();
+  ASSERT_EQ(P->Ops.size(), 2u);
+  EXPECT_EQ(P->Ops[0].K, OpKind::Displaced);
+  EXPECT_EQ(P->Ops[1].K, OpKind::JumpBack);
+}
+
+TEST(TemplateCompiler, FixedItemsMergeIntoOneRawOp) {
+  auto P = api::compileTemplate(
+      "t", "$bytes(0x90,144) $hex(90 cc) $asm(nop; push rax; pop r9)");
+  ASSERT_TRUE(P.isOk()) << P.reason();
+  ASSERT_EQ(P->Ops.size(), 1u);
+  EXPECT_EQ(P->Ops[0].K, OpKind::Raw);
+  EXPECT_EQ(P->Ops[0].Raw,
+            (std::vector<uint8_t>{0x90, 0x90, 0x90, 0xcc, 0x90, 0x50, 0x41,
+                                  0x59}));
+}
+
+TEST(TemplateCompiler, SymbolicOperandsStaySymbolic) {
+  auto P = api::compileTemplate(
+      "t", "$counter($arg) $hook(0x5000) $asm(mov rdi, $site) $continue");
+  ASSERT_TRUE(P.isOk()) << P.reason();
+  ASSERT_EQ(P->Ops.size(), 4u);
+  EXPECT_EQ(P->Ops[0].K, OpKind::CounterInc);
+  EXPECT_EQ(P->Ops[0].B, Program::Op::Bind::Arg);
+  EXPECT_EQ(P->Ops[1].K, OpKind::HookCall);
+  EXPECT_EQ(P->Ops[1].B, Program::Op::Bind::Imm);
+  EXPECT_EQ(P->Ops[1].Imm, 0x5000u);
+  EXPECT_EQ(P->Ops[2].K, OpKind::MovRegImm);
+  EXPECT_EQ(P->Ops[2].B, Program::Op::Bind::Site);
+  EXPECT_EQ(P->Ops[2].R, x86::Reg::RDI);
+  EXPECT_EQ(P->Ops[3].K, OpKind::JumpBack);
+}
+
+TEST(TemplateCompiler, RejectsMalformedBodies) {
+  const struct {
+    const char *Body;
+    const char *ErrPart;
+  } Cases[] = {
+      {"", "empty template body"},
+      {"$hex(abc)", "odd nibble"},
+      {"$hex()", "empty byte string"},
+      {"$hex(zz)", "not a hex digit"},
+      {"$bytes(256)", "not a byte value"},
+      {"$bytes(1,,2)", "not a byte value"},
+      {"$frobnicate", "unknown macro"},
+      {"$instruction(5)", "does not take"},
+      {"$counter", "requires"},
+      {"$counter(0x80000000)", "abs32"},
+      {"$counter(banana)", "malformed operand"},
+      {"$jump(", "missing closing"},
+      {"$asm(mov rax)", "mov wants"},
+      {"$asm(mov rip, 1)", "bad register"},
+      {"$asm(jmp banana)", "jmp wants"},
+      {"$asm(frob rax)", "unknown mnemonic"},
+      {"$asm(nop rax)", "takes no operand"},
+      {"$instruction junk", "expected a $macro"},
+      {"$instruction$continue", "expected whitespace"},
+  };
+  for (const auto &C : Cases) {
+    auto P = api::compileTemplate("bad", C.Body);
+    ASSERT_FALSE(P.isOk()) << "body accepted: " << C.Body;
+    EXPECT_NE(P.reason().find(C.ErrPart), std::string::npos)
+        << "body: " << C.Body << "\nerror: " << P.reason();
+  }
+}
+
+TEST(TemplateCache, RejectsDuplicateNames) {
+  api::TemplateCache Cache;
+  ASSERT_TRUE(Cache.define("t", "$instruction $continue").isOk());
+  Status S = Cache.define("t", "$instruction $continue");
+  ASSERT_FALSE(S.isOk());
+  EXPECT_NE(S.reason().find("duplicate template name"), std::string::npos);
+  EXPECT_NE(Cache.find("t"), nullptr);
+  EXPECT_EQ(Cache.find("undefined"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Template instantiation: byte-equivalence with the built-in kinds
+//===----------------------------------------------------------------------===//
+
+TEST(TemplateInstantiation, PassthroughMatchesBuiltinEmpty) {
+  OneInsn In({0x48, 0xc7, 0xc1, 0x11, 0x22, 0x33, 0x00}); // mov rcx, imm32
+  auto P = api::compileTemplate("passthrough", "$instruction $continue");
+  ASSERT_TRUE(P.isOk());
+
+  core::TrampolineSpec T;
+  T.Kind = core::TrampolineKind::Template;
+  T.Program = std::make_shared<const Program>(std::move(*P));
+  core::TrampolineSpec Empty; // Kind::Empty
+
+  constexpr uint64_t TrampAddr = 0x500000;
+  ASSERT_EQ(core::trampolineSize(T, In.I),
+            core::trampolineSize(Empty, In.I));
+  auto A = core::buildTrampoline(T, In.I, In.Bytes.data(), TrampAddr);
+  auto B = core::buildTrampoline(Empty, In.I, In.Bytes.data(), TrampAddr);
+  ASSERT_TRUE(A.isOk() && B.isOk());
+  EXPECT_EQ(*A, *B);
+}
+
+TEST(TemplateInstantiation, CounterTemplateMatchesBuiltinCounter) {
+  OneInsn In({0x48, 0xc7, 0xc1, 0x11, 0x22, 0x33, 0x00});
+  auto P =
+      api::compileTemplate("census", "$counter($arg) $instruction $continue");
+  ASSERT_TRUE(P.isOk());
+
+  constexpr uint64_t Slot = 0x700000;
+  core::TrampolineSpec T;
+  T.Kind = core::TrampolineKind::Template;
+  T.Program = std::make_shared<const Program>(std::move(*P));
+  T.TemplateArg = Slot;
+  core::TrampolineSpec C;
+  C.Kind = core::TrampolineKind::Counter;
+  C.CounterAddr = Slot;
+
+  constexpr uint64_t TrampAddr = 0x500000;
+  ASSERT_EQ(core::trampolineSize(T, In.I), core::trampolineSize(C, In.I));
+  auto A = core::buildTrampoline(T, In.I, In.Bytes.data(), TrampAddr);
+  auto B = core::buildTrampoline(C, In.I, In.Bytes.data(), TrampAddr);
+  ASSERT_TRUE(A.isOk() && B.isOk());
+  EXPECT_EQ(*A, *B);
+}
+
+TEST(TemplateInstantiation, CounterOperandOutsideAbs32FailsRecoverably) {
+  OneInsn In({0x48, 0xc7, 0xc1, 0x11, 0x22, 0x33, 0x00});
+  auto P =
+      api::compileTemplate("census", "$counter($arg) $instruction $continue");
+  ASSERT_TRUE(P.isOk());
+  core::TrampolineSpec T;
+  T.Kind = core::TrampolineKind::Template;
+  T.Program = std::make_shared<const Program>(std::move(*P));
+  T.TemplateArg = 1ull << 32; // not abs32-addressable: must error, not die
+  auto A = core::buildTrampoline(T, In.I, In.Bytes.data(), 0x500000);
+  ASSERT_FALSE(A.isOk());
+  EXPECT_NE(A.reason().find("abs32"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol schema validation
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, AcceptsWellFormedMessages) {
+  auto M = api::parseMessage(
+      R"({"type":"patch","template":"t","addr":"0xdeadbeef","arg":7})");
+  ASSERT_TRUE(M.isOk()) << M.reason();
+  EXPECT_EQ(M->Type, api::MsgType::Patch);
+  EXPECT_EQ(M->u64("addr").value(), 0xdeadbeefull);
+  EXPECT_EQ(M->u64("arg").value(), 7u);
+  EXPECT_EQ(M->str("template"), "t");
+
+  M = api::parseMessage(R"({"type":"binary","path":"a.elf"})");
+  ASSERT_TRUE(M.isOk());
+  EXPECT_EQ(M->Type, api::MsgType::Binary);
+}
+
+TEST(Protocol, RejectsSchemaViolations) {
+  const struct {
+    const char *Line;
+    const char *ErrPart;
+  } Cases[] = {
+      {R"({"type":"binary","path":)", "malformed JSONL"},
+      {R"([1,2])", "malformed JSONL"},
+      {R"({"path":"a.elf"})", "missing the string \"type\""},
+      {R"({"type":"frobnicate"})", "unknown message type"},
+      {R"({"type":"binary"})", "missing required field \"path\""},
+      {R"({"type":"binary","path":"a","extra":1})", "unknown field"},
+      {R"({"type":"patch","template":"t"})", "exactly one of"},
+      {R"({"type":"patch","template":"t","addr":"0x1","select":"jumps"})",
+       "exactly one of"},
+      {R"({"type":"patch","template":"t","addr":"nope"})",
+       "must be an unsigned integer"},
+      {R"({"type":"patch","template":"t","addr":-4})",
+       "must be an unsigned integer"},
+      {R"({"type":"option","name":"jobs"})",
+       "missing required field \"value\""},
+  };
+  for (const auto &C : Cases) {
+    auto M = api::parseMessage(C.Line);
+    ASSERT_FALSE(M.isOk()) << "accepted: " << C.Line;
+    EXPECT_NE(M.reason().find(C.ErrPart), std::string::npos)
+        << "line: " << C.Line << "\nerror: " << M.reason();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-request corpus (the corrupt-ELF pattern for the protocol)
+//===----------------------------------------------------------------------===//
+
+TEST(DriverCorpus, ProtocolViolationsFailClosed) {
+  const std::string Bin = genWorkloadFile("api_corpus.elf", 3, 8);
+  const std::string Prologue =
+      "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+      "{\"type\":\"template\",\"name\":\"ok\",\"body\":\"$instruction "
+      "$continue\"}\n";
+  const struct {
+    const char *Name;
+    std::string Script;
+    const char *ErrPart;
+  } Cases[] = {
+      {"truncated JSON", Prologue + "{\"type\":\"patch\",\"temp",
+       "malformed JSONL"},
+      {"unknown message type", Prologue + "{\"type\":\"rewrite\"}",
+       "unknown message type"},
+      {"duplicate template name",
+       Prologue + "{\"type\":\"template\",\"name\":\"ok\",\"body\":\"$hex("
+                  "90)\"}",
+       "duplicate template name"},
+      {"odd hex nibble count",
+       Prologue + "{\"type\":\"template\",\"name\":\"bad\",\"body\":\"$hex("
+                  "abc) $continue\"}",
+       "odd nibble"},
+      {"unknown template in patch",
+       Prologue + "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":"
+                  "\"ghost\"}",
+       "unknown template"},
+      {"unknown selector",
+       Prologue + "{\"type\":\"patch\",\"select\":\"sideways\","
+                  "\"template\":\"ok\"}",
+       "unknown selector"},
+      {"patch outside a job",
+       "{\"type\":\"template\",\"name\":\"ok\",\"body\":\"$continue\"}\n"
+       "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"ok\"}",
+       "outside a job"},
+      {"unknown option",
+       Prologue + "{\"type\":\"option\",\"name\":\"turbo\",\"value\":\"1\"}",
+       "unknown option"},
+      {"malformed option value",
+       Prologue + "{\"type\":\"option\",\"name\":\"jobs\",\"value\":"
+                  "\"many\"}",
+       "unsigned integer"},
+      {"malformed bool option",
+       Prologue + "{\"type\":\"option\",\"name\":\"strict\",\"value\":"
+                  "\"yes\"}",
+       "or \\\"false\\\""}, // the response JSON-escapes the quotes
+      {"emit without patches",
+       Prologue + "{\"type\":\"emit\",\"path\":\"out.elf\"}",
+       "without any patch requests"},
+      {"binary while job open",
+       Prologue + "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}",
+       "still open"},
+      {"stream ends mid-job", Prologue, "missing emit"},
+  };
+  for (const auto &C : Cases) {
+    ScriptRun Run(C.Script);
+    EXPECT_TRUE(Run.R.ProtocolError) << C.Name;
+    EXPECT_EQ(Run.R.exitCode(), 1) << C.Name;
+    EXPECT_EQ(Run.R.JobsOk, 0u) << C.Name;
+    EXPECT_NE(Run.Responses.find("\"type\":\"error\""), std::string::npos)
+        << C.Name;
+    EXPECT_NE(Run.Responses.find(C.ErrPart), std::string::npos)
+        << C.Name << "\nresponses: " << Run.Responses;
+  }
+}
+
+TEST(DriverCorpus, Rel32OverflowTemplateFailsClosed) {
+  const std::string Bin = genWorkloadFile("api_rel32.elf", 4, 8);
+  // A jmp to an address no trampoline can reach with rel32: every site's
+  // build fails, and with a zero failed-site budget the job fails closed
+  // instead of emitting a partially-patched binary.
+  const std::string Script =
+      "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+      "{\"type\":\"template\",\"name\":\"far\",\"body\":\"$instruction "
+      "$asm(jmp 0x7f0000000000)\"}\n"
+      "{\"type\":\"option\",\"name\":\"max-failed\",\"value\":\"0\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"far\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + tmpPath("api_rel32_out.elf") +
+      "\"}\n";
+  ScriptRun Run(Script);
+  EXPECT_FALSE(Run.R.ProtocolError) << Run.Responses;
+  EXPECT_EQ(Run.R.JobsFailed, 1u);
+  EXPECT_EQ(Run.R.exitCode(), 1);
+  EXPECT_NE(Run.Responses.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(Run.Responses.find("failed-site budget"), std::string::npos)
+      << Run.Responses;
+}
+
+TEST(DriverCorpus, UnreadableBinaryFailsTheJobNotTheStream) {
+  const std::string Bin = genWorkloadFile("api_mixed.elf", 5, 8);
+  const std::string Good = tmpPath("api_mixed_out.elf");
+  const std::string Script =
+      "{\"type\":\"template\",\"name\":\"ok\",\"body\":\"$instruction "
+      "$continue\"}\n"
+      "{\"type\":\"binary\",\"path\":\"/nonexistent/nope.elf\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"ok\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + tmpPath("api_mixed_bad.elf") +
+      "\"}\n"
+      "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"ok\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + Good + "\"}\n";
+  ScriptRun Run(Script);
+  EXPECT_FALSE(Run.R.ProtocolError) << Run.Responses;
+  EXPECT_EQ(Run.R.JobsFailed, 1u);
+  EXPECT_EQ(Run.R.JobsOk, 1u);
+  EXPECT_EQ(Run.R.exitCode(), 1); // a failed job still fails the batch
+  EXPECT_NE(Run.Responses.find("cannot load"), std::string::npos);
+  EXPECT_NE(Run.Responses.find("\"job\":2,\"ok\":true"), std::string::npos)
+      << Run.Responses;
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: apply == direct rewrite, for every jobs value
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The RewriteOptions `e9tool rewrite <in> <out> --strict --jobs=J`
+/// builds (defaults + strict), the comparison baseline for apply.
+frontend::RewriteOptions directOptions(unsigned Jobs) {
+  frontend::RewriteOptions Opts;
+  Opts.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  Opts.withStrict().withJobs(Jobs);
+  return Opts;
+}
+
+} // namespace
+
+TEST(DriverDeterminism, ApplyMatchesDirectRewriteForEveryJobsValue) {
+  const std::string Bin = genWorkloadFile("api_det.elf", 2026, 48);
+  auto Img = elf::readFile(Bin);
+  ASSERT_TRUE(Img.isOk());
+
+  // The direct baseline (jobs value provably does not matter, see
+  // parallel_test; rewrite once at jobs=1).
+  frontend::DisasmResult Dis = frontend::linearDisassemble(*Img);
+  auto Direct = frontend::rewrite(*Img, frontend::selectJumps(Dis.Insns),
+                                  directOptions(1));
+  ASSERT_TRUE(Direct.isOk()) << Direct.reason();
+  const std::string DirectPath = tmpPath("api_det_direct.elf");
+  ASSERT_TRUE(elf::writeFile(Direct->Rewritten, DirectPath).isOk());
+  const std::vector<uint8_t> Want = fileBytes(DirectPath);
+
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    const std::string Out =
+        tmpPath("api_det_out_" + std::to_string(Jobs) + ".elf");
+    const std::string Script =
+        "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+        "{\"type\":\"template\",\"name\":\"passthrough\",\"body\":"
+        "\"$instruction $continue\"}\n"
+        "{\"type\":\"option\",\"name\":\"jobs\",\"value\":\"" +
+        std::to_string(Jobs) + "\"}\n"
+        "{\"type\":\"option\",\"name\":\"strict\",\"value\":\"true\"}\n"
+        "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":"
+        "\"passthrough\"}\n"
+        "{\"type\":\"emit\",\"path\":\"" + Out + "\"}\n";
+    ScriptRun Run(Script);
+    ASSERT_TRUE(Run.R.ok()) << Run.Responses;
+    EXPECT_EQ(fileBytes(Out), Want) << "jobs=" << Jobs;
+    EXPECT_NE(Run.Responses.find("\"ok\":true"), std::string::npos);
+  }
+}
+
+TEST(DriverDeterminism, MultiJobStreamSharesTheTemplateCache) {
+  const std::string BinA = genWorkloadFile("api_multi_a.elf", 11, 12);
+  const std::string BinB = genWorkloadFile("api_multi_b.elf", 12, 12);
+  const std::string OutA = tmpPath("api_multi_a_out.elf");
+  const std::string OutB = tmpPath("api_multi_b_out.elf");
+  // The template is defined once, before the first job; the second job
+  // reuses the cached program.
+  const std::string Script =
+      "{\"type\":\"template\",\"name\":\"passthrough\",\"body\":"
+      "\"$instruction $continue\"}\n"
+      "{\"type\":\"binary\",\"path\":\"" + BinA + "\"}\n"
+      "{\"type\":\"option\",\"name\":\"strict\",\"value\":\"true\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":"
+      "\"passthrough\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + OutA + "\"}\n"
+      "\n"
+      "{\"type\":\"binary\",\"path\":\"" + BinB + "\"}\n"
+      "{\"type\":\"option\",\"name\":\"strict\",\"value\":\"true\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":"
+      "\"passthrough\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + OutB + "\"}\n";
+  ScriptRun Run(Script);
+  ASSERT_TRUE(Run.R.ok()) << Run.Responses;
+  EXPECT_EQ(Run.R.JobsOk, 2u);
+
+  for (const auto &[Bin, Out] : {std::pair(BinA, OutA), {BinB, OutB}}) {
+    auto Img = elf::readFile(Bin);
+    ASSERT_TRUE(Img.isOk());
+    frontend::DisasmResult Dis = frontend::linearDisassemble(*Img);
+    auto Direct = frontend::rewrite(*Img, frontend::selectJumps(Dis.Insns),
+                                    directOptions(1));
+    ASSERT_TRUE(Direct.isOk());
+    const std::string Ref = tmpPath("api_multi_ref.elf");
+    ASSERT_TRUE(elf::writeFile(Direct->Rewritten, Ref).isOk());
+    EXPECT_EQ(fileBytes(Out), fileBytes(Ref));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The Counter payload re-expressed as a user-defined template
+//===----------------------------------------------------------------------===//
+
+TEST(DriverRoundTrip, CounterTemplateCountsBranchesAndPassesVerifier) {
+  workload::WorkloadConfig C;
+  C.Name = "api_census";
+  C.Seed = 7;
+  C.NumFuncs = 10;
+  C.MainIters = 5;
+  workload::Workload W = workload::generateWorkload(C);
+
+  frontend::DisasmResult D = frontend::linearDisassemble(W.Image);
+  auto Locs = frontend::selectJumps(D.Insns);
+  ASSERT_FALSE(Locs.empty());
+  uint64_t CounterBase = frontend::addCounterSegment(W.Image);
+
+  const std::string Bin = tmpPath("api_census.elf");
+  ASSERT_TRUE(elf::writeFile(W.Image, Bin).isOk());
+  const std::string Out = tmpPath("api_census_out.elf");
+
+  // One patch request per site, each binding $arg to its own slot —
+  // exactly the jump_census example, but arriving over the protocol.
+  std::string Script =
+      "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+      "{\"type\":\"template\",\"name\":\"census\",\"body\":"
+      "\"$counter($arg) $instruction $continue\"}\n"
+      "{\"type\":\"option\",\"name\":\"strict\",\"value\":\"true\"}\n"
+      "{\"type\":\"option\",\"name\":\"verify\",\"value\":\"true\"}\n";
+  for (size_t I = 0; I != Locs.size(); ++I)
+    Script += "{\"type\":\"patch\",\"template\":\"census\",\"addr\":\"" +
+              hex(Locs[I]) + "\",\"arg\":\"" + hex(CounterBase + I * 8) +
+              "\"}\n";
+  Script += "{\"type\":\"emit\",\"path\":\"" + Out + "\"}\n";
+
+  ScriptRun Run(Script);
+  ASSERT_TRUE(Run.R.ok()) << Run.Responses;
+  EXPECT_NE(Run.Responses.find("\"verify_findings\":0"), std::string::npos)
+      << Run.Responses;
+
+  // Byte-identical to the in-process per-site Counter rewrite.
+  std::map<uint64_t, uint64_t> SlotOf;
+  for (size_t I = 0; I != Locs.size(); ++I)
+    SlotOf[Locs[I]] = CounterBase + I * 8;
+  frontend::RewriteOptions Opts;
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  Opts.withStrict();
+  Opts.SpecFor = [&](uint64_t Addr) {
+    core::TrampolineSpec S;
+    S.Kind = core::TrampolineKind::Counter;
+    S.CounterAddr = SlotOf.at(Addr);
+    return S;
+  };
+  auto Direct = frontend::rewrite(W.Image, Locs, Opts);
+  ASSERT_TRUE(Direct.isOk()) << Direct.reason();
+  const std::string Ref = tmpPath("api_census_ref.elf");
+  ASSERT_TRUE(elf::writeFile(Direct->Rewritten, Ref).isOk());
+  EXPECT_EQ(fileBytes(Out), fileBytes(Ref));
+
+  // And the instrumented binary actually counts: run it under the VM and
+  // harvest the slots.
+  auto Patched = elf::readFile(Out);
+  ASSERT_TRUE(Patched.isOk());
+  vm::Vm V;
+  lowfat::PlainHeap Heap;
+  lowfat::installPlainHeap(V, Heap);
+  auto L = vm::load(V, *Patched);
+  ASSERT_TRUE(L.isOk()) << L.reason();
+  auto R = V.run(50'000'000);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  uint64_t Total = 0;
+  for (size_t I = 0; I != Locs.size(); ++I) {
+    uint64_t N = 0;
+    (void)V.Mem.read64(CounterBase + I * 8, N);
+    Total += N;
+  }
+  EXPECT_GT(Total, 0u) << "no branch visits recorded";
+}

@@ -452,3 +452,73 @@ TEST(Patcher, T3RescuesFailedVictim) {
   EXPECT_EQ(VV.Core.Gpr[0], 0x12345u & 0xf)
       << "rescued victim's and-$0xf semantics lost";
 }
+
+//===----------------------------------------------------------------------===//
+// TrampolineKind::Template — the compiled-template kind must honor the
+// same size-precompute / rel32-rollback contract as the built-in kinds.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hand-built TemplateProgram (what the src/api compiler would emit),
+/// keeping this test independent of the textual grammar.
+std::shared_ptr<const TemplateProgram>
+makeProgram(std::vector<TemplateProgram::Op> Ops) {
+  auto P = std::make_shared<TemplateProgram>();
+  P->Name = "test";
+  P->Ops = std::move(Ops);
+  return P;
+}
+
+TemplateProgram::Op progOp(TemplateProgram::Op::Kind K, uint64_t Imm = 0) {
+  TemplateProgram::Op Op;
+  Op.K = K;
+  Op.Imm = Imm;
+  return Op;
+}
+
+} // namespace
+
+TEST(Patcher, TemplatePassthroughMatchesBuiltinEmpty) {
+  // `$instruction $continue` and the built-in Empty kind must produce the
+  // same patched text and the same tactic.
+  PatchOptions TOpts;
+  TOpts.Spec.Kind = TrampolineKind::Template;
+  TOpts.Spec.Program =
+      makeProgram({progOp(TemplateProgram::Op::Kind::Displaced),
+                   progOp(TemplateProgram::Op::Kind::JumpBack)});
+  PatchRun T(figure1(), NonPieBase, 0, TOpts);
+  PatchRun E(figure1(), NonPieBase, 0); // default: Empty
+  EXPECT_EQ(T.Used, E.Used);
+  EXPECT_EQ(T.textBytes(), E.textBytes());
+}
+
+TEST(Patcher, TemplateRel32OverflowRollsBackLikeComposed) {
+  // A template jumping to an address no trampoline can reach with rel32:
+  // buildTrampoline fails recoverably, every tactic rolls back, and the
+  // site ends Failed/BuildFailed with the text untouched — byte-for-byte
+  // the same outcome as the equivalent Composed spec.
+  constexpr uint64_t Far = 0x7f0000000000ULL;
+
+  PatchOptions TOpts;
+  TOpts.Spec.Kind = TrampolineKind::Template;
+  TOpts.Spec.Program =
+      makeProgram({progOp(TemplateProgram::Op::Kind::Displaced),
+                   progOp(TemplateProgram::Op::Kind::JumpTo, Far)});
+  PatchRun T(figure1(), NonPieBase, 0, TOpts);
+
+  PatchOptions COpts;
+  COpts.Spec.Kind = TrampolineKind::Composed;
+  COpts.Spec.Ops = {TemplateOp::displaced(), TemplateOp::jumpTo(Far)};
+  PatchRun C(figure1(), NonPieBase, 0, COpts);
+
+  EXPECT_EQ(T.Used, Tactic::Failed);
+  EXPECT_EQ(C.Used, Tactic::Failed);
+  ASSERT_EQ(T.P->results().size(), 1u);
+  EXPECT_EQ(T.P->results()[0].Reason, FailureReason::BuildFailed);
+  EXPECT_EQ(T.P->results()[0].Reason, C.P->results()[0].Reason);
+  // Rollback left the original instruction intact in both.
+  EXPECT_EQ(T.textBytes(), figure1());
+  EXPECT_EQ(T.textBytes(), C.textBytes());
+  EXPECT_EQ(T.P->chunks().size(), C.P->chunks().size());
+}

@@ -3,16 +3,19 @@
 #
 # Runs the regular test suite, then rebuilds everything under
 # ASan + UBSan (-DE9_SANITIZE=address) and re-runs the verifier mutation
-# sweep, the fault-injection sweep, and the corrupt-ELF corpus in the
-# sanitized build, then rebuilds under TSan (-DE9_SANITIZE=thread) and
-# runs the sharded-patcher tests across thread counts, and finally runs
-# the trace-determinism gate: a real gen -> rewrite sweep checking that
-# --trace output is byte-identical across --jobs values, that tracing
-# never changes the rewritten binary, and that `e9tool stats` accepts
-# the emitted schema. Any sanitizer report aborts the run
+# sweep, the fault-injection sweep, the corrupt-ELF corpus and the
+# malformed-protocol corpus in the sanitized build, then rebuilds under
+# TSan (-DE9_SANITIZE=thread) and runs the sharded-patcher tests across
+# thread counts, then runs the trace-determinism gate: a real
+# gen -> rewrite sweep checking that --trace output is byte-identical
+# across --jobs values, that tracing never changes the rewritten binary,
+# and that `e9tool stats` accepts the emitted schema. Finally, the batch
+# protocol gate: `e9tool apply` on a JSONL script must produce output
+# byte-identical to the equivalent direct `rewrite` invocation, under
+# ASan with --jobs 4. Any sanitizer report aborts the run
 # (-fno-sanitize-recover=all), so a clean exit means: no silent memory
 # errors on the error paths, no data races in the parallel pipeline,
-# and no nondeterminism in the observability layer.
+# and no nondeterminism in the observability or protocol layers.
 #
 # Usage: tools/check.sh [jobs]
 set -eu
@@ -20,38 +23,39 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== [1/7] configure + build (default flags) =="
+echo "== [1/8] configure + build (default flags) =="
 cmake -S "$ROOT" -B "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 
-echo "== [2/7] full test suite =="
+echo "== [2/8] full test suite =="
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   || ctest --test-dir "$ROOT/build" --output-on-failure --rerun-failed
 
-echo "== [3/7] configure + build (ASan + UBSan) =="
+echo "== [3/8] configure + build (ASan + UBSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=address >/dev/null
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target \
   verifier_test fault_injection_test elf_test core_test support_test \
-  obs_test
+  obs_test api_test e9tool
 
-echo "== [4/7] robustness sweeps under ASan + UBSan =="
+echo "== [4/8] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/support_test"
 "$ROOT/build-asan/tests/core_test"
 "$ROOT/build-asan/tests/obs_test"
+"$ROOT/build-asan/tests/api_test"
 "$ROOT/build-asan/tests/elf_test" --gtest_filter='CorruptElf.*'
 "$ROOT/build-asan/tests/verifier_test"
 "$ROOT/build-asan/tests/fault_injection_test"
 
-echo "== [5/7] configure + build (TSan) =="
+echo "== [5/8] configure + build (TSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test
 
-echo "== [6/7] sharded patcher under TSan =="
+echo "== [6/8] sharded patcher under TSan =="
 "$ROOT/build-tsan/tests/parallel_test"
 
-echo "== [7/7] trace determinism + schema gate (e9tool end-to-end) =="
+echo "== [7/8] trace determinism + schema gate (e9tool end-to-end) =="
 E9="$ROOT/build/tools/e9tool"
 TDIR="$(mktemp -d)"
 trap 'rm -rf "$TDIR"' EXIT
@@ -65,5 +69,26 @@ cmp "$TDIR/t1.jsonl" "$TDIR/t4.jsonl"   # trace identical across --jobs
 cmp "$TDIR/out1.elf" "$TDIR/out4.elf"   # binary identical across --jobs
 cmp "$TDIR/out1.elf" "$TDIR/plain.elf"  # tracing never perturbs output
 "$E9" stats "$TDIR/t4.jsonl" >/dev/null # schema-valid, summary coherent
+
+echo "== [8/8] batch protocol gate: apply == rewrite, under ASan =="
+E9A="$ROOT/build-asan/tools/e9tool"
+cat > "$TDIR/apply.jsonl" <<EOF
+{"type":"binary","path":"$TDIR/w.elf"}
+{"type":"template","name":"passthrough","body":"\$instruction \$continue"}
+{"type":"option","name":"jobs","value":"4"}
+{"type":"option","name":"strict","value":"true"}
+{"type":"patch","select":"jumps","template":"passthrough"}
+{"type":"emit","path":"$TDIR/applied.elf"}
+EOF
+"$E9A" apply "$TDIR/apply.jsonl" --responses="$TDIR/resp.jsonl"
+grep -q '"ok":true' "$TDIR/resp.jsonl"
+cmp "$TDIR/applied.elf" "$TDIR/out4.elf" # apply == direct rewrite
+# The protocol fails closed: a malformed request must stop the stream.
+if printf '{"type":"frobnicate"}\n' | "$E9A" serve --stdin \
+    >"$TDIR/serve.jsonl" 2>/dev/null; then
+  echo "check.sh: serve accepted a malformed request" >&2
+  exit 1
+fi
+grep -q '"type":"error"' "$TDIR/serve.jsonl"
 
 echo "check.sh: all gates passed"

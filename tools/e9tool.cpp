@@ -14,9 +14,12 @@
 //          [--trace=FILE] [--metrics=FILE] [--trace-timings] ...
 //   e9tool run <elf> [--lowfat] [--max-insns=N]
 //   e9tool stats <trace.jsonl>
+//   e9tool apply <script.jsonl> [--jobs=N] [--responses=FILE]
+//   e9tool serve --stdin [--jobs=N]
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Driver.h"
 #include "frontend/Disasm.h"
 #include "frontend/Rewriter.h"
 #include "frontend/Select.h"
@@ -36,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -115,6 +119,21 @@ constexpr OptSpec RunOpts[] = {
     {"max-insns", OptKind::Int, "N", "instruction budget"},
 };
 
+constexpr OptSpec ApplyOpts[] = {
+    {"jobs", OptKind::Int, "N",
+     "override the script's jobs option (0 = all hardware threads)"},
+    {"responses", OptKind::Str, "FILE",
+     "write JSONL responses to FILE (default \"-\" = stdout)"},
+};
+
+constexpr OptSpec ServeOpts[] = {
+    {"stdin", OptKind::Flag, nullptr,
+     "serve requests from stdin, responses to stdout (the only "
+     "transport implemented so far)"},
+    {"jobs", OptKind::Int, "N",
+     "override the clients' jobs option (0 = all hardware threads)"},
+};
+
 constexpr CommandSpec Commands[] = {
     {"gen", "<out.elf>", 1, "generate a synthetic test binary", GenOpts,
      std::size(GenOpts)},
@@ -127,6 +146,11 @@ constexpr CommandSpec Commands[] = {
     {"run", "<elf>", 1, "execute under the VM", RunOpts, std::size(RunOpts)},
     {"stats", "<trace.jsonl>", 1,
      "validate a trace and print a Table-1-style summary", nullptr, 0},
+    {"apply", "<script.jsonl>", 1,
+     "run a batch of patch-request jobs from a script", ApplyOpts,
+     std::size(ApplyOpts)},
+    {"serve", "", 0, "serve a patch-request stream (server mode)",
+     ServeOpts, std::size(ServeOpts)},
 };
 
 void printCommandUsage(FILE *To, const CommandSpec &C) {
@@ -762,6 +786,53 @@ int cmdStats(const Args &A) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// apply / serve: the patch-request protocol frontends
+//===----------------------------------------------------------------------===//
+
+int cmdApply(const Args &A) {
+  std::ifstream Script(A.positional()[0], std::ios::binary);
+  if (!Script) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 A.positional()[0].c_str());
+    return 1;
+  }
+  api::DriverOptions Opts;
+  Opts.JobsOverride = static_cast<unsigned>(A.getInt("jobs", 0));
+
+  std::string RespPath = A.get("responses", "-");
+  std::ofstream RespFile;
+  if (RespPath != "-") {
+    RespFile.open(RespPath, std::ios::binary | std::ios::trunc);
+    if (!RespFile) {
+      std::fprintf(stderr, "error: cannot write %s\n", RespPath.c_str());
+      return 1;
+    }
+  }
+  std::ostream &Resp = RespPath == "-" ? std::cout : RespFile;
+
+  api::DriverResult R = api::runScript(Script, Resp, Opts);
+  Resp.flush();
+  std::fprintf(stderr, "apply: %zu job(s) ok, %zu failed%s\n", R.JobsOk,
+               R.JobsFailed,
+               R.ProtocolError ? ", stopped on a protocol error" : "");
+  return R.exitCode();
+}
+
+int cmdServe(const Args &A) {
+  if (!A.has("stdin")) {
+    std::fprintf(stderr,
+                 "error: serve requires --stdin (the only transport "
+                 "implemented so far)\n");
+    return 2;
+  }
+  api::DriverOptions Opts;
+  Opts.JobsOverride = static_cast<unsigned>(A.getInt("jobs", 0));
+  api::DriverResult R = api::runScript(std::cin, std::cout, Opts);
+  std::cout.flush();
+  return R.exitCode();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -786,6 +857,10 @@ int main(int Argc, char **Argv) {
       return cmdRun(A);
     if (Cmd == "stats")
       return cmdStats(A);
+    if (Cmd == "apply")
+      return cmdApply(A);
+    if (Cmd == "serve")
+      return cmdServe(A);
   }
   std::fprintf(stderr, "error: unknown command \"%s\"\n", Cmd.c_str());
   return usage();
