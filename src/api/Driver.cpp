@@ -9,6 +9,7 @@
 #include "frontend/Select.h"
 #include "lowfat/LowFat.h"
 #include "obs/JsonWriter.h"
+#include "repair/Repair.h"
 #include "support/Format.h"
 #include "verify/Verifier.h"
 
@@ -46,14 +47,38 @@ struct JobOptions {
   bool T1 = true, T2 = true, T3 = true;
   bool B0Fallback = false;
   bool ForceB0 = false;
+  bool Repair = false;
+  uint64_t RepairRounds = 64;
+  uint64_t RepairRuns = 4096;
+  uint64_t StepLimit = 0;
+  core::TacticCeiling RepairFloor = core::TacticCeiling::B0Only;
 };
 
-enum class OptionKind { UInt, Bool };
+/// Parses a demotion-floor name ("full", "no-t3", "no-t2", "no-t1", "b0").
+bool parseCeiling(const std::string &V, core::TacticCeiling &Out) {
+  if (V == "full")
+    Out = core::TacticCeiling::Full;
+  else if (V == "no-t3")
+    Out = core::TacticCeiling::NoT3;
+  else if (V == "no-t2")
+    Out = core::TacticCeiling::NoT2;
+  else if (V == "no-t1")
+    Out = core::TacticCeiling::NoT1;
+  else if (V == "b0" || V == "b0-only")
+    Out = core::TacticCeiling::B0Only;
+  else
+    return false;
+  return true;
+}
+
+enum class OptionKind { UInt, Bool, Str };
 
 struct OptionSpec {
   const char *Name;
   OptionKind Kind;
   void (*Apply)(JobOptions &, uint64_t U, bool B);
+  /// Str options only: returns "" on success, else the violation.
+  std::string (*ApplyStr)(JobOptions &, const std::string &) = nullptr;
 };
 
 constexpr OptionSpec OptionTable[] = {
@@ -81,6 +106,22 @@ constexpr OptionSpec OptionTable[] = {
      [](JobOptions &O, uint64_t, bool B) { O.B0Fallback = B; }},
     {"force-b0", OptionKind::Bool,
      [](JobOptions &O, uint64_t, bool B) { O.ForceB0 = B; }},
+    {"repair", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.Repair = B; }},
+    {"repair-rounds", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.RepairRounds = U; }},
+    {"repair-runs", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.RepairRuns = U; }},
+    {"step-limit", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.StepLimit = U; }},
+    {"repair-floor", OptionKind::Str, nullptr,
+     [](JobOptions &O, const std::string &V) -> std::string {
+       if (!parseCeiling(V, O.RepairFloor))
+         return format("option \"repair-floor\" wants full, no-t3, no-t2, "
+                       "no-t1 or b0, got \"%s\"",
+                       V.c_str());
+       return "";
+     }},
 };
 
 /// Applies one option message; empty string on success, else the
@@ -90,6 +131,8 @@ std::string applyOption(JobOptions &O, const std::string &Name,
   for (const OptionSpec &S : OptionTable) {
     if (Name != S.Name)
       continue;
+    if (S.Kind == OptionKind::Str)
+      return S.ApplyStr(O, Value);
     if (S.Kind == OptionKind::Bool) {
       if (Value != "true" && Value != "false")
         return format("option \"%s\" wants \"true\" or \"false\", got "
@@ -325,6 +368,11 @@ private:
         .withMaxFailedSites(O.MaxFailed)
         .withJobs(Opts.JobsOverride ? Opts.JobsOverride : O.Jobs);
     Ro.Verify.Opts.Differential = O.Differential;
+    Ro.Repair.Enabled = O.Repair;
+    Ro.Repair.MaxRounds = O.RepairRounds;
+    Ro.Repair.MaxCandidateRuns = O.RepairRuns;
+    Ro.Repair.StepLimit = O.StepLimit;
+    Ro.Repair.DemotionFloor = O.RepairFloor;
     // SpecFor is called concurrently from patcher workers; it only reads
     // the (immutable from here on) Sites map.
     Ro.SpecFor = [&Sites](uint64_t Addr) {
@@ -338,11 +386,36 @@ private:
       return S;
     };
 
-    auto Out = frontend::rewrite(Img, Locs, Ro);
-    if (!Out.isOk()) {
-      jobFailed(J, OutPath, Out.reason());
-      return;
+    frontend::RewriteOutput Rewritten;
+    repair::RepairReport Rep;
+    if (O.Repair) {
+      // Self-verifying path: a repair loop that cannot converge is a job
+      // failure (fail closed) — never hand back an unverified binary from
+      // a request that asked for verification by execution.
+      auto R = repair::selfVerifyingRewrite(Img, Locs, Ro);
+      if (!R.isOk()) {
+        jobFailed(J, OutPath, R.reason());
+        return;
+      }
+      if (!R->Report.Converged) {
+        const repair::Divergence &D = R->Report.Final;
+        jobFailed(J, OutPath,
+                  format("self-verification did not converge: %s%s%s",
+                         repair::divergenceKindName(D.Kind),
+                         D.Detail.empty() ? "" : ": ", D.Detail.c_str()));
+        return;
+      }
+      Rep = R->Report;
+      Rewritten = std::move(R->Rewrite);
+    } else {
+      auto R = frontend::rewrite(Img, Locs, Ro);
+      if (!R.isOk()) {
+        jobFailed(J, OutPath, R.reason());
+        return;
+      }
+      Rewritten = R.take();
     }
+    const frontend::RewriteOutput *Out = &Rewritten;
     if (Status S = elf::writeFile(Out->Rewritten, OutPath); !S) {
       jobFailed(J, OutPath, S.reason());
       return;
@@ -372,12 +445,22 @@ private:
         .field("t3", (uint64_t)St.count(core::Tactic::T3))
         .field("b0", (uint64_t)St.count(core::Tactic::B0))
         .field("failed", (uint64_t)St.count(core::Tactic::Failed))
+        .field("degraded", St.count(core::Tactic::Failed) > 0)
         .fixed("succ_pct", St.succPct())
         .field("orig_bytes", Out->OrigFileSize)
         .field("new_bytes", Out->NewFileSize)
         .fixed("size_pct", Out->sizePct())
-        .field("verify_findings", (uint64_t)Out->Verify.Failures.size())
-        .raw("metrics", Out->Metrics.toJson());
+        .field("verify_findings", (uint64_t)Out->Verify.Failures.size());
+    if (O.Repair) {
+      uint64_t Demoted = 0, Revoked = 0;
+      for (const repair::SiteRepair &S : Rep.Sites)
+        (S.Revoked ? Revoked : Demoted)++;
+      W.field("repair_converged", Rep.Converged)
+          .field("repair_rounds", (uint64_t)Rep.Rounds)
+          .field("repair_demoted", Demoted)
+          .field("repair_revoked", Revoked);
+    }
+    W.raw("metrics", Out->Metrics.toJson());
     Responses << W.take() << '\n';
     ++Result.JobsOk;
   }

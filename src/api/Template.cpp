@@ -352,6 +352,17 @@ Result<Program> api::compileTemplate(const std::string &Name,
   return std::move(C.Prog);
 }
 
+void TemplateCache::evictOne() {
+  auto Victim = Map.end();
+  for (auto It = Map.begin(); It != Map.end(); ++It)
+    if (Victim == Map.end() || It->second.LastUsed < Victim->second.LastUsed)
+      Victim = It;
+  if (Victim != Map.end()) {
+    Map.erase(Victim);
+    ++Evictions;
+  }
+}
+
 Status TemplateCache::define(const std::string &Name,
                              std::string_view Body) {
   if (Map.count(Name))
@@ -362,7 +373,11 @@ Status TemplateCache::define(const std::string &Name,
   auto Prog = compileTemplate(Name, Body);
   if (!Prog.isOk())
     return Status::error(Prog.reason());
-  Map.emplace(Name,
-              std::make_shared<const core::TemplateProgram>(std::move(*Prog)));
+  if (Capacity > 0 && Map.size() >= Capacity)
+    evictOne();
+  Entry E;
+  E.Prog = std::make_shared<const core::TemplateProgram>(std::move(*Prog));
+  E.LastUsed = ++Clock;
+  Map.emplace(Name, std::move(E));
   return Status::ok();
 }

@@ -49,27 +49,51 @@ Result<core::TemplateProgram> compileTemplate(const std::string &Name,
                                               std::string_view Body);
 
 /// The compile-once template cache: protocol "template" messages define
-/// entries, "patch" messages look them up by name. Redefinition is a
-/// protocol error (fail closed) — a frontend that silently replaced a
-/// template mid-stream would make earlier patch requests mean something
-/// else after the fact.
+/// entries, "patch" messages look them up by name. Redefining a *live*
+/// entry is a protocol error (fail closed) — a frontend that silently
+/// replaced a template mid-stream would make earlier patch requests mean
+/// something else after the fact.
+///
+/// The cache is bounded: at most \p Capacity compiled programs are kept,
+/// evicting the least-recently-*instantiated* entry first (find() touches
+/// recency). An evicted name may be defined again — the body simply
+/// recompiles — and programs still referenced by in-flight patch requests
+/// stay alive through their shared_ptr regardless of eviction.
 class TemplateCache {
 public:
+  explicit TemplateCache(size_t Capacity = 128) : Capacity(Capacity) {}
+
   /// Compiles and stores \p Body under \p Name. Fails on compile errors
-  /// and on duplicate names.
+  /// and on names currently in the cache.
   Status define(const std::string &Name, std::string_view Body);
 
-  /// Returns the compiled program, or nullptr when undefined.
+  /// Returns the compiled program, or nullptr when undefined/evicted.
   std::shared_ptr<const core::TemplateProgram>
   find(const std::string &Name) const {
     auto It = Map.find(Name);
-    return It == Map.end() ? nullptr : It->second;
+    if (It == Map.end())
+      return nullptr;
+    It->second.LastUsed = ++Clock;
+    return It->second.Prog;
   }
 
   size_t size() const { return Map.size(); }
+  uint64_t evictions() const { return Evictions; }
 
 private:
-  std::map<std::string, std::shared_ptr<const core::TemplateProgram>> Map;
+  struct Entry {
+    std::shared_ptr<const core::TemplateProgram> Prog;
+    /// Logical timestamp of the last lookup (or definition). Mutable so
+    /// that const find() can touch it — recency is not logical state.
+    mutable uint64_t LastUsed = 0;
+  };
+
+  void evictOne();
+
+  std::map<std::string, Entry> Map;
+  size_t Capacity;
+  mutable uint64_t Clock = 0;
+  uint64_t Evictions = 0;
 };
 
 } // namespace api

@@ -20,6 +20,12 @@ const char *core::tacticName(Tactic T) {
   return Names[static_cast<size_t>(T)];
 }
 
+const char *core::tacticCeilingName(TacticCeiling C) {
+  static const char *const Names[] = {"full", "no-t3", "no-t2", "no-t1",
+                                      "b0-only"};
+  return Names[static_cast<size_t>(C)];
+}
+
 const char *core::failureReasonName(FailureReason R) {
   static const char *const Names[] = {
       "none",           "no-instruction", "spec-inapplicable", "locked-bytes",
@@ -255,8 +261,9 @@ Tactic Patcher::tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
                           uint64_t &TrampAddr) {
   const Insn *I = insnAt(Addr);
   assert(I && "tryDirect requires a known instruction");
-  unsigned MaxPads =
-      Opts.EnableT1 ? std::min<unsigned>(MaxJumpPads, I->Length - 1) : 0;
+  unsigned MaxPads = (Opts.EnableT1 && CeilT1)
+                         ? std::min<unsigned>(MaxJumpPads, I->Length - 1)
+                         : 0;
   Txn T;
   T.ChunksMark = Chunks.size();
   T.RecordsMark = Jumps.size();
@@ -312,8 +319,9 @@ bool Patcher::tryT2(uint64_t Addr, const TrampolineSpec &Spec,
   if (!Evict.has_value())
     return false;
 
-  unsigned MaxPads =
-      Opts.EnableT1 ? std::min<unsigned>(MaxJumpPads, I->Length - 1) : 0;
+  unsigned MaxPads = (Opts.EnableT1 && CeilT1)
+                         ? std::min<unsigned>(MaxJumpPads, I->Length - 1)
+                         : 0;
   auto J = installJump(T, Addr, Addr + I->Length, 0, MaxPads, Spec, *I);
   if (!J.has_value()) {
     rollback(T);
@@ -482,26 +490,36 @@ Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
   Results.push_back(PatchSiteResult{Addr, Tactic::Failed, 0});
   SiteReason = FailureReason::None;
 
+  TacticCeiling Ceil =
+      Opts.CeilingFor ? Opts.CeilingFor(Addr) : TacticCeiling::Full;
+
   Tactic Used = Tactic::Failed;
   uint64_t TrampAddr = 0;
   if (insnAt(Addr) == nullptr) {
     noteFailure(FailureReason::NoInstruction);
-  } else if (Opts.ForceB0) {
+  } else if (Opts.ForceB0 || Ceil == TacticCeiling::B0Only) {
     if (tryB0(Addr))
       Used = Tactic::B0;
     else
       traceAttemptFailed(Addr, tacticName(Tactic::B0));
   } else {
+    CeilT1 = Ceil <= TacticCeiling::NoT2;
     Used = tryDirect(Addr, Spec, TrampAddr);
+    CeilT1 = true;
     if (Used == Tactic::Failed)
       traceAttemptFailed(Addr, "direct");
-    if (Used == Tactic::Failed && Opts.EnableT2) {
-      if (tryT2(Addr, Spec, TrampAddr))
+    if (Used == Tactic::Failed && Opts.EnableT2 &&
+        Ceil <= TacticCeiling::NoT3) {
+      CeilT1 = Ceil <= TacticCeiling::NoT2;
+      bool Ok = tryT2(Addr, Spec, TrampAddr);
+      CeilT1 = true;
+      if (Ok)
         Used = Tactic::T2;
       else
         traceAttemptFailed(Addr, tacticName(Tactic::T2));
     }
-    if (Used == Tactic::Failed && Opts.EnableT3) {
+    if (Used == Tactic::Failed && Opts.EnableT3 &&
+        Ceil == TacticCeiling::Full) {
       if (tryT3(Addr, Spec, TrampAddr))
         Used = Tactic::T3;
       else

@@ -40,6 +40,7 @@
 #include "x86/Insn.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -64,6 +65,18 @@ enum class FailureReason : uint8_t {
 };
 const char *failureReasonName(FailureReason R);
 
+/// Per-site cap on how aggressive the tactic chain may get: the repair
+/// loop's demotion lattice. Ordered from most permissive to most
+/// conservative; demotion moves strictly down this order.
+enum class TacticCeiling : uint8_t {
+  Full,  ///< All enabled tactics (no per-site restriction).
+  NoT3,  ///< Disallow T3 (neighbour eviction).
+  NoT2,  ///< Disallow T2 and T3.
+  NoT1,  ///< Direct B1/B2 only (no padded puns either).
+  B0Only ///< int3 fallback only — per-site ForceB0.
+};
+const char *tacticCeilingName(TacticCeiling C);
+
 /// Rewriting configuration.
 struct PatchOptions {
   bool EnableT1 = true;
@@ -77,6 +90,10 @@ struct PatchOptions {
   /// ablation benchmark.
   bool AllocPacking = true;
   TrampolineSpec Spec; ///< Patch trampoline template for every location.
+  /// Optional per-site tactic ceiling (repair-loop demotions). Must be
+  /// pure and reentrant: the sharded patcher calls it concurrently from
+  /// worker threads. Null means TacticCeiling::Full everywhere.
+  std::function<TacticCeiling(uint64_t)> CeilingFor;
 };
 
 /// Per-binary patching statistics (Table 1 columns).
@@ -256,6 +273,9 @@ private:
   std::vector<TrampolineChunk> Chunks;
   std::vector<JumpRecord> Jumps;
   FailureReason SiteReason = FailureReason::None; ///< For the current site.
+  /// Whether the current site's ceiling still allows T1 pads (consulted by
+  /// tryDirect/tryT2 through the shared pad-count computation).
+  bool CeilT1 = true;
   std::map<uint64_t, std::vector<uint8_t>> B0Table;
   std::set<uint64_t> FailedSites;
   std::map<uint64_t, TrampolineSpec> FailedSpecs;

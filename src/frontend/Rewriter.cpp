@@ -158,6 +158,10 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
     }
     return Result<RewriteOutput>::error(Msg);
   }
+  // Within budget but not clean: mark the trace so clients can tell a
+  // degraded rewrite (silent coverage loss) from a fully-patched one.
+  if (NFailed > 0)
+    Trace.degraded(NFailed, Opts.Verify.MaxFailedSites);
 
   Phase.lapMs();
   auto Grouped = core::groupPages(Out.Chunks, Opts.Grouping);

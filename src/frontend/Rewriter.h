@@ -79,6 +79,24 @@ struct TracePolicy {
   bool Timings = false;
 };
 
+/// Self-verifying rewrite policy (the src/repair loop). Only consulted by
+/// repair::selfVerifyingRewrite and its CLI/protocol surfaces — a plain
+/// rewrite() ignores it.
+struct RepairPolicy {
+  bool Enabled = false;
+  /// Global repair rounds (each = one VM-verified rewrite candidate).
+  size_t MaxRounds = 64;
+  /// Total candidate VM executions across all ddmin probes and retries.
+  uint64_t MaxCandidateRuns = 4096;
+  /// Most conservative ceiling a demotion may reach; a site that still
+  /// diverges there is revoked (left unpatched). B0Only allows the full
+  /// lattice walk down to the int3 baseline.
+  core::TacticCeiling DemotionFloor = core::TacticCeiling::B0Only;
+  /// Per-run instruction budget for candidate executions; 0 = automatic
+  /// (reference instruction count * 4 + 10000), the hang oracle.
+  uint64_t StepLimit = 0;
+};
+
 struct RewriteOptions {
   core::PatchOptions Patch;
   core::GroupingOptions Grouping;
@@ -94,6 +112,7 @@ struct RewriteOptions {
   ParallelPolicy Parallel;
   VerifyPolicy Verify;
   TracePolicy Trace;
+  RepairPolicy Repair;
 
   // Fluent setters for the common knobs, so call sites read as one
   // declaration: `RewriteOptions().withJobs(4).withStrict()`.
@@ -127,6 +146,14 @@ struct RewriteOptions {
   }
   RewriteOptions &withTraceTimings(bool On = true) {
     Trace.Timings = On;
+    return *this;
+  }
+  RewriteOptions &withRepair(bool On = true) {
+    Repair.Enabled = On;
+    return *this;
+  }
+  RewriteOptions &withRepairPolicy(const RepairPolicy &P) {
+    Repair = P;
     return *this;
   }
 };

@@ -21,13 +21,18 @@ uint64_t frontend::addCounterSegment(elf::Image &Img, uint64_t Addr,
 
 void frontend::installB0Handler(
     vm::Vm &V, std::map<uint64_t, std::vector<uint8_t>> Table,
-    std::function<void(uint64_t)> Callback) {
-  V.setTrapHandler([Table = std::move(Table), Callback = std::move(Callback)](
+    std::function<void(uint64_t)> Callback,
+    std::function<void(uint64_t)> OnUnknown) {
+  V.setTrapHandler([Table = std::move(Table), Callback = std::move(Callback),
+                    OnUnknown = std::move(OnUnknown)](
                        vm::Vm &Vm, uint64_t Addr) -> Status {
     auto It = Table.find(Addr);
-    if (It == Table.end())
+    if (It == Table.end()) {
+      if (OnUnknown)
+        OnUnknown(Addr);
       return Status::error(
           format("int3 at %s has no B0 side-table entry", hex(Addr).c_str()));
+    }
     if (Callback)
       Callback(Addr);
     x86::Insn I;

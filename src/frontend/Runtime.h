@@ -38,10 +38,13 @@ uint64_t addCounterSegment(elf::Image &Img,
 
 /// Installs the B0 trap handler: on int3 at a patched site, invokes
 /// \p Callback (may be null) and then emulates the displaced original
-/// instruction from \p Table. Sites not in the table fault.
+/// instruction from \p Table. Sites not in the table fault, invoking
+/// \p OnUnknown first — the repair loop's "trap at a non-B0 site"
+/// divergence classifier.
 void installB0Handler(vm::Vm &V,
                       std::map<uint64_t, std::vector<uint8_t>> Table,
-                      std::function<void(uint64_t)> Callback = nullptr);
+                      std::function<void(uint64_t)> Callback = nullptr,
+                      std::function<void(uint64_t)> OnUnknown = nullptr);
 
 } // namespace frontend
 } // namespace e9

@@ -125,3 +125,50 @@ void Tracer::summaryImpl(size_t Sites, const size_t TacticCounts[7],
       .fixed("succ_pct", SuccPct, 2);
   Buf->emit(W.take());
 }
+
+void Tracer::degradedImpl(size_t Failed, size_t Budget) {
+  JsonWriter W;
+  W.field("ev", "degraded").field("failed", uint64_t(Failed));
+  if (Budget != SIZE_MAX)
+    W.field("budget", uint64_t(Budget));
+  Buf->emit(W.take());
+}
+
+void Tracer::repairDivergenceImpl(uint64_t Round, const char *Kind,
+                                  const std::string &Detail) {
+  JsonWriter W;
+  W.field("ev", "repair_divergence").field("round", Round).field("kind", Kind);
+  if (!Detail.empty())
+    W.field("detail", Detail);
+  Buf->emit(W.take());
+}
+
+void Tracer::repairSiteImpl(uint64_t Site, const char *Action,
+                            const char *From, const char *Ceiling,
+                            uint64_t Round) {
+  JsonWriter W;
+  W.field("ev", "repair_site").hex("site", Site).field("action", Action);
+  if (From)
+    W.field("from", From);
+  if (Ceiling)
+    W.field("ceiling", Ceiling);
+  W.field("round", Round);
+  Buf->emit(W.take());
+}
+
+void Tracer::repairSummaryImpl(bool Converged, uint64_t Rounds,
+                               uint64_t CandidateRuns, uint64_t Rewrites,
+                               size_t Demoted, size_t Revoked,
+                               uint64_t SnapshotRestores, uint64_t ColdLoads) {
+  JsonWriter W;
+  W.field("ev", "repair_summary")
+      .field("converged", Converged)
+      .field("rounds", Rounds)
+      .field("candidate_runs", CandidateRuns)
+      .field("rewrites", Rewrites)
+      .field("demoted", uint64_t(Demoted))
+      .field("revoked", uint64_t(Revoked))
+      .field("snapshot_restores", SnapshotRestores)
+      .field("cold_loads", ColdLoads);
+  Buf->emit(W.take());
+}

@@ -42,6 +42,11 @@
 ///   span     name, shard, ms            (only with Timings)
 ///   summary  sites, b1..b0, failed, evictions, rescued, tramp_bytes,
 ///            succ_pct
+///   degraded failed [, budget]          (failed sites within budget)
+///   repair_divergence  round, kind [, detail]
+///   repair_site        site, action, round [, from, ceiling]
+///   repair_summary     converged, rounds, candidate_runs, rewrites,
+///                      demoted, revoked, snapshot_restores, cold_loads
 ///
 //======---------------------------------------------------------------===//
 
@@ -167,6 +172,33 @@ public:
       summaryImpl(Sites, TacticCounts, Evictions, Rescued, TrampBytes,
                   SuccPct);
   }
+  /// The rewrite completed but \p Failed sites exceeded zero while staying
+  /// within \p Budget (SIZE_MAX = unlimited, omitted from the event).
+  void degraded(size_t Failed, size_t Budget) {
+    if (Buf)
+      degradedImpl(Failed, Budget);
+  }
+  /// Repair loop: one detected divergence (round-scoped).
+  void repairDivergence(uint64_t Round, const char *Kind,
+                        const std::string &Detail) {
+    if (Buf)
+      repairDivergenceImpl(Round, Kind, Detail);
+  }
+  /// Repair loop: one per-site action. \p Action is "demote" or "revoke";
+  /// \p Ceiling names the new ceiling on demotion (nullptr on revoke).
+  void repairSite(uint64_t Site, const char *Action, const char *From,
+                  const char *Ceiling, uint64_t Round) {
+    if (Buf)
+      repairSiteImpl(Site, Action, From, Ceiling, Round);
+  }
+  /// Repair loop: trailing outcome summary.
+  void repairSummary(bool Converged, uint64_t Rounds, uint64_t CandidateRuns,
+                     uint64_t Rewrites, size_t Demoted, size_t Revoked,
+                     uint64_t SnapshotRestores, uint64_t ColdLoads) {
+    if (Buf)
+      repairSummaryImpl(Converged, Rounds, CandidateRuns, Rewrites, Demoted,
+                        Revoked, SnapshotRestores, ColdLoads);
+  }
 
 private:
   void metaImpl(size_t Sites);
@@ -184,6 +216,15 @@ private:
   void summaryImpl(size_t Sites, const size_t TacticCounts[7],
                    size_t Evictions, size_t Rescued, uint64_t TrampBytes,
                    double SuccPct);
+  void degradedImpl(size_t Failed, size_t Budget);
+  void repairDivergenceImpl(uint64_t Round, const char *Kind,
+                            const std::string &Detail);
+  void repairSiteImpl(uint64_t Site, const char *Action, const char *From,
+                      const char *Ceiling, uint64_t Round);
+  void repairSummaryImpl(bool Converged, uint64_t Rounds,
+                         uint64_t CandidateRuns, uint64_t Rewrites,
+                         size_t Demoted, size_t Revoked,
+                         uint64_t SnapshotRestores, uint64_t ColdLoads);
 
   TraceBuffer *Buf = nullptr;
 };

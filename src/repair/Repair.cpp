@@ -1,0 +1,543 @@
+//===- repair/Repair.cpp --------------------------------------*- C++ -*-===//
+
+#include "repair/Repair.h"
+
+#include "frontend/Runtime.h"
+#include "lowfat/LowFat.h"
+#include "obs/Trace.h"
+#include "support/Format.h"
+#include "vm/Loader.h"
+#include "workload/Run.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace e9;
+using namespace e9::repair;
+
+const char *repair::divergenceKindName(DivergenceKind K) {
+  static const char *const Names[] = {
+      "none",         "end-state", "guest-fault", "trap",
+      "hang",         "load-failure", "rewrite-error"};
+  return Names[static_cast<size_t>(K)];
+}
+
+namespace {
+
+/// Observable end state of one VM run.
+struct EndState {
+  vm::RunResult Result;
+  vm::Cpu Core;
+  uint64_t DataChecksum = 0;
+};
+
+/// Runs the original and candidate images against one shared snapshot of
+/// the loaded original (copy-on-write; see vm::Vm::snapshot). Host hooks
+/// and the trap handler are re-installed before every run, so the lambdas
+/// left behind by a previous run are never invoked.
+class Runner {
+public:
+  explicit Runner(const elf::Image &Orig) : Orig(Orig) {}
+
+  uint64_t Restores = 0;
+  uint64_t ColdLoads = 0;
+
+  Status init() {
+    auto L = vm::load(V, Orig);
+    if (!L.isOk())
+      return Status::error(L.reason());
+    ++ColdLoads;
+    Snap = V.snapshot();
+    return Status::ok();
+  }
+
+  uint64_t cowClonedPages() const { return V.Mem.cowCloneCount(); }
+
+  EndState runReference(uint64_t MaxInsns) {
+    rewind();
+    if (!Orig.B0Sites.empty())
+      frontend::installB0Handler(V, Orig.B0Sites);
+    else
+      V.setTrapHandler(nullptr);
+    return execute(Orig, MaxInsns);
+  }
+
+  /// Delta-loads \p Cand over the snapshot (poke the patcher's modified
+  /// byte ranges, map the trampoline blocks fresh) and runs it.
+  /// \p TrapUnknown reports an int3 with no B0 side-table entry.
+  EndState runCandidate(const frontend::RewriteOutput &Cand,
+                        uint64_t MaxInsns, bool &TrapUnknown) {
+    rewind();
+    EndState E;
+    for (const Interval &R : Cand.ModifiedRanges)
+      if (Status S = pokeRange(Cand.Rewritten, R); !S) {
+        E.Result.Kind = vm::RunResult::Exit::Fault;
+        E.Result.Error = format("delta-load: %s", S.reason().c_str());
+        return E;
+      }
+    if (auto M = vm::applyMappings(V, Cand.Rewritten); !M.isOk()) {
+      E.Result.Kind = vm::RunResult::Exit::Fault;
+      E.Result.Error = format("delta-load: %s", M.reason().c_str());
+      return E;
+    }
+    UnknownTrap = false;
+    frontend::installB0Handler(V, Cand.B0Table, nullptr,
+                               [this](uint64_t) { UnknownTrap = true; });
+    E = execute(Cand.Rewritten, MaxInsns);
+    TrapUnknown = UnknownTrap;
+    return E;
+  }
+
+private:
+  void rewind() {
+    V.restore(Snap);
+    ++Restores;
+  }
+
+  /// Installs a fresh heap (allocator state must not leak between runs),
+  /// runs to completion and captures the observable end state.
+  EndState execute(const elf::Image &Img, uint64_t MaxInsns) {
+    lowfat::PlainHeap Heap;
+    lowfat::installPlainHeap(V, Heap);
+    EndState E;
+    E.Result = V.run(MaxInsns);
+    E.Core = V.Core;
+    E.DataChecksum = workload::dataChecksum(V, Img);
+    return E;
+  }
+
+  /// Writes the bytes of \p Img covering \p R into guest memory. Modified
+  /// ranges live inside segments by construction; bytes past a segment's
+  /// file content cannot have been modified by the patcher.
+  Status pokeRange(const elf::Image &Img, const Interval &R) {
+    for (const elf::Segment &S : Img.Segments) {
+      if (R.Lo < S.VAddr || R.Lo >= S.VAddr + S.MemSize)
+        continue;
+      uint64_t Off = R.Lo - S.VAddr;
+      if (Off >= S.Bytes.size())
+        return Status::ok();
+      uint64_t N = std::min<uint64_t>(R.size(), S.Bytes.size() - Off);
+      return V.Mem.poke(R.Lo, S.Bytes.data() + Off, N);
+    }
+    return Status::error(
+        format("modified range at %s is outside every segment",
+               hex(R.Lo).c_str()));
+  }
+
+  const elf::Image &Orig;
+  vm::Vm V;
+  vm::VmSnapshot Snap;
+  bool UnknownTrap = false;
+};
+
+/// The divergence oracle: exit kinds, all 16 GPRs + rip, the 7 tracked
+/// status flags, and the writable-memory checksum.
+Divergence compare(const EndState &Ref, const EndState &Cand,
+                   bool TrapUnknown) {
+  using Exit = vm::RunResult::Exit;
+  Divergence D;
+  if (Cand.Result.Kind != Exit::Finished) {
+    if (TrapUnknown)
+      D.Kind = DivergenceKind::Trap;
+    else if (Cand.Result.Kind == Exit::InsnLimit)
+      D.Kind = DivergenceKind::Hang;
+    else
+      D.Kind = DivergenceKind::GuestFault;
+    D.Detail = Cand.Result.Error;
+    return D;
+  }
+  for (size_t I = 0; I != 16; ++I)
+    if (Ref.Core.Gpr[I] != Cand.Core.Gpr[I]) {
+      D.Kind = DivergenceKind::EndState;
+      D.Detail = format("gpr%zu %s != %s", I, hex(Cand.Core.Gpr[I]).c_str(),
+                        hex(Ref.Core.Gpr[I]).c_str());
+      return D;
+    }
+  if (Ref.Core.Rip != Cand.Core.Rip ||
+      Ref.Core.rflags() != Cand.Core.rflags()) {
+    D.Kind = DivergenceKind::EndState;
+    D.Detail = "rip/rflags mismatch";
+    return D;
+  }
+  if (Ref.DataChecksum != Cand.DataChecksum) {
+    D.Kind = DivergenceKind::EndState;
+    D.Detail = format("data checksum %s != %s",
+                      hex(Cand.DataChecksum).c_str(),
+                      hex(Ref.DataChecksum).c_str());
+    return D;
+  }
+  return D;
+}
+
+/// Classic ddmin with complements over \p Set. \p Test returns true when
+/// the subset still diverges; \p Budget caps the number of Test calls.
+/// Returns a (1-)minimal diverging subset — or, on budget exhaustion, the
+/// smallest diverging set found so far.
+std::vector<uint64_t> ddmin(std::vector<uint64_t> Set,
+                            const std::function<bool(
+                                const std::vector<uint64_t> &)> &Test,
+                            const std::function<bool()> &Exhausted) {
+  size_t N = 2;
+  while (Set.size() >= 2 && !Exhausted()) {
+    size_t Chunks = std::min(N, Set.size());
+    size_t Lo = 0;
+    bool Reduced = false;
+    // Subsets first.
+    for (size_t C = 0; C != Chunks && !Exhausted(); ++C) {
+      size_t Hi = Lo + Set.size() / Chunks + (C < Set.size() % Chunks);
+      std::vector<uint64_t> Sub(Set.begin() + Lo, Set.begin() + Hi);
+      if (Test(Sub)) {
+        Set = std::move(Sub);
+        N = 2;
+        Reduced = true;
+        break;
+      }
+      Lo = Hi;
+    }
+    // Then complements (skip for N == 2: complements equal the subsets).
+    if (!Reduced && Chunks > 2) {
+      Lo = 0;
+      for (size_t C = 0; C != Chunks && !Exhausted(); ++C) {
+        size_t Hi = Lo + Set.size() / Chunks + (C < Set.size() % Chunks);
+        std::vector<uint64_t> Comp;
+        Comp.insert(Comp.end(), Set.begin(), Set.begin() + Lo);
+        Comp.insert(Comp.end(), Set.begin() + Hi, Set.end());
+        if (Test(Comp)) {
+          Set = std::move(Comp);
+          N = Chunks > 2 ? Chunks - 1 : 2;
+          Reduced = true;
+          break;
+        }
+        Lo = Hi;
+      }
+    }
+    if (!Reduced) {
+      if (N >= Set.size())
+        break; // Already at finest granularity: Set is 1-minimal.
+      N = std::min(Set.size(), 2 * N);
+    }
+  }
+  return Set;
+}
+
+/// First ceiling a demotion may try, given the tactic the site used.
+/// Returns false when there is nothing more conservative (already at the
+/// bottom), in which case the site is revoked outright.
+bool demotionStart(core::Tactic From, core::TacticCeiling &Start) {
+  switch (From) {
+  case core::Tactic::T3:
+    Start = core::TacticCeiling::NoT3;
+    return true;
+  case core::Tactic::T2:
+    Start = core::TacticCeiling::NoT2;
+    return true;
+  case core::Tactic::T1:
+    Start = core::TacticCeiling::NoT1;
+    return true;
+  case core::Tactic::B1:
+  case core::Tactic::B2:
+    Start = core::TacticCeiling::B0Only;
+    return true;
+  case core::Tactic::B0:
+  case core::Tactic::Failed:
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+frontend::RewriteOptions repair::sabotage(frontend::RewriteOptions Opts,
+                                          std::set<uint64_t> Sites) {
+  auto Base = Opts.SpecFor;
+  core::TrampolineSpec Default = Opts.Patch.Spec;
+  Opts.SpecFor = [Base = std::move(Base), Default = std::move(Default),
+                  Sites = std::move(Sites)](uint64_t Addr) {
+    core::TrampolineSpec S = Base ? Base(Addr) : Default;
+    if (Sites.count(Addr) == 0)
+      return S;
+    // inc qword [0x2000]: low memory is never mapped in the VM, so the
+    // first execution of this trampoline faults — unless the site is
+    // demoted to B0 (no trampoline) or revoked.
+    core::TrampolineSpec Bad;
+    Bad.Kind = core::TrampolineKind::Composed;
+    Bad.Ops.push_back(core::TemplateOp::raw(
+        {0x48, 0xff, 0x04, 0x25, 0x00, 0x20, 0x00, 0x00}));
+    Bad.Ops.push_back(core::TemplateOp::displaced());
+    return Bad;
+  };
+  return Opts;
+}
+
+Result<std::vector<uint64_t>>
+repair::executedSites(const elf::Image &Img,
+                      const std::vector<uint64_t> &PatchLocs, size_t N) {
+  std::set<uint64_t> Cands(PatchLocs.begin(), PatchLocs.end());
+  std::set<uint64_t> Hit;
+
+  vm::Vm V;
+  lowfat::PlainHeap Heap;
+  lowfat::installPlainHeap(V, Heap);
+  if (!Img.B0Sites.empty())
+    frontend::installB0Handler(V, Img.B0Sites);
+  auto L = vm::load(V, Img);
+  if (!L.isOk())
+    return Result<std::vector<uint64_t>>::error(L.reason());
+  V.OnStep = [&](uint64_t Rip) {
+    if (Cands.count(Rip))
+      Hit.insert(Rip);
+  };
+  vm::RunResult R = V.run(100'000'000);
+  if (!R.ok())
+    return Result<std::vector<uint64_t>>::error(
+        format("coverage run failed: %s", R.Error.c_str()));
+
+  std::vector<uint64_t> Exec(Hit.begin(), Hit.end()); // sorted (std::set)
+  if (N >= Exec.size())
+    return Exec;
+  // Evenly spaced over the executed subset, so the picks spread across
+  // the address space (and therefore across shards).
+  std::vector<uint64_t> Out;
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(Exec[I * Exec.size() / N]);
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+Result<RepairOutput>
+repair::selfVerifyingRewrite(const elf::Image &In,
+                             const std::vector<uint64_t> &PatchLocs,
+                             const frontend::RewriteOptions &Opts) {
+  using frontend::RewriteOptions;
+  using frontend::RewriteOutput;
+  const frontend::RepairPolicy &Pol = Opts.Repair;
+
+  RepairOutput RO;
+  RepairReport &Rep = RO.Report;
+
+  // Repair-loop trace events are buffered separately and appended after
+  // the final rewrite's own lines.
+  obs::TraceBuffer RBuf;
+  obs::Tracer RTrace(Opts.Trace.Enabled ? &RBuf : nullptr);
+
+  std::vector<uint64_t> Sites(PatchLocs);
+  std::sort(Sites.begin(), Sites.end());
+  Sites.erase(std::unique(Sites.begin(), Sites.end()), Sites.end());
+
+  Runner R(In);
+  if (Status S = R.init(); !S)
+    return Result<RepairOutput>::error(
+        format("repair: loading the original failed: %s",
+               S.reason().c_str()));
+
+  uint64_t RefMax = Pol.StepLimit ? Pol.StepLimit : 100'000'000;
+  EndState Ref = R.runReference(RefMax);
+  if (Ref.Result.Kind != vm::RunResult::Exit::Finished)
+    return Result<RepairOutput>::error(
+        format("repair: the original binary does not run cleanly: %s",
+               Ref.Result.Error.c_str()));
+  // The hang oracle: a candidate gets a generous multiple of the
+  // reference instruction count before it counts as hung.
+  uint64_t StepLimit =
+      Pol.StepLimit ? Pol.StepLimit : Ref.Result.InsnCount * 4 + 10'000;
+
+  std::map<uint64_t, core::TacticCeiling> Ceilings;
+  std::set<uint64_t> Revoked;
+
+  auto activeSites = [&] {
+    std::vector<uint64_t> Out;
+    for (uint64_t A : Sites)
+      if (Revoked.count(A) == 0)
+        Out.push_back(A);
+    return Out;
+  };
+
+  // Candidate rewrites run without tracing or strict verification: a
+  // probe subset may legitimately leave sites Failed or diverge — that is
+  // the signal, not an error.
+  auto rewriteCandidate =
+      [&](const std::vector<uint64_t> &Subset) -> Result<RewriteOutput> {
+    RewriteOptions O = Opts;
+    O.Trace.Enabled = false;
+    O.Trace.Timings = false;
+    O.Verify.Strict = false;
+    O.Verify.Enabled = false;
+    O.Verify.MaxFailedSites = SIZE_MAX;
+    auto UserCeil = Opts.Patch.CeilingFor;
+    if (!Ceilings.empty() || UserCeil) {
+      O.Patch.CeilingFor = [UserCeil, Ceilings](uint64_t A) {
+        core::TacticCeiling C =
+            UserCeil ? UserCeil(A) : core::TacticCeiling::Full;
+        auto It = Ceilings.find(A);
+        if (It != Ceilings.end() && It->second > C)
+          C = It->second;
+        return C;
+      };
+    }
+    ++Rep.Rewrites;
+    return frontend::rewrite(In, Subset, O);
+  };
+
+  auto budgetLeft = [&] { return Rep.CandidateRuns < Pol.MaxCandidateRuns; };
+
+  // Rewrites + runs one subset; true when it diverges from the reference.
+  auto subsetDiverges = [&](const std::vector<uint64_t> &Subset,
+                            Divergence *Out = nullptr) -> bool {
+    auto Cand = rewriteCandidate(Subset);
+    if (!Cand.isOk()) {
+      // A subset that cannot even rewrite gives no divergence evidence;
+      // report it upward but treat the probe as non-diverging.
+      if (Out) {
+        Out->Kind = DivergenceKind::RewriteError;
+        Out->Detail = Cand.reason();
+      }
+      return false;
+    }
+    ++Rep.CandidateRuns;
+    bool TrapUnknown = false;
+    EndState E = R.runCandidate(*Cand, StepLimit, TrapUnknown);
+    Divergence D = compare(Ref, E, TrapUnknown);
+    if (Out)
+      *Out = D;
+    return D.diverged();
+  };
+
+  // Local refinement for one culprit: walk the demotion lattice on a
+  // single-site candidate until it stops diverging; adopt that ceiling,
+  // or revoke when the floor is reached (or the budget runs out).
+  auto refine = [&](uint64_t Addr, core::Tactic From, uint64_t Round) {
+    SiteRepair SR;
+    SR.Addr = Addr;
+    SR.From = From;
+    SR.Round = Round;
+    core::TacticCeiling Start;
+    bool CanDemote = demotionStart(From, Start);
+    auto Cur = Ceilings.find(Addr);
+    if (CanDemote && Cur != Ceilings.end() && Cur->second >= Start) {
+      // The site already carries a ceiling at least this strict (from an
+      // earlier round): step strictly further down, or give up at B0.
+      if (Cur->second == core::TacticCeiling::B0Only)
+        CanDemote = false;
+      else
+        Start = static_cast<core::TacticCeiling>(
+            static_cast<int>(Cur->second) + 1);
+    }
+    if (CanDemote) {
+      for (int C = static_cast<int>(Start);
+           C <= static_cast<int>(Pol.DemotionFloor) && budgetLeft(); ++C) {
+        auto Ceil = static_cast<core::TacticCeiling>(C);
+        Ceilings[Addr] = Ceil;
+        Divergence D;
+        if (!subsetDiverges({Addr}, &D) &&
+            D.Kind != DivergenceKind::RewriteError) {
+          SR.Ceiling = Ceil;
+          Rep.Sites.push_back(SR);
+          RTrace.repairSite(Addr, "demote", core::tacticName(From),
+                            core::tacticCeilingName(Ceil), Round);
+          return;
+        }
+      }
+      Ceilings.erase(Addr);
+    }
+    SR.Revoked = true;
+    Revoked.insert(Addr);
+    Rep.Sites.push_back(SR);
+    RTrace.repairSite(Addr, "revoke", core::tacticName(From), nullptr,
+                      Round);
+  };
+
+  bool Converged = false;
+  for (uint64_t Round = 1; Round <= Pol.MaxRounds && budgetLeft(); ++Round) {
+    Rep.Rounds = Round;
+    std::vector<uint64_t> Active = activeSites();
+    auto Full = rewriteCandidate(Active);
+    if (!Full.isOk())
+      return Result<RepairOutput>::error(
+          format("repair: rewrite failed in round %llu: %s",
+                 static_cast<unsigned long long>(Round),
+                 Full.reason().c_str()));
+    ++Rep.CandidateRuns;
+    bool TrapUnknown = false;
+    EndState E = R.runCandidate(*Full, StepLimit, TrapUnknown);
+    Divergence D = compare(Ref, E, TrapUnknown);
+    if (!D.diverged()) {
+      Converged = true;
+      break;
+    }
+    Rep.Final = D;
+    RTrace.repairDivergence(Round, divergenceKindName(D.Kind), D.Detail);
+
+    // Tactic each site used in this round's candidate (for demotion).
+    std::map<uint64_t, core::Tactic> Used;
+    for (const core::PatchSiteResult &S : Full->Sites)
+      Used[S.Addr] = S.Used;
+
+    std::vector<uint64_t> Culprits = ddmin(
+        Active, [&](const std::vector<uint64_t> &S) {
+          return subsetDiverges(S);
+        },
+        [&] { return !budgetLeft(); });
+    if (Culprits.size() == Active.size() && Active.size() > 1 &&
+        !budgetLeft())
+      break; // Budget died before isolation could make progress.
+    for (uint64_t C : Culprits) {
+      auto It = Used.find(C);
+      refine(C, It == Used.end() ? core::Tactic::Failed : It->second,
+             Round);
+    }
+  }
+
+  if (Converged) {
+    // One clean full-set run already matched; re-check is unnecessary
+    // because the pipeline is deterministic: the final rewrite below uses
+    // the same sites and ceilings and so produces the same bytes.
+    Rep.Final = Divergence();
+  }
+  Rep.Converged = Converged;
+  Rep.SnapshotRestores = R.Restores;
+  Rep.ColdLoads = R.ColdLoads;
+  Rep.CowClonedPages = R.cowClonedPages();
+
+  size_t Demoted = 0, RevokedN = 0;
+  for (const SiteRepair &S : Rep.Sites)
+    (S.Revoked ? RevokedN : Demoted) += 1;
+  RTrace.repairSummary(Rep.Converged, Rep.Rounds, Rep.CandidateRuns,
+                       Rep.Rewrites + 1, Demoted, RevokedN,
+                       Rep.SnapshotRestores, Rep.ColdLoads);
+
+  // The final rewrite runs with the caller's real options (tracing,
+  // verification, strictness) over the repaired site set.
+  RewriteOptions FinalOpts = Opts;
+  auto UserCeil = Opts.Patch.CeilingFor;
+  if (!Ceilings.empty() || UserCeil) {
+    FinalOpts.Patch.CeilingFor = [UserCeil, Ceilings](uint64_t A) {
+      core::TacticCeiling C =
+          UserCeil ? UserCeil(A) : core::TacticCeiling::Full;
+      auto It = Ceilings.find(A);
+      if (It != Ceilings.end() && It->second > C)
+        C = It->second;
+      return C;
+    };
+  }
+  auto Final = frontend::rewrite(In, activeSites(), FinalOpts);
+  if (!Final.isOk())
+    return Result<RepairOutput>::error(
+        format("repair: final rewrite failed: %s", Final.reason().c_str()));
+  ++Rep.Rewrites;
+  RO.Rewrite = Final.take();
+  for (std::string &Line : RBuf.take())
+    RO.Rewrite.Trace.push_back(std::move(Line));
+
+  obs::MetricsRegistry Reg;
+  Reg.counter("repair.converged").add(Rep.Converged ? 1 : 0);
+  Reg.counter("repair.rounds").add(Rep.Rounds);
+  Reg.counter("repair.candidate_runs").add(Rep.CandidateRuns);
+  Reg.counter("repair.rewrites").add(Rep.Rewrites);
+  Reg.counter("repair.sites_demoted").add(Demoted);
+  Reg.counter("repair.sites_revoked").add(RevokedN);
+  Reg.counter("repair.snapshot_restores").add(Rep.SnapshotRestores);
+  Reg.counter("repair.cold_loads").add(Rep.ColdLoads);
+  Reg.counter("repair.cow_cloned_pages").add(Rep.CowClonedPages);
+  RO.Metrics = Reg.snapshot();
+  return RO;
+}

@@ -1,0 +1,115 @@
+//===- repair/Repair.h - Self-verifying rewrites ---------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive repair loop: rewrite, execute original and rewritten
+/// binaries in the VM, compare end states, and when they diverge isolate
+/// the offending patch site(s) by delta-debugging (ddmin over the applied
+/// site set, re-rewriting each candidate subset through the deterministic
+/// pipeline) and retry each culprit under a strictly more conservative
+/// tactic ceiling (demote T3 -> T2 -> ... -> B0) or revoke it outright.
+/// Candidate runs rewind a copy-on-write VM snapshot of the loaded
+/// original instead of reloading from scratch — the StochFuzz fork-server
+/// trick, in-process. See DESIGN.md §12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_REPAIR_REPAIR_H
+#define E9_REPAIR_REPAIR_H
+
+#include "elf/Image.h"
+#include "frontend/Rewriter.h"
+#include "obs/Metrics.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace e9 {
+namespace repair {
+
+/// How a candidate run differed from the reference run.
+enum class DivergenceKind : uint8_t {
+  None,         ///< End states identical — verified equivalent.
+  EndState,     ///< Register or data-memory end-state mismatch.
+  GuestFault,   ///< The candidate faulted (decode/memory error, ud2).
+  Trap,         ///< int3 at an address with no B0 side-table entry.
+  Hang,         ///< Step budget exhausted while the reference finished.
+  LoadFailure,  ///< Candidate image failed to delta-load.
+  RewriteError, ///< Candidate subset failed to rewrite at all.
+};
+const char *divergenceKindName(DivergenceKind K);
+
+struct Divergence {
+  DivergenceKind Kind = DivergenceKind::None;
+  std::string Detail;
+  bool diverged() const { return Kind != DivergenceKind::None; }
+};
+
+/// The repair outcome for one isolated culprit site.
+struct SiteRepair {
+  uint64_t Addr = 0;
+  bool Revoked = false; ///< Left unpatched (no safe tactic found in budget).
+  /// Tactic in use when the site was isolated as a culprit.
+  core::Tactic From = core::Tactic::Failed;
+  /// Adopted ceiling after demotion (meaningful when !Revoked).
+  core::TacticCeiling Ceiling = core::TacticCeiling::Full;
+  uint64_t Round = 0; ///< Repair round (1-based) that caught the site.
+};
+
+struct RepairReport {
+  bool Converged = false;
+  uint64_t Rounds = 0;        ///< Global rounds executed.
+  uint64_t CandidateRuns = 0; ///< VM executions of rewrite candidates.
+  uint64_t Rewrites = 0;      ///< Pipeline invocations (incl. the final one).
+  uint64_t SnapshotRestores = 0;
+  uint64_t ColdLoads = 0;     ///< Full image loads (1 unless snapshots fail).
+  uint64_t CowClonedPages = 0; ///< Pages cloned by CoW across all runs.
+  std::vector<SiteRepair> Sites;
+  Divergence Final; ///< Last observed divergence when !Converged.
+};
+
+struct RepairOutput {
+  /// The final rewrite, produced with the caller's own options (trace,
+  /// verification, jobs) plus the repaired ceilings/revocations.
+  frontend::RewriteOutput Rewrite;
+  RepairReport Report;
+  /// repair.* counters, separate from the rewrite pipeline's metrics.
+  obs::MetricsSnapshot Metrics;
+};
+
+/// Rewrites \p In patching \p PatchLocs, then verifies the result by
+/// execution and repairs divergent sites per \p Opts.Repair. Returns an
+/// error only for infrastructure failures (unrunnable original, final
+/// rewrite failure); a repair loop that exhausts its budget returns Ok
+/// with Report.Converged == false so the caller can decide.
+Result<RepairOutput>
+selfVerifyingRewrite(const elf::Image &In,
+                     const std::vector<uint64_t> &PatchLocs,
+                     const frontend::RewriteOptions &Opts);
+
+/// Chaos harness: wraps \p Opts so the trampoline at each address in
+/// \p Sites executes a stray 8-byte write into unmapped low memory before
+/// the displaced instruction — a deterministic stand-in for a rewriter
+/// bug that only execution can catch. Keyed on the site address, so the
+/// sabotage survives ddmin subsetting.
+frontend::RewriteOptions sabotage(frontend::RewriteOptions Opts,
+                                  std::set<uint64_t> Sites);
+
+/// Picks up to \p N sites from \p PatchLocs that actually execute when
+/// \p Img runs (evenly spaced over the executed subset, deterministic).
+/// Chaos injected at a never-executed site cannot diverge and would make
+/// a convergence test vacuous.
+Result<std::vector<uint64_t>>
+executedSites(const elf::Image &Img, const std::vector<uint64_t> &PatchLocs,
+              size_t N);
+
+} // namespace repair
+} // namespace e9
+
+#endif // E9_REPAIR_REPAIR_H

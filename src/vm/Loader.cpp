@@ -11,33 +11,24 @@
 using namespace e9;
 using namespace e9::vm;
 
-Result<LoadStats> vm::load(Vm &V, const elf::Image &Img,
-                           const LoadOptions &Opts) {
-  LoadStats Stats;
-
-  for (const elf::Segment &S : Img.Segments) {
-    if (Status St = V.Mem.mapBytes(S.VAddr, S.Bytes, S.MemSize, S.Flags); !St)
-      return Result<LoadStats>::error(
-          format("loading segment %s at %s failed: %s", S.Name.c_str(),
-                 hex(S.VAddr).c_str(), St.reason().c_str()));
-  }
-
+Result<MappingStats> vm::applyMappings(Vm &V, const elf::Image &Img) {
+  MappingStats Stats;
   // Apply the trampoline mapping table with shared physical pages: one
   // physical page per (block, page-offset), reused across mappings.
   std::map<std::pair<uint32_t, uint64_t>, PhysPageRef> SharedPages;
   for (const elf::Mapping &M : Img.Mappings) {
     if (E9_FAULT_POINT("vm.load.mapping"))
-      return Result<LoadStats>::error(format(
+      return Result<MappingStats>::error(format(
           "injected fault: vm.load.mapping (applying the mapping at %s "
           "failed)",
           hex(M.VAddr).c_str()));
     if ((M.VAddr & PageMask) != 0 || (M.Offset & PageMask) != 0)
-      return Result<LoadStats>::error(
+      return Result<MappingStats>::error(
           format("mapping at %s is not page aligned", hex(M.VAddr).c_str()));
     if (M.BlockIndex >= Img.Blocks.size())
-      return Result<LoadStats>::error("mapping references missing block");
+      return Result<MappingStats>::error("mapping references missing block");
     if (M.VAddr + M.Size < M.VAddr || M.Size > (1ull << 42))
-      return Result<LoadStats>::error("mapping size out of range");
+      return Result<MappingStats>::error("mapping size out of range");
     const elf::PhysBlock &B = Img.Blocks[M.BlockIndex];
     uint64_t Pages = (M.Size + PageSize - 1) / PageSize;
     for (uint64_t P = 0; P != Pages; ++P) {
@@ -55,7 +46,7 @@ Result<LoadStats> vm::load(Vm &V, const elf::Image &Img,
           }
         if (AllZero)
           continue;
-        return Result<LoadStats>::error(
+        return Result<MappingStats>::error(
             format("mapping block %u collides with mapped page %s",
                    M.BlockIndex, hex(M.VAddr + P * PageSize).c_str()));
       }
@@ -72,13 +63,32 @@ Result<LoadStats> vm::load(Vm &V, const elf::Image &Img,
       if (Status St = V.Mem.mapPage(M.VAddr + P * PageSize, It->second,
                                     static_cast<uint8_t>(M.Flags));
           !St)
-        return Result<LoadStats>::error(
+        return Result<MappingStats>::error(
             format("mapping block %u at %s failed: %s", M.BlockIndex,
                    hex(M.VAddr + P * PageSize).c_str(), St.reason().c_str()));
     }
     ++Stats.MappingCount;
   }
   Stats.SharedPhysPages = SharedPages.size();
+  return Stats;
+}
+
+Result<LoadStats> vm::load(Vm &V, const elf::Image &Img,
+                           const LoadOptions &Opts) {
+  LoadStats Stats;
+
+  for (const elf::Segment &S : Img.Segments) {
+    if (Status St = V.Mem.mapBytes(S.VAddr, S.Bytes, S.MemSize, S.Flags); !St)
+      return Result<LoadStats>::error(
+          format("loading segment %s at %s failed: %s", S.Name.c_str(),
+                 hex(S.VAddr).c_str(), St.reason().c_str()));
+  }
+
+  auto MS = applyMappings(V, Img);
+  if (!MS.isOk())
+    return Result<LoadStats>::error(MS.reason());
+  Stats.MappingCount = MS->MappingCount;
+  Stats.SharedPhysPages = MS->SharedPhysPages;
 
   // Stack + exit sentinel (skipped for secondary images).
   if (Opts.SetupStack) {

@@ -45,6 +45,19 @@ struct LoadStats {
 Result<LoadStats> load(Vm &V, const elf::Image &Img,
                        const LoadOptions &Opts = LoadOptions());
 
+/// Statistics from applying just the trampoline mapping table.
+struct MappingStats {
+  size_t MappingCount = 0;
+  size_t SharedPhysPages = 0;
+};
+
+/// Applies only \p Img's trampoline mapping table (shared physical pages),
+/// assuming the segments are already mapped. load() uses this internally;
+/// the repair loop uses it to delta-load a rewrite candidate over a
+/// restored snapshot of the original image (segments patched via poke,
+/// trampoline pages mapped fresh here).
+Result<MappingStats> applyMappings(Vm &V, const elf::Image &Img);
+
 } // namespace vm
 } // namespace e9
 

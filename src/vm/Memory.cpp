@@ -26,6 +26,31 @@ const Memory::Entry *Memory::lookup(uint64_t Addr) const {
   return It == Pages.end() ? nullptr : &It->second;
 }
 
+void Memory::makeWritable(Entry &E) {
+  // Copy-on-write: never scribble on the shared demand-zero page or on a
+  // physical page frozen into a snapshot.
+  if (E.Phys == zeroPage() || E.Cow) {
+    PhysPageRef Fresh = allocPhysPage();
+    *Fresh = *E.Phys;
+    E.Phys = std::move(Fresh);
+    E.Cow = false;
+    ++CowClones;
+  }
+}
+
+Memory::Snapshot Memory::snapshot() {
+  // Mark every live page copy-on-write *first*, so the snapshot's copies
+  // carry Cow=true too: restoring hands back entries that are still
+  // protected against the next run's writes, making snapshots reusable.
+  for (auto &[Idx, E] : Pages)
+    E.Cow = true;
+  Snapshot S;
+  S.Pages = Pages;
+  return S;
+}
+
+void Memory::restore(const Snapshot &S) { Pages = S.Pages; }
+
 Status Memory::mapPage(uint64_t VAddr, PhysPageRef Page, uint8_t Perms) {
   assert((VAddr & PageMask) == 0 && "mapPage requires page alignment");
   auto [It, Inserted] =
@@ -66,14 +91,16 @@ Status Memory::mapBytes(uint64_t VAddr, const std::vector<uint8_t> &Bytes,
         !S)
       return S;
   }
-  // Copy the content byte-wise through the page table.
+  // Copy the content byte-wise through the page table. Must honour
+  // copy-on-write: a pre-existing page here may be frozen in a snapshot.
   for (size_t I = 0; I < Bytes.size();) {
     uint64_t A = VAddr + I;
-    const Entry *E = lookup(A);
-    assert(E && "page must exist after mapping");
+    auto It = Pages.find(A / PageSize);
+    assert(It != Pages.end() && "page must exist after mapping");
+    makeWritable(It->second);
     uint64_t Off = A & PageMask;
     size_t Chunk = std::min<size_t>(PageSize - Off, Bytes.size() - I);
-    std::memcpy(E->Phys->data() + Off, Bytes.data() + I, Chunk);
+    std::memcpy(It->second.Phys->data() + Off, Bytes.data() + I, Chunk);
     I += Chunk;
   }
   return Status::ok();
@@ -115,9 +142,25 @@ Status Memory::write(uint64_t Addr, const uint8_t *In, size_t N) {
     if (It == Pages.end() || !(It->second.Perms & PermW))
       return Status::error(
           format("invalid write of %zu bytes at %s", N, hex(Addr).c_str()));
-    // Copy-on-write: never scribble on the shared demand-zero page.
-    if (It->second.Phys == zeroPage())
-      It->second.Phys = allocPhysPage();
+    makeWritable(It->second);
+    uint64_t Off = A & PageMask;
+    size_t Chunk = std::min<size_t>(PageSize - Off, N - Done);
+    std::memcpy(It->second.Phys->data() + Off, In, Chunk);
+    In += Chunk;
+    Done += Chunk;
+  }
+  return Status::ok();
+}
+
+Status Memory::poke(uint64_t Addr, const uint8_t *In, size_t N) {
+  size_t Done = 0;
+  while (Done < N) {
+    uint64_t A = Addr + Done;
+    auto It = Pages.find(A / PageSize);
+    if (It == Pages.end())
+      return Status::error(
+          format("invalid poke of %zu bytes at %s", N, hex(Addr).c_str()));
+    makeWritable(It->second);
     uint64_t Off = A & PageMask;
     size_t Chunk = std::min<size_t>(PageSize - Off, N - Done);
     std::memcpy(It->second.Phys->data() + Off, In, Chunk);

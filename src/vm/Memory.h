@@ -50,7 +50,37 @@ PhysPageRef zeroPage();
 
 /// Sparse page-table memory with shared physical pages.
 class Memory {
+  struct Entry {
+    PhysPageRef Phys;
+    uint8_t Perms;
+    /// Copy-on-write marker: the physical page is shared with a snapshot
+    /// (or is the demand-zero page) and must be cloned before any write.
+    bool Cow = false;
+  };
+
 public:
+  /// A frozen copy of the page table. Every physical page is shared with
+  /// the live Memory under copy-on-write, so a snapshot costs one map copy
+  /// plus one cloned page per page *subsequently written* — never a full
+  /// address-space copy. Snapshots are immutable and reusable: restoring
+  /// does not consume them.
+  class Snapshot {
+    friend class Memory;
+    std::unordered_map<uint64_t, Entry> Pages;
+  };
+
+  /// Freezes the current page table. All live pages become copy-on-write;
+  /// the next guest write to any of them pays one 4 KiB clone.
+  Snapshot snapshot();
+
+  /// Replaces the page table with \p S's frozen state. Pages mapped since
+  /// the snapshot vanish; pages written since revert (their clones are
+  /// dropped). The snapshot stays valid for further restores.
+  void restore(const Snapshot &S);
+
+  /// Pages cloned by copy-on-write since construction (the "dirty page"
+  /// count of snapshot-based runs; feeds the repair-loop cost model).
+  uint64_t cowCloneCount() const { return CowClones; }
   /// Maps one physical page at page-aligned \p VAddr. Fails when the page
   /// is already mapped.
   Status mapPage(uint64_t VAddr, PhysPageRef Page, uint8_t Perms);
@@ -91,15 +121,19 @@ public:
   /// Number of distinct physical pages backing the address space.
   size_t uniquePhysPageCount() const;
 
-private:
-  struct Entry {
-    PhysPageRef Phys;
-    uint8_t Perms;
-  };
+  /// Host-side write that ignores PermW (the repair runner patches text
+  /// pages through this). Still requires every touched page to be mapped,
+  /// and still honours copy-on-write.
+  Status poke(uint64_t Addr, const uint8_t *In, size_t N);
 
+private:
   const Entry *lookup(uint64_t Addr) const;
+  /// Makes the page entry privately writable, cloning the physical page
+  /// when it is the demand-zero page or shared with a snapshot.
+  void makeWritable(Entry &E);
 
   std::unordered_map<uint64_t, Entry> Pages; ///< Key: VAddr / PageSize.
+  uint64_t CowClones = 0;
 };
 
 } // namespace vm

@@ -108,6 +108,22 @@ void Vm::registerHook(uint64_t Addr, HostHook Fn, uint64_t Cost) {
   Hooks[Addr] = HookEntry{std::move(Fn), Cost};
 }
 
+VmSnapshot Vm::snapshot() {
+  VmSnapshot S;
+  S.Core = Core;
+  S.Mem = Mem.snapshot();
+  return S;
+}
+
+void Vm::restore(const VmSnapshot &S) {
+  Core = S.Core;
+  Mem.restore(S.Mem);
+  // The cache maps rip -> decoded insn; after a restore the text at a
+  // given rip may be re-patched (different rewrite candidate), so stale
+  // entries would execute the *previous* candidate's bytes.
+  DecodeCache.clear();
+}
+
 Status Vm::push64(uint64_t V) {
   Core.rsp() -= 8;
   return Mem.write64(Core.rsp(), V);

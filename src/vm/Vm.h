@@ -60,6 +60,15 @@ struct RunResult {
   bool ok() const { return Kind == Exit::Finished; }
 };
 
+/// A frozen machine state: register file + copy-on-write memory image.
+/// Host hooks and the trap handler are deliberately *not* captured — they
+/// are std::functions owned by the harness, which re-registers them per
+/// run (registerHook/setTrapHandler overwrite in place).
+struct VmSnapshot {
+  Cpu Core;
+  Memory::Snapshot Mem;
+};
+
 /// The interpreter.
 class Vm {
 public:
@@ -86,6 +95,16 @@ public:
 
   /// Runs from Core.Rip for at most \p MaxInsns instructions.
   RunResult run(uint64_t MaxInsns);
+
+  /// Freezes registers + memory (copy-on-write, see Memory::snapshot).
+  /// The StochFuzz fork-server trick, in-process: the repair loop loads
+  /// the original image once and rewinds to this point per candidate.
+  VmSnapshot snapshot();
+
+  /// Rewinds to \p S. The decode cache is dropped because the restored
+  /// text may be re-patched before the next run (candidate images differ
+  /// byte-wise at the same rip). \p S remains valid for further restores.
+  void restore(const VmSnapshot &S);
 
   /// Executes one decoded instruction (public so the B0 trap handler can
   /// emulate the displaced original). \p Bytes are the instruction bytes

@@ -9,6 +9,31 @@
 using namespace e9;
 using namespace e9::workload;
 
+uint64_t workload::dataChecksum(vm::Vm &V, const elf::Image &Img) {
+  // FNV-1a over the writable data segments as seen by the VM. Untouched
+  // demand-zero pages (multi-GiB .bss) are skipped: two behaviourally
+  // identical runs touch the same pages, so the hashes still agree.
+  uint64_t H = 1469598103934665603ULL;
+  for (const elf::Segment &S : Img.Segments) {
+    if (!(S.Flags & elf::PF_W))
+      continue;
+    std::vector<uint8_t> Buf(4096);
+    for (uint64_t Off = 0; Off < S.MemSize; Off += Buf.size()) {
+      size_t N = static_cast<size_t>(
+          std::min<uint64_t>(Buf.size(), S.MemSize - Off));
+      if (V.Mem.isDemandZero(S.VAddr + Off))
+        continue;
+      if (!V.Mem.read(S.VAddr + Off, Buf.data(), N))
+        break;
+      for (size_t I = 0; I != N; ++I) {
+        H ^= Buf[I];
+        H *= 1099511628211ULL;
+      }
+    }
+  }
+  return H;
+}
+
 RunOutcome workload::runImage(const elf::Image &Img, const RunConfig &Config) {
   RunOutcome Out;
   vm::Vm V;
@@ -39,27 +64,6 @@ RunOutcome workload::runImage(const elf::Image &Img, const RunConfig &Config) {
   Out.MappedPages = V.Mem.mappedPageCount();
   Out.UniquePhysPages = V.Mem.uniquePhysPageCount();
 
-  // FNV-1a over the writable data segments as seen by the VM. Untouched
-  // demand-zero pages (multi-GiB .bss) are skipped: two behaviourally
-  // identical runs touch the same pages, so the hashes still agree.
-  uint64_t H = 1469598103934665603ULL;
-  for (const elf::Segment &S : Img.Segments) {
-    if (!(S.Flags & elf::PF_W))
-      continue;
-    std::vector<uint8_t> Buf(4096);
-    for (uint64_t Off = 0; Off < S.MemSize; Off += Buf.size()) {
-      size_t N = static_cast<size_t>(
-          std::min<uint64_t>(Buf.size(), S.MemSize - Off));
-      if (V.Mem.isDemandZero(S.VAddr + Off))
-        continue;
-      if (!V.Mem.read(S.VAddr + Off, Buf.data(), N))
-        break;
-      for (size_t I = 0; I != N; ++I) {
-        H ^= Buf[I];
-        H *= 1099511628211ULL;
-      }
-    }
-  }
-  Out.DataChecksum = H;
+  Out.DataChecksum = dataChecksum(V, Img);
   return Out;
 }

@@ -52,6 +52,10 @@ struct RunOutcome {
 /// Runs \p Img to completion in a fresh VM.
 RunOutcome runImage(const elf::Image &Img, const RunConfig &Config = {});
 
+/// FNV-1a over \p Img's writable segments as seen by \p V (demand-zero
+/// pages skipped). The memory half of the end-state divergence oracle.
+uint64_t dataChecksum(vm::Vm &V, const elf::Image &Img);
+
 } // namespace workload
 } // namespace e9
 

@@ -18,6 +18,7 @@
 #include "frontend/Runtime.h"
 #include "frontend/Select.h"
 #include "lowfat/LowFat.h"
+#include "repair/Repair.h"
 #include "support/Format.h"
 #include "vm/Loader.h"
 #include "vm/Vm.h"
@@ -168,6 +169,55 @@ TEST(TemplateCache, RejectsDuplicateNames) {
   EXPECT_NE(S.reason().find("duplicate template name"), std::string::npos);
   EXPECT_NE(Cache.find("t"), nullptr);
   EXPECT_EQ(Cache.find("undefined"), nullptr);
+}
+
+TEST(TemplateCache, LruEvictionBoundsTheCache) {
+  api::TemplateCache Cache(2);
+  ASSERT_TRUE(Cache.define("a", "$instruction $continue").isOk());
+  ASSERT_TRUE(Cache.define("b", "$instruction $continue").isOk());
+  // Touch "a": its recency is now newer than "b"'s, so defining a third
+  // entry evicts "b", not "a".
+  ASSERT_NE(Cache.find("a"), nullptr);
+  ASSERT_TRUE(Cache.define("c", "$instruction $continue").isOk());
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_EQ(Cache.find("b"), nullptr);
+  EXPECT_NE(Cache.find("a"), nullptr);
+  EXPECT_NE(Cache.find("c"), nullptr);
+  // A *live* duplicate is still a protocol error — eviction never makes
+  // redefining a cached name legal.
+  Status S = Cache.define("a", "$hex(90) $continue");
+  ASSERT_FALSE(S.isOk());
+  EXPECT_NE(S.reason().find("duplicate template name"), std::string::npos);
+}
+
+TEST(TemplateCache, EvictedNameRecompilesOnRedefine) {
+  api::TemplateCache Cache(1);
+  ASSERT_TRUE(Cache.define("t", "$instruction $continue").isOk());
+  ASSERT_TRUE(Cache.define("other", "$instruction $continue").isOk());
+  ASSERT_EQ(Cache.find("t"), nullptr); // evicted by "other"
+  // Redefining the evicted name must recompile the new body, not revive
+  // the old program: the ops prove which body was compiled.
+  ASSERT_TRUE(Cache.define("t", "$hex(90) $continue").isOk());
+  auto P = Cache.find("t");
+  ASSERT_NE(P, nullptr);
+  ASSERT_GE(P->Ops.size(), 1u);
+  EXPECT_EQ(P->Ops[0].K, OpKind::Raw);
+  EXPECT_EQ(P->Ops[0].Raw, std::vector<uint8_t>{0x90});
+  EXPECT_EQ(Cache.evictions(), 2u);
+}
+
+TEST(TemplateCache, InFlightProgramsSurviveEviction) {
+  api::TemplateCache Cache(1);
+  ASSERT_TRUE(Cache.define("t", "$instruction $continue").isOk());
+  std::shared_ptr<const Program> Held = Cache.find("t");
+  ASSERT_NE(Held, nullptr);
+  ASSERT_TRUE(Cache.define("evictor", "$hex(cc)").isOk());
+  EXPECT_EQ(Cache.find("t"), nullptr);
+  // The shared_ptr held by an in-flight patch request keeps the compiled
+  // program alive past eviction.
+  EXPECT_EQ(Held->Ops.size(), 2u);
+  EXPECT_EQ(Held->Ops[0].K, OpKind::Displaced);
 }
 
 //===----------------------------------------------------------------------===//
@@ -560,4 +610,104 @@ TEST(DriverRoundTrip, CounterTemplateCountsBranchesAndPassesVerifier) {
     Total += N;
   }
   EXPECT_GT(Total, 0u) << "no branch visits recorded";
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded-status reporting and the repair option
+//===----------------------------------------------------------------------===//
+
+TEST(DriverStatus, DegradedFlagDistinguishesPartialRewrites) {
+  const std::string Bin = genWorkloadFile("api_degraded.elf", 4, 8);
+  // A jmp target no trampoline can reach with rel32: every site fails to
+  // build. With the default (unbounded) failed-site budget the job still
+  // succeeds — but the status response must say degraded:true so a client
+  // can tell this apart from a clean rewrite.
+  const std::string Script =
+      "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+      "{\"type\":\"template\",\"name\":\"far\",\"body\":\"$instruction "
+      "$asm(jmp 0x7f0000000000)\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"far\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + tmpPath("api_degraded_out.elf") +
+      "\"}\n";
+  ScriptRun Run(Script);
+  ASSERT_TRUE(Run.R.ok()) << Run.Responses;
+  EXPECT_NE(Run.Responses.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(Run.Responses.find("\"degraded\":true"), std::string::npos)
+      << Run.Responses;
+
+  // A clean rewrite reports degraded:false.
+  const std::string Clean =
+      "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+      "{\"type\":\"template\",\"name\":\"ok\",\"body\":\"$instruction "
+      "$continue\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"ok\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + tmpPath("api_clean_out.elf") +
+      "\"}\n";
+  ScriptRun CleanRun(Clean);
+  ASSERT_TRUE(CleanRun.R.ok()) << CleanRun.Responses;
+  EXPECT_NE(CleanRun.Responses.find("\"degraded\":false"),
+            std::string::npos);
+}
+
+TEST(DriverRepair, RepairOptionSelfVerifiesAndReportsOutcome) {
+  const std::string Bin = genWorkloadFile("api_repair.elf", 9, 10);
+  const std::string Out = tmpPath("api_repair_out.elf");
+  const std::string Script =
+      "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+      "{\"type\":\"template\",\"name\":\"ok\",\"body\":\"$instruction "
+      "$continue\"}\n"
+      "{\"type\":\"option\",\"name\":\"repair\",\"value\":\"true\"}\n"
+      "{\"type\":\"option\",\"name\":\"repair-rounds\",\"value\":\"8\"}\n"
+      "{\"type\":\"option\",\"name\":\"repair-floor\",\"value\":\"b0\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"ok\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + Out + "\"}\n";
+  ScriptRun Run(Script);
+  ASSERT_TRUE(Run.R.ok()) << Run.Responses;
+  EXPECT_NE(Run.Responses.find("\"repair_converged\":true"),
+            std::string::npos)
+      << Run.Responses;
+  EXPECT_NE(Run.Responses.find("\"repair_rounds\":1"), std::string::npos);
+  EXPECT_NE(Run.Responses.find("\"degraded\":false"), std::string::npos);
+
+  // The emitted binary is byte-identical to a direct self-verifying
+  // rewrite: the protocol adds no nondeterminism.
+  auto Img = elf::readFile(Bin);
+  ASSERT_TRUE(Img.isOk());
+  frontend::DisasmResult Dis = frontend::linearDisassemble(*Img);
+  frontend::RewriteOptions Opts;
+  Opts.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  Opts.Repair.Enabled = true;
+  Opts.Repair.MaxRounds = 8;
+  auto Direct = repair::selfVerifyingRewrite(
+      *Img, frontend::selectJumps(Dis.Insns), Opts);
+  ASSERT_TRUE(Direct.isOk()) << Direct.reason();
+  const std::string Ref = tmpPath("api_repair_ref.elf");
+  ASSERT_TRUE(elf::writeFile(Direct->Rewrite.Rewritten, Ref).isOk());
+  EXPECT_EQ(fileBytes(Out), fileBytes(Ref));
+}
+
+TEST(DriverRepair, MalformedRepairOptionsFailClosed) {
+  const std::string Bin = genWorkloadFile("api_repair_bad.elf", 9, 8);
+  const struct {
+    const char *Line;
+    const char *ErrPart;
+  } Cases[] = {
+      {"{\"type\":\"option\",\"name\":\"repair\",\"value\":\"maybe\"}",
+       "or \\\"false\\\""},
+      {"{\"type\":\"option\",\"name\":\"repair-floor\",\"value\":"
+       "\"turbo\"}",
+       "wants full, no-t3"},
+      {"{\"type\":\"option\",\"name\":\"repair-rounds\",\"value\":"
+       "\"lots\"}",
+       "unsigned integer"},
+  };
+  for (const auto &C : Cases) {
+    const std::string Script =
+        "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n" + C.Line + "\n";
+    ScriptRun Run(Script);
+    EXPECT_TRUE(Run.R.ProtocolError) << C.Line;
+    EXPECT_NE(Run.Responses.find(C.ErrPart), std::string::npos)
+        << C.Line << "\nresponses: " << Run.Responses;
+  }
 }

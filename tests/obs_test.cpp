@@ -16,6 +16,7 @@
 #include "obs/JsonWriter.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/FaultInjector.h"
 #include "workload/Gen.h"
 
 #include <gtest/gtest.h>
@@ -299,4 +300,59 @@ TEST(TraceDeterminismTest, TracingDoesNotPerturbOutputBytes) {
   EXPECT_TRUE(A->Trace.empty());
   EXPECT_FALSE(B->Trace.empty());
   EXPECT_EQ(elf::write(A->Rewritten), elf::write(B->Rewritten));
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded rewrites announce themselves in the trace
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSchemaTest, DegradedEventReportsFailedSitesWithinBudget) {
+  // Arm the allocator fault site: every trampoline allocation fails, so
+  // every patch site ends up Failed. Within an unbounded failed-site
+  // budget the rewrite still succeeds — but the trace must carry a
+  // distinct "degraded" event, not just a summary count.
+  FaultInjector::instance().arm("core.alloc.allocate");
+  Workload W = smallWorkload(13);
+  DisasmResult D = linearDisassemble(W.Image);
+  std::vector<uint64_t> Locs = selectJumps(D.Insns);
+  RewriteOptions Opts;
+  Opts.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  Opts.withTrace().withMaxFailedSites(SIZE_MAX);
+  auto Out = rewrite(W.Image, Locs, Opts);
+  FaultInjector::instance().disarm();
+  ASSERT_TRUE(Out.isOk()) << Out.reason();
+  ASSERT_GT(Out->Stats.count(core::Tactic::Failed), 0u);
+
+  ParsedTrace T = parseTrace(Out->Trace);
+  size_t Degraded = 0;
+  for (auto &E : T.Events)
+    if (E["ev"].Str == "degraded") {
+      ++Degraded;
+      EXPECT_EQ(E["failed"].asU64(), Out->Stats.count(core::Tactic::Failed));
+      // An unbounded budget is omitted, not serialized as SIZE_MAX.
+      EXPECT_EQ(E.count("budget"), 0u);
+    }
+  EXPECT_EQ(Degraded, 1u);
+
+  // With a finite (but big enough) budget, the event names the budget so
+  // a trace reader can see how close the rewrite came to failing closed.
+  FaultInjector::instance().arm("core.alloc.allocate");
+  auto Capped = rewrite(W.Image, Locs, Opts.withMaxFailedSites(100000));
+  FaultInjector::instance().disarm();
+  ASSERT_TRUE(Capped.isOk()) << Capped.reason();
+  bool SawBudget = false;
+  for (auto &E : parseTrace(Capped->Trace).Events)
+    if (E["ev"].Str == "degraded") {
+      ASSERT_EQ(E.count("budget"), 1u);
+      EXPECT_EQ(E["budget"].asU64(), 100000u);
+      SawBudget = true;
+    }
+  EXPECT_TRUE(SawBudget);
+
+  // A clean rewrite emits no degraded event at all.
+  auto Clean = rewrite(W.Image, Locs, Opts);
+  ASSERT_TRUE(Clean.isOk()) << Clean.reason();
+  for (auto &E : parseTrace(Clean->Trace).Events)
+    EXPECT_NE(E["ev"].Str, "degraded");
 }

@@ -1,0 +1,202 @@
+//===- tests/repair_test.cpp - self-verifying rewrite tests ----*- C++ -*-===//
+//
+// Drives the repair loop end to end: clean rewrites must verify in one
+// round, chaos-injected trampoline faults must be isolated by ddmin and
+// demoted down the tactic lattice until the repaired binary's VM end
+// state equals the original's, and budget exhaustion must fail closed
+// with the last observed divergence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "repair/Repair.h"
+#include "workload/Gen.h"
+#include "workload/Run.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace e9;
+
+namespace {
+
+workload::Workload genWorkload(uint64_t Seed, unsigned Funcs = 12) {
+  workload::WorkloadConfig C;
+  C.Name = "repair";
+  C.Seed = Seed;
+  C.NumFuncs = Funcs;
+  C.MainIters = 3;
+  return workload::generateWorkload(C);
+}
+
+std::vector<uint64_t> jumpSites(const workload::Workload &W) {
+  frontend::DisasmResult D = frontend::linearDisassemble(W.Image);
+  return frontend::selectJumps(D.Insns);
+}
+
+frontend::RewriteOptions baseOpts() {
+  frontend::RewriteOptions O;
+  O.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  O.ExtraReserved.push_back(lowfat::heapReservation());
+  O.Repair.Enabled = true;
+  return O;
+}
+
+/// Reference + repaired end states must agree on the observable outputs.
+void expectSameEndState(const elf::Image &Orig, const elf::Image &Repaired) {
+  workload::RunOutcome A = workload::runImage(Orig);
+  workload::RunOutcome B = workload::runImage(Repaired);
+  ASSERT_TRUE(A.ok()) << A.Result.Error;
+  ASSERT_TRUE(B.ok()) << B.Result.Error;
+  EXPECT_EQ(A.Rax, B.Rax);
+  EXPECT_EQ(A.DataChecksum, B.DataChecksum);
+}
+
+} // namespace
+
+TEST(Repair, CleanRewriteConvergesInOneRound) {
+  workload::Workload W = genWorkload(11);
+  auto Locs = jumpSites(W);
+  auto R = repair::selfVerifyingRewrite(W.Image, Locs, baseOpts());
+  ASSERT_TRUE(R.isOk()) << R.reason();
+  EXPECT_TRUE(R->Report.Converged);
+  EXPECT_EQ(R->Report.Rounds, 1u);
+  EXPECT_TRUE(R->Report.Sites.empty());
+  EXPECT_EQ(R->Report.ColdLoads, 1u);
+  EXPECT_GE(R->Report.SnapshotRestores, 2u); // reference + one candidate
+  expectSameEndState(W.Image, R->Rewrite.Rewritten);
+  EXPECT_NE(R->Metrics.toJson().find("\"repair.converged\":1"),
+            std::string::npos);
+}
+
+TEST(Repair, ChaosSitesAllRepairedAndEndStateMatches) {
+  // The acceptance harness: sabotage 11 *executed* sites with trampolines
+  // that write into unmapped memory. Repair must catch every one (only a
+  // B0 demotion or a revocation removes the sabotaged trampoline) and the
+  // repaired binary must match the original's end state.
+  workload::Workload W = genWorkload(7, 16);
+  auto Locs = jumpSites(W);
+  auto Chaos = repair::executedSites(W.Image, Locs, 11);
+  ASSERT_TRUE(Chaos.isOk()) << Chaos.reason();
+  ASSERT_GE(Chaos->size(), 8u) << "workload too small for the harness";
+
+  std::set<uint64_t> ChaosSet(Chaos->begin(), Chaos->end());
+  frontend::RewriteOptions O = repair::sabotage(baseOpts(), ChaosSet);
+  auto R = repair::selfVerifyingRewrite(W.Image, Locs, O);
+  ASSERT_TRUE(R.isOk()) << R.reason();
+  EXPECT_TRUE(R->Report.Converged)
+      << repair::divergenceKindName(R->Report.Final.Kind) << ": "
+      << R->Report.Final.Detail;
+
+  // Every chaos site was repaired (demoted or revoked), and nothing else.
+  std::set<uint64_t> RepairedSites;
+  for (const repair::SiteRepair &S : R->Report.Sites)
+    RepairedSites.insert(S.Addr);
+  EXPECT_EQ(RepairedSites, ChaosSet);
+
+  expectSameEndState(W.Image, R->Rewrite.Rewritten);
+}
+
+TEST(Repair, RepairedOutputByteIdenticalAcrossJobs) {
+  workload::Workload W = genWorkload(7, 16);
+  auto Locs = jumpSites(W);
+  auto Chaos = repair::executedSites(W.Image, Locs, 5);
+  ASSERT_TRUE(Chaos.isOk()) << Chaos.reason();
+  std::set<uint64_t> ChaosSet(Chaos->begin(), Chaos->end());
+
+  frontend::RewriteOptions O1 = repair::sabotage(baseOpts(), ChaosSet);
+  O1.withJobs(1);
+  frontend::RewriteOptions O4 = repair::sabotage(baseOpts(), ChaosSet);
+  O4.withJobs(4);
+  auto R1 = repair::selfVerifyingRewrite(W.Image, Locs, O1);
+  auto R4 = repair::selfVerifyingRewrite(W.Image, Locs, O4);
+  ASSERT_TRUE(R1.isOk()) << R1.reason();
+  ASSERT_TRUE(R4.isOk()) << R4.reason();
+  EXPECT_TRUE(R1->Report.Converged);
+  EXPECT_TRUE(R4->Report.Converged);
+  EXPECT_EQ(elf::write(R1->Rewrite.Rewritten),
+            elf::write(R4->Rewrite.Rewritten));
+}
+
+TEST(Repair, HangDivergenceIsDetectedAndRepaired) {
+  // A sabotaged trampoline that spins (jmp $) instead of faulting: the
+  // step-budget oracle must classify it as a hang, and the repair loop
+  // must still converge by demoting the site out of trampoline execution.
+  workload::Workload W = genWorkload(3, 10);
+  auto Locs = jumpSites(W);
+  auto Chaos = repair::executedSites(W.Image, Locs, 1);
+  ASSERT_TRUE(Chaos.isOk()) << Chaos.reason();
+  ASSERT_EQ(Chaos->size(), 1u);
+  uint64_t Site = (*Chaos)[0];
+
+  frontend::RewriteOptions O = baseOpts();
+  O.Trace.Enabled = true;
+  O.SpecFor = [Site](uint64_t Addr) {
+    core::TrampolineSpec S;
+    S.Kind = core::TrampolineKind::Empty;
+    if (Addr != Site)
+      return S;
+    core::TrampolineSpec Spin;
+    Spin.Kind = core::TrampolineKind::Composed;
+    Spin.Ops.push_back(core::TemplateOp::raw({0xeb, 0xfe})); // jmp $
+    return Spin;
+  };
+  auto R = repair::selfVerifyingRewrite(W.Image, Locs, O);
+  ASSERT_TRUE(R.isOk()) << R.reason();
+  EXPECT_TRUE(R->Report.Converged);
+  ASSERT_FALSE(R->Report.Sites.empty());
+  for (const repair::SiteRepair &S : R->Report.Sites)
+    EXPECT_EQ(S.Addr, Site);
+
+  // The repair events ride along in the final trace: the divergence was
+  // classified as a hang, and the loop reported a summary.
+  bool SawHang = false, SawSummary = false;
+  for (const std::string &L : R->Rewrite.Trace) {
+    if (L.find("\"ev\":\"repair_divergence\"") != std::string::npos &&
+        L.find("\"kind\":\"hang\"") != std::string::npos)
+      SawHang = true;
+    if (L.find("\"ev\":\"repair_summary\"") != std::string::npos &&
+        L.find("\"converged\":true") != std::string::npos)
+      SawSummary = true;
+  }
+  EXPECT_TRUE(SawHang);
+  EXPECT_TRUE(SawSummary);
+  expectSameEndState(W.Image, R->Rewrite.Rewritten);
+}
+
+TEST(Repair, BudgetExhaustionFailsClosed) {
+  workload::Workload W = genWorkload(7, 16);
+  auto Locs = jumpSites(W);
+  auto Chaos = repair::executedSites(W.Image, Locs, 8);
+  ASSERT_TRUE(Chaos.isOk()) << Chaos.reason();
+  frontend::RewriteOptions O = repair::sabotage(
+      baseOpts(), std::set<uint64_t>(Chaos->begin(), Chaos->end()));
+  O.Repair.MaxCandidateRuns = 3; // far too few to isolate 8 culprits
+  auto R = repair::selfVerifyingRewrite(W.Image, Locs, O);
+  ASSERT_TRUE(R.isOk()) << R.reason();
+  EXPECT_FALSE(R->Report.Converged);
+  EXPECT_TRUE(R->Report.Final.diverged());
+  EXPECT_LE(R->Report.CandidateRuns, 4u);
+}
+
+TEST(Repair, ExecutedSitesAreASubsetOfPatchLocs) {
+  workload::Workload W = genWorkload(5);
+  auto Locs = jumpSites(W);
+  std::set<uint64_t> All(Locs.begin(), Locs.end());
+  auto Few = repair::executedSites(W.Image, Locs, 4);
+  ASSERT_TRUE(Few.isOk()) << Few.reason();
+  EXPECT_LE(Few->size(), 4u);
+  EXPECT_FALSE(Few->empty());
+  for (uint64_t A : *Few)
+    EXPECT_TRUE(All.count(A)) << A;
+  // Asking for more sites than ever execute returns the executed subset.
+  auto Many = repair::executedSites(W.Image, Locs, SIZE_MAX);
+  ASSERT_TRUE(Many.isOk());
+  EXPECT_LT(Many->size(), All.size());
+  EXPECT_TRUE(std::is_sorted(Many->begin(), Many->end()));
+}

@@ -579,3 +579,133 @@ TEST(Vm, CmovAndSetcc) {
   EXPECT_EQ(T.V.Core.Gpr[0], 7u);
   EXPECT_EQ(T.V.Core.Gpr[1] & 0xff, 1u);
 }
+
+// --- Snapshot / restore (copy-on-write) -----------------------------------
+
+namespace {
+
+/// A non-idempotent program: reads the accumulator from memory, bumps it
+/// in a loop, and stores it back — so a run that starts from a stale end
+/// state (a failed rewind) produces a visibly different digest.
+std::vector<uint8_t> accumProgram() {
+  return assemble([](Assembler &A) {
+    A.movRegImm64(Reg::RBX, DataBase);
+    A.movRegMem(OpSize::B64, Reg::RAX, Mem::base(Reg::RBX));
+    A.movRegImm32(Reg::RCX, 10);
+    auto Loop = A.createLabel();
+    A.bind(Loop);
+    A.aluRegImm(OpSize::B64, Alu::Add, Reg::RAX, 3);
+    A.movMemReg(OpSize::B64, Mem::base(Reg::RBX, 8), Reg::RAX);
+    A.aluRegImm(OpSize::B64, Alu::Sub, Reg::RCX, 1);
+    A.jccLabel(Cond::NE, Loop);
+    A.movMemReg(OpSize::B64, Mem::base(Reg::RBX), Reg::RAX);
+    A.ret();
+  });
+}
+
+/// Guest-visible end state: all GPRs, flags, and every data word.
+std::vector<uint64_t> digest(Vm &V) {
+  std::vector<uint64_t> D(V.Core.Gpr.begin(), V.Core.Gpr.end());
+  D.push_back((V.Core.CF ? 1 : 0) | (V.Core.ZF ? 2 : 0) |
+              (V.Core.SF ? 4 : 0) | (V.Core.OF ? 8 : 0));
+  for (uint64_t A = DataBase; A != DataBase + 0x2000; A += 8) {
+    uint64_t W = 0;
+    EXPECT_TRUE(V.Mem.read64(A, W));
+    D.push_back(W);
+  }
+  return D;
+}
+
+} // namespace
+
+TEST(Snapshot, RestoredRunMatchesColdReload) {
+  auto Code = accumProgram();
+  TestVm Cold(Code);
+  ASSERT_EQ(Cold.run().Kind, RunResult::Exit::Finished);
+  const std::vector<uint64_t> Want = digest(Cold.V);
+
+  TestVm T(Code);
+  VmSnapshot S = T.V.snapshot();
+  ASSERT_EQ(T.run().Kind, RunResult::Exit::Finished);
+  EXPECT_EQ(digest(T.V), Want);
+  // The first run dirtied registers, stack and data; restore rewinds all
+  // of it, so the second run is byte-identical to the cold reload...
+  T.V.restore(S);
+  ASSERT_EQ(T.run().Kind, RunResult::Exit::Finished);
+  EXPECT_EQ(digest(T.V), Want);
+  // ...and the snapshot itself survives a restore, so it can be reused.
+  T.V.restore(S);
+  ASSERT_EQ(T.run().Kind, RunResult::Exit::Finished);
+  EXPECT_EQ(digest(T.V), Want);
+}
+
+TEST(Snapshot, PartialRunThenRestoreIsByteIdentical) {
+  auto Code = accumProgram();
+  TestVm Cold(Code);
+  ASSERT_EQ(Cold.run().Kind, RunResult::Exit::Finished);
+  const std::vector<uint64_t> Want = digest(Cold.V);
+
+  // Property: however far a run got before the rewind — one instruction,
+  // mid-loop, or to completion — the restored run ends in the same state.
+  for (uint64_t N : {1ull, 2ull, 3ull, 7ull, 15ull, 100000ull}) {
+    TestVm T(Code);
+    VmSnapshot S = T.V.snapshot();
+    (void)T.run(N);
+    T.V.restore(S);
+    ASSERT_EQ(T.run().Kind, RunResult::Exit::Finished) << "N=" << N;
+    EXPECT_EQ(digest(T.V), Want) << "N=" << N;
+  }
+}
+
+TEST(Snapshot, RestoreDropsStaleDecodeState) {
+  // mov eax, 1; ret — then, after a restore, the same addresses hold
+  // mov eax, 2; ret. A stale rip-keyed decode cache would replay the old
+  // instruction.
+  TestVm T(assemble([](Assembler &A) {
+    A.movRegImm32(Reg::RAX, 1);
+    A.ret();
+  }));
+  VmSnapshot S = T.V.snapshot();
+  ASSERT_EQ(T.run().Kind, RunResult::Exit::Finished);
+  EXPECT_EQ(T.V.Core.Gpr[0], 1u);
+  T.V.restore(S);
+  auto Code2 = assemble([](Assembler &A) {
+    A.movRegImm32(Reg::RAX, 2);
+    A.ret();
+  });
+  ASSERT_TRUE(T.V.Mem.write(CodeBase, Code2.data(), Code2.size()));
+  ASSERT_EQ(T.run().Kind, RunResult::Exit::Finished);
+  EXPECT_EQ(T.V.Core.Gpr[0], 2u);
+}
+
+TEST(Snapshot, CowProtectsSnapshotPages) {
+  Memory M;
+  ASSERT_TRUE(M.mapZero(0x1000, 0x2000, PermR | PermW));
+  ASSERT_TRUE(M.write64(0x1000, 0x11));
+  Memory::Snapshot S = M.snapshot();
+  const uint64_t Clones = M.cowCloneCount();
+  // The first post-snapshot write must clone the page, not mutate the
+  // frame the snapshot references; the second hits the private copy.
+  ASSERT_TRUE(M.write64(0x1000, 0x22));
+  EXPECT_EQ(M.cowCloneCount(), Clones + 1);
+  ASSERT_TRUE(M.write64(0x1008, 0x33));
+  EXPECT_EQ(M.cowCloneCount(), Clones + 1);
+  M.restore(S);
+  uint64_t V = 0;
+  ASSERT_TRUE(M.read64(0x1000, V));
+  EXPECT_EQ(V, 0x11u);
+  ASSERT_TRUE(M.read64(0x1008, V));
+  EXPECT_EQ(V, 0u);
+}
+
+TEST(Memory, PokeIgnoresWriteProtection) {
+  Memory M;
+  ASSERT_TRUE(M.mapZero(0x1000, 0x1000, PermR));
+  EXPECT_FALSE(M.write64(0x1000, 1));
+  const uint8_t B[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(M.poke(0x1000, B, 4));
+  uint8_t Out[4] = {};
+  ASSERT_TRUE(M.read(0x1000, Out, 4));
+  EXPECT_EQ(Out[2], 3u);
+  EXPECT_FALSE(M.poke(0x5000, B, 4)); // unmapped is still an error
+}

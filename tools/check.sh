@@ -9,13 +9,16 @@
 # thread counts, then runs the trace-determinism gate: a real
 # gen -> rewrite sweep checking that --trace output is byte-identical
 # across --jobs values, that tracing never changes the rewritten binary,
-# and that `e9tool stats` accepts the emitted schema. Finally, the batch
+# and that `e9tool stats` accepts the emitted schema. Then the batch
 # protocol gate: `e9tool apply` on a JSONL script must produce output
 # byte-identical to the equivalent direct `rewrite` invocation, under
-# ASan with --jobs 4. Any sanitizer report aborts the run
+# ASan with --jobs 4. Finally, the repair-loop gate: a chaos-injected
+# workload (faulty trampolines at 11 executed sites) must converge under
+# `rewrite --self-verify` running ASan, with output byte-identical
+# across --jobs values. Any sanitizer report aborts the run
 # (-fno-sanitize-recover=all), so a clean exit means: no silent memory
 # errors on the error paths, no data races in the parallel pipeline,
-# and no nondeterminism in the observability or protocol layers.
+# and no nondeterminism in the observability, protocol or repair layers.
 #
 # Usage: tools/check.sh [jobs]
 set -eu
@@ -23,22 +26,22 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== [1/8] configure + build (default flags) =="
+echo "== [1/9] configure + build (default flags) =="
 cmake -S "$ROOT" -B "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 
-echo "== [2/8] full test suite =="
+echo "== [2/9] full test suite =="
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   || ctest --test-dir "$ROOT/build" --output-on-failure --rerun-failed
 
-echo "== [3/8] configure + build (ASan + UBSan) =="
+echo "== [3/9] configure + build (ASan + UBSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=address >/dev/null
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target \
   verifier_test fault_injection_test elf_test core_test support_test \
-  obs_test api_test e9tool
+  obs_test api_test repair_test e9tool
 
-echo "== [4/8] robustness sweeps under ASan + UBSan =="
+echo "== [4/9] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/support_test"
 "$ROOT/build-asan/tests/core_test"
 "$ROOT/build-asan/tests/obs_test"
@@ -47,15 +50,18 @@ echo "== [4/8] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/verifier_test"
 "$ROOT/build-asan/tests/fault_injection_test"
 
-echo "== [5/8] configure + build (TSan) =="
+echo "== [5/9] configure + build (TSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=thread >/dev/null
-cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test
+cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
+  repair_test
 
-echo "== [6/8] sharded patcher under TSan =="
+echo "== [6/9] sharded patcher + repair loop under TSan =="
 "$ROOT/build-tsan/tests/parallel_test"
+"$ROOT/build-tsan/tests/repair_test" \
+  --gtest_filter='Repair.RepairedOutputByteIdenticalAcrossJobs'
 
-echo "== [7/8] trace determinism + schema gate (e9tool end-to-end) =="
+echo "== [7/9] trace determinism + schema gate (e9tool end-to-end) =="
 E9="$ROOT/build/tools/e9tool"
 TDIR="$(mktemp -d)"
 trap 'rm -rf "$TDIR"' EXIT
@@ -70,7 +76,7 @@ cmp "$TDIR/out1.elf" "$TDIR/out4.elf"   # binary identical across --jobs
 cmp "$TDIR/out1.elf" "$TDIR/plain.elf"  # tracing never perturbs output
 "$E9" stats "$TDIR/t4.jsonl" >/dev/null # schema-valid, summary coherent
 
-echo "== [8/8] batch protocol gate: apply == rewrite, under ASan =="
+echo "== [8/9] batch protocol gate: apply == rewrite, under ASan =="
 E9A="$ROOT/build-asan/tools/e9tool"
 cat > "$TDIR/apply.jsonl" <<EOF
 {"type":"binary","path":"$TDIR/w.elf"}
@@ -90,5 +96,22 @@ if printf '{"type":"frobnicate"}\n' | "$E9A" serve --stdin \
   exit 1
 fi
 grep -q '"type":"error"' "$TDIR/serve.jsonl"
+
+echo "== [9/9] repair-loop gate: chaos convergence under ASan =="
+"$E9A" gen "$TDIR/chaos.elf" --seed=7 --funcs=24 >/dev/null
+"$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos1.elf" --self-verify \
+  --chaos=11 --jobs=1 --trace="$TDIR/chaos.jsonl" >/dev/null
+"$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos4.elf" --self-verify \
+  --chaos=11 --jobs=4 >/dev/null
+cmp "$TDIR/chaos1.elf" "$TDIR/chaos4.elf" # repaired output deterministic
+"$E9" stats "$TDIR/chaos.jsonl" >/dev/null # repair events schema-valid
+grep -q '"ev":"repair_summary".*"converged":true' "$TDIR/chaos.jsonl"
+# Fail closed: an impossible budget must refuse to emit a binary.
+if "$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos0.elf" --self-verify \
+    --chaos=11 --repair-runs=2 >/dev/null 2>&1; then
+  echo "check.sh: self-verify emitted an unverified binary" >&2
+  exit 1
+fi
+test ! -f "$TDIR/chaos0.elf"
 
 echo "check.sh: all gates passed"

@@ -11,7 +11,8 @@
 //   e9tool info <elf>
 //   e9tool disasm <elf> [--limit=N]
 //   e9tool rewrite <in> <out> [--select=...] [--strict] [--jobs=N]
-//          [--trace=FILE] [--metrics=FILE] [--trace-timings] ...
+//          [--trace=FILE] [--metrics=FILE] [--self-verify] ...
+//   e9tool repair <in> <out>   (rewrite with --self-verify implied)
 //   e9tool run <elf> [--lowfat] [--max-insns=N]
 //   e9tool stats <trace.jsonl>
 //   e9tool apply <script.jsonl> [--jobs=N] [--responses=FILE]
@@ -25,6 +26,7 @@
 #include "frontend/Select.h"
 #include "lowfat/LowFat.h"
 #include "obs/JsonWriter.h"
+#include "repair/Repair.h"
 #include "support/FaultInjector.h"
 #include "support/Format.h"
 #include "vm/Hooks.h"
@@ -41,6 +43,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -112,6 +115,18 @@ constexpr OptSpec RewriteOpts[] = {
     {"metrics", OptKind::Str, "FILE", "write the metrics snapshot to FILE"},
     {"trace-timings", OptKind::Flag, nullptr,
      "include wall-clock span events in the trace (nondeterministic)"},
+    {"self-verify", OptKind::Flag, nullptr,
+     "verify by VM execution and repair divergent sites"},
+    {"repair-rounds", OptKind::Int, "N",
+     "self-verify: max repair rounds (default 64)"},
+    {"repair-runs", OptKind::Int, "N",
+     "self-verify: max candidate VM runs (default 4096)"},
+    {"repair-floor", OptKind::Str, "full|no-t3|no-t2|no-t1|b0",
+     "self-verify: lowest demotion ceiling before revoking (default b0)"},
+    {"step-limit", OptKind::Int, "N",
+     "self-verify: candidate step budget (0 = auto from reference run)"},
+    {"chaos", OptKind::Int, "N",
+     "inject faulty trampolines at N executed sites (tests --self-verify)"},
 };
 
 constexpr OptSpec RunOpts[] = {
@@ -142,6 +157,9 @@ constexpr CommandSpec Commands[] = {
     {"disasm", "<elf>", 1, "linear disassembly listing", DisasmOpts,
      std::size(DisasmOpts)},
     {"rewrite", "<in> <out>", 2, "rewrite a binary", RewriteOpts,
+     std::size(RewriteOpts)},
+    {"repair", "<in> <out>", 2,
+     "rewrite with self-verification (--self-verify implied)", RewriteOpts,
      std::size(RewriteOpts)},
     {"run", "<elf>", 1, "execute under the VM", RunOpts, std::size(RunOpts)},
     {"stats", "<trace.jsonl>", 1,
@@ -366,7 +384,23 @@ bool writeLines(const std::string &Path,
   return static_cast<bool>(F);
 }
 
-int cmdRewrite(const Args &A) {
+bool parseCeilingOpt(const std::string &V, core::TacticCeiling &Out) {
+  if (V == "full")
+    Out = core::TacticCeiling::Full;
+  else if (V == "no-t3")
+    Out = core::TacticCeiling::NoT3;
+  else if (V == "no-t2")
+    Out = core::TacticCeiling::NoT2;
+  else if (V == "no-t1")
+    Out = core::TacticCeiling::NoT1;
+  else if (V == "b0" || V == "b0-only")
+    Out = core::TacticCeiling::B0Only;
+  else
+    return false;
+  return true;
+}
+
+int cmdRewrite(const Args &A, bool ForceRepair) {
   auto Img = loadInput(A.positional()[0]);
   if (!Img.isOk()) {
     std::fprintf(stderr, "error: %s\n", Img.reason().c_str());
@@ -434,20 +468,75 @@ int cmdRewrite(const Args &A) {
     FaultInjector::instance().arm(FaultSite);
   }
 
-  auto Out = frontend::rewrite(*Img, Locs, Opts);
-  if (!Out.isOk()) {
-    std::fprintf(stderr, "error: %s\n", Out.reason().c_str());
-    return 1;
+  bool Repair = ForceRepair || A.has("self-verify");
+  Opts.Repair.Enabled = Repair;
+  Opts.Repair.MaxRounds = A.getInt("repair-rounds", 64);
+  Opts.Repair.MaxCandidateRuns = A.getInt("repair-runs", 4096);
+  Opts.Repair.StepLimit = A.getInt("step-limit", 0);
+  std::string Floor = A.get("repair-floor", "b0");
+  if (!parseCeilingOpt(Floor, Opts.Repair.DemotionFloor)) {
+    std::fprintf(stderr, "error: unknown --repair-floor=%s\n", Floor.c_str());
+    return 2;
   }
+
+  uint64_t Chaos = A.getInt("chaos", 0);
+  if (Chaos > 0) {
+    auto Sites = repair::executedSites(*Img, Locs, Chaos);
+    if (!Sites.isOk()) {
+      std::fprintf(stderr, "error: %s\n", Sites.reason().c_str());
+      return 1;
+    }
+    Opts = repair::sabotage(
+        std::move(Opts), std::set<uint64_t>(Sites->begin(), Sites->end()));
+    std::printf("chaos: sabotaged %zu executed site(s)\n", Sites->size());
+  }
+
+  frontend::RewriteOutput Rewritten;
+  repair::RepairReport Rep;
+  obs::MetricsSnapshot RepairMetrics;
+  if (Repair) {
+    auto R = repair::selfVerifyingRewrite(*Img, Locs, Opts);
+    if (!R.isOk()) {
+      std::fprintf(stderr, "error: %s\n", R.reason().c_str());
+      return 1;
+    }
+    Rep = R->Report;
+    RepairMetrics = R->Metrics;
+    if (!Rep.Converged) {
+      // Fail closed: never emit a binary whose VM end state is known to
+      // differ from the original's.
+      std::fprintf(stderr,
+                   "error: self-verification did not converge after %llu "
+                   "round(s): %s%s%s\n",
+                   (unsigned long long)Rep.Rounds,
+                   repair::divergenceKindName(Rep.Final.Kind),
+                   Rep.Final.Detail.empty() ? "" : ": ",
+                   Rep.Final.Detail.c_str());
+      return 1;
+    }
+    Rewritten = std::move(R->Rewrite);
+  } else {
+    auto R = frontend::rewrite(*Img, Locs, Opts);
+    if (!R.isOk()) {
+      std::fprintf(stderr, "error: %s\n", R.reason().c_str());
+      return 1;
+    }
+    Rewritten = R.take();
+  }
+  const frontend::RewriteOutput *Out = &Rewritten;
   if (Status S = elf::writeFile(Out->Rewritten, A.positional()[1]); !S) {
     std::fprintf(stderr, "error: %s\n", S.reason().c_str());
     return 1;
   }
   if (!TracePath.empty() && !writeLines(TracePath, Out->Trace))
     return 1;
-  if (!MetricsPath.empty() &&
-      !writeLines(MetricsPath, {Out->Metrics.toJson()}))
-    return 1;
+  if (!MetricsPath.empty()) {
+    std::vector<std::string> MetricLines = {Out->Metrics.toJson()};
+    if (Repair)
+      MetricLines.push_back(RepairMetrics.toJson());
+    if (!writeLines(MetricsPath, MetricLines))
+      return 1;
+  }
 
   const core::PatchStats &St = Out->Stats;
   std::printf("%s -> %s\n", A.positional()[0].c_str(),
@@ -467,6 +556,26 @@ int cmdRewrite(const Args &A) {
               (unsigned long long)Out->Grouping.PhysBytes);
   if (Opts.Verify.Strict || Opts.Verify.Enabled)
     std::printf("  %s\n", Out->Verify.summary().c_str());
+  if (Repair) {
+    size_t Demoted = 0, Revoked = 0;
+    for (const repair::SiteRepair &S : Rep.Sites)
+      (S.Revoked ? Revoked : Demoted)++;
+    std::printf("  self-verify: converged after %llu round(s), %llu "
+                "candidate run(s), %llu rewrite(s)\n",
+                (unsigned long long)Rep.Rounds,
+                (unsigned long long)Rep.CandidateRuns,
+                (unsigned long long)Rep.Rewrites);
+    std::printf("  repairs: %zu demoted, %zu revoked; %llu snapshot "
+                "restore(s), %llu cold load(s)\n",
+                Demoted, Revoked, (unsigned long long)Rep.SnapshotRestores,
+                (unsigned long long)Rep.ColdLoads);
+    for (const repair::SiteRepair &S : Rep.Sites)
+      std::printf("    site %s: %s (was %s, round %llu)\n",
+                  hex(S.Addr).c_str(),
+                  S.Revoked ? "revoked"
+                            : core::tacticCeilingName(S.Ceiling),
+                  core::tacticName(S.From), (unsigned long long)S.Round);
+  }
   if (A.has("timings") || Opts.Parallel.Jobs != 1) {
     const obs::PhaseProfile &P = Out->Profile;
     std::printf("  shards %zu (%zu redone), %u job(s)\n", Out->ShardCount,
@@ -551,6 +660,25 @@ constexpr FieldSpec VerifyFields[] = {{"kind", FieldKind::Str, true},
 constexpr FieldSpec SpanFields[] = {{"name", FieldKind::Str, true},
                                     {"shard", FieldKind::Num, false},
                                     {"ms", FieldKind::Num, true}};
+constexpr FieldSpec DegradedFields[] = {{"failed", FieldKind::Num, true},
+                                        {"budget", FieldKind::Num, false}};
+constexpr FieldSpec RepairDivergenceFields[] = {
+    {"round", FieldKind::Num, true},
+    {"kind", FieldKind::Str, true},
+    {"detail", FieldKind::Str, false}};
+constexpr FieldSpec RepairSiteFields[] = {
+    {"site", FieldKind::Hex, true},   {"action", FieldKind::Str, true},
+    {"from", FieldKind::Str, false},  {"ceiling", FieldKind::Str, false},
+    {"round", FieldKind::Num, true}};
+constexpr FieldSpec RepairSummaryFields[] = {
+    {"converged", FieldKind::Bool, true},
+    {"rounds", FieldKind::Num, true},
+    {"candidate_runs", FieldKind::Num, true},
+    {"rewrites", FieldKind::Num, true},
+    {"demoted", FieldKind::Num, true},
+    {"revoked", FieldKind::Num, true},
+    {"snapshot_restores", FieldKind::Num, true},
+    {"cold_loads", FieldKind::Num, true}};
 constexpr FieldSpec SummaryFields[] = {
     {"sites", FieldKind::Num, true},      {"b1", FieldKind::Num, true},
     {"b2", FieldKind::Num, true},         {"t1", FieldKind::Num, true},
@@ -569,6 +697,11 @@ constexpr EventSpec Events[] = {
     {"group", GroupFields, std::size(GroupFields)},
     {"verify", VerifyFields, std::size(VerifyFields)},
     {"span", SpanFields, std::size(SpanFields)},
+    {"degraded", DegradedFields, std::size(DegradedFields)},
+    {"repair_divergence", RepairDivergenceFields,
+     std::size(RepairDivergenceFields)},
+    {"repair_site", RepairSiteFields, std::size(RepairSiteFields)},
+    {"repair_summary", RepairSummaryFields, std::size(RepairSummaryFields)},
     {"summary", SummaryFields, std::size(SummaryFields)},
 };
 
@@ -852,7 +985,9 @@ int main(int Argc, char **Argv) {
     if (Cmd == "disasm")
       return cmdDisasm(A);
     if (Cmd == "rewrite")
-      return cmdRewrite(A);
+      return cmdRewrite(A, /*ForceRepair=*/false);
+    if (Cmd == "repair")
+      return cmdRewrite(A, /*ForceRepair=*/true);
     if (Cmd == "run")
       return cmdRun(A);
     if (Cmd == "stats")
