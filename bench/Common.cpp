@@ -2,17 +2,35 @@
 
 #include "Common.h"
 
-#include "frontend/Disasm.h"
-#include "frontend/Select.h"
+#include "frontend/Prescan.h"
 #include "lowfat/LowFat.h"
 #include "vm/Hooks.h"
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 using namespace e9;
 using namespace e9::bench;
 using namespace e9::frontend;
 using namespace e9::workload;
+
+uint64_t bench::peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(RU.ru_maxrss) / 1024; // bytes on macOS
+#else
+  return static_cast<uint64_t>(RU.ru_maxrss); // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 AppResult bench::evalEntry(const SuiteEntry &Entry, App Application,
                            const EvalOptions &Opts) {
@@ -21,10 +39,10 @@ AppResult bench::evalEntry(const SuiteEntry &Entry, App Application,
 
   Workload W = generateWorkload(Entry.Config);
 
-  DisasmResult Dis = linearDisassemble(W.Image);
-  std::vector<uint64_t> Locs = Application == App::Jumps
-                                   ? selectJumps(Dis.Insns)
-                                   : selectHeapWrites(Dis.Insns);
+  std::vector<uint64_t> Locs =
+      prescanSelect(W.Image, Application == App::Jumps
+                                 ? SelectorKind::Jumps
+                                 : SelectorKind::HeapWrites);
   R.NLoc = Locs.size();
 
   RewriteOptions RO;

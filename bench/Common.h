@@ -67,6 +67,11 @@ struct EvalOptions {
 AppResult evalEntry(const workload::SuiteEntry &Entry, App Application,
                     const EvalOptions &Opts = EvalOptions());
 
+/// Peak resident set size of this process so far, in KiB (0 when the
+/// platform cannot report it). Recorded in BENCH_*.json so memory-path
+/// regressions are as visible as throughput regressions.
+uint64_t peakRssKb();
+
 /// Prints the Table 1 style header / row / totals for a set of results.
 void printTableHeader(const char *Title, bool WithTime);
 void printTableRow(const AppResult &R, bool WithTime);

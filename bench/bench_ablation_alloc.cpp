@@ -14,8 +14,7 @@
 
 #include "Common.h"
 
-#include "frontend/Disasm.h"
-#include "frontend/Select.h"
+#include "frontend/Prescan.h"
 #include "lowfat/LowFat.h"
 #include "workload/Run.h"
 
@@ -38,8 +37,7 @@ int main() {
   size_t SumOn = 0, SumOff = 0;
   for (const SuiteEntry &E : specSuite()) {
     Workload W = generateWorkload(E.Config);
-    DisasmResult D = linearDisassemble(W.Image);
-    auto Locs = selectJumps(D.Insns);
+    auto Locs = prescanSelect(W.Image, SelectorKind::Jumps);
 
     RewriteOptions On;
     On.Patch.Spec.Kind = core::TrampolineKind::Empty;

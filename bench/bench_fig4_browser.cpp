@@ -10,8 +10,7 @@
 
 #include "Common.h"
 
-#include "frontend/Disasm.h"
-#include "frontend/Select.h"
+#include "frontend/Prescan.h"
 #include "lowfat/LowFat.h"
 
 #include <cmath>
@@ -28,8 +27,7 @@ namespace {
 /// overhead as patched/original cost * 100.
 double kernelOverheadPct(const WorkloadConfig &Config) {
   Workload W = generateWorkload(Config);
-  DisasmResult D = linearDisassemble(W.Image);
-  auto Locs = selectHeapWrites(D.Insns);
+  auto Locs = prescanSelect(W.Image, SelectorKind::HeapWrites);
 
   RewriteOptions RO;
   RO.Patch.Spec.Kind = core::TrampolineKind::Empty;

@@ -11,8 +11,7 @@
 #include "Common.h"
 
 #include "core/Grouping.h"
-#include "frontend/Disasm.h"
-#include "frontend/Select.h"
+#include "frontend/Prescan.h"
 #include "lowfat/LowFat.h"
 
 #include <cstdio>
@@ -31,8 +30,7 @@ int main() {
   // Use the largest binary in the suite so the mapping pressure is real.
   SuiteEntry Chrome = browserSuite()[0];
   Workload W = generateWorkload(Chrome.Config);
-  DisasmResult D = linearDisassemble(W.Image);
-  auto Locs = selectJumps(D.Insns);
+  auto Locs = prescanSelect(W.Image, SelectorKind::Jumps);
   std::printf("binary %s: %zu patch locations\n\n",
               Chrome.Config.Name.c_str(), Locs.size());
 

@@ -9,9 +9,8 @@
 
 #include "core/Alloc.h"
 #include "core/Pun.h"
-#include "frontend/Disasm.h"
+#include "frontend/Prescan.h"
 #include "frontend/Rewriter.h"
-#include "frontend/Select.h"
 #include "lowfat/LowFat.h"
 #include "workload/Gen.h"
 #include "workload/Run.h"
@@ -96,10 +95,22 @@ void BM_AllocatorConstrained(benchmark::State &State) {
 }
 BENCHMARK(BM_AllocatorConstrained);
 
+void BM_PrescanSelectA1(benchmark::State &State) {
+  const workload::Workload &W = microWorkload();
+  const auto &Text = W.Image.textSegment()->Bytes;
+  for (auto _ : State) {
+    auto Locs =
+        frontend::prescanSelect(W.Image, frontend::SelectorKind::Jumps);
+    benchmark::DoNotOptimize(Locs);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Text.size()));
+}
+BENCHMARK(BM_PrescanSelectA1);
+
 void BM_RewriteA1(benchmark::State &State) {
   const workload::Workload &W = microWorkload();
-  auto Dis = frontend::linearDisassemble(W.Image);
-  auto Locs = frontend::selectJumps(Dis.Insns);
+  auto Locs = frontend::prescanSelect(W.Image, frontend::SelectorKind::Jumps);
   for (auto _ : State) {
     frontend::RewriteOptions RO;
     RO.Patch.Spec.Kind = core::TrampolineKind::Empty;

@@ -14,9 +14,8 @@
 
 #include "Common.h"
 
-#include "frontend/Disasm.h"
+#include "frontend/Prescan.h"
 #include "frontend/Rewriter.h"
-#include "frontend/Select.h"
 #include "lowfat/LowFat.h"
 #include "support/ThreadPool.h"
 
@@ -43,8 +42,9 @@ int main() {
   C.MainIters = 1;
   Workload W = generateWorkload(C);
 
-  DisasmResult D = linearDisassemble(W.Image);
-  std::vector<uint64_t> Locs = selectJumps(D.Insns);
+  PrescanStats PS;
+  std::vector<uint64_t> Locs = prescanSelect(W.Image, SelectorKind::Jumps, &PS);
+  size_t NumInsns = PS.NumInsns;
   std::printf("workload: %zu code KiB, %zu sites\n\n",
               W.Image.textSegment()->Bytes.size() / 1024, Locs.size());
   std::printf("%6s %8s %10s %10s %10s %12s %8s\n", "jobs", "shards", "ms",
@@ -93,11 +93,15 @@ int main() {
           "%s  {\"bench\": \"parallel\", \"jobs\": %u, \"hw_threads\": %u,\n"
           "   \"sites\": %zu, \"shards\": %zu, \"shards_redone\": %zu,\n"
           "   \"total_ms\": %.2f, \"patch_ms\": %.2f, \"merge_ms\": %.2f,\n"
-          "   \"sites_per_sec\": %.0f, \"speedup_vs_1\": %.3f,\n"
+          "   \"sites_per_sec\": %.0f, \"insns\": %zu, "
+          "\"insns_per_sec\": %.0f,\n"
+          "   \"peak_rss_kb\": %llu, \"speedup_vs_1\": %.3f,\n"
           "   \"byte_identical\": true, \"metrics\": %s}",
           First ? "" : ",\n", Jobs, HwThreads, Locs.size(), Out->ShardCount,
           Out->ShardsRedone, Ms, Out->Profile.ms("patch"),
-          Out->Profile.ms("merge"), SitesPerSec, BaseMs / Ms,
+          Out->Profile.ms("merge"), SitesPerSec, NumInsns,
+          NumInsns == 0 ? 0.0 : 1000.0 * NumInsns / Ms,
+          static_cast<unsigned long long>(peakRssKb()), BaseMs / Ms,
           Out->Metrics.toJson().c_str());
       First = false;
     }

@@ -16,9 +16,8 @@
 
 #include "Common.h"
 
-#include "frontend/Disasm.h"
+#include "frontend/Prescan.h"
 #include "frontend/Rewriter.h"
-#include "frontend/Select.h"
 #include "lowfat/LowFat.h"
 
 #include <chrono>
@@ -52,8 +51,9 @@ int main() {
     Workload W = generateWorkload(C);
 
     auto T0 = std::chrono::steady_clock::now();
-    DisasmResult D = linearDisassemble(W.Image);
-    auto Locs = selectJumps(D.Insns);
+    PrescanStats PS;
+    auto Locs = prescanSelect(W.Image, SelectorKind::Jumps, &PS);
+    size_t NumInsns = PS.NumInsns;
     RewriteOptions RO;
     RO.Patch.Spec.Kind = core::TrampolineKind::Empty;
     RO.ExtraReserved.push_back(lowfat::heapReservation());
@@ -66,6 +66,7 @@ int main() {
     double Ms =
         std::chrono::duration<double, std::milli>(T1 - T0).count();
     double SitesPerSec = Locs.empty() ? 0 : 1000.0 * Locs.size() / Ms;
+    double InsnsPerSec = NumInsns == 0 ? 0 : 1000.0 * NumInsns / Ms;
     std::printf("%8u %10.1f %9zu %9.2f %10.1f %12.0f %10.2f\n", Funcs,
                 W.Image.textSegment()->Bytes.size() / 1024.0, Locs.size(),
                 Out->Stats.succPct(), Ms, SitesPerSec, Out->sizePct());
@@ -74,13 +75,18 @@ int main() {
       std::fprintf(
           Json,
           "%s  {\"bench\": \"scale\", \"funcs\": %u, \"code_bytes\": %zu,\n"
+          "   \"scan_backend\": \"%s\", \"full_decodes\": %zu,\n"
           "   \"sites\": %zu, \"succ_pct\": %.2f, \"total_ms\": %.2f,\n"
-          "   \"sites_per_sec\": %.0f, \"jobs\": %u, \"shards\": %zu,\n"
+          "   \"sites_per_sec\": %.0f, \"insns\": %zu, "
+          "\"insns_per_sec\": %.0f,\n"
+          "   \"peak_rss_kb\": %llu, \"jobs\": %u, \"shards\": %zu,\n"
           "   \"phases_ms\": {\"disasm\": %.2f, \"patch\": %.2f, "
           "\"merge\": %.2f, \"group\": %.2f, \"write\": %.2f, "
           "\"verify\": %.2f}, \"metrics\": %s}",
           First ? "" : ",\n", Funcs, W.Image.textSegment()->Bytes.size(),
-          Locs.size(), Out->Stats.succPct(), Ms, SitesPerSec, Out->JobsUsed,
+          x86::scanBackendName(PS.Backend), PS.FullDecodes, Locs.size(), Out->Stats.succPct(), Ms, SitesPerSec, NumInsns,
+          InsnsPerSec,
+          static_cast<unsigned long long>(peakRssKb()), Out->JobsUsed,
           Out->ShardCount, P.ms("disasm"), P.ms("patch"), P.ms("merge"),
           P.ms("group"), P.ms("write"), P.ms("verify"),
           Out->Metrics.toJson().c_str());

@@ -4,7 +4,7 @@
 
 #include "api/Protocol.h"
 #include "api/Template.h"
-#include "frontend/Disasm.h"
+#include "frontend/Prescan.h"
 #include "frontend/Rewriter.h"
 #include "frontend/Select.h"
 #include "lowfat/LowFat.h"
@@ -325,7 +325,6 @@ private:
       return;
     }
     const elf::Image &Img = *J.Image;
-    frontend::DisasmResult Dis = frontend::linearDisassemble(Img);
 
     // Resolve the requests into one spec per site, in arrival order so a
     // later request overrides an earlier one for the same address.
@@ -339,11 +338,12 @@ private:
       if (R.IsAddr)
         Addrs.push_back(R.Addr);
       else if (R.Select == "jumps")
-        Addrs = frontend::selectJumps(Dis.Insns);
+        Addrs = frontend::prescanSelect(Img, frontend::SelectorKind::Jumps);
       else if (R.Select == "heapwrites")
-        Addrs = frontend::selectHeapWrites(Dis.Insns);
+        Addrs =
+            frontend::prescanSelect(Img, frontend::SelectorKind::HeapWrites);
       else
-        Addrs = frontend::selectAll(Dis.Insns);
+        Addrs = frontend::prescanSelect(Img, frontend::SelectorKind::All);
       for (uint64_t A : Addrs)
         Sites[A] = SiteSpec{R.Program, R.Arg};
     }

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <map>
 
 using namespace e9;
@@ -21,22 +22,39 @@ struct BlockOcc {
   uint64_t BaseAddr = 0;
   std::vector<uint64_t> Mask; ///< 1 bit per byte within the block.
   std::vector<uint8_t> Bytes; ///< Block-sized content (occupied bytes set).
+  /// Half-open range of mask words that contain any set bit. A block
+  /// typically holds a few tens of trampoline bytes out of 4 KiB, so
+  /// bounding every scan to [LoW, HiW) turns the O(words) first-fit
+  /// probes below into O(occupied words).
+  uint32_t LoW = UINT32_MAX;
+  uint32_t HiW = 0;
 
   bool disjointWith(const BlockOcc &O) const {
-    for (size_t I = 0; I != Mask.size(); ++I)
+    uint32_t Lo = LoW > O.LoW ? LoW : O.LoW;
+    uint32_t Hi = HiW < O.HiW ? HiW : O.HiW;
+    for (uint32_t I = Lo; I < Hi; ++I)
       if (Mask[I] & O.Mask[I])
         return false;
     return true;
   }
 
   void mergeFrom(const BlockOcc &O) {
-    for (size_t I = 0; I != Mask.size(); ++I) {
+    for (uint32_t I = O.LoW; I < O.HiW; ++I) {
       assert((Mask[I] & O.Mask[I]) == 0 && "merging overlapping blocks");
       Mask[I] |= O.Mask[I];
     }
-    for (size_t I = 0; I != Bytes.size(); ++I)
-      if (O.Mask[I / 64] & (1ull << (I % 64)))
-        Bytes[I] = O.Bytes[I];
+    // Unoccupied bytes are zero on both sides and the masks are disjoint,
+    // so a plain OR merges content without consulting the mask per byte
+    // (branchless, auto-vectorizes). One mask bit covers one byte, so
+    // O's occupied byte range is [64*O.LoW, 64*O.HiW).
+    for (size_t I = 64ull * O.LoW, E = std::min<size_t>(64ull * O.HiW,
+                                                        Bytes.size());
+         I < E; ++I)
+      Bytes[I] |= O.Bytes[I];
+    if (O.LoW < LoW)
+      LoW = O.LoW;
+    if (O.HiW > HiW)
+      HiW = O.HiW;
   }
 };
 
@@ -59,16 +77,29 @@ Status collectBlocks(const std::vector<TrampolineChunk> &Chunks,
         B.Mask.assign((BlockSize + 63) / 64, 0);
         B.Bytes.assign(BlockSize, 0);
       }
-      for (size_t I = 0; I != N; ++I) {
-        uint64_t Bit = Off + I;
-        if ((B.Mask[Bit / 64] & (1ull << (Bit % 64))) != 0)
-          return Status::error(
-              format("trampoline chunks overlap at %s: refusing to merge "
-                     "conflicting occupancy",
-                     hex(A + I).c_str()));
-        B.Mask[Bit / 64] |= 1ull << (Bit % 64);
-        B.Bytes[Off + I] = C.Bytes[Done + I];
+      // Claim the occupancy bits word-at-a-time; only on a clash fall
+      // back to a byte scan to name the exact conflicting address.
+      for (uint64_t Bit = Off; Bit != Off + N;) {
+        uint64_t W = Bit / 64;
+        uint64_t Lo = Bit % 64;
+        uint64_t Take = std::min<uint64_t>(64 - Lo, Off + N - Bit);
+        uint64_t M = (Take == 64 ? ~0ull : ((1ull << Take) - 1)) << Lo;
+        if ((B.Mask[W] & M) != 0) {
+          for (uint64_t I = Bit; I != Off + N; ++I)
+            if ((B.Mask[I / 64] & (1ull << (I % 64))) != 0)
+              return Status::error(
+                  format("trampoline chunks overlap at %s: refusing to "
+                         "merge conflicting occupancy",
+                         hex(Base + I).c_str()));
+        }
+        B.Mask[W] |= M;
+        if (W < B.LoW)
+          B.LoW = static_cast<uint32_t>(W);
+        if (W + 1 > B.HiW)
+          B.HiW = static_cast<uint32_t>(W + 1);
+        Bit += Take;
       }
+      std::memcpy(B.Bytes.data() + Off, C.Bytes.data() + Done, N);
       Done += N;
     }
   }
@@ -150,7 +181,8 @@ core::groupPages(const std::vector<TrampolineChunk> &Chunks,
       break;
     }
     if (!Placed) {
-      Groups.push_back(B);
+      // Blocks is not consulted again: steal the 4 KiB payload.
+      Groups.push_back(std::move(B));
       Members.push_back({Base});
     }
   }

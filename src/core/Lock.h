@@ -34,7 +34,9 @@ public:
 
   /// Locks [Lo, Hi), appending only the *newly* locked subranges to
   /// \p Added so a transaction rollback never unlocks older locks.
-  void lockRecordNew(uint64_t Lo, uint64_t Hi, std::vector<Interval> &Added) {
+  /// Templated so the patcher's arena-backed journals work unchanged.
+  template <typename Vec>
+  void lockRecordNew(uint64_t Lo, uint64_t Hi, Vec &Added) {
     size_t Mark = Added.size();
     Locked.missingRanges(Lo, Hi, Added);
     for (size_t I = Mark; I != Added.size(); ++I)
@@ -42,8 +44,8 @@ public:
   }
 
   /// Same for the modified set.
-  void markModifiedRecordNew(uint64_t Lo, uint64_t Hi,
-                             std::vector<Interval> &Added) {
+  template <typename Vec>
+  void markModifiedRecordNew(uint64_t Lo, uint64_t Hi, Vec &Added) {
     size_t Mark = Added.size();
     Modified.missingRanges(Lo, Hi, Added);
     for (size_t I = Mark; I != Added.size(); ++I)

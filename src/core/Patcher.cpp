@@ -106,7 +106,12 @@ void Patcher::rollback(Txn &T) {
     Alloc.free(It->first, It->second);
   Chunks.resize(T.ChunksMark);
   Jumps.resize(T.RecordsMark);
-  T = Txn();
+  // Clear in place: the journals keep their arena-backed capacity, which
+  // is reclaimed wholesale by TxnArena.reset() at the next patchOne().
+  T.OldBytes.clear();
+  T.LocksAdded.clear();
+  T.ModifiedAdded.clear();
+  T.AllocsAdded.clear();
   T.ChunksMark = Chunks.size();
   T.RecordsMark = Jumps.size();
 }
@@ -264,7 +269,7 @@ Tactic Patcher::tryDirect(uint64_t Addr, const TrampolineSpec &Spec,
   unsigned MaxPads = (Opts.EnableT1 && CeilT1)
                          ? std::min<unsigned>(MaxJumpPads, I->Length - 1)
                          : 0;
-  Txn T;
+  Txn T(TxnArena);
   T.ChunksMark = Chunks.size();
   T.RecordsMark = Jumps.size();
   auto J = installJump(T, Addr, Addr + I->Length, 0, MaxPads, Spec, *I);
@@ -297,7 +302,7 @@ bool Patcher::tryT2(uint64_t Addr, const TrampolineSpec &Spec,
   if (Locks.anyModified(S->Address, S->Address + S->Length))
     return false;
 
-  Txn T;
+  Txn T(TxnArena);
   T.ChunksMark = Chunks.size();
   T.RecordsMark = Jumps.size();
 
@@ -383,7 +388,7 @@ bool Patcher::tryT3(uint64_t Addr, const TrampolineSpec &Spec,
       if (FixedRel && Rel8 != FixedRel8)
         continue;
 
-      Txn T;
+      Txn T(TxnArena);
       T.ChunksMark = Chunks.size();
       T.RecordsMark = Jumps.size();
 
@@ -473,7 +478,7 @@ bool Patcher::tryB0(uint64_t Addr) {
   if (!Img.readBytes(Addr, Orig.data(), I->Length))
     return false;
   uint8_t Int3 = 0xcc;
-  Txn T;
+  Txn T(TxnArena);
   T.ChunksMark = Chunks.size();
   T.RecordsMark = Jumps.size();
   if (!writeBytes(T, Addr, &Int3, 1))
@@ -485,6 +490,9 @@ bool Patcher::tryB0(uint64_t Addr) {
 }
 
 Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
+  // All transaction journals from the previous site are dead (committed or
+  // rolled back; Txns never span sites), so reclaim them in one rewind.
+  TxnArena.reset();
   ++Stats.NLoc;
   ResultIndex[Addr] = Results.size();
   Results.push_back(PatchSiteResult{Addr, Tactic::Failed, 0});

@@ -37,6 +37,7 @@
 #include "core/Trampoline.h"
 #include "elf/Image.h"
 #include "obs/Trace.h"
+#include "support/Arena.h"
 #include "x86/Insn.h"
 
 #include <cstdint>
@@ -198,6 +199,16 @@ public:
   }
   const std::vector<PatchSiteResult> &results() const { return Results; }
 
+  /// Destructive accessors for when the Patcher is being torn down (the
+  /// sharded driver): move the accumulated outputs out instead of copying
+  /// them. The Patcher must not be used for patching afterwards.
+  std::vector<TrampolineChunk> takeChunks() { return std::move(Chunks); }
+  std::vector<JumpRecord> takeJumps() { return std::move(Jumps); }
+  std::vector<PatchSiteResult> takeResults() { return std::move(Results); }
+  std::map<uint64_t, std::vector<uint8_t>> takeB0Table() {
+    return std::move(B0Table);
+  }
+
 private:
   /// Undo record for one text write. Every patch write is at most one
   /// instruction long, so the old content fits an inline buffer — no heap
@@ -208,11 +219,24 @@ private:
     uint8_t Bytes[x86::MaxInsnLength] = {};
   };
 
+  /// Transaction journals live in the per-Patcher bump arena: tactic
+  /// attempts churn through thousands of them per shard, and the arena
+  /// makes construction/teardown allocation-free (patchOne rewinds the
+  /// arena once per site). A Txn must therefore never outlive the
+  /// patchOne call that created it.
+  template <typename T>
+  using TxnVec = std::vector<T, support::ArenaAllocator<T>>;
   struct Txn {
-    std::vector<UndoWrite> OldBytes;
-    std::vector<Interval> LocksAdded;
-    std::vector<Interval> ModifiedAdded;
-    std::vector<std::pair<uint64_t, uint64_t>> AllocsAdded;
+    explicit Txn(support::Arena &A)
+        : OldBytes(support::ArenaAllocator<UndoWrite>(A)),
+          LocksAdded(support::ArenaAllocator<Interval>(A)),
+          ModifiedAdded(support::ArenaAllocator<Interval>(A)),
+          AllocsAdded(
+              support::ArenaAllocator<std::pair<uint64_t, uint64_t>>(A)) {}
+    TxnVec<UndoWrite> OldBytes;
+    TxnVec<Interval> LocksAdded;
+    TxnVec<Interval> ModifiedAdded;
+    TxnVec<std::pair<uint64_t, uint64_t>> AllocsAdded;
     size_t ChunksMark = 0;
     size_t RecordsMark = 0;
   };
@@ -266,6 +290,7 @@ private:
   bool tryB0(uint64_t Addr);
 
   elf::Image &Img;
+  support::Arena TxnArena; ///< Backs Txn journals; rewound per site.
   std::vector<x86::Insn> Insns; ///< Sorted by address; insnAt bisects it.
   PatchOptions Opts;
   Allocator Alloc;

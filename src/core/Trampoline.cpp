@@ -206,10 +206,12 @@ Result<std::vector<uint8_t>> core::buildTrampoline(const TrampolineSpec &Spec,
     return RV::error("trampoline spec does not apply to this instruction");
 
   Assembler A(Addr);
+  A.reserve(ExpectedSize);
   uint64_t Resume = I.Address + I.Length;
 
   auto emitDisplaced = [&]() -> Status {
     ByteBuffer Buf;
+    Buf.reserve(MaxInsnLength);
     if (Status S = relocateInsn(I, OrigBytes, A.currentAddr(), Buf); !S)
       return S;
     A.raw(Buf.bytes());

@@ -9,10 +9,11 @@
 
 #include "elf/Image.h"
 
-#include "support/ByteBuffer.h"
 #include "support/FaultInjector.h"
+#include "support/Mmap.h"
 #include "support/Format.h"
 
+#include <cassert>
 #include <cstring>
 #include <fstream>
 
@@ -56,7 +57,61 @@ struct Phdr {
   uint64_t MemSz;
 };
 
-void pushPhdr(ByteBuffer &B, const Phdr &P) {
+/// Sequential little-endian writer over a caller-owned span. The span is
+/// the final destination (a heap vector or an mmap()ed output file), so
+/// emission is single-pass and copy-free; planLayout() supplies the exact
+/// size up front.
+class SpanWriter {
+public:
+  SpanWriter(uint8_t *Data, size_t Size) : P(Data), N(Size) {}
+
+  size_t size() const { return Pos; }
+
+  void push8(uint8_t V) {
+    assert(Pos < N && "SpanWriter overflow");
+    P[Pos++] = V;
+  }
+  void push16(uint16_t V) {
+    push8(static_cast<uint8_t>(V));
+    push8(static_cast<uint8_t>(V >> 8));
+  }
+  void push32(uint32_t V) {
+    push16(static_cast<uint16_t>(V));
+    push16(static_cast<uint16_t>(V >> 16));
+  }
+  void push64(uint64_t V) {
+    push32(static_cast<uint32_t>(V));
+    push32(static_cast<uint32_t>(V >> 32));
+  }
+  void pushBytes(std::initializer_list<uint8_t> Bytes) {
+    pushBytes(Bytes.begin(), Bytes.size());
+  }
+  void pushBytes(const uint8_t *Bytes, size_t K) {
+    assert(Pos + K <= N && "SpanWriter overflow");
+    if (K != 0) // empty vectors hand us a null data() pointer
+      std::memcpy(P + Pos, Bytes, K);
+    Pos += K;
+  }
+  void pushBytes(const std::vector<uint8_t> &Bytes) {
+    pushBytes(Bytes.data(), Bytes.size());
+  }
+  void pushFill(size_t K, uint8_t Fill) {
+    assert(Pos + K <= N && "SpanWriter overflow");
+    std::memset(P + Pos, Fill, K);
+    Pos += K;
+  }
+  void alignTo(size_t Align, uint8_t Fill = 0) {
+    while (Pos % Align != 0)
+      push8(Fill);
+  }
+
+private:
+  uint8_t *P;
+  size_t N;
+  size_t Pos = 0;
+};
+
+void pushPhdr(SpanWriter &B, const Phdr &P) {
   B.push32(P.Type);
   B.push32(P.Flags);
   B.push64(P.Offset);
@@ -120,16 +175,14 @@ uint64_t elf::writtenSize(const Image &Img) {
   return planLayout(Img).FileSize;
 }
 
-std::vector<uint8_t> elf::write(const Image &Img) {
-  Layout L = planLayout(Img);
-  bool HasNote = L.HasNote;
-  uint64_t PhNum = L.PhNum;
-  const std::vector<uint64_t> &SegOffsets = L.SegOffsets;
-  uint64_t NoteOff = L.NoteOff;
-  const std::vector<uint64_t> &BlockOffsets = L.BlockOffsets;
+namespace {
 
-  // --- Emit ----------------------------------------------------------------
-  ByteBuffer Out;
+/// Serializes \p Img into \p Dst (exactly \p L.FileSize bytes, already
+/// zero-initialized by the caller: a fresh vector or an ftruncate()d
+/// mapping). The one emission routine behind both write() and the
+/// zero-copy writeFile() path.
+void emitImage(uint8_t *Dst, const Image &Img, const Layout &L) {
+  SpanWriter Out(Dst, L.FileSize);
   // e_ident
   Out.pushBytes({0x7f, 'E', 'L', 'F', 2 /*64-bit*/, 1 /*LE*/, 1 /*ver*/, 0});
   Out.pushFill(8, 0);
@@ -142,7 +195,7 @@ std::vector<uint8_t> elf::write(const Image &Img) {
   Out.push32(0);        // e_flags
   Out.push16(EhdrSize);
   Out.push16(PhdrSize);
-  Out.push16(static_cast<uint16_t>(PhNum));
+  Out.push16(static_cast<uint16_t>(L.PhNum));
   Out.push16(64); // e_shentsize
   Out.push16(0);  // e_shnum
   Out.push16(0);  // e_shstrndx
@@ -150,28 +203,28 @@ std::vector<uint8_t> elf::write(const Image &Img) {
 
   for (size_t I = 0; I != Img.Segments.size(); ++I) {
     const Segment &S = Img.Segments[I];
-    pushPhdr(Out, Phdr{PT_LOAD, S.Flags, SegOffsets[I], S.VAddr,
+    pushPhdr(Out, Phdr{PT_LOAD, S.Flags, L.SegOffsets[I], S.VAddr,
                        S.fileSize(), S.MemSize});
   }
-  if (HasNote)
-    pushPhdr(Out, Phdr{PT_NOTE, PF_R, NoteOff, 0, noteSize(Img), 0});
+  if (L.HasNote)
+    pushPhdr(Out, Phdr{PT_NOTE, PF_R, L.NoteOff, 0, noteSize(Img), 0});
 
   for (size_t I = 0; I != Img.Segments.size(); ++I) {
-    Out.pushFill(SegOffsets[I] - Out.size(), 0);
+    Out.pushFill(L.SegOffsets[I] - Out.size(), 0);
     Out.pushBytes(Img.Segments[I].Bytes);
   }
 
-  if (HasNote) {
-    Out.pushFill(NoteOff - Out.size(), 0);
-    Out.push32(sizeof(NoteName));                           // namesz
-    Out.push32(static_cast<uint32_t>(noteDescSize(Img)));   // descsz
+  if (L.HasNote) {
+    Out.pushFill(L.NoteOff - Out.size(), 0);
+    Out.push32(sizeof(NoteName));                         // namesz
+    Out.push32(static_cast<uint32_t>(noteDescSize(Img))); // descsz
     Out.push32(NoteType);
     Out.pushBytes(reinterpret_cast<const uint8_t *>(NoteName),
                   sizeof(NoteName));
     Out.push32(static_cast<uint32_t>(Img.Blocks.size()));
     Out.push32(static_cast<uint32_t>(Img.Mappings.size()));
     for (size_t I = 0; I != Img.Blocks.size(); ++I) {
-      Out.push64(BlockOffsets[I]);
+      Out.push64(L.BlockOffsets[I]);
       Out.push64(Img.Blocks[I].Bytes.size());
     }
     for (const Mapping &M : Img.Mappings) {
@@ -191,48 +244,68 @@ std::vector<uint8_t> elf::write(const Image &Img) {
   }
 
   for (size_t I = 0; I != Img.Blocks.size(); ++I) {
-    Out.pushFill(BlockOffsets[I] - Out.size(), 0);
+    Out.pushFill(L.BlockOffsets[I] - Out.size(), 0);
     Out.pushBytes(Img.Blocks[I].Bytes);
   }
   assert(Out.size() == L.FileSize && "planLayout disagrees with emission");
-  return Out.takeBytes();
+}
+
+} // namespace
+
+std::vector<uint8_t> elf::write(const Image &Img) {
+  Layout L = planLayout(Img);
+  std::vector<uint8_t> Out(L.FileSize);
+  emitImage(Out.data(), Img, L);
+  return Out;
 }
 
 namespace {
 
-/// Bounds-checked little-endian reader over the raw file bytes.
+/// Bounds-checked little-endian readernamespace {
+
+/// Bounds-checked little-endian reader over the raw file bytes. Holds a
+/// borrowed (pointer, size) span so the same parser runs over a heap
+/// vector or a read-only mmap of the input file.
 class FileReader {
 public:
-  explicit FileReader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+  FileReader(const uint8_t *Data, size_t N) : Data(Data), N(N) {}
 
-  bool inBounds(uint64_t Off, uint64_t N) const {
-    return Off + N >= Off && Off + N <= Bytes.size();
+  bool inBounds(uint64_t Off, uint64_t K) const {
+    return Off + K >= Off && Off + K <= N;
   }
-  uint64_t read(uint64_t Off, unsigned N) const {
+  uint64_t read(uint64_t Off, unsigned K) const {
     uint64_t V = 0;
-    for (unsigned I = 0; I != N; ++I)
-      V |= static_cast<uint64_t>(Bytes[Off + I]) << (8 * I);
+    for (unsigned I = 0; I != K; ++I)
+      V |= static_cast<uint64_t>(Data[Off + I]) << (8 * I);
     return V;
   }
+  size_t size() const { return N; }
+  const uint8_t *data() const { return Data; }
 
-  const std::vector<uint8_t> &Bytes;
+private:
+  const uint8_t *Data;
+  size_t N;
 };
 
 } // namespace
 
 Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
-  FileReader F(Bytes);
+  return read(Bytes.data(), Bytes.size());
+}
+
+Result<Image> elf::read(const uint8_t *Data, size_t Size) {
+  FileReader F(Data, Size);
   if (E9_FAULT_POINT("elf.read.ehdr"))
     return Result<Image>::error(
         "injected fault: elf.read.ehdr (header read failed)");
   if (!F.inBounds(0, EhdrSize))
     return Result<Image>::error(
         format("file too small for an ELF header (%zu bytes, need %llu)",
-               Bytes.size(), static_cast<unsigned long long>(EhdrSize)));
+               Size, static_cast<unsigned long long>(EhdrSize)));
   static const uint8_t Magic[4] = {0x7f, 'E', 'L', 'F'};
-  if (std::memcmp(Bytes.data(), Magic, 4) != 0)
+  if (std::memcmp(Data, Magic, 4) != 0)
     return Result<Image>::error("bad ELF magic");
-  if (Bytes[4] != 2 || Bytes[5] != 1)
+  if (Data[4] != 2 || Data[5] != 1)
     return Result<Image>::error("not a little-endian ELF64 file");
   uint16_t Type = static_cast<uint16_t>(F.read(16, 2));
   if (Type != ET_EXEC && Type != ET_DYN)
@@ -255,7 +328,7 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
     return Result<Image>::error(
         format("program headers out of bounds (phoff %s, %u entries, file "
                "%zu bytes)",
-               hex(PhOff).c_str(), PhNum, Bytes.size()));
+               hex(PhOff).c_str(), PhNum, Size));
 
   for (uint16_t I = 0; I != PhNum; ++I) {
     uint64_t P = PhOff + static_cast<uint64_t>(I) * PhdrSize;
@@ -275,8 +348,7 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
         return Result<Image>::error(
             format("segment %u content out of bounds (offset %s + %s bytes, "
                    "file %zu bytes)",
-                   I, hex(POffset).c_str(), hex(PFileSz).c_str(),
-                   Bytes.size()));
+                   I, hex(POffset).c_str(), hex(PFileSz).c_str(), Size));
       if (PMemSz < PFileSz)
         return Result<Image>::error(
             format("segment %u memory size %s smaller than its file size %s",
@@ -295,8 +367,7 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
       S.VAddr = PVAddr;
       S.Flags = PFlags;
       S.MemSize = PMemSz;
-      S.Bytes.assign(Bytes.begin() + POffset,
-                     Bytes.begin() + POffset + PFileSz);
+      S.Bytes.assign(Data + POffset, Data + POffset + PFileSz);
       S.Name = (PFlags & PF_X) ? "text" : (PFlags & PF_W) ? "data" : "rodata";
       Img.Segments.push_back(std::move(S));
       continue;
@@ -305,7 +376,7 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
       continue;
     if (!F.inBounds(POffset, PFileSz) || PFileSz < 12 + sizeof(NoteName))
       continue;
-    if (std::memcmp(Bytes.data() + POffset + 12, NoteName,
+    if (std::memcmp(Data + POffset + 12, NoteName,
                     sizeof(NoteName)) != 0)
       continue;
     if (E9_FAULT_POINT("elf.read.note"))
@@ -330,9 +401,9 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
         return Result<Image>::error(
             format("trampoline block %u out of bounds (offset %s + %s "
                    "bytes, file %zu bytes)",
-                   B, hex(BOff).c_str(), hex(BSize).c_str(), Bytes.size()));
+                   B, hex(BOff).c_str(), hex(BSize).c_str(), Size));
       PhysBlock PB;
-      PB.Bytes.assign(Bytes.begin() + BOff, Bytes.begin() + BOff + BSize);
+      PB.Bytes.assign(Data + BOff, Data + BOff + BSize);
       Img.Blocks.push_back(std::move(PB));
     }
     for (uint32_t M = 0; M != NMappings; ++M) {
@@ -376,9 +447,8 @@ Result<Image> elf::read(const std::vector<uint8_t> &Bytes) {
           return Result<Image>::error(
               format("B0 entry for %s malformed (length %u at offset %s)",
                      hex(Addr).c_str(), Len, hex(Cur).c_str()));
-        Img.B0Sites.emplace(
-            Addr, std::vector<uint8_t>(Bytes.begin() + Cur,
-                                       Bytes.begin() + Cur + Len));
+        Img.B0Sites.emplace(Addr,
+                            std::vector<uint8_t>(Data + Cur, Data + Cur + Len));
         Cur += Len;
       }
     }
@@ -390,6 +460,18 @@ Status elf::writeFile(const Image &Img, const std::string &Path) {
   if (E9_FAULT_POINT("elf.write.file"))
     return Status::error(format(
         "injected fault: elf.write.file (writing %s failed)", Path.c_str()));
+  Layout L = planLayout(Img);
+  // Zero-copy path: size the file up front and serialize straight into
+  // the mapping (ftruncate zero-fills, satisfying emitImage's contract).
+  if (support::MappedOutputFile M =
+          support::MappedOutputFile::create(Path, L.FileSize);
+      M.valid()) {
+    emitImage(M.data(), Img, L);
+    if (!M.commit())
+      return Status::error(format("write to %s failed", Path.c_str()));
+    return Status::ok();
+  }
+  // Fallback (no mmap, zero-size image, unwritable mapping): buffered.
   std::vector<uint8_t> Bytes = write(Img);
   std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
   if (!Out)
@@ -402,6 +484,10 @@ Status elf::writeFile(const Image &Img, const std::string &Path) {
 }
 
 Result<Image> elf::readFile(const std::string &Path) {
+  // Parse straight out of a read-only mapping when possible; the Image
+  // copies out only the segment/block payloads it keeps.
+  if (support::MappedFile M = support::MappedFile::openRead(Path); M.valid())
+    return read(M.data(), M.size());
   std::ifstream In(Path, std::ios::binary);
   if (!In)
     return Result<Image>::error(

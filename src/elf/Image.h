@@ -112,6 +112,10 @@ uint64_t writtenSize(const Image &Img);
 /// Parses ELF64 bytes produced by write() (or a compatible minimal ELF).
 Result<Image> read(const std::vector<uint8_t> &Bytes);
 
+/// Span overload: parses directly from borrowed memory (e.g. a read-only
+/// mmap of the input file) without staging through a vector.
+Result<Image> read(const uint8_t *Data, size_t Size);
+
 /// File convenience wrappers.
 Status writeFile(const Image &Img, const std::string &Path);
 Result<Image> readFile(const std::string &Path);

@@ -1,0 +1,192 @@
+//===- frontend/Prescan.cpp -----------------------------------*- C++ -*-===//
+
+#include "frontend/Prescan.h"
+
+#include "frontend/Select.h"
+#include "x86/Decoder.h"
+
+#include <algorithm>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::x86;
+
+namespace {
+
+SigClass sigClassFor(SelectorKind K) {
+  switch (K) {
+  case SelectorKind::Jumps:
+    return SigClass::Jumps;
+  case SelectorKind::HeapWrites:
+    return SigClass::HeapWrites;
+  case SelectorKind::All:
+    return SigClass::All;
+  }
+  return SigClass::All;
+}
+
+bool matches(SelectorKind K, const Insn &I) {
+  switch (K) {
+  case SelectorKind::Jumps:
+    return isJumpSite(I);
+  case SelectorKind::HeapWrites:
+    return isHeapWriteSite(I);
+  case SelectorKind::All:
+    return true;
+  }
+  return false;
+}
+
+/// True for every byte the decoder's prefix loop can skip over: the legacy
+/// prefixes plus REX (40-4f). The opcode of an instruction starting at P
+/// is at the first position not in this set.
+bool isPrefixByte(uint8_t B) {
+  switch (B) {
+  case 0x26: case 0x2e: case 0x36: case 0x3e: case 0x64: case 0x65:
+  case 0x66: case 0x67: case 0xf0: case 0xf2: case 0xf3:
+    return true;
+  default:
+    return (B & 0xf0) == 0x40; // REX.
+  }
+}
+
+/// Second-stage filter behind the bitmap window test: the signature byte
+/// can only make the *predicate* true when it sits at the instruction's
+/// opcode position (first non-prefix byte; the escape/VEX/EVEX byte in
+/// multi-byte encodings). Neither signature set intersects the prefix set,
+/// so an instruction whose opcode-position byte fails this test cannot
+/// match the selector — window hits from immediates, displacements, or a
+/// neighbouring instruction's bytes are rejected without a full decode.
+bool opcodeCandidate(SigClass C, const uint8_t *P, size_t Avail) {
+  size_t Lim = std::min<size_t>(Avail, MaxInsnLength);
+  size_t K = 0;
+  while (K < Lim && isPrefixByte(P[K]))
+    ++K;
+  if (K == Lim)
+    return false; // All prefixes: the full path rejects it as undecodable.
+  if (isCandidateByte(C, 0, P[K]))
+    return true;
+  // Pair rule (jcc rel32): 0f escape followed by 80-8f.
+  return P[K] == 0x0f && K + 1 < Avail && (P[K + 1] & 0xf0) == 0x80 &&
+         isCandidateByte(C, P[K], P[K + 1]);
+}
+
+} // namespace
+
+std::vector<uint64_t> frontend::prescanSelect(const elf::Image &Img,
+                                              SelectorKind K,
+                                              PrescanStats *Stats) {
+  std::vector<uint64_t> Sites;
+  const elf::Segment *Text = Img.textSegment();
+  if (!Text)
+    return Sites;
+  const uint8_t *Bytes = Text->Bytes.data();
+  size_t N = Text->fileSize();
+
+  CandidateMap CM;
+  CM.build(Bytes, N, sigClassFor(K));
+  if (Stats) {
+    Stats->Backend = defaultScanBackend();
+    Stats->CandidateBytes = CM.count();
+  }
+
+  // Every byte is still length-walked (x86 boundaries depend on all
+  // previous bytes); the bitmap only decides full decode vs length-only.
+  // An instruction starting at Off occupies [Off, Off + Len) with
+  // Len <= MaxInsnLength, so a candidate-free [Off, Off + MaxInsnLength)
+  // proves the instruction cannot contain a signature byte and therefore
+  // cannot satisfy the selector predicate.
+  SigClass SC = sigClassFor(K);
+  size_t Off = 0;
+  while (Off < N) {
+    if (!CM.any(Off, Off + MaxInsnLength) ||
+        (K != SelectorKind::All && !opcodeCandidate(SC, Bytes + Off, N - Off))) {
+      unsigned Len = decodeLength(Bytes + Off, N - Off);
+      if (Len == 0) {
+        if (Stats)
+          ++Stats->UndecodableBytes;
+        ++Off;
+        continue;
+      }
+      if (Stats)
+        ++Stats->NumInsns;
+      Off += Len;
+      continue;
+    }
+    Insn I;
+    DecodeStatus S =
+        decode(Bytes + Off, N - Off, Text->VAddr + Off, I);
+    if (S != DecodeStatus::Ok) {
+      if (Stats)
+        ++Stats->UndecodableBytes;
+      ++Off;
+      continue;
+    }
+    if (Stats) {
+      ++Stats->NumInsns;
+      ++Stats->FullDecodes;
+    }
+    if (matches(K, I))
+      Sites.push_back(I.Address);
+    Off += I.Length;
+  }
+  return Sites;
+}
+
+DisasmResult frontend::disassembleWindows(const elf::Image &Img,
+                                          const std::vector<uint64_t> &Sites,
+                                          uint64_t Guard) {
+  DisasmResult R;
+  const elf::Segment *Text = Img.textSegment();
+  if (!Text)
+    return R;
+  const uint8_t *Bytes = Text->Bytes.data();
+  uint64_t Start = Text->VAddr;
+  uint64_t End = Start + Text->fileSize();
+
+  // Merge the per-site windows [S, S + Guard) into disjoint segments.
+  std::vector<uint64_t> Sorted(Sites);
+  std::sort(Sorted.begin(), Sorted.end());
+  std::vector<std::pair<uint64_t, uint64_t>> Segs;
+  for (uint64_t S : Sorted) {
+    uint64_t Lo = S, Hi = S + Guard;
+    if (!Segs.empty() && Lo <= Segs.back().second)
+      Segs.back().second = std::max(Segs.back().second, Hi);
+    else
+      Segs.emplace_back(Lo, Hi);
+  }
+
+  uint64_t WindowBytes = 0;
+  for (const auto &[Lo, Hi] : Segs)
+    WindowBytes += std::min(Hi, End) - std::min(Lo, End);
+  R.Insns.reserve(WindowBytes / 4); // Mean x86-64 insn is ~4 bytes.
+
+  size_t SegIdx = 0;
+  uint64_t Cursor = Start;
+  while (Cursor < End) {
+    while (SegIdx != Segs.size() && Cursor >= Segs[SegIdx].second)
+      ++SegIdx;
+    bool InWindow = SegIdx != Segs.size() && Cursor >= Segs[SegIdx].first;
+    if (!InWindow) {
+      unsigned Len = decodeLength(Bytes + (Cursor - Start), End - Cursor);
+      if (Len == 0) {
+        ++R.UndecodableBytes;
+        ++Cursor;
+        continue;
+      }
+      Cursor += Len;
+      continue;
+    }
+    Insn I;
+    DecodeStatus S =
+        decode(Bytes + (Cursor - Start), End - Cursor, Cursor, I);
+    if (S != DecodeStatus::Ok) {
+      ++R.UndecodableBytes;
+      ++Cursor;
+      continue;
+    }
+    R.Insns.push_back(I);
+    Cursor += I.Length;
+  }
+  return R;
+}

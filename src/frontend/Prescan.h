@@ -1,0 +1,79 @@
+//===- frontend/Prescan.h - Candidate-window disassembly -------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fast front half of the pipeline: a SIMD byte-signature pre-scan
+/// (x86/Scan) marks candidate bytes, then a single linear walk length-
+/// decodes every instruction boundary but runs the full table-driven
+/// decoder — and the selector predicate — only where the candidate bitmap
+/// says a match is possible. x86 linear disassembly cannot skip bytes
+/// (boundaries depend on every previous byte), so the walk itself is
+/// unavoidable; what the pre-scan removes is the full field decode, the
+/// `Insn` record store, and the separate select pass for the (typically
+/// large) majority of instructions that cannot match.
+///
+/// `prescanSelect` returns exactly the sites that
+/// `selectX(linearDisassemble(Img).Insns)` would return — guaranteed by
+/// the scanner's no-false-negative contract (Scan.h) and pinned by
+/// property tests over adversarial byte soups.
+///
+/// `disassembleWindows` is the back half: once the site list is known,
+/// only instructions within a guard window of some site are ever
+/// consulted by the patcher (the shard-independence argument in Shard.h
+/// bounds every tactic to [site, site + 148)), so full `Insn` records are
+/// kept only for starts inside those windows. Boundaries stay globally
+/// exact because every instruction is still length-walked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_FRONTEND_PRESCAN_H
+#define E9_FRONTEND_PRESCAN_H
+
+#include "frontend/Disasm.h"
+#include "x86/Scan.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace e9 {
+namespace frontend {
+
+/// Which selector a pre-scan run feeds (mirrors Select.h).
+enum class SelectorKind : uint8_t {
+  Jumps,      ///< A1: selectJumps.
+  HeapWrites, ///< A2: selectHeapWrites.
+  All,        ///< Stress: selectAll (pre-scan degenerates to full decode).
+};
+
+/// Observability counters for one pre-scan run.
+struct PrescanStats {
+  size_t NumInsns = 0;         ///< Instructions walked (all of them).
+  size_t UndecodableBytes = 0; ///< Bytes skipped as data islands.
+  size_t FullDecodes = 0;      ///< Instructions that got the full decoder.
+  size_t CandidateBytes = 0;   ///< Bits set in the candidate map.
+  x86::ScanBackend Backend = x86::ScanBackend::Scalar;
+};
+
+/// Fused pre-scan + select: returns the same site list as running the
+/// matching selector over a full linear disassembly, without materializing
+/// the instruction vector.
+std::vector<uint64_t> prescanSelect(const elf::Image &Img, SelectorKind K,
+                                    PrescanStats *Stats = nullptr);
+
+/// Linear disassembly that materializes full `Insn` records only for
+/// instructions starting inside [S, S + Guard) for some site S in
+/// \p Sites (need not be sorted or unique). Instruction *boundaries* are
+/// identical to `linearDisassemble`; records outside every window are
+/// dropped, which is safe for the patcher because no tactic consults
+/// instructions beyond the guard distance of its site (see Shard.h).
+DisasmResult disassembleWindows(const elf::Image &Img,
+                                const std::vector<uint64_t> &Sites,
+                                uint64_t Guard);
+
+} // namespace frontend
+} // namespace e9
+
+#endif // E9_FRONTEND_PRESCAN_H

@@ -3,6 +3,7 @@
 #include "frontend/Rewriter.h"
 
 #include "frontend/Disasm.h"
+#include "frontend/Prescan.h"
 #include "frontend/Shard.h"
 #include "support/FaultInjector.h"
 #include "support/Format.h"
@@ -108,7 +109,11 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
     Trace.meta(Unique.size());
   }
 
-  DisasmResult Dis = linearDisassemble(Out.Rewritten);
+  // The patcher only ever consults instructions within the shard guard
+  // distance of a patch site (Shard.h): length-walk everything for exact
+  // boundaries, but materialize Insn records only inside those windows.
+  DisasmResult Dis =
+      disassembleWindows(Out.Rewritten, PatchLocs, ShardGuardDistance);
   if (E9_FAULT_POINT("frontend.disasm.decode"))
     return Result<RewriteOutput>::error(
         "injected fault: frontend.disasm.decode (disassembly failed)");

@@ -6,11 +6,28 @@ using namespace e9;
 using namespace e9::frontend;
 using namespace e9::x86;
 
+bool frontend::isJumpSite(const Insn &I) {
+  return I.isJmpRel8() || I.isJmpRel32() || I.isJccRel8() || I.isJccRel32();
+}
+
+bool frontend::isHeapWriteSite(const Insn &I) {
+  if (!I.writesMemOperand())
+    return false;
+  if (I.isRipRelative())
+    return false;
+  Reg Base = I.memBase();
+  if (Base == Reg::RSP || Base == Reg::RIP)
+    return false;
+  if (I.SegPrefix == 0x64 || I.SegPrefix == 0x65)
+    return false;
+  return true;
+}
+
 std::vector<uint64_t>
 frontend::selectJumps(const std::vector<Insn> &Insns) {
   std::vector<uint64_t> Locs;
   for (const Insn &I : Insns)
-    if (I.isJmpRel8() || I.isJmpRel32() || I.isJccRel8() || I.isJccRel32())
+    if (isJumpSite(I))
       Locs.push_back(I.Address);
   return Locs;
 }
@@ -18,18 +35,9 @@ frontend::selectJumps(const std::vector<Insn> &Insns) {
 std::vector<uint64_t>
 frontend::selectHeapWrites(const std::vector<Insn> &Insns) {
   std::vector<uint64_t> Locs;
-  for (const Insn &I : Insns) {
-    if (!I.writesMemOperand())
-      continue;
-    if (I.isRipRelative())
-      continue;
-    Reg Base = I.memBase();
-    if (Base == Reg::RSP || Base == Reg::RIP)
-      continue;
-    if (I.SegPrefix == 0x64 || I.SegPrefix == 0x65)
-      continue;
-    Locs.push_back(I.Address);
-  }
+  for (const Insn &I : Insns)
+    if (isHeapWriteSite(I))
+      Locs.push_back(I.Address);
   return Locs;
 }
 

@@ -23,6 +23,13 @@
 namespace e9 {
 namespace frontend {
 
+/// Per-instruction predicate behind selectJumps (shared with the
+/// pre-scan fused walk in Prescan.cpp).
+bool isJumpSite(const x86::Insn &I);
+
+/// Per-instruction predicate behind selectHeapWrites.
+bool isHeapWriteSite(const x86::Insn &I);
+
 /// A1: all relative jmp/jcc instructions (rel8 and rel32 forms).
 std::vector<uint64_t> selectJumps(const std::vector<x86::Insn> &Insns);
 

@@ -114,11 +114,11 @@ ShardedPatchOutput frontend::patchSharded(
   // Runs shard K against the shared image. Shards touch pairwise-disjoint
   // byte ranges (see Shard.h), so concurrent calls are race-free. When
   // \p ReservedAllocs is non-null (the redo pass), those address ranges
-  // are additionally withheld from the shard's allocator.
-  auto runShard =
-      [&](size_t K,
-          const std::vector<std::pair<uint64_t, uint64_t>> *ReservedAllocs,
-          std::vector<x86::Insn> ShardInsns) -> ShardResult {
+  // are additionally withheld from the shard's allocator. The set is
+  // passed coalesced: reserving the union interval-by-interval is far
+  // cheaper than replaying thousands of individual allocations.
+  auto runShard = [&](size_t K, const IntervalSet *ReservedAllocs,
+                      std::vector<x86::Insn> ShardInsns) -> ShardResult {
     const Shard &S = Plan[K];
     ShardResult R;
     Stopwatch ShardClock;
@@ -129,19 +129,21 @@ ShardedPatchOutput frontend::patchSharded(
     for (const Interval &Res : ExtraReserved)
       P.allocator().reserve(Res.Lo, Res.Hi);
     if (ReservedAllocs)
-      for (const auto &[A, Sz] : *ReservedAllocs)
-        P.allocator().reserve(A, A + Sz);
+      for (const auto &[Lo, Hi] : *ReservedAllocs)
+        P.allocator().reserve(Lo, Hi);
     // Strategy S1 within the shard: descending address order.
     for (size_t I = S.NumSites; I-- > 0;) {
       uint64_t Addr = Sites[S.FirstSite + I];
       P.patchOne(Addr, SpecFor ? SpecFor(Addr) : PatchOpts.Spec);
     }
     R.Stats = P.stats();
-    R.Chunks = P.chunks();
-    R.Jumps = P.jumps();
-    R.Sites = P.results();
+    // Move the bulk outputs out of the patcher — chunk byte vectors alone
+    // dominate shard teardown cost when copied.
+    R.Chunks = P.takeChunks();
+    R.Jumps = P.takeJumps();
+    R.Sites = P.takeResults();
     R.Modified = P.modifiedRanges();
-    R.B0 = P.b0Table();
+    R.B0 = P.takeB0Table();
     R.Allocs = P.allocator().allocations();
     R.ZoneExtends = P.allocator().zoneExtends();
     R.ZoneOpens = P.allocator().zoneOpens();
@@ -182,7 +184,6 @@ ShardedPatchOutput frontend::patchSharded(
   // pure function of the shard results, never of the thread count.
   Stopwatch MergeClock;
   IntervalSet MergedUsed;
-  std::vector<std::pair<uint64_t, uint64_t>> MergedAllocs;
   for (size_t K = Plan.size(); K-- > 0;) {
     ShardResult &R = Results[K];
     bool Clash = false;
@@ -197,8 +198,9 @@ ShardedPatchOutput frontend::patchSharded(
       // re-run it sequentially with every merged allocation withheld.
       // The first run's result — trace events included — is discarded
       // wholesale, so the spliced trace stays deterministic.
+      std::vector<uint8_t> Buf;
       for (const Interval &M : R.Modified) {
-        std::vector<uint8_t> Buf(M.size());
+        Buf.resize(M.size());
         [[maybe_unused]] Status RS =
             Original.readBytes(M.Lo, Buf.data(), Buf.size());
         assert(RS.isOk() && "modified range must exist in the original");
@@ -206,7 +208,7 @@ ShardedPatchOutput frontend::patchSharded(
             Img.writeBytes(M.Lo, Buf.data(), Buf.size());
         assert(WS.isOk() && "restore write must succeed");
       }
-      R = runShard(K, &MergedAllocs, sliceFor(Plan[K]));
+      R = runShard(K, &MergedUsed, sliceFor(Plan[K]));
     }
     Trace.shard(K, Plan[K].NumSites, Plan[K].LoAddr, Plan[K].HiAddr,
                 windowFor(K), Clash);
@@ -227,10 +229,8 @@ ShardedPatchOutput frontend::patchSharded(
                               R.Modified.end());
     for (auto &[Addr, Bytes] : R.B0)
       Out.B0Table.emplace(Addr, std::move(Bytes));
-    for (const auto &[A, Sz] : R.Allocs) {
+    for (const auto &[A, Sz] : R.Allocs)
       MergedUsed.insert(A, A + Sz);
-      MergedAllocs.emplace_back(A, Sz);
-    }
   }
   std::sort(Out.ModifiedRanges.begin(), Out.ModifiedRanges.end(),
             [](const Interval &A, const Interval &B) { return A.Lo < B.Lo; });

@@ -1,0 +1,167 @@
+//===- support/Arena.h - Monotonic bump allocator --------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic, alignment-aware bump arena for short-lived per-shard
+/// transients (patch transaction undo logs, lock/alloc journals). Freeing
+/// is a no-op; `reset()` rewinds the bump pointer so teardown of a whole
+/// generation of objects costs one pointer store. Under AddressSanitizer
+/// the slack between live allocations (and everything reclaimed by
+/// reset()) is poisoned, so stale pointers into a reset arena and
+/// run-past-the-end bugs still trap exactly as they would with malloc.
+///
+/// Ownership rule (see DESIGN.md §13): objects placed in an arena must not
+/// outlive the arena's next reset(). Anything that escapes a shard — site
+/// results, trampoline chunks, jump records, the B0 side table — must live
+/// in ordinary heap containers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_ARENA_H
+#define E9_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+#include <sanitizer/asan_interface.h>
+#define E9_ARENA_POISON(Ptr, Size) __asan_poison_memory_region(Ptr, Size)
+#define E9_ARENA_UNPOISON(Ptr, Size) __asan_unpoison_memory_region(Ptr, Size)
+/// Redzone kept between consecutive arena allocations so ASan can catch
+/// overruns from one object into the next.
+#define E9_ARENA_REDZONE 8
+#else
+#define E9_ARENA_POISON(Ptr, Size) ((void)0)
+#define E9_ARENA_UNPOISON(Ptr, Size) ((void)0)
+#define E9_ARENA_REDZONE 0
+#endif
+
+namespace e9 {
+namespace support {
+
+/// Monotonic bump arena. Not thread-safe: one arena per shard/owner.
+class Arena {
+public:
+  explicit Arena(size_t BlockSize = 64 * 1024) : BlockSize(BlockSize) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  ~Arena() {
+    for (Block &B : Blocks)
+      E9_ARENA_UNPOISON(B.Mem.get(), B.Size);
+  }
+
+  /// Bump-allocates \p Size bytes aligned to \p Align (a power of two).
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+    if (Size == 0)
+      Size = 1;
+    if (Cur != Blocks.size()) {
+      Block &B = Blocks[Cur];
+      size_t Aligned = (Off + Align - 1) & ~(Align - 1);
+      if (Aligned + Size <= B.Size) {
+        Off = Aligned + Size + E9_ARENA_REDZONE;
+        uint8_t *P = B.Mem.get() + Aligned;
+        E9_ARENA_UNPOISON(P, Size);
+        TotalAllocated += Size;
+        return P;
+      }
+      // Current block exhausted; move to (or create) the next one.
+      ++Cur;
+    }
+    return allocateSlow(Size, Align);
+  }
+
+  /// Rewinds the arena: every object handed out so far is dead. Block
+  /// memory is retained (and re-poisoned) for reuse.
+  void reset() {
+    for (Block &B : Blocks)
+      E9_ARENA_POISON(B.Mem.get(), B.Size);
+    Cur = 0;
+    Off = 0;
+    TotalAllocated = 0;
+  }
+
+  /// Bytes handed out since construction/reset (excludes redzones/slack).
+  size_t bytesAllocated() const { return TotalAllocated; }
+  /// Number of backing blocks currently owned.
+  size_t blockCount() const { return Blocks.size(); }
+
+private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> Mem;
+    size_t Size = 0;
+  };
+
+  void *allocateSlow(size_t Size, size_t Align) {
+    // Find (or create) a block that can hold the request from offset 0;
+    // oversize requests get a dedicated block.
+    while (Cur != Blocks.size()) {
+      if (Size + E9_ARENA_REDZONE <= Blocks[Cur].Size) {
+        Off = 0;
+        return allocate(Size, Align); // Re-enter the fast path.
+      }
+      ++Cur;
+    }
+    size_t NewSize = BlockSize;
+    if (Size + Align + E9_ARENA_REDZONE > NewSize)
+      NewSize = Size + Align + E9_ARENA_REDZONE;
+    Block B;
+    B.Mem = std::make_unique<uint8_t[]>(NewSize);
+    B.Size = NewSize;
+    E9_ARENA_POISON(B.Mem.get(), B.Size);
+    Blocks.push_back(std::move(B));
+    Cur = Blocks.size() - 1;
+    Off = 0;
+    return allocate(Size, Align);
+  }
+
+  size_t BlockSize;
+  std::vector<Block> Blocks;
+  size_t Cur = 0; ///< Index of the block being bumped (== size() when full).
+  size_t Off = 0; ///< Bump offset within Blocks[Cur].
+  size_t TotalAllocated = 0;
+};
+
+/// Minimal std-allocator adapter over Arena for container transients.
+/// deallocate() is a no-op: memory comes back only via Arena::reset().
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena &A) : A(&A) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &O) : A(O.arena()) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(A->allocate(N * sizeof(T), alignof(T)));
+  }
+  void deallocate(T *, size_t) {}
+
+  Arena *arena() const { return A; }
+
+  template <typename U> bool operator==(const ArenaAllocator<U> &O) const {
+    return A == O.arena();
+  }
+  template <typename U> bool operator!=(const ArenaAllocator<U> &O) const {
+    return A != O.arena();
+  }
+
+private:
+  Arena *A;
+};
+
+} // namespace support
+} // namespace e9
+
+#endif // E9_SUPPORT_ARENA_H

@@ -39,6 +39,10 @@ public:
     return Data[I];
   }
 
+  /// Pre-grows capacity ahead of bulk appends (trampoline assembly, note
+  /// emission) so the append loops never reallocate mid-stream.
+  void reserve(size_t N) { Data.reserve(N); }
+
   void push8(uint8_t V) { Data.push_back(V); }
 
   void push16(uint16_t V) {

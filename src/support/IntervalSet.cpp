@@ -113,29 +113,6 @@ std::optional<uint64_t> IntervalSet::findFreeGap(const Interval &Bound,
   }
 }
 
-void IntervalSet::missingRanges(uint64_t Lo, uint64_t Hi,
-                                std::vector<Interval> &Out) const {
-  if (Lo >= Hi)
-    return;
-  uint64_t Cursor = Lo;
-  auto It = Map.upper_bound(Lo);
-  if (It != Map.begin()) {
-    auto Prev = std::prev(It);
-    if (Prev->second > Cursor)
-      Cursor = Prev->second;
-  }
-  while (Cursor < Hi) {
-    if (It == Map.end() || It->first >= Hi) {
-      Out.push_back(Interval{Cursor, Hi});
-      return;
-    }
-    if (It->first > Cursor)
-      Out.push_back(Interval{Cursor, It->first});
-    Cursor = It->second;
-    ++It;
-  }
-}
-
 std::optional<uint64_t> IntervalSet::findFreeStart(const Interval &StartBound,
                                                    uint64_t Size) const {
   if (Size == 0 || StartBound.empty())

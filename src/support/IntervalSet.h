@@ -16,6 +16,7 @@
 #define E9_SUPPORT_INTERVALSET_H
 
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <vector>
@@ -63,9 +64,30 @@ public:
   void erase(uint64_t Lo, uint64_t Hi);
 
   /// Appends to \p Out the subranges of [Lo, Hi) NOT covered by the set
-  /// (the complement restricted to the query range).
-  void missingRanges(uint64_t Lo, uint64_t Hi,
-                     std::vector<Interval> &Out) const;
+  /// (the complement restricted to the query range). Templated on the
+  /// container so arena-backed vectors (support/Arena.h) work too.
+  template <typename Vec>
+  void missingRanges(uint64_t Lo, uint64_t Hi, Vec &Out) const {
+    if (Lo >= Hi)
+      return;
+    uint64_t Cursor = Lo;
+    auto It = Map.upper_bound(Lo);
+    if (It != Map.begin()) {
+      auto Prev = std::prev(It);
+      if (Prev->second > Cursor)
+        Cursor = Prev->second;
+    }
+    while (Cursor < Hi) {
+      if (It == Map.end() || It->first >= Hi) {
+        Out.push_back(Interval{Cursor, Hi});
+        return;
+      }
+      if (It->first > Cursor)
+        Out.push_back(Interval{Cursor, It->first});
+      Cursor = It->second;
+      ++It;
+    }
+  }
 
   /// Finds the lowest gap of at least \p Size bytes that lies entirely
   /// within [Bound.Lo, Bound.Hi) and does not overlap any interval.

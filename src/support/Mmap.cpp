@@ -1,0 +1,132 @@
+//===- support/Mmap.cpp - RAII memory-mapped file I/O ---------------------===//
+
+#include "support/Mmap.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define E9_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace e9;
+using namespace e9::support;
+
+MappedFile &MappedFile::operator=(MappedFile &&O) noexcept {
+  if (this != &O) {
+#if E9_HAVE_MMAP
+    if (Addr)
+      ::munmap(Addr, Len);
+#endif
+    Addr = std::exchange(O.Addr, nullptr);
+    Len = std::exchange(O.Len, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if E9_HAVE_MMAP
+  if (Addr)
+    ::munmap(Addr, Len);
+#endif
+}
+
+MappedFile MappedFile::openRead(const std::string &Path) {
+  MappedFile M;
+#if E9_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return M;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || !S_ISREG(St.st_mode) || St.st_size <= 0) {
+    ::close(Fd);
+    return M;
+  }
+  void *P = ::mmap(nullptr, static_cast<size_t>(St.st_size), PROT_READ,
+                   MAP_PRIVATE, Fd, 0);
+  ::close(Fd); // The mapping keeps the file alive.
+  if (P == MAP_FAILED)
+    return M;
+  M.Addr = P;
+  M.Len = static_cast<size_t>(St.st_size);
+#else
+  (void)Path;
+#endif
+  return M;
+}
+
+MappedOutputFile &MappedOutputFile::operator=(MappedOutputFile &&O) noexcept {
+  if (this != &O) {
+#if E9_HAVE_MMAP
+    if (Addr)
+      ::munmap(Addr, Len);
+    if (Fd >= 0)
+      ::close(Fd);
+#endif
+    Addr = std::exchange(O.Addr, nullptr);
+    Len = std::exchange(O.Len, 0);
+    Fd = std::exchange(O.Fd, -1);
+    Path = std::exchange(O.Path, {});
+    Committed = std::exchange(O.Committed, false);
+  }
+  return *this;
+}
+
+MappedOutputFile::~MappedOutputFile() {
+#if E9_HAVE_MMAP
+  if (Addr)
+    ::munmap(Addr, Len);
+  if (Fd >= 0)
+    ::close(Fd);
+  if (!Committed && !Path.empty())
+    ::unlink(Path.c_str()); // Never leave a truncated binary behind.
+#endif
+}
+
+MappedOutputFile MappedOutputFile::create(const std::string &Path,
+                                          size_t Size) {
+  MappedOutputFile M;
+#if E9_HAVE_MMAP
+  if (Size == 0)
+    return M; // Zero-length mmap is invalid; use the fallback writer.
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0755);
+  if (Fd < 0)
+    return M;
+  if (::ftruncate(Fd, static_cast<off_t>(Size)) != 0) {
+    ::close(Fd);
+    return M;
+  }
+  void *P = ::mmap(nullptr, Size, PROT_READ | PROT_WRITE, MAP_SHARED, Fd, 0);
+  if (P == MAP_FAILED) {
+    ::close(Fd);
+    return M;
+  }
+  M.Addr = P;
+  M.Len = Size;
+  M.Fd = Fd;
+  M.Path = Path;
+#else
+  (void)Path;
+  (void)Size;
+#endif
+  return M;
+}
+
+bool MappedOutputFile::commit() {
+#if E9_HAVE_MMAP
+  if (!Addr)
+    return false;
+  bool Ok = ::msync(Addr, Len, MS_SYNC) == 0;
+  Ok &= ::munmap(Addr, Len) == 0;
+  Addr = nullptr;
+  Ok &= ::close(Fd) == 0;
+  Fd = -1;
+  Committed = Ok;
+  return Ok;
+#else
+  return false;
+#endif
+}

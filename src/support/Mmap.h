@@ -1,0 +1,90 @@
+//===- support/Mmap.h - RAII memory-mapped file I/O ------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII wrappers for memory-mapped file I/O, used by the ELF reader and
+/// writer to avoid staging whole binaries through intermediate buffers:
+/// the reader parses straight out of a read-only mapping, and the writer
+/// serializes straight into a freshly ftruncate()d read-write mapping.
+///
+/// On platforms without mmap (or when mapping fails — e.g. a pipe or an
+/// empty file) the open functions return an invalid object and callers
+/// fall back to stream I/O; no code path *requires* mmap to work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_MMAP_H
+#define E9_SUPPORT_MMAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace e9 {
+namespace support {
+
+/// A read-only memory-mapped view of an existing file.
+class MappedFile {
+public:
+  MappedFile() = default;
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+  MappedFile(MappedFile &&O) noexcept { *this = std::move(O); }
+  MappedFile &operator=(MappedFile &&O) noexcept;
+  ~MappedFile();
+
+  /// Maps \p Path read-only. Returns an invalid object on any failure
+  /// (missing file, zero length, mmap unsupported).
+  static MappedFile openRead(const std::string &Path);
+
+  bool valid() const { return Addr != nullptr; }
+  const uint8_t *data() const { return static_cast<const uint8_t *>(Addr); }
+  size_t size() const { return Len; }
+
+private:
+  void *Addr = nullptr;
+  size_t Len = 0;
+};
+
+/// A read-write mapping of a newly created file of a known size: the
+/// zero-copy emission target. commit() must be called for the contents to
+/// be considered written; destruction without commit() best-effort unlinks
+/// the partial file so failures never leave a truncated binary behind.
+class MappedOutputFile {
+public:
+  MappedOutputFile() = default;
+  MappedOutputFile(const MappedOutputFile &) = delete;
+  MappedOutputFile &operator=(const MappedOutputFile &) = delete;
+  MappedOutputFile(MappedOutputFile &&O) noexcept { *this = std::move(O); }
+  MappedOutputFile &operator=(MappedOutputFile &&O) noexcept;
+  ~MappedOutputFile();
+
+  /// Creates/truncates \p Path at exactly \p Size bytes and maps it
+  /// read-write. Returns an invalid object on failure (caller falls back
+  /// to buffered writing).
+  static MappedOutputFile create(const std::string &Path, size_t Size);
+
+  bool valid() const { return Addr != nullptr; }
+  uint8_t *data() { return static_cast<uint8_t *>(Addr); }
+  size_t size() const { return Len; }
+
+  /// Unmaps and closes, keeping the file. Returns false if the final
+  /// sync/close reported an I/O error.
+  bool commit();
+
+private:
+  void *Addr = nullptr;
+  size_t Len = 0;
+  int Fd = -1;
+  std::string Path;
+  bool Committed = false;
+};
+
+} // namespace support
+} // namespace e9
+
+#endif // E9_SUPPORT_MMAP_H

@@ -92,6 +92,10 @@ public:
 
   explicit Assembler(uint64_t BaseAddr) : Base(BaseAddr) {}
 
+  /// Pre-grows the output buffer when the caller knows the emitted size
+  /// (e.g. trampolineSize()), avoiding reallocation during emission.
+  void reserve(size_t N) { Buf.reserve(N); }
+
   uint64_t baseAddr() const { return Base; }
   uint64_t currentAddr() const { return Base + Buf.size(); }
   size_t size() const { return Buf.size(); }

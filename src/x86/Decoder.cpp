@@ -249,6 +249,15 @@ public:
     return true;
   }
 
+  /// Advances over \p N bytes without assembling a value (length-only
+  /// decode path); same bounds behaviour as read().
+  bool skip(unsigned N) {
+    if (Pos + N > MaxLen)
+      return false;
+    Pos += N;
+    return true;
+  }
+
 private:
   const uint8_t *Bytes;
   size_t MaxLen;
@@ -256,7 +265,10 @@ private:
 };
 
 /// Decodes ModRM/SIB/displacement into \p I. Returns false when truncated.
-bool decodeModRM(Cursor &C, Insn &I) {
+/// With Record == false the displacement bytes are skipped, not read: the
+/// cursor moves exactly as in the recording mode, only the value/offset
+/// stores are compiled out.
+template <bool Record = true> bool decodeModRM(Cursor &C, Insn &I) {
   if (C.atEnd())
     return false;
   I.HasModRM = true;
@@ -283,21 +295,28 @@ bool decodeModRM(Cursor &C, Insn &I) {
   }
 
   if (DispSize != 0) {
-    I.DispOffset = static_cast<uint8_t>(C.pos());
-    uint64_t Raw;
-    if (!C.read(DispSize, Raw))
-      return false;
-    I.DispSize = static_cast<uint8_t>(DispSize);
-    I.Disp = static_cast<int32_t>(signExtend(Raw, DispSize));
+    if constexpr (Record) {
+      I.DispOffset = static_cast<uint8_t>(C.pos());
+      uint64_t Raw;
+      if (!C.read(DispSize, Raw))
+        return false;
+      I.DispSize = static_cast<uint8_t>(DispSize);
+      I.Disp = static_cast<int32_t>(signExtend(Raw, DispSize));
+    } else {
+      if (!C.skip(DispSize))
+        return false;
+    }
   }
   return true;
 }
 
 /// Reads an immediate of \p Size bytes into \p I. Returns false when
 /// truncated.
-bool readImm(Cursor &C, Insn &I, unsigned Size) {
+template <bool Record = true> bool readImm(Cursor &C, Insn &I, unsigned Size) {
   if (Size == 0)
     return true;
+  if constexpr (!Record)
+    return C.skip(Size);
   I.ImmOffset = static_cast<uint8_t>(C.pos());
   uint64_t Raw;
   if (!C.read(Size, Raw))
@@ -348,8 +367,15 @@ DecodeStatus truncated(const Cursor &C) {
 }
 } // namespace
 
-DecodeStatus x86::decode(const uint8_t *Bytes, size_t MaxLen,
-                         uint64_t Address, Insn &Out) {
+namespace {
+
+/// Shared decode body. Record == false is the length-only instantiation
+/// used by decodeLength(): it runs the identical prefix/opcode/ModRM walk
+/// (so lengths and statuses cannot drift from the full decoder) but skips
+/// assembling displacement/immediate values.
+template <bool Record>
+DecodeStatus decodeImpl(const uint8_t *Bytes, size_t MaxLen,
+                        uint64_t Address, Insn &Out) {
   Out = Insn();
   Out.Address = Address;
   if (MaxLen == 0)
@@ -467,9 +493,9 @@ DecodeStatus x86::decode(const uint8_t *Bytes, size_t MaxLen,
     // (the AVX extensions fill many of them); immediates follow the table.
     if (!Info.Valid)
       Info = op(true);
-    if (Info.ModRM && !decodeModRM(C, Out))
+    if (Info.ModRM && !decodeModRM<Record>(C, Out))
       return truncated(C);
-    if (!readImm(C, Out, immSize(Info.Imm, Out)))
+    if (!readImm<Record>(C, Out, immSize(Info.Imm, Out)))
       return truncated(C);
     Out.Length = static_cast<uint8_t>(C.pos());
     return DecodeStatus::Ok;
@@ -501,18 +527,25 @@ DecodeStatus x86::decode(const uint8_t *Bytes, size_t MaxLen,
 
   if (!Info.Valid)
     return DecodeStatus::Invalid;
-  if (Info.ModRM && !decodeModRM(C, Out))
+  if (Info.ModRM && !decodeModRM<Record>(C, Out))
     return truncated(C);
-  if (!readImm(C, Out, immSize(Info.Imm, Out)))
+  if (!readImm<Record>(C, Out, immSize(Info.Imm, Out)))
     return truncated(C);
 
   Out.Length = static_cast<uint8_t>(C.pos());
   return DecodeStatus::Ok;
 }
 
+} // namespace
+
+DecodeStatus x86::decode(const uint8_t *Bytes, size_t MaxLen,
+                         uint64_t Address, Insn &Out) {
+  return decodeImpl<true>(Bytes, MaxLen, Address, Out);
+}
+
 unsigned x86::decodeLength(const uint8_t *Bytes, size_t MaxLen) {
   Insn I;
-  if (decode(Bytes, MaxLen, 0, I) != DecodeStatus::Ok)
+  if (decodeImpl<false>(Bytes, MaxLen, 0, I) != DecodeStatus::Ok)
     return 0;
   return I.Length;
 }

@@ -1,0 +1,345 @@
+//===- x86/Scan.cpp -------------------------------------------*- C++ -*-===//
+
+#include "x86/Scan.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define E9_SCAN_X86 1
+#include <immintrin.h>
+#else
+#define E9_SCAN_X86 0
+#endif
+
+using namespace e9;
+using namespace e9::x86;
+
+// The signature sets below are deliberately *over*-approximations of the
+// selector predicates (see Scan.h): every opcode value the predicate can
+// accept is present, plus whatever extra values make the set expressible
+// as a handful of mask/compare terms that vectorize in two instructions
+// each. The scalar expressions here are the single source of truth; the
+// SSE2/AVX2 kernels implement term-for-term the same decomposition.
+namespace {
+
+/// Jumps (A1). Singles: e9 (jmp rel32), eb (jmp rel8), 70..7f (jcc rel8),
+/// c4/c5/62 (VEX/EVEX prefixes, which can reach the 0F map where jcc
+/// rel32 lives). Pair: literal 0F escape followed by 80..8f (jcc rel32).
+constexpr bool jumpsSingle(uint8_t B) {
+  return B == 0xe9 || B == 0xeb || (B & 0xf0) == 0x70 ||
+         (B & 0xfe) == 0xc4 || B == 0x62;
+}
+
+/// Heap writes (A2), mirroring Insn::writesMemOperand. One-byte map:
+///   (b & c6) == 0   covers the ALU x0/x1 store rows 00..39 (cmp 38/39 are
+///                   harmless extras),
+///   (b & fc) == d0  shift groups d0..d3,
+///   80/81, 83       grp1,   86..89  xchg/mov,   8c, 8f  mov sreg / pop,
+///   (b & fa) == c0  c0/c1 shifts plus the c4/c5 VEX prefixes,
+///   c6/c7           mov imm,   f6/f7  grp3,   fe/ff  grp4/5.
+/// 0F-map stores are covered by the literal 0f escape byte itself (and 62
+/// for EVEX) — cheaper than a pair rule and only costs full decodes on
+/// two-byte-map instructions.
+constexpr bool heapWritesSingle(uint8_t B) {
+  return (B & 0xc6) == 0 || (B & 0xfc) == 0xd0 || (B & 0xfe) == 0x80 ||
+         B == 0x83 || (B & 0xfe) == 0x86 || (B & 0xfe) == 0x88 ||
+         B == 0x8c || B == 0x8f || (B & 0xfa) == 0xc0 ||
+         (B & 0xfe) == 0xc6 || (B & 0xfe) == 0xf6 || (B & 0xfe) == 0xfe ||
+         B == 0x0f || B == 0x62;
+}
+
+constexpr bool hasPairRule(SigClass C) { return C == SigClass::Jumps; }
+
+constexpr bool singleMatch(SigClass C, uint8_t B) {
+  switch (C) {
+  case SigClass::Jumps:
+    return jumpsSingle(B);
+  case SigClass::HeapWrites:
+    return heapWritesSingle(B);
+  case SigClass::All:
+    return true;
+  }
+  return true;
+}
+
+void scalarScan(const uint8_t *Bytes, size_t N, SigClass C,
+                std::vector<uint64_t> &Bits) {
+  uint8_t Prev = 0;
+  for (size_t I = 0; I != N; ++I) {
+    uint8_t B = Bytes[I];
+    if (isCandidateByte(C, Prev, B))
+      Bits[I >> 6] |= 1ull << (I & 63);
+    Prev = B;
+  }
+}
+
+#if E9_SCAN_X86
+
+/// One 16-byte block -> 16 candidate bits. \p LeadCarry holds whether the
+/// preceding byte (last of the previous block) was a 0F escape.
+inline uint32_t sse2Block(__m128i V, SigClass C, uint32_t &LeadCarry) {
+  __m128i M;
+  if (C == SigClass::Jumps) {
+    M = _mm_cmpeq_epi8(V, _mm_set1_epi8(static_cast<char>(0xe9)));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(V, _mm_set1_epi8(static_cast<char>(0xeb))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(V, _mm_set1_epi8(0x62)));
+    M = _mm_or_si128(
+        M, _mm_cmpeq_epi8(_mm_and_si128(V, _mm_set1_epi8(static_cast<char>(0xf0))),
+                          _mm_set1_epi8(0x70)));
+    M = _mm_or_si128(
+        M, _mm_cmpeq_epi8(_mm_and_si128(V, _mm_set1_epi8(static_cast<char>(0xfe))),
+                          _mm_set1_epi8(static_cast<char>(0xc4))));
+  } else {
+    const __m128i Fe = _mm_set1_epi8(static_cast<char>(0xfe));
+    __m128i Vfe = _mm_and_si128(V, Fe);
+    M = _mm_cmpeq_epi8(_mm_and_si128(V, _mm_set1_epi8(static_cast<char>(0xc6))),
+                       _mm_setzero_si128());
+    M = _mm_or_si128(
+        M, _mm_cmpeq_epi8(_mm_and_si128(V, _mm_set1_epi8(static_cast<char>(0xfc))),
+                          _mm_set1_epi8(static_cast<char>(0xd0))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(Vfe, _mm_set1_epi8(static_cast<char>(0x80))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(V, _mm_set1_epi8(static_cast<char>(0x83))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(Vfe, _mm_set1_epi8(static_cast<char>(0x86))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(Vfe, _mm_set1_epi8(static_cast<char>(0x88))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(V, _mm_set1_epi8(static_cast<char>(0x8c))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(V, _mm_set1_epi8(static_cast<char>(0x8f))));
+    M = _mm_or_si128(
+        M, _mm_cmpeq_epi8(_mm_and_si128(V, _mm_set1_epi8(static_cast<char>(0xfa))),
+                          _mm_set1_epi8(static_cast<char>(0xc0))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(Vfe, _mm_set1_epi8(static_cast<char>(0xc6))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(Vfe, _mm_set1_epi8(static_cast<char>(0xf6))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(Vfe, _mm_set1_epi8(static_cast<char>(0xfe))));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(V, _mm_set1_epi8(0x0f)));
+    M = _mm_or_si128(M, _mm_cmpeq_epi8(V, _mm_set1_epi8(0x62)));
+  }
+  uint32_t W = static_cast<uint32_t>(_mm_movemask_epi8(M));
+  if (hasPairRule(C)) {
+    uint32_t Lead = static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(V, _mm_set1_epi8(0x0f))));
+    uint32_t Follow = static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+        _mm_and_si128(V, _mm_set1_epi8(static_cast<char>(0xf0))),
+        _mm_set1_epi8(static_cast<char>(0x80)))));
+    W |= Follow & (((Lead << 1) | LeadCarry) & 0xffff);
+    LeadCarry = (Lead >> 15) & 1;
+  }
+  return W & 0xffff;
+}
+
+void sse2Scan(const uint8_t *Bytes, size_t N, SigClass C,
+              std::vector<uint64_t> &Bits) {
+  size_t I = 0;
+  uint32_t LeadCarry = 0;
+  for (; I + 16 <= N; I += 16) {
+    __m128i V = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Bytes + I));
+    uint64_t W = sse2Block(V, C, LeadCarry);
+    Bits[I >> 6] |= W << (I & 63);
+  }
+  uint8_t Prev = I ? Bytes[I - 1] : 0;
+  for (; I != N; ++I) {
+    uint8_t B = Bytes[I];
+    if (isCandidateByte(C, Prev, B))
+      Bits[I >> 6] |= 1ull << (I & 63);
+    Prev = B;
+  }
+}
+
+__attribute__((target("avx2"))) void
+avx2Scan(const uint8_t *Bytes, size_t N, SigClass C,
+         std::vector<uint64_t> &Bits) {
+  size_t I = 0;
+  uint32_t LeadCarry = 0;
+  for (; I + 32 <= N; I += 32) {
+    __m256i V =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Bytes + I));
+    __m256i M;
+    if (C == SigClass::Jumps) {
+      M = _mm256_cmpeq_epi8(V, _mm256_set1_epi8(static_cast<char>(0xe9)));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(V, _mm256_set1_epi8(static_cast<char>(0xeb))));
+      M = _mm256_or_si256(M, _mm256_cmpeq_epi8(V, _mm256_set1_epi8(0x62)));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(
+                 _mm256_and_si256(V, _mm256_set1_epi8(static_cast<char>(0xf0))),
+                 _mm256_set1_epi8(0x70)));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(
+                 _mm256_and_si256(V, _mm256_set1_epi8(static_cast<char>(0xfe))),
+                 _mm256_set1_epi8(static_cast<char>(0xc4))));
+    } else {
+      const __m256i Fe = _mm256_set1_epi8(static_cast<char>(0xfe));
+      __m256i Vfe = _mm256_and_si256(V, Fe);
+      M = _mm256_cmpeq_epi8(
+          _mm256_and_si256(V, _mm256_set1_epi8(static_cast<char>(0xc6))),
+          _mm256_setzero_si256());
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(
+                 _mm256_and_si256(V, _mm256_set1_epi8(static_cast<char>(0xfc))),
+                 _mm256_set1_epi8(static_cast<char>(0xd0))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(Vfe, _mm256_set1_epi8(static_cast<char>(0x80))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(V, _mm256_set1_epi8(static_cast<char>(0x83))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(Vfe, _mm256_set1_epi8(static_cast<char>(0x86))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(Vfe, _mm256_set1_epi8(static_cast<char>(0x88))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(V, _mm256_set1_epi8(static_cast<char>(0x8c))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(V, _mm256_set1_epi8(static_cast<char>(0x8f))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(
+                 _mm256_and_si256(V, _mm256_set1_epi8(static_cast<char>(0xfa))),
+                 _mm256_set1_epi8(static_cast<char>(0xc0))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(Vfe, _mm256_set1_epi8(static_cast<char>(0xc6))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(Vfe, _mm256_set1_epi8(static_cast<char>(0xf6))));
+      M = _mm256_or_si256(
+          M, _mm256_cmpeq_epi8(Vfe, _mm256_set1_epi8(static_cast<char>(0xfe))));
+      M = _mm256_or_si256(M, _mm256_cmpeq_epi8(V, _mm256_set1_epi8(0x0f)));
+      M = _mm256_or_si256(M, _mm256_cmpeq_epi8(V, _mm256_set1_epi8(0x62)));
+    }
+    uint64_t W = static_cast<uint32_t>(_mm256_movemask_epi8(M));
+    if (hasPairRule(C)) {
+      uint64_t Lead = static_cast<uint32_t>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi8(V, _mm256_set1_epi8(0x0f))));
+      uint64_t Follow =
+          static_cast<uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(
+              _mm256_and_si256(V, _mm256_set1_epi8(static_cast<char>(0xf0))),
+              _mm256_set1_epi8(static_cast<char>(0x80)))));
+      W |= Follow & ((Lead << 1) | LeadCarry);
+      LeadCarry = (Lead >> 31) & 1;
+    }
+    Bits[I >> 6] |= (W & 0xffffffffull) << (I & 63);
+  }
+  uint8_t Prev = I ? Bytes[I - 1] : 0;
+  for (; I != N; ++I) {
+    uint8_t B = Bytes[I];
+    if (isCandidateByte(C, Prev, B))
+      Bits[I >> 6] |= 1ull << (I & 63);
+    Prev = B;
+  }
+}
+
+#endif // E9_SCAN_X86
+
+} // namespace
+
+bool x86::isCandidateByte(SigClass C, uint8_t Prev, uint8_t Cur) {
+  if (singleMatch(C, Cur))
+    return true;
+  return hasPairRule(C) && Prev == 0x0f && (Cur & 0xf0) == 0x80;
+}
+
+bool x86::scanBackendAvailable(ScanBackend B) {
+  switch (B) {
+  case ScanBackend::Scalar:
+    return true;
+  case ScanBackend::Sse2:
+#if E9_SCAN_X86
+    return true;
+#else
+    return false;
+#endif
+  case ScanBackend::Avx2:
+#if E9_SCAN_X86
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+const char *x86::scanBackendName(ScanBackend B) {
+  switch (B) {
+  case ScanBackend::Scalar:
+    return "scalar";
+  case ScanBackend::Sse2:
+    return "sse2";
+  case ScanBackend::Avx2:
+    return "avx2";
+  }
+  return "?";
+}
+
+ScanBackend x86::defaultScanBackend() {
+  static const ScanBackend Picked = [] {
+    if (const char *E = std::getenv("E9_SCAN_BACKEND")) {
+      if (!std::strcmp(E, "scalar"))
+        return ScanBackend::Scalar;
+      if (!std::strcmp(E, "sse2") && scanBackendAvailable(ScanBackend::Sse2))
+        return ScanBackend::Sse2;
+      if (!std::strcmp(E, "avx2") && scanBackendAvailable(ScanBackend::Avx2))
+        return ScanBackend::Avx2;
+    }
+    if (scanBackendAvailable(ScanBackend::Avx2))
+      return ScanBackend::Avx2;
+    if (scanBackendAvailable(ScanBackend::Sse2))
+      return ScanBackend::Sse2;
+    return ScanBackend::Scalar;
+  }();
+  return Picked;
+}
+
+void CandidateMap::buildWith(const uint8_t *Bytes, size_t N, SigClass C,
+                             ScanBackend B) {
+  NBytes = N;
+  Bits.assign((N + 63) / 64, 0);
+  if (N == 0)
+    return;
+  if (C == SigClass::All) {
+    // Everything is a candidate; skip the byte scan entirely.
+    for (uint64_t &W : Bits)
+      W = ~0ull;
+    if (N & 63)
+      Bits.back() = ~0ull >> (64 - (N & 63));
+    return;
+  }
+  if (!scanBackendAvailable(B))
+    B = ScanBackend::Scalar;
+  switch (B) {
+  case ScanBackend::Scalar:
+    scalarScan(Bytes, N, C, Bits);
+    return;
+#if E9_SCAN_X86
+  case ScanBackend::Sse2:
+    sse2Scan(Bytes, N, C, Bits);
+    return;
+  case ScanBackend::Avx2:
+    avx2Scan(Bytes, N, C, Bits);
+    return;
+#else
+  default:
+    scalarScan(Bytes, N, C, Bits);
+    return;
+#endif
+  }
+}
+
+bool CandidateMap::any(size_t Lo, size_t Hi) const {
+  if (Hi > NBytes)
+    Hi = NBytes;
+  if (Lo >= Hi)
+    return false;
+  size_t WLo = Lo >> 6, WHi = (Hi - 1) >> 6;
+  for (size_t W = WLo; W <= WHi; ++W) {
+    uint64_t M = ~0ull;
+    if (W == WLo)
+      M &= ~0ull << (Lo & 63);
+    if (W == WHi && (Hi & 63))
+      M &= ~0ull >> (64 - (Hi & 63));
+    if (Bits[W] & M)
+      return true;
+  }
+  return false;
+}
+
+size_t CandidateMap::count() const {
+  size_t N = 0;
+  for (uint64_t W : Bits)
+    N += static_cast<size_t>(__builtin_popcountll(W));
+  return N;
+}

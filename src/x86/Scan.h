@@ -1,0 +1,104 @@
+//===- x86/Scan.h - SIMD candidate pre-scan --------------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vectorized byte-signature scanner over `.text` that marks *candidate*
+/// bytes — positions whose value could belong to the encoding of a
+/// patchable instruction — before any instruction is fully decoded. The
+/// frontend then runs the table-driven decoder only where the bitmap says
+/// a candidate may start, and a cheap length-only walk everywhere else.
+///
+/// Soundness contract (what makes pre-scan safe): for every signature
+/// class, if a fully decoded instruction satisfies the corresponding
+/// selector predicate, then at least one byte inside the instruction's own
+/// encoding [Address, Address + Length) is marked as a candidate. This
+/// holds by construction:
+///
+///   - one-byte-map opcodes: the opcode byte value itself is in the
+///     signature set, and the opcode byte is always inside the encoding;
+///   - 0F-map opcodes: the literal 0F escape byte precedes the opcode, so
+///     either a (0F, opcode) pair rule or the 0F byte itself is in the set;
+///   - VEX/EVEX encodings: the C4/C5/62 prefix byte is always in the set,
+///     since the decoder can reach map-0F semantics through them.
+///
+/// Sets may *over*-approximate freely (false positives only cost a full
+/// decode); they must never under-approximate. The scalar kernel is the
+/// oracle: the SSE2/AVX2 kernels are pinned byte-for-byte against it by
+/// tests, and a runtime dispatcher (overridable with E9_SCAN_BACKEND=
+/// scalar|sse2|avx2) picks the widest kernel the CPU supports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_X86_SCAN_H
+#define E9_X86_SCAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace e9 {
+namespace x86 {
+
+/// Signature classes, one per frontend selector.
+enum class SigClass : uint8_t {
+  Jumps,      ///< A1: relative jmp/jcc (rel8 and rel32 forms).
+  HeapWrites, ///< A2: instructions that may write via a memory operand.
+  All,        ///< Every instruction: pre-scan degenerates to full decode.
+};
+
+/// Scan backends in increasing width. Sse2/Avx2 exist only on x86; the
+/// scalar kernel is always available and is the semantic oracle.
+enum class ScanBackend : uint8_t { Scalar, Sse2, Avx2 };
+
+/// Widest backend supported by this process (after the E9_SCAN_BACKEND
+/// environment override, resolved once).
+ScanBackend defaultScanBackend();
+
+const char *scanBackendName(ScanBackend B);
+
+/// True when \p B can run on this machine/build.
+bool scanBackendAvailable(ScanBackend B);
+
+/// Reference predicate: is \p Cur a candidate byte for \p C given the
+/// previous byte \p Prev (0 at position zero)? Exactly the per-byte
+/// semantics every kernel must reproduce.
+bool isCandidateByte(SigClass C, uint8_t Prev, uint8_t Cur);
+
+/// One bit per scanned byte: bit I set iff byte I is a candidate.
+class CandidateMap {
+public:
+  CandidateMap() = default;
+
+  /// Scans \p N bytes with the default (runtime-dispatched) backend.
+  void build(const uint8_t *Bytes, size_t N, SigClass C) {
+    buildWith(Bytes, N, C, defaultScanBackend());
+  }
+
+  /// Scans with an explicit backend (tests pin kernels against each
+  /// other through this).
+  void buildWith(const uint8_t *Bytes, size_t N, SigClass C, ScanBackend B);
+
+  size_t size() const { return NBytes; }
+
+  bool test(size_t I) const {
+    return (Bits[I >> 6] >> (I & 63)) & 1;
+  }
+
+  /// Any candidate in [Lo, Hi)? Range is clamped to the scanned size.
+  bool any(size_t Lo, size_t Hi) const;
+
+  /// Number of candidate bytes (for stats/observability).
+  size_t count() const;
+
+private:
+  std::vector<uint64_t> Bits;
+  size_t NBytes = 0;
+};
+
+} // namespace x86
+} // namespace e9
+
+#endif // E9_X86_SCAN_H

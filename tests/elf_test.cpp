@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 using namespace e9;
 using namespace e9::elf;
 
@@ -187,6 +190,29 @@ void poke(std::vector<uint8_t> &Bytes, uint64_t Off, uint64_t V, unsigned N) {
 }
 
 } // namespace
+
+// writeFile's zero-copy mmap path and the in-memory write() serializer
+// must produce identical bytes, including for note-carrying images; the
+// span-overload reader must accept them.
+TEST(ElfFile, MmapWriteFileMatchesInMemoryWrite) {
+  for (bool Noted : {false, true}) {
+    Image Img = Noted ? makeNotedImage() : makeSampleImage();
+    std::vector<uint8_t> InMemory = write(Img);
+    EXPECT_EQ(InMemory.size(), writtenSize(Img));
+
+    std::string Path = ::testing::TempDir() + "/e9_elf_mmap.bin";
+    ASSERT_TRUE(writeFile(Img, Path));
+    std::ifstream In(Path, std::ios::binary);
+    std::vector<uint8_t> OnDisk((std::istreambuf_iterator<char>(In)),
+                                std::istreambuf_iterator<char>());
+    EXPECT_EQ(OnDisk, InMemory) << "noted=" << Noted;
+
+    auto Back = read(OnDisk.data(), OnDisk.size());
+    ASSERT_TRUE(Back.isOk()) << Back.reason();
+    EXPECT_EQ(Back->Entry, Img.Entry);
+    std::remove(Path.c_str());
+  }
+}
 
 TEST(CorruptElf, TruncationSweepNeverCrashes) {
   // Every truncation of a full-featured file must parse cleanly or fail

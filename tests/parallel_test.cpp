@@ -20,6 +20,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 
 using namespace e9;
 using namespace e9::frontend;
@@ -162,6 +164,34 @@ TEST(Parallel, ByteIdenticalAcrossJobs) {
       EXPECT_EQ(Out->ShardCount, RefShards);
       EXPECT_EQ(Out->ShardsRedone, RefRedone);
     }
+  }
+}
+
+// The zero-copy mmap writeFile() path must emit exactly the bytes of the
+// in-memory write() serialization, at every thread count.
+TEST(Parallel, MmapWriteFileByteIdenticalAcrossJobs) {
+  Workload W = mediumWorkload(4321, /*Pie=*/true);
+  DisasmResult D = linearDisassemble(W.Image);
+  std::vector<uint64_t> Locs = selectJumps(D.Insns);
+  RewriteOptions Opts = baseOptions();
+  Opts.Parallel.Sharding.MinSitesPerShard = 8;
+
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    Opts.Parallel.Jobs = Jobs;
+    auto Out = rewrite(W.Image, Locs, Opts);
+    ASSERT_TRUE(Out.isOk()) << "jobs=" << Jobs << ": " << Out.reason();
+
+    std::vector<uint8_t> InMemory = elf::write(Out->Rewritten);
+    std::string Path = ::testing::TempDir() + "/e9_mmap_jobs.bin";
+    ASSERT_TRUE(elf::writeFile(Out->Rewritten, Path).isOk());
+
+    std::ifstream In(Path, std::ios::binary);
+    ASSERT_TRUE(In.good());
+    std::vector<uint8_t> OnDisk((std::istreambuf_iterator<char>(In)),
+                                std::istreambuf_iterator<char>());
+    EXPECT_EQ(OnDisk.size(), elf::writtenSize(Out->Rewritten));
+    EXPECT_EQ(OnDisk, InMemory) << "jobs=" << Jobs;
+    std::remove(Path.c_str());
   }
 }
 

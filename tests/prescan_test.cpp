@@ -1,0 +1,284 @@
+//===- tests/prescan_test.cpp - SIMD pre-scan equivalence -----*- C++ -*-===//
+//
+// Pins the pre-scan fast path against the full-decode oracle:
+//   - SSE2/AVX2 scanner kernels must produce bit-identical candidate maps
+//     to the scalar kernel (including the 0F->8x pair rule across block
+//     boundaries);
+//   - prescanSelect() must return byte-identical site sets to
+//     linearDisassemble()+select*() over real workloads and adversarial
+//     byte soups;
+//   - disassembleWindows() must materialize exactly the instructions of
+//     the linear walk that start inside a window, with identical
+//     boundaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Disasm.h"
+#include "frontend/Prescan.h"
+#include "frontend/Select.h"
+#include "support/Rng.h"
+#include "workload/Gen.h"
+#include "x86/Decoder.h"
+#include "x86/Scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+namespace {
+
+/// Wraps raw bytes as an executable image so the frontend can walk them.
+elf::Image soupImage(std::vector<uint8_t> Bytes) {
+  elf::Image Img;
+  elf::Segment S;
+  S.VAddr = 0x400000;
+  S.MemSize = Bytes.size();
+  S.Bytes = std::move(Bytes);
+  S.Flags = elf::PF_R | elf::PF_X;
+  S.Name = "text";
+  Img.Segments.push_back(std::move(S));
+  return Img;
+}
+
+std::vector<uint8_t> randomBytes(Rng &R, size_t N) {
+  std::vector<uint8_t> B(N);
+  for (uint8_t &V : B)
+    V = static_cast<uint8_t>(R.next() & 0xff);
+  return B;
+}
+
+/// The slow-path oracle prescanSelect must match byte-for-byte.
+std::vector<uint64_t> oracleSelect(const elf::Image &Img, SelectorKind K) {
+  DisasmResult D = linearDisassemble(Img);
+  switch (K) {
+  case SelectorKind::Jumps:
+    return selectJumps(D.Insns);
+  case SelectorKind::HeapWrites:
+    return selectHeapWrites(D.Insns);
+  case SelectorKind::All:
+    return selectAll(D.Insns);
+  }
+  return {};
+}
+
+} // namespace
+
+// --- Scanner kernels -----------------------------------------------------
+
+class KernelEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelEquivalence, AllBackendsMatchScalar) {
+  Rng R(GetParam() * 2654435761u + 1);
+  // Lengths straddling the 16/32-byte block sizes and their boundaries.
+  for (size_t N : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 33u, 63u, 64u, 65u,
+                   255u, 1024u, 4099u}) {
+    std::vector<uint8_t> Bytes = randomBytes(R, N);
+    for (x86::SigClass C :
+         {x86::SigClass::Jumps, x86::SigClass::HeapWrites,
+          x86::SigClass::All}) {
+      x86::CandidateMap Ref;
+      Ref.buildWith(Bytes.data(), N, C, x86::ScanBackend::Scalar);
+      for (x86::ScanBackend B :
+           {x86::ScanBackend::Sse2, x86::ScanBackend::Avx2}) {
+        if (!x86::scanBackendAvailable(B))
+          continue;
+        x86::CandidateMap Got;
+        Got.buildWith(Bytes.data(), N, C, B);
+        ASSERT_EQ(Got.size(), Ref.size());
+        for (size_t I = 0; I != N; ++I)
+          ASSERT_EQ(Got.test(I), Ref.test(I))
+              << "backend " << x86::scanBackendName(B) << " N=" << N
+              << " class=" << static_cast<int>(C) << " byte " << I;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelEquivalence,
+                         ::testing::Values(1, 2, 3, 4));
+
+// The 0F->8x pair rule must carry across every SIMD block boundary: place
+// the 0F lead at each position of a buffer and check the follow byte.
+TEST(KernelEquivalence, PairRuleAcrossBlockBoundaries) {
+  constexpr size_t N = 96; // Covers 16- and 32-byte boundaries twice.
+  for (size_t Lead = 0; Lead + 1 < N; ++Lead) {
+    std::vector<uint8_t> Bytes(N, 0x90); // NOP: never a jump candidate.
+    Bytes[Lead] = 0x0f;
+    Bytes[Lead + 1] = 0x84; // jcc rel32 follow byte.
+    x86::CandidateMap Ref;
+    Ref.buildWith(Bytes.data(), N, x86::SigClass::Jumps,
+                  x86::ScanBackend::Scalar);
+    ASSERT_TRUE(Ref.test(Lead + 1)) << "lead at " << Lead;
+    for (x86::ScanBackend B :
+         {x86::ScanBackend::Sse2, x86::ScanBackend::Avx2}) {
+      if (!x86::scanBackendAvailable(B))
+        continue;
+      x86::CandidateMap Got;
+      Got.buildWith(Bytes.data(), N, x86::SigClass::Jumps, B);
+      for (size_t I = 0; I != N; ++I)
+        ASSERT_EQ(Got.test(I), Ref.test(I))
+            << "backend " << x86::scanBackendName(B) << " lead=" << Lead
+            << " byte " << I;
+    }
+  }
+}
+
+// The per-byte oracle honours its documented single-byte signatures.
+TEST(KernelEquivalence, CandidateByteSpotChecks) {
+  using x86::SigClass;
+  // Jump opcodes.
+  for (unsigned B = 0x70; B != 0x80; ++B)
+    EXPECT_TRUE(x86::isCandidateByte(SigClass::Jumps, 0, uint8_t(B)));
+  EXPECT_TRUE(x86::isCandidateByte(SigClass::Jumps, 0, 0xe9));
+  EXPECT_TRUE(x86::isCandidateByte(SigClass::Jumps, 0, 0xeb));
+  // VEX/EVEX prefixes are candidates in every class (soundness).
+  for (uint8_t V : {0xc4, 0xc5, 0x62}) {
+    EXPECT_TRUE(x86::isCandidateByte(SigClass::Jumps, 0, V));
+    EXPECT_TRUE(x86::isCandidateByte(SigClass::HeapWrites, 0, V));
+  }
+  // Pair rule: 0f 8x only counts for Jumps.
+  EXPECT_TRUE(x86::isCandidateByte(SigClass::Jumps, 0x0f, 0x84));
+  EXPECT_FALSE(x86::isCandidateByte(SigClass::Jumps, 0x90, 0x84));
+  // 0f is itself a single for HeapWrites (0F-map stores).
+  EXPECT_TRUE(x86::isCandidateByte(SigClass::HeapWrites, 0, 0x0f));
+  // NOP is never interesting.
+  EXPECT_FALSE(x86::isCandidateByte(SigClass::Jumps, 0, 0x90));
+  EXPECT_FALSE(x86::isCandidateByte(SigClass::HeapWrites, 0, 0x90));
+}
+
+// --- prescanSelect vs full decode ----------------------------------------
+
+class PrescanEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrescanEquivalence, MatchesFullDecodeOnWorkloads) {
+  WorkloadConfig C;
+  C.Name = "prescan";
+  C.Seed = GetParam();
+  C.Pie = (GetParam() & 1) != 0;
+  C.NumFuncs = 24;
+  C.MainIters = 1;
+  Workload W = generateWorkload(C);
+
+  for (SelectorKind K :
+       {SelectorKind::Jumps, SelectorKind::HeapWrites, SelectorKind::All}) {
+    PrescanStats PS;
+    std::vector<uint64_t> Fast = prescanSelect(W.Image, K, &PS);
+    std::vector<uint64_t> Slow = oracleSelect(W.Image, K);
+    EXPECT_EQ(Fast, Slow) << "selector " << static_cast<int>(K);
+    EXPECT_GT(PS.NumInsns, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrescanEquivalence,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+// Adversarial inputs: pure random byte soup exercises undecodable bytes,
+// VEX/EVEX prefixes, immediates full of signature values, and prefix runs
+// that the opcode-position filter must not mishandle.
+class PrescanSoup : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrescanSoup, MatchesFullDecodeOnByteSoup) {
+  Rng R(GetParam() * 40503 + 7);
+  for (size_t N : {64u, 257u, 1000u, 4096u}) {
+    elf::Image Img = soupImage(randomBytes(R, N));
+    for (SelectorKind K :
+         {SelectorKind::Jumps, SelectorKind::HeapWrites,
+          SelectorKind::All}) {
+      PrescanStats PS;
+      std::vector<uint64_t> Fast = prescanSelect(Img, K, &PS);
+      std::vector<uint64_t> Slow = oracleSelect(Img, K);
+      ASSERT_EQ(Fast, Slow)
+          << "selector " << static_cast<int>(K) << " N=" << N;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrescanSoup,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+// Prefix-heavy soup: bias towards legacy/REX prefixes and signature bytes
+// to stress the opcode-position rejection filter specifically.
+TEST(PrescanSoup, PrefixHeavySoup) {
+  static const uint8_t Pool[] = {0x66, 0x67, 0xf0, 0xf2, 0xf3, 0x2e, 0x3e,
+                                 0x26, 0x36, 0x64, 0x65, 0x40, 0x48, 0x4f,
+                                 0x0f, 0x84, 0x8f, 0x70, 0x7f, 0xe9, 0xeb,
+                                 0xc4, 0xc5, 0x62, 0x89, 0x88, 0xc7, 0x90};
+  Rng R(424242);
+  for (int Round = 0; Round != 8; ++Round) {
+    std::vector<uint8_t> Bytes(777);
+    for (uint8_t &B : Bytes)
+      B = Pool[R.next() % (sizeof(Pool))];
+    elf::Image Img = soupImage(std::move(Bytes));
+    for (SelectorKind K : {SelectorKind::Jumps, SelectorKind::HeapWrites}) {
+      std::vector<uint64_t> Fast = prescanSelect(Img, K, nullptr);
+      std::vector<uint64_t> Slow = oracleSelect(Img, K);
+      ASSERT_EQ(Fast, Slow)
+          << "selector " << static_cast<int>(K) << " round " << Round;
+    }
+  }
+}
+
+// --- disassembleWindows --------------------------------------------------
+
+TEST(DisassembleWindows, FullCoverageEqualsLinear) {
+  WorkloadConfig C;
+  C.Name = "win";
+  C.Seed = 77;
+  C.NumFuncs = 12;
+  Workload W = generateWorkload(C);
+
+  DisasmResult Lin = linearDisassemble(W.Image);
+  // A window starting at the text base and a guard spanning the whole
+  // segment must reproduce the full linear walk.
+  const elf::Segment *Text = W.Image.textSegment();
+  DisasmResult Win = disassembleWindows(
+      W.Image, {Text->VAddr}, Text->fileSize() + x86::MaxInsnLength);
+  ASSERT_EQ(Win.Insns.size(), Lin.Insns.size());
+  for (size_t I = 0; I != Lin.Insns.size(); ++I) {
+    EXPECT_EQ(Win.Insns[I].Address, Lin.Insns[I].Address);
+    EXPECT_EQ(Win.Insns[I].Length, Lin.Insns[I].Length);
+  }
+  EXPECT_EQ(Win.UndecodableBytes, Lin.UndecodableBytes);
+}
+
+TEST(DisassembleWindows, SparseWindowsAreLinearSubset) {
+  WorkloadConfig C;
+  C.Name = "win";
+  C.Seed = 78;
+  C.NumFuncs = 12;
+  Workload W = generateWorkload(C);
+
+  DisasmResult Lin = linearDisassemble(W.Image);
+  std::vector<uint64_t> Sites = prescanSelect(W.Image, SelectorKind::Jumps);
+  ASSERT_FALSE(Sites.empty());
+  // Thin the sites so real gaps exist between windows.
+  std::vector<uint64_t> Sparse;
+  for (size_t I = 0; I < Sites.size(); I += 5)
+    Sparse.push_back(Sites[I]);
+  constexpr uint64_t Guard = 160;
+  DisasmResult Win = disassembleWindows(W.Image, Sparse, Guard);
+  ASSERT_LT(Win.Insns.size(), Lin.Insns.size());
+
+  // Windowed output must be exactly the linear instructions whose start
+  // lies inside some window — same boundaries, nothing extra or missing.
+  auto inWindow = [&](uint64_t A) {
+    for (uint64_t S : Sparse)
+      if (A >= S && A < S + Guard)
+        return true;
+    return false;
+  };
+  size_t WI = 0;
+  for (const x86::Insn &I : Lin.Insns) {
+    if (!inWindow(I.Address))
+      continue;
+    ASSERT_LT(WI, Win.Insns.size());
+    ASSERT_EQ(Win.Insns[WI].Address, I.Address);
+    ASSERT_EQ(Win.Insns[WI].Length, I.Length);
+    ++WI;
+  }
+  EXPECT_EQ(WI, Win.Insns.size());
+}

@@ -1,13 +1,17 @@
 //===- tests/support_test.cpp - support library unit tests ----*- C++ -*-===//
 
+#include "support/Arena.h"
 #include "support/ByteBuffer.h"
 #include "support/Format.h"
+#include "support/Mmap.h"
 #include "support/IntervalSet.h"
 #include "support/Rng.h"
 #include "support/Status.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
 #include <set>
 
 using namespace e9;
@@ -329,4 +333,108 @@ TEST(ResultT, TryStatusMacroShortCircuits) {
   Status S = checkAll({1, -2, 3});
   ASSERT_FALSE(S.isOk());
   EXPECT_EQ(S.reason(), "not positive: -2");
+}
+
+// --- Arena ---------------------------------------------------------------
+
+TEST(Arena, AlignmentAndDistinctness) {
+  support::Arena A;
+  void *P1 = A.allocate(1, 1);
+  void *P8 = A.allocate(8, 8);
+  void *P64 = A.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P64) % 64, 0u);
+  EXPECT_NE(P1, P8);
+  EXPECT_NE(P8, P64);
+  EXPECT_GE(A.bytesAllocated(), 73u);
+}
+
+TEST(Arena, ResetReusesBlocks) {
+  support::Arena A(1024);
+  for (int Round = 0; Round != 4; ++Round) {
+    for (int I = 0; I != 20; ++I)
+      std::memset(A.allocate(40), Round, 40);
+    size_t Blocks = A.blockCount();
+    A.reset();
+    EXPECT_EQ(A.bytesAllocated(), 0u);
+    // Subsequent rounds must not grow the footprint.
+    if (Round > 0)
+      EXPECT_LE(A.blockCount(), Blocks);
+  }
+}
+
+TEST(Arena, OversizeAllocationGetsDedicatedBlock) {
+  support::Arena A(256);
+  void *Big = A.allocate(5000, 16);
+  ASSERT_NE(Big, nullptr);
+  std::memset(Big, 0xab, 5000); // Must be fully writable.
+  void *Small = A.allocate(16);
+  EXPECT_NE(Small, nullptr);
+}
+
+TEST(Arena, AllocatorAdapterWorksWithVectors) {
+  support::Arena A;
+  using Vec = std::vector<int, support::ArenaAllocator<int>>;
+  Vec V{support::ArenaAllocator<int>(A)};
+  for (int I = 0; I != 1000; ++I)
+    V.push_back(I);
+  for (int I = 0; I != 1000; ++I)
+    ASSERT_EQ(V[I], I);
+  // clear() keeps arena-backed capacity; reuse must still work.
+  V.clear();
+  for (int I = 0; I != 10; ++I)
+    V.push_back(-I);
+  EXPECT_EQ(V[9], -9);
+}
+
+// --- ByteBuffer::reserve -------------------------------------------------
+
+TEST(ByteBufferTest, ReservePreservesContentAndGrowth) {
+  ByteBuffer B;
+  B.push32(0x11223344);
+  B.reserve(4096);
+  EXPECT_EQ(B.size(), 4u);
+  EXPECT_EQ(B.read(0, 4), 0x11223344u);
+  for (int I = 0; I != 1000; ++I)
+    B.push32(static_cast<uint32_t>(I));
+  EXPECT_EQ(B.size(), 4u + 4000u);
+  EXPECT_EQ(B.read(4, 4), 0u);
+}
+
+// --- Mmap ----------------------------------------------------------------
+
+TEST(Mmap, WriteThenReadRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/e9_mmap_rt.bin";
+  {
+    auto Out = support::MappedOutputFile::create(Path, 300);
+    ASSERT_TRUE(Out.valid());
+    for (size_t I = 0; I != 300; ++I)
+      Out.data()[I] = static_cast<uint8_t>(I * 7);
+    ASSERT_TRUE(Out.commit());
+  }
+  auto In = support::MappedFile::openRead(Path);
+  ASSERT_TRUE(In.valid());
+  ASSERT_EQ(In.size(), 300u);
+  for (size_t I = 0; I != 300; ++I)
+    ASSERT_EQ(In.data()[I], static_cast<uint8_t>(I * 7));
+  ::remove(Path.c_str());
+}
+
+TEST(Mmap, UncommittedOutputIsUnlinked) {
+  std::string Path = ::testing::TempDir() + "/e9_mmap_drop.bin";
+  {
+    auto Out = support::MappedOutputFile::create(Path, 64);
+    ASSERT_TRUE(Out.valid());
+    // Dropped without commit(): a failed emission must not leave a
+    // truncated binary behind.
+  }
+  EXPECT_FALSE(support::MappedFile::openRead(Path).valid());
+}
+
+TEST(Mmap, OpenMissingFileIsInvalid) {
+  EXPECT_FALSE(
+      support::MappedFile::openRead("/nonexistent/e9/nope.bin").valid());
+  EXPECT_FALSE(support::MappedOutputFile::create("/nonexistent/e9/nope.bin",
+                                                 16)
+                   .valid());
 }

@@ -19,6 +19,8 @@
 # (-fno-sanitize-recover=all), so a clean exit means: no silent memory
 # errors on the error paths, no data races in the parallel pipeline,
 # and no nondeterminism in the observability, protocol or repair layers.
+# A final perf-smoke gate runs bench_micro (min-of-3) against the
+# committed BENCH_micro.baseline.json and fails on any >25% regression.
 #
 # Usage: tools/check.sh [jobs]
 set -eu
@@ -26,22 +28,22 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== [1/9] configure + build (default flags) =="
+echo "== [1/10] configure + build (default flags) =="
 cmake -S "$ROOT" -B "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 
-echo "== [2/9] full test suite =="
+echo "== [2/10] full test suite =="
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   || ctest --test-dir "$ROOT/build" --output-on-failure --rerun-failed
 
-echo "== [3/9] configure + build (ASan + UBSan) =="
+echo "== [3/10] configure + build (ASan + UBSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=address >/dev/null
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target \
   verifier_test fault_injection_test elf_test core_test support_test \
   obs_test api_test repair_test e9tool
 
-echo "== [4/9] robustness sweeps under ASan + UBSan =="
+echo "== [4/10] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/support_test"
 "$ROOT/build-asan/tests/core_test"
 "$ROOT/build-asan/tests/obs_test"
@@ -50,18 +52,18 @@ echo "== [4/9] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/verifier_test"
 "$ROOT/build-asan/tests/fault_injection_test"
 
-echo "== [5/9] configure + build (TSan) =="
+echo "== [5/10] configure + build (TSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
   repair_test
 
-echo "== [6/9] sharded patcher + repair loop under TSan =="
+echo "== [6/10] sharded patcher + repair loop under TSan =="
 "$ROOT/build-tsan/tests/parallel_test"
 "$ROOT/build-tsan/tests/repair_test" \
   --gtest_filter='Repair.RepairedOutputByteIdenticalAcrossJobs'
 
-echo "== [7/9] trace determinism + schema gate (e9tool end-to-end) =="
+echo "== [7/10] trace determinism + schema gate (e9tool end-to-end) =="
 E9="$ROOT/build/tools/e9tool"
 TDIR="$(mktemp -d)"
 trap 'rm -rf "$TDIR"' EXIT
@@ -76,7 +78,7 @@ cmp "$TDIR/out1.elf" "$TDIR/out4.elf"   # binary identical across --jobs
 cmp "$TDIR/out1.elf" "$TDIR/plain.elf"  # tracing never perturbs output
 "$E9" stats "$TDIR/t4.jsonl" >/dev/null # schema-valid, summary coherent
 
-echo "== [8/9] batch protocol gate: apply == rewrite, under ASan =="
+echo "== [8/10] batch protocol gate: apply == rewrite, under ASan =="
 E9A="$ROOT/build-asan/tools/e9tool"
 cat > "$TDIR/apply.jsonl" <<EOF
 {"type":"binary","path":"$TDIR/w.elf"}
@@ -97,7 +99,7 @@ if printf '{"type":"frobnicate"}\n' | "$E9A" serve --stdin \
 fi
 grep -q '"type":"error"' "$TDIR/serve.jsonl"
 
-echo "== [9/9] repair-loop gate: chaos convergence under ASan =="
+echo "== [9/10] repair-loop gate: chaos convergence under ASan =="
 "$E9A" gen "$TDIR/chaos.elf" --seed=7 --funcs=24 >/dev/null
 "$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos1.elf" --self-verify \
   --chaos=11 --jobs=1 --trace="$TDIR/chaos.jsonl" >/dev/null
@@ -113,5 +115,22 @@ if "$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos0.elf" --self-verify \
   exit 1
 fi
 test ! -f "$TDIR/chaos0.elf"
+
+echo "== [10/10] perf smoke: bench_micro vs committed baseline =="
+# Min-of-3 per benchmark against BENCH_micro.baseline.json; >25% slower on
+# any benchmark fails the gate (see tools/perf_smoke.py). The arena, mmap
+# and prescan hot paths all have micro benchmarks, so a pathological
+# regression in the raw-speed memory path is caught here even when the
+# functional suites stay green. Skipped gracefully when python3 is absent.
+if command -v python3 >/dev/null 2>&1; then
+  cmake --build "$ROOT/build" -j "$JOBS" --target bench_micro
+  "$ROOT/build/bench/bench_micro" --benchmark_repetitions=3 \
+    --benchmark_out="$TDIR/micro.json" --benchmark_out_format=json \
+    >/dev/null
+  python3 "$ROOT/tools/perf_smoke.py" \
+    "$ROOT/BENCH_micro.baseline.json" "$TDIR/micro.json"
+else
+  echo "check.sh: python3 not found; skipping perf smoke"
+fi
 
 echo "check.sh: all gates passed"

@@ -22,6 +22,7 @@
 
 #include "api/Driver.h"
 #include "frontend/Disasm.h"
+#include "frontend/Prescan.h"
 #include "frontend/Rewriter.h"
 #include "frontend/Select.h"
 #include "lowfat/LowFat.h"
@@ -407,15 +408,14 @@ int cmdRewrite(const Args &A, bool ForceRepair) {
     return 1;
   }
 
-  frontend::DisasmResult D = frontend::linearDisassemble(*Img);
   std::string Select = A.get("select", "jumps");
   std::vector<uint64_t> Locs;
   if (Select == "jumps")
-    Locs = frontend::selectJumps(D.Insns);
+    Locs = frontend::prescanSelect(*Img, frontend::SelectorKind::Jumps);
   else if (Select == "heapwrites")
-    Locs = frontend::selectHeapWrites(D.Insns);
+    Locs = frontend::prescanSelect(*Img, frontend::SelectorKind::HeapWrites);
   else if (Select == "all")
-    Locs = frontend::selectAll(D.Insns);
+    Locs = frontend::prescanSelect(*Img, frontend::SelectorKind::All);
   else {
     std::fprintf(stderr, "error: unknown --select=%s\n", Select.c_str());
     return 2;

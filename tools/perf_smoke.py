@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_micro run against the committed baseline JSON.
+
+Usage: perf_smoke.py BASELINE.json CURRENT.json [max_regression]
+
+Both files are google-benchmark JSON (--benchmark_out_format=json). For
+each benchmark name we take the *minimum* real_time across repetitions on
+both sides -- min-of-N is the standard noise filter for shared machines,
+where the fastest run is the one least perturbed by neighbours. The gate
+fails if any benchmark's current min is more than `max_regression` (default
+25%) slower than its baseline min. New benchmarks absent from the baseline
+are reported but never fail the gate, so adding a benchmark does not
+require regenerating the baseline in the same commit.
+"""
+
+import json
+import sys
+
+
+def mins(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev/cv); compare raw runs.
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        t = float(b["real_time"])
+        if name not in out or t < out[name]:
+            out[name] = t
+    return out
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base = mins(argv[1])
+    cur = mins(argv[2])
+    limit = float(argv[3]) if len(argv) > 3 else 0.25
+    failed = []
+    for name, t in sorted(cur.items()):
+        if name not in base:
+            print("perf-smoke: %-28s %12.0f ns  (new, no baseline)" % (name, t))
+            continue
+        ratio = t / base[name]
+        mark = "FAIL" if ratio > 1.0 + limit else "ok"
+        print("perf-smoke: %-28s %12.0f ns  vs %12.0f ns  %+6.1f%%  %s"
+              % (name, t, base[name], (ratio - 1.0) * 100.0, mark))
+        if ratio > 1.0 + limit:
+            failed.append(name)
+    if failed:
+        print("perf-smoke: regression >%d%% in: %s"
+              % (int(limit * 100), ", ".join(failed)), file=sys.stderr)
+        return 1
+    print("perf-smoke: all benchmarks within %d%% of baseline"
+          % int(limit * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
