@@ -32,9 +32,11 @@ std::optional<uint64_t> Allocator::allocate(uint64_t Size,
   if (PackingEnabled) {
     auto It = Zones.lower_bound(Bound.Lo);
     while (It != Zones.end() && It->first < Bound.Hi) {
+      ++ProbeSteps;
       uint64_t At = It->first;
       uint64_t End = It->second;
       if (End - At < Size) {
+        ++ZonesRetired;
         It = Zones.erase(It); // Retire: can never serve this request.
         continue;
       }
@@ -74,6 +76,7 @@ std::optional<uint64_t> Allocator::allocate(uint64_t Size,
     auto [It, Inserted] = Zones.emplace(*At + Size, ZoneEnd);
     if (!Inserted && It->second < ZoneEnd)
       It->second = ZoneEnd; // Keep the larger of two coinciding tails.
+    notePeak();
   }
   return At;
 }

@@ -75,8 +75,19 @@ public:
   uint64_t zoneExtends() const { return ZoneExtends; }
   uint64_t zoneOpens() const { return ZoneOpens; }
   uint64_t failedProbes() const { return FailedProbes; }
+  /// Zone-map introspection gauges: cumulative zone-map entries visited by
+  /// the pass-1 scan (the cost the ROADMAP's patch-phase round targets),
+  /// zones retired by that scan, and the peak size of the open-zone map.
+  uint64_t probeSteps() const { return ProbeSteps; }
+  uint64_t zonesRetired() const { return ZonesRetired; }
+  uint64_t openZonePeak() const { return OpenZonePeak; }
 
 private:
+  void notePeak() {
+    if (Zones.size() > OpenZonePeak)
+      OpenZonePeak = Zones.size();
+  }
+
   IntervalSet Used; ///< Reserved regions plus live allocations.
   std::map<uint64_t, uint64_t> Allocs;
   std::map<uint64_t, uint64_t> Zones; ///< Open bump zones: cursor -> end.
@@ -84,6 +95,9 @@ private:
   uint64_t ZoneExtends = 0;
   uint64_t ZoneOpens = 0;
   uint64_t FailedProbes = 0;
+  uint64_t ProbeSteps = 0;
+  uint64_t ZonesRetired = 0;
+  uint64_t OpenZonePeak = 0;
 };
 
 } // namespace core

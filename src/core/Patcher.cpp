@@ -497,6 +497,7 @@ Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
   ResultIndex[Addr] = Results.size();
   Results.push_back(PatchSiteResult{Addr, Tactic::Failed, 0});
   SiteReason = FailureReason::None;
+  obs::ScopedSpan SiteSpan(Prof, "site");
 
   TacticCeiling Ceil =
       Opts.CeilingFor ? Opts.CeilingFor(Addr) : TacticCeiling::Full;
@@ -506,18 +507,23 @@ Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
   if (insnAt(Addr) == nullptr) {
     noteFailure(FailureReason::NoInstruction);
   } else if (Opts.ForceB0 || Ceil == TacticCeiling::B0Only) {
+    obs::ScopedSpan Span(Prof, "tactic.b0");
     if (tryB0(Addr))
       Used = Tactic::B0;
     else
       traceAttemptFailed(Addr, tacticName(Tactic::B0));
   } else {
-    CeilT1 = Ceil <= TacticCeiling::NoT2;
-    Used = tryDirect(Addr, Spec, TrampAddr);
-    CeilT1 = true;
-    if (Used == Tactic::Failed)
-      traceAttemptFailed(Addr, "direct");
+    {
+      obs::ScopedSpan Span(Prof, "tactic.direct");
+      CeilT1 = Ceil <= TacticCeiling::NoT2;
+      Used = tryDirect(Addr, Spec, TrampAddr);
+      CeilT1 = true;
+      if (Used == Tactic::Failed)
+        traceAttemptFailed(Addr, "direct");
+    }
     if (Used == Tactic::Failed && Opts.EnableT2 &&
         Ceil <= TacticCeiling::NoT3) {
+      obs::ScopedSpan Span(Prof, "tactic.t2");
       CeilT1 = Ceil <= TacticCeiling::NoT2;
       bool Ok = tryT2(Addr, Spec, TrampAddr);
       CeilT1 = true;
@@ -528,12 +534,14 @@ Tactic Patcher::patchOne(uint64_t Addr, const TrampolineSpec &Spec) {
     }
     if (Used == Tactic::Failed && Opts.EnableT3 &&
         Ceil == TacticCeiling::Full) {
+      obs::ScopedSpan Span(Prof, "tactic.t3");
       if (tryT3(Addr, Spec, TrampAddr))
         Used = Tactic::T3;
       else
         traceAttemptFailed(Addr, tacticName(Tactic::T3));
     }
     if (Used == Tactic::Failed && Opts.B0Fallback) {
+      obs::ScopedSpan Span(Prof, "tactic.b0");
       if (tryB0(Addr))
         Used = Tactic::B0;
       else

@@ -177,6 +177,13 @@ public:
   /// emission entirely. The tracer never influences patching decisions.
   void setTracer(obs::Tracer T) { Trace = T; }
 
+  /// Attaches a span profiler; patchOne then records one "site" span per
+  /// location with per-tactic child spans ("tactic.direct"/"tactic.t2"/
+  /// "tactic.t3"/"tactic.b0"). Same contract as the tracer: a null
+  /// profiler costs one branch per span site and profiling never
+  /// influences patching decisions.
+  void setProfiler(obs::Profiler P) { Prof = P; }
+
   /// Patches every location (any order accepted) using strategy S1.
   void patchAll(const std::vector<uint64_t> &PatchLocs);
 
@@ -308,6 +315,7 @@ private:
   std::vector<PatchSiteResult> Results;
   PatchStats Stats;
   obs::Tracer Trace;
+  obs::Profiler Prof;
 };
 
 /// Reserves the default unusable regions for \p Img in \p Alloc: every

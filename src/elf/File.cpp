@@ -171,7 +171,8 @@ Layout planLayout(const Image &Img) {
 
 } // namespace
 
-uint64_t elf::writtenSize(const Image &Img) {
+uint64_t elf::writtenSize(const Image &Img, obs::Profiler Prof) {
+  obs::ScopedSpan Span(Prof, "elf.layout");
   return planLayout(Img).FileSize;
 }
 
@@ -456,17 +457,25 @@ Result<Image> elf::read(const uint8_t *Data, size_t Size) {
   return Img;
 }
 
-Status elf::writeFile(const Image &Img, const std::string &Path) {
+Status elf::writeFile(const Image &Img, const std::string &Path,
+                      obs::Profiler Prof) {
   if (E9_FAULT_POINT("elf.write.file"))
     return Status::error(format(
         "injected fault: elf.write.file (writing %s failed)", Path.c_str()));
-  Layout L = planLayout(Img);
+  Layout L;
+  {
+    obs::ScopedSpan Span(Prof, "elf.layout");
+    L = planLayout(Img);
+  }
   // Zero-copy path: size the file up front and serialize straight into
   // the mapping (ftruncate zero-fills, satisfying emitImage's contract).
   if (support::MappedOutputFile M =
           support::MappedOutputFile::create(Path, L.FileSize);
       M.valid()) {
-    emitImage(M.data(), Img, L);
+    {
+      obs::ScopedSpan Span(Prof, "elf.emit");
+      emitImage(M.data(), Img, L);
+    }
     if (!M.commit())
       return Status::error(format("write to %s failed", Path.c_str()));
     return Status::ok();

@@ -21,6 +21,7 @@
 #ifndef E9_ELF_IMAGE_H
 #define E9_ELF_IMAGE_H
 
+#include "obs/Profile.h"
 #include "support/Status.h"
 
 #include <cstdint>
@@ -107,7 +108,8 @@ std::vector<uint8_t> write(const Image &Img);
 /// Exact byte count write(\p Img) would produce, without serializing.
 /// Plans the same layout (segment congruence padding, note, block
 /// alignment) but allocates nothing — size accounting for large images.
-uint64_t writtenSize(const Image &Img);
+/// \p Prof (optional) records the layout pass as an "elf.layout" span.
+uint64_t writtenSize(const Image &Img, obs::Profiler Prof = {});
 
 /// Parses ELF64 bytes produced by write() (or a compatible minimal ELF).
 Result<Image> read(const std::vector<uint8_t> &Bytes);
@@ -116,8 +118,10 @@ Result<Image> read(const std::vector<uint8_t> &Bytes);
 /// mmap of the input file) without staging through a vector.
 Result<Image> read(const uint8_t *Data, size_t Size);
 
-/// File convenience wrappers.
-Status writeFile(const Image &Img, const std::string &Path);
+/// File convenience wrappers. writeFile's optional profiler records the
+/// layout and emission passes as "elf.layout" / "elf.emit" spans.
+Status writeFile(const Image &Img, const std::string &Path,
+                 obs::Profiler Prof = {});
 Result<Image> readFile(const std::string &Path);
 
 } // namespace elf

@@ -70,6 +70,9 @@ void populateMetrics(obs::MetricsRegistry &Reg, const RewriteOutput &Out,
   Reg.counter("alloc.zone_extends").add(P.ZoneExtends);
   Reg.counter("alloc.zone_opens").add(P.ZoneOpens);
   Reg.counter("alloc.failed_probes").add(P.AllocFailedProbes);
+  Reg.counter("alloc.probe_steps").add(P.AllocProbeSteps);
+  Reg.counter("alloc.zones_retired").add(P.AllocZonesRetired);
+  Reg.counter("alloc.open_zone_peak").add(P.AllocOpenZonePeak);
   Reg.counter("shard.count").add(Out.ShardCount);
   Reg.counter("shard.redone").add(Out.ShardsRedone);
   Reg.counter("tramp.chunks").add(Out.Chunks.size());
@@ -96,6 +99,8 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   RewriteOutput Out;
   obs::TraceBuffer TraceBuf;
   obs::Tracer Trace(Opts.Trace.Enabled ? &TraceBuf : nullptr);
+  obs::ProfileCollector ProfC;
+  obs::Profiler Prof(Opts.Trace.Profile ? &ProfC : nullptr);
   obs::MetricsRegistry Metrics;
   Out.OrigFileSize = elf::writtenSize(In);
   Out.Rewritten = In;
@@ -112,17 +117,23 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
   // The patcher only ever consults instructions within the shard guard
   // distance of a patch site (Shard.h): length-walk everything for exact
   // boundaries, but materialize Insn records only inside those windows.
-  DisasmResult Dis =
-      disassembleWindows(Out.Rewritten, PatchLocs, ShardGuardDistance);
+  DisasmResult Dis;
+  {
+    obs::ScopedSpan Span(Prof, "disasm");
+    Dis = disassembleWindows(Out.Rewritten, PatchLocs, ShardGuardDistance);
+  }
   if (E9_FAULT_POINT("frontend.disasm.decode"))
     return Result<RewriteOutput>::error(
         "injected fault: frontend.disasm.decode (disassembly failed)");
   Out.Profile.add("disasm", Phase.lapMs());
 
-  ShardedPatchOutput P =
-      patchSharded(In, Out.Rewritten, std::move(Dis.Insns), PatchLocs,
-                   Opts.Patch, Opts.SpecFor, Opts.ExtraReserved,
-                   Opts.Parallel.Sharding, Opts.Parallel.Jobs, Trace);
+  ShardedPatchOutput P;
+  {
+    obs::ScopedSpan Span(Prof, "patch");
+    P = patchSharded(In, Out.Rewritten, std::move(Dis.Insns), PatchLocs,
+                     Opts.Patch, Opts.SpecFor, Opts.ExtraReserved,
+                     Opts.Parallel.Sharding, Opts.Parallel.Jobs, Trace, Prof);
+  }
   Phase.lapMs();
   Out.Profile.add("patch", P.PatchMs);
   Out.Profile.add("merge", P.MergeMs);
@@ -169,23 +180,30 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
     Trace.degraded(NFailed, Opts.Verify.MaxFailedSites);
 
   Phase.lapMs();
-  auto Grouped = core::groupPages(Out.Chunks, Opts.Grouping);
-  if (!Grouped)
-    return Result<RewriteOutput>::error(
-        format("grouping failed: %s", Grouped.reason().c_str()));
-  Out.Grouping = Grouped.take();
-  Out.Rewritten.Blocks = std::move(Out.Grouping.Blocks);
-  Out.Rewritten.Mappings = Out.Grouping.Mappings;
+  {
+    obs::ScopedSpan Span(Prof, "group");
+    auto Grouped = core::groupPages(Out.Chunks, Opts.Grouping);
+    if (!Grouped)
+      return Result<RewriteOutput>::error(
+          format("grouping failed: %s", Grouped.reason().c_str()));
+    Out.Grouping = Grouped.take();
+    Out.Rewritten.Blocks = std::move(Out.Grouping.Blocks);
+    Out.Rewritten.Mappings = Out.Grouping.Mappings;
+  }
   Out.Profile.add("group", Phase.lapMs());
   Trace.group(Out.Grouping.VirtualBlocks, Out.Rewritten.Blocks.size(),
               Out.Grouping.PhysBytes, Out.Grouping.MappingCount);
 
   injectOutputCorruption(Out);
 
-  Out.NewFileSize = elf::writtenSize(Out.Rewritten);
+  {
+    obs::ScopedSpan Span(Prof, "write");
+    Out.NewFileSize = elf::writtenSize(Out.Rewritten, Prof);
+  }
   Out.Profile.add("write", Phase.lapMs());
 
   if (Opts.Verify.Strict || Opts.Verify.Enabled) {
+    obs::ScopedSpan Span(Prof, "verify");
     verify::VerifyInput VIn;
     VIn.Original = &In;
     VIn.Rewritten = &Out.Rewritten;
@@ -201,6 +219,11 @@ Result<RewriteOutput> frontend::rewrite(const elf::Image &In,
       return Result<RewriteOutput>::error(Out.Verify.summary());
   }
   Out.Profile.TotalMs = Total.elapsedMs();
+  if (Prof.enabled()) {
+    Out.Profile.Tree = ProfC.takeTree(Out.Profile.TotalMs);
+    Out.Profile.Tree.Name = "rewrite";
+    Out.Profile.Events = ProfC.takeEvents();
+  }
 
   uint64_t TrampBytes = 0;
   for (const core::TrampolineChunk &C : Out.Chunks)

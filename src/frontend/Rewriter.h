@@ -77,6 +77,13 @@ struct TracePolicy {
   /// durations are the one nondeterministic event field; everything else
   /// in a trace is a pure function of (input, options).
   bool Timings = false;
+  /// Collect the hierarchical span profile (obs/Profile.h) into
+  /// RewriteOutput::Profile.Tree/.Events: per-phase, per-shard and
+  /// per-tactic wall-clock attribution. Same zero-cost contract as the
+  /// tracer — the disabled path is one branch per span site and the
+  /// output bytes are identical either way; the tree's structure (names,
+  /// shards, counts, child order) is byte-identical for any Jobs value.
+  bool Profile = false;
 };
 
 /// Self-verifying rewrite policy (the src/repair loop). Only consulted by
@@ -148,6 +155,10 @@ struct RewriteOptions {
     Trace.Timings = On;
     return *this;
   }
+  RewriteOptions &withProfile(bool On = true) {
+    Trace.Profile = On;
+    return *this;
+  }
   RewriteOptions &withRepair(bool On = true) {
     Repair.Enabled = On;
     return *this;
@@ -165,7 +176,9 @@ struct RewriteOutput {
   uint64_t OrigFileSize = 0;
   uint64_t NewFileSize = 0;
   /// Wall-clock phase spans (disasm/patch/merge/group/write/verify, plus
-  /// one "patch" span per shard). Always populated.
+  /// one "patch" span per shard). Always populated. With
+  /// TracePolicy::Profile the hierarchical span tree and raw event log
+  /// ride in Profile.Tree / Profile.Events (see obs/Profile.h).
   obs::PhaseProfile Profile;
   /// JSONL trace lines (empty unless TracePolicy::Enabled).
   std::vector<std::string> Trace;

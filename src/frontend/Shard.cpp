@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 using namespace e9;
 using namespace e9::frontend;
@@ -56,9 +57,14 @@ struct ShardResult {
   std::map<uint64_t, std::vector<uint8_t>> B0;
   std::map<uint64_t, uint64_t> Allocs;
   obs::TraceBuffer Trace; ///< This shard's events (empty when disabled).
+  obs::ProfileNode ProfTree; ///< This shard's span tree (when profiling).
+  std::vector<obs::SpanEvent> ProfEvents;
   uint64_t ZoneExtends = 0;
   uint64_t ZoneOpens = 0;
   uint64_t FailedProbes = 0;
+  uint64_t ProbeSteps = 0;
+  uint64_t ZonesRetired = 0;
+  uint64_t OpenZonePeak = 0;
   double PatchMs = 0;
 };
 
@@ -80,7 +86,7 @@ ShardedPatchOutput frontend::patchSharded(
     const std::vector<uint64_t> &PatchLocs, const core::PatchOptions &PatchOpts,
     const std::function<core::TrampolineSpec(uint64_t)> &SpecFor,
     const std::vector<Interval> &ExtraReserved, const ShardPolicy &Policy,
-    unsigned Jobs, obs::Tracer Trace) {
+    unsigned Jobs, obs::Tracer Trace, obs::Profiler Prof) {
   ShardedPatchOutput Out;
 
   std::vector<uint64_t> Sites(PatchLocs);
@@ -125,6 +131,13 @@ ShardedPatchOutput frontend::patchSharded(
     core::Patcher P(Img, std::move(ShardInsns), PatchOpts);
     if (Trace.enabled())
       P.setTracer(obs::Tracer(&R.Trace)); // Private buffer: no locks.
+    // Private per-shard collector (the TraceBuffer ownership discipline);
+    // shares the pipeline collector's epoch so Chrome timestamps align.
+    std::optional<obs::ProfileCollector> PC;
+    if (Prof.enabled()) {
+      PC.emplace(static_cast<int>(K), Prof.collector()->epoch());
+      P.setProfiler(obs::Profiler(&*PC));
+    }
     P.allocator().SearchBase = windowFor(K);
     for (const Interval &Res : ExtraReserved)
       P.allocator().reserve(Res.Lo, Res.Hi);
@@ -148,7 +161,14 @@ ShardedPatchOutput frontend::patchSharded(
     R.ZoneExtends = P.allocator().zoneExtends();
     R.ZoneOpens = P.allocator().zoneOpens();
     R.FailedProbes = P.allocator().failedProbes();
+    R.ProbeSteps = P.allocator().probeSteps();
+    R.ZonesRetired = P.allocator().zonesRetired();
+    R.OpenZonePeak = P.allocator().openZonePeak();
     R.PatchMs = ShardClock.elapsedMs();
+    if (PC) {
+      R.ProfTree = PC->takeTree(R.PatchMs);
+      R.ProfEvents = PC->takeEvents();
+    }
     return R;
   };
 
@@ -208,17 +228,29 @@ ShardedPatchOutput frontend::patchSharded(
             Img.writeBytes(M.Lo, Buf.data(), Buf.size());
         assert(WS.isOk() && "restore write must succeed");
       }
+      obs::ScopedSpan RedoSpan(Prof, "redo");
       R = runShard(K, &MergedUsed, sliceFor(Plan[K]));
     }
     Trace.shard(K, Plan[K].NumSites, Plan[K].LoAddr, Plan[K].HiAddr,
                 windowFor(K), Clash);
     if (Trace.enabled())
       Trace.buffer()->splice(std::move(R.Trace));
+    // Graft the shard's span tree under the caller's open "patch" span —
+    // merge order, so the aggregated tree is Jobs-independent; a redone
+    // shard grafts its redo-run tree (the first-run collector died with
+    // the first-run result above).
+    if (Prof.enabled())
+      Prof.collector()->graft("shard", static_cast<int>(K),
+                              std::move(R.ProfTree), std::move(R.ProfEvents),
+                              R.PatchMs);
     Out.ShardSpans.push_back(
         obs::SpanRecord{"patch", static_cast<int>(K), R.PatchMs});
     Out.ZoneExtends += R.ZoneExtends;
     Out.ZoneOpens += R.ZoneOpens;
     Out.AllocFailedProbes += R.FailedProbes;
+    Out.AllocProbeSteps += R.ProbeSteps;
+    Out.AllocZonesRetired += R.ZonesRetired;
+    Out.AllocOpenZonePeak = std::max(Out.AllocOpenZonePeak, R.OpenZonePeak);
     addStats(Out.Stats, R.Stats);
     Out.Chunks.insert(Out.Chunks.end(),
                       std::make_move_iterator(R.Chunks.begin()),

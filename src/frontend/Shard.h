@@ -124,6 +124,10 @@ struct ShardedPatchOutput {
   uint64_t ZoneExtends = 0;
   uint64_t ZoneOpens = 0;
   uint64_t AllocFailedProbes = 0;
+  /// Zone-map gauges summed across shards (post-redo values).
+  uint64_t AllocProbeSteps = 0;
+  uint64_t AllocZonesRetired = 0;
+  uint64_t AllocOpenZonePeak = 0; ///< Max over shards, not a sum.
 };
 
 /// Patches \p PatchLocs into \p Img (the working copy) with one Patcher
@@ -139,6 +143,14 @@ struct ShardedPatchOutput {
 /// descending-address order as the result merge; a redone shard's
 /// first-run events are discarded with its first-run result. The trace is
 /// therefore byte-identical for any Jobs value.
+///
+/// When \p Prof is live, every shard's Patcher records its site/tactic
+/// spans into a private ProfileCollector under the same ownership
+/// discipline, and the merge pass grafts each shard's finished tree as a
+/// "shard" node (with shard-id attribution) under the caller's open
+/// "patch" span, in merge order; redo runs appear as an aggregated "redo"
+/// span and a redone shard's first-run collector is discarded wholesale.
+/// The tree structure is therefore identical for any Jobs value.
 ShardedPatchOutput
 patchSharded(const elf::Image &Original, elf::Image &Img,
              std::vector<x86::Insn> Insns,
@@ -147,7 +159,7 @@ patchSharded(const elf::Image &Original, elf::Image &Img,
              const std::function<core::TrampolineSpec(uint64_t)> &SpecFor,
              const std::vector<Interval> &ExtraReserved,
              const ShardPolicy &Policy, unsigned Jobs,
-             obs::Tracer Trace = {});
+             obs::Tracer Trace = {}, obs::Profiler Prof = {});
 
 } // namespace frontend
 } // namespace e9

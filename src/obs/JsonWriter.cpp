@@ -29,7 +29,12 @@ std::string obs::jsonEscape(std::string_view S) {
       Out += "\\t";
       break;
     default:
-      if (C < 0x20) {
+      // Escape control bytes (invalid in a JSON string) and non-ASCII
+      // bytes (raw 0x80..0xff is not valid UTF-8, and symbol names from
+      // arbitrary binaries can contain any byte). \u00XX keeps the output
+      // pure ASCII and the parser maps it back to the original byte, so
+      // the escape round-trips losslessly.
+      if (C < 0x20 || C >= 0x80) {
         char Buf[8];
         std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
         Out += Buf;
@@ -166,8 +171,11 @@ struct Parser {
         if (End != Hex + 4)
           return false;
         I += 4;
-        // Trace strings are ASCII; non-ASCII escapes round to '?'.
-        Out.push_back(V < 0x80 ? static_cast<char>(V) : '?');
+        // Escapes up to \u00ff map back to the raw byte (the writer emits
+        // every control/non-ASCII byte this way, so escaping round-trips
+        // losslessly). Higher code points are outside the byte-string
+        // model and round to '?'.
+        Out.push_back(V < 0x100 ? static_cast<char>(V) : '?');
         break;
       }
       default:

@@ -4,7 +4,9 @@
 
 #include "obs/JsonWriter.h"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 
 using namespace e9;
 using namespace e9::obs;
@@ -21,6 +23,36 @@ void Histogram::observe(uint64_t V) {
   while (V > Cur &&
          !Hi.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
   }
+}
+
+double HistogramStats::quantile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  if (Q <= 0.0)
+    return static_cast<double>(Min);
+  if (Q >= 1.0)
+    return static_cast<double>(Max);
+  // 0-based rank of the target observation in the sorted value sequence.
+  double Rank = Q * static_cast<double>(Count - 1);
+  uint64_t Seen = 0;
+  for (size_t I = 0; I != Buckets.size(); ++I) {
+    uint64_t B = Buckets[I];
+    if (B == 0)
+      continue;
+    if (Rank < static_cast<double>(Seen + B)) {
+      // Bucket 0 holds exactly {0}; bucket i holds [2^(i-1), 2^i).
+      double LoV = I == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(I) - 1);
+      double HiV = I == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(I));
+      double Frac =
+          B == 1 ? 0.5 : (Rank - static_cast<double>(Seen)) /
+                             static_cast<double>(B - 1);
+      double V = LoV + Frac * (HiV - LoV);
+      return std::min(std::max(V, static_cast<double>(Min)),
+                      static_cast<double>(Max));
+    }
+    Seen += B;
+  }
+  return static_cast<double>(Max);
 }
 
 uint64_t MetricsSnapshot::counter(std::string_view Name) const {
@@ -49,6 +81,8 @@ std::string MetricsSnapshot::toJson() const {
         .field("sum", H.Sum)
         .field("min", H.Min)
         .field("max", H.Max);
+    W.fixed("p50", H.p50(), 2).fixed("p95", H.p95(), 2).fixed("p99", H.p99(),
+                                                              2);
     std::string Buckets = "[";
     for (size_t I = 0; I != H.Buckets.size(); ++I) {
       if (I)

@@ -78,6 +78,17 @@ struct HistogramStats {
     return Count == 0 ? 0.0
                       : static_cast<double>(Sum) / static_cast<double>(Count);
   }
+
+  /// Quantile estimate derived from the power-of-two buckets: locates the
+  /// bucket containing the Q-th ranked value and interpolates linearly
+  /// inside its [2^(i-1), 2^i) range, clamped to [Min, Max]. Exact for
+  /// single-valued distributions, within one bucket otherwise — enough to
+  /// track latency/size distribution shifts across PRs. Deterministic
+  /// whenever the observations are.
+  double quantile(double Q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 };
 
 /// Plain-data snapshot of a registry; name-sorted, so JSON output is

@@ -1,0 +1,154 @@
+//===- obs/Profile.cpp ----------------------------------------*- C++ -*-===//
+
+#include "obs/Profile.h"
+
+#include "obs/JsonWriter.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace e9;
+using namespace e9::obs;
+
+void ProfileCollector::enter(const char *Name) {
+  ProfileNode *Parent = Stack.empty() ? &Root : Stack.back().Node;
+  ProfileNode *Node = nullptr;
+  for (ProfileNode &C : Parent->Children)
+    if (C.Name == Name) {
+      Node = &C;
+      break;
+    }
+  if (!Node) {
+    ProfileNode Fresh;
+    Fresh.Name = Name;
+    Fresh.Shard = ShardId;
+    Parent->Children.push_back(std::move(Fresh));
+    Node = &Parent->Children.back();
+  }
+  Stack.push_back(Frame{Node, Clock::now()});
+}
+
+void ProfileCollector::exit() {
+  assert(!Stack.empty() && "span exit without a matching enter");
+  Frame F = Stack.back();
+  Stack.pop_back();
+  Clock::time_point Now = Clock::now();
+  double Ms = std::chrono::duration<double, std::milli>(Now - F.Start).count();
+  F.Node->Count += 1;
+  F.Node->TotalMs += Ms;
+  SpanEvent E;
+  E.Name = F.Node->Name;
+  E.Shard = ShardId;
+  E.StartUs =
+      std::chrono::duration<double, std::micro>(F.Start - Epoch).count();
+  E.DurUs = Ms * 1000.0;
+  Events.push_back(std::move(E));
+}
+
+void ProfileCollector::graft(const char *Name, int Shard,
+                             ProfileNode &&SubRoot,
+                             std::vector<SpanEvent> &&SubEvents,
+                             double TotalMs) {
+  ProfileNode *Parent = Stack.empty() ? &Root : Stack.back().Node;
+  ProfileNode Node;
+  Node.Name = Name;
+  Node.Shard = Shard;
+  Node.Count = 1;
+  Node.TotalMs = TotalMs;
+  Node.Children = std::move(SubRoot.Children);
+  Parent->Children.push_back(std::move(Node));
+  Events.insert(Events.end(), std::make_move_iterator(SubEvents.begin()),
+                std::make_move_iterator(SubEvents.end()));
+}
+
+namespace {
+
+void finalizeSelf(ProfileNode &N) {
+  double ChildMs = 0;
+  for (ProfileNode &C : N.Children) {
+    finalizeSelf(C);
+    ChildMs += C.TotalMs;
+  }
+  N.SelfMs = N.TotalMs > ChildMs ? N.TotalMs - ChildMs : 0.0;
+}
+
+} // namespace
+
+ProfileNode ProfileCollector::takeTree(double RootTotalMs) {
+  assert(Stack.empty() && "takeTree with open spans");
+  Root.Shard = ShardId;
+  Root.Count = 1;
+  Root.TotalMs = RootTotalMs;
+  finalizeSelf(Root);
+  return std::move(Root);
+}
+
+namespace {
+
+void renderNode(std::string &Out, const ProfileNode &N, bool IncludeTimes) {
+  Out += "{\"name\":\"";
+  Out += jsonEscape(N.Name);
+  Out += "\",";
+  if (N.Shard >= 0)
+    Out += format("\"shard\":%d,", N.Shard);
+  Out += format("\"count\":%llu,", static_cast<unsigned long long>(N.Count));
+  if (IncludeTimes)
+    Out += format("\"total_ms\":%.3f,\"self_ms\":%.3f,", N.TotalMs, N.SelfMs);
+  Out += "\"children\":[";
+  for (size_t I = 0; I != N.Children.size(); ++I) {
+    if (I)
+      Out.push_back(',');
+    renderNode(Out, N.Children[I], IncludeTimes);
+  }
+  Out += "]}";
+}
+
+} // namespace
+
+std::string obs::profileToJson(const ProfileNode &Root, bool IncludeTimes) {
+  std::string Out;
+  renderNode(Out, Root, IncludeTimes);
+  return Out;
+}
+
+std::string obs::profileToChromeTrace(const std::vector<SpanEvent> &Events) {
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const SpanEvent &E = Events[I];
+    if (I)
+      Out.push_back(',');
+    Out += "{\"ph\":\"X\",\"name\":\"";
+    Out += jsonEscape(E.Name);
+    Out += format("\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"dur\":%.1f",
+                  E.Shard + 1, E.StartUs, E.DurUs);
+    if (E.Shard >= 0)
+      Out += format(",\"args\":{\"shard\":%d}", E.Shard);
+    Out += "}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+namespace {
+
+void renderCollapsed(std::string &Out, const ProfileNode &N,
+                     const std::string &Prefix) {
+  std::string Frame = N.Name.empty() ? std::string("rewrite") : N.Name;
+  if (N.Shard >= 0)
+    Frame += format("[%d]", N.Shard);
+  std::string Path = Prefix.empty() ? Frame : Prefix + ";" + Frame;
+  long long SelfUs = std::llround(N.SelfMs * 1000.0);
+  Out += Path;
+  Out += format(" %lld\n", SelfUs < 0 ? 0 : SelfUs);
+  for (const ProfileNode &C : N.Children)
+    renderCollapsed(Out, C, Path);
+}
+
+} // namespace
+
+std::string obs::profileToCollapsed(const ProfileNode &Root) {
+  std::string Out;
+  renderCollapsed(Out, Root, std::string());
+  return Out;
+}

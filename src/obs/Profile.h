@@ -1,0 +1,190 @@
+//===- obs/Profile.h - Hierarchical span profiler --------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hierarchical span profiler: RAII `ScopedSpan`s nest into a
+/// per-collector stack and aggregate into a call tree (`ProfileNode`) with
+/// hit counts, total/self wall-clock time and per-shard attribution. The
+/// tree exports three ways:
+///
+///   - a deterministic single-line JSON tree (`profileToJson`), embedded in
+///     `RewriteOutput::Profile.Tree`,
+///   - Chrome trace-event format (`profileToChromeTrace`), loadable in
+///     chrome://tracing and Perfetto,
+///   - Brendan-Gregg collapsed-stack format (`profileToCollapsed`) for
+///     flamegraph.pl / speedscope.
+///
+/// **Zero cost when disabled.** Instrumented code holds a `Profiler`, a
+/// one-pointer value type exactly like `Tracer`: constructing a ScopedSpan
+/// against a null profiler is one branch and no clock read. Profiling never
+/// feeds back into any rewriting decision, so output bytes are identical
+/// with it on or off.
+///
+/// **Determinism contract.** Every field of the aggregated tree except the
+/// `*_ms` times — node names, shard ids, hit counts, child order, tree
+/// shape — is a pure function of (input binary, options): per-shard
+/// collectors are merged in the same descending-address order as the
+/// result/trace merge, a redone shard's first-run collector is discarded
+/// with its first-run result, and children keep first-visit order within
+/// each node. `profileToJson(Root, /*IncludeTimes=*/false)` is therefore
+/// byte-identical for any `--jobs` value; the timed export differs only in
+/// the `total_ms`/`self_ms` fields (rendered adjacently, so a single
+/// substitution strips them — check.sh gate [11/11] relies on this). The
+/// Chrome/collapsed exports carry wall-clock values by nature and pin only
+/// their structure.
+///
+/// **Threading.** A collector is single-writer: the pipeline owns one, and
+/// each shard's Patcher runs single-threaded over its own (no locks, same
+/// ownership discipline as TraceBuffer). All collectors share one
+/// steady_clock epoch so Chrome timestamps from different shards align.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_OBS_PROFILE_H
+#define E9_OBS_PROFILE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace e9 {
+namespace obs {
+
+/// One aggregated node of the profile call tree. A node is identified by
+/// (parent, Name, Shard); children appear in first-visit order.
+struct ProfileNode {
+  std::string Name;
+  int Shard = -1;      ///< >= 0: attributed to that shard.
+  uint64_t Count = 0;  ///< Completed spans aggregated into this node.
+  double TotalMs = 0;  ///< Wall time including children.
+  double SelfMs = 0;   ///< TotalMs minus children (set by finalize pass).
+  std::vector<ProfileNode> Children;
+};
+
+/// One raw completed span (a Chrome "X" complete event): epoch-relative
+/// start and duration in microseconds.
+struct SpanEvent {
+  std::string Name;
+  int Shard = -1;
+  double StartUs = 0;
+  double DurUs = 0;
+};
+
+/// Single-writer span collector: an implicit root node, a stack of open
+/// spans, and a log of completed spans for the Chrome export.
+class ProfileCollector {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// \p Shard tags every node/event this collector records (-1 =
+  /// pipeline-level). \p Epoch is the shared timestamp origin; shard
+  /// collectors must be constructed with the pipeline collector's epoch().
+  explicit ProfileCollector(int Shard = -1,
+                            Clock::time_point Epoch = Clock::now())
+      : ShardId(Shard), Epoch(Epoch) {}
+
+  int shard() const { return ShardId; }
+  Clock::time_point epoch() const { return Epoch; }
+  /// Open-span nesting depth (0 = at the root). Exposed for tests.
+  size_t depth() const { return Stack.size(); }
+
+  /// Opens a span named \p Name as a child of the innermost open span
+  /// (find-or-create; children keep first-visit order).
+  void enter(const char *Name);
+  /// Closes the innermost open span, accumulating its wall time into the
+  /// tree and appending one SpanEvent.
+  void exit();
+
+  /// Grafts another collector's finished tree as a child of the innermost
+  /// open span: a new node (\p Name, \p Shard, Count = 1, TotalMs =
+  /// \p TotalMs) adopting \p SubRoot's children, with \p Events appended
+  /// to this collector's event log. This is the deterministic per-shard
+  /// merge step — callers graft in descending shard order.
+  void graft(const char *Name, int Shard, ProfileNode &&SubRoot,
+             std::vector<SpanEvent> &&Events, double TotalMs);
+
+  /// Returns the finished tree (root Name = "", Shard = collector shard)
+  /// with SelfMs finalized on every node; \p RootTotalMs becomes the
+  /// root's TotalMs (the caller's whole-pipeline wall time). Open spans
+  /// must all be closed. The collector is spent afterwards.
+  ProfileNode takeTree(double RootTotalMs = 0.0);
+  std::vector<SpanEvent> takeEvents() { return std::move(Events); }
+
+private:
+  struct Frame {
+    /// Points at a node owned (transitively) by Root. Safe against vector
+    /// reallocation because children are only ever appended to the
+    /// *innermost open* node, and no live frame points into that node's
+    /// Children (its own frame points at the node itself, which only
+    /// moves when a sibling is appended — impossible while it is open).
+    ProfileNode *Node;
+    Clock::time_point Start;
+  };
+
+  int ShardId;
+  Clock::time_point Epoch;
+  ProfileNode Root;
+  std::vector<Frame> Stack;
+  std::vector<SpanEvent> Events;
+};
+
+/// The pipeline's view of a ProfileCollector: a nullable one-pointer handle
+/// (the Tracer pattern). Copy freely.
+class Profiler {
+public:
+  Profiler() = default;
+  explicit Profiler(ProfileCollector *C) : C(C) {}
+
+  bool enabled() const { return C != nullptr; }
+  ProfileCollector *collector() const { return C; }
+
+private:
+  ProfileCollector *C = nullptr;
+};
+
+/// RAII span: enters on construction, exits on destruction — so early
+/// returns, error paths and fault-injection exits unwind the span stack
+/// correctly by construction. One branch and nothing else when the
+/// profiler is disabled.
+class ScopedSpan {
+public:
+  ScopedSpan(Profiler P, const char *Name) : C(P.collector()) {
+    if (C)
+      C->enter(Name);
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+  ~ScopedSpan() {
+    if (C)
+      C->exit();
+  }
+
+private:
+  ProfileCollector *C;
+};
+
+/// Renders the tree as one deterministic line of JSON. Per node:
+/// {"name":...,["shard":K,]"count":N,["total_ms":X,"self_ms":Y,]
+///  "children":[...]} — the ms fields are adjacent and only present with
+/// \p IncludeTimes, so the times-less rendering is byte-comparable across
+/// runs and the timed one differs from it by one regular substitution.
+std::string profileToJson(const ProfileNode &Root, bool IncludeTimes = true);
+
+/// Renders the event log in Chrome trace-event JSON (one "X" complete
+/// event per span; pid 1, tid = shard + 1 so the pipeline is tid 0 and
+/// each shard gets its own track).
+std::string profileToChromeTrace(const std::vector<SpanEvent> &Events);
+
+/// Renders the tree in collapsed-stack format: one "frame;frame;... N"
+/// line per node in tree order, N = self time in integer microseconds.
+/// Frames of shard-attributed nodes render as "name[K]".
+std::string profileToCollapsed(const ProfileNode &Root);
+
+} // namespace obs
+} // namespace e9
+
+#endif // E9_OBS_PROFILE_H

@@ -53,6 +53,8 @@
 #ifndef E9_OBS_TRACE_H
 #define E9_OBS_TRACE_H
 
+#include "obs/Profile.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -76,6 +78,10 @@ struct SpanRecord {
 struct PhaseProfile {
   std::vector<SpanRecord> Spans;
   double TotalMs = 0;
+  /// Hierarchical span tree + raw event log from the ScopedSpan profiler
+  /// (see Profile.h); empty unless TracePolicy::Profile opted in.
+  ProfileNode Tree;
+  std::vector<SpanEvent> Events;
 
   void add(std::string Name, double Ms, int Shard = -1) {
     Spans.push_back(SpanRecord{std::move(Name), Shard, Ms});

@@ -6,6 +6,7 @@
 #include "lowfat/LowFat.h"
 #include "obs/Trace.h"
 #include "support/Format.h"
+#include "support/Timing.h"
 #include "vm/Loader.h"
 #include "workload/Run.h"
 
@@ -319,6 +320,14 @@ repair::selfVerifyingRewrite(const elf::Image &In,
   // the final rewrite's own lines.
   obs::TraceBuffer RBuf;
   obs::Tracer RTrace(Opts.Trace.Enabled ? &RBuf : nullptr);
+  // Likewise, repair-loop profiler spans collect into their own tree and
+  // are grafted as a "repair" child of the final rewrite's span tree.
+  // Span *counts* (rounds, candidate runs, rewrites, ddmin probes) are a
+  // pure function of (input, sites, options) because the whole loop is
+  // deterministic; only the *_ms fields are wall-clock.
+  obs::ProfileCollector RProfC;
+  obs::Profiler RProf(Opts.Trace.Profile ? &RProfC : nullptr);
+  Stopwatch RepairClock;
 
   std::vector<uint64_t> Sites(PatchLocs);
   std::sort(Sites.begin(), Sites.end());
@@ -331,7 +340,11 @@ repair::selfVerifyingRewrite(const elf::Image &In,
                S.reason().c_str()));
 
   uint64_t RefMax = Pol.StepLimit ? Pol.StepLimit : 100'000'000;
-  EndState Ref = R.runReference(RefMax);
+  EndState Ref;
+  {
+    obs::ScopedSpan Span(RProf, "reference_run");
+    Ref = R.runReference(RefMax);
+  }
   if (Ref.Result.Kind != vm::RunResult::Exit::Finished)
     return Result<RepairOutput>::error(
         format("repair: the original binary does not run cleanly: %s",
@@ -360,6 +373,7 @@ repair::selfVerifyingRewrite(const elf::Image &In,
     RewriteOptions O = Opts;
     O.Trace.Enabled = false;
     O.Trace.Timings = false;
+    O.Trace.Profile = false; // the repair-level "rewrite" span covers it
     O.Verify.Strict = false;
     O.Verify.Enabled = false;
     O.Verify.MaxFailedSites = SIZE_MAX;
@@ -375,6 +389,7 @@ repair::selfVerifyingRewrite(const elf::Image &In,
       };
     }
     ++Rep.Rewrites;
+    obs::ScopedSpan Span(RProf, "rewrite");
     return frontend::rewrite(In, Subset, O);
   };
 
@@ -395,7 +410,11 @@ repair::selfVerifyingRewrite(const elf::Image &In,
     }
     ++Rep.CandidateRuns;
     bool TrapUnknown = false;
-    EndState E = R.runCandidate(*Cand, StepLimit, TrapUnknown);
+    EndState E;
+    {
+      obs::ScopedSpan Span(RProf, "candidate_run");
+      E = R.runCandidate(*Cand, StepLimit, TrapUnknown);
+    }
     Divergence D = compare(Ref, E, TrapUnknown);
     if (Out)
       *Out = D;
@@ -406,6 +425,7 @@ repair::selfVerifyingRewrite(const elf::Image &In,
   // single-site candidate until it stops diverging; adopt that ceiling,
   // or revoke when the floor is reached (or the budget runs out).
   auto refine = [&](uint64_t Addr, core::Tactic From, uint64_t Round) {
+    obs::ScopedSpan Span(RProf, "refine");
     SiteRepair SR;
     SR.Addr = Addr;
     SR.From = From;
@@ -448,6 +468,7 @@ repair::selfVerifyingRewrite(const elf::Image &In,
 
   bool Converged = false;
   for (uint64_t Round = 1; Round <= Pol.MaxRounds && budgetLeft(); ++Round) {
+    obs::ScopedSpan RoundSpan(RProf, "round");
     Rep.Rounds = Round;
     std::vector<uint64_t> Active = activeSites();
     auto Full = rewriteCandidate(Active);
@@ -458,7 +479,11 @@ repair::selfVerifyingRewrite(const elf::Image &In,
                  Full.reason().c_str()));
     ++Rep.CandidateRuns;
     bool TrapUnknown = false;
-    EndState E = R.runCandidate(*Full, StepLimit, TrapUnknown);
+    EndState E;
+    {
+      obs::ScopedSpan Span(RProf, "candidate_run");
+      E = R.runCandidate(*Full, StepLimit, TrapUnknown);
+    }
     Divergence D = compare(Ref, E, TrapUnknown);
     if (!D.diverged()) {
       Converged = true;
@@ -472,11 +497,15 @@ repair::selfVerifyingRewrite(const elf::Image &In,
     for (const core::PatchSiteResult &S : Full->Sites)
       Used[S.Addr] = S.Used;
 
-    std::vector<uint64_t> Culprits = ddmin(
-        Active, [&](const std::vector<uint64_t> &S) {
-          return subsetDiverges(S);
-        },
-        [&] { return !budgetLeft(); });
+    std::vector<uint64_t> Culprits;
+    {
+      obs::ScopedSpan Span(RProf, "ddmin");
+      Culprits = ddmin(
+          Active, [&](const std::vector<uint64_t> &S) {
+            return subsetDiverges(S);
+          },
+          [&] { return !budgetLeft(); });
+    }
     if (Culprits.size() == Active.size() && Active.size() > 1 &&
         !budgetLeft())
       break; // Budget died before isolation could make progress.
@@ -527,6 +556,17 @@ repair::selfVerifyingRewrite(const elf::Image &In,
   RO.Rewrite = Final.take();
   for (std::string &Line : RBuf.take())
     RO.Rewrite.Trace.push_back(std::move(Line));
+  if (RProf.enabled()) {
+    // Graft the repair-loop tree as a child of the final rewrite's root.
+    // Its TotalMs covers the whole repair (including that final rewrite),
+    // so it can exceed the parent's; finalizeSelf clamps SelfMs at zero.
+    obs::ProfileNode RNode = RProfC.takeTree(RepairClock.elapsedMs());
+    RNode.Name = "repair";
+    std::vector<obs::SpanEvent> REvents = RProfC.takeEvents();
+    RO.Rewrite.Profile.Tree.Children.push_back(std::move(RNode));
+    RO.Rewrite.Profile.Events.insert(RO.Rewrite.Profile.Events.end(),
+                                     REvents.begin(), REvents.end());
+  }
 
   obs::MetricsRegistry Reg;
   Reg.counter("repair.converged").add(Rep.Converged ? 1 : 0);

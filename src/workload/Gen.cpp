@@ -78,6 +78,7 @@ private:
   void emitShortInsns();
   void emitBlockBody();
   void emitFunction(unsigned F);
+  void emitIsland(unsigned I);
   void emitMain();
 
   WorkloadConfig Config;
@@ -88,6 +89,10 @@ private:
   Assembler A;
   std::vector<Assembler::Label> FuncLabels;
   uint64_t BugSiteAddr = 0;
+  std::vector<uint64_t> IslandAddrs;
+  /// Text offset of the imm64 in main's island-fold load; the first
+  /// island's address is patched in after layout is final.
+  uint64_t IslandImmOff = 0;
 };
 
 void Generator::emitHeapWrite(bool Overflow) {
@@ -176,6 +181,12 @@ void Generator::emitMenuInsn() {
   Acc += Config.ShortInsnPct;
   if (P < Acc) {
     emitShortInsns();
+    return;
+  }
+  Acc += Config.OverlapJunkPct;
+  if (P < Acc) { // jmp short +1 over a junk 0xe9: overlap-hazard fodder
+    A.raw({0xeb, 0x01});
+    A.byte(0xe9);
     return;
   }
   Acc += Config.IndexedWritePct;
@@ -317,6 +328,18 @@ void Generator::emitFunction(unsigned F) {
   A.ret();
 }
 
+void Generator::emitIsland(unsigned I) {
+  IslandAddrs.push_back(A.currentAddr());
+  // 16 bytes of never-executed data shaped like control flow: a jmp rel32,
+  // short jcc pairs, a jcc-long prefix, plus one index-dependent byte so
+  // every island holds a distinct qword. The trailing 0xe8 (call rel32)
+  // swallows the next function's first 4 bytes when a linear walk decodes
+  // straight through the island.
+  A.raw({0xe9, 0x74, 0x03, 0x0f, 0x84, 0xeb, 0xfe, 0xcc,
+         static_cast<uint8_t>(0x5a + I * 0x11), 0x75, 0x90, 0x72, 0x01,
+         0xc3, 0x90, 0xe8});
+}
+
 void Generator::emitMain() {
   // entry: establish the reserved registers.
   A.pushReg(Reg::RBP);
@@ -357,6 +380,19 @@ void Generator::emitMain() {
     A.callReg(Reg::RAX);
   }
 
+  // Fold the first text-embedded island's qword into the observable
+  // result, so patching island bytes changes the program's output. The
+  // imm64 is a placeholder: islands are emitted after main, so the real
+  // address is patched into the text bytes once layout is final.
+  if (Config.DataIslands) {
+    IslandImmOff = A.currentAddr() - TextBase + 2; // rex+opcode, then imm
+    A.movRegImm64(Reg::RAX, 0);
+    A.movRegMem(OpSize::B64, Reg::RCX, Mem::base(Reg::RAX, 0));
+    A.movRegMem(OpSize::B64, Reg::RDX, scratch(0));
+    A.aluRegReg(OpSize::B64, Alu::Add, Reg::RDX, Reg::RCX);
+    A.movMemReg(OpSize::B64, scratch(0), Reg::RDX);
+  }
+
   // Return a data-dependent value as the program's observable result.
   A.movRegMem(OpSize::B64, Reg::RAX, scratch(0));
   A.popReg(Reg::RBP);
@@ -368,8 +404,11 @@ Workload Generator::generate() {
     FuncLabels.push_back(A.createLabel());
 
   emitMain();
-  for (unsigned F = 0; F != Config.NumFuncs; ++F)
+  for (unsigned F = 0; F != Config.NumFuncs; ++F) {
     emitFunction(F);
+    if (F + 1 < Config.NumFuncs && IslandAddrs.size() != Config.DataIslands)
+      emitIsland(static_cast<unsigned>(IslandAddrs.size()));
+  }
 
   bool Resolved = A.resolveAll();
   assert(Resolved && "workload generator produced unresolved fixups");
@@ -380,6 +419,7 @@ Workload Generator::generate() {
   W.TextBase = TextBase;
   W.DataBase = DataBase;
   W.BugSiteAddr = BugSiteAddr;
+  W.IslandAddrs = IslandAddrs;
   for (unsigned F = 0; F != Config.NumFuncs; ++F)
     W.FuncAddrs.push_back(A.labelAddr(FuncLabels[F]));
 
@@ -390,6 +430,10 @@ Workload Generator::generate() {
   elf::Segment Text;
   Text.VAddr = TextBase;
   Text.Bytes = A.take();
+  if (!IslandAddrs.empty())
+    for (unsigned B = 0; B != 8; ++B)
+      Text.Bytes[IslandImmOff + B] =
+          static_cast<uint8_t>(IslandAddrs[0] >> (8 * B));
   Text.MemSize = Text.Bytes.size();
   Text.Flags = elf::PF_R | elf::PF_X;
   Text.Name = "text";

@@ -64,6 +64,22 @@ struct WorkloadConfig {
   uint64_t DataSize = 0x4000; ///< Scratch bytes in the data segment.
   uint64_t BssSize = 0;       ///< Extra zero-fill (L1 pressure knob).
 
+  // Adversarial knobs (the `e9tool corpus` robustness configs).
+  /// Percent of menu picks that emit a 2-byte short jump over a junk 0xe9
+  /// byte. The junk byte never executes, but any linear walk that reaches
+  /// it decodes a phantom 5-byte jmp and desyncs on the following real
+  /// instructions — the paper's overlapping-instruction hazard.
+  unsigned OverlapJunkPct = 0;
+  /// Number of read-only data islands embedded in the text segment between
+  /// function bodies. Islands carry control-flow-lookalike bait bytes
+  /// (0xe9, short jcc, 0x0f 0x84 ...) that the candidate pre-scan and the
+  /// jump selector can mistake for patchable instructions, and each ends
+  /// with a call opcode whose rel32 swallows the next function's entry
+  /// bytes (boundary desync). The first island's qword is folded into the
+  /// program's observable result, so a rewrite that patches island bytes
+  /// is caught by the run oracle rather than passing silently.
+  unsigned DataIslands = 0;
+
   /// When true, one heap write in the last function overflows its object
   /// by exactly one slot (lands in the next slot's redzone).
   bool HeapBug = false;
@@ -77,6 +93,8 @@ struct Workload {
   std::vector<uint64_t> FuncAddrs;
   /// Address of the injected out-of-bounds store (HeapBug only).
   uint64_t BugSiteAddr = 0;
+  /// Addresses of embedded text-segment data islands (DataIslands only).
+  std::vector<uint64_t> IslandAddrs;
 };
 
 /// Generates the workload binary. Deterministic per config.

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <unistd.h>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -28,8 +29,11 @@ bool objdumpAvailable() {
 /// Disassembles \p Bytes with objdump and returns the instruction start
 /// offsets it reports.
 std::vector<uint64_t> objdumpBoundaries(const std::vector<uint8_t> &Bytes) {
-  std::string Bin = ::testing::TempDir() + "/objdiff.bin";
-  std::string Txt = ::testing::TempDir() + "/objdiff.txt";
+  // Pid-qualified: ctest runs each test case as its own process, so a
+  // fixed name races when the suite runs under `ctest -j`.
+  std::string Tag = std::to_string(static_cast<long>(::getpid()));
+  std::string Bin = ::testing::TempDir() + "/objdiff." + Tag + ".bin";
+  std::string Txt = ::testing::TempDir() + "/objdiff." + Tag + ".txt";
   {
     std::ofstream Out(Bin, std::ios::binary | std::ios::trunc);
     Out.write(reinterpret_cast<const char *>(Bytes.data()),

@@ -54,6 +54,25 @@ TEST(JsonWriterTest, EscapesStrings) {
   EXPECT_EQ((*Obj)["s"].Str, "a\"b\\c\nd");
 }
 
+TEST(JsonWriterTest, EscapesControlAndNonAsciiBytesRoundTrip) {
+  // Strings are byte strings: control bytes AND bytes >= 0x80 must escape
+  // to \u00XX (raw high bytes would be invalid UTF-8 JSON), and the parser
+  // must map \u00XX back to the raw byte — a lossless round trip.
+  std::string Raw;
+  Raw.push_back('\x01');
+  Raw.push_back('\x1f');
+  Raw.push_back('\x7f'); // printable-range boundary: passes through
+  Raw.push_back('\x80');
+  Raw.push_back('\xc3');
+  Raw.push_back('\xff');
+  obs::JsonWriter W;
+  std::string Line = W.field("s", Raw).take();
+  EXPECT_EQ(Line, "{\"s\":\"\\u0001\\u001f\x7f\\u0080\\u00c3\\u00ff\"}");
+  auto Obj = obs::parseFlatObject(Line);
+  ASSERT_TRUE(Obj.has_value());
+  EXPECT_EQ((*Obj)["s"].Str, Raw);
+}
+
 TEST(JsonWriterTest, ParseRoundTrip) {
   obs::JsonWriter W;
   std::string Line =
@@ -121,6 +140,62 @@ TEST(MetricsTest, HistogramBucketsByBitWidth) {
   EXPECT_EQ(H.sum(), 0u + 1 + 2 + 3 + 4 + 255 + 256);
   EXPECT_EQ(H.min(), 0u);
   EXPECT_EQ(H.max(), 256u);
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  auto StatsFor = [](auto Fill) {
+    obs::MetricsRegistry Reg;
+    Fill(Reg.histogram("h"));
+    return Reg.snapshot().Histograms.at("h");
+  };
+  {
+    obs::HistogramStats Empty;
+    EXPECT_EQ(Empty.p50(), 0.0);
+  }
+  {
+    // One value: every quantile collapses to it (interpolation inside the
+    // power-of-two bucket is clamped to [Min, Max]).
+    obs::HistogramStats S =
+        StatsFor([](obs::Histogram &H) { H.observe(100); });
+    EXPECT_EQ(S.p50(), 100.0);
+    EXPECT_EQ(S.p99(), 100.0);
+  }
+  {
+    // 99 zeros and one outlier: p50 and p95 sit on the zeros, p99's
+    // 0-based rank 98.01 still lands in the zero bucket.
+    obs::HistogramStats S = StatsFor([](obs::Histogram &H) {
+      for (int I = 0; I != 99; ++I)
+        H.observe(0);
+      H.observe(1024);
+    });
+    EXPECT_EQ(S.p50(), 0.0);
+    EXPECT_EQ(S.p95(), 0.0);
+    EXPECT_EQ(S.p99(), 0.0);
+    EXPECT_EQ(S.quantile(1.0), 1024.0);
+  }
+  {
+    // Quantiles are monotone and bounded by [Min, Max] on a spread set.
+    obs::HistogramStats S = StatsFor([](obs::Histogram &H) {
+      for (uint64_t V = 1; V <= 1000; ++V)
+        H.observe(V);
+    });
+    EXPECT_LE(S.p50(), S.p95());
+    EXPECT_LE(S.p95(), S.p99());
+    EXPECT_GE(S.p50(), 1.0);
+    EXPECT_LE(S.p99(), 1000.0);
+    // p50's rank 499.5 lands in bucket [256,512): 256 values, seen 255.
+    double Frac = (499.5 - 255.0) / 255.0;
+    EXPECT_DOUBLE_EQ(S.p50(), 256.0 + Frac * 256.0);
+  }
+  {
+    // The snapshot JSON carries the quantiles (the embedded BENCH path).
+    obs::MetricsRegistry Reg;
+    Reg.histogram("lat").observe(7);
+    std::string J = Reg.snapshot().toJson();
+    EXPECT_NE(J.find("\"p50\":7.00"), std::string::npos);
+    EXPECT_NE(J.find("\"p95\":7.00"), std::string::npos);
+    EXPECT_NE(J.find("\"p99\":7.00"), std::string::npos);
+  }
 }
 
 TEST(MetricsTest, SnapshotIsNameSortedAndAbsentCountersReadZero) {

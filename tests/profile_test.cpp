@@ -1,0 +1,258 @@
+//===- tests/profile_test.cpp - hierarchical span profiler -----*- C++ -*-===//
+//
+// Covers the obs::Profile layer: collector nesting/aggregation semantics,
+// the three export formats, the determinism contract (the span tree's
+// structure is byte-identical across --jobs), the zero-cost guarantee
+// (profiling on vs. off produces byte-identical binaries), unwind safety
+// under fault-injection early exits, and the repair loop's grafted
+// "repair" subtree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Prescan.h"
+#include "frontend/Rewriter.h"
+#include "lowfat/LowFat.h"
+#include "obs/Profile.h"
+#include "repair/Repair.h"
+#include "support/FaultInjector.h"
+#include "workload/Gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace e9;
+using namespace e9::frontend;
+using namespace e9::workload;
+
+namespace {
+
+const obs::ProfileNode *childNamed(const obs::ProfileNode &N,
+                                   const char *Name) {
+  for (const obs::ProfileNode &C : N.Children)
+    if (C.Name == Name)
+      return &C;
+  return nullptr;
+}
+
+size_t countNodes(const obs::ProfileNode &N) {
+  size_t Total = 1;
+  for (const obs::ProfileNode &C : N.Children)
+    Total += countNodes(C);
+  return Total;
+}
+
+RewriteOptions profiledOptions(unsigned Jobs) {
+  RewriteOptions Opts;
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  Opts.withJobs(Jobs).withProfile(true);
+  return Opts;
+}
+
+Workload smallWorkload() {
+  WorkloadConfig C;
+  C.Seed = 2026;
+  C.NumFuncs = 24;
+  return generateWorkload(C);
+}
+
+std::vector<uint64_t> jumpSites(const Workload &W) {
+  return prescanSelect(W.Image, SelectorKind::Jumps);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Collector semantics
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileCollectorTest, NestingAggregatesByNameAndOrder) {
+  obs::ProfileCollector C;
+  obs::Profiler P(&C);
+  for (int I = 0; I != 3; ++I) {
+    obs::ScopedSpan Outer(P, "outer");
+    {
+      obs::ScopedSpan A(P, "a");
+      EXPECT_EQ(C.depth(), 2u);
+    }
+    obs::ScopedSpan B(P, "b");
+  }
+  EXPECT_EQ(C.depth(), 0u);
+  obs::ProfileNode Root = C.takeTree(1.0);
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const obs::ProfileNode &Outer = Root.Children[0];
+  EXPECT_EQ(Outer.Name, "outer");
+  EXPECT_EQ(Outer.Count, 3u);
+  // Children keep first-visit order and aggregate per name.
+  ASSERT_EQ(Outer.Children.size(), 2u);
+  EXPECT_EQ(Outer.Children[0].Name, "a");
+  EXPECT_EQ(Outer.Children[0].Count, 3u);
+  EXPECT_EQ(Outer.Children[1].Name, "b");
+  EXPECT_EQ(Outer.Children[1].Count, 3u);
+  // Three outer spans, each with two inner spans -> 9 raw events.
+  EXPECT_EQ(C.takeEvents().size(), 9u);
+}
+
+TEST(ProfileCollectorTest, DisabledProfilerIsANoOp) {
+  obs::Profiler Off; // null collector
+  EXPECT_FALSE(Off.enabled());
+  // Must not crash or allocate anything observable.
+  obs::ScopedSpan S1(Off, "phantom");
+  obs::ScopedSpan S2(Off, "phantom2");
+}
+
+TEST(ProfileCollectorTest, GraftAdoptsSubtreeUnderOpenSpan) {
+  obs::ProfileCollector Shard(/*Shard=*/3);
+  {
+    obs::Profiler P(&Shard);
+    obs::ScopedSpan Work(P, "work");
+  }
+  obs::ProfileNode Sub = Shard.takeTree(5.0);
+
+  obs::ProfileCollector Main;
+  obs::Profiler P(&Main);
+  {
+    obs::ScopedSpan Patch(P, "patch");
+    Main.graft("shard", 3, std::move(Sub), Shard.takeEvents(), 5.0);
+  }
+  obs::ProfileNode Root = Main.takeTree(10.0);
+  const obs::ProfileNode *Patch = childNamed(Root, "patch");
+  ASSERT_NE(Patch, nullptr);
+  const obs::ProfileNode *Grafted = childNamed(*Patch, "shard");
+  ASSERT_NE(Grafted, nullptr);
+  EXPECT_EQ(Grafted->Shard, 3);
+  EXPECT_EQ(Grafted->TotalMs, 5.0);
+  ASSERT_EQ(Grafted->Children.size(), 1u);
+  EXPECT_EQ(Grafted->Children[0].Name, "work");
+  EXPECT_EQ(Grafted->Children[0].Shard, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Export formats
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileExportTest, JsonCollapsedAndChromeAgree) {
+  obs::ProfileCollector C(/*Shard=*/1);
+  obs::Profiler P(&C);
+  {
+    obs::ScopedSpan A(P, "alpha");
+    obs::ScopedSpan B(P, "beta");
+  }
+  std::vector<obs::SpanEvent> Events = C.takeEvents();
+  obs::ProfileNode Root = C.takeTree(2.0);
+  Root.Name = "rewrite";
+
+  std::string Json = obs::profileToJson(Root);
+  EXPECT_NE(Json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(Json.find("\"shard\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"total_ms\":"), std::string::npos);
+  // Structure-only rendering drops exactly the wall-clock fields.
+  std::string Bare = obs::profileToJson(Root, /*IncludeTimes=*/false);
+  EXPECT_EQ(Bare.find("_ms\":"), std::string::npos);
+  EXPECT_NE(Bare.find("\"count\":"), std::string::npos);
+
+  std::string Folded = obs::profileToCollapsed(Root);
+  EXPECT_NE(Folded.find("rewrite[1];alpha[1];beta[1] "), std::string::npos);
+  // One line per tree node.
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(Folded.begin(), Folded.end(), '\n')),
+            countNodes(Root));
+
+  std::string Chrome = obs::profileToChromeTrace(Events);
+  EXPECT_NE(Chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Chrome.find("\"name\":\"beta\""), std::string::npos);
+  // Shard 1 renders as tid 2 (tid 0 is the orchestrator).
+  EXPECT_NE(Chrome.find("\"tid\":2"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration: determinism, zero cost, unwind, repair graft
+//===----------------------------------------------------------------------===//
+
+TEST(ProfilePipelineTest, TreeStructureIdenticalAcrossJobs) {
+  Workload W = smallWorkload();
+  std::vector<uint64_t> Locs = jumpSites(W);
+
+  auto A = rewrite(W.Image, Locs, profiledOptions(1));
+  ASSERT_TRUE(A.isOk()) << A.reason();
+  std::string Ref = obs::profileToJson(A->Profile.Tree, false);
+  EXPECT_NE(Ref.find("\"name\":\"patch\""), std::string::npos);
+  EXPECT_NE(Ref.find("\"name\":\"shard\""), std::string::npos);
+  EXPECT_NE(Ref.find("\"name\":\"tactic.direct\""), std::string::npos);
+
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    auto B = rewrite(W.Image, Locs, profiledOptions(Jobs));
+    ASSERT_TRUE(B.isOk()) << B.reason();
+    EXPECT_EQ(obs::profileToJson(B->Profile.Tree, false), Ref)
+        << "profile tree diverged at jobs=" << Jobs;
+  }
+}
+
+TEST(ProfilePipelineTest, ProfilingDoesNotPerturbOutputBytes) {
+  Workload W = smallWorkload();
+  std::vector<uint64_t> Locs = jumpSites(W);
+
+  RewriteOptions Plain;
+  Plain.ExtraReserved.push_back(lowfat::heapReservation());
+  Plain.withJobs(4);
+  auto Off = rewrite(W.Image, Locs, Plain);
+  auto On = rewrite(W.Image, Locs, profiledOptions(4));
+  ASSERT_TRUE(Off.isOk() && On.isOk());
+  EXPECT_EQ(elf::write(Off->Rewritten), elf::write(On->Rewritten));
+  // And the disabled path really is disabled: no tree, no events.
+  EXPECT_TRUE(Off->Profile.Tree.Children.empty());
+  EXPECT_TRUE(Off->Profile.Events.empty());
+  EXPECT_FALSE(On->Profile.Tree.Children.empty());
+  EXPECT_FALSE(On->Profile.Events.empty());
+}
+
+TEST(ProfilePipelineTest, EarlyErrorExitsUnwindCleanly) {
+  // A mid-pipeline fault-injection failure returns through several open
+  // ScopedSpans; the collector must unwind without tripping assertions
+  // and the next rewrite in the same process must profile normally.
+  Workload W = smallWorkload();
+  std::vector<uint64_t> Locs = jumpSites(W);
+
+  // Hard failure: disassembly faults abort the whole rewrite.
+  FaultInjector::instance().arm("frontend.disasm.decode");
+  auto Failed = rewrite(W.Image, Locs, profiledOptions(2));
+  FaultInjector::instance().disarm();
+  EXPECT_FALSE(Failed.isOk());
+
+  // Soft failure: allocation faults fail individual sites; either outcome
+  // must leave the span stack balanced.
+  FaultInjector::instance().arm("core.alloc.allocate");
+  rewrite(W.Image, Locs, profiledOptions(2));
+  FaultInjector::instance().disarm();
+
+  auto Ok = rewrite(W.Image, Locs, profiledOptions(2));
+  ASSERT_TRUE(Ok.isOk());
+  EXPECT_FALSE(Ok->Profile.Tree.Children.empty());
+}
+
+TEST(ProfilePipelineTest, RepairGraftsItsOwnSubtree) {
+  WorkloadConfig C;
+  C.Seed = 7;
+  C.NumFuncs = 8;
+  C.MainIters = 2;
+  Workload W = generateWorkload(C);
+  std::vector<uint64_t> Locs = jumpSites(W);
+
+  RewriteOptions Opts = profiledOptions(1);
+  Opts.Repair.Enabled = true;
+  auto R = repair::selfVerifyingRewrite(W.Image, Locs, Opts);
+  ASSERT_TRUE(R.isOk()) << R.reason();
+  EXPECT_TRUE(R->Report.Converged);
+
+  const obs::ProfileNode &Root = R->Rewrite.Profile.Tree;
+  const obs::ProfileNode *Rep = childNamed(Root, "repair");
+  ASSERT_NE(Rep, nullptr);
+  EXPECT_NE(childNamed(*Rep, "reference_run"), nullptr);
+  const obs::ProfileNode *Round = childNamed(*Rep, "round");
+  ASSERT_NE(Round, nullptr);
+  EXPECT_NE(childNamed(*Round, "rewrite"), nullptr);
+  EXPECT_NE(childNamed(*Round, "candidate_run"), nullptr);
+  // The rewrite phases still profile alongside the grafted subtree.
+  EXPECT_NE(childNamed(Root, "patch"), nullptr);
+}

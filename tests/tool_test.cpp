@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <unistd.h>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -19,7 +20,10 @@ namespace {
 #endif
 
 std::string tmpPath(const char *Name) {
-  return ::testing::TempDir() + "/" + Name;
+  // Pid-qualified: ctest runs each test case as its own process, so
+  // fixed names race across cases when the suite runs under `ctest -j`.
+  return ::testing::TempDir() + "/" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + Name;
 }
 
 /// Runs e9tool with \p Args, capturing stdout; returns the exit code.

@@ -19,8 +19,13 @@
 # (-fno-sanitize-recover=all), so a clean exit means: no silent memory
 # errors on the error paths, no data races in the parallel pipeline,
 # and no nondeterminism in the observability, protocol or repair layers.
-# A final perf-smoke gate runs bench_micro (min-of-3) against the
-# committed BENCH_micro.baseline.json and fails on any >25% regression.
+# A perf-smoke gate runs bench_micro (median-of-5) against the committed
+# BENCH_micro.baseline.json and fails on any >25% normalized regression.
+# Last, the observatory gate: `--profile` span trees must be byte-identical
+# across --jobs once the wall-clock fields are stripped, profiling must
+# never perturb the output binary, the Chrome trace export must be
+# well-formed, and the adversarial robustness corpus must not regress
+# against the committed BENCH_robustness.json scoreboard.
 #
 # Usage: tools/check.sh [jobs]
 set -eu
@@ -28,22 +33,22 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== [1/10] configure + build (default flags) =="
+echo "== [1/11] configure + build (default flags) =="
 cmake -S "$ROOT" -B "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 
-echo "== [2/10] full test suite =="
+echo "== [2/11] full test suite =="
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   || ctest --test-dir "$ROOT/build" --output-on-failure --rerun-failed
 
-echo "== [3/10] configure + build (ASan + UBSan) =="
+echo "== [3/11] configure + build (ASan + UBSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=address >/dev/null
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target \
   verifier_test fault_injection_test elf_test core_test support_test \
   obs_test api_test repair_test e9tool
 
-echo "== [4/10] robustness sweeps under ASan + UBSan =="
+echo "== [4/11] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/support_test"
 "$ROOT/build-asan/tests/core_test"
 "$ROOT/build-asan/tests/obs_test"
@@ -52,18 +57,18 @@ echo "== [4/10] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/verifier_test"
 "$ROOT/build-asan/tests/fault_injection_test"
 
-echo "== [5/10] configure + build (TSan) =="
+echo "== [5/11] configure + build (TSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
   repair_test
 
-echo "== [6/10] sharded patcher + repair loop under TSan =="
+echo "== [6/11] sharded patcher + repair loop under TSan =="
 "$ROOT/build-tsan/tests/parallel_test"
 "$ROOT/build-tsan/tests/repair_test" \
   --gtest_filter='Repair.RepairedOutputByteIdenticalAcrossJobs'
 
-echo "== [7/10] trace determinism + schema gate (e9tool end-to-end) =="
+echo "== [7/11] trace determinism + schema gate (e9tool end-to-end) =="
 E9="$ROOT/build/tools/e9tool"
 TDIR="$(mktemp -d)"
 trap 'rm -rf "$TDIR"' EXIT
@@ -78,7 +83,7 @@ cmp "$TDIR/out1.elf" "$TDIR/out4.elf"   # binary identical across --jobs
 cmp "$TDIR/out1.elf" "$TDIR/plain.elf"  # tracing never perturbs output
 "$E9" stats "$TDIR/t4.jsonl" >/dev/null # schema-valid, summary coherent
 
-echo "== [8/10] batch protocol gate: apply == rewrite, under ASan =="
+echo "== [8/11] batch protocol gate: apply == rewrite, under ASan =="
 E9A="$ROOT/build-asan/tools/e9tool"
 cat > "$TDIR/apply.jsonl" <<EOF
 {"type":"binary","path":"$TDIR/w.elf"}
@@ -99,7 +104,7 @@ if printf '{"type":"frobnicate"}\n' | "$E9A" serve --stdin \
 fi
 grep -q '"type":"error"' "$TDIR/serve.jsonl"
 
-echo "== [9/10] repair-loop gate: chaos convergence under ASan =="
+echo "== [9/11] repair-loop gate: chaos convergence under ASan =="
 "$E9A" gen "$TDIR/chaos.elf" --seed=7 --funcs=24 >/dev/null
 "$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos1.elf" --self-verify \
   --chaos=11 --jobs=1 --trace="$TDIR/chaos.jsonl" >/dev/null
@@ -116,21 +121,50 @@ if "$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos0.elf" --self-verify \
 fi
 test ! -f "$TDIR/chaos0.elf"
 
-echo "== [10/10] perf smoke: bench_micro vs committed baseline =="
-# Min-of-3 per benchmark against BENCH_micro.baseline.json; >25% slower on
-# any benchmark fails the gate (see tools/perf_smoke.py). The arena, mmap
-# and prescan hot paths all have micro benchmarks, so a pathological
-# regression in the raw-speed memory path is caught here even when the
-# functional suites stay green. Skipped gracefully when python3 is absent.
+echo "== [10/11] perf smoke: bench_micro vs committed baseline =="
+# Median-of-5 per benchmark against BENCH_micro.baseline.json; >25% slower
+# on any benchmark fails the gate, after a suite-wide machine-noise
+# normalization (see tools/perf_smoke.py). The arena, mmap and prescan hot
+# paths all have micro benchmarks, so a pathological regression in the
+# raw-speed memory path is caught here even when the functional suites
+# stay green. Skipped gracefully when python3 is absent.
 if command -v python3 >/dev/null 2>&1; then
   cmake --build "$ROOT/build" -j "$JOBS" --target bench_micro
-  "$ROOT/build/bench/bench_micro" --benchmark_repetitions=3 \
+  "$ROOT/build/bench/bench_micro" --benchmark_repetitions=5 \
     --benchmark_out="$TDIR/micro.json" --benchmark_out_format=json \
     >/dev/null
   python3 "$ROOT/tools/perf_smoke.py" \
-    "$ROOT/BENCH_micro.baseline.json" "$TDIR/micro.json"
+    "$ROOT/BENCH_micro.baseline.json" "$TDIR/micro.json" \
+    --emit-json "$TDIR/perf_smoke.json"
+  "$E9" stats "$TDIR/perf_smoke.json" --compare \
+    "$TDIR/perf_smoke.json" >/dev/null # record is scoreboard-consumable
 else
   echo "check.sh: python3 not found; skipping perf smoke"
 fi
+
+echo "== [11/11] observatory gate: profile determinism + corpus scoreboard =="
+# The span tree's structure (names, shards, counts, child order) is a pure
+# function of (input, options); only the adjacent total_ms/self_ms pair is
+# wall-clock. Strip that pair and the profile must be byte-identical for
+# any --jobs value, and profiling must never perturb the output binary.
+"$E9" rewrite "$TDIR/w.elf" "$TDIR/p1.elf" --strict --jobs=1 \
+  --profile="$TDIR/prof1.json" >/dev/null
+"$E9" rewrite "$TDIR/w.elf" "$TDIR/p4.elf" --strict --jobs=4 \
+  --profile="$TDIR/prof4.json" --profile-chrome="$TDIR/chrome.json" \
+  --profile-folded="$TDIR/folded.txt" >/dev/null
+SCRUB='s/"total_ms":[0-9.]*,"self_ms":[0-9.]*,//g'
+sed -E "$SCRUB" "$TDIR/prof1.json" > "$TDIR/prof1.scrub"
+sed -E "$SCRUB" "$TDIR/prof4.json" > "$TDIR/prof4.scrub"
+cmp "$TDIR/prof1.scrub" "$TDIR/prof4.scrub" # tree identical across --jobs
+cmp "$TDIR/p1.elf" "$TDIR/out1.elf"         # profiling never perturbs output
+grep -q '"traceEvents":\[' "$TDIR/chrome.json"  # Perfetto-loadable shape
+grep -q 'tactic\.' "$TDIR/folded.txt"           # per-tactic attribution
+# Robustness corpus: rerun the adversarial configs and compare the fresh
+# scoreboard against the committed BENCH_robustness.json. Exit 3 from
+# `stats --compare` means a tracked metric regressed (threshold 0: any
+# adversarial config converging worse than the committed record fails).
+"$E9" corpus "$TDIR/robust.json" >/dev/null
+"$E9" stats --compare "$ROOT/BENCH_robustness.json" "$TDIR/robust.json" \
+  --threshold=0
 
 echo "check.sh: all gates passed"

@@ -11,10 +11,14 @@
 //   e9tool info <elf>
 //   e9tool disasm <elf> [--limit=N]
 //   e9tool rewrite <in> <out> [--select=...] [--strict] [--jobs=N]
-//          [--trace=FILE] [--metrics=FILE] [--self-verify] ...
+//          [--trace=FILE] [--metrics=FILE] [--profile=FILE]
+//          [--profile-chrome=FILE] [--profile-folded=FILE]
+//          [--self-verify] ...
 //   e9tool repair <in> <out>   (rewrite with --self-verify implied)
 //   e9tool run <elf> [--lowfat] [--max-insns=N]
-//   e9tool stats <trace.jsonl>
+//   e9tool stats <trace.jsonl>          ("-" = stdin)
+//   e9tool stats --compare <A> <B> [--threshold=PCT]
+//   e9tool corpus <out.json> [--jobs=N]
 //   e9tool apply <script.jsonl> [--jobs=N] [--responses=FILE]
 //   e9tool serve --stdin [--jobs=N]
 //
@@ -28,8 +32,10 @@
 #include "lowfat/LowFat.h"
 #include "obs/JsonWriter.h"
 #include "repair/Repair.h"
+#include "obs/Profile.h"
 #include "support/FaultInjector.h"
 #include "support/Format.h"
+#include "support/Timing.h"
 #include "vm/Hooks.h"
 #include "workload/Gen.h"
 #include "workload/Run.h"
@@ -38,6 +44,7 @@
 #include <cassert>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,7 +52,9 @@
 #include <iostream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace e9;
@@ -114,6 +123,12 @@ constexpr OptSpec RewriteOpts[] = {
     {"timings", OptKind::Flag, nullptr, "print per-phase wall times"},
     {"trace", OptKind::Str, "FILE", "write the JSONL tactic trace to FILE"},
     {"metrics", OptKind::Str, "FILE", "write the metrics snapshot to FILE"},
+    {"profile", OptKind::Str, "FILE",
+     "write the hierarchical span-tree profile JSON to FILE (\"-\" = stdout)"},
+    {"profile-chrome", OptKind::Str, "FILE",
+     "write a Chrome trace-event file (load in Perfetto / about:tracing)"},
+    {"profile-folded", OptKind::Str, "FILE",
+     "write collapsed stacks (pipe to flamegraph.pl)"},
     {"trace-timings", OptKind::Flag, nullptr,
      "include wall-clock span events in the trace (nondeterministic)"},
     {"self-verify", OptKind::Flag, nullptr,
@@ -128,6 +143,18 @@ constexpr OptSpec RewriteOpts[] = {
      "self-verify: candidate step budget (0 = auto from reference run)"},
     {"chaos", OptKind::Int, "N",
      "inject faulty trampolines at N executed sites (tests --self-verify)"},
+};
+
+constexpr OptSpec StatsOpts[] = {
+    {"compare", OptKind::Flag, nullptr,
+     "diff two metrics/BENCH JSON records: stats --compare <A> <B>"},
+    {"threshold", OptKind::Str, "PCT",
+     "--compare: tolerated regression percent (default 0)"},
+};
+
+constexpr OptSpec CorpusOpts[] = {
+    {"jobs", OptKind::Int, "N",
+     "patcher worker threads for the corpus rewrites (default 1)"},
 };
 
 constexpr OptSpec RunOpts[] = {
@@ -164,7 +191,12 @@ constexpr CommandSpec Commands[] = {
      std::size(RewriteOpts)},
     {"run", "<elf>", 1, "execute under the VM", RunOpts, std::size(RunOpts)},
     {"stats", "<trace.jsonl>", 1,
-     "validate a trace and print a Table-1-style summary", nullptr, 0},
+     "validate a trace and print a Table-1-style summary; --compare diffs "
+     "two metric records",
+     StatsOpts, std::size(StatsOpts)},
+    {"corpus", "<out.json>", 1,
+     "run the adversarial robustness corpus, write a BENCH record",
+     CorpusOpts, std::size(CorpusOpts)},
     {"apply", "<script.jsonl>", 1,
      "run a batch of patch-request jobs from a script", ApplyOpts,
      std::size(ApplyOpts)},
@@ -385,6 +417,21 @@ bool writeLines(const std::string &Path,
   return static_cast<bool>(F);
 }
 
+/// Writes \p Text verbatim to \p Path ("-" = stdout).
+bool writeText(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return true;
+  }
+  std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  F << Text;
+  return static_cast<bool>(F);
+}
+
 bool parseCeilingOpt(const std::string &V, core::TacticCeiling &Out) {
   if (V == "full")
     Out = core::TacticCeiling::Full;
@@ -410,6 +457,7 @@ int cmdRewrite(const Args &A, bool ForceRepair) {
 
   std::string Select = A.get("select", "jumps");
   std::vector<uint64_t> Locs;
+  Stopwatch SelectSW;
   if (Select == "jumps")
     Locs = frontend::prescanSelect(*Img, frontend::SelectorKind::Jumps);
   else if (Select == "heapwrites")
@@ -420,6 +468,7 @@ int cmdRewrite(const Args &A, bool ForceRepair) {
     std::fprintf(stderr, "error: unknown --select=%s\n", Select.c_str());
     return 2;
   }
+  double SelectMs = SelectSW.elapsedMs();
 
   frontend::RewriteOptions Opts;
   std::string Tramp = A.get("tramp", "empty");
@@ -449,8 +498,14 @@ int cmdRewrite(const Args &A, bool ForceRepair) {
 
   std::string TracePath = A.get("trace");
   std::string MetricsPath = A.get("metrics");
+  std::string ProfilePath = A.get("profile");
+  std::string ChromePath = A.get("profile-chrome");
+  std::string FoldedPath = A.get("profile-folded");
+  bool WantProfile =
+      !ProfilePath.empty() || !ChromePath.empty() || !FoldedPath.empty();
   Opts.withTrace(!TracePath.empty())
-      .withTraceTimings(A.has("trace-timings"));
+      .withTraceTimings(A.has("trace-timings"))
+      .withProfile(WantProfile);
   if (Opts.Trace.Timings && TracePath.empty()) {
     std::fprintf(stderr, "error: --trace-timings requires --trace=FILE\n");
     return 2;
@@ -523,12 +578,38 @@ int cmdRewrite(const Args &A, bool ForceRepair) {
     }
     Rewritten = R.take();
   }
+  if (WantProfile) {
+    // prescanSelect runs before rewrite() creates its collector, so the
+    // tool grafts the selection pass as the tree's first child. Position
+    // and shape are deterministic; only the ms values are wall-clock.
+    obs::ProfileNode Sel;
+    Sel.Name = "select";
+    Sel.Count = 1;
+    Sel.TotalMs = Sel.SelfMs = SelectMs;
+    Rewritten.Profile.Tree.Children.insert(
+        Rewritten.Profile.Tree.Children.begin(), std::move(Sel));
+    obs::SpanEvent SE;
+    SE.Name = "select";
+    SE.DurUs = SelectMs * 1000.0;
+    Rewritten.Profile.Events.insert(Rewritten.Profile.Events.begin(),
+                                    std::move(SE));
+  }
   const frontend::RewriteOutput *Out = &Rewritten;
   if (Status S = elf::writeFile(Out->Rewritten, A.positional()[1]); !S) {
     std::fprintf(stderr, "error: %s\n", S.reason().c_str());
     return 1;
   }
   if (!TracePath.empty() && !writeLines(TracePath, Out->Trace))
+    return 1;
+  if (!ProfilePath.empty() &&
+      !writeText(ProfilePath, obs::profileToJson(Out->Profile.Tree) + "\n"))
+    return 1;
+  if (!ChromePath.empty() &&
+      !writeText(ChromePath,
+                 obs::profileToChromeTrace(Out->Profile.Events) + "\n"))
+    return 1;
+  if (!FoldedPath.empty() &&
+      !writeText(FoldedPath, obs::profileToCollapsed(Out->Profile.Tree)))
     return 1;
   if (!MetricsPath.empty()) {
     std::vector<std::string> MetricLines = {Out->Metrics.toJson()};
@@ -769,13 +850,287 @@ std::string validateEvent(const std::map<std::string, obs::JsonValue> &Obj) {
   return "";
 }
 
-int cmdStats(const Args &A) {
-  std::ifstream F(A.positional()[0], std::ios::binary);
-  if (!F) {
-    std::fprintf(stderr, "error: cannot read %s\n",
-                 A.positional()[0].c_str());
-    return 1;
+//===----------------------------------------------------------------------===//
+// stats --compare: the cross-PR regression scoreboard
+//===----------------------------------------------------------------------===//
+
+/// Flattens every numeric leaf of arbitrary JSON text into dotted paths
+/// ({"a":{"b":[1,2]}} -> a.b.0, a.b.1), booleans as 0/1. Multiple
+/// top-level values (JSONL metric files) get "#N." prefixes past the
+/// first. Strings and nulls are skipped: the scoreboard compares numbers.
+class JsonFlattener {
+public:
+  /// \p Text must outlive the call and be NUL-terminated (std::string).
+  bool run(const std::string &Text, std::map<std::string, double> &Values) {
+    P = Text.c_str();
+    End = P + Text.size();
+    Out = &Values;
+    size_t N = 0;
+    skipWs();
+    while (P != End) {
+      if (!value(N == 0 ? "" : format("#%zu", N)))
+        return false;
+      ++N;
+      skipWs();
+    }
+    return N > 0;
   }
+
+private:
+  void skipWs() {
+    while (P != End &&
+           (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r'))
+      ++P;
+  }
+  static std::string join(const std::string &A, const std::string &B) {
+    return A.empty() ? B : A + "." + B;
+  }
+  bool lit(const char *Word, size_t Len) {
+    if (static_cast<size_t>(End - P) < Len ||
+        std::strncmp(P, Word, Len) != 0)
+      return false;
+    P += Len;
+    return true;
+  }
+  bool value(const std::string &Path) {
+    skipWs();
+    if (P == End)
+      return false;
+    switch (*P) {
+    case '{':
+      return object(Path);
+    case '[':
+      return array(Path);
+    case '"': {
+      std::string Skip;
+      return quoted(Skip);
+    }
+    case 't':
+      if (!lit("true", 4))
+        return false;
+      (*Out)[Path] = 1;
+      return true;
+    case 'f':
+      if (!lit("false", 5))
+        return false;
+      (*Out)[Path] = 0;
+      return true;
+    case 'n':
+      return lit("null", 4);
+    default: {
+      char *NumEnd = nullptr;
+      double V = std::strtod(P, &NumEnd);
+      if (NumEnd == P || NumEnd > End)
+        return false;
+      P = NumEnd;
+      (*Out)[Path] = V;
+      return true;
+    }
+    }
+  }
+  bool object(const std::string &Path) {
+    ++P; // '{'
+    skipWs();
+    if (P != End && *P == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (P == End || *P != '"' || !quoted(Key))
+        return false;
+      skipWs();
+      if (P == End || *P != ':')
+        return false;
+      ++P;
+      if (!value(join(Path, Key)))
+        return false;
+      skipWs();
+      if (P == End)
+        return false;
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == '}') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array(const std::string &Path) {
+    ++P; // '['
+    skipWs();
+    if (P != End && *P == ']') {
+      ++P;
+      return true;
+    }
+    for (size_t I = 0;; ++I) {
+      if (!value(join(Path, format("%zu", I))))
+        return false;
+      skipWs();
+      if (P == End)
+        return false;
+      if (*P == ',') {
+        ++P;
+        continue;
+      }
+      if (*P == ']') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+  /// Consumes a quoted string; escape contents are irrelevant here, so
+  /// backslash just shields the next byte from the closing-quote check.
+  bool quoted(std::string &S) {
+    ++P; // '"'
+    while (P != End && *P != '"') {
+      if (*P == '\\') {
+        ++P;
+        if (P == End)
+          return false;
+      }
+      S.push_back(*P);
+      ++P;
+    }
+    if (P == End)
+      return false;
+    ++P;
+    return true;
+  }
+
+  const char *P = nullptr;
+  const char *End = nullptr;
+  std::map<std::string, double> *Out = nullptr;
+};
+
+/// Which way "better" points for one metric, keyed off the leaf name.
+/// Neutral metrics are reported but never count as regressions (a changed
+/// site count is information, not a verdict).
+enum class MetricDir { HigherBetter, LowerBetter, Neutral };
+
+MetricDir metricDirFor(const std::string &Path) {
+  size_t Dot = Path.rfind('.');
+  std::string Leaf = Dot == std::string::npos ? Path : Path.substr(Dot + 1);
+  auto Has = [&](const char *S) {
+    return Leaf.find(S) != std::string::npos;
+  };
+  // Lower-better first: "revoked" contains "ok" and must not be
+  // misclassified as higher-better.
+  if (Has("ms") || Has("_ns") || Has("_us") || Has("time") || Has("bytes") ||
+      Has("fail") || Has("revoked") || Has("violation") || Has("finding"))
+    return MetricDir::LowerBetter;
+  if (Has("pct") || Has("rate") || Has("pass") || Has("ok") ||
+      Has("succ") || Has("converged"))
+    return MetricDir::HigherBetter;
+  return MetricDir::Neutral;
+}
+
+bool readAllText(const std::string &Path, std::string &Out) {
+  std::ostringstream SS;
+  if (Path == "-") {
+    SS << std::cin.rdbuf();
+  } else {
+    std::ifstream F(Path, std::ios::binary);
+    if (!F) {
+      std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+      return false;
+    }
+    SS << F.rdbuf();
+  }
+  Out = SS.str();
+  return true;
+}
+
+int cmdStatsCompare(const Args &A) {
+  if (A.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "error: --compare needs two records: e9tool stats "
+                 "--compare <A.json> <B.json>\n");
+    return 2;
+  }
+  std::string TStr = A.get("threshold", "0");
+  char *TEnd = nullptr;
+  double Threshold = std::strtod(TStr.c_str(), &TEnd);
+  if (TEnd != TStr.c_str() + TStr.size() || Threshold < 0) {
+    std::fprintf(stderr, "error: --threshold expects a non-negative "
+                         "percent, got \"%s\"\n",
+                 TStr.c_str());
+    return 2;
+  }
+
+  const std::string &PathA = A.positional()[0];
+  const std::string &PathB = A.positional()[1];
+  std::map<std::string, double> Base, New;
+  const std::pair<const std::string *, std::map<std::string, double> *>
+      Sides[] = {{&PathA, &Base}, {&PathB, &New}};
+  for (auto [Path, Into] : Sides) {
+    std::string Text;
+    if (!readAllText(*Path, Text))
+      return 1;
+    if (!JsonFlattener().run(Text, *Into)) {
+      std::fprintf(stderr, "error: %s: not parseable as JSON record(s)\n",
+                   Path->c_str());
+      return 1;
+    }
+  }
+
+  std::printf("comparing %s (baseline) -> %s, threshold %.2f%%\n",
+              PathA.c_str(), PathB.c_str(), Threshold);
+  size_t Regressions = 0, Improvements = 0, Changed = 0, OnlyB = 0;
+  std::vector<std::string> OnlyA;
+  for (const auto &[K, VA] : Base) {
+    auto It = New.find(K);
+    if (It == New.end()) {
+      OnlyA.push_back(K);
+      continue;
+    }
+    double VB = It->second;
+    if (VA == VB)
+      continue;
+    ++Changed;
+    double Pct = VA != 0 ? (VB - VA) / std::fabs(VA) * 100.0
+                         : (VB > VA ? 100.0 : -100.0);
+    MetricDir D = metricDirFor(K);
+    bool Worse = (D == MetricDir::HigherBetter && Pct < -Threshold) ||
+                 (D == MetricDir::LowerBetter && Pct > Threshold);
+    bool Better = (D == MetricDir::HigherBetter && Pct > Threshold) ||
+                  (D == MetricDir::LowerBetter && Pct < -Threshold);
+    Regressions += Worse;
+    Improvements += Better;
+    std::printf("  %-44s %12.6g -> %12.6g  %+9.2f%%  %s\n", K.c_str(), VA,
+                VB, Pct,
+                Worse ? "REGRESSION" : Better ? "improved" : "changed");
+  }
+  for (const auto &KV : New)
+    OnlyB += Base.count(KV.first) == 0;
+  for (const std::string &K : OnlyA)
+    std::printf("  %-44s (missing from %s)\n", K.c_str(), PathB.c_str());
+  std::printf("%zu metric(s) changed (%zu improved, %zu regressed), "
+              "%zu dropped, %zu new\n",
+              Changed, Improvements, Regressions, OnlyA.size(), OnlyB);
+  return Regressions ? 3 : 0;
+}
+
+int cmdStats(const Args &A) {
+  if (A.has("compare"))
+    return cmdStatsCompare(A);
+  const std::string &Path = A.positional()[0];
+  const char *Name = Path == "-" ? "<stdin>" : Path.c_str();
+  std::ifstream FS;
+  if (Path != "-") {
+    FS.open(Path, std::ios::binary);
+    if (!FS) {
+      std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+      return 1;
+    }
+  }
+  std::istream &F = Path == "-" ? static_cast<std::istream &>(std::cin)
+                                : static_cast<std::istream &>(FS);
 
   // Final tactic per site, assembled from "site" events with "rescue"
   // events applied on top (a rescued victim's failure is superseded by the
@@ -795,14 +1150,14 @@ int cmdStats(const Args &A) {
       continue;
     auto Obj = obs::parseFlatObject(Line);
     if (!Obj.has_value()) {
-      std::fprintf(stderr, "error: %s:%zu: malformed JSONL line\n",
-                   A.positional()[0].c_str(), LineNo);
+      std::fprintf(stderr, "error: %s:%zu: malformed JSONL line\n", Name,
+                   LineNo);
       return 1;
     }
     std::string Violation = validateEvent(*Obj);
     if (!Violation.empty()) {
-      std::fprintf(stderr, "error: %s:%zu: schema violation: %s\n",
-                   A.positional()[0].c_str(), LineNo, Violation.c_str());
+      std::fprintf(stderr, "error: %s:%zu: schema violation: %s\n", Name,
+                   LineNo, Violation.c_str());
       return 1;
     }
     ++Lines;
@@ -825,7 +1180,7 @@ int cmdStats(const Args &A) {
       if (SiteTactic["failed"] == 0) {
         std::fprintf(stderr,
                      "error: %s:%zu: rescue event without a failed site\n",
-                     A.positional()[0].c_str(), LineNo);
+                     Name, LineNo);
         return 1;
       }
       --SiteTactic["failed"];
@@ -886,9 +1241,8 @@ int cmdStats(const Args &A) {
   };
 
   std::printf("%s: %llu events, %llu sites, %llu shards (%llu redone)\n",
-              A.positional()[0].c_str(), (unsigned long long)Lines,
-              (unsigned long long)Sites, (unsigned long long)Shards,
-              (unsigned long long)Redone);
+              Name, (unsigned long long)Lines, (unsigned long long)Sites,
+              (unsigned long long)Shards, (unsigned long long)Redone);
   std::printf("%8s %10s %8s\n", "tactic", "sites", "%");
   for (const char *T : {"B1", "B2", "T1", "T2", "T3", "B0", "failed"})
     std::printf("%8s %10llu %7.2f%%\n", T, (unsigned long long)Count(T),
@@ -916,6 +1270,149 @@ int cmdStats(const Args &A) {
                 (unsigned long long)VerifyFindings);
   if (!SawSummary)
     std::printf("(no trailing summary event)\n");
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// corpus: adversarial robustness sweep
+//===----------------------------------------------------------------------===//
+
+struct CorpusEntry {
+  const char *Name;
+  workload::WorkloadConfig Config;
+};
+
+/// The adversarial generator configs the robustness record covers. All
+/// deterministic (fixed seeds), so the emitted BENCH record is committable
+/// and `stats --compare` against it is a meaningful gate.
+std::vector<CorpusEntry> corpusConfigs() {
+  workload::WorkloadConfig Base;
+  Base.Name = "corpus";
+  Base.Seed = 11;
+  Base.NumFuncs = 8;
+  Base.BlocksPerFunc = 4;
+  Base.MainIters = 3;
+  std::vector<CorpusEntry> Out;
+  Out.push_back({"baseline", Base});
+  {
+    auto C = Base;
+    C.ShortInsnPct = 45; // dense 1-2 byte instructions: T3/B0 pressure
+    Out.push_back({"dense-short", C});
+  }
+  {
+    auto C = Base;
+    C.DataIslands = 6; // data-in-text: pre-scan bait + boundary desync
+    Out.push_back({"data-in-text", C});
+  }
+  {
+    auto C = Base;
+    C.OverlapJunkPct = 12; // overlapping-instruction hazard
+    Out.push_back({"overlap-junk", C});
+  }
+  {
+    auto C = Base;
+    C.ShortInsnPct = 30;
+    C.DataIslands = 5;
+    C.OverlapJunkPct = 8;
+    Out.push_back({"combined", C});
+  }
+  return Out;
+}
+
+int cmdCorpus(const Args &A) {
+  unsigned Jobs = static_cast<unsigned>(A.getInt("jobs", 1));
+  std::vector<std::string> Rows;
+  size_t Passes = 0;
+  std::printf("%-14s %6s %9s %7s %8s %7s %8s %5s\n", "config", "sites",
+              "succ_pct", "verify", "run", "rounds", "revoked", "pass");
+  for (const CorpusEntry &E : corpusConfigs()) {
+    workload::Workload W = workload::generateWorkload(E.Config);
+    workload::RunOutcome Orig = workload::runImage(W.Image);
+    if (!Orig.ok()) {
+      std::fprintf(stderr, "error: corpus %s: original does not run: %s\n",
+                   E.Name, Orig.Result.Error.c_str());
+      return 1;
+    }
+    std::vector<uint64_t> Locs =
+        frontend::prescanSelect(W.Image, frontend::SelectorKind::Jumps);
+
+    frontend::RewriteOptions Opts;
+    Opts.Patch.Spec.Kind = core::TrampolineKind::Empty;
+    Opts.Patch.B0Fallback = true;
+    Opts.ExtraReserved.push_back(lowfat::heapReservation());
+    Opts.withVerify(true).withMaxFailedSites(SIZE_MAX).withJobs(Jobs);
+
+    // Plain rewrite first: does the adversarial input survive without the
+    // repair loop? A diverging run here is the expected signal for the
+    // overlap/data-in-text configs, not an error.
+    double SuccPct = 0;
+    uint64_t VerifyFindings = 0;
+    bool RunOk = false;
+    auto R = frontend::rewrite(W.Image, Locs, Opts);
+    if (R.isOk()) {
+      SuccPct = R->Stats.succPct();
+      VerifyFindings = R->Verify.Failures.size();
+      workload::RunConfig RC;
+      RC.B0Table = R->B0Table;
+      workload::RunOutcome Re = workload::runImage(R->Rewritten, RC);
+      RunOk = Re.ok() && Re.Rax == Orig.Rax &&
+              Re.DataChecksum == Orig.DataChecksum;
+    }
+
+    // Then the self-verifying rewrite: the repair loop must always get
+    // back to a converged binary — that is the pass criterion.
+    frontend::RewriteOptions ROpts = Opts;
+    ROpts.Repair.Enabled = true;
+    bool Converged = false;
+    uint64_t Rounds = 0;
+    size_t Demoted = 0, Revoked = 0;
+    auto Rep = repair::selfVerifyingRewrite(W.Image, Locs, ROpts);
+    if (Rep.isOk()) {
+      Converged = Rep->Report.Converged;
+      Rounds = Rep->Report.Rounds;
+      for (const repair::SiteRepair &S : Rep->Report.Sites)
+        ++(S.Revoked ? Revoked : Demoted);
+    }
+    bool Pass = Converged;
+    Passes += Pass;
+
+    obs::JsonWriter C;
+    C.field("name", E.Name);
+    C.field("sites", static_cast<uint64_t>(Locs.size()));
+    C.fixed("succ_pct", SuccPct, 2);
+    C.field("verify_findings", VerifyFindings);
+    C.field("run_ok", RunOk);
+    C.field("repair_converged", Converged);
+    C.field("repair_rounds", Rounds);
+    C.field("repair_demoted", static_cast<uint64_t>(Demoted));
+    C.field("repair_revoked", static_cast<uint64_t>(Revoked));
+    C.field("pass", Pass);
+    Rows.push_back(C.take());
+    std::printf("%-14s %6zu %8.2f%% %7llu %8s %7llu %8zu %5s\n", E.Name,
+                Locs.size(), SuccPct, (unsigned long long)VerifyFindings,
+                RunOk ? "ok" : "diverge", (unsigned long long)Rounds,
+                Revoked, Pass ? "yes" : "NO");
+  }
+
+  std::string Arr = "[";
+  for (size_t I = 0; I != Rows.size(); ++I)
+    Arr += (I ? "," : "") + Rows[I];
+  Arr += "]";
+  obs::JsonWriter W;
+  W.field("bench", "robustness");
+  W.field("configs_total", static_cast<uint64_t>(Rows.size()));
+  W.field("configs_pass", static_cast<uint64_t>(Passes));
+  W.fixed("pass_rate",
+          Rows.empty() ? 0.0
+                       : 100.0 * static_cast<double>(Passes) / Rows.size(),
+          2);
+  W.raw("configs", Arr);
+  const std::string &OutPath = A.positional()[0];
+  if (!writeText(OutPath, W.take() + "\n"))
+    return 1;
+  if (OutPath != "-")
+    std::printf("wrote %s: %zu/%zu configs pass\n", OutPath.c_str(), Passes,
+                Rows.size());
   return 0;
 }
 
@@ -992,6 +1489,8 @@ int main(int Argc, char **Argv) {
       return cmdRun(A);
     if (Cmd == "stats")
       return cmdStats(A);
+    if (Cmd == "corpus")
+      return cmdCorpus(A);
     if (Cmd == "apply")
       return cmdApply(A);
     if (Cmd == "serve")

@@ -1,55 +1,125 @@
 #!/usr/bin/env python3
 """Compare a fresh bench_micro run against the committed baseline JSON.
 
-Usage: perf_smoke.py BASELINE.json CURRENT.json [max_regression]
+Usage: perf_smoke.py BASELINE.json CURRENT.json [max_regression] [--emit-json FILE]
 
 Both files are google-benchmark JSON (--benchmark_out_format=json). For
-each benchmark name we take the *minimum* real_time across repetitions on
-both sides -- min-of-N is the standard noise filter for shared machines,
-where the fastest run is the one least perturbed by neighbours. The gate
-fails if any benchmark's current min is more than `max_regression` (default
-25%) slower than its baseline min. New benchmarks absent from the baseline
-are reported but never fail the gate, so adding a benchmark does not
-require regenerating the baseline in the same commit.
+each benchmark name we take the *median* real_time across repetitions on
+both sides -- run with --benchmark_repetitions=5 so the median has
+something to bite on. Median-of-N is a better location estimate than
+min-of-N on shared machines: the min chases the single luckiest run,
+while the median is stable under a minority of perturbed repetitions in
+either direction.
+
+Machine-noise guard: before gating, we compute the median of the
+per-benchmark current/baseline ratios. If the whole suite shifted by more
+than MACHINE_SHIFT (15%) in the same direction, that is machine noise or a
+toolchain change, not a single regression -- the gate normalizes every
+ratio by the suite median (so only benchmarks that moved *relative to the
+suite* can fail) and prints a warning telling you to regenerate the
+baseline.
+
+The gate fails if any benchmark's normalized median is more than
+`max_regression` (default 25%) slower than its baseline. New benchmarks
+absent from the baseline are reported but never fail the gate, so adding a
+benchmark does not require regenerating the baseline in the same commit.
+
+--emit-json FILE writes a flat record of the comparison (per-benchmark
+medians, ratios, and the suite shift) consumable by `e9tool stats` and
+`e9tool stats --compare`.
 """
 
 import json
 import sys
 
+# Suite-wide median ratio beyond which we treat the shift as machine noise
+# and normalize instead of failing every benchmark.
+MACHINE_SHIFT = 0.15
 
-def mins(path):
+
+def medians(path):
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    runs = {}
     for b in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev/cv); compare raw runs.
         if b.get("run_type") == "aggregate":
             continue
-        name = b["name"]
-        t = float(b["real_time"])
-        if name not in out or t < out[name]:
-            out[name] = t
-    return out
+        runs.setdefault(b["name"], []).append(float(b["real_time"]))
+    return {name: median(ts) for name, ts in runs.items()}
+
+
+def median(xs):
+    s = sorted(xs)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
 
 
 def main(argv):
-    if len(argv) < 3:
+    emit_path = None
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--emit-json":
+            if i + 1 >= len(argv):
+                print("perf-smoke: --emit-json needs a file", file=sys.stderr)
+                return 2
+            emit_path = argv[i + 1]
+            i += 2
+        else:
+            args.append(argv[i])
+            i += 1
+    if len(args) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    base = mins(argv[1])
-    cur = mins(argv[2])
-    limit = float(argv[3]) if len(argv) > 3 else 0.25
+    base = medians(args[0])
+    cur = medians(args[1])
+    limit = float(args[2]) if len(args) > 2 else 0.25
+
+    shared = sorted(set(base) & set(cur))
+    ratios = {n: cur[n] / base[n] for n in shared if base[n] > 0}
+    suite_shift = median(list(ratios.values())) if ratios else 1.0
+    norm = 1.0
+    # The median of fewer than 3 ratios degenerates toward the mean, where a
+    # single genuine regression could masquerade as a suite-wide shift.
+    if len(ratios) >= 3 and abs(suite_shift - 1.0) > MACHINE_SHIFT:
+        norm = suite_shift
+        print("perf-smoke: WARNING suite-wide shift %+.1f%% looks like "
+              "machine noise or a toolchain change; normalizing ratios by "
+              "the suite median (consider regenerating the baseline)"
+              % ((suite_shift - 1.0) * 100.0), file=sys.stderr)
+
     failed = []
+    rows = []
     for name, t in sorted(cur.items()):
         if name not in base:
             print("perf-smoke: %-28s %12.0f ns  (new, no baseline)" % (name, t))
+            rows.append({"name": name, "median_ns": t})
             continue
-        ratio = t / base[name]
+        ratio = ratios.get(name, 1.0) / norm
         mark = "FAIL" if ratio > 1.0 + limit else "ok"
         print("perf-smoke: %-28s %12.0f ns  vs %12.0f ns  %+6.1f%%  %s"
               % (name, t, base[name], (ratio - 1.0) * 100.0, mark))
+        rows.append({"name": name, "median_ns": t,
+                     "baseline_median_ns": base[name],
+                     "norm_ratio": round(ratio, 4)})
         if ratio > 1.0 + limit:
             failed.append(name)
+
+    if emit_path:
+        record = {
+            "bench": "perf_smoke",
+            "suite_shift_ratio": round(suite_shift, 4),
+            "normalized": 1 if norm != 1.0 else 0,
+            "limit_pct": limit * 100.0,
+            "fail_count": len(failed),
+            "benchmarks": rows,
+        }
+        with open(emit_path, "w") as f:
+            json.dump(record, f, separators=(",", ":"))
+            f.write("\n")
+
     if failed:
         print("perf-smoke: regression >%d%% in: %s"
               % (int(limit * 100), ", ".join(failed)), file=sys.stderr)
