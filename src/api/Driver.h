@@ -5,60 +5,37 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Executes a JSONL patch-request stream (see api/Protocol.h): templates
-/// are compiled once into the stream-wide cache, each `binary`..`emit`
-/// span forms one independent rewrite job, and every job runs through the
-/// regular frontend::rewrite pipeline (sharded parallel patcher, verifier,
-/// metrics). Answers with JSONL response lines on the output stream:
+/// The stream front-end over api::Session: reads a JSONL patch-request
+/// script line by line from an istream, feeds one Session, writes its
+/// JSONL responses to an ostream. `e9tool apply` and `e9tool serve
+/// --stdin` are this function; the socket server (api/Serve.h) runs the
+/// same Session per connection, so all transports share one code path —
+/// and therefore one determinism guarantee: a job's output binary is
+/// byte-identical to the equivalent direct `e9tool rewrite` invocation,
+/// for every jobs value.
 ///
-///   {"type":"error","line":N,"msg":"..."}          protocol violation
-///   {"type":"finding","job":N,"kind":...,...}      one verifier finding
-///   {"type":"status","job":N,"ok":...,...}         one per emit
-///
-/// Fail-closed split: *protocol* violations (malformed JSON, schema
-/// violations, unknown templates/options, messages out of job order) stop
-/// the stream with an error response — a request that cannot be proven
-/// well-formed must not reach the backend. *Job* failures (unreadable
-/// input, rewrite/verifier errors, unwritable output) are reported in
-/// that job's status response and the stream continues, so one bad job in
-/// a server-mode batch does not kill its neighbours.
-///
-/// Determinism: a job's output binary is byte-identical to the equivalent
-/// direct `e9tool rewrite` invocation, for every jobs value — the driver
-/// adds no state of its own to the rewrite, it only translates requests
-/// into the same RewriteOptions the CLI builds.
+/// See api/Session.h for the error taxonomy (fatal protocol/version
+/// errors vs recoverable quota rejections vs per-job failures).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef E9_API_DRIVER_H
 #define E9_API_DRIVER_H
 
-#include <cstddef>
+#include "api/Session.h"
+
 #include <iosfwd>
 
 namespace e9 {
 namespace api {
 
-struct DriverOptions {
-  /// When nonzero, overrides the script's "jobs" option for every job
-  /// (the `e9tool apply --jobs=N` knob). Output bytes do not depend on
-  /// this value (see frontend/Shard.h).
-  unsigned JobsOverride = 0;
-};
+/// Historical names from the pre-session API; the batch driver is now a
+/// plain Session run over an istream/ostream pair.
+using DriverOptions = SessionOptions;
+using DriverResult = SessionStats;
 
-struct DriverResult {
-  size_t JobsOk = 0;
-  size_t JobsFailed = 0;
-  /// True when the stream stopped on a protocol violation (an error
-  /// response was emitted and the remaining input was not processed).
-  bool ProtocolError = false;
-
-  bool ok() const { return !ProtocolError && JobsFailed == 0; }
-  int exitCode() const { return ok() ? 0 : 1; }
-};
-
-/// Runs the request stream \p In to completion (or to the first protocol
-/// violation), writing JSONL responses to \p Responses.
+/// Runs the request stream \p In to completion (or to the first fatal
+/// protocol violation), writing JSONL responses to \p Responses.
 DriverResult runScript(std::istream &In, std::ostream &Responses,
                        const DriverOptions &Opts = DriverOptions());
 

@@ -1,0 +1,216 @@
+//===- api/Net.cpp --------------------------------------------*- C++ -*-===//
+
+#include "api/Net.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace e9;
+using namespace e9::api;
+using support::Fd;
+using support::PollResult;
+
+//===----------------------------------------------------------------------===//
+// Listener
+//===----------------------------------------------------------------------===//
+
+Result<Listener> Listener::unixSocket(const std::string &Path) {
+  using RL = Result<Listener>;
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return RL::error(format("unix socket path too long (max %zu bytes): %s",
+                            sizeof(Addr.sun_path) - 1, Path.c_str()));
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  Fd Sock(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock)
+    return RL::error(format("socket(AF_UNIX): %s", std::strerror(errno)));
+  if (::bind(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0)
+    return RL::error(format("bind(%s): %s", Path.c_str(),
+                            std::strerror(errno)));
+  if (::listen(Sock.get(), SOMAXCONN) < 0) {
+    ::unlink(Path.c_str());
+    return RL::error(format("listen(%s): %s", Path.c_str(),
+                            std::strerror(errno)));
+  }
+  Listener L;
+  L.Sock = std::move(Sock);
+  L.Path = Path;
+  return L;
+}
+
+Result<Listener> Listener::tcpLoopback(uint16_t Port) {
+  using RL = Result<Listener>;
+  Fd Sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock)
+    return RL::error(format("socket(AF_INET): %s", std::strerror(errno)));
+  int One = 1;
+  ::setsockopt(Sock.get(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0)
+    return RL::error(format("bind(127.0.0.1:%u): %s", (unsigned)Port,
+                            std::strerror(errno)));
+  if (::listen(Sock.get(), SOMAXCONN) < 0)
+    return RL::error(format("listen(127.0.0.1:%u): %s", (unsigned)Port,
+                            std::strerror(errno)));
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+                    &Len) < 0)
+    return RL::error(format("getsockname: %s", std::strerror(errno)));
+  Listener L;
+  L.Sock = std::move(Sock);
+  L.Port = ntohs(Addr.sin_port);
+  return L;
+}
+
+Listener::~Listener() { close(); }
+
+Fd Listener::acceptOne() {
+  for (;;) {
+    int Raw = ::accept(Sock.get(), nullptr, nullptr);
+    if (Raw >= 0) {
+      Fd Client(Raw);
+      (void)support::setCloseOnExec(Raw);
+      return Client;
+    }
+    if (errno == EINTR)
+      continue;
+    // EAGAIN/ECONNABORTED: the ready client vanished; not an error.
+    return Fd();
+  }
+}
+
+void Listener::close() {
+  Sock.reset();
+  if (!Path.empty()) {
+    ::unlink(Path.c_str());
+    Path.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Connection
+//===----------------------------------------------------------------------===//
+
+Connection::Connection(Fd Sock, size_t WriteQueueLimit, int WriteTimeoutMs)
+    : Sock(std::move(Sock)), QueueLimit(WriteQueueLimit),
+      WriteTimeoutMs(WriteTimeoutMs) {
+  // Non-blocking + poll keeps every deadline in this layer: a blocking
+  // send() could otherwise pin the thread past the write timeout.
+  (void)support::setNonBlocking(this->Sock.get());
+}
+
+Connection::ReadResult Connection::readLine(std::string &Out,
+                                            int TimeoutMs) {
+  for (;;) {
+    // Serve a complete line already buffered before touching the socket.
+    size_t Nl = Buffer.find('\n', Scanned);
+    if (Nl != std::string::npos) {
+      Out.assign(Buffer, 0, Nl);
+      if (!Out.empty() && Out.back() == '\r')
+        Out.pop_back();
+      Buffer.erase(0, Nl + 1);
+      Scanned = 0;
+      return ReadResult::Line;
+    }
+    Scanned = Buffer.size();
+    if (Buffer.size() > maxLineBytes())
+      return ReadResult::Error; // unframed flood; fail closed
+    if (Eof)
+      return ReadResult::Eof;
+
+    PollResult P = support::pollReadable(Sock.get(), TimeoutMs);
+    if (P == PollResult::Timeout)
+      return ReadResult::Timeout;
+    if (P == PollResult::Error)
+      return ReadResult::Error;
+    char Chunk[4096];
+    ssize_t N = ::read(Sock.get(), Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue; // spurious wakeup; poll again
+      return ReadResult::Error;
+    }
+    if (N == 0) {
+      Eof = true;
+      // A final unterminated line still counts: EOF is its frame end.
+      if (!Buffer.empty()) {
+        Out = std::move(Buffer);
+        Buffer.clear();
+        Scanned = 0;
+        if (!Out.empty() && Out.back() == '\r')
+          Out.pop_back();
+        return ReadResult::Line;
+      }
+      return ReadResult::Eof;
+    }
+    BytesIn += (uint64_t)N;
+    Buffer.append(Chunk, (size_t)N);
+  }
+}
+
+Status Connection::writeLine(std::string_view Line) {
+  Queue.append(Line);
+  Queue.push_back('\n');
+  // Deliver eagerly (a client blocked on its status response must not
+  // wait for the queue bound), but without ever blocking this thread on
+  // a reader that keeps up. Only past the byte bound does the writer
+  // block — and then with a deadline, so an undraining client fails its
+  // own session instead of pinning a server thread forever.
+  E9_TRY_STATUS(pump(/*Block=*/false));
+  if (Queue.size() > QueueLimit)
+    return pump(/*Block=*/true);
+  return Status::ok();
+}
+
+Status Connection::flush() { return pump(/*Block=*/true); }
+
+Status Connection::pump(bool Block) {
+  size_t Off = 0;
+  while (Off != Queue.size()) {
+    PollResult P =
+        support::pollWritable(Sock.get(), Block ? WriteTimeoutMs : 0);
+    if (P == PollResult::Timeout) {
+      if (Block)
+        return Status::error(
+            format("client not draining responses (stalled > %d ms with "
+                   "%zu bytes queued)",
+                   WriteTimeoutMs, Queue.size() - Off));
+      break; // socket full; keep the remainder queued
+    }
+    if (P == PollResult::Error)
+      return Status::error("poll on client socket failed");
+    // MSG_NOSIGNAL: a disappeared client must surface as EPIPE, not
+    // kill the whole server with SIGPIPE.
+    ssize_t N = ::send(Sock.get(), Queue.data() + Off, Queue.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (!Block && (errno == EAGAIN || errno == EWOULDBLOCK))
+        break;
+      return Status::error(format("write to client failed: %s",
+                                  std::strerror(errno)));
+    }
+    Off += (size_t)N;
+    BytesOut += (uint64_t)N;
+  }
+  Queue.erase(0, Off);
+  return Status::ok();
+}
+
+void Connection::shutdownRead() { ::shutdown(Sock.get(), SHUT_RD); }

@@ -1,0 +1,138 @@
+//===- api/Net.h - Socket transport for the patch-request API --*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-contained socket plumbing for `e9tool serve` — no external
+/// dependencies, just POSIX sockets behind RAII (support/Fd.h):
+///
+///   Listener    a bound+listening Unix-domain or TCP-loopback socket;
+///               owns the fd and (for Unix) unlinks the path on close.
+///   Connection  one accepted client: a line-splitting reader with poll
+///               timeouts, and a bounded write queue for backpressure —
+///               responses buffer up to a byte limit, then the writer
+///               blocks (with a deadline) until the client drains. A
+///               slow reader therefore stalls only its own session
+///               thread; past the deadline the session fails closed.
+///
+/// TCP intentionally binds 127.0.0.1 only: the protocol carries file
+/// paths and has no authentication, so the network story is "local
+/// services and port-forwarding", not the open internet.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_API_NET_H
+#define E9_API_NET_H
+
+#include "support/Fd.h"
+#include "support/Status.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace e9 {
+namespace api {
+
+/// A listening socket (move-only). For Unix-domain listeners the bound
+/// path is unlinked on destruction, so a served socket never leaves a
+/// stale node behind.
+class Listener {
+public:
+  /// Binds and listens on a Unix-domain socket at \p Path. An existing
+  /// socket node at the path is an error (fail closed — never steal a
+  /// live server's socket); remove stale nodes explicitly.
+  static Result<Listener> unixSocket(const std::string &Path);
+
+  /// Binds and listens on 127.0.0.1:\p Port (0 = ephemeral; query the
+  /// actual port with port()).
+  static Result<Listener> tcpLoopback(uint16_t Port);
+
+  Listener(Listener &&) = default;
+  Listener &operator=(Listener &&) = default;
+  ~Listener();
+
+  int fd() const { return Sock.get(); }
+  bool valid() const { return Sock.valid(); }
+  /// The bound TCP port (0 for Unix listeners).
+  uint16_t port() const { return Port; }
+  /// The bound Unix path ("" for TCP listeners).
+  const std::string &path() const { return Path; }
+
+  /// Accepts one ready connection (call after the listener fd polled
+  /// readable). Returns an invalid Fd for transient conditions (client
+  /// vanished between poll and accept).
+  support::Fd acceptOne();
+
+  /// Closes the listener now: new connects are refused from this point
+  /// on (the graceful-shutdown "reject new sessions" edge).
+  void close();
+
+private:
+  Listener() = default;
+
+  support::Fd Sock;
+  std::string Path; // Unix only; unlinked on close
+  uint16_t Port = 0;
+};
+
+/// One accepted client connection: framed line reads + bounded writes.
+class Connection {
+public:
+  /// \p WriteQueueLimit bounds the bytes buffered before a flush is
+  /// forced; \p WriteTimeoutMs bounds how long one flush may block on
+  /// an undraining client before the connection fails closed.
+  Connection(support::Fd Sock, size_t WriteQueueLimit,
+             int WriteTimeoutMs);
+
+  enum class ReadResult { Line, Timeout, Eof, Error };
+
+  /// Reads the next '\n'-terminated line (CR stripped) into \p Out,
+  /// waiting at most \p TimeoutMs for more bytes. Timeout means "no
+  /// complete line yet" — the caller re-checks its stop conditions and
+  /// calls again. Lines longer than maxLineBytes() fail the connection
+  /// (Error) — unframed garbage must not grow the buffer unboundedly.
+  ReadResult readLine(std::string &Out, int TimeoutMs);
+
+  /// Queues one response line (adds the '\n'). Flushes synchronously
+  /// once the queue exceeds its byte limit; a client that does not
+  /// drain within the write timeout fails the connection.
+  Status writeLine(std::string_view Line);
+
+  /// Writes out everything still queued.
+  Status flush();
+
+  /// Half-closes the read side: a drain deadline pulls the plug on
+  /// clients that keep a job open past shutdown.
+  void shutdownRead();
+
+  bool eofSeen() const { return Eof && Buffer.empty(); }
+  uint64_t bytesIn() const { return BytesIn; }
+  uint64_t bytesOut() const { return BytesOut; }
+
+  static constexpr size_t maxLineBytes() { return 1 << 20; }
+
+private:
+  /// Drains the queue into the socket. Non-blocking pumps stop when the
+  /// socket stops accepting; blocking pumps wait up to the write
+  /// timeout and fail the connection past it.
+  Status pump(bool Block);
+
+  support::Fd Sock;
+  std::string Buffer;   // unconsumed input
+  size_t Scanned = 0;   // prefix of Buffer already searched for '\n'
+  std::string Queue;    // unflushed output
+  size_t QueueLimit;
+  int WriteTimeoutMs;
+  bool Eof = false;
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+};
+
+} // namespace api
+} // namespace e9
+
+#endif // E9_API_NET_H

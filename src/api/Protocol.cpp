@@ -26,6 +26,12 @@ struct MessageSpec {
   size_t NumFields;
 };
 
+constexpr FieldSpec HelloFields[] = {
+    {"version", FieldKind::Str, true},
+    // Clients may advertise their own capability list; the server only
+    // echoes its own, so the field is accepted and ignored.
+    {"capabilities", FieldKind::Str, false},
+};
 constexpr FieldSpec BinaryFields[] = {
     {"path", FieldKind::Str, true},
 };
@@ -50,6 +56,7 @@ constexpr FieldSpec EmitFields[] = {
 };
 
 constexpr MessageSpec Specs[] = {
+    {"hello", MsgType::Hello, HelloFields, std::size(HelloFields)},
     {"binary", MsgType::Binary, BinaryFields, std::size(BinaryFields)},
     {"template", MsgType::Template, TemplateFields,
      std::size(TemplateFields)},
@@ -59,6 +66,39 @@ constexpr MessageSpec Specs[] = {
 };
 
 } // namespace
+
+const char *api::protocolCapabilities() {
+  // One token per optional server-side feature a client may rely on:
+  // the template compiler, the self-verifying repair loop, and the
+  // metrics/profile observability fields in status responses.
+  return "templates,repair,profile";
+}
+
+bool api::parseProtocolVersion(std::string_view V, unsigned &Major,
+                               unsigned &Minor) {
+  Major = Minor = 0;
+  size_t I = 0;
+  if (I == V.size() || V[I] < '0' || V[I] > '9')
+    return false;
+  for (; I != V.size() && V[I] >= '0' && V[I] <= '9'; ++I) {
+    Major = Major * 10 + unsigned(V[I] - '0');
+    if (Major > 1000)
+      return false;
+  }
+  if (I == V.size())
+    return true; // "1" == "1.0"
+  if (V[I] != '.')
+    return false;
+  ++I;
+  if (I == V.size() || V[I] < '0' || V[I] > '9')
+    return false;
+  for (; I != V.size() && V[I] >= '0' && V[I] <= '9'; ++I) {
+    Minor = Minor * 10 + unsigned(V[I] - '0');
+    if (Minor > 1000)
+      return false;
+  }
+  return I == V.size();
+}
 
 const char *api::msgTypeName(MsgType T) {
   for (const MessageSpec &S : Specs)

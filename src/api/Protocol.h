@@ -10,6 +10,7 @@
 /// JSONL stream). A script is a stream of single-line flat JSON objects,
 /// one message per line; a `type` field selects the schema:
 ///
+///   {"type":"hello","version":"1.0"}              protocol handshake
 ///   {"type":"binary","path":"in.elf"}             begin a job
 ///   {"type":"template","name":"N","body":"..."}   define a template
 ///   {"type":"patch","template":"N",
@@ -17,6 +18,14 @@
 ///    "arg":"0x..."}                               request one patch set
 ///   {"type":"option","name":"jobs","value":"4"}   set a rewrite option
 ///   {"type":"emit","path":"out.elf"}              rewrite + write output
+///
+/// The handshake is optional (hand-written `apply` scripts predate it)
+/// but when present it must be the first message: the server answers
+/// with its own hello carrying the negotiated version and a capability
+/// list, and every later response echoes the negotiated major version in
+/// a "v" field. A client major version the server does not speak fails
+/// closed with a structured error — a half-understood stream must never
+/// reach the rewriting backend.
 ///
 /// Parsing reuses the obs/JsonWriter flat-object parser; validation is
 /// table-driven (per-message required/optional fields with kinds, same
@@ -41,9 +50,24 @@
 namespace e9 {
 namespace api {
 
-/// The five request message types.
-enum class MsgType { Binary, Template, Patch, Option, Emit };
+/// The six request message types.
+enum class MsgType { Hello, Binary, Template, Patch, Option, Emit };
 const char *msgTypeName(MsgType T);
+
+/// The protocol version this build speaks. Major bumps are breaking
+/// (message semantics changed); minor bumps are additive. Negotiation
+/// picks the lower minor of the two sides within an equal major.
+constexpr unsigned ProtocolMajor = 1;
+constexpr unsigned ProtocolMinor = 0;
+
+/// Comma-separated capability tokens advertised in the hello response.
+const char *protocolCapabilities();
+
+/// Parses a "MAJOR.MINOR" version string ("1" means "1.0"). False on
+/// anything else — a version that cannot be proven well-formed is
+/// treated like an unknown major (fail closed).
+bool parseProtocolVersion(std::string_view V, unsigned &Major,
+                          unsigned &Minor);
 
 /// One schema-validated request message. Field accessors assume the
 /// schema already passed, so they only see fields of the declared kind.

@@ -1,0 +1,250 @@
+//===- api/Serve.cpp ------------------------------------------*- C++ -*-===//
+
+#include "api/Serve.h"
+
+#include "obs/JsonWriter.h"
+#include "support/Format.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace e9;
+using namespace e9::api;
+using support::Fd;
+using support::PollResult;
+
+namespace {
+
+int64_t nowMs() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Poll slice for the accept and read loops: short enough that stop
+/// flags are observed promptly, long enough to stay off the CPU.
+constexpr int SliceMs = 100;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+Server::Server(Listener L, ServeOptions Opts)
+    : L(std::move(L)), Opts(Opts) {
+  int Pipe[2] = {-1, -1};
+  if (::pipe2(Pipe, O_CLOEXEC | O_NONBLOCK) == 0) {
+    WakeR = Fd(Pipe[0]);
+    WakeW = Fd(Pipe[1]);
+  }
+}
+
+Server::~Server() {
+  requestShutdown();
+  // run() owns the drain; if it never ran (construct-then-destroy),
+  // there is nothing to join — Conns only grows inside run().
+  while (Running.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  reapFinished(/*JoinAll=*/true);
+}
+
+void Server::requestShutdown() {
+  Stopping.store(true, std::memory_order_release);
+  if (WakeW.valid()) {
+    char B = 's';
+    // Best effort; the accept loop also polls with a timeout.
+    [[maybe_unused]] ssize_t N = ::write(WakeW.get(), &B, 1);
+  }
+}
+
+void Server::shutdown() {
+  requestShutdown();
+  while (!Finished.load(std::memory_order_acquire) &&
+         Running.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void Server::reapFinished(bool JoinAll) {
+  for (auto It = Conns.begin(); It != Conns.end();) {
+    if (JoinAll || (*It)->Done.load(std::memory_order_acquire)) {
+      if ((*It)->T.joinable())
+        (*It)->T.join();
+      It = Conns.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void Server::run() {
+  Running.store(true, std::memory_order_release);
+  while (!Stopping.load(std::memory_order_acquire)) {
+    struct pollfd P[2];
+    P[0].fd = L.fd();
+    P[0].events = POLLIN;
+    P[0].revents = 0;
+    P[1].fd = WakeR.valid() ? WakeR.get() : -1;
+    P[1].events = POLLIN;
+    P[1].revents = 0;
+    int N = ::poll(P, 2, SliceMs);
+    if (N < 0 && errno != EINTR)
+      break; // listener gone; nothing left to accept
+    reapFinished(/*JoinAll=*/false);
+    if (N <= 0 || (P[0].revents & POLLIN) == 0)
+      continue;
+    Fd Client = L.acceptOne();
+    if (!Client)
+      continue;
+    if (Conns.size() >= Opts.MaxConnections) {
+      // Typed rejection, then close: the client learns why instead of
+      // seeing an unexplained RST, and no session state is built.
+      Connection C(std::move(Client), Opts.WriteQueueLimit,
+                   /*WriteTimeoutMs=*/1000);
+      obs::JsonWriter W;
+      W.field("type", "error")
+          .field("kind", "capacity")
+          .field("line", (uint64_t)0)
+          .field("msg",
+                 format("server at capacity (%zu concurrent sessions)",
+                        Opts.MaxConnections));
+      (void)C.writeLine(W.take());
+      (void)C.flush();
+      Registry.counter("serve.capacity_rejected").add();
+      continue;
+    }
+    auto C = std::make_unique<Conn>();
+    Conn *Raw = C.get();
+    Registry.counter("serve.sessions_opened").add();
+    C->T = std::thread([this, Raw](Fd Sock) {
+      serveConnection(std::move(Sock), Raw);
+    }, std::move(Client));
+    Conns.push_back(std::move(C));
+  }
+  // Graceful shutdown: refuse new sessions first (close + unlink the
+  // listener), then drain — connection threads observe Stopping and
+  // finish within their grace period — and join everything.
+  L.close();
+  reapFinished(/*JoinAll=*/true);
+  Finished.store(true, std::memory_order_release);
+  Running.store(false, std::memory_order_release);
+}
+
+void Server::serveConnection(Fd Client, Conn *C) {
+  Connection Io(std::move(Client), Opts.WriteQueueLimit,
+                Opts.WriteTimeoutMs);
+  // Response I/O failures (disconnects, undraining readers) mark the
+  // session dead; the read loop below notices and tears down. The
+  // session itself never learns — its sink cannot fail.
+  Status IoError = Status::ok();
+  Session S(
+      [&Io, &IoError](std::string_view Line) {
+        if (!IoError.isOk())
+          return;
+        if (Status St = Io.writeLine(Line); !St)
+          IoError = St;
+      },
+      Opts.Session);
+
+  size_t LineNo = 0;
+  std::string Line;
+  bool SessionOk = true;
+  int64_t DrainDeadline = -1; // set on first sight of Stopping
+  bool ReadCut = false;
+  for (;;) {
+    if (!IoError.isOk()) {
+      SessionOk = false;
+      break;
+    }
+    bool Stop = Stopping.load(std::memory_order_acquire);
+    if (Stop && DrainDeadline < 0)
+      DrainDeadline = nowMs() + Opts.DrainTimeoutMs;
+    Connection::ReadResult R = Io.readLine(Line, SliceMs);
+    if (R == Connection::ReadResult::Timeout) {
+      if (!Stop)
+        continue;
+      if (!S.jobOpen())
+        break; // idle at shutdown: drain complete for this session
+      if (nowMs() >= DrainDeadline && !ReadCut) {
+        // Grace expired mid-job: pull the read side. Already-buffered
+        // messages still run; the missing remainder surfaces as EOF and
+        // the unfinished job fails closed below.
+        Io.shutdownRead();
+        ReadCut = true;
+      }
+      continue;
+    }
+    if (R == Connection::ReadResult::Eof) {
+      SessionOk = S.finish(LineNo + 1) && SessionOk;
+      break;
+    }
+    if (R == Connection::ReadResult::Error) {
+      SessionOk = false;
+      break;
+    }
+    ++LineNo;
+    std::string_view Trimmed(Line);
+    while (!Trimmed.empty() &&
+           (Trimmed.back() == '\r' || Trimmed.back() == ' '))
+      Trimmed.remove_suffix(1);
+    if (Trimmed.empty())
+      continue;
+    if (!S.feed(LineNo, Trimmed)) {
+      SessionOk = false; // fatal protocol/version error, already reported
+      break;
+    }
+  }
+  (void)Io.flush();
+
+  const SessionStats &St = S.stats();
+  Registry.counter("serve.jobs_ok").add(St.JobsOk);
+  Registry.counter("serve.jobs_failed").add(St.JobsFailed);
+  Registry.counter("serve.quota_rejected").add(St.QuotaRejected);
+  Registry.counter("serve.bytes_in").add(Io.bytesIn());
+  Registry.counter("serve.bytes_out").add(Io.bytesOut());
+  Registry.histogram("serve.session_lines").observe(LineNo);
+  Registry.counter(SessionOk && St.ok() ? "serve.sessions_ok"
+                                        : "serve.sessions_failed")
+      .add();
+  C->Done.store(true, std::memory_order_release);
+}
+
+//===----------------------------------------------------------------------===//
+// Signal glue
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<Server *> GServer{nullptr};
+
+extern "C" void e9ServeOnSignal(int) {
+  if (Server *S = GServer.load(std::memory_order_acquire))
+    S->requestShutdown();
+}
+
+} // namespace
+
+Status api::installShutdownSignals(Server *S) {
+  GServer.store(S, std::memory_order_release);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  if (S) {
+    SA.sa_handler = e9ServeOnSignal;
+    sigemptyset(&SA.sa_mask);
+  } else {
+    SA.sa_handler = SIG_DFL;
+  }
+  if (::sigaction(SIGTERM, &SA, nullptr) != 0 ||
+      ::sigaction(SIGINT, &SA, nullptr) != 0)
+    return Status::error(format("sigaction failed: %s",
+                                std::strerror(errno)));
+  // A client that disappears mid-response must surface as EPIPE on the
+  // write path, never as a process-killing SIGPIPE.
+  ::signal(SIGPIPE, S ? SIG_IGN : SIG_DFL);
+  return Status::ok();
+}

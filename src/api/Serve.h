@@ -1,0 +1,126 @@
+//===- api/Serve.h - Multi-client rewriting service ------------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `e9tool serve --unix/--tcp` server: a thread-per-connection
+/// scheduler over api::Session. Each accepted client gets its own
+/// thread, its own Session (templates, options, quotas, negotiated
+/// protocol version) and its own bounded-write-queue Connection; the
+/// rewrite pipeline's internal parallelism (the per-job "jobs" option)
+/// nests inside the connection thread, so concurrency exists at both
+/// levels without either knowing about the other.
+///
+/// Isolation is fail-closed per session: a malformed stream, an
+/// over-quota client, a mid-message disconnect or an undraining reader
+/// tears down *that* connection — never a neighbour, never the process
+/// (SIGPIPE is off; every error path is a Status).
+///
+/// Graceful shutdown (shutdown(), or SIGTERM/SIGINT via
+/// installShutdownSignals): the listener closes first, so new connects
+/// are refused; idle sessions close; sessions with an open job get a
+/// drain grace period to reach their emit, after which the read side is
+/// pulled and the unfinished job reports as a protocol error. run()
+/// returns only after every connection thread has been joined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_API_SERVE_H
+#define E9_API_SERVE_H
+
+#include "api/Net.h"
+#include "api/Session.h"
+#include "obs/Metrics.h"
+#include "support/Fd.h"
+#include "support/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <thread>
+
+namespace e9 {
+namespace api {
+
+struct ServeOptions {
+  /// Per-session knobs (jobs override + quotas), applied identically to
+  /// every connection.
+  SessionOptions Session;
+  /// Response bytes buffered per connection before the writer blocks on
+  /// the client (backpressure bound).
+  size_t WriteQueueLimit = 4u << 20;
+  /// How long one blocked write may wait for the client to drain before
+  /// the session fails closed.
+  int WriteTimeoutMs = 30000;
+  /// Grace period for sessions with an open job at shutdown.
+  int DrainTimeoutMs = 10000;
+  /// Concurrent sessions; further connects are answered with a typed
+  /// capacity error and closed.
+  size_t MaxConnections = 64;
+};
+
+/// A running service instance. Construct from a bound Listener, call
+/// run() (blocking) on the serving thread; shutdown() from any other
+/// thread (or a signal via installShutdownSignals) ends it gracefully.
+class Server {
+public:
+  Server(Listener L, ServeOptions Opts);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Accept loop; returns after a graceful shutdown has fully drained
+  /// (all connection threads joined).
+  void run();
+
+  /// Requests shutdown and blocks until run() has returned.
+  void shutdown();
+
+  /// Async-signal-safe shutdown request (atomic flag + self-pipe);
+  /// returns immediately.
+  void requestShutdown();
+
+  /// True from the start of run() until its drain completes.
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// Bound TCP port / Unix path (valid until shutdown closes them).
+  uint16_t port() const { return L.port(); }
+  const std::string &path() const { return L.path(); }
+
+  /// Server-wide counters: serve.sessions_opened/.sessions_ok/
+  /// .sessions_failed, serve.jobs_ok/.jobs_failed, serve.quota_rejected,
+  /// serve.capacity_rejected, serve.bytes_in/.bytes_out, plus the
+  /// serve.session_lines histogram.
+  obs::MetricsSnapshot metrics() const { return Registry.snapshot(); }
+
+private:
+  struct Conn {
+    std::thread T;
+    std::atomic<bool> Done{false};
+  };
+
+  void serveConnection(support::Fd Client, Conn *C);
+  void reapFinished(bool JoinAll);
+
+  Listener L;
+  ServeOptions Opts;
+  obs::MetricsRegistry Registry;
+  support::Fd WakeR, WakeW; // self-pipe: signal handler -> accept loop
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Finished{false};
+  std::list<std::unique_ptr<Conn>> Conns; // accept-loop thread only
+};
+
+/// Points SIGTERM and SIGINT at \p S (one global slot — a process runs
+/// one server), and ignores SIGPIPE process-wide. Passing nullptr
+/// restores the default dispositions.
+Status installShutdownSignals(Server *S);
+
+} // namespace api
+} // namespace e9
+
+#endif // E9_API_SERVE_H

@@ -1,0 +1,592 @@
+//===- api/Session.cpp ----------------------------------------*- C++ -*-===//
+
+#include "api/Session.h"
+
+#include "api/Protocol.h"
+#include "api/Template.h"
+#include "frontend/Prescan.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "obs/JsonWriter.h"
+#include "repair/Repair.h"
+#include "support/Format.h"
+#include "verify/Verifier.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace e9;
+using namespace e9::api;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Job options (the protocol mirror of the `e9tool rewrite` flags)
+//===----------------------------------------------------------------------===//
+
+/// Per-job rewrite knobs with the same defaults as the rewrite
+/// subcommand — the determinism guarantee (served == direct rewrite)
+/// depends on the two frontends building identical RewriteOptions.
+struct JobOptions {
+  unsigned Jobs = 1;
+  bool Strict = false;
+  bool Verify = false;
+  bool Differential = false;
+  uint64_t MaxFailed = SIZE_MAX;
+  unsigned Granularity = 1;
+  bool Grouping = true;
+  bool T1 = true, T2 = true, T3 = true;
+  bool B0Fallback = false;
+  bool ForceB0 = false;
+  bool Repair = false;
+  uint64_t RepairRounds = 64;
+  uint64_t RepairRuns = 4096;
+  uint64_t StepLimit = 0;
+  core::TacticCeiling RepairFloor = core::TacticCeiling::B0Only;
+};
+
+/// Parses a demotion-floor name ("full", "no-t3", "no-t2", "no-t1", "b0").
+bool parseCeiling(const std::string &V, core::TacticCeiling &Out) {
+  if (V == "full")
+    Out = core::TacticCeiling::Full;
+  else if (V == "no-t3")
+    Out = core::TacticCeiling::NoT3;
+  else if (V == "no-t2")
+    Out = core::TacticCeiling::NoT2;
+  else if (V == "no-t1")
+    Out = core::TacticCeiling::NoT1;
+  else if (V == "b0" || V == "b0-only")
+    Out = core::TacticCeiling::B0Only;
+  else
+    return false;
+  return true;
+}
+
+enum class OptionKind { UInt, Bool, Str };
+
+struct OptionSpec {
+  const char *Name;
+  OptionKind Kind;
+  void (*Apply)(JobOptions &, uint64_t U, bool B);
+  /// Str options only: returns "" on success, else the violation.
+  std::string (*ApplyStr)(JobOptions &, const std::string &) = nullptr;
+};
+
+constexpr OptionSpec OptionTable[] = {
+    {"jobs", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.Jobs = (unsigned)U; }},
+    {"strict", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.Strict = B; }},
+    {"verify", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.Verify = B; }},
+    {"differential", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.Differential = B; }},
+    {"max-failed", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.MaxFailed = U; }},
+    {"granularity", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.Granularity = (unsigned)U; }},
+    {"grouping", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.Grouping = B; }},
+    {"t1", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.T1 = B; }},
+    {"t2", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.T2 = B; }},
+    {"t3", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.T3 = B; }},
+    {"b0-fallback", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.B0Fallback = B; }},
+    {"force-b0", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.ForceB0 = B; }},
+    {"repair", OptionKind::Bool,
+     [](JobOptions &O, uint64_t, bool B) { O.Repair = B; }},
+    {"repair-rounds", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.RepairRounds = U; }},
+    {"repair-runs", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.RepairRuns = U; }},
+    {"step-limit", OptionKind::UInt,
+     [](JobOptions &O, uint64_t U, bool) { O.StepLimit = U; }},
+    {"repair-floor", OptionKind::Str, nullptr,
+     [](JobOptions &O, const std::string &V) -> std::string {
+       if (!parseCeiling(V, O.RepairFloor))
+         return format("option \"repair-floor\" wants full, no-t3, no-t2, "
+                       "no-t1 or b0, got \"%s\"",
+                       V.c_str());
+       return "";
+     }},
+};
+
+/// Applies one option message; empty string on success, else the
+/// violation (unknown name / malformed value — both protocol errors).
+std::string applyOption(JobOptions &O, const std::string &Name,
+                        const std::string &Value) {
+  for (const OptionSpec &S : OptionTable) {
+    if (Name != S.Name)
+      continue;
+    if (S.Kind == OptionKind::Str)
+      return S.ApplyStr(O, Value);
+    if (S.Kind == OptionKind::Bool) {
+      if (Value != "true" && Value != "false")
+        return format("option \"%s\" wants \"true\" or \"false\", got "
+                      "\"%s\"",
+                      Name.c_str(), Value.c_str());
+      S.Apply(O, 0, Value == "true");
+      return "";
+    }
+    obs::JsonValue V;
+    V.K = obs::JsonValue::Kind::String;
+    V.Str = Value;
+    std::optional<uint64_t> U =
+        Value.rfind("0x", 0) == 0 ? obs::jsonToU64(V) : std::nullopt;
+    if (!U) {
+      errno = 0;
+      char *End = nullptr;
+      uint64_t Parsed = std::strtoull(Value.c_str(), &End, 10);
+      if (Value.empty() || errno != 0 || End != Value.c_str() + Value.size())
+        return format("option \"%s\" wants an unsigned integer, got "
+                      "\"%s\"",
+                      Name.c_str(), Value.c_str());
+      U = Parsed;
+    }
+    S.Apply(O, *U, false);
+    return "";
+  }
+  return format("unknown option \"%s\"", Name.c_str());
+}
+
+/// One patch request, kept in arrival order (later requests for the same
+/// address win, like repeated CLI flags).
+struct PatchRequest {
+  bool IsAddr = false;
+  uint64_t Addr = 0;
+  std::string Select;
+  std::shared_ptr<const core::TemplateProgram> Program;
+  uint64_t Arg = 0;
+};
+
+/// State for the currently-open job (binary .. emit span).
+struct Job {
+  size_t Index = 0;
+  std::string InputPath;
+  Result<elf::Image> Image = Result<elf::Image>::error("not loaded");
+  std::vector<PatchRequest> Patches;
+  JobOptions Options;
+  /// Job opened past the session's job quota: its messages are accepted
+  /// (the stream stays parseable) but nothing runs; the emit reports a
+  /// failed job with the quota reason.
+  bool QuotaRejected = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+struct Session::Impl {
+  Impl(ResponseSink Sink, SessionOptions Opts)
+      : Sink(std::move(Sink)), Opts(Opts) {}
+
+  ResponseSink Sink;
+  SessionOptions Opts;
+  SessionStats Stats;
+  TemplateCache Templates;
+  std::optional<Job> Cur;
+  size_t JobCount = 0;
+  uint64_t PatchRequests = 0;
+  uint64_t TemplatesDefined = 0;
+  bool HelloSeen = false;
+  /// Any non-hello message pins the stream open: a handshake can only
+  /// lead, never retroactively re-version responses already sent.
+  bool Started = false;
+  bool Finished = false;
+
+  /// Starts a response line; every response carries the negotiated
+  /// major version once a handshake happened (pre-handshake streams
+  /// keep the PR 5 wire format unchanged).
+  obs::JsonWriter begin(const char *Type) {
+    obs::JsonWriter W;
+    W.field("type", Type);
+    if (HelloSeen)
+      W.field("v", (uint64_t)ProtocolMajor);
+    return W;
+  }
+
+  void emit(obs::JsonWriter &W) { Sink(W.take()); }
+
+  bool fatalError(const char *Kind, size_t LineNo, const std::string &Msg) {
+    obs::JsonWriter W = begin("error");
+    W.field("kind", Kind)
+        .field("line", (uint64_t)LineNo)
+        .field("msg", Msg);
+    emit(W);
+    Stats.ProtocolError = true;
+    return false;
+  }
+
+  bool protocolError(size_t LineNo, const std::string &Msg) {
+    return fatalError("protocol", LineNo, Msg);
+  }
+
+  /// Rejects one over-quota message; the stream continues (true).
+  bool quotaError(size_t LineNo, const std::string &Msg) {
+    obs::JsonWriter W = begin("error");
+    W.field("kind", "quota")
+        .field("line", (uint64_t)LineNo)
+        .field("msg", Msg);
+    emit(W);
+    ++Stats.QuotaRejected;
+    return true;
+  }
+
+  bool handle(size_t LineNo, std::string_view Line) {
+    auto M = parseMessage(Line);
+    if (!M.isOk())
+      return protocolError(LineNo, M.reason());
+    if (M->Type != MsgType::Hello)
+      Started = true;
+    switch (M->Type) {
+    case MsgType::Hello:
+      return onHello(LineNo, *M);
+    case MsgType::Binary:
+      return onBinary(LineNo, *M);
+    case MsgType::Template:
+      return onTemplate(LineNo, *M);
+    case MsgType::Patch:
+      return onPatch(LineNo, *M);
+    case MsgType::Option:
+      return onOption(LineNo, *M);
+    case MsgType::Emit:
+      return onEmit(LineNo, *M);
+    }
+    return protocolError(LineNo, "unreachable message type");
+  }
+
+  bool onHello(size_t LineNo, const Message &M) {
+    if (HelloSeen)
+      return protocolError(LineNo, "duplicate hello handshake");
+    if (Started)
+      return protocolError(
+          LineNo, "hello must be the first message of the session");
+    unsigned Major = 0, Minor = 0;
+    const std::string V = M.str("version");
+    if (!parseProtocolVersion(V, Major, Minor))
+      return fatalError(
+          "version", LineNo,
+          format("malformed protocol version \"%s\" (want MAJOR.MINOR)",
+                 V.c_str()));
+    if (Major != ProtocolMajor)
+      return fatalError(
+          "version", LineNo,
+          format("unsupported protocol major version %u (server speaks "
+                 "%u.%u)",
+                 Major, ProtocolMajor, ProtocolMinor));
+    HelloSeen = true;
+    unsigned NegotiatedMinor = Minor < ProtocolMinor ? Minor : ProtocolMinor;
+    obs::JsonWriter W = begin("hello");
+    W.field("version",
+            format("%u.%u", ProtocolMajor, NegotiatedMinor))
+        .field("capabilities", protocolCapabilities());
+    emit(W);
+    return true;
+  }
+
+  bool onBinary(size_t LineNo, const Message &M) {
+    if (Cur)
+      return protocolError(
+          LineNo,
+          format("binary message while job #%zu is still open (missing "
+                 "emit)",
+                 Cur->Index));
+    const SessionLimits &L = Opts.Limits;
+    bool Rejected = L.MaxJobs != 0 && JobCount >= L.MaxJobs;
+    Cur.emplace();
+    Cur->Index = ++JobCount;
+    Cur->InputPath = M.str("path");
+    Cur->QuotaRejected = Rejected;
+    if (Rejected)
+      return quotaError(
+          LineNo,
+          format("session job quota exceeded (max %llu jobs); job #%zu "
+                 "will not run",
+                 (unsigned long long)L.MaxJobs, Cur->Index));
+    // An unreadable input is a *job* failure (reported at emit), not a
+    // protocol one: the rest of the batch must still run.
+    Cur->Image = elf::readFile(Cur->InputPath);
+    return true;
+  }
+
+  bool onTemplate(size_t LineNo, const Message &M) {
+    const SessionLimits &L = Opts.Limits;
+    if (L.MaxTemplates != 0 && TemplatesDefined >= L.MaxTemplates)
+      return quotaError(
+          LineNo,
+          format("session template quota exceeded (max %llu definitions); "
+                 "template \"%s\" not defined",
+                 (unsigned long long)L.MaxTemplates,
+                 M.str("name").c_str()));
+    if (Status S = Templates.define(M.str("name"), M.str("body")); !S)
+      return protocolError(LineNo, S.reason());
+    ++TemplatesDefined;
+    return true;
+  }
+
+  bool onPatch(size_t LineNo, const Message &M) {
+    if (!Cur)
+      return protocolError(LineNo,
+                           "patch message outside a job (missing binary)");
+    const SessionLimits &L = Opts.Limits;
+    if (L.MaxPatchRequests != 0 && PatchRequests >= L.MaxPatchRequests)
+      return quotaError(
+          LineNo, format("session patch-request quota exceeded (max %llu "
+                         "requests); patch ignored",
+                         (unsigned long long)L.MaxPatchRequests));
+    ++PatchRequests;
+    if (Cur->QuotaRejected)
+      return true; // schema-checked, then dropped with its dead job
+    PatchRequest R;
+    R.Program = Templates.find(M.str("template"));
+    if (!R.Program)
+      return protocolError(LineNo, format("patch: unknown template \"%s\"",
+                                          M.str("template").c_str()));
+    if (M.has("addr")) {
+      R.IsAddr = true;
+      R.Addr = *M.u64("addr");
+    } else {
+      R.Select = M.str("select");
+      if (R.Select != "jumps" && R.Select != "heapwrites" &&
+          R.Select != "all")
+        return protocolError(
+            LineNo, format("patch: unknown selector \"%s\" (want jumps, "
+                           "heapwrites or all)",
+                           R.Select.c_str()));
+    }
+    if (auto Arg = M.u64("arg"))
+      R.Arg = *Arg;
+    Cur->Patches.push_back(std::move(R));
+    return true;
+  }
+
+  bool onOption(size_t LineNo, const Message &M) {
+    if (!Cur)
+      return protocolError(LineNo,
+                           "option message outside a job (missing binary)");
+    if (Cur->QuotaRejected)
+      return true;
+    std::string Err =
+        applyOption(Cur->Options, M.str("name"), M.str("value"));
+    if (!Err.empty())
+      return protocolError(LineNo, Err);
+    return true;
+  }
+
+  bool onEmit(size_t LineNo, const Message &M) {
+    if (!Cur)
+      return protocolError(LineNo,
+                           "emit message outside a job (missing binary)");
+    if (Cur->QuotaRejected) {
+      Job J = std::move(*Cur);
+      Cur.reset();
+      jobFailed(J, M.str("path"),
+                "job rejected by the session job quota");
+      return true;
+    }
+    if (Cur->Patches.empty())
+      return protocolError(
+          LineNo, format("emit for job #%zu without any patch requests",
+                         Cur->Index));
+    Job J = std::move(*Cur);
+    Cur.reset();
+    runJob(J, M.str("path"));
+    return true;
+  }
+
+  void jobFailed(const Job &J, const std::string &OutPath,
+                 const std::string &Error) {
+    obs::JsonWriter W = begin("status");
+    W.field("job", (uint64_t)J.Index)
+        .field("ok", false)
+        .field("path", OutPath)
+        .field("error", Error);
+    emit(W);
+    ++Stats.JobsFailed;
+  }
+
+  void runJob(const Job &J, const std::string &OutPath) {
+    if (!J.Image.isOk()) {
+      jobFailed(J, OutPath,
+                format("cannot load %s: %s", J.InputPath.c_str(),
+                       J.Image.reason().c_str()));
+      return;
+    }
+    const elf::Image &Img = *J.Image;
+
+    // Resolve the requests into one spec per site, in arrival order so a
+    // later request overrides an earlier one for the same address.
+    struct SiteSpec {
+      std::shared_ptr<const core::TemplateProgram> Program;
+      uint64_t Arg = 0;
+    };
+    std::map<uint64_t, SiteSpec> Sites;
+    for (const PatchRequest &R : J.Patches) {
+      std::vector<uint64_t> Addrs;
+      if (R.IsAddr)
+        Addrs.push_back(R.Addr);
+      else if (R.Select == "jumps")
+        Addrs = frontend::prescanSelect(Img, frontend::SelectorKind::Jumps);
+      else if (R.Select == "heapwrites")
+        Addrs =
+            frontend::prescanSelect(Img, frontend::SelectorKind::HeapWrites);
+      else
+        Addrs = frontend::prescanSelect(Img, frontend::SelectorKind::All);
+      for (uint64_t A : Addrs)
+        Sites[A] = SiteSpec{R.Program, R.Arg};
+    }
+
+    std::vector<uint64_t> Locs;
+    Locs.reserve(Sites.size());
+    for (const auto &[Addr, Spec] : Sites)
+      Locs.push_back(Addr);
+
+    const JobOptions &O = J.Options;
+    frontend::RewriteOptions Ro;
+    Ro.Patch.EnableT1 = O.T1;
+    Ro.Patch.EnableT2 = O.T2;
+    Ro.Patch.EnableT3 = O.T3;
+    Ro.Patch.B0Fallback = O.B0Fallback;
+    Ro.Patch.ForceB0 = O.ForceB0;
+    Ro.Grouping.Enabled = O.Grouping;
+    Ro.Grouping.M = O.Granularity;
+    Ro.ExtraReserved.push_back(lowfat::heapReservation());
+    Ro.withStrict(O.Strict)
+        .withVerify(O.Verify)
+        .withMaxFailedSites(O.MaxFailed)
+        .withJobs(Opts.JobsOverride ? Opts.JobsOverride : O.Jobs);
+    Ro.Verify.Opts.Differential = O.Differential;
+    Ro.Repair.Enabled = O.Repair;
+    Ro.Repair.MaxRounds = O.RepairRounds;
+    Ro.Repair.MaxCandidateRuns = O.RepairRuns;
+    Ro.Repair.StepLimit = O.StepLimit;
+    Ro.Repair.DemotionFloor = O.RepairFloor;
+    // SpecFor is called concurrently from patcher workers; it only reads
+    // the (immutable from here on) Sites map.
+    Ro.SpecFor = [&Sites](uint64_t Addr) {
+      core::TrampolineSpec S;
+      S.Kind = core::TrampolineKind::Template;
+      auto It = Sites.find(Addr);
+      if (It != Sites.end()) {
+        S.Program = It->second.Program;
+        S.TemplateArg = It->second.Arg;
+      }
+      return S;
+    };
+
+    frontend::RewriteOutput Rewritten;
+    repair::RepairReport Rep;
+    if (O.Repair) {
+      // Self-verifying path: a repair loop that cannot converge is a job
+      // failure (fail closed) — never hand back an unverified binary from
+      // a request that asked for verification by execution.
+      auto R = repair::selfVerifyingRewrite(Img, Locs, Ro);
+      if (!R.isOk()) {
+        jobFailed(J, OutPath, R.reason());
+        return;
+      }
+      if (!R->Report.Converged) {
+        const repair::Divergence &D = R->Report.Final;
+        jobFailed(J, OutPath,
+                  format("self-verification did not converge: %s%s%s",
+                         repair::divergenceKindName(D.Kind),
+                         D.Detail.empty() ? "" : ": ", D.Detail.c_str()));
+        return;
+      }
+      Rep = R->Report;
+      Rewritten = std::move(R->Rewrite);
+    } else {
+      auto R = frontend::rewrite(Img, Locs, Ro);
+      if (!R.isOk()) {
+        jobFailed(J, OutPath, R.reason());
+        return;
+      }
+      Rewritten = R.take();
+    }
+    const frontend::RewriteOutput *Out = &Rewritten;
+    if (Status S = elf::writeFile(Out->Rewritten, OutPath); !S) {
+      jobFailed(J, OutPath, S.reason());
+      return;
+    }
+
+    for (const verify::VerifyFailure &F : Out->Verify.Failures) {
+      obs::JsonWriter W = begin("finding");
+      W.field("job", (uint64_t)J.Index)
+          .field("kind", verify::failureKindName(F.Kind))
+          .hex("addr", F.Addr)
+          .field("msg", F.Message);
+      emit(W);
+    }
+
+    const core::PatchStats &St = Out->Stats;
+    obs::JsonWriter W = begin("status");
+    W.field("job", (uint64_t)J.Index)
+        .field("ok", true)
+        .field("path", OutPath)
+        .field("sites", (uint64_t)St.NLoc)
+        .field("b1", (uint64_t)St.count(core::Tactic::B1))
+        .field("b2", (uint64_t)St.count(core::Tactic::B2))
+        .field("t1", (uint64_t)St.count(core::Tactic::T1))
+        .field("t2", (uint64_t)St.count(core::Tactic::T2))
+        .field("t3", (uint64_t)St.count(core::Tactic::T3))
+        .field("b0", (uint64_t)St.count(core::Tactic::B0))
+        .field("failed", (uint64_t)St.count(core::Tactic::Failed))
+        .field("degraded", St.count(core::Tactic::Failed) > 0)
+        .fixed("succ_pct", St.succPct())
+        .field("orig_bytes", Out->OrigFileSize)
+        .field("new_bytes", Out->NewFileSize)
+        .fixed("size_pct", Out->sizePct())
+        .field("verify_findings", (uint64_t)Out->Verify.Failures.size());
+    if (O.Repair) {
+      uint64_t Demoted = 0, Revoked = 0;
+      for (const repair::SiteRepair &S : Rep.Sites)
+        (S.Revoked ? Revoked : Demoted)++;
+      W.field("repair_converged", Rep.Converged)
+          .field("repair_rounds", (uint64_t)Rep.Rounds)
+          .field("repair_demoted", Demoted)
+          .field("repair_revoked", Revoked);
+    }
+    W.raw("metrics", Out->Metrics.toJson());
+    emit(W);
+    ++Stats.JobsOk;
+  }
+};
+
+Session::Session(ResponseSink Sink, SessionOptions Opts)
+    : M(std::make_unique<Impl>(std::move(Sink), Opts)) {}
+
+Session::~Session() = default;
+
+bool Session::feed(size_t LineNo, std::string_view Line) {
+  return M->handle(LineNo, Line);
+}
+
+bool Session::finish(size_t LineNo) {
+  if (M->Finished)
+    return !M->Stats.ProtocolError;
+  M->Finished = true;
+  if (M->Cur)
+    return M->protocolError(
+        LineNo, format("stream ended inside job #%zu (missing emit)",
+                       M->Cur->Index));
+  return true;
+}
+
+bool Session::jobOpen() const { return M->Cur.has_value(); }
+
+bool Session::helloNegotiated() const { return M->HelloSeen; }
+
+const SessionStats &Session::stats() const { return M->Stats; }

@@ -1,0 +1,123 @@
+//===- api/Session.h - One patch-request protocol session ------*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The session-oriented core of the patch-request API: one Session is one
+/// client conversation (open -> feed messages -> finish), independent of
+/// the transport carrying it. `e9tool apply`, `serve --stdin` and every
+/// socket connection of `serve --unix/--tcp` all run the same Session —
+/// which is what makes the served output byte-identical to a direct
+/// `e9tool rewrite` of the same input: there is exactly one code path
+/// from request lines to RewriteOptions.
+///
+/// Per-session state: the compiled-template LRU cache, the currently
+/// open job (binary..emit span), the negotiated protocol version, and
+/// the quota accounting. Responses leave through a caller-provided sink
+/// (one line per call, no trailing newline), so a socket transport can
+/// apply its own backpressure policy without the session knowing.
+///
+/// Error taxonomy (all structured, all on the response stream):
+///
+///   kind="protocol"  fatal — the stream cannot be trusted past this
+///                    point; feed() returns false and the transport
+///                    must tear the session down.
+///   kind="version"   fatal — handshake failure (unknown major).
+///   kind="quota"     recoverable — the offending *message* is rejected
+///                    and the stream continues; an over-quota job is
+///                    carried to its emit and reported as a failed job.
+///
+/// Job failures (unreadable input, rewrite errors) are not errors at the
+/// session level at all: they are `status ok:false` responses, and the
+/// stream continues — one bad job never kills its neighbours.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_API_SESSION_H
+#define E9_API_SESSION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace e9 {
+namespace api {
+
+/// Receives one rendered JSONL response line (no trailing newline).
+using ResponseSink = std::function<void(std::string_view Line)>;
+
+/// Per-session resource ceilings; 0 means unlimited. Over-quota messages
+/// are rejected with a typed `kind:"quota"` error, not a disconnect.
+struct SessionLimits {
+  /// Jobs (binary..emit spans) a session may run.
+  uint64_t MaxJobs = 0;
+  /// Patch-request messages a session may send (across all jobs).
+  uint64_t MaxPatchRequests = 0;
+  /// Template definitions a session may install.
+  uint64_t MaxTemplates = 0;
+};
+
+struct SessionOptions {
+  /// When nonzero, overrides the script's "jobs" option for every job
+  /// (the `e9tool apply --jobs=N` knob). Output bytes do not depend on
+  /// this value (see frontend/Shard.h).
+  unsigned JobsOverride = 0;
+  SessionLimits Limits;
+};
+
+struct SessionStats {
+  size_t JobsOk = 0;
+  size_t JobsFailed = 0;
+  /// Messages rejected by a quota ceiling (stream kept alive).
+  uint64_t QuotaRejected = 0;
+  /// True when the stream stopped on a protocol violation (an error
+  /// response was emitted and the remaining input was not processed).
+  bool ProtocolError = false;
+
+  bool ok() const { return !ProtocolError && JobsFailed == 0; }
+  int exitCode() const { return ok() ? 0 : 1; }
+};
+
+/// One client conversation. Construction opens the session; feed() it
+/// one request line at a time; finish() at end-of-stream. Not
+/// thread-safe — a session belongs to exactly one transport thread
+/// (concurrency happens across sessions, and inside a job's rewrite).
+class Session {
+public:
+  explicit Session(ResponseSink Sink,
+                   SessionOptions Opts = SessionOptions());
+  ~Session();
+  Session(Session &&) = delete;
+  Session &operator=(Session &&) = delete;
+
+  /// Handles one request line. Returns false on a fatal (protocol or
+  /// version) error — the error response has already been emitted and
+  /// the transport must stop feeding this session.
+  bool feed(size_t LineNo, std::string_view Line);
+
+  /// End-of-stream: an unfinished job is a protocol violation (returns
+  /// false, error emitted). Idempotent.
+  bool finish(size_t LineNo);
+
+  /// True while a binary..emit span is open — the drain logic of a
+  /// graceful shutdown waits for open jobs, not idle keep-alives.
+  bool jobOpen() const;
+
+  /// True once a hello handshake succeeded.
+  bool helloNegotiated() const;
+
+  const SessionStats &stats() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> M;
+};
+
+} // namespace api
+} // namespace e9
+
+#endif // E9_API_SESSION_H

@@ -1,0 +1,69 @@
+//===- support/Fd.cpp -----------------------------------------*- C++ -*-===//
+
+#include "support/Fd.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace e9;
+using namespace e9::support;
+
+void Fd::reset() {
+  if (Raw >= 0)
+    ::close(Raw);
+  Raw = -1;
+}
+
+namespace {
+
+PollResult pollOne(int RawFd, short Events, int TimeoutMs) {
+  struct pollfd P;
+  P.fd = RawFd;
+  P.events = Events;
+  P.revents = 0;
+  for (;;) {
+    int N = ::poll(&P, 1, TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return PollResult::Error;
+    }
+    if (N == 0)
+      return PollResult::Timeout;
+    // POLLHUP/POLLERR/POLLNVAL are "ready" in the sense that the next
+    // read()/write() will not block — it returns EOF or the real errno,
+    // which is where the caller diagnoses the condition.
+    return PollResult::Ready;
+  }
+}
+
+} // namespace
+
+PollResult support::pollReadable(int RawFd, int TimeoutMs) {
+  return pollOne(RawFd, POLLIN, TimeoutMs);
+}
+
+PollResult support::pollWritable(int RawFd, int TimeoutMs) {
+  return pollOne(RawFd, POLLOUT, TimeoutMs);
+}
+
+Status support::setNonBlocking(int RawFd, bool NonBlocking) {
+  int Flags = ::fcntl(RawFd, F_GETFL);
+  if (Flags < 0)
+    return Status::error("fcntl(F_GETFL) failed");
+  if (NonBlocking)
+    Flags |= O_NONBLOCK;
+  else
+    Flags &= ~O_NONBLOCK;
+  if (::fcntl(RawFd, F_SETFL, Flags) < 0)
+    return Status::error("fcntl(F_SETFL) failed");
+  return Status::ok();
+}
+
+Status support::setCloseOnExec(int RawFd) {
+  if (::fcntl(RawFd, F_SETFD, FD_CLOEXEC) < 0)
+    return Status::error("fcntl(FD_CLOEXEC) failed");
+  return Status::ok();
+}

@@ -1,0 +1,87 @@
+//===- support/Fd.h - RAII file descriptors + poll helpers ----*- C++ -*-===//
+//
+// Part of the E9Patch reproduction. Licensed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A move-only RAII owner for POSIX file descriptors and the small poll
+/// helpers the socket server's accept and read/write loops are built on.
+/// Everything here is transport-agnostic plumbing: sockets, pipes and
+/// regular files all flow through the same Fd type, and the poll helpers
+/// translate the EINTR/timeout dance into a three-valued answer the
+/// calling loop can switch on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef E9_SUPPORT_FD_H
+#define E9_SUPPORT_FD_H
+
+#include "support/Status.h"
+
+#include <utility>
+
+namespace e9 {
+namespace support {
+
+/// Owns one POSIX file descriptor; closes it on destruction. Move-only,
+/// -1 means "empty". close() errors are ignored by the destructor (there
+/// is no useful recovery at that point) but reset() is explicit for call
+/// sites that care about ordering.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int Raw) : Raw(Raw) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd &&O) noexcept : Raw(O.Raw) { O.Raw = -1; }
+  Fd &operator=(Fd &&O) noexcept {
+    if (this != &O) {
+      reset();
+      Raw = O.Raw;
+      O.Raw = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd &) = delete;
+  Fd &operator=(const Fd &) = delete;
+
+  int get() const { return Raw; }
+  bool valid() const { return Raw >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Releases ownership without closing; returns the raw descriptor.
+  int release() { return std::exchange(Raw, -1); }
+
+  /// Closes the descriptor now (idempotent).
+  void reset();
+
+private:
+  int Raw = -1;
+};
+
+/// Three-valued poll outcome: the caller's loop either acts (Ready),
+/// re-checks its stop conditions (Timeout) or tears down (Error).
+enum class PollResult { Ready, Timeout, Error };
+
+/// Waits until \p RawFd is readable, for at most \p TimeoutMs
+/// milliseconds (-1 = forever). EINTR retries transparently; POLLHUP and
+/// POLLERR report as Ready so the subsequent read() observes EOF or the
+/// error itself (the reader owns the diagnosis).
+PollResult pollReadable(int RawFd, int TimeoutMs);
+
+/// Same for writability. POLLERR/POLLHUP report as Ready so the write()
+/// surfaces the real errno (typically EPIPE).
+PollResult pollWritable(int RawFd, int TimeoutMs);
+
+/// Sets O_NONBLOCK on \p RawFd.
+Status setNonBlocking(int RawFd, bool NonBlocking = true);
+
+/// Sets FD_CLOEXEC on \p RawFd (rewrite jobs may fork in the future;
+/// client sockets must not leak into children).
+Status setCloseOnExec(int RawFd);
+
+} // namespace support
+} // namespace e9
+
+#endif // E9_SUPPORT_FD_H

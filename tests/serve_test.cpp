@@ -1,0 +1,710 @@
+//===- tests/serve_test.cpp - socket server + session API ------*- C++ -*-===//
+//
+// The rewriting service end to end over loopback clients: the versioned
+// hello handshake, concurrent sessions over a Unix socket, byte-identity
+// of served output with a direct rewrite for several jobs values,
+// mid-message client disconnects, garbage streams, per-session quota
+// rejection, capacity rejection, TCP transport, and the graceful
+// shutdown drain. Everything runs in-process (Server on its own thread,
+// raw client sockets on the test thread), so teardown ordering and stop
+// conditions are deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Driver.h"
+#include "api/Net.h"
+#include "api/Protocol.h"
+#include "api/Serve.h"
+#include "api/Session.h"
+
+#include "elf/Image.h"
+#include "frontend/Disasm.h"
+#include "frontend/Rewriter.h"
+#include "frontend/Select.h"
+#include "lowfat/LowFat.h"
+#include "support/Fd.h"
+#include "workload/Gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <netinet/in.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace e9;
+using support::Fd;
+
+namespace {
+
+std::string tmpPath(const std::string &Name) {
+  return ::testing::TempDir() + "/serve_" + std::to_string(::getpid()) +
+         "_" + Name;
+}
+
+std::vector<uint8_t> fileBytes(const std::string &Path) {
+  std::ifstream F(Path, std::ios::binary);
+  EXPECT_TRUE(F) << "cannot read " << Path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(F),
+                              std::istreambuf_iterator<char>());
+}
+
+/// Generates a deterministic workload and writes it to a temp file.
+std::string genWorkloadFile(const char *Name, uint64_t Seed,
+                            unsigned Funcs) {
+  workload::WorkloadConfig C;
+  C.Name = Name;
+  C.Seed = Seed;
+  C.NumFuncs = Funcs;
+  workload::Workload W = workload::generateWorkload(C);
+  std::string Path = tmpPath(Name);
+  EXPECT_TRUE(elf::writeFile(W.Image, Path).isOk());
+  return Path;
+}
+
+/// The RewriteOptions `e9tool rewrite <in> <out> --strict` builds — the
+/// byte-identity baseline for served output.
+frontend::RewriteOptions directOptions() {
+  frontend::RewriteOptions Opts;
+  Opts.Patch.Spec.Kind = core::TrampolineKind::Empty;
+  Opts.ExtraReserved.push_back(lowfat::heapReservation());
+  Opts.withStrict().withJobs(1);
+  return Opts;
+}
+
+/// Rewrites \p Bin directly (jumps selector, strict) and returns the
+/// output bytes.
+std::vector<uint8_t> directRewriteBytes(const std::string &Bin) {
+  auto Img = elf::readFile(Bin);
+  EXPECT_TRUE(Img.isOk());
+  frontend::DisasmResult Dis = frontend::linearDisassemble(*Img);
+  auto Out = frontend::rewrite(*Img, frontend::selectJumps(Dis.Insns),
+                               directOptions());
+  EXPECT_TRUE(Out.isOk()) << Out.reason();
+  const std::string Path = tmpPath("direct_ref.elf");
+  EXPECT_TRUE(elf::writeFile(Out->Rewritten, Path).isOk());
+  return fileBytes(Path);
+}
+
+/// A blocking loopback client speaking the JSONL protocol.
+class Client {
+public:
+  static Client connectUnix(const std::string &Path) {
+    Client C;
+    C.Sock = Fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    EXPECT_TRUE(C.Sock.valid());
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    EXPECT_LT(Path.size(), sizeof(Addr.sun_path));
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    C.Connected = ::connect(C.Sock.get(),
+                            reinterpret_cast<sockaddr *>(&Addr),
+                            sizeof(Addr)) == 0;
+    return C;
+  }
+
+  static Client connectTcp(uint16_t Port) {
+    Client C;
+    C.Sock = Fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    EXPECT_TRUE(C.Sock.valid());
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(Port);
+    C.Connected = ::connect(C.Sock.get(),
+                            reinterpret_cast<sockaddr *>(&Addr),
+                            sizeof(Addr)) == 0;
+    return C;
+  }
+
+  bool connected() const { return Connected; }
+
+  void send(const std::string &Data) {
+    size_t Off = 0;
+    while (Off != Data.size()) {
+      ssize_t N = ::send(Sock.get(), Data.data() + Off, Data.size() - Off,
+                         MSG_NOSIGNAL);
+      if (N < 0 && errno == EINTR)
+        continue;
+      ASSERT_GT(N, 0) << "client send failed: " << std::strerror(errno);
+      Off += (size_t)N;
+    }
+  }
+
+  void sendLine(const std::string &Line) { send(Line + "\n"); }
+
+  /// Reads one '\n'-terminated line; "" on EOF/timeout.
+  std::string readLine(int TimeoutMs = 10000) {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line;
+      }
+      if (support::pollReadable(Sock.get(), TimeoutMs) !=
+          support::PollResult::Ready)
+        return "";
+      char Chunk[4096];
+      ssize_t N = ::read(Sock.get(), Chunk, sizeof(Chunk));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return "";
+      Buf.append(Chunk, (size_t)N);
+    }
+  }
+
+  /// Reads until EOF; returns everything (including buffered).
+  std::string readAll(int TimeoutMs = 10000) {
+    for (;;) {
+      if (support::pollReadable(Sock.get(), TimeoutMs) !=
+          support::PollResult::Ready)
+        break;
+      char Chunk[4096];
+      ssize_t N = ::read(Sock.get(), Chunk, sizeof(Chunk));
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        break;
+      Buf.append(Chunk, (size_t)N);
+    }
+    return std::move(Buf);
+  }
+
+  void close() { Sock.reset(); }
+
+private:
+  Fd Sock;
+  std::string Buf;
+  bool Connected = false;
+};
+
+/// Starts a Server on a fresh Unix socket + its own thread; stops and
+/// joins on destruction.
+class TestServer {
+public:
+  explicit TestServer(api::ServeOptions Opts = api::ServeOptions(),
+                      const char *Tag = "sock") {
+    SockPath = tmpPath(std::string(Tag) + ".sock");
+    ::unlink(SockPath.c_str());
+    auto L = api::Listener::unixSocket(SockPath);
+    EXPECT_TRUE(L.isOk()) << L.reason();
+    S = std::make_unique<api::Server>(L.take(), Opts);
+    T = std::thread([this] { S->run(); });
+    // Wait until the accept loop is live (run() sets Running first).
+    while (!S->running())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ~TestServer() { stop(); }
+
+  void stop() {
+    if (S)
+      S->shutdown();
+    if (T.joinable())
+      T.join();
+  }
+
+  api::Server &server() { return *S; }
+  const std::string &path() const { return SockPath; }
+
+private:
+  std::string SockPath;
+  std::unique_ptr<api::Server> S;
+  std::thread T;
+};
+
+/// The canonical "rewrite Bin to Out, strict, jobs=J" script.
+std::string jobScript(const std::string &Bin, const std::string &Out,
+                      unsigned Jobs) {
+  return "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+         "{\"type\":\"template\",\"name\":\"pass\",\"body\":"
+         "\"$instruction $continue\"}\n"
+         "{\"type\":\"option\",\"name\":\"jobs\",\"value\":\"" +
+         std::to_string(Jobs) + "\"}\n"
+         "{\"type\":\"option\",\"name\":\"strict\",\"value\":\"true\"}\n"
+         "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":"
+         "\"pass\"}\n"
+         "{\"type\":\"emit\",\"path\":\"" + Out + "\"}\n";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Handshake
+//===----------------------------------------------------------------------===//
+
+TEST(Handshake, HelloNegotiatesVersionAndCapabilities) {
+  std::ostringstream Out;
+  api::Session S([&Out](std::string_view L) { Out << L << '\n'; });
+  EXPECT_FALSE(S.helloNegotiated());
+  EXPECT_TRUE(S.feed(1, "{\"type\":\"hello\",\"version\":\"1.0\"}"));
+  EXPECT_TRUE(S.helloNegotiated());
+  const std::string R = Out.str();
+  EXPECT_NE(R.find("\"type\":\"hello\""), std::string::npos) << R;
+  EXPECT_NE(R.find("\"version\":\"1.0\""), std::string::npos) << R;
+  EXPECT_NE(R.find("\"capabilities\":\"templates,repair,profile\""),
+            std::string::npos)
+      << R;
+  EXPECT_TRUE(S.finish(2));
+}
+
+TEST(Handshake, ResponsesEchoNegotiatedVersion) {
+  std::ostringstream Out;
+  api::Session S([&Out](std::string_view L) { Out << L << '\n'; });
+  ASSERT_TRUE(S.feed(1, "{\"type\":\"hello\",\"version\":\"1.7\"}"));
+  // Minor negotiation picks the lower side: server is 1.0.
+  EXPECT_NE(Out.str().find("\"version\":\"1.0\""), std::string::npos);
+  // A later error response carries the negotiated major in "v".
+  EXPECT_FALSE(S.feed(2, "{\"type\":\"emit\",\"path\":\"x\"}"));
+  EXPECT_NE(Out.str().find("\"type\":\"error\",\"v\":1"),
+            std::string::npos)
+      << Out.str();
+}
+
+TEST(Handshake, UnknownMajorFailsClosed) {
+  std::ostringstream Out;
+  api::Session S([&Out](std::string_view L) { Out << L << '\n'; });
+  EXPECT_FALSE(S.feed(1, "{\"type\":\"hello\",\"version\":\"2.0\"}"));
+  EXPECT_TRUE(S.stats().ProtocolError);
+  const std::string R = Out.str();
+  EXPECT_NE(R.find("\"kind\":\"version\""), std::string::npos) << R;
+  EXPECT_NE(R.find("unsupported protocol major version 2"),
+            std::string::npos)
+      << R;
+}
+
+TEST(Handshake, MalformedVersionAndMisplacedHelloFailClosed) {
+  {
+    std::ostringstream Out;
+    api::Session S([&Out](std::string_view L) { Out << L << '\n'; });
+    EXPECT_FALSE(S.feed(1, "{\"type\":\"hello\",\"version\":\"one\"}"));
+    EXPECT_NE(Out.str().find("\"kind\":\"version\""), std::string::npos);
+  }
+  {
+    std::ostringstream Out;
+    api::Session S([&Out](std::string_view L) { Out << L << '\n'; });
+    ASSERT_TRUE(S.feed(
+        1, "{\"type\":\"template\",\"name\":\"t\",\"body\":\"$continue\"}"));
+    EXPECT_FALSE(S.feed(2, "{\"type\":\"hello\",\"version\":\"1.0\"}"));
+    EXPECT_NE(Out.str().find("hello must be the first message"),
+              std::string::npos);
+  }
+  {
+    std::ostringstream Out;
+    api::Session S([&Out](std::string_view L) { Out << L << '\n'; });
+    ASSERT_TRUE(S.feed(1, "{\"type\":\"hello\",\"version\":\"1.0\"}"));
+    EXPECT_FALSE(S.feed(2, "{\"type\":\"hello\",\"version\":\"1.0\"}"));
+    EXPECT_NE(Out.str().find("duplicate hello"), std::string::npos);
+  }
+}
+
+TEST(Handshake, VersionParser) {
+  unsigned Maj = 0, Min = 0;
+  EXPECT_TRUE(api::parseProtocolVersion("1.0", Maj, Min));
+  EXPECT_EQ(Maj, 1u);
+  EXPECT_EQ(Min, 0u);
+  EXPECT_TRUE(api::parseProtocolVersion("1", Maj, Min));
+  EXPECT_EQ(Min, 0u);
+  EXPECT_TRUE(api::parseProtocolVersion("12.34", Maj, Min));
+  EXPECT_EQ(Maj, 12u);
+  EXPECT_EQ(Min, 34u);
+  EXPECT_FALSE(api::parseProtocolVersion("", Maj, Min));
+  EXPECT_FALSE(api::parseProtocolVersion("1.", Maj, Min));
+  EXPECT_FALSE(api::parseProtocolVersion(".1", Maj, Min));
+  EXPECT_FALSE(api::parseProtocolVersion("1.0.0", Maj, Min));
+  EXPECT_FALSE(api::parseProtocolVersion("v1", Maj, Min));
+  EXPECT_FALSE(api::parseProtocolVersion("1.x", Maj, Min));
+}
+
+//===----------------------------------------------------------------------===//
+// Quotas (session API level)
+//===----------------------------------------------------------------------===//
+
+TEST(Quota, PatchRequestQuotaRejectsMessageNotSession) {
+  const std::string Bin = genWorkloadFile("quota_patch.elf", 21, 8);
+  const std::string Out = tmpPath("quota_patch_out.elf");
+  api::SessionOptions Opts;
+  Opts.Limits.MaxPatchRequests = 1;
+  std::ostringstream Resp;
+  api::Session S([&Resp](std::string_view L) { Resp << L << '\n'; },
+                 Opts);
+  ASSERT_TRUE(S.feed(
+      1, "{\"type\":\"template\",\"name\":\"pass\",\"body\":"
+         "\"$instruction $continue\"}"));
+  ASSERT_TRUE(S.feed(2, "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}"));
+  ASSERT_TRUE(S.feed(
+      3, "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"pass\"}"));
+  // Second patch request trips the quota: typed error, stream alive.
+  ASSERT_TRUE(S.feed(
+      4, "{\"type\":\"patch\",\"select\":\"all\",\"template\":\"pass\"}"));
+  EXPECT_NE(Resp.str().find("\"kind\":\"quota\""), std::string::npos)
+      << Resp.str();
+  EXPECT_NE(Resp.str().find("patch-request quota"), std::string::npos);
+  ASSERT_TRUE(S.feed(5, "{\"type\":\"emit\",\"path\":\"" + Out + "\"}"));
+  EXPECT_TRUE(S.finish(6));
+  EXPECT_EQ(S.stats().JobsOk, 1u);
+  EXPECT_EQ(S.stats().QuotaRejected, 1u);
+  EXPECT_FALSE(S.stats().ProtocolError);
+  // The accepted first request ran: output equals the direct rewrite
+  // (the rejected "all" request did not widen the patch set).
+  EXPECT_EQ(fileBytes(Out), directRewriteBytes(Bin));
+}
+
+TEST(Quota, TemplateQuotaRejectsDefinition) {
+  api::SessionOptions Opts;
+  Opts.Limits.MaxTemplates = 1;
+  std::ostringstream Resp;
+  api::Session S([&Resp](std::string_view L) { Resp << L << '\n'; },
+                 Opts);
+  ASSERT_TRUE(S.feed(
+      1, "{\"type\":\"template\",\"name\":\"a\",\"body\":\"$continue\"}"));
+  ASSERT_TRUE(S.feed(
+      2, "{\"type\":\"template\",\"name\":\"b\",\"body\":\"$continue\"}"));
+  EXPECT_NE(Resp.str().find("template quota"), std::string::npos);
+  EXPECT_EQ(S.stats().QuotaRejected, 1u);
+  EXPECT_FALSE(S.stats().ProtocolError);
+}
+
+TEST(Quota, JobQuotaCarriesRejectedJobToItsEmit) {
+  const std::string Bin = genWorkloadFile("quota_job.elf", 22, 8);
+  const std::string OutA = tmpPath("quota_job_a.elf");
+  const std::string OutB = tmpPath("quota_job_b.elf");
+  api::SessionOptions Opts;
+  Opts.Limits.MaxJobs = 1;
+  std::ostringstream Resp;
+  api::Session S([&Resp](std::string_view L) { Resp << L << '\n'; },
+                 Opts);
+  const std::string Script =
+      "{\"type\":\"template\",\"name\":\"pass\",\"body\":"
+      "\"$instruction $continue\"}\n" +
+      std::string("{\"type\":\"binary\",\"path\":\"") + Bin + "\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"pass\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + OutA + "\"}\n"
+      "{\"type\":\"binary\",\"path\":\"" + Bin + "\"}\n"
+      "{\"type\":\"patch\",\"select\":\"jumps\",\"template\":\"pass\"}\n"
+      "{\"type\":\"emit\",\"path\":\"" + OutB + "\"}\n";
+  std::istringstream In(Script);
+  std::string Line;
+  size_t LineNo = 0;
+  bool Alive = true;
+  while (Alive && std::getline(In, Line))
+    Alive = S.feed(++LineNo, Line);
+  EXPECT_TRUE(Alive);
+  EXPECT_TRUE(S.finish(LineNo + 1));
+  // Job 1 ran; job 2 was quota-rejected but the stream stayed coherent
+  // to its emit, which reports a failed job.
+  EXPECT_EQ(S.stats().JobsOk, 1u);
+  EXPECT_EQ(S.stats().JobsFailed, 1u);
+  EXPECT_EQ(S.stats().QuotaRejected, 1u);
+  EXPECT_NE(Resp.str().find("job quota"), std::string::npos);
+  EXPECT_NE(Resp.str().find("\"job\":2,\"ok\":false"), std::string::npos)
+      << Resp.str();
+  EXPECT_EQ(fileBytes(OutA), directRewriteBytes(Bin));
+  EXPECT_NE(::access(OutB.c_str(), F_OK), 0); // never written
+}
+
+//===----------------------------------------------------------------------===//
+// Socket service
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, ServedOutputByteIdenticalToDirectRewriteAcrossJobs) {
+  const std::string Bin = genWorkloadFile("serve_det.elf", 2026, 48);
+  const std::vector<uint8_t> Want = directRewriteBytes(Bin);
+  TestServer Srv;
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    Client C = Client::connectUnix(Srv.path());
+    ASSERT_TRUE(C.connected());
+    C.sendLine("{\"type\":\"hello\",\"version\":\"1.0\"}");
+    EXPECT_NE(C.readLine().find("\"type\":\"hello\""), std::string::npos);
+    const std::string Out =
+        tmpPath("serve_det_out_" + std::to_string(Jobs) + ".elf");
+    C.send(jobScript(Bin, Out, Jobs));
+    const std::string Status = C.readLine();
+    EXPECT_NE(Status.find("\"ok\":true"), std::string::npos) << Status;
+    EXPECT_NE(Status.find("\"v\":1"), std::string::npos) << Status;
+    C.close();
+    EXPECT_EQ(fileBytes(Out), Want) << "jobs=" << Jobs;
+  }
+  Srv.stop();
+  obs::MetricsSnapshot M = Srv.server().metrics();
+  EXPECT_EQ(M.counter("serve.sessions_opened"), 3u);
+  EXPECT_EQ(M.counter("serve.sessions_ok"), 3u);
+  EXPECT_EQ(M.counter("serve.jobs_ok"), 3u);
+}
+
+TEST(Serve, ConcurrentSessionsAllComplete) {
+  const std::string Bin = genWorkloadFile("serve_conc.elf", 31, 24);
+  const std::vector<uint8_t> Want = directRewriteBytes(Bin);
+  TestServer Srv;
+  constexpr unsigned N = 4;
+  std::vector<std::thread> Threads;
+  std::vector<std::string> Statuses(N);
+  for (unsigned I = 0; I != N; ++I) {
+    Threads.emplace_back([&, I] {
+      Client C = Client::connectUnix(Srv.path());
+      ASSERT_TRUE(C.connected());
+      const std::string Out =
+          tmpPath("serve_conc_out_" + std::to_string(I) + ".elf");
+      C.send(jobScript(Bin, Out, 1 + I % 2));
+      Statuses[I] = C.readLine(30000);
+      C.close();
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned I = 0; I != N; ++I) {
+    // Each session saw only its own job (job numbering restarts at 1
+    // per session) and produced the exact direct-rewrite bytes.
+    EXPECT_NE(Statuses[I].find("\"job\":1,\"ok\":true"), std::string::npos)
+        << Statuses[I];
+    EXPECT_EQ(
+        fileBytes(tmpPath("serve_conc_out_" + std::to_string(I) + ".elf")),
+        Want)
+        << I;
+  }
+  Srv.stop();
+  EXPECT_EQ(Srv.server().metrics().counter("serve.sessions_ok"), (uint64_t)N);
+}
+
+TEST(Serve, MidMessageDisconnectIsolatedFromNeighbour) {
+  const std::string Bin = genWorkloadFile("serve_disc.elf", 32, 16);
+  TestServer Srv;
+  {
+    // Disconnect mid-job (no emit) — and mid-message: a half JSONL line.
+    Client C = Client::connectUnix(Srv.path());
+    ASSERT_TRUE(C.connected());
+    C.sendLine("{\"type\":\"binary\",\"path\":\"" + Bin + "\"}");
+    C.send("{\"type\":\"patch\",\"sel"); // torn message, then gone
+    C.close();
+  }
+  // A neighbour connected after the failure is served normally.
+  const std::string Out = tmpPath("serve_disc_out.elf");
+  Client C2 = Client::connectUnix(Srv.path());
+  ASSERT_TRUE(C2.connected());
+  C2.send(jobScript(Bin, Out, 2));
+  EXPECT_NE(C2.readLine(30000).find("\"ok\":true"), std::string::npos);
+  C2.close();
+  Srv.stop();
+  obs::MetricsSnapshot M = Srv.server().metrics();
+  EXPECT_EQ(M.counter("serve.sessions_failed"), 1u);
+  EXPECT_EQ(M.counter("serve.sessions_ok"), 1u);
+  EXPECT_EQ(fileBytes(Out), directRewriteBytes(Bin));
+}
+
+TEST(Serve, GarbageStreamGetsStructuredErrorAndTeardown) {
+  TestServer Srv;
+  Client C = Client::connectUnix(Srv.path());
+  ASSERT_TRUE(C.connected());
+  C.sendLine("this is not json at all");
+  const std::string All = C.readAll();
+  EXPECT_NE(All.find("\"type\":\"error\""), std::string::npos) << All;
+  EXPECT_NE(All.find("\"kind\":\"protocol\""), std::string::npos) << All;
+  C.close();
+  Srv.stop();
+  EXPECT_EQ(Srv.server().metrics().counter("serve.sessions_failed"), 1u);
+}
+
+TEST(Serve, OverQuotaRejectionOverSocket) {
+  const std::string Bin = genWorkloadFile("serve_quota.elf", 33, 8);
+  api::ServeOptions Opts;
+  Opts.Session.Limits.MaxPatchRequests = 1;
+  TestServer Srv(Opts);
+  Client C = Client::connectUnix(Srv.path());
+  ASSERT_TRUE(C.connected());
+  const std::string Out = tmpPath("serve_quota_out.elf");
+  C.sendLine("{\"type\":\"template\",\"name\":\"pass\",\"body\":"
+             "\"$instruction $continue\"}");
+  C.sendLine("{\"type\":\"binary\",\"path\":\"" + Bin + "\"}");
+  C.sendLine("{\"type\":\"patch\",\"select\":\"jumps\",\"template\":"
+             "\"pass\"}");
+  C.sendLine("{\"type\":\"patch\",\"select\":\"all\",\"template\":"
+             "\"pass\"}");
+  const std::string Err = C.readLine();
+  EXPECT_NE(Err.find("\"kind\":\"quota\""), std::string::npos) << Err;
+  // The session survived the rejection: the job still completes.
+  C.sendLine("{\"type\":\"emit\",\"path\":\"" + Out + "\"}");
+  EXPECT_NE(C.readLine(30000).find("\"ok\":true"), std::string::npos);
+  C.close();
+  Srv.stop();
+  obs::MetricsSnapshot M = Srv.server().metrics();
+  EXPECT_EQ(M.counter("serve.quota_rejected"), 1u);
+  EXPECT_EQ(M.counter("serve.sessions_ok"), 1u);
+  EXPECT_EQ(fileBytes(Out), directRewriteBytes(Bin));
+}
+
+TEST(Serve, CapacityRejectionIsTyped) {
+  api::ServeOptions Opts;
+  Opts.MaxConnections = 0; // everything is over capacity
+  TestServer Srv(Opts);
+  Client C = Client::connectUnix(Srv.path());
+  ASSERT_TRUE(C.connected());
+  const std::string All = C.readAll();
+  EXPECT_NE(All.find("\"kind\":\"capacity\""), std::string::npos) << All;
+  C.close();
+  Srv.stop();
+  EXPECT_EQ(Srv.server().metrics().counter("serve.capacity_rejected"), 1u);
+}
+
+TEST(Serve, TcpLoopbackTransport) {
+  const std::string Bin = genWorkloadFile("serve_tcp.elf", 34, 12);
+  auto L = api::Listener::tcpLoopback(0);
+  ASSERT_TRUE(L.isOk()) << L.reason();
+  api::Server Srv(L.take(), api::ServeOptions());
+  std::thread T([&Srv] { Srv.run(); });
+  while (!Srv.running())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_NE(Srv.port(), 0u);
+
+  Client C = Client::connectTcp(Srv.port());
+  ASSERT_TRUE(C.connected());
+  C.sendLine("{\"type\":\"hello\",\"version\":\"1.0\"}");
+  EXPECT_NE(C.readLine().find("\"capabilities\""), std::string::npos);
+  const std::string Out = tmpPath("serve_tcp_out.elf");
+  C.send(jobScript(Bin, Out, 2));
+  EXPECT_NE(C.readLine(30000).find("\"ok\":true"), std::string::npos);
+  C.close();
+  Srv.shutdown();
+  T.join();
+  EXPECT_EQ(fileBytes(Out), directRewriteBytes(Bin));
+}
+
+TEST(Serve, SplitWritesReassembleIntoMessages) {
+  // A client trickling bytes (worst-case framing) must parse exactly
+  // like a one-shot writer: the reader reassembles lines across reads.
+  const std::string Bin = genWorkloadFile("serve_split.elf", 35, 8);
+  TestServer Srv;
+  Client C = Client::connectUnix(Srv.path());
+  ASSERT_TRUE(C.connected());
+  const std::string Out = tmpPath("serve_split_out.elf");
+  const std::string Script = jobScript(Bin, Out, 1);
+  for (size_t I = 0; I < Script.size(); I += 7)
+    C.send(Script.substr(I, 7));
+  EXPECT_NE(C.readLine(30000).find("\"ok\":true"), std::string::npos);
+  C.close();
+  Srv.stop();
+  EXPECT_EQ(fileBytes(Out), directRewriteBytes(Bin));
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful shutdown
+//===----------------------------------------------------------------------===//
+
+TEST(Shutdown, DrainsInFlightSessionThenRefusesNew) {
+  const std::string Bin = genWorkloadFile("serve_drain.elf", 36, 16);
+  TestServer Srv;
+  const std::string SockPath = Srv.path();
+
+  // Open a job, then request shutdown while it is unfinished.
+  Client C = Client::connectUnix(SockPath);
+  ASSERT_TRUE(C.connected());
+  C.sendLine("{\"type\":\"binary\",\"path\":\"" + Bin + "\"}");
+  C.sendLine("{\"type\":\"template\",\"name\":\"pass\",\"body\":"
+             "\"$instruction $continue\"}");
+  C.sendLine("{\"type\":\"patch\",\"select\":\"jumps\",\"template\":"
+             "\"pass\"}");
+
+  std::thread Stopper([&Srv] { Srv.server().shutdown(); });
+  // Give the shutdown a moment to close the listener, then finish the
+  // in-flight job: the drain must still serve it to completion.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const std::string Out = tmpPath("serve_drain_out.elf");
+  C.sendLine("{\"type\":\"emit\",\"path\":\"" + Out + "\"}");
+  const std::string Status = C.readLine(30000);
+  EXPECT_NE(Status.find("\"ok\":true"), std::string::npos) << Status;
+  C.close();
+  Stopper.join();
+
+  // Drained and stopped: the socket node is gone, new connects fail.
+  Client C2 = Client::connectUnix(SockPath);
+  EXPECT_FALSE(C2.connected());
+  EXPECT_EQ(fileBytes(Out), directRewriteBytes(Bin));
+  obs::MetricsSnapshot M = Srv.server().metrics();
+  EXPECT_EQ(M.counter("serve.sessions_ok"), 1u);
+  EXPECT_EQ(M.counter("serve.jobs_ok"), 1u);
+}
+
+TEST(Shutdown, DrainDeadlineFailsUnfinishedJobClosed) {
+  const std::string Bin = genWorkloadFile("serve_stall.elf", 37, 8);
+  api::ServeOptions Opts;
+  Opts.DrainTimeoutMs = 300; // stalling client gets 300ms of grace
+  TestServer Srv(Opts);
+  Client C = Client::connectUnix(Srv.path());
+  ASSERT_TRUE(C.connected());
+  C.sendLine("{\"type\":\"binary\",\"path\":\"" + Bin + "\"}");
+  // Never send the emit: the drain deadline must cut the session loose
+  // (shutdown() returning at all is the real assertion here).
+  Srv.server().shutdown();
+  const std::string All = C.readAll(2000);
+  EXPECT_NE(All.find("stream ended inside job"), std::string::npos) << All;
+  C.close();
+  EXPECT_EQ(Srv.server().metrics().counter("serve.sessions_failed"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Net layer
+//===----------------------------------------------------------------------===//
+
+TEST(Net, UnixListenerRefusesToStealALivePath) {
+  const std::string Path = tmpPath("steal.sock");
+  ::unlink(Path.c_str());
+  auto A = api::Listener::unixSocket(Path);
+  ASSERT_TRUE(A.isOk()) << A.reason();
+  auto B = api::Listener::unixSocket(Path);
+  EXPECT_FALSE(B.isOk()); // fail closed: never unlink a live server
+}
+
+TEST(Net, UnixListenerUnlinksOnClose) {
+  const std::string Path = tmpPath("unlink.sock");
+  ::unlink(Path.c_str());
+  {
+    auto L = api::Listener::unixSocket(Path);
+    ASSERT_TRUE(L.isOk());
+    EXPECT_EQ(::access(Path.c_str(), F_OK), 0);
+  }
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0);
+}
+
+TEST(Net, OverlongUnixPathFails) {
+  auto L = api::Listener::unixSocket(std::string(200, 'x'));
+  EXPECT_FALSE(L.isOk());
+  EXPECT_NE(L.reason().find("too long"), std::string::npos);
+}
+
+TEST(Net, WriteTimeoutFailsClosedOnUndrainingPeer) {
+  int Pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+  Fd Reader(Pair[0]);
+  // Tiny queue bound + tiny timeout: a peer that never reads must fail
+  // the connection instead of blocking its thread forever.
+  api::Connection C(Fd(Pair[1]), /*WriteQueueLimit=*/1024,
+                    /*WriteTimeoutMs=*/100);
+  const std::string Big(1 << 22, 'x'); // far beyond any socket buffer
+  Status S = C.writeLine(Big);
+  EXPECT_FALSE(S.isOk());
+  EXPECT_NE(S.reason().find("not draining"), std::string::npos)
+      << S.reason();
+}
+
+TEST(Net, EofDeliversFinalUnterminatedLine) {
+  int Pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+  {
+    Fd Writer(Pair[0]);
+    ASSERT_EQ(::send(Writer.get(), "tail-no-newline", 15, MSG_NOSIGNAL),
+              15);
+  } // close: EOF
+  api::Connection C(Fd(Pair[1]), 1024, 100);
+  std::string Line;
+  EXPECT_EQ(C.readLine(Line, 1000), api::Connection::ReadResult::Line);
+  EXPECT_EQ(Line, "tail-no-newline");
+  EXPECT_EQ(C.readLine(Line, 10), api::Connection::ReadResult::Eof);
+}

@@ -26,6 +26,11 @@
 # never perturb the output binary, the Chrome trace export must be
 # well-formed, and the adversarial robustness corpus must not regress
 # against the committed BENCH_robustness.json scoreboard.
+# Finally, the serve gate: the socket test suite under ASan, then a real
+# ASan `e9tool serve` on a temp Unix socket driven by 4 concurrent
+# clients — served outputs byte-identical to the direct rewrite, SIGTERM
+# drains to exit 0 (unclean teardown would trip the leak checker), and
+# the server metrics record 4 clean sessions.
 #
 # Usage: tools/check.sh [jobs]
 set -eu
@@ -33,22 +38,22 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== [1/11] configure + build (default flags) =="
+echo "== [1/12] configure + build (default flags) =="
 cmake -S "$ROOT" -B "$ROOT/build" -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 
-echo "== [2/11] full test suite =="
+echo "== [2/12] full test suite =="
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS" \
   || ctest --test-dir "$ROOT/build" --output-on-failure --rerun-failed
 
-echo "== [3/11] configure + build (ASan + UBSan) =="
+echo "== [3/12] configure + build (ASan + UBSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=address >/dev/null
 cmake --build "$ROOT/build-asan" -j "$JOBS" --target \
   verifier_test fault_injection_test elf_test core_test support_test \
   obs_test api_test repair_test e9tool
 
-echo "== [4/11] robustness sweeps under ASan + UBSan =="
+echo "== [4/12] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/support_test"
 "$ROOT/build-asan/tests/core_test"
 "$ROOT/build-asan/tests/obs_test"
@@ -57,18 +62,18 @@ echo "== [4/11] robustness sweeps under ASan + UBSan =="
 "$ROOT/build-asan/tests/verifier_test"
 "$ROOT/build-asan/tests/fault_injection_test"
 
-echo "== [5/11] configure + build (TSan) =="
+echo "== [5/12] configure + build (TSan) =="
 cmake -S "$ROOT" -B "$ROOT/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DE9_SANITIZE=thread >/dev/null
 cmake --build "$ROOT/build-tsan" -j "$JOBS" --target parallel_test \
   repair_test
 
-echo "== [6/11] sharded patcher + repair loop under TSan =="
+echo "== [6/12] sharded patcher + repair loop under TSan =="
 "$ROOT/build-tsan/tests/parallel_test"
 "$ROOT/build-tsan/tests/repair_test" \
   --gtest_filter='Repair.RepairedOutputByteIdenticalAcrossJobs'
 
-echo "== [7/11] trace determinism + schema gate (e9tool end-to-end) =="
+echo "== [7/12] trace determinism + schema gate (e9tool end-to-end) =="
 E9="$ROOT/build/tools/e9tool"
 TDIR="$(mktemp -d)"
 trap 'rm -rf "$TDIR"' EXIT
@@ -83,7 +88,7 @@ cmp "$TDIR/out1.elf" "$TDIR/out4.elf"   # binary identical across --jobs
 cmp "$TDIR/out1.elf" "$TDIR/plain.elf"  # tracing never perturbs output
 "$E9" stats "$TDIR/t4.jsonl" >/dev/null # schema-valid, summary coherent
 
-echo "== [8/11] batch protocol gate: apply == rewrite, under ASan =="
+echo "== [8/12] batch protocol gate: apply == rewrite, under ASan =="
 E9A="$ROOT/build-asan/tools/e9tool"
 cat > "$TDIR/apply.jsonl" <<EOF
 {"type":"binary","path":"$TDIR/w.elf"}
@@ -104,7 +109,7 @@ if printf '{"type":"frobnicate"}\n' | "$E9A" serve --stdin \
 fi
 grep -q '"type":"error"' "$TDIR/serve.jsonl"
 
-echo "== [9/11] repair-loop gate: chaos convergence under ASan =="
+echo "== [9/12] repair-loop gate: chaos convergence under ASan =="
 "$E9A" gen "$TDIR/chaos.elf" --seed=7 --funcs=24 >/dev/null
 "$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos1.elf" --self-verify \
   --chaos=11 --jobs=1 --trace="$TDIR/chaos.jsonl" >/dev/null
@@ -121,7 +126,7 @@ if "$E9A" rewrite "$TDIR/chaos.elf" "$TDIR/chaos0.elf" --self-verify \
 fi
 test ! -f "$TDIR/chaos0.elf"
 
-echo "== [10/11] perf smoke: bench_micro vs committed baseline =="
+echo "== [10/12] perf smoke: bench_micro vs committed baseline =="
 # Median-of-5 per benchmark against BENCH_micro.baseline.json; >25% slower
 # on any benchmark fails the gate, after a suite-wide machine-noise
 # normalization (see tools/perf_smoke.py). The arena, mmap and prescan hot
@@ -142,7 +147,7 @@ else
   echo "check.sh: python3 not found; skipping perf smoke"
 fi
 
-echo "== [11/11] observatory gate: profile determinism + corpus scoreboard =="
+echo "== [11/12] observatory gate: profile determinism + corpus scoreboard =="
 # The span tree's structure (names, shards, counts, child order) is a pure
 # function of (input, options); only the adjacent total_ms/self_ms pair is
 # wall-clock. Strip that pair and the profile must be byte-identical for
@@ -166,5 +171,65 @@ grep -q 'tactic\.' "$TDIR/folded.txt"           # per-tactic attribution
 "$E9" corpus "$TDIR/robust.json" >/dev/null
 "$E9" stats --compare "$ROOT/BENCH_robustness.json" "$TDIR/robust.json" \
   --threshold=0
+
+echo "== [12/12] serve gate: concurrent socket sessions under ASan =="
+# The rewriting service end to end: an ASan `e9tool serve` on a temp Unix
+# socket, 4 concurrent loopback clients each negotiating the hello
+# handshake and running one strict rewrite job. Every served output must
+# be byte-identical to the direct `rewrite` from gate [7/12], SIGTERM
+# must drain to exit 0 (which is also the ASan leak gate: an unclean
+# teardown leaks the live sessions), and per-session quotas must reject
+# with a typed error without dropping the session.
+cmake --build "$ROOT/build-asan" -j "$JOBS" --target serve_test
+"$ROOT/build-asan/tests/serve_test"
+if command -v python3 >/dev/null 2>&1; then
+  SSOCK="$TDIR/serve.sock"
+  "$E9A" serve --unix="$SSOCK" --max-requests=64 --drain-ms=3000 \
+    --metrics="$TDIR/serve_metrics.json" 2>"$TDIR/serve.log" &
+  SRVPID=$!
+  for _ in $(seq 100); do [ -S "$SSOCK" ] && break; sleep 0.1; done
+  python3 - "$SSOCK" "$TDIR/w.elf" "$TDIR" <<'EOF'
+import json, socket, sys, threading
+sock_path, binary, tdir = sys.argv[1:4]
+errors = []
+def client(i):
+    try:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(sock_path)
+        msgs = [
+            {"type": "hello", "version": "1.0"},
+            {"type": "binary", "path": binary},
+            {"type": "template", "name": "pass",
+             "body": "$instruction $continue"},
+            {"type": "option", "name": "jobs", "value": str(1 + i % 4)},
+            {"type": "option", "name": "strict", "value": "true"},
+            {"type": "patch", "select": "jumps", "template": "pass"},
+            {"type": "emit", "path": f"{tdir}/served_{i}.elf"},
+        ]
+        s.sendall("".join(json.dumps(m) + "\n" for m in msgs).encode())
+        f = s.makefile()
+        hello = json.loads(f.readline())
+        assert hello["type"] == "hello" and hello["v"] == 1, hello
+        status = json.loads(f.readline())
+        assert status["ok"] is True, status
+        s.close()
+    except Exception as e:  # noqa: BLE001 - report, don't hang the gate
+        errors.append(f"client {i}: {e!r}")
+threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+for t in threads: t.start()
+for t in threads: t.join()
+if errors:
+    sys.exit("\n".join(errors))
+EOF
+  for I in 0 1 2 3; do
+    cmp "$TDIR/served_$I.elf" "$TDIR/out4.elf" # served == direct rewrite
+  done
+  kill -TERM "$SRVPID"
+  wait "$SRVPID"                 # graceful shutdown: exit 0, zero leaks
+  grep -q "shut down" "$TDIR/serve.log"
+  grep -q '"serve.sessions_ok":4' "$TDIR/serve_metrics.json"
+else
+  echo "check.sh: python3 not found; skipping serve socket smoke"
+fi
 
 echo "check.sh: all gates passed"

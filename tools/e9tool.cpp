@@ -20,11 +20,14 @@
 //   e9tool stats --compare <A> <B> [--threshold=PCT]
 //   e9tool corpus <out.json> [--jobs=N]
 //   e9tool apply <script.jsonl> [--jobs=N] [--responses=FILE]
-//   e9tool serve --stdin [--jobs=N]
+//   e9tool serve --stdin | --unix=PATH | --tcp=PORT [--jobs=N]
+//          [--max-jobs=N] [--max-requests=N] [--max-templates=N]
+//          [--max-conns=N] [--drain-ms=N] [--metrics=FILE]
 //
 //===----------------------------------------------------------------------===//
 
 #include "api/Driver.h"
+#include "api/Serve.h"
 #include "frontend/Disasm.h"
 #include "frontend/Prescan.h"
 #include "frontend/Rewriter.h"
@@ -171,10 +174,27 @@ constexpr OptSpec ApplyOpts[] = {
 
 constexpr OptSpec ServeOpts[] = {
     {"stdin", OptKind::Flag, nullptr,
-     "serve requests from stdin, responses to stdout (the only "
-     "transport implemented so far)"},
+     "serve one session from stdin, responses to stdout"},
+    {"unix", OptKind::Str, "PATH",
+     "listen on a unix-domain socket at PATH"},
+    {"tcp", OptKind::Int, "PORT",
+     "listen on 127.0.0.1:PORT (0 = ephemeral, port printed to stderr)"},
     {"jobs", OptKind::Int, "N",
      "override the clients' jobs option (0 = all hardware threads)"},
+    {"max-jobs", OptKind::Int, "N",
+     "per-session quota: jobs a client may run (0 = unlimited)"},
+    {"max-requests", OptKind::Int, "N",
+     "per-session quota: patch-request messages (0 = unlimited)"},
+    {"max-templates", OptKind::Int, "N",
+     "per-session quota: template definitions (0 = unlimited)"},
+    {"max-conns", OptKind::Int, "N",
+     "concurrent sessions; further connects get a capacity error "
+     "(default 64)"},
+    {"drain-ms", OptKind::Int, "N",
+     "graceful-shutdown grace period for sessions with an open job "
+     "(default 10000)"},
+    {"metrics", OptKind::Str, "FILE",
+     "write server metrics JSON to FILE on shutdown (\"-\" = stdout)"},
 };
 
 constexpr CommandSpec Commands[] = {
@@ -200,7 +220,8 @@ constexpr CommandSpec Commands[] = {
     {"apply", "<script.jsonl>", 1,
      "run a batch of patch-request jobs from a script", ApplyOpts,
      std::size(ApplyOpts)},
-    {"serve", "", 0, "serve a patch-request stream (server mode)",
+    {"serve", "", 0,
+     "serve patch-request sessions over stdin or a unix/tcp socket",
      ServeOpts, std::size(ServeOpts)},
 };
 
@@ -1450,17 +1471,64 @@ int cmdApply(const Args &A) {
 }
 
 int cmdServe(const Args &A) {
-  if (!A.has("stdin")) {
-    std::fprintf(stderr,
-                 "error: serve requires --stdin (the only transport "
-                 "implemented so far)\n");
+  int Transports = (A.has("stdin") ? 1 : 0) + (A.has("unix") ? 1 : 0) +
+                   (A.has("tcp") ? 1 : 0);
+  if (Transports != 1) {
+    std::fprintf(stderr, "error: serve requires exactly one transport: "
+                         "--stdin, --unix=PATH or --tcp=PORT\n");
     return 2;
   }
-  api::DriverOptions Opts;
-  Opts.JobsOverride = static_cast<unsigned>(A.getInt("jobs", 0));
-  api::DriverResult R = api::runScript(std::cin, std::cout, Opts);
-  std::cout.flush();
-  return R.exitCode();
+
+  api::SessionOptions SOpts;
+  SOpts.JobsOverride = static_cast<unsigned>(A.getInt("jobs", 0));
+  SOpts.Limits.MaxJobs = static_cast<uint64_t>(A.getInt("max-jobs", 0));
+  SOpts.Limits.MaxPatchRequests =
+      static_cast<uint64_t>(A.getInt("max-requests", 0));
+  SOpts.Limits.MaxTemplates =
+      static_cast<uint64_t>(A.getInt("max-templates", 0));
+
+  if (A.has("stdin")) {
+    api::DriverResult R = api::runScript(std::cin, std::cout, SOpts);
+    std::cout.flush();
+    return R.exitCode();
+  }
+
+  auto L = A.has("unix")
+               ? api::Listener::unixSocket(A.get("unix", ""))
+               : api::Listener::tcpLoopback(
+                     static_cast<uint16_t>(A.getInt("tcp", 0)));
+  if (!L.isOk()) {
+    std::fprintf(stderr, "error: %s\n", L.reason().c_str());
+    return 1;
+  }
+
+  api::ServeOptions Opts;
+  Opts.Session = SOpts;
+  Opts.MaxConnections = static_cast<size_t>(A.getInt("max-conns", 64));
+  Opts.DrainTimeoutMs = static_cast<int>(A.getInt("drain-ms", 10000));
+
+  api::Server Server(L.take(), Opts);
+  if (Status S = api::installShutdownSignals(&Server); !S) {
+    std::fprintf(stderr, "error: %s\n", S.reason().c_str());
+    return 1;
+  }
+  if (A.has("unix"))
+    std::fprintf(stderr, "serve: listening on %s\n", Server.path().c_str());
+  else
+    std::fprintf(stderr, "serve: listening on 127.0.0.1:%u\n",
+                 (unsigned)Server.port());
+  Server.run(); // returns after SIGTERM/SIGINT has drained the sessions
+  (void)api::installShutdownSignals(nullptr);
+
+  obs::MetricsSnapshot M = Server.metrics();
+  std::fprintf(stderr,
+               "serve: shut down; %llu session(s) served, %llu failed\n",
+               (unsigned long long)M.counter("serve.sessions_ok"),
+               (unsigned long long)M.counter("serve.sessions_failed"));
+  std::string MetricsPath = A.get("metrics", "");
+  if (!MetricsPath.empty() && !writeText(MetricsPath, M.toJson() + "\n"))
+    return 1;
+  return 0;
 }
 
 } // namespace
